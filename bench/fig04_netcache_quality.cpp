@@ -1,0 +1,83 @@
+// Figure 4: NetCache quality (cache hit rate) across resource combinations
+// of the key-value store and the count-min sketch.
+//
+// A 2D grid: sketch memory grows down the rows, store memory across the
+// columns; each cell is the cache hit rate on a Zipf key-request trace
+// (host-side quality model with the same hashing and controller policy as
+// the compiled pipeline). The configuration the P4All compiler picks under
+// the paper's utility 0.4*(rows*cols) + 0.6*(kv_items) is marked, and the
+// compiled pipeline is replayed as an exact cross-check.
+//
+// Expected shape (paper): quality improves with both structures, saturates,
+// and the best configurations are store-heavy; an undersized sketch wastes
+// cache slots on misidentified keys.
+#include <cstdio>
+#include <vector>
+
+#include "apps/netcache.hpp"
+
+using namespace p4all;
+
+int main() {
+    // Capacity-bound workload: far more distinct keys than the largest
+    // cache can hold, as in NetCache's own evaluation — which keys to keep
+    // is then the question the sketch must answer.
+    const workload::Trace trace = workload::zipf_trace(400000, 200000, 1.1, 1);
+    const std::uint64_t threshold = 8;
+
+    // Compile to find the optimizer's pick.
+    compiler::CompileOptions opts;
+    opts.target = target::tofino_like();
+    const compiler::CompileResult r =
+        compiler::compile_source(apps::netcache_source(), opts, "netcache");
+    const auto chosen_rows = static_cast<int>(r.layout.binding(r.program.find_symbol("cms_rows")));
+    const auto chosen_cols = r.layout.binding(r.program.find_symbol("cms_cols"));
+    const auto chosen_ways = static_cast<int>(r.layout.binding(r.program.find_symbol("kv_ways")));
+    const auto chosen_slots = r.layout.binding(r.program.find_symbol("kv_slots"));
+    const std::int64_t chosen_cms_bits = static_cast<std::int64_t>(chosen_rows) * chosen_cols * 32;
+    const std::int64_t chosen_kv_bits =
+        static_cast<std::int64_t>(chosen_ways) * chosen_slots * 128;
+
+    std::printf("Figure 4: NetCache hit rate over (sketch size, store size)\n");
+    std::printf("workload: %zu requests, Zipf(1.1) over %zu keys, threshold %llu\n\n",
+                trace.size(), trace.counts.size(), static_cast<unsigned long long>(threshold));
+
+    // Grid axes in total bits, spanning starved to full-pipeline sizes.
+    const std::vector<std::int64_t> cms_bits = {1 << 12, 1 << 15, 1 << 18, 1 << 21, 14'000'000};
+    const std::vector<std::int64_t> kv_bits = {1 << 13, 1 << 16, 1 << 19, 1 << 22, 8'750'000};
+
+    std::printf("%-14s", "cms \\ kv bits");
+    for (const std::int64_t kb : kv_bits) std::printf(" %11lld", static_cast<long long>(kb));
+    std::printf("\n");
+    for (const std::int64_t cb : cms_bits) {
+        // Shape: rows grow with memory (1 row when starved, 4 when rich).
+        const int rows = cb <= (1 << 15) ? 1 : (cb <= (1 << 18) ? 2 : 4);
+        const std::int64_t cols = cb / (32 * rows);
+        std::printf("%-14lld", static_cast<long long>(cb));
+        for (const std::int64_t kb : kv_bits) {
+            const int ways = kb <= (1 << 16) ? 1 : (kb <= (1 << 19) ? 2 : 4);
+            const std::int64_t slots = kb / (128 * ways);
+            const apps::NetCacheResult q =
+                apps::netcache_quality(rows, cols, ways, slots, trace, threshold);
+            const bool near_chosen =
+                cb == cms_bits.back() && kb == kv_bits.back();
+            std::printf(" %10.3f%s", q.hit_rate(), near_chosen ? "*" : " ");
+        }
+        std::printf("\n");
+    }
+
+    const apps::NetCacheResult chosen_q = apps::netcache_quality(
+        chosen_rows, chosen_cols, chosen_ways, chosen_slots, trace, threshold);
+    std::printf("\n* compiler's pick: cms %d x %lld (%lld bits), kv %d x %lld (%lld bits)\n",
+                chosen_rows, static_cast<long long>(chosen_cols),
+                static_cast<long long>(chosen_cms_bits), chosen_ways,
+                static_cast<long long>(chosen_slots), static_cast<long long>(chosen_kv_bits));
+    std::printf("  model hit rate at the pick: %.3f\n", chosen_q.hit_rate());
+
+    // Cross-check: the real compiled pipeline must match the model.
+    sim::Pipeline pipe(r.program, r.layout);
+    const apps::NetCacheResult simulated = apps::run_netcache(pipe, trace, threshold);
+    std::printf("  simulated pipeline at the pick: %.3f (%s)\n", simulated.hit_rate(),
+                simulated.hits == chosen_q.hits ? "exact match with model" : "MISMATCH");
+    return simulated.hits == chosen_q.hits ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Figure 12: elasticity — sizes of the NetCache data structures as the
+// per-stage register memory M grows. The compiler stretches both structures
+// monotonically; because key-value items (128 bits) are far larger than
+// sketch counters (32 bits), the key-value store consumes the larger share
+// of the added memory under the 0.4*cms + 0.6*kv utility.
+//
+// Paper parameters: S=10, F=4, L=100, P=4096; M swept.
+#include <cstdio>
+
+#include "apps/netcache.hpp"
+
+using namespace p4all;
+
+int main() {
+    std::printf("Figure 12: NetCache structure sizes vs. per-stage memory\n\n");
+    std::printf("%-12s %-18s %-18s %-16s %-16s\n", "M (Mb)", "cms (rows x cols)",
+                "kv (ways x slots)", "cms bits", "kv bits");
+    const std::string source = apps::netcache_source();
+    for (const double mb : {0.25, 0.5, 1.0, 1.75, 2.5, 4.0}) {
+        compiler::CompileOptions opts;
+        opts.target = target::tofino_like();
+        opts.target.memory_bits = static_cast<std::int64_t>(mb * 1'000'000);
+        try {
+            const compiler::CompileResult r = compiler::compile_source(source, opts, "netcache");
+            const auto b = [&](const char* n) {
+                return r.layout.binding(r.program.find_symbol(n));
+            };
+            const std::int64_t cms_bits = b("cms_rows") * b("cms_cols") * 32;
+            const std::int64_t kv_bits = b("kv_ways") * b("kv_slots") * 128;
+            std::printf("%-12.2f %4lld x %-11lld %4lld x %-11lld %-16lld %-16lld\n", mb,
+                        static_cast<long long>(b("cms_rows")),
+                        static_cast<long long>(b("cms_cols")),
+                        static_cast<long long>(b("kv_ways")),
+                        static_cast<long long>(b("kv_slots")),
+                        static_cast<long long>(cms_bits), static_cast<long long>(kv_bits));
+        } catch (const std::exception& e) {
+            std::printf("%-12.2f does not fit (%s)\n", mb, e.what());
+        }
+    }
+    return 0;
+}

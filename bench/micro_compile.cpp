@@ -1,0 +1,70 @@
+// Micro-benchmarks for end-to-end compilation latency: the CMS running
+// example and the full NetCache application, by backend.
+#include <benchmark/benchmark.h>
+
+#include "apps/netcache.hpp"
+#include "compiler/compiler.hpp"
+
+namespace {
+
+using namespace p4all;
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+void BM_CompileCms(benchmark::State& state) {
+    compiler::CompileOptions opts;
+    opts.target = target::tofino_like();
+    for (auto _ : state) {
+        const compiler::CompileResult r = compiler::compile_source(kCms, opts, "cms");
+        benchmark::DoNotOptimize(r.utility);
+    }
+}
+BENCHMARK(BM_CompileCms)->Unit(benchmark::kMillisecond);
+
+void BM_CompileNetCache(benchmark::State& state) {
+    compiler::CompileOptions opts;
+    opts.target = target::tofino_like();
+    opts.backend = state.range(0) == 0 ? compiler::Backend::Ilp : compiler::Backend::Greedy;
+    const std::string source = apps::netcache_source();
+    for (auto _ : state) {
+        const compiler::CompileResult r = compiler::compile_source(source, opts, "netcache");
+        benchmark::DoNotOptimize(r.utility);
+    }
+    state.SetLabel(state.range(0) == 0 ? "ilp" : "greedy");
+}
+BENCHMARK(BM_CompileNetCache)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ParseAndElaborateNetCache(benchmark::State& state) {
+    const std::string source = apps::netcache_source();
+    for (auto _ : state) {
+        const ir::Program prog = ir::elaborate_source(source, {.program_name = "netcache"});
+        benchmark::DoNotOptimize(prog.flow.size());
+    }
+}
+BENCHMARK(BM_ParseAndElaborateNetCache)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,254 @@
+#include "analysis/depgraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace p4all::analysis {
+
+namespace {
+
+/// Disjoint-set forest for register-sharing node grouping.
+class UnionFind {
+public:
+    explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    int find(int x) {
+        while (parent_[static_cast<std::size_t>(x)] != x) {
+            parent_[static_cast<std::size_t>(x)] =
+                parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+            x = parent_[static_cast<std::size_t>(x)];
+        }
+        return x;
+    }
+
+    void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+private:
+    std::vector<int> parent_;
+};
+
+std::pair<int, int> unordered_pair(int a, int b) { return {std::min(a, b), std::max(a, b)}; }
+
+}  // namespace
+
+DepGraph build_dep_graph(const ir::Program& prog, const target::TargetSpec& target,
+                         std::vector<Instance> instances) {
+    DepGraph g;
+    g.instances = std::move(instances);
+    const int n = static_cast<int>(g.instances.size());
+
+    std::vector<AccessSummary> summaries;
+    summaries.reserve(static_cast<std::size_t>(n));
+    for (const Instance& inst : g.instances) summaries.push_back(summarize(prog, target, inst));
+
+    // Group instances sharing any register row.
+    UnionFind uf(n);
+    std::map<RegChunk, int> owner;
+    for (int i = 0; i < n; ++i) {
+        for (const RegChunk& rc : summaries[static_cast<std::size_t>(i)].regs) {
+            const auto [it, inserted] = owner.emplace(rc, i);
+            if (!inserted) uf.unite(i, it->second);
+        }
+    }
+    std::map<int, int> root_to_node;
+    g.node_of.resize(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) {
+        const int root = uf.find(i);
+        const auto [it, inserted] = root_to_node.emplace(root, static_cast<int>(g.members.size()));
+        if (inserted) g.members.emplace_back();
+        g.node_of[static_cast<std::size_t>(i)] = it->second;
+        g.members[static_cast<std::size_t>(it->second)].push_back(i);
+    }
+
+    // Pairwise dependence classification per metadata chunk.
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            // Order by program order so edges point forward.
+            int x = i;
+            int y = j;
+            if (!precedes_in_program(prog, g.instances[static_cast<std::size_t>(i)],
+                                     g.instances[static_cast<std::size_t>(j)])) {
+                std::swap(x, y);
+            }
+            const AccessSummary& sx = summaries[static_cast<std::size_t>(x)];
+            const AccessSummary& sy = summaries[static_cast<std::size_t>(y)];
+            const int nx = g.node_of[static_cast<std::size_t>(x)];
+            const int ny = g.node_of[static_cast<std::size_t>(y)];
+
+            for (const auto& [chunk, ax] : sx.meta) {
+                const auto it = sy.meta.find(chunk);
+                if (it == sy.meta.end()) continue;
+                const ChunkAccess& ay = it->second;
+
+                if (ax.writes && ay.writes && ax.commutative_update &&
+                    ax.commutative_update == ay.commutative_update) {
+                    if (nx == ny) {
+                        g.infeasible = true;
+                        g.infeasible_reason =
+                            "instances sharing a register also need distinct stages for "
+                            "commutative updates of the same metadata";
+                    } else {
+                        g.exclusive.insert(unordered_pair(nx, ny));
+                    }
+                    continue;
+                }
+                if (ax.writes && (ay.reads || ay.writes)) {
+                    if (nx == ny) {
+                        g.infeasible = true;
+                        g.infeasible_reason =
+                            "instances sharing a register have a data dependency between them";
+                    } else {
+                        g.before.insert({nx, ny});
+                    }
+                    continue;
+                }
+                if (ax.reads && ay.writes) {
+                    if (nx != ny) g.not_after.insert({nx, ny});
+                }
+            }
+        }
+    }
+
+    // An edge in both directions means contradiction.
+    for (const auto& [a, b] : g.before) {
+        if (g.before.count({b, a}) != 0) {
+            g.infeasible = true;
+            g.infeasible_reason = "cyclic precedence between two nodes";
+        }
+    }
+    return g;
+}
+
+namespace {
+
+/// Checks whether the exclusion-connected component `comp` is a clique in
+/// the exclusion relation (the common case: iterated commutative updates).
+bool is_exclusion_clique(const DepGraph& g, const std::vector<int>& comp) {
+    for (std::size_t a = 0; a < comp.size(); ++a) {
+        for (std::size_t b = a + 1; b < comp.size(); ++b) {
+            if (g.exclusive.count({std::min(comp[a], comp[b]), std::max(comp[a], comp[b])}) == 0) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> exclusion_cliques(const DepGraph& g) {
+    // Greedy clique cover over the exclusion relation: grow a clique from
+    // each unassigned endpoint; any edge not covered by a grown clique is
+    // emitted as a 2-clique.
+    std::vector<std::vector<int>> cliques;
+    std::set<std::pair<int, int>> covered;
+    std::set<int> assigned;
+    const auto adjacent = [&](int a, int b) {
+        return g.exclusive.count({std::min(a, b), std::max(a, b)}) != 0;
+    };
+    for (const auto& [a, b] : g.exclusive) {
+        if (assigned.count(a) != 0 || assigned.count(b) != 0) continue;
+        std::vector<int> clique{a, b};
+        for (int v = 0; v < g.node_count(); ++v) {
+            if (v == a || v == b || assigned.count(v) != 0) continue;
+            const bool joins = std::all_of(clique.begin(), clique.end(),
+                                           [&](int u) { return adjacent(u, v); });
+            if (joins) clique.push_back(v);
+        }
+        for (std::size_t i = 0; i < clique.size(); ++i) {
+            for (std::size_t j = i + 1; j < clique.size(); ++j) {
+                covered.insert({std::min(clique[i], clique[j]), std::max(clique[i], clique[j])});
+            }
+        }
+        for (const int v : clique) assigned.insert(v);
+        cliques.push_back(std::move(clique));
+    }
+    for (const auto& edge : g.exclusive) {
+        if (covered.count(edge) == 0) cliques.push_back({edge.first, edge.second});
+    }
+    return cliques;
+}
+
+int min_stage_requirement(const DepGraph& g) {
+    if (g.infeasible) return kUnschedulable;
+    const int n = g.node_count();
+    if (n == 0) return 0;
+
+    // Collapse exclusion components into super-nodes. A clique of size k
+    // needs k distinct stages, so it contributes weight k to any path
+    // through it; a non-clique component conservatively (soundly) weighs 1.
+    UnionFind uf(n);
+    for (const auto& [a, b] : g.exclusive) uf.unite(a, b);
+    std::map<int, int> root_to_super;
+    std::vector<int> super_of(static_cast<std::size_t>(n));
+    std::vector<std::vector<int>> super_members;
+    for (int v = 0; v < n; ++v) {
+        const int root = uf.find(v);
+        const auto [it, inserted] =
+            root_to_super.emplace(root, static_cast<int>(super_members.size()));
+        if (inserted) super_members.emplace_back();
+        super_of[static_cast<std::size_t>(v)] = it->second;
+        super_members[static_cast<std::size_t>(it->second)].push_back(v);
+    }
+    const int sn = static_cast<int>(super_members.size());
+    std::vector<int> weight(static_cast<std::size_t>(sn), 1);
+    for (int s = 0; s < sn; ++s) {
+        const auto& comp = super_members[static_cast<std::size_t>(s)];
+        if (comp.size() > 1 && is_exclusion_clique(g, comp)) {
+            weight[static_cast<std::size_t>(s)] = static_cast<int>(comp.size());
+        }
+    }
+
+    // Super-node DAG over Before edges; longest weighted path by topo DP.
+    std::vector<std::vector<int>> succ(static_cast<std::size_t>(sn));
+    std::vector<int> indeg(static_cast<std::size_t>(sn), 0);
+    std::set<std::pair<int, int>> super_edges;
+    for (const auto& [a, b] : g.before) {
+        const int sa = super_of[static_cast<std::size_t>(a)];
+        const int sb = super_of[static_cast<std::size_t>(b)];
+        if (sa == sb) {
+            // A precedence edge inside an exclusion component still fits (the
+            // component occupies |comp| consecutive-ish stages), as long as it
+            // is acyclic within the component; the clique weight already
+            // accounts for the needed stages.
+            continue;
+        }
+        if (super_edges.insert({sa, sb}).second) {
+            succ[static_cast<std::size_t>(sa)].push_back(sb);
+            ++indeg[static_cast<std::size_t>(sb)];
+        }
+    }
+
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(sn));
+    std::vector<int> stack;
+    for (int s = 0; s < sn; ++s) {
+        if (indeg[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+    }
+    while (!stack.empty()) {
+        const int s = stack.back();
+        stack.pop_back();
+        order.push_back(s);
+        for (const int t : succ[static_cast<std::size_t>(s)]) {
+            if (--indeg[static_cast<std::size_t>(t)] == 0) stack.push_back(t);
+        }
+    }
+    if (static_cast<int>(order.size()) != sn) return kUnschedulable;  // cycle
+
+    std::vector<int> longest(static_cast<std::size_t>(sn), 0);
+    int best = 0;
+    for (const int s : order) {
+        longest[static_cast<std::size_t>(s)] += weight[static_cast<std::size_t>(s)];
+        best = std::max(best, longest[static_cast<std::size_t>(s)]);
+        for (const int t : succ[static_cast<std::size_t>(s)]) {
+            longest[static_cast<std::size_t>(t)] =
+                std::max(longest[static_cast<std::size_t>(t)], longest[static_cast<std::size_t>(s)]);
+        }
+    }
+    return best;
+}
+
+}  // namespace p4all::analysis

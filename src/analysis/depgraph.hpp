@@ -1,0 +1,64 @@
+// The dependency graph of §4.2.
+//
+// Nodes group action instances that access the same register row (and so
+// must share a stage). Edges are:
+//   Before    n1 → n2 : n1's stage strictly precedes n2's (data/control dep)
+//   NotAfter  n1 ≤ n2 : n1's stage is no later than n2's (write-after-read;
+//                       same stage is fine because stage reads see pre-stage
+//                       state) — an extension beyond the paper's model
+//   Exclusive n1 ≠ n2 : commutative updates of the same field; distinct
+//                       stages in either order
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/instances.hpp"
+
+namespace p4all::analysis {
+
+struct DepGraph {
+    /// The instances under analysis (node members index into this).
+    std::vector<Instance> instances;
+    /// Node -> member instance indices. Singleton unless register-shared.
+    std::vector<std::vector<int>> members;
+    /// Instance index -> node id.
+    std::vector<int> node_of;
+
+    std::set<std::pair<int, int>> before;     // (earlier, later)
+    std::set<std::pair<int, int>> not_after;  // (no-later, no-earlier)
+    std::set<std::pair<int, int>> exclusive;  // unordered; stored lo<hi
+
+    /// True when grouping/edges contradict (a node must precede itself, or
+    /// two instances forced into one stage also need distinct stages).
+    bool infeasible = false;
+    std::string infeasible_reason;
+
+    [[nodiscard]] int node_count() const noexcept { return static_cast<int>(members.size()); }
+};
+
+/// Builds the dependency graph over `instances` (with access summaries from
+/// `target`'s cost model, which does not affect edges but records ALU use).
+[[nodiscard]] DepGraph build_dep_graph(const ir::Program& prog, const target::TargetSpec& target,
+                                       std::vector<Instance> instances);
+
+/// Partitions the graph's exclusion edges into cliques plus leftover pairs:
+/// each returned vector of ≥ 2 nodes is mutually exclusive (the common case:
+/// iterated commutative updates form one clique per field). Used by the ILP
+/// generator to emit one aggregated row per clique per stage — fewer
+/// constraints and a strictly tighter LP relaxation than pairwise rows.
+[[nodiscard]] std::vector<std::vector<int>> exclusion_cliques(const DepGraph& g);
+
+/// A lower bound on the pipeline stages needed to schedule the graph:
+/// the longest weighted path where exclusion cliques collapse to weight
+/// |clique| (their members need that many distinct stages) and Before edges
+/// advance stages. Returns a large sentinel when `g.infeasible` or the
+/// Before relation is cyclic.
+[[nodiscard]] int min_stage_requirement(const DepGraph& g);
+
+/// Sentinel returned by min_stage_requirement for unschedulable graphs.
+inline constexpr int kUnschedulable = 1 << 29;
+
+}  // namespace p4all::analysis

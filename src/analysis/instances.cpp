@@ -1,0 +1,155 @@
+#include "analysis/instances.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace p4all::analysis {
+
+using ir::Affine;
+using ir::CallSite;
+using ir::MetaRef;
+using ir::PacketRef;
+using ir::PrimKind;
+using ir::PrimOp;
+using ir::RegRef;
+using ir::Value;
+
+namespace {
+
+/// Evaluates an operand's affine index at the action-parameter value.
+MetaChunk chunk_of(const MetaRef& ref, std::int64_t param) {
+    return {ref.field, ref.index.at(param)};
+}
+
+void note_read(AccessSummary& s, const MetaRef& ref, std::int64_t param) {
+    s.meta[chunk_of(ref, param)].reads = true;
+}
+
+void note_value_read(AccessSummary& s, const Value& v, std::int64_t param) {
+    if (const auto* m = std::get_if<MetaRef>(&v)) note_read(s, *m, param);
+    // Packet fields are read-only inputs; affine immediates are constants.
+}
+
+void note_write(AccessSummary& s, const MetaRef& ref, std::int64_t param,
+                std::optional<PrimKind> commutative) {
+    ChunkAccess& a = s.meta[chunk_of(ref, param)];
+    if (a.writes) {
+        // A second write by the same instance: updates no longer commute as
+        // a unit, so clear the marker.
+        a.commutative_update.reset();
+    } else {
+        a.writes = true;
+        a.commutative_update = commutative;
+    }
+}
+
+}  // namespace
+
+AccessSummary summarize(const ir::Program& prog, const target::TargetSpec& target,
+                        const Instance& inst) {
+    const CallSite& site = prog.flow.at(static_cast<std::size_t>(inst.call));
+    const ir::Action& action = prog.action(site.action);
+    const std::int64_t param = site.iter_arg.at(inst.iter);
+
+    AccessSummary s;
+    for (const ir::Cond& guard : site.guards) {
+        // Guard operands are evaluated in the loop variable directly.
+        const auto note_guard = [&](const Value& v) {
+            if (const auto* m = std::get_if<MetaRef>(&v)) {
+                s.meta[{m->field, m->index.at(inst.iter)}].reads = true;
+            }
+        };
+        note_guard(guard.lhs);
+        note_guard(guard.rhs);
+    }
+
+    for (const PrimOp& op : action.ops) {
+        s.stateful_alus += target.stateful_cost(op.kind);
+        s.stateless_alus += target.stateless_cost(op.kind);
+        s.hash_units += target.hash_cost(op.kind);
+
+        if (op.reg) {
+            s.regs.push_back({op.reg->reg, op.reg->instance.at(param)});
+        }
+        if (op.modulus) {
+            if (const auto* r = std::get_if<RegRef>(&*op.modulus)) {
+                // The hash range is the register's element count; this does
+                // not access register state, so it is not a RegChunk use.
+                (void)r;
+            }
+        }
+        if (op.reg_index) note_value_read(s, *op.reg_index, param);
+        for (const Value& src : op.srcs) note_value_read(s, src, param);
+
+        if (op.dst) {
+            switch (op.kind) {
+                case PrimKind::Min:
+                case PrimKind::Max:
+                    // dst = min(dst, src): read-modify-write that commutes
+                    // with other updates of the same kind.
+                    note_read(s, *op.dst, param);
+                    note_write(s, *op.dst, param, op.kind);
+                    break;
+                case PrimKind::Add:
+                case PrimKind::Sub: {
+                    // dst = dst ± src is an accumulation: it commutes with
+                    // other accumulations of the same kind (§4.2's "both add
+                    // one to the same metadata field"). dst = src − dst does
+                    // not commute, so only the first operand counts.
+                    const auto* first = std::get_if<MetaRef>(&op.srcs.front());
+                    const bool accumulates =
+                        first != nullptr && chunk_of(*first, param) == chunk_of(*op.dst, param);
+                    if (accumulates) {
+                        note_write(s, *op.dst, param, op.kind);
+                    } else {
+                        note_write(s, *op.dst, param, std::nullopt);
+                    }
+                    break;
+                }
+                default:
+                    note_write(s, *op.dst, param, std::nullopt);
+                    break;
+            }
+        }
+    }
+
+    // Deduplicate register rows.
+    std::sort(s.regs.begin(), s.regs.end());
+    s.regs.erase(std::unique(s.regs.begin(), s.regs.end()), s.regs.end());
+    return s;
+}
+
+std::vector<Instance> instantiate_symbol(const ir::Program& prog, ir::SymbolId v,
+                                         std::int64_t k) {
+    std::vector<Instance> out;
+    for (std::size_t c = 0; c < prog.flow.size(); ++c) {
+        if (prog.flow[c].loop_bound != v) continue;
+        for (std::int64_t i = 0; i < k; ++i) out.push_back({static_cast<int>(c), i});
+    }
+    return out;
+}
+
+std::vector<Instance> instantiate_all(const ir::Program& prog,
+                                      const std::vector<std::int64_t>& bounds) {
+    std::vector<Instance> out;
+    for (std::size_t c = 0; c < prog.flow.size(); ++c) {
+        const CallSite& site = prog.flow[c];
+        if (!site.elastic()) {
+            out.push_back({static_cast<int>(c), 0});
+            continue;
+        }
+        const std::int64_t k = bounds.at(static_cast<std::size_t>(site.loop_bound));
+        for (std::int64_t i = 0; i < k; ++i) out.push_back({static_cast<int>(c), i});
+    }
+    return out;
+}
+
+bool precedes_in_program(const ir::Program& prog, const Instance& a, const Instance& b) {
+    const int seq_a = prog.flow.at(static_cast<std::size_t>(a.call)).seq;
+    const int seq_b = prog.flow.at(static_cast<std::size_t>(b.call)).seq;
+    if (seq_a != seq_b) return seq_a < seq_b;
+    return a.iter < b.iter;
+}
+
+}  // namespace p4all::analysis

@@ -1,0 +1,90 @@
+// Action instances: the unrolled form of the elastic program.
+//
+// When a loop `for (i < v)` is unrolled K times, each call site inside it
+// yields instances at iterations 0..K-1 (the paper's a_1..a_K). Dependence
+// analysis, the unroll bound, and the ILP all operate on instances and the
+// resources they touch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "target/spec.hpp"
+
+namespace p4all::analysis {
+
+/// One unrolled action invocation: call site `call` at loop iteration
+/// `iter` (0 for inelastic sites).
+struct Instance {
+    int call = 0;
+    std::int64_t iter = 0;
+
+    friend bool operator==(const Instance&, const Instance&) = default;
+    friend auto operator<=>(const Instance&, const Instance&) = default;
+};
+
+/// A concrete metadata element: (field, element index). Scalars use index 0.
+struct MetaChunk {
+    ir::MetaFieldId field = ir::kNoId;
+    std::int64_t index = 0;
+
+    friend bool operator==(const MetaChunk&, const MetaChunk&) = default;
+    friend auto operator<=>(const MetaChunk&, const MetaChunk&) = default;
+};
+
+/// A concrete register-array instance: (matrix, row index).
+struct RegChunk {
+    ir::RegisterId reg = ir::kNoId;
+    std::int64_t instance = 0;
+
+    friend bool operator==(const RegChunk&, const RegChunk&) = default;
+    friend auto operator<=>(const RegChunk&, const RegChunk&) = default;
+};
+
+/// How an instance touches one metadata chunk.
+struct ChunkAccess {
+    bool reads = false;
+    bool writes = false;
+    /// Set when the *only* write to the chunk is a self-commutative
+    /// read-modify-write (Min or Max into dst); two such writers of the same
+    /// kind commute and get an exclusion edge instead of precedence (§4.2).
+    std::optional<ir::PrimKind> commutative_update;
+};
+
+/// Everything dependence analysis and the ILP need to know about one
+/// instance: which chunks it reads/writes, which register rows it owns, and
+/// its ALU / hash-unit footprint on the target.
+struct AccessSummary {
+    std::map<MetaChunk, ChunkAccess> meta;
+    std::vector<RegChunk> regs;
+    int stateful_alus = 0;
+    int stateless_alus = 0;
+    int hash_units = 0;
+};
+
+/// Computes the access summary of `inst` in `prog`. Operand affines are
+/// evaluated at the instance's action-parameter value
+/// (call.iter_arg.at(inst.iter)); guard reads count as reads.
+[[nodiscard]] AccessSummary summarize(const ir::Program& prog, const target::TargetSpec& target,
+                                      const Instance& inst);
+
+/// Unrolls only the loops bounded by symbol `v`, K iterations each — the
+/// instance set of the paper's per-symbol dependency graph G_v.
+[[nodiscard]] std::vector<Instance> instantiate_symbol(const ir::Program& prog, ir::SymbolId v,
+                                                       std::int64_t k);
+
+/// Unrolls every call site: elastic sites to their symbol's bound in
+/// `bounds` (indexed by SymbolId), inelastic sites once. Instance order is
+/// program order, iterations ascending — the order the ILP relies on.
+[[nodiscard]] std::vector<Instance> instantiate_all(const ir::Program& prog,
+                                                    const std::vector<std::int64_t>& bounds);
+
+/// Program-order comparison used to classify dependence edge directions:
+/// earlier sequence first; within one call site, lower iteration first.
+[[nodiscard]] bool precedes_in_program(const ir::Program& prog, const Instance& a,
+                                       const Instance& b);
+
+}  // namespace p4all::analysis

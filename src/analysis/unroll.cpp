@@ -1,0 +1,155 @@
+#include "analysis/unroll.hpp"
+
+#include <cmath>
+
+namespace p4all::analysis {
+
+namespace {
+
+/// Scans single-variable assume constraints `a·sym + c ≤ 0` for bounds.
+/// With a < 0 this implies sym ≥ c/(−a); with a > 0, sym ≤ −c/a.
+void scan_assume_bounds(const ir::Program& prog, ir::SymbolId sym,
+                        std::optional<std::int64_t>& lower, std::optional<std::int64_t>& upper) {
+    for (const ir::PolyConstraint& pc : prog.assumes) {
+        if (pc.op != ir::CmpOp::Le && pc.op != ir::CmpOp::Eq) continue;
+        double a = 0.0;
+        double c = 0.0;
+        bool single = true;
+        for (const ir::PolyTerm& t : pc.poly.terms()) {
+            if (t.degree() == 0) {
+                c = t.coeff;
+            } else if (t.degree() == 1 && t.a == sym) {
+                a = t.coeff;
+            } else {
+                single = false;
+                break;
+            }
+        }
+        if (!single || a == 0.0) continue;
+        if (a < 0.0) {
+            const auto bound = static_cast<std::int64_t>(std::ceil(c / -a - 1e-9));
+            if (!lower || bound > *lower) lower = bound;
+            if (pc.op == ir::CmpOp::Eq && (!upper || bound < *upper)) upper = bound;
+        } else {
+            const auto bound = static_cast<std::int64_t>(std::floor(-c / a + 1e-9));
+            if (!upper || bound < *upper) upper = bound;
+            if (pc.op == ir::CmpOp::Eq && (!lower || bound > *lower)) lower = bound;
+        }
+    }
+}
+
+/// Minimum register bits one iteration of loops over `v` must allocate:
+/// every register matrix whose instance dimension is `v` adds one row of at
+/// least max(1, assume-lower-bound(elems)) elements.
+std::int64_t min_memory_bits_per_iteration(const ir::Program& prog, ir::SymbolId v) {
+    std::int64_t bits = 0;
+    for (const ir::RegisterArray& r : prog.registers) {
+        if (!r.instances.symbolic() || r.instances.sym != v) continue;
+        std::int64_t min_elems = 1;
+        if (r.elems.symbolic()) {
+            if (const auto lb = assume_lower_bound(prog, r.elems.sym)) {
+                min_elems = std::max<std::int64_t>(1, *lb);
+            }
+        } else {
+            min_elems = r.elems.literal;
+        }
+        bits += min_elems * r.width;
+    }
+    return bits;
+}
+
+/// Elastic PHV bits consumed by one iteration: metadata arrays sized by `v`.
+std::int64_t phv_bits_per_iteration(const ir::Program& prog, ir::SymbolId v) {
+    std::int64_t bits = 0;
+    for (const ir::MetaField& f : prog.meta_fields) {
+        if (f.is_array() && f.array->symbolic() && f.array->sym == v) bits += f.width;
+    }
+    return bits;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> assume_lower_bound(const ir::Program& prog, ir::SymbolId sym) {
+    std::optional<std::int64_t> lower;
+    std::optional<std::int64_t> upper;
+    scan_assume_bounds(prog, sym, lower, upper);
+    return lower;
+}
+
+std::optional<std::int64_t> assume_upper_bound(const ir::Program& prog, ir::SymbolId sym) {
+    std::optional<std::int64_t> lower;
+    std::optional<std::int64_t> upper;
+    scan_assume_bounds(prog, sym, lower, upper);
+    return upper;
+}
+
+UnrollResult unroll_bound(const ir::Program& prog, const target::TargetSpec& target,
+                          ir::SymbolId v, const UnrollOptions& options) {
+    const std::int64_t mem_per_iter =
+        options.use_memory_criterion ? min_memory_bits_per_iteration(prog, v) : 0;
+    const std::int64_t phv_per_iter =
+        options.use_phv_criterion ? phv_bits_per_iteration(prog, v) : 0;
+    const std::int64_t phv_budget = target.phv_bits - prog.fixed_phv_bits();
+
+    std::optional<std::int64_t> assume_cap;
+    if (options.use_assume_bounds) assume_cap = assume_upper_bound(prog, v);
+
+    UnrollResult result;
+    result.stopped_by = "cap";
+    for (std::int64_t k = 1; k <= options.hard_cap; ++k) {
+        if (assume_cap && k > *assume_cap) {
+            result.stopped_by = "assume";
+            return result;
+        }
+        if (mem_per_iter > 0 &&
+            k * mem_per_iter > target.memory_bits * static_cast<std::int64_t>(target.stages)) {
+            result.stopped_by = "memory";
+            return result;
+        }
+        if (phv_per_iter > 0 && k * phv_per_iter > phv_budget) {
+            result.stopped_by = "phv";
+            return result;
+        }
+
+        const std::vector<Instance> instances = instantiate_symbol(prog, v, k);
+        if (instances.empty()) break;  // no loops over v
+
+        if (options.use_alu_criterion) {
+            std::int64_t stateful = 0;
+            std::int64_t stateless = 0;
+            for (const Instance& inst : instances) {
+                const AccessSummary s = summarize(prog, target, inst);
+                stateful += s.stateful_alus;
+                stateless += s.stateless_alus;
+            }
+            const std::int64_t stages = target.stages;
+            if (stateful > static_cast<std::int64_t>(target.stateful_alus) * stages ||
+                stateless > static_cast<std::int64_t>(target.stateless_alus) * stages ||
+                stateful + stateless > target.total_alus()) {
+                result.stopped_by = "alu";
+                return result;
+            }
+        }
+        if (options.use_path_criterion) {
+            const DepGraph g = build_dep_graph(prog, target, instances);
+            if (min_stage_requirement(g) > target.stages) {
+                result.stopped_by = "path";
+                return result;
+            }
+        }
+        result.bound = k;
+    }
+    return result;
+}
+
+std::vector<std::int64_t> unroll_bounds_all(const ir::Program& prog,
+                                            const target::TargetSpec& target,
+                                            const UnrollOptions& options) {
+    std::vector<std::int64_t> bounds(prog.symbols.size(), 0);
+    for (const ir::SymbolId v : prog.iteration_symbols()) {
+        bounds[static_cast<std::size_t>(v)] = unroll_bound(prog, target, v, options).bound;
+    }
+    return bounds;
+}
+
+}  // namespace p4all::analysis

@@ -1,0 +1,63 @@
+// Upper bounds for loop unrolling (§4.2).
+//
+// For each iteration-count symbolic value v, the compiler unrolls the loops
+// bounded by v for increasing K and stops when the unrolled code provably
+// cannot fit the target:
+//   (1) the minimum stage requirement of G_v exceeds S, or
+//   (2) the ALUs needed by all instances exceed the target's ALUs.
+// The largest feasible K is the ILP's unroll bound U_v. Two further sound
+// criteria are available as extensions (ablated in bench/ablate_unroll):
+//   (3) minimum register memory of K iterations exceeds M·S,
+//   (4) elastic PHV bits of K iterations exceed P − P_fixed,
+// plus direct upper bounds extracted from `assume` statements.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/depgraph.hpp"
+#include "ir/program.hpp"
+#include "target/spec.hpp"
+
+namespace p4all::analysis {
+
+struct UnrollOptions {
+    bool use_path_criterion = true;
+    bool use_alu_criterion = true;
+    bool use_memory_criterion = true;   // extension
+    bool use_phv_criterion = true;      // extension
+    bool use_assume_bounds = true;      // extension
+    std::int64_t hard_cap = 1024;       // safety net for degenerate programs
+};
+
+struct UnrollResult {
+    std::int64_t bound = 0;
+    /// Which criterion terminated the search ("path", "alu", "memory",
+    /// "phv", "assume", or "cap").
+    std::string stopped_by;
+};
+
+/// Computes the unroll upper bound for iteration symbol `v`.
+[[nodiscard]] UnrollResult unroll_bound(const ir::Program& prog, const target::TargetSpec& target,
+                                        ir::SymbolId v, const UnrollOptions& options = {});
+
+/// Bounds for every symbol, indexed by SymbolId (0 for non-iteration
+/// symbols, which are sized by the ILP rather than unrolled).
+[[nodiscard]] std::vector<std::int64_t> unroll_bounds_all(const ir::Program& prog,
+                                                          const target::TargetSpec& target,
+                                                          const UnrollOptions& options = {});
+
+/// Largest c with `sym >= c` implied by a single-variable assume constraint;
+/// disengaged if none. Used for the memory criterion and by the ILP to
+/// bound element-count variables.
+[[nodiscard]] std::optional<std::int64_t> assume_lower_bound(const ir::Program& prog,
+                                                             ir::SymbolId sym);
+
+/// Smallest c with `sym <= c` implied by a single-variable assume
+/// constraint; disengaged if none.
+[[nodiscard]] std::optional<std::int64_t> assume_upper_bound(const ir::Program& prog,
+                                                             ir::SymbolId sym);
+
+}  // namespace p4all::analysis

@@ -1,0 +1,179 @@
+#include "apps/applications.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "apps/modules.hpp"
+#include "support/rng.hpp"
+
+namespace p4all::apps {
+
+std::string sketchlearn_source(int levels) {
+    Application app("sketchlearn");
+    app.packet_field("flow_id", 64);
+    app.packet_field("dst", 32);
+    const double weight = 1.0 / levels;
+    for (int l = 0; l < levels; ++l) {
+        const std::string prefix = "lvl" + std::to_string(l);
+        // Each bit-plane level uses its own hash-family slice.
+        app.add(cms_module(prefix, "pkt.flow_id", /*max_rows=*/2, /*min_cols=*/64,
+                           kCmsSeedBase + static_cast<std::uint64_t>(l) * 8),
+                weight);
+    }
+    // Tie all level geometries together (the hierarchical sketch is
+    // uniform across levels).
+    for (int l = 1; l < levels; ++l) {
+        app.raw_decl("assume lvl0_rows == lvl" + std::to_string(l) + "_rows;\n");
+        app.raw_decl("assume lvl0_cols == lvl" + std::to_string(l) + "_cols;\n");
+    }
+    app.raw_decl(R"(
+metadata { bit<32> egress; }
+action route() { set(meta.egress, pkt.dst); }
+)");
+    app.raw_apply("route();");
+    return app.source();
+}
+
+std::string precision_source() {
+    Application app("precision");
+    app.packet_field("flow_id", 64);
+    app.packet_field("dst", 32);
+    app.add(hash_table_module("hh", "pkt.flow_id"), 1.0);
+    app.raw_decl(R"(
+metadata { bit<32> egress; }
+action route() { set(meta.egress, pkt.dst); }
+)");
+    app.raw_apply("route();");
+    return app.source();
+}
+
+std::string conquest_source(int snapshots) {
+    Application app("conquest");
+    app.packet_field("flow_id", 64);
+    app.packet_field("dst", 32);
+    const double weight = 1.0 / snapshots;
+    std::string total_decl = "metadata { bit<32> cq_total; }\n";
+    std::string agg_actions;
+    std::string agg_calls;
+    for (int s = 0; s < snapshots; ++s) {
+        const std::string prefix = "snap" + std::to_string(s);
+        // Snapshots deliberately share one hash-family slice: they are
+        // time-rotated copies of the same sketch.
+        app.add(cms_module(prefix, "pkt.flow_id", /*max_rows=*/2), weight);
+        agg_actions += "action cq_add" + std::to_string(s) + "() { add(meta.cq_total, meta.cq_total, meta." +
+                       prefix + "_min); }\n";
+        agg_calls += "cq_add" + std::to_string(s) + "();\n";
+    }
+    // Snapshots are interchangeable: force identical geometry.
+    for (int s = 1; s < snapshots; ++s) {
+        app.raw_decl("assume snap0_rows == snap" + std::to_string(s) + "_rows;\n");
+        app.raw_decl("assume snap0_cols == snap" + std::to_string(s) + "_cols;\n");
+    }
+    app.raw_decl(total_decl + agg_actions);
+    app.raw_apply(agg_calls);
+    return app.source();
+}
+
+std::string flowradar_source() {
+    Application app("flowradar");
+    app.packet_field("flow_id", 64);
+    app.packet_field("dst", 32);
+    app.add(bloom_module("ff", "pkt.flow_id"), 0.5);
+    app.add(hash_table_module("fc", "pkt.flow_id", /*max_ways=*/2), 0.5);
+    app.raw_decl(R"(
+metadata { bit<32> egress; }
+action route() { set(meta.egress, pkt.dst); }
+)");
+    app.raw_apply("route();");
+    return app.source();
+}
+
+FlowRadarResult run_flowradar(sim::Pipeline& pipeline, const workload::Trace& trace) {
+    const ir::Program& prog = pipeline.program();
+    const ir::PacketFieldId flow_field = prog.find_packet("flow_id");
+    const ir::PacketFieldId dst_field = prog.find_packet("dst");
+    sim::Packet pkt(prog.packet_fields.size(), 0);
+
+    std::set<std::uint64_t> reported;
+    FlowRadarResult result;
+    for (const std::uint64_t key : trace.keys) {
+        pkt[static_cast<std::size_t>(flow_field)] = key;
+        pkt[static_cast<std::size_t>(dst_field)] = key & 0xFF;
+        pipeline.process(pkt);
+        // The Bloom query counted zero misses => "seen before"; any miss
+        // means at least one row bit was clear, i.e. a new flow.
+        if (pipeline.meta("ff_miss") > 0) {
+            if (!reported.insert(key).second) ++result.duplicate_reports;
+        }
+    }
+    result.flows_total = trace.counts.size();
+    result.flows_detected = reported.size();
+    return result;
+}
+
+PrecisionResult run_precision(sim::Pipeline& pipeline, const workload::Trace& trace,
+                              std::size_t top_k, std::uint64_t seed) {
+    const ir::Program& prog = pipeline.program();
+    const ir::PacketFieldId flow_field = prog.find_packet("flow_id");
+    const ir::PacketFieldId dst_field = prog.find_packet("dst");
+    const std::int64_t ways = [&] {
+        std::int64_t w = 0;
+        while (pipeline.reg_size("hh_keys", w) > 0) ++w;
+        return w;
+    }();
+    support::Xoshiro256 rng(seed);
+    sim::Packet pkt(prog.packet_fields.size(), 0);
+
+    for (const std::uint64_t key : trace.keys) {
+        pkt[static_cast<std::size_t>(flow_field)] = key;
+        pkt[static_cast<std::size_t>(dst_field)] = key & 0xFF;
+        pipeline.process(pkt);
+        if (pipeline.meta("hh_matched") == 1) continue;
+
+        // Controller admission (recirculation substitute): claim an empty
+        // way, else evict the min-count way with probability 1/(count+1).
+        std::int64_t best_way = -1;
+        std::uint64_t best_count = ~0ULL;
+        for (std::int64_t w = 0; w < ways; ++w) {
+            const auto idx = static_cast<std::int64_t>(pipeline.meta("hh_idx", w));
+            const std::uint64_t stored = pipeline.reg_read("hh_keys", w, idx);
+            if (stored == 0) {
+                best_way = w;
+                best_count = 0;
+                break;
+            }
+            const std::uint64_t count = pipeline.reg_read("hh_cnts", w, idx);
+            if (count < best_count) {
+                best_count = count;
+                best_way = w;
+            }
+        }
+        if (best_way < 0) continue;
+        const bool admit =
+            best_count == 0 || rng.next_below(best_count + 1) == 0;  // P = 1/(count+1)
+        if (admit) {
+            const auto idx = static_cast<std::int64_t>(pipeline.meta("hh_idx", best_way));
+            pipeline.reg_write("hh_keys", best_way, idx, key);
+            pipeline.reg_write("hh_cnts", best_way, idx, best_count + 1);
+        }
+    }
+
+    // Recall of the true top-k flows among the table's residents.
+    std::set<std::uint64_t> resident;
+    for (std::int64_t w = 0; w < ways; ++w) {
+        const std::int64_t slots = pipeline.reg_size("hh_keys", w);
+        for (std::int64_t i = 0; i < slots; ++i) {
+            const std::uint64_t key = pipeline.reg_read("hh_keys", w, i);
+            if (key != 0) resident.insert(key);
+        }
+    }
+    PrecisionResult result;
+    const std::vector<std::uint64_t> truth = workload::top_keys(trace, top_k);
+    result.top_k = truth.size();
+    for (const std::uint64_t key : truth) {
+        result.found += resident.count(key) != 0 ? 1 : 0;
+    }
+    return result;
+}
+
+}  // namespace p4all::apps

@@ -1,0 +1,69 @@
+// The remaining benchmark applications of Figure 11: SketchLearn,
+// Precision, and ConQuest, composed from the elastic module library.
+// (NetCache lives in netcache.hpp.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/pipeline.hpp"
+#include "workload/trace.hpp"
+
+namespace p4all::apps {
+
+/// SketchLearn-style hierarchical sketch: `levels` stacked count-min
+/// sketches over the same key (level ℓ models the ℓ-th bit plane of the
+/// flow ID in the original system), each elastic, sharing the utility
+/// equally. Level sizes are tied together with assume equalities.
+[[nodiscard]] std::string sketchlearn_source(int levels = 4);
+
+/// Precision-style heavy hitter: an elastic d-way counting hash table plus
+/// forwarding. Admission/eviction runs in the controller (recirculation
+/// substitute; see DESIGN.md).
+[[nodiscard]] std::string precision_source();
+
+/// ConQuest-style queue measurement: `snapshots` rotating count-min
+/// sketches plus an aggregation chain over their estimates.
+[[nodiscard]] std::string conquest_source(int snapshots = 4);
+
+/// Replays a trace through a compiled Precision pipeline with the
+/// controller admission policy (claim an empty way on miss; otherwise evict
+/// the minimum-count way with probability 1/(count+1), Precision's rule).
+/// Returns the recall of the true top-`k` flows.
+struct PrecisionResult {
+    std::size_t top_k = 0;
+    std::size_t found = 0;
+    [[nodiscard]] double recall() const noexcept {
+        return top_k == 0 ? 0.0 : static_cast<double>(found) / static_cast<double>(top_k);
+    }
+};
+
+[[nodiscard]] PrecisionResult run_precision(sim::Pipeline& pipeline,
+                                            const workload::Trace& trace, std::size_t top_k,
+                                            std::uint64_t seed = 42);
+
+/// FlowRadar-style flow monitoring (Figure 1's Bloom-filter composition):
+/// an elastic Bloom filter detects new flows in the data plane (query and
+/// same-packet insert) while an elastic counting table tracks per-flow
+/// packet counts. Every flow should be reported exactly on its first
+/// packet; a Bloom false positive silently swallows the report.
+[[nodiscard]] std::string flowradar_source();
+
+struct FlowRadarResult {
+    std::size_t flows_total = 0;
+    std::size_t flows_detected = 0;   // reported new exactly once
+    std::size_t duplicate_reports = 0;
+
+    [[nodiscard]] double detection_rate() const noexcept {
+        return flows_total == 0
+                   ? 0.0
+                   : static_cast<double>(flows_detected) / static_cast<double>(flows_total);
+    }
+};
+
+/// Replays a trace through a compiled FlowRadar pipeline; the controller
+/// records a new-flow report whenever the Bloom query misses.
+[[nodiscard]] FlowRadarResult run_flowradar(sim::Pipeline& pipeline,
+                                            const workload::Trace& trace);
+
+}  // namespace p4all::apps

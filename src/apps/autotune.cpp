@@ -1,0 +1,53 @@
+#include "apps/autotune.hpp"
+
+#include "apps/netcache.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace p4all::apps {
+
+std::string AutotuneResult::best_utility() const {
+    const AutotuneCandidate& c = best_candidate();
+    return "optimize " + support::format_double(1.0 - c.w_kv, 2) +
+           " * (cms_rows * cms_cols) + " + support::format_double(c.w_kv, 2) +
+           " * (kv_ways * kv_slots);";
+}
+
+AutotuneResult autotune_netcache(const workload::Trace& trace, const AutotuneOptions& options) {
+    AutotuneResult result;
+    double best_rate = -1.0;
+    for (const double w_kv : options.kv_weights) {
+        compiler::CompileOptions copts;
+        copts.target = options.target;
+        copts.backend = options.backend;
+        AutotuneCandidate candidate;
+        candidate.w_kv = w_kv;
+        try {
+            const compiler::CompileResult r = compiler::compile_source(
+                netcache_source(1.0 - w_kv, w_kv, options.min_kv_bits), copts, "netcache");
+            candidate.cms_rows = r.layout.binding(r.program.find_symbol("cms_rows"));
+            candidate.cms_cols = r.layout.binding(r.program.find_symbol("cms_cols"));
+            candidate.kv_ways = r.layout.binding(r.program.find_symbol("kv_ways"));
+            candidate.kv_slots = r.layout.binding(r.program.find_symbol("kv_slots"));
+            candidate.compile_seconds = r.stats.total_seconds;
+        } catch (const support::CompileError&) {
+            continue;  // candidate does not fit this target
+        }
+        const NetCacheResult q = netcache_quality(
+            static_cast<int>(candidate.cms_rows), candidate.cms_cols,
+            static_cast<int>(candidate.kv_ways), candidate.kv_slots, trace,
+            options.promote_threshold);
+        candidate.hit_rate = q.hit_rate();
+        if (candidate.hit_rate > best_rate) {
+            best_rate = candidate.hit_rate;
+            result.best = result.candidates.size();
+        }
+        result.candidates.push_back(candidate);
+    }
+    if (result.candidates.empty()) {
+        throw support::CompileError("autotune: no candidate utility fits the target");
+    }
+    return result;
+}
+
+}  // namespace p4all::apps

@@ -1,0 +1,60 @@
+// Utility-function auto-generation from expected workloads.
+//
+// The paper closes §6.2 with: "An interesting extension would involve
+// building a system to generate utility functions automatically from
+// expected workloads. We leave this topic to future research." This module
+// implements that loop for NetCache: sweep the utility weight between the
+// sketch and the store, compile each candidate, evaluate the resulting
+// configuration's cache hit rate on a representative trace with the
+// host-side quality model, and return the weights (and the concrete
+// `optimize` line) that maximize measured quality.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "workload/trace.hpp"
+
+namespace p4all::apps {
+
+struct AutotuneOptions {
+    target::TargetSpec target = target::tofino_like();
+    /// Candidate KVS weights (the CMS weight is the complement).
+    std::vector<double> kv_weights = {0.1, 0.3, 0.5, 0.6, 0.7, 0.85, 0.95};
+    std::uint64_t promote_threshold = 8;
+    std::int64_t min_kv_bits = 0;
+    /// Backend per candidate. The greedy backend is the default: the search
+    /// measures each candidate's *quality on the trace*, so near-optimal
+    /// layouts suffice and the sweep stays interactive; recompile the
+    /// winner exactly afterwards if desired.
+    compiler::Backend backend = compiler::Backend::Greedy;
+};
+
+struct AutotuneCandidate {
+    double w_kv = 0.0;
+    double hit_rate = 0.0;
+    std::int64_t cms_rows = 0;
+    std::int64_t cms_cols = 0;
+    std::int64_t kv_ways = 0;
+    std::int64_t kv_slots = 0;
+    double compile_seconds = 0.0;
+};
+
+struct AutotuneResult {
+    std::vector<AutotuneCandidate> candidates;  // in sweep order
+    std::size_t best = 0;                       // index into candidates
+
+    [[nodiscard]] const AutotuneCandidate& best_candidate() const {
+        return candidates.at(best);
+    }
+    /// The generated `optimize` declaration for the winning weights.
+    [[nodiscard]] std::string best_utility() const;
+};
+
+/// Sweeps utility weights for NetCache against `trace`. Candidates whose
+/// programs do not fit the target are skipped. Throws if none fit.
+[[nodiscard]] AutotuneResult autotune_netcache(const workload::Trace& trace,
+                                               const AutotuneOptions& options = {});
+
+}  // namespace p4all::apps

@@ -1,0 +1,226 @@
+#include "apps/modules.hpp"
+
+#include "support/strings.hpp"
+
+namespace p4all::apps {
+
+namespace {
+/// Replaces every "$P" with the prefix, "$K" with the key expression, and
+/// "$S" with the seed base — a tiny template engine for module sources.
+std::string instantiate(std::string text, const std::string& prefix, const std::string& key,
+                        std::uint64_t seed_base) {
+    const auto replace_all = [&text](const std::string& from, const std::string& to) {
+        std::size_t pos = 0;
+        while ((pos = text.find(from, pos)) != std::string::npos) {
+            text.replace(pos, from.size(), to);
+            pos += to.size();
+        }
+    };
+    replace_all("$P", prefix);
+    replace_all("$K", key);
+    replace_all("$S", std::to_string(seed_base));
+    return text;
+}
+}  // namespace
+
+ModuleParts cms_module(const std::string& prefix, const std::string& key, int max_rows,
+                       std::int64_t min_cols, std::uint64_t seed_base) {
+    ModuleParts parts;
+    parts.decls = instantiate(R"(
+// --- count-min sketch '$P' ---
+symbolic int $P_rows;
+symbolic int $P_cols;
+assume $P_rows >= 1 && $P_rows <= )" + std::to_string(max_rows) + R"(;
+assume $P_cols >= )" + std::to_string(min_cols) + R"(;
+metadata {
+    bit<32>[$P_rows] $P_idx;
+    bit<32>[$P_rows] $P_cnt;
+    bit<32> $P_min;
+}
+register<bit<32>>[$P_cols][$P_rows] $P_cms;
+action $P_init() { set(meta.$P_min, 4294967295); }
+action $P_incr()[int i] {
+    hash(meta.$P_idx[i], $S + i, $K, $P_cms[i]);
+    reg_add($P_cms[i], meta.$P_idx[i], 1, meta.$P_cnt[i]);
+}
+action $P_fold()[int i] { min(meta.$P_min, meta.$P_cnt[i]); }
+control $P_update { apply { $P_init(); for (i < $P_rows) { $P_incr()[i]; } } }
+control $P_take_min { apply { for (i < $P_rows) { $P_fold()[i]; } } }
+)",
+                              prefix, key, seed_base);
+    parts.apply = instantiate("$P_update.apply();\n$P_take_min.apply();\n", prefix, key, 0);
+    parts.utility_term = "(" + prefix + "_rows * " + prefix + "_cols)";
+    return parts;
+}
+
+ModuleParts bloom_module(const std::string& prefix, const std::string& key, int max_hashes,
+                         std::int64_t min_bits) {
+    ModuleParts parts;
+    parts.decls = instantiate(R"(
+// --- bloom filter '$P' ---
+symbolic int $P_hashes;
+symbolic int $P_bits;
+assume $P_hashes >= 1 && $P_hashes <= )" + std::to_string(max_hashes) + R"(;
+assume $P_bits >= )" + std::to_string(min_bits) + R"(;
+metadata {
+    bit<32>[$P_hashes] $P_idx;
+    bit<32>[$P_hashes] $P_midx;
+    bit<8>[$P_hashes] $P_seen;
+    bit<8> $P_miss;
+}
+register<bit<1>>[$P_bits][$P_hashes] $P_bf;
+action $P_check()[int i] {
+    hash(meta.$P_idx[i], $S + i, $K, $P_bf[i]);
+    reg_read($P_bf[i], meta.$P_idx[i], meta.$P_seen[i]);
+}
+// Insert recomputes its own index: sharing $P_idx with the query would
+// force a cross-action same-stage dependency on the shared register row,
+// which no PISA stage can realize (and the compiler rejects).
+action $P_mark()[int i] {
+    hash(meta.$P_midx[i], $S + i, $K, $P_bf[i]);
+    reg_write($P_bf[i], meta.$P_midx[i], 1);
+}
+action $P_tally()[int i] { add(meta.$P_miss, meta.$P_miss, 1); }
+control $P_query { apply { for (i < $P_hashes) { $P_check()[i]; } } }
+control $P_insert { apply { for (i < $P_hashes) { $P_mark()[i]; } } }
+control $P_count_misses {
+    apply { for (i < $P_hashes) { if (meta.$P_seen[i] == 0) { $P_tally()[i]; } } }
+}
+)",
+                              prefix, key, kBloomSeedBase);
+    parts.apply = instantiate(
+        "$P_query.apply();\n$P_insert.apply();\n$P_count_misses.apply();\n", prefix, key, 0);
+    parts.utility_term = "(" + prefix + "_hashes * " + prefix + "_bits)";
+    return parts;
+}
+
+ModuleParts kv_module(const std::string& prefix, const std::string& key, int max_ways,
+                      std::int64_t min_slots) {
+    ModuleParts parts;
+    parts.decls = instantiate(R"(
+// --- key-value store '$P' ---
+symbolic int $P_ways;
+symbolic int $P_slots;
+assume $P_ways >= 1 && $P_ways <= )" + std::to_string(max_ways) + R"(;
+assume $P_slots >= )" + std::to_string(min_slots) + R"(;
+metadata {
+    bit<32>[$P_ways] $P_idx;
+    bit<64>[$P_ways] $P_stored;
+    bit<64>[$P_ways] $P_val;
+    bit<8> $P_hit;
+    bit<64> $P_out;
+}
+register<bit<64>>[$P_slots][$P_ways] $P_keys;
+register<bit<64>>[$P_slots][$P_ways] $P_vals;
+action $P_probe()[int i] {
+    hash(meta.$P_idx[i], $S + i, $K, $P_keys[i]);
+    reg_read($P_keys[i], meta.$P_idx[i], meta.$P_stored[i]);
+    reg_read($P_vals[i], meta.$P_idx[i], meta.$P_val[i]);
+}
+action $P_take()[int i] {
+    max(meta.$P_hit, 1);
+    max(meta.$P_out, meta.$P_val[i]);
+}
+control $P_lookup { apply { for (i < $P_ways) { $P_probe()[i]; } } }
+control $P_match {
+    apply { for (i < $P_ways) { if (meta.$P_stored[i] == $K) { $P_take()[i]; } } }
+}
+)",
+                              prefix, key, kKvSeedBase);
+    parts.apply = instantiate("$P_lookup.apply();\n$P_match.apply();\n", prefix, key, 0);
+    parts.utility_term = "(" + prefix + "_ways * " + prefix + "_slots)";
+    return parts;
+}
+
+ModuleParts hash_table_module(const std::string& prefix, const std::string& key, int max_ways,
+                              std::int64_t min_slots) {
+    ModuleParts parts;
+    parts.decls = instantiate(R"(
+// --- counting hash table '$P' ---
+symbolic int $P_ways;
+symbolic int $P_slots;
+assume $P_ways >= 1 && $P_ways <= )" + std::to_string(max_ways) + R"(;
+assume $P_slots >= )" + std::to_string(min_slots) + R"(;
+metadata {
+    bit<32>[$P_ways] $P_idx;
+    bit<64>[$P_ways] $P_key;
+    bit<32>[$P_ways] $P_cnt;
+    bit<8> $P_matched;
+}
+register<bit<64>>[$P_slots][$P_ways] $P_keys;
+register<bit<32>>[$P_slots][$P_ways] $P_cnts;
+action $P_probe()[int i] {
+    hash(meta.$P_idx[i], $S + i, $K, $P_keys[i]);
+    reg_read($P_keys[i], meta.$P_idx[i], meta.$P_key[i]);
+}
+action $P_bump()[int i] {
+    reg_add($P_cnts[i], meta.$P_idx[i], 1, meta.$P_cnt[i]);
+    max(meta.$P_matched, 1);
+}
+control $P_lookup { apply { for (i < $P_ways) { $P_probe()[i]; } } }
+control $P_count {
+    apply { for (i < $P_ways) { if (meta.$P_key[i] == $K) { $P_bump()[i]; } } }
+}
+)",
+                              prefix, key, kPrecisionSeedBase);
+    parts.apply = instantiate("$P_lookup.apply();\n$P_count.apply();\n", prefix, key, 0);
+    parts.utility_term = "(" + prefix + "_ways * " + prefix + "_slots)";
+    return parts;
+}
+
+Application& Application::packet_field(const std::string& name, int width) {
+    packet_fields_.emplace_back(name, width);
+    return *this;
+}
+
+Application& Application::add(const ModuleParts& parts, double utility_weight) {
+    decls_.push_back(parts.decls);
+    apply_.push_back(parts.apply);
+    utility_.push_back({utility_weight, parts.utility_term});
+    return *this;
+}
+
+Application& Application::raw_decl(std::string decl) {
+    decls_.push_back(std::move(decl));
+    return *this;
+}
+
+Application& Application::raw_apply(std::string stmt) {
+    apply_.push_back(std::move(stmt));
+    return *this;
+}
+
+Application& Application::utility(double weight, std::string term) {
+    utility_.push_back({weight, std::move(term)});
+    return *this;
+}
+
+std::string Application::source() const {
+    std::string out = "// P4All application: " + name_ + "\n";
+    if (!packet_fields_.empty()) {
+        out += "packet {\n";
+        for (const auto& [name, width] : packet_fields_) {
+            out += "    bit<" + std::to_string(width) + "> " + name + ";\n";
+        }
+        out += "}\n";
+    }
+    for (const std::string& d : decls_) out += d;
+    out += "\ncontrol ingress {\n    apply {\n";
+    for (const std::string& stmts : apply_) {
+        for (const std::string& line : support::split(stmts, '\n')) {
+            if (!support::trim(line).empty()) out += "        " + std::string(support::trim(line)) + "\n";
+        }
+    }
+    out += "    }\n}\n";
+    if (!utility_.empty()) {
+        out += "optimize ";
+        for (std::size_t i = 0; i < utility_.size(); ++i) {
+            if (i != 0) out += " + ";
+            out += support::format_double(utility_[i].weight, 4) + " * " + utility_[i].term;
+        }
+        out += ";\n";
+    }
+    return out;
+}
+
+}  // namespace p4all::apps

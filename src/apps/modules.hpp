@@ -1,0 +1,93 @@
+// The reusable elastic-module library (§6.1, Figure 1).
+//
+// Each function renders one elastic data structure as a P4All source
+// fragment with a caller-chosen name prefix, so multiple instances compose
+// into one program (the paper's reuse story: NetCache = count-min sketch +
+// key-value store; ConQuest = several count-min sketches; ...). A fragment
+// carries its declarations, the apply-statements for the ingress control,
+// and its utility term; Application stitches fragments into a complete
+// program with a weighted utility function.
+//
+// Hash-seed bases are fixed per structure kind and shared with the
+// host-side reference implementations (reference.hpp), so a compiled
+// pipeline and an identically-sized reference structure behave identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p4all::apps {
+
+/// Hash-seed bases shared between data-plane modules and host references.
+inline constexpr std::uint64_t kCmsSeedBase = 0;
+inline constexpr std::uint64_t kBloomSeedBase = 20;
+inline constexpr std::uint64_t kKvSeedBase = 40;
+inline constexpr std::uint64_t kPrecisionSeedBase = 60;
+
+/// One module's contribution to a composed program.
+struct ModuleParts {
+    std::string decls;         // symbolics, assumes, metadata, registers, actions, controls
+    std::string apply;         // statements for the ingress apply block
+    std::string utility_term;  // e.g. "(cms_rows * cms_cols)"
+};
+
+/// Elastic count-min sketch over `key` (a packet-field expression like
+/// "pkt.key"). Result: meta.<prefix>_min after the apply statements.
+/// `seed_base` selects the hash-family slice (distinct instances may share
+/// or separate hash functions as the application requires).
+[[nodiscard]] ModuleParts cms_module(const std::string& prefix, const std::string& key,
+                                     int max_rows = 4, std::int64_t min_cols = 64,
+                                     std::uint64_t seed_base = kCmsSeedBase);
+
+/// Elastic Bloom filter: query (meta.<prefix>_miss == 0 ⇒ maybe present)
+/// and same-packet insert.
+[[nodiscard]] ModuleParts bloom_module(const std::string& prefix, const std::string& key,
+                                       int max_hashes = 4, std::int64_t min_bits = 128);
+
+/// Elastic hash-addressed key-value store: after the apply statements
+/// meta.<prefix>_hit is 1 and meta.<prefix>_out holds the value on a hit.
+[[nodiscard]] ModuleParts kv_module(const std::string& prefix, const std::string& key,
+                                    int max_ways = 9, std::int64_t min_slots = 16);
+
+/// Elastic d-way counting hash table (the Precision-style heavy-hitter
+/// stage chain): per-way probe + guarded count; admission/eviction runs in
+/// the controller (standing in for Precision's recirculation).
+[[nodiscard]] ModuleParts hash_table_module(const std::string& prefix, const std::string& key,
+                                            int max_ways = 4, std::int64_t min_slots = 16);
+
+/// A weighted utility term.
+struct UtilityTerm {
+    double weight = 1.0;
+    std::string term;
+};
+
+/// Composes modules into a complete P4All program.
+class Application {
+public:
+    explicit Application(std::string name) : name_(std::move(name)) {}
+
+    /// Adds a packet-header field.
+    Application& packet_field(const std::string& name, int width);
+    /// Adds a module's fragments, weighting its utility term.
+    Application& add(const ModuleParts& parts, double utility_weight);
+    /// Appends a raw declaration (extra assumes, inelastic actions, ...).
+    Application& raw_decl(std::string decl);
+    /// Appends a raw statement to the ingress apply block.
+    Application& raw_apply(std::string stmt);
+    /// Appends an extra utility term.
+    Application& utility(double weight, std::string term);
+
+    /// Renders the full P4All program.
+    [[nodiscard]] std::string source() const;
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    std::vector<std::pair<std::string, int>> packet_fields_;
+    std::vector<std::string> decls_;
+    std::vector<std::string> apply_;
+    std::vector<UtilityTerm> utility_;
+};
+
+}  // namespace p4all::apps

@@ -1,0 +1,165 @@
+#include "apps/netcache.hpp"
+
+#include "apps/modules.hpp"
+#include "apps/reference.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace p4all::apps {
+
+std::string netcache_source(double w_cms, double w_kv, std::int64_t min_kv_bits) {
+    Application app("netcache");
+    app.packet_field("key", 64);
+    app.packet_field("dst", 32);
+    // The paper's §3.2.1 assume caps the sketch at four hash rows
+    // (diminishing returns beyond that); with the sketch capped, the
+    // key-value store absorbs the remaining pipeline — the Figure 7 shape.
+    // The KVS way count is structurally bounded by the pipeline depth.
+    app.add(kv_module("kv", "pkt.key", /*max_ways=*/9), w_kv);
+    app.add(cms_module("cms", "pkt.key", /*max_rows=*/4), w_cms);
+    // Inelastic forwarding baggage every real switch program carries.
+    app.raw_decl(R"(
+metadata { bit<32> egress; }
+action route() { set(meta.egress, pkt.dst); }
+)");
+    app.raw_apply("route();");
+    if (min_kv_bits > 0) {
+        // Each KVS slot is a 64-bit key plus a 64-bit value register.
+        app.raw_decl("assume kv_ways * kv_slots * 128 >= " + std::to_string(min_kv_bits) +
+                     ";\n");
+    }
+    return app.source();
+}
+
+namespace {
+
+/// Shared controller policy (the real NetCache controller's promote/evict
+/// loop, host-side in both the simulated and modeled runs):
+///  - miss with estimate ≥ threshold: install into an empty probe slot, or
+///    evict the probe-slot resident whose *current* sketch estimate is the
+///    lowest, if this key's estimate beats it. Comparing live counter values
+///    (the controller reads the sketch, as NetCache's does via switch RPCs)
+///    is what makes sketch accuracy matter: an undersized sketch cannot
+///    tell hot keys from cold residents.
+/// Callbacks:
+///  - lookup(key) -> {hit, estimate}  (processes one packet / model step)
+///  - probe(key) -> stored key per way (0 = empty)
+///  - estimate_of(key)                (current sketch estimate, no update)
+///  - write(way, key)                 (install at key's probe slot in way)
+template <typename LookupFn, typename ProbeFn, typename EstimateFn, typename WriteFn>
+void drive_netcache(const workload::Trace& trace, std::uint64_t threshold, LookupFn&& lookup,
+                    ProbeFn&& probe, EstimateFn&& estimate_of, WriteFn&& write,
+                    NetCacheResult& result) {
+    for (const std::uint64_t raw_key : trace.keys) {
+        const std::uint64_t key = raw_key + 1;  // 0 is the empty-slot sentinel
+        ++result.queries;
+        const auto [hit, estimate] = lookup(key);
+        if (hit) {
+            ++result.hits;
+            continue;
+        }
+        if (estimate < threshold) continue;
+        const std::vector<std::uint64_t> residents = probe(key);
+        int victim_way = -1;
+        std::uint64_t victim_est = ~0ULL;
+        std::uint64_t victim_key = 0;
+        for (std::size_t w = 0; w < residents.size(); ++w) {
+            if (residents[w] == 0) {
+                victim_way = static_cast<int>(w);
+                victim_est = 0;
+                victim_key = 0;
+                break;
+            }
+            const std::uint64_t est = estimate_of(residents[w]);
+            if (est < victim_est) {
+                victim_est = est;
+                victim_way = static_cast<int>(w);
+                victim_key = residents[w];
+            }
+        }
+        if (victim_way < 0) continue;
+        if (victim_key != 0 && estimate <= victim_est) continue;  // incumbent stays
+        write(victim_way, key);
+        ++result.promotions;
+    }
+}
+
+}  // namespace
+
+NetCacheResult run_netcache(sim::Pipeline& pipeline, const workload::Trace& trace,
+                            std::uint64_t promote_threshold) {
+    const ir::Program& prog = pipeline.program();
+    const std::int64_t kv_ways_binding = [&] {
+        std::int64_t ways = 0;
+        while (pipeline.reg_size("kv_keys", ways) > 0) ++ways;
+        return ways;
+    }();
+
+    NetCacheResult result;
+    const ir::PacketFieldId key_field = prog.find_packet("key");
+    const ir::PacketFieldId dst_field = prog.find_packet("dst");
+    sim::Packet pkt(prog.packet_fields.size(), 0);
+
+    // The data plane computes this key's probe index and resident key per
+    // way (meta.kv_idx[i] / meta.kv_stored[i]); the controller's probe and
+    // write callbacks read them back, exactly like NetCache's switch RPCs.
+    drive_netcache(
+        trace, promote_threshold,
+        [&](std::uint64_t key) -> std::pair<bool, std::uint64_t> {
+            pkt[static_cast<std::size_t>(key_field)] = key;
+            pkt[static_cast<std::size_t>(dst_field)] = key & 0xFF;
+            pipeline.process(pkt);
+            return {pipeline.meta("kv_hit") == 1, pipeline.meta("cms_min")};
+        },
+        [&](std::uint64_t key) {
+            (void)key;  // indices already latched in the PHV
+            std::vector<std::uint64_t> residents;
+            for (std::int64_t way = 0; way < kv_ways_binding; ++way) {
+                residents.push_back(pipeline.meta("kv_stored", way));
+            }
+            return residents;
+        },
+        [&](std::uint64_t key) {
+            // Controller-side sketch query: hash with the module's seeds and
+            // read the counters (the switch-RPC the real controller issues).
+            std::uint64_t best = ~0ULL;
+            for (std::int64_t row = 0;; ++row) {
+                const std::int64_t cols = pipeline.reg_size("cms_cms", row);
+                if (cols == 0) break;
+                const std::uint64_t idx = support::hash_index(
+                    key, kCmsSeedBase + static_cast<std::uint64_t>(row),
+                    static_cast<std::uint64_t>(cols));
+                best = std::min(best,
+                                pipeline.reg_read("cms_cms", row, static_cast<std::int64_t>(idx)));
+            }
+            return best;
+        },
+        [&](int way, std::uint64_t key) {
+            const auto idx = static_cast<std::int64_t>(pipeline.meta("kv_idx", way));
+            pipeline.reg_write("kv_keys", way, idx, key);
+            pipeline.reg_write("kv_vals", way, idx, key * 31 + 7);  // deterministic payload
+        },
+        result);
+    return result;
+}
+
+NetCacheResult netcache_quality(int cms_rows, std::int64_t cms_cols, int kv_ways,
+                                std::int64_t kv_slots, const workload::Trace& trace,
+                                std::uint64_t promote_threshold) {
+    CountMinSketch cms(cms_rows, cms_cols, kCmsSeedBase);
+    HashKvStore kv(kv_ways, kv_slots, kKvSeedBase);
+    NetCacheResult result;
+    drive_netcache(
+        trace, promote_threshold,
+        [&](std::uint64_t key) -> std::pair<bool, std::uint64_t> {
+            const bool hit = kv.lookup(key).has_value();
+            cms.update(key);
+            return {hit, cms.estimate(key)};
+        },
+        [&](std::uint64_t key) { return kv.probe_contents(key); },
+        [&](std::uint64_t key) { return cms.estimate(key); },
+        [&](int way, std::uint64_t key) { kv.replace_at(way, key, key * 31 + 7); }, result);
+    return result;
+}
+
+}  // namespace p4all::apps

@@ -1,0 +1,54 @@
+// NetCache (§3, §6): an in-switch key-value cache built from the elastic
+// count-min sketch and key-value store modules.
+//
+// The data plane serves cached keys and tracks key popularity; a controller
+// (host-side here, as in the real system) promotes keys whose popularity
+// estimate crosses a threshold into the cache. Quality = cache hit rate,
+// the metric behind the paper's Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/compiler.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/trace.hpp"
+
+namespace p4all::apps {
+
+/// The NetCache P4All program: CMS (prefix "cms") + KVS (prefix "kv") +
+/// an inelastic forwarding action, with utility
+/// w_cms·(cms_rows·cms_cols) + w_kv·(kv_ways·kv_slots).
+/// `min_kv_bits` > 0 adds the paper's §6.2 assume that reserves at least
+/// that much memory for the key-value store (8 Mb in Figure 13).
+[[nodiscard]] std::string netcache_source(double w_cms = 0.4, double w_kv = 0.6,
+                                          std::int64_t min_kv_bits = 0);
+
+/// Result of replaying a trace through a NetCache pipeline.
+struct NetCacheResult {
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t promotions = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+        return queries == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(queries);
+    }
+};
+
+/// Replays `trace` through a compiled NetCache pipeline, running the
+/// controller promotion loop: on a miss whose popularity estimate reaches
+/// `promote_threshold`, the key is installed into an empty probe slot (the
+/// controller reads the data plane's own probe indices, mirroring the real
+/// NetCache controller's switch writes). Keys are offset by +1 so key 0
+/// never collides with the empty-slot sentinel.
+[[nodiscard]] NetCacheResult run_netcache(sim::Pipeline& pipeline, const workload::Trace& trace,
+                                          std::uint64_t promote_threshold = 32);
+
+/// Host-side quality model with identical hashing and policy, for sweeping
+/// configuration grids (Figure 4) without compiling every point.
+[[nodiscard]] NetCacheResult netcache_quality(int cms_rows, std::int64_t cms_cols, int kv_ways,
+                                              std::int64_t kv_slots,
+                                              const workload::Trace& trace,
+                                              std::uint64_t promote_threshold = 32);
+
+}  // namespace p4all::apps

@@ -1,0 +1,168 @@
+#include "apps/reference.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/hash.hpp"
+
+namespace p4all::apps {
+
+using support::hash_index;
+
+CountMinSketch::CountMinSketch(int rows, std::int64_t cols, std::uint64_t seed_base)
+    : rows_(rows), cols_(cols), seed_base_(seed_base),
+      counts_(static_cast<std::size_t>(rows),
+              std::vector<std::uint64_t>(static_cast<std::size_t>(cols), 0)) {}
+
+void CountMinSketch::update(std::uint64_t key, std::uint64_t amount) {
+    for (int r = 0; r < rows_; ++r) {
+        const std::uint64_t idx =
+            hash_index(key, seed_base_ + static_cast<std::uint64_t>(r),
+                       static_cast<std::uint64_t>(cols_));
+        counts_[static_cast<std::size_t>(r)][idx] += amount;
+    }
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (int r = 0; r < rows_; ++r) {
+        const std::uint64_t idx =
+            hash_index(key, seed_base_ + static_cast<std::uint64_t>(r),
+                       static_cast<std::uint64_t>(cols_));
+        best = std::min(best, counts_[static_cast<std::size_t>(r)][idx]);
+    }
+    return rows_ == 0 ? 0 : best;
+}
+
+void CountMinSketch::clear() {
+    for (auto& row : counts_) std::fill(row.begin(), row.end(), 0);
+}
+
+BloomFilter::BloomFilter(int hashes, std::int64_t bits, std::uint64_t seed_base)
+    : hashes_(hashes), bits_(bits), seed_base_(seed_base),
+      rows_(static_cast<std::size_t>(hashes),
+            std::vector<bool>(static_cast<std::size_t>(bits), false)) {}
+
+void BloomFilter::insert(std::uint64_t key) {
+    for (int h = 0; h < hashes_; ++h) {
+        rows_[static_cast<std::size_t>(h)]
+             [hash_index(key, seed_base_ + static_cast<std::uint64_t>(h),
+                         static_cast<std::uint64_t>(bits_))] = true;
+    }
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const {
+    for (int h = 0; h < hashes_; ++h) {
+        if (!rows_[static_cast<std::size_t>(h)]
+                  [hash_index(key, seed_base_ + static_cast<std::uint64_t>(h),
+                              static_cast<std::uint64_t>(bits_))]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void BloomFilter::clear() {
+    for (auto& row : rows_) std::fill(row.begin(), row.end(), false);
+}
+
+HashKvStore::HashKvStore(int ways, std::int64_t slots, std::uint64_t seed_base)
+    : ways_(ways), slots_(slots), seed_base_(seed_base),
+      rows_(static_cast<std::size_t>(ways),
+            std::vector<Slot>(static_cast<std::size_t>(slots))) {}
+
+std::optional<std::uint64_t> HashKvStore::lookup(std::uint64_t key) const {
+    for (int w = 0; w < ways_; ++w) {
+        const Slot& slot =
+            rows_[static_cast<std::size_t>(w)]
+                 [hash_index(key, seed_base_ + static_cast<std::uint64_t>(w),
+                             static_cast<std::uint64_t>(slots_))];
+        if (slot.used && slot.key == key) return slot.value;
+    }
+    return std::nullopt;
+}
+
+bool HashKvStore::insert(std::uint64_t key, std::uint64_t value) {
+    // Overwrite an existing entry first.
+    for (int w = 0; w < ways_; ++w) {
+        Slot& slot = rows_[static_cast<std::size_t>(w)]
+                          [hash_index(key, seed_base_ + static_cast<std::uint64_t>(w),
+                                      static_cast<std::uint64_t>(slots_))];
+        if (slot.used && slot.key == key) {
+            slot.value = value;
+            return true;
+        }
+    }
+    for (int w = 0; w < ways_; ++w) {
+        Slot& slot = rows_[static_cast<std::size_t>(w)]
+                          [hash_index(key, seed_base_ + static_cast<std::uint64_t>(w),
+                                      static_cast<std::uint64_t>(slots_))];
+        if (!slot.used) {
+            slot = {true, key, value};
+            ++occupied_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void HashKvStore::erase(std::uint64_t key) {
+    for (int w = 0; w < ways_; ++w) {
+        Slot& slot = rows_[static_cast<std::size_t>(w)]
+                          [hash_index(key, seed_base_ + static_cast<std::uint64_t>(w),
+                                      static_cast<std::uint64_t>(slots_))];
+        if (slot.used && slot.key == key) {
+            slot = {};
+            --occupied_;
+            return;
+        }
+    }
+}
+
+void HashKvStore::clear() {
+    for (auto& row : rows_) std::fill(row.begin(), row.end(), Slot{});
+    occupied_ = 0;
+}
+
+std::vector<std::uint64_t> HashKvStore::probe_contents(std::uint64_t key) const {
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(ways_));
+    for (int w = 0; w < ways_; ++w) {
+        const Slot& slot =
+            rows_[static_cast<std::size_t>(w)]
+                 [hash_index(key, seed_base_ + static_cast<std::uint64_t>(w),
+                             static_cast<std::uint64_t>(slots_))];
+        out.push_back(slot.used ? slot.key : 0);
+    }
+    return out;
+}
+
+void HashKvStore::replace_at(int way, std::uint64_t key, std::uint64_t value) {
+    Slot& slot = rows_[static_cast<std::size_t>(way)]
+                      [hash_index(key, seed_base_ + static_cast<std::uint64_t>(way),
+                                  static_cast<std::uint64_t>(slots_))];
+    if (!slot.used) ++occupied_;
+    slot = {true, key, value};
+}
+
+CountingHashTable::CountingHashTable(std::int64_t slots, std::uint64_t seed)
+    : slots_(slots), seed_(seed), table_(static_cast<std::size_t>(slots)) {}
+
+std::uint64_t CountingHashTable::update(std::uint64_t key) {
+    Slot& slot = table_[hash_index(key, seed_, static_cast<std::uint64_t>(slots_))];
+    if (slot.count == 0 || slot.key == key) {
+        slot.key = key;
+        ++slot.count;
+        return slot.count;
+    }
+    return 0;  // occupied by another key
+}
+
+std::uint64_t CountingHashTable::count(std::uint64_t key) const {
+    const Slot& slot = table_[hash_index(key, seed_, static_cast<std::uint64_t>(slots_))];
+    return slot.count != 0 && slot.key == key ? slot.count : 0;
+}
+
+void CountingHashTable::clear() { std::fill(table_.begin(), table_.end(), Slot{}); }
+
+}  // namespace p4all::apps

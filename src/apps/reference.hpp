@@ -1,0 +1,127 @@
+// Host-side reference implementations of the Figure 1 data structures.
+//
+// These are exact, well-understood C++ implementations of the structures
+// the elastic module library compiles to the data plane: count-min sketch,
+// Bloom filter, hash-addressed key-value store, and hash table. They serve
+// (a) as ground truth the simulator's behaviour is tested against, and
+// (b) as fast stand-ins for sweeping large configuration grids (Figure 4)
+// where compiling and simulating every grid point would be wasteful.
+// They use the same hash family as the simulator, so a reference structure
+// configured identically to a compiled layout behaves identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace p4all::apps {
+
+/// Count-min sketch: `rows` hash rows of `cols` counters. Estimates
+/// overcount but never undercount.
+class CountMinSketch {
+public:
+    CountMinSketch(int rows, std::int64_t cols, std::uint64_t seed_base = 0);
+
+    void update(std::uint64_t key, std::uint64_t amount = 1);
+    [[nodiscard]] std::uint64_t estimate(std::uint64_t key) const;
+    void clear();
+
+    [[nodiscard]] int rows() const noexcept { return rows_; }
+    [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+
+private:
+    int rows_;
+    std::int64_t cols_;
+    std::uint64_t seed_base_;
+    std::vector<std::vector<std::uint64_t>> counts_;
+};
+
+/// Bloom filter: `hashes` hash functions over `bits` bits per row (one row
+/// per hash, mirroring the register-matrix layout the module compiles to).
+/// No false negatives; false-positive rate shrinks with bits.
+class BloomFilter {
+public:
+    BloomFilter(int hashes, std::int64_t bits, std::uint64_t seed_base = 100);
+
+    void insert(std::uint64_t key);
+    [[nodiscard]] bool maybe_contains(std::uint64_t key) const;
+    void clear();
+
+    [[nodiscard]] int hashes() const noexcept { return hashes_; }
+    [[nodiscard]] std::int64_t bits() const noexcept { return bits_; }
+
+private:
+    int hashes_;
+    std::int64_t bits_;
+    std::uint64_t seed_base_;
+    std::vector<std::vector<bool>> rows_;
+};
+
+/// Hash-addressed key-value store, `ways` independent hash rows of `slots`
+/// entries each (the in-switch KVS layout: key register + value register
+/// per row). Lookup probes every way; insert takes the first empty probe.
+class HashKvStore {
+public:
+    HashKvStore(int ways, std::int64_t slots, std::uint64_t seed_base = 200);
+
+    /// Returns the value if the key is cached.
+    [[nodiscard]] std::optional<std::uint64_t> lookup(std::uint64_t key) const;
+    /// Inserts/overwrites; returns false if every probe slot is taken by
+    /// another key (collision eviction is the caller's policy).
+    bool insert(std::uint64_t key, std::uint64_t value);
+    /// Removes a key if present.
+    void erase(std::uint64_t key);
+    void clear();
+
+    /// The keys currently stored in `key`'s probe slot of each way (0 for
+    /// empty) — the same view the data plane exposes via meta.kv_stored[i].
+    [[nodiscard]] std::vector<std::uint64_t> probe_contents(std::uint64_t key) const;
+    /// Overwrites `key`'s probe slot in `way` (the controller's eviction
+    /// write; pairs with probe_contents).
+    void replace_at(int way, std::uint64_t key, std::uint64_t value);
+
+    [[nodiscard]] std::int64_t capacity() const noexcept {
+        return static_cast<std::int64_t>(ways_) * slots_;
+    }
+    [[nodiscard]] std::int64_t occupied() const noexcept { return occupied_; }
+
+private:
+    struct Slot {
+        bool used = false;
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+    };
+
+    int ways_;
+    std::int64_t slots_;
+    std::uint64_t seed_base_;
+    std::int64_t occupied_ = 0;
+    std::vector<std::vector<Slot>> rows_;
+};
+
+/// Single-hash counting hash table (the Precision-style stage): each slot
+/// holds (key, count); on collision the incumbent keeps the slot unless the
+/// challenger's carried count exceeds it (Precision's entry replacement).
+class CountingHashTable {
+public:
+    CountingHashTable(std::int64_t slots, std::uint64_t seed);
+
+    /// Processes one packet for `key`: hit increments, miss may claim an
+    /// empty slot; returns the count recorded for this key (0 if evicted /
+    /// not admitted).
+    std::uint64_t update(std::uint64_t key);
+    [[nodiscard]] std::uint64_t count(std::uint64_t key) const;
+    void clear();
+
+private:
+    struct Slot {
+        std::uint64_t key = 0;
+        std::uint64_t count = 0;
+    };
+
+    std::int64_t slots_;
+    std::uint64_t seed_;
+    std::vector<Slot> table_;
+};
+
+}  // namespace p4all::apps

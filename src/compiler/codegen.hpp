@@ -1,0 +1,22 @@
+// Code generation: renders the compiled layout as a concrete P4 program.
+//
+// The emitted program is loop-free and fully sized: symbolic metadata
+// arrays are flattened to scalar fields (count_0, count_1, ...), register
+// matrices become one register array per placed row with literal sizes,
+// and each action template is instantiated once per placed iteration. The
+// output is valid input to this compiler's own frontend (it simply uses no
+// elastic features), which the tests exploit for round-trip checking —
+// and it is the "hand-written P4" analogue counted in the Figure 11 table.
+#pragma once
+
+#include <string>
+
+#include "compiler/layout.hpp"
+
+namespace p4all::compiler {
+
+/// Renders `layout` as concrete P4 source. Stage assignments are emitted as
+/// comments (`// stage k`) above each action invocation.
+[[nodiscard]] std::string generate_p4(const ir::Program& prog, const Layout& layout);
+
+}  // namespace p4all::compiler

@@ -1,0 +1,103 @@
+#include "compiler/compiler.hpp"
+
+#include <chrono>
+
+#include "compiler/codegen.hpp"
+#include "compiler/greedy.hpp"
+#include "lang/parser.hpp"
+#include "support/error.hpp"
+
+namespace p4all::compiler {
+
+using support::CompileError;
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+CompileResult compile(const lang::Program& ast, const CompileOptions& options,
+                      const std::string& name) {
+    const auto t_start = Clock::now();
+    CompileResult result;
+
+    auto t0 = Clock::now();
+    ir::ElaborateOptions elab_opts;
+    elab_opts.program_name = name;
+    result.program = ir::elaborate(ast, elab_opts);
+    result.stats.elaborate_seconds = since(t0);
+
+    t0 = Clock::now();
+    result.stats.unroll_bounds =
+        analysis::unroll_bounds_all(result.program, options.target, options.unroll);
+    result.stats.bounds_seconds = since(t0);
+
+    if (options.backend == Backend::Greedy) {
+        auto greedy = greedy_place(result.program, options.target, result.stats.unroll_bounds);
+        if (!greedy) {
+            throw CompileError("program '" + name + "' does not fit target '" +
+                               options.target.name + "' (greedy backend)");
+        }
+        result.layout = std::move(greedy->layout);
+        result.utility = greedy->utility;
+    } else {
+        t0 = Clock::now();
+        GeneratedIlp gen = generate_ilp(result.program, options.target,
+                                        result.stats.unroll_bounds, options.ilpgen);
+        result.stats.ilpgen_seconds = since(t0);
+        result.stats.ilp_vars = gen.model.num_vars();
+        result.stats.ilp_constraints = gen.model.num_constraints();
+
+        t0 = Clock::now();
+        ilp::SolveOptions solve_opts = options.solve;
+        if (solve_opts.warm_start.empty()) {
+            // Seed branch-and-bound with the greedy heuristic's layout: the
+            // LP bound is often tight, so a good incumbent prunes most of
+            // the tree immediately.
+            if (const auto greedy =
+                    greedy_place(result.program, options.target, result.stats.unroll_bounds)) {
+                solve_opts.warm_start = warm_start_values(result.program, gen, greedy->layout);
+            }
+        }
+        const ilp::Solution solution = ilp::solve_milp(gen.model, solve_opts);
+        result.stats.solve_seconds = since(t0);
+        result.stats.bb_nodes = solution.nodes;
+        result.stats.lp_iterations = solution.lp_iterations;
+
+        if (solution.status == ilp::SolveStatus::Infeasible) {
+            throw CompileError("program '" + name + "' does not fit target '" +
+                               options.target.name +
+                               "' under its assume constraints (ILP infeasible)");
+        }
+        if (!solution.optimal() && solution.values.empty()) {
+            throw CompileError("ILP solve hit its limit without finding any layout for '" +
+                               name + "'; raise SolveOptions limits");
+        }
+        result.layout = extract_layout(result.program, options.target, gen, solution);
+        result.utility = solution.objective;
+    }
+
+    if (options.audit) {
+        const std::vector<std::string> violations =
+            audit_layout(result.program, options.target, result.layout);
+        if (!violations.empty()) {
+            std::string msg = "internal error: compiled layout fails audit:";
+            for (const std::string& v : violations) msg += "\n  " + v;
+            throw CompileError(msg);
+        }
+    }
+
+    result.p4_source = generate_p4(result.program, result.layout);
+    result.stats.total_seconds = since(t_start);
+    return result;
+}
+
+CompileResult compile_source(std::string_view source, const CompileOptions& options,
+                             const std::string& name) {
+    return compile(lang::parse(source, name + ".p4all"), options, name);
+}
+
+}  // namespace p4all::compiler

@@ -1,0 +1,73 @@
+// The end-to-end P4All compiler driver (Figure 8).
+//
+//   P4All source ──parse──▶ AST ──elaborate──▶ IR
+//       ──unroll bounds (§4.2)──▶ U_v
+//       ──generate ILP (§4.3, Figure 10)──▶ MILP
+//       ──branch & bound──▶ optimal symbolic assignment + stage mapping
+//       ──codegen──▶ concrete P4 + Layout
+//
+// The driver also records the statistics reported in the paper's Figure 11
+// (compile time, ILP variable/constraint counts).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/unroll.hpp"
+#include "compiler/ilpgen.hpp"
+#include "compiler/layout.hpp"
+#include "ilp/solver.hpp"
+#include "ir/elaborate.hpp"
+#include "target/spec.hpp"
+
+namespace p4all::compiler {
+
+enum class Backend {
+    Ilp,     // exact: Figure 10 MILP via branch-and-bound
+    Greedy,  // heuristic: list scheduling + element stretching
+};
+
+struct CompileOptions {
+    target::TargetSpec target = target::tofino_like();
+    analysis::UnrollOptions unroll;
+    ilp::SolveOptions solve;
+    IlpGenOptions ilpgen;
+    Backend backend = Backend::Ilp;
+    /// Post-solve audit of the layout against every constraint; failures
+    /// throw (they would indicate a compiler bug, not a user error).
+    bool audit = true;
+};
+
+struct CompileStats {
+    std::vector<std::int64_t> unroll_bounds;  // indexed by SymbolId
+    int ilp_vars = 0;
+    int ilp_constraints = 0;
+    std::int64_t bb_nodes = 0;
+    std::int64_t lp_iterations = 0;
+    double elaborate_seconds = 0.0;
+    double bounds_seconds = 0.0;
+    double ilpgen_seconds = 0.0;
+    double solve_seconds = 0.0;
+    double total_seconds = 0.0;
+};
+
+struct CompileResult {
+    ir::Program program;     // elaborated IR (bindings index into its symbols)
+    Layout layout;
+    double utility = 0.0;    // achieved value of the optimize expression
+    std::string p4_source;   // generated concrete P4
+    CompileStats stats;
+};
+
+/// Compiles a parsed P4All program. Throws support::CompileError when the
+/// program is malformed or cannot fit the target at any size satisfying its
+/// assume constraints.
+[[nodiscard]] CompileResult compile(const lang::Program& ast, const CompileOptions& options = {},
+                                    const std::string& name = "program");
+
+/// Parses and compiles source text.
+[[nodiscard]] CompileResult compile_source(std::string_view source,
+                                           const CompileOptions& options = {},
+                                           const std::string& name = "program");
+
+}  // namespace p4all::compiler

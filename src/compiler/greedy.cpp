@@ -1,0 +1,372 @@
+#include "compiler/greedy.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "analysis/unroll.hpp"
+
+namespace p4all::compiler {
+
+using analysis::DepGraph;
+using analysis::Instance;
+
+namespace {
+
+/// Groups symbols tied together by `assume a == b` constraints (polynomial
+/// form ±(a − b) = 0). Snapshot/level uniformity in composed applications is
+/// expressed this way; greedy must move tied symbols in lockstep or its
+/// layouts fail the audit.
+std::vector<std::vector<ir::SymbolId>> equality_groups(const ir::Program& prog) {
+    std::vector<int> parent(prog.symbols.size());
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+    const auto find = [&](int x) {
+        while (parent[static_cast<std::size_t>(x)] != x) {
+            x = parent[static_cast<std::size_t>(x)] =
+                parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+        }
+        return x;
+    };
+    for (const ir::PolyConstraint& pc : prog.assumes) {
+        if (pc.op != ir::CmpOp::Eq) continue;
+        const auto& terms = pc.poly.terms();
+        if (terms.size() != 2) continue;
+        const bool tie = terms[0].degree() == 1 && terms[1].degree() == 1 &&
+                         terms[0].coeff == -terms[1].coeff && std::abs(terms[0].coeff) == 1.0;
+        if (tie) parent[static_cast<std::size_t>(find(terms[0].a))] = find(terms[1].a);
+    }
+    std::map<int, std::vector<ir::SymbolId>> groups;
+    for (std::size_t i = 0; i < prog.symbols.size(); ++i) {
+        groups[find(static_cast<int>(i))].push_back(static_cast<ir::SymbolId>(i));
+    }
+    std::vector<std::vector<ir::SymbolId>> out;
+    out.reserve(groups.size());
+    for (auto& [root, members] : groups) out.push_back(std::move(members));
+    return out;
+}
+
+/// One scheduling attempt at fixed iteration counts. Fills `layout` with
+/// action placements (registers at minimum size) or returns false.
+bool try_schedule(const ir::Program& prog, const target::TargetSpec& target,
+                  const std::vector<std::int64_t>& k, Layout& layout) {
+    const DepGraph g = analysis::build_dep_graph(prog, target, analysis::instantiate_all(prog, k));
+    if (g.infeasible) return false;
+    const int n = g.node_count();
+    const int S = target.stages;
+
+    // Node costs and register rows.
+    std::vector<int> stateful(static_cast<std::size_t>(n), 0);
+    std::vector<int> stateless(static_cast<std::size_t>(n), 0);
+    std::vector<int> hash(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<analysis::RegChunk>> rows(static_cast<std::size_t>(n));
+    std::vector<std::int64_t> min_bits(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < g.instances.size(); ++i) {
+        const analysis::AccessSummary s = summarize(prog, target, g.instances[i]);
+        const std::size_t node = static_cast<std::size_t>(g.node_of[i]);
+        stateful[node] += s.stateful_alus;
+        stateless[node] += s.stateless_alus;
+        hash[node] += s.hash_units;
+        for (const analysis::RegChunk& rc : s.regs) {
+            if (std::find(rows[node].begin(), rows[node].end(), rc) == rows[node].end()) {
+                rows[node].push_back(rc);
+                const ir::RegisterArray& r = prog.reg(rc.reg);
+                std::int64_t elems = 1;
+                if (r.elems.symbolic()) {
+                    if (const auto lb = analysis::assume_lower_bound(prog, r.elems.sym)) {
+                        elems = std::max<std::int64_t>(1, *lb);
+                    }
+                } else {
+                    elems = r.elems.literal;
+                }
+                min_bits[node] += elems * r.width;
+            }
+        }
+    }
+
+    // Topological order over Before edges, program order as tie-break.
+    std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    for (const auto& [a, b] : g.before) {
+        succ[static_cast<std::size_t>(a)].push_back(b);
+        ++indeg[static_cast<std::size_t>(b)];
+    }
+    std::vector<int> order;
+    std::set<int> ready;
+    for (int v = 0; v < n; ++v) {
+        if (indeg[static_cast<std::size_t>(v)] == 0) ready.insert(v);
+    }
+    while (!ready.empty()) {
+        const int v = *ready.begin();
+        ready.erase(ready.begin());
+        order.push_back(v);
+        for (const int t : succ[static_cast<std::size_t>(v)]) {
+            if (--indeg[static_cast<std::size_t>(t)] == 0) ready.insert(t);
+        }
+    }
+    if (static_cast<int>(order.size()) != n) return false;  // cyclic
+
+    std::vector<int> stage_of(static_cast<std::size_t>(n), -1);
+    std::vector<int> used_f(static_cast<std::size_t>(S), 0);
+    std::vector<int> used_l(static_cast<std::size_t>(S), 0);
+    std::vector<int> used_h(static_cast<std::size_t>(S), 0);
+    std::vector<std::int64_t> used_m(static_cast<std::size_t>(S), 0);
+
+    for (const int v : order) {
+        int min_stage = 0;
+        for (const auto& [a, b] : g.before) {
+            if (b == v && stage_of[static_cast<std::size_t>(a)] >= 0) {
+                min_stage = std::max(min_stage, stage_of[static_cast<std::size_t>(a)] + 1);
+            }
+        }
+        for (const auto& [a, b] : g.not_after) {
+            if (b == v && stage_of[static_cast<std::size_t>(a)] >= 0) {
+                min_stage = std::max(min_stage, stage_of[static_cast<std::size_t>(a)]);
+            }
+        }
+        const std::size_t vi = static_cast<std::size_t>(v);
+        // Register-owning nodes prefer the emptiest feasible stage (their
+        // arrays will be stretched into leftover memory later); pure-compute
+        // nodes take the earliest to keep dependency slack.
+        const bool wants_memory = !rows[vi].empty();
+        int chosen = -1;
+        for (int s = min_stage; s < S; ++s) {
+            const std::size_t si = static_cast<std::size_t>(s);
+            if (used_f[si] + stateful[vi] > target.stateful_alus) continue;
+            if (used_l[si] + stateless[vi] > target.stateless_alus) continue;
+            if (used_h[si] + hash[vi] > target.hash_units) continue;
+            if (used_m[si] + min_bits[vi] > target.memory_bits) continue;
+            bool excluded = false;
+            for (const auto& [a, b] : g.exclusive) {
+                const int other = a == v ? b : (b == v ? a : -1);
+                if (other >= 0 && stage_of[static_cast<std::size_t>(other)] == s) {
+                    excluded = true;
+                    break;
+                }
+            }
+            if (excluded) continue;
+            if (!wants_memory) {
+                chosen = s;
+                break;
+            }
+            if (chosen < 0 || used_m[static_cast<std::size_t>(s)] <
+                                  used_m[static_cast<std::size_t>(chosen)]) {
+                chosen = s;
+            }
+        }
+        if (chosen < 0) return false;
+        stage_of[vi] = chosen;
+        const std::size_t ci = static_cast<std::size_t>(chosen);
+        used_f[ci] += stateful[vi];
+        used_l[ci] += stateless[vi];
+        used_h[ci] += hash[vi];
+        used_m[ci] += min_bits[vi];
+    }
+
+    layout.stages.assign(static_cast<std::size_t>(S), {});
+    for (std::size_t i = 0; i < g.instances.size(); ++i) {
+        const int s = stage_of[static_cast<std::size_t>(g.node_of[i])];
+        layout.stages[static_cast<std::size_t>(s)].actions.push_back(g.instances[i]);
+    }
+    for (int v = 0; v < n; ++v) {
+        const int s = stage_of[static_cast<std::size_t>(v)];
+        for (const analysis::RegChunk& rc : rows[static_cast<std::size_t>(v)]) {
+            const ir::RegisterArray& r = prog.reg(rc.reg);
+            std::int64_t elems = 1;
+            if (r.elems.symbolic()) {
+                if (const auto lb = analysis::assume_lower_bound(prog, r.elems.sym)) {
+                    elems = std::max<std::int64_t>(1, *lb);
+                }
+            } else {
+                elems = r.elems.literal;
+            }
+            layout.stages[static_cast<std::size_t>(s)].registers.push_back(
+                {rc.reg, rc.instance, elems});
+        }
+    }
+    for (StagePlan& plan : layout.stages) std::sort(plan.actions.begin(), plan.actions.end());
+    return true;
+}
+
+/// Grows element-count symbols into leftover per-stage memory: for each
+/// equality-tied group of element symbols, the shared binding is the
+/// largest uniform size that keeps every stage within budget (respecting
+/// assume bounds).
+void stretch_elements(const ir::Program& prog, const target::TargetSpec& target, Layout& layout,
+                      const std::vector<std::vector<ir::SymbolId>>& groups) {
+    for (const std::vector<ir::SymbolId>& group : groups) {
+        std::vector<ir::SymbolId> elems_syms;
+        for (const ir::SymbolId s : group) {
+            if (prog.symbol(s).role == ir::SymbolRole::ElementCount) elems_syms.push_back(s);
+        }
+        if (elems_syms.empty()) continue;
+
+        std::int64_t lo = 1;
+        std::int64_t hi = target.memory_bits;
+        for (const ir::SymbolId ws : elems_syms) {
+            if (const auto lb = analysis::assume_lower_bound(prog, ws)) {
+                lo = std::max(lo, std::max<std::int64_t>(1, *lb));
+            }
+            if (const auto ub = analysis::assume_upper_bound(prog, ws)) hi = std::min(hi, *ub);
+            for (const ir::RegisterArray& r : prog.registers) {
+                if (r.elems.symbolic() && r.elems.sym == ws) {
+                    hi = std::min(hi, target.memory_bits / r.width);
+                }
+            }
+        }
+        const auto in_group = [&](const ir::RegisterArray& r) {
+            return r.elems.symbolic() &&
+                   std::find(elems_syms.begin(), elems_syms.end(), r.elems.sym) !=
+                       elems_syms.end();
+        };
+        const auto fits = [&](std::int64_t candidate) {
+            for (const StagePlan& plan : layout.stages) {
+                std::int64_t bits = 0;
+                for (const PlacedRegister& pr : plan.registers) {
+                    const ir::RegisterArray& r = prog.reg(pr.reg);
+                    bits += (in_group(r) ? candidate : pr.elems) * r.width;
+                }
+                if (bits > target.memory_bits) return false;
+            }
+            return true;
+        };
+        if (!fits(lo)) {
+            // Audit will flag the layout; the caller shrinks and retries.
+            for (const ir::SymbolId ws : elems_syms) {
+                layout.bindings[static_cast<std::size_t>(ws)] = lo;
+            }
+            continue;
+        }
+        while (lo < hi) {
+            const std::int64_t mid = lo + (hi - lo + 1) / 2;
+            if (fits(mid)) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        for (const ir::SymbolId ws : elems_syms) {
+            layout.bindings[static_cast<std::size_t>(ws)] = lo;
+        }
+        for (StagePlan& plan : layout.stages) {
+            for (PlacedRegister& pr : plan.registers) {
+                if (in_group(prog.reg(pr.reg))) pr.elems = lo;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+std::optional<GreedyResult> greedy_place(const ir::Program& prog,
+                                         const target::TargetSpec& target,
+                                         const std::vector<std::int64_t>& bounds) {
+    const std::vector<std::vector<ir::SymbolId>> groups = equality_groups(prog);
+    std::vector<std::int64_t> k = bounds;
+    std::vector<std::int64_t> k_min(prog.symbols.size(), 0);
+    for (const ir::SymbolId v : prog.iteration_symbols()) {
+        if (const auto lb = analysis::assume_lower_bound(prog, v)) {
+            k_min[static_cast<std::size_t>(v)] = std::max<std::int64_t>(0, *lb);
+        }
+        k[static_cast<std::size_t>(v)] =
+            std::max(k[static_cast<std::size_t>(v)], k_min[static_cast<std::size_t>(v)]);
+    }
+    // Equality-tied iteration counts move in lockstep: start each group at
+    // its common minimum of the members' caps.
+    for (const std::vector<ir::SymbolId>& group : groups) {
+        std::int64_t shared = -1;
+        for (const ir::SymbolId s : group) {
+            if (prog.symbol(s).role != ir::SymbolRole::IterationCount) continue;
+            const std::int64_t kv = k[static_cast<std::size_t>(s)];
+            shared = shared < 0 ? kv : std::min(shared, kv);
+        }
+        if (shared < 0) continue;
+        for (const ir::SymbolId s : group) {
+            if (prog.symbol(s).role == ir::SymbolRole::IterationCount) {
+                k[static_cast<std::size_t>(s)] = shared;
+            }
+        }
+    }
+
+    // One attempt at fixed iteration counts: schedule, stretch elements,
+    // audit, and record the best utility seen.
+    std::optional<GreedyResult> best;
+    const auto attempt = [&](const std::vector<std::int64_t>& counts) {
+        Layout layout;
+        layout.bindings.assign(prog.symbols.size(), 0);
+        if (!try_schedule(prog, target, counts, layout)) return;
+        for (const ir::SymbolId v : prog.iteration_symbols()) {
+            layout.bindings[static_cast<std::size_t>(v)] = counts[static_cast<std::size_t>(v)];
+        }
+        stretch_elements(prog, target, layout, groups);
+        if (!audit_layout(prog, target, layout).empty()) return;
+        const double utility = prog.utility.evaluate(layout.bindings);
+        if (!best || utility > best->utility) {
+            best = GreedyResult{std::move(layout), utility};
+        }
+    };
+
+    // Iteration-count groups and their ranges. With a small combination
+    // space we enumerate every grid point (robust against coupled
+    // constraints like minimum-memory assumes, where plain shrinking walks
+    // away from feasibility); otherwise fall back to monotone shrinking.
+    std::vector<std::vector<ir::SymbolId>> iter_groups;
+    std::int64_t combos = 1;
+    for (const std::vector<ir::SymbolId>& group : groups) {
+        std::vector<ir::SymbolId> iters;
+        for (const ir::SymbolId s : group) {
+            if (prog.symbol(s).role == ir::SymbolRole::IterationCount) iters.push_back(s);
+        }
+        if (iters.empty()) continue;
+        const std::size_t rep = static_cast<std::size_t>(iters.front());
+        combos *= std::max<std::int64_t>(k[rep] - k_min[rep] + 1, 1);
+        iter_groups.push_back(std::move(iters));
+    }
+
+    if (combos <= 256) {
+        std::vector<std::int64_t> counts = k;
+        const std::function<void(std::size_t)> enumerate = [&](std::size_t depth) {
+            if (depth == iter_groups.size()) {
+                attempt(counts);
+                return;
+            }
+            const std::vector<ir::SymbolId>& iters = iter_groups[depth];
+            const std::size_t rep = static_cast<std::size_t>(iters.front());
+            for (std::int64_t v = k[rep]; v >= k_min[rep]; --v) {
+                for (const ir::SymbolId s : iters) counts[static_cast<std::size_t>(s)] = v;
+                enumerate(depth + 1);
+            }
+        };
+        enumerate(0);
+        return best;
+    }
+
+    while (true) {
+        attempt(k);
+        if (best) return best;
+        // Shrink the largest shrinkable iteration-count group and retry.
+        const std::vector<ir::SymbolId>* victim = nullptr;
+        std::int64_t victim_k = -1;
+        for (const std::vector<ir::SymbolId>& group : iter_groups) {
+            bool shrinkable = false;
+            std::int64_t group_k = -1;
+            for (const ir::SymbolId s : group) {
+                const std::size_t si = static_cast<std::size_t>(s);
+                group_k = std::max(group_k, k[si]);
+                shrinkable = shrinkable || k[si] > k_min[si];
+            }
+            if (group_k < 0 || !shrinkable) continue;
+            if (victim == nullptr || group_k > victim_k) {
+                victim = &group;
+                victim_k = group_k;
+            }
+        }
+        if (victim == nullptr) return std::nullopt;
+        for (const ir::SymbolId s : *victim) {
+            const std::size_t si = static_cast<std::size_t>(s);
+            if (k[si] > k_min[si]) --k[si];
+        }
+    }
+}
+
+}  // namespace p4all::compiler

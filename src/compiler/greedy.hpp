@@ -1,0 +1,29 @@
+// Heuristic placement backend: dependency-ordered first-fit list scheduling
+// with post-placement element stretching.
+//
+// Not guaranteed optimal — it exists (a) as a fast fallback for models too
+// large for exact branch-and-bound, and (b) as an independent implementation
+// to cross-check the ILP backend (tests assert the ILP's utility is ≥ the
+// greedy's, and both layouts audit clean).
+#pragma once
+
+#include <optional>
+
+#include "compiler/layout.hpp"
+
+namespace p4all::compiler {
+
+struct GreedyResult {
+    Layout layout;
+    double utility = 0.0;
+};
+
+/// Attempts a feasible layout with iteration counts starting at `bounds`
+/// and shrinking until the schedule fits; element counts are then stretched
+/// into the remaining per-stage memory. Returns nullopt if no feasible
+/// assignment exists even at minimum sizes.
+[[nodiscard]] std::optional<GreedyResult> greedy_place(const ir::Program& prog,
+                                                       const target::TargetSpec& target,
+                                                       const std::vector<std::int64_t>& bounds);
+
+}  // namespace p4all::compiler

@@ -1,0 +1,222 @@
+#include "compiler/layout.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace p4all::compiler {
+
+using analysis::Instance;
+
+std::int64_t Layout::register_elems(ir::RegisterId reg, std::int64_t instance) const {
+    for (const StagePlan& stage : stages) {
+        for (const PlacedRegister& pr : stage.registers) {
+            if (pr.reg == reg && pr.instance == instance) return pr.elems;
+        }
+    }
+    return 0;
+}
+
+int Layout::stage_of(const Instance& inst) const {
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        for (const Instance& a : stages[s].actions) {
+            if (a == inst) return static_cast<int>(s);
+        }
+    }
+    return -1;
+}
+
+std::size_t Layout::total_actions() const {
+    std::size_t n = 0;
+    for (const StagePlan& s : stages) n += s.actions.size();
+    return n;
+}
+
+std::string Layout::to_string(const ir::Program& prog) const {
+    std::string out;
+    for (std::size_t si = 0; si < bindings.size(); ++si) {
+        out += prog.symbol(static_cast<ir::SymbolId>(si)).name + " = " +
+               std::to_string(bindings[si]) + "\n";
+    }
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const StagePlan& plan = stages[s];
+        if (plan.actions.empty() && plan.registers.empty()) continue;
+        out += "stage " + std::to_string(s) + ":";
+        for (const Instance& inst : plan.actions) {
+            const ir::CallSite& site = prog.flow.at(static_cast<std::size_t>(inst.call));
+            out += " " + prog.action(site.action).name;
+            if (site.elastic()) out += "_" + std::to_string(inst.iter);
+        }
+        std::int64_t bits = 0;
+        for (const PlacedRegister& pr : plan.registers) {
+            out += " [" + prog.reg(pr.reg).name + "_" + std::to_string(pr.instance) + ": " +
+                   std::to_string(pr.elems) + " x " + std::to_string(prog.reg(pr.reg).width) +
+                   "b]";
+            bits += pr.bits(prog);
+        }
+        if (bits > 0) out += " mem=" + std::to_string(bits) + "b";
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<std::string> audit_layout(const ir::Program& prog, const target::TargetSpec& target,
+                                      const Layout& layout) {
+    std::vector<std::string> violations;
+    const auto complain = [&](std::string msg) { violations.push_back(std::move(msg)); };
+
+    if (static_cast<int>(layout.stages.size()) > target.stages) {
+        complain("layout uses more stages than the target has");
+    }
+
+    // Per-stage resource limits.
+    for (std::size_t s = 0; s < layout.stages.size(); ++s) {
+        const StagePlan& plan = layout.stages[s];
+        int stateful = 0;
+        int stateless = 0;
+        int hash = 0;
+        for (const Instance& inst : plan.actions) {
+            const analysis::AccessSummary sum = analysis::summarize(prog, target, inst);
+            stateful += sum.stateful_alus;
+            stateless += sum.stateless_alus;
+            hash += sum.hash_units;
+        }
+        if (stateful > target.stateful_alus) {
+            complain("stage " + std::to_string(s) + ": stateful ALUs " +
+                     std::to_string(stateful) + " > " + std::to_string(target.stateful_alus));
+        }
+        if (stateless > target.stateless_alus) {
+            complain("stage " + std::to_string(s) + ": stateless ALUs " +
+                     std::to_string(stateless) + " > " + std::to_string(target.stateless_alus));
+        }
+        if (hash > target.hash_units) {
+            complain("stage " + std::to_string(s) + ": hash units " + std::to_string(hash) +
+                     " > " + std::to_string(target.hash_units));
+        }
+        std::int64_t mem = 0;
+        for (const PlacedRegister& pr : plan.registers) mem += pr.bits(prog);
+        if (mem > target.memory_bits) {
+            complain("stage " + std::to_string(s) + ": memory " + std::to_string(mem) + "b > " +
+                     std::to_string(target.memory_bits) + "b");
+        }
+    }
+
+    // Registers co-located with the actions that use them; every placed
+    // action's registers must exist in its own stage.
+    for (std::size_t s = 0; s < layout.stages.size(); ++s) {
+        std::set<analysis::RegChunk> here;
+        for (const PlacedRegister& pr : layout.stages[s].registers) {
+            here.insert({pr.reg, pr.instance});
+        }
+        for (const Instance& inst : layout.stages[s].actions) {
+            const analysis::AccessSummary sum = analysis::summarize(prog, target, inst);
+            for (const analysis::RegChunk& rc : sum.regs) {
+                if (here.count(rc) == 0) {
+                    complain("stage " + std::to_string(s) + ": action uses register " +
+                             prog.reg(rc.reg).name + "_" + std::to_string(rc.instance) +
+                             " not placed in that stage");
+                }
+            }
+        }
+    }
+
+    // Dependence edges. Rebuild the graph over exactly the placed instances.
+    std::vector<Instance> placed;
+    for (const StagePlan& plan : layout.stages) {
+        placed.insert(placed.end(), plan.actions.begin(), plan.actions.end());
+    }
+    const analysis::DepGraph g = analysis::build_dep_graph(prog, target, placed);
+    if (g.infeasible) complain("placed instances are mutually inconsistent: " + g.infeasible_reason);
+    const auto stage_of_node = [&](int node) {
+        return layout.stage_of(g.instances[static_cast<std::size_t>(g.members[
+            static_cast<std::size_t>(node)].front())]);
+    };
+    for (const auto& [a, b] : g.before) {
+        if (stage_of_node(a) >= stage_of_node(b)) {
+            complain("precedence violated between nodes " + std::to_string(a) + " and " +
+                     std::to_string(b));
+        }
+    }
+    for (const auto& [a, b] : g.not_after) {
+        if (stage_of_node(a) > stage_of_node(b)) {
+            complain("write-after-read order violated between nodes " + std::to_string(a) +
+                     " and " + std::to_string(b));
+        }
+    }
+    for (const auto& [a, b] : g.exclusive) {
+        if (stage_of_node(a) == stage_of_node(b)) {
+            complain("exclusive nodes share stage " + std::to_string(stage_of_node(a)));
+        }
+    }
+    // Register-shared instances must share a stage.
+    for (const auto& members : g.members) {
+        for (std::size_t i = 1; i < members.size(); ++i) {
+            const Instance& first = g.instances[static_cast<std::size_t>(members[0])];
+            const Instance& other = g.instances[static_cast<std::size_t>(members[i])];
+            if (layout.stage_of(first) != layout.stage_of(other)) {
+                complain("register-sharing instances split across stages");
+            }
+        }
+    }
+
+    // PHV budget: packet + scalar metadata + placed elastic chunks.
+    std::int64_t phv = prog.fixed_phv_bits();
+    std::set<analysis::MetaChunk> chunks;
+    for (const Instance& inst : placed) {
+        const analysis::AccessSummary sum = analysis::summarize(prog, target, inst);
+        for (const auto& [chunk, access] : sum.meta) {
+            const ir::MetaField& f = prog.meta(chunk.field);
+            if (f.is_array() && f.array->symbolic() && chunks.insert(chunk).second) {
+                phv += f.width;
+            }
+        }
+    }
+    if (phv > target.phv_bits) {
+        complain("PHV bits " + std::to_string(phv) + " > " + std::to_string(target.phv_bits));
+    }
+
+    // Bindings must describe the layout: every elastic call site of symbol v
+    // is placed exactly for iterations 0..bindings[v]-1, and every placed
+    // row of a register sized by symbol w has exactly bindings[w] elements.
+    for (std::size_t c = 0; c < prog.flow.size(); ++c) {
+        const ir::CallSite& site = prog.flow[c];
+        if (!site.elastic()) {
+            if (layout.stage_of({static_cast<int>(c), 0}) < 0) {
+                complain("inelastic call site " + std::to_string(c) + " is not placed");
+            }
+            continue;
+        }
+        const std::int64_t k = layout.binding(site.loop_bound);
+        for (std::int64_t i = 0; i < k; ++i) {
+            if (layout.stage_of({static_cast<int>(c), i}) < 0) {
+                complain("iteration " + std::to_string(i) + " of call site " +
+                         std::to_string(c) + " missing although " +
+                         prog.symbol(site.loop_bound).name + " = " + std::to_string(k));
+            }
+        }
+        if (layout.stage_of({static_cast<int>(c), k}) >= 0) {
+            complain("call site " + std::to_string(c) + " has iterations beyond " +
+                     prog.symbol(site.loop_bound).name + " = " + std::to_string(k));
+        }
+    }
+    for (const StagePlan& plan : layout.stages) {
+        for (const PlacedRegister& pr : plan.registers) {
+            const ir::RegisterArray& r = prog.reg(pr.reg);
+            if (r.elems.symbolic() && pr.elems != layout.binding(r.elems.sym)) {
+                complain("register " + r.name + "_" + std::to_string(pr.instance) + " has " +
+                         std::to_string(pr.elems) + " elements but " +
+                         prog.symbol(r.elems.sym).name + " = " +
+                         std::to_string(layout.binding(r.elems.sym)));
+            }
+        }
+    }
+
+    // The assignment must satisfy every assume constraint.
+    if (!ir::satisfies_assumes(prog, layout.bindings)) {
+        complain("assignment violates an assume constraint");
+    }
+    return violations;
+}
+
+}  // namespace p4all::compiler

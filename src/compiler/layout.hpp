@@ -1,0 +1,61 @@
+// The compiled data-plane layout: which action instances and register rows
+// land in which pipeline stage, and the concrete value of every symbolic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/depgraph.hpp"
+#include "ir/program.hpp"
+#include "target/spec.hpp"
+
+namespace p4all::compiler {
+
+/// One register row placed in a stage, with its concrete element count.
+struct PlacedRegister {
+    ir::RegisterId reg = ir::kNoId;
+    std::int64_t instance = 0;
+    std::int64_t elems = 0;
+
+    [[nodiscard]] std::int64_t bits(const ir::Program& prog) const {
+        return elems * prog.reg(reg).width;
+    }
+};
+
+/// The plan for one pipeline stage.
+struct StagePlan {
+    std::vector<analysis::Instance> actions;
+    std::vector<PlacedRegister> registers;
+};
+
+/// A complete layout plus the symbolic-value assignment that produced it.
+struct Layout {
+    std::vector<StagePlan> stages;   // size == target stages
+    ir::Assignment bindings;         // indexed by SymbolId
+
+    [[nodiscard]] std::int64_t binding(ir::SymbolId s) const {
+        return bindings.at(static_cast<std::size_t>(s));
+    }
+
+    /// Elements of a register row as placed (0 if the row is absent).
+    [[nodiscard]] std::int64_t register_elems(ir::RegisterId reg, std::int64_t instance) const;
+
+    /// Stage holding the given instance, or -1.
+    [[nodiscard]] int stage_of(const analysis::Instance& inst) const;
+
+    /// Total placed instances across stages.
+    [[nodiscard]] std::size_t total_actions() const;
+
+    /// Human-readable per-stage table (the Figure 7 rendering).
+    [[nodiscard]] std::string to_string(const ir::Program& prog) const;
+};
+
+/// Audits `layout` against the target's per-stage limits and the program's
+/// dependence structure; returns a list of violations (empty ⇒ valid).
+/// Used by tests and by the driver as a post-solve sanity check.
+[[nodiscard]] std::vector<std::string> audit_layout(const ir::Program& prog,
+                                                    const target::TargetSpec& target,
+                                                    const Layout& layout);
+
+}  // namespace p4all::compiler

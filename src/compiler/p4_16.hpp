@@ -1,0 +1,26 @@
+// P4-16 export.
+//
+// The paper's prototype hands its concrete, unrolled program to the
+// (black-box) Tofino P4 compiler as P4_16 source. generate_p4() in
+// codegen.hpp emits this repository's own dialect (reparsed by our tests);
+// this module renders the same compiled layout as a self-contained P4_16
+// translation unit against the v1model architecture: header/metadata
+// structs, register extern instantiations sized per the layout, one action
+// per placed instance with @stage annotations, and an ingress control whose
+// apply block sequences the stages.
+//
+// The output aims for the P4_16 core grammar; target-specific externs
+// (hash algorithms, register read/write signatures) follow v1model
+// conventions and are documented inline.
+#pragma once
+
+#include <string>
+
+#include "compiler/layout.hpp"
+
+namespace p4all::compiler {
+
+/// Renders `layout` as a P4_16 (v1model) translation unit.
+[[nodiscard]] std::string generate_p4_16(const ir::Program& prog, const Layout& layout);
+
+}  // namespace p4all::compiler

@@ -1,0 +1,160 @@
+#include "compiler/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace p4all::compiler {
+
+std::int64_t UsageReport::total_memory_bits() const noexcept {
+    std::int64_t total = 0;
+    for (const StageUsage& s : stages) total += s.memory_bits;
+    return total;
+}
+
+int UsageReport::total_actions() const noexcept {
+    int total = 0;
+    for (const StageUsage& s : stages) total += s.actions;
+    return total;
+}
+
+UsageReport compute_usage(const ir::Program& prog, const target::TargetSpec& target,
+                          const Layout& layout) {
+    UsageReport report;
+    report.stages.resize(static_cast<std::size_t>(target.stages));
+    report.phv_bits = prog.fixed_phv_bits();
+
+    std::set<analysis::MetaChunk> counted_chunks;
+    for (std::size_t s = 0; s < layout.stages.size() && s < report.stages.size(); ++s) {
+        const StagePlan& plan = layout.stages[s];
+        StageUsage& usage = report.stages[s];
+        usage.actions = static_cast<int>(plan.actions.size());
+        usage.register_rows = static_cast<int>(plan.registers.size());
+        for (const PlacedRegister& pr : plan.registers) usage.memory_bits += pr.bits(prog);
+        for (const analysis::Instance& inst : plan.actions) {
+            const analysis::AccessSummary sum = analysis::summarize(prog, target, inst);
+            usage.stateful_alus += sum.stateful_alus;
+            usage.stateless_alus += sum.stateless_alus;
+            usage.hash_units += sum.hash_units;
+            for (const auto& [chunk, access] : sum.meta) {
+                const ir::MetaField& f = prog.meta(chunk.field);
+                if (f.is_array() && f.array->symbolic() &&
+                    counted_chunks.insert(chunk).second) {
+                    report.phv_bits += f.width;
+                }
+            }
+        }
+        if (usage.actions > 0 || usage.register_rows > 0) ++report.stages_occupied;
+    }
+
+    // PHV reuse (§4.4 future work): a metadata chunk only needs PHV space
+    // between the first stage that touches it and the last. Packet fields
+    // are live from stage 0 (parsed) through their last use. The peak of
+    // concurrently-live bits over stages is what a reusing compiler would
+    // allocate.
+    std::map<std::pair<int, std::int64_t>, std::pair<int, int>> live;  // chunk -> [first,last]
+    std::map<int, std::pair<int, int>> pkt_live;                       // field -> [0, last]
+    for (std::size_t s = 0; s < layout.stages.size(); ++s) {
+        for (const analysis::Instance& inst : layout.stages[s].actions) {
+            const analysis::AccessSummary sum = analysis::summarize(prog, target, inst);
+            for (const auto& [chunk, access] : sum.meta) {
+                const std::pair<int, std::int64_t> key{chunk.field, chunk.index};
+                const auto [it, inserted] =
+                    live.emplace(key, std::pair<int, int>{static_cast<int>(s), static_cast<int>(s)});
+                if (!inserted) it->second.second = static_cast<int>(s);
+            }
+            // Packet-field reads extend the field's live range.
+            const ir::CallSite& site = prog.flow.at(static_cast<std::size_t>(inst.call));
+            const ir::Action& action = prog.action(site.action);
+            const auto note_pkt = [&](const ir::Value& v) {
+                if (const auto* p = std::get_if<ir::PacketRef>(&v)) {
+                    auto [it, inserted] =
+                        pkt_live.emplace(p->field, std::pair<int, int>{0, static_cast<int>(s)});
+                    if (!inserted) it->second.second = static_cast<int>(s);
+                }
+            };
+            for (const ir::Cond& guard : site.guards) {
+                note_pkt(guard.lhs);
+                note_pkt(guard.rhs);
+            }
+            for (const ir::PrimOp& op : action.ops) {
+                for (const ir::Value& src : op.srcs) note_pkt(src);
+                if (op.reg_index) note_pkt(*op.reg_index);
+            }
+        }
+    }
+    const int last_stage = static_cast<int>(layout.stages.size());
+    std::vector<int> live_bits(static_cast<std::size_t>(std::max(last_stage, 1)), 0);
+    for (const auto& [key, range] : live) {
+        const int width = prog.meta(key.first).width;
+        for (int s = range.first; s <= range.second && s < last_stage; ++s) {
+            live_bits[static_cast<std::size_t>(s)] += width;
+        }
+    }
+    for (const auto& [field, range] : pkt_live) {
+        const int width = prog.packet(field).width;
+        for (int s = range.first; s <= range.second && s < last_stage; ++s) {
+            live_bits[static_cast<std::size_t>(s)] += width;
+        }
+    }
+    report.phv_bits_with_reuse = 0;
+    for (const int bits : live_bits) {
+        report.phv_bits_with_reuse = std::max(report.phv_bits_with_reuse, bits);
+    }
+    report.phv_bits_with_reuse = std::min(report.phv_bits_with_reuse, report.phv_bits);
+    return report;
+}
+
+namespace {
+std::string bar(double fraction, int width) {
+    const int filled =
+        std::clamp(static_cast<int>(fraction * width + 0.5), 0, width);
+    return std::string(static_cast<std::size_t>(filled), '#') +
+           std::string(static_cast<std::size_t>(width - filled), '.');
+}
+
+std::string pct(double num, double den) {
+    if (den <= 0) return "  n/a";
+    return support::pad_left(support::format_double(100.0 * num / den, 0), 4) + "%";
+}
+}  // namespace
+
+std::string render_usage(const UsageReport& report, const target::TargetSpec& target) {
+    std::string out;
+    out += "stage   mem-bits   mem%   sALU   lALU   hash   acts  util\n";
+    for (std::size_t s = 0; s < report.stages.size(); ++s) {
+        const StageUsage& u = report.stages[s];
+        const double mem_frac =
+            target.memory_bits > 0
+                ? static_cast<double>(u.memory_bits) / static_cast<double>(target.memory_bits)
+                : 0.0;
+        out += support::pad_left(std::to_string(s), 4);
+        out += support::pad_left(std::to_string(u.memory_bits), 11);
+        out += support::pad_left(pct(static_cast<double>(u.memory_bits),
+                                     static_cast<double>(target.memory_bits)),
+                                 7);
+        out += support::pad_left(std::to_string(u.stateful_alus) + "/" +
+                                     std::to_string(target.stateful_alus),
+                                 7);
+        out += support::pad_left(std::to_string(u.stateless_alus) + "/" +
+                                     std::to_string(target.stateless_alus),
+                                 7);
+        out += support::pad_left(std::to_string(u.hash_units) + "/" +
+                                     std::to_string(target.hash_units),
+                                 7);
+        out += support::pad_left(std::to_string(u.actions), 7);
+        out += "  " + bar(mem_frac, 20) + "\n";
+    }
+    out += "\nPHV: " + std::to_string(report.phv_bits) + " / " + std::to_string(target.phv_bits) +
+           " bits (" +
+           support::format_double(
+               100.0 * static_cast<double>(report.phv_bits) / target.phv_bits, 1) +
+           "%, peak " + std::to_string(report.phv_bits_with_reuse) +
+           " with field reuse)   stages occupied: " + std::to_string(report.stages_occupied) +
+           " / " + std::to_string(target.stages) + "   total memory: " +
+           std::to_string(report.total_memory_bits()) + " bits\n";
+    return out;
+}
+
+}  // namespace p4all::compiler

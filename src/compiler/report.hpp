@@ -1,0 +1,51 @@
+// Resource-occupancy reporting for compiled layouts.
+//
+// Production P4 toolchains ship visualization of per-stage resource usage;
+// this module computes the same accounting for a compiled Layout — memory,
+// stateful/stateless ALUs, and hash units per stage, plus the PHV budget —
+// and renders it as a table. Exposed as `p4allc --report`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/layout.hpp"
+
+namespace p4all::compiler {
+
+/// Resource usage of one pipeline stage.
+struct StageUsage {
+    std::int64_t memory_bits = 0;
+    int stateful_alus = 0;
+    int stateless_alus = 0;
+    int hash_units = 0;
+    int actions = 0;
+    int register_rows = 0;
+};
+
+/// Whole-pipeline accounting.
+struct UsageReport {
+    std::vector<StageUsage> stages;  // one per target stage
+    int phv_bits = 0;                // fixed + placed elastic chunks
+    /// Peak concurrent PHV if fields were reclaimed after their last use —
+    /// the paper's §4.4 "PHV reuse" future-work optimization, computed here
+    /// as a live-range analysis over the placed stages. Always ≤ phv_bits.
+    int phv_bits_with_reuse = 0;
+    int stages_occupied = 0;
+
+    /// Totals across stages.
+    [[nodiscard]] std::int64_t total_memory_bits() const noexcept;
+    [[nodiscard]] int total_actions() const noexcept;
+};
+
+/// Computes the usage of `layout` under `target`'s cost model.
+[[nodiscard]] UsageReport compute_usage(const ir::Program& prog,
+                                        const target::TargetSpec& target, const Layout& layout);
+
+/// Renders the report as a fixed-width table with percentage-of-limit
+/// columns and a utilization bar per stage.
+[[nodiscard]] std::string render_usage(const UsageReport& report,
+                                       const target::TargetSpec& target);
+
+}  // namespace p4all::compiler

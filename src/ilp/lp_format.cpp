@@ -1,0 +1,282 @@
+#include "ilp/lp_format.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace p4all::ilp {
+
+namespace {
+
+enum class Section { None, Objective, Constraints, Bounds, Generals, Binaries, End };
+
+/// Incremental parser state: variables are created on first mention with
+/// default bounds [0, inf) and patched by Bounds/Generals/Binaries lines.
+class LpReader {
+public:
+    Model finish(std::string_view text) {
+        int line_no = 0;
+        bool minimize = false;
+        for (const std::string& raw : support::split(text, '\n')) {
+            ++line_no;
+            std::string_view line = support::trim(raw);
+            if (line.empty() || line.front() == '\\') continue;  // LP comments
+            const std::string lower = to_lower(line);
+            if (lower == "maximize" || lower == "max") {
+                section_ = Section::Objective;
+                minimize = false;
+                continue;
+            }
+            if (lower == "minimize" || lower == "min") {
+                section_ = Section::Objective;
+                minimize = true;
+                continue;
+            }
+            if (lower == "subject to" || lower == "st" || lower == "s.t.") {
+                section_ = Section::Constraints;
+                continue;
+            }
+            if (lower == "bounds") {
+                section_ = Section::Bounds;
+                continue;
+            }
+            if (lower == "generals" || lower == "general") {
+                section_ = Section::Generals;
+                continue;
+            }
+            if (lower == "binaries" || lower == "binary") {
+                section_ = Section::Binaries;
+                continue;
+            }
+            if (lower == "end") {
+                section_ = Section::End;
+                continue;
+            }
+            handle_line(line, line_no);
+        }
+        // Apply integrality and bounds patches.
+        Model model;
+        std::map<std::string, Var> built;
+        for (const std::string& name : order_) {
+            const VarInfo& info = vars_.at(name);
+            built[name] = model.add_var(name, info.type, info.lb, info.ub);
+        }
+        for (const PendingRow& row : rows_) {
+            LinExpr e;
+            for (const auto& [name, coeff] : row.terms) e.add(built.at(name), coeff);
+            switch (row.sense) {
+                case CmpSense::Le: model.add_le(std::move(e), row.rhs, row.name); break;
+                case CmpSense::Ge: model.add_ge(std::move(e), row.rhs, row.name); break;
+                case CmpSense::Eq: model.add_eq(std::move(e), row.rhs, row.name); break;
+            }
+        }
+        LinExpr obj;
+        for (const auto& [name, coeff] : objective_) {
+            obj.add(built.at(name), minimize ? -coeff : coeff);
+        }
+        model.set_objective(std::move(obj));
+        return model;
+    }
+
+private:
+    struct VarInfo {
+        VarType type = VarType::Continuous;
+        double lb = 0.0;
+        double ub = kInfinity;
+    };
+    struct PendingRow {
+        std::string name;
+        std::vector<std::pair<std::string, double>> terms;
+        CmpSense sense = CmpSense::Le;
+        double rhs = 0.0;
+    };
+
+    static std::string to_lower(std::string_view s) {
+        std::string out(s);
+        for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        return out;
+    }
+
+    [[noreturn]] static void fail(int line_no, const std::string& why) {
+        throw std::runtime_error("lp parse error at line " + std::to_string(line_no) + ": " +
+                                 why);
+    }
+
+    void touch(const std::string& name) {
+        if (vars_.emplace(name, VarInfo{}).second) order_.push_back(name);
+    }
+
+    /// Parses "±c x ±c y ± k ..." into (name, coeff) pairs plus a constant
+    /// sum (numbers with no variable); returns the rest (relational operator
+    /// onwards) via `tail`.
+    std::vector<std::pair<std::string, double>> parse_terms(std::string_view text, int line_no,
+                                                            std::string_view& tail,
+                                                            double& constant) {
+        std::vector<std::pair<std::string, double>> terms;
+        constant = 0.0;
+        std::size_t i = 0;
+        const auto skip_ws = [&] {
+            while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+        };
+        while (true) {
+            skip_ws();
+            if (i >= text.size() || text[i] == '<' || text[i] == '>' || text[i] == '=') break;
+            double sign = 1.0;
+            bool seen_sign = false;
+            if (text[i] == '+' || text[i] == '-') {
+                sign = text[i] == '-' ? -1.0 : 1.0;
+                seen_sign = true;
+                ++i;
+                skip_ws();
+            }
+            double coeff = 1.0;
+            bool seen_number = false;
+            if (i < text.size() &&
+                (std::isdigit(static_cast<unsigned char>(text[i])) != 0 || text[i] == '.')) {
+                const char* begin = text.data() + i;
+                const char* end = text.data() + text.size();
+                const auto [p, ec] = std::from_chars(begin, end, coeff);
+                if (ec != std::errc()) fail(line_no, "bad coefficient");
+                i = static_cast<std::size_t>(p - text.data());
+                seen_number = true;
+                skip_ws();
+            }
+            const std::size_t name_start = i;
+            while (i < text.size() && ((std::isalnum(static_cast<unsigned char>(text[i])) != 0 &&
+                                        (i > name_start ||
+                                         std::isdigit(static_cast<unsigned char>(text[i])) == 0)) ||
+                                       text[i] == '_')) {
+                ++i;
+            }
+            if (i == name_start) {
+                if (seen_number) {
+                    constant += sign * coeff;  // standalone constant term
+                    continue;
+                }
+                if (seen_sign) fail(line_no, "dangling sign");
+                break;
+            }
+            std::string name(text.substr(name_start, i - name_start));
+            touch(name);
+            terms.emplace_back(std::move(name), sign * coeff);
+        }
+        tail = text.substr(i);
+        return terms;
+    }
+
+    void handle_line(std::string_view line, int line_no) {
+        switch (section_) {
+            case Section::Objective: {
+                std::string body(line);
+                if (const auto colon = body.find(':'); colon != std::string::npos) {
+                    body = body.substr(colon + 1);
+                }
+                std::string_view tail;
+                double ignored_constant = 0.0;
+                const auto terms = parse_terms(body, line_no, tail, ignored_constant);
+                objective_.insert(objective_.end(), terms.begin(), terms.end());
+                if (!support::trim(tail).empty()) fail(line_no, "trailing objective text");
+                return;
+            }
+            case Section::Constraints: {
+                PendingRow row;
+                std::string body(line);
+                if (const auto colon = body.find(':'); colon != std::string::npos) {
+                    row.name = std::string(support::trim(body.substr(0, colon)));
+                    body = body.substr(colon + 1);
+                }
+                std::string_view tail;
+                double lhs_constant = 0.0;
+                row.terms = parse_terms(body, line_no, tail, lhs_constant);
+                tail = support::trim(tail);
+                if (support::starts_with(tail, "<=")) {
+                    row.sense = CmpSense::Le;
+                    tail.remove_prefix(2);
+                } else if (support::starts_with(tail, ">=")) {
+                    row.sense = CmpSense::Ge;
+                    tail.remove_prefix(2);
+                } else if (support::starts_with(tail, "=")) {
+                    row.sense = CmpSense::Eq;
+                    tail.remove_prefix(1);
+                } else {
+                    fail(line_no, "missing relational operator");
+                }
+                tail = support::trim(tail);
+                const auto [p, ec] =
+                    std::from_chars(tail.data(), tail.data() + tail.size(), row.rhs);
+                if (ec != std::errc() || p != tail.data() + tail.size()) {
+                    fail(line_no, "bad right-hand side");
+                }
+                row.rhs -= lhs_constant;  // fold constant lhs terms across
+                rows_.push_back(std::move(row));
+                return;
+            }
+            case Section::Bounds: {
+                // Forms: "lo <= var", "lo <= var <= hi".
+                const auto parts = support::split(std::string(line), ' ');
+                std::vector<std::string> tokens;
+                for (const std::string& part : parts) {
+                    if (!support::trim(part).empty()) tokens.emplace_back(support::trim(part));
+                }
+                if (tokens.size() != 3 && tokens.size() != 5) fail(line_no, "bad bounds line");
+                if (tokens[1] != "<=") fail(line_no, "bad bounds line");
+                double lo = 0.0;
+                {
+                    const auto [p, ec] =
+                        std::from_chars(tokens[0].data(), tokens[0].data() + tokens[0].size(), lo);
+                    if (ec != std::errc()) fail(line_no, "bad lower bound");
+                }
+                const std::string& var = tokens[2];
+                touch(var);
+                vars_[var].lb = lo;
+                if (tokens.size() == 5) {
+                    if (tokens[3] != "<=") fail(line_no, "bad bounds line");
+                    double hi = 0.0;
+                    const auto [p, ec] =
+                        std::from_chars(tokens[4].data(), tokens[4].data() + tokens[4].size(), hi);
+                    if (ec != std::errc()) fail(line_no, "bad upper bound");
+                    vars_[var].ub = hi;
+                }
+                return;
+            }
+            case Section::Generals:
+            case Section::Binaries: {
+                for (const std::string& part : support::split(std::string(line), ' ')) {
+                    const std::string name(support::trim(part));
+                    if (name.empty()) continue;
+                    touch(name);
+                    VarInfo& info = vars_[name];
+                    if (section_ == Section::Binaries) {
+                        info.type = VarType::Binary;
+                        info.lb = std::max(info.lb, 0.0);
+                        info.ub = std::min(info.ub, 1.0);
+                    } else {
+                        info.type = VarType::Integer;
+                    }
+                }
+                return;
+            }
+            case Section::None:
+            case Section::End:
+                fail(line_no, "content outside any section");
+        }
+    }
+
+    Section section_ = Section::None;
+    std::map<std::string, VarInfo> vars_;
+    std::vector<std::string> order_;
+    std::vector<std::pair<std::string, double>> objective_;
+    std::vector<PendingRow> rows_;
+};
+
+}  // namespace
+
+Model parse_lp_format(std::string_view text) {
+    LpReader reader;
+    return reader.finish(text);
+}
+
+}  // namespace p4all::ilp

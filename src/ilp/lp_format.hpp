@@ -1,0 +1,25 @@
+// CPLEX LP-format reader.
+//
+// Model::to_lp_format() writes the generated ILP for inspection; this
+// reader parses the same dialect back into a Model, which (a) lets tests
+// round-trip every generated model through its textual form, and (b) lets
+// the solver stack be exercised on externally authored LP files.
+//
+// Supported dialect (exactly what the writer produces): `Maximize`/
+// `Minimize` with one objective line, `Subject To` rows with optional
+// `name:` prefixes, `Bounds` lines `lo <= var [<= hi]`, `Generals` /
+// `Binaries` sections, and `End`.
+#pragma once
+
+#include <string_view>
+
+#include "ilp/model.hpp"
+
+namespace p4all::ilp {
+
+/// Parses LP-format text into a Model. Throws std::runtime_error with a
+/// line-annotated message on malformed input. Minimize objectives are
+/// negated into the Model's maximize convention.
+[[nodiscard]] Model parse_lp_format(std::string_view text);
+
+}  // namespace p4all::ilp

@@ -1,0 +1,180 @@
+#include "ilp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace p4all::ilp {
+
+LinExpr& LinExpr::add(Var v, double coeff) {
+    if (!v.valid()) throw std::logic_error("LinExpr::add: invalid variable");
+    if (coeff != 0.0) terms_.emplace_back(v.id, coeff);
+    return *this;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
+    terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+    constant_ += rhs.constant_;
+    return *this;
+}
+
+void LinExpr::normalize() {
+    std::sort(terms_.begin(), terms_.end());
+    std::vector<std::pair<int, double>> merged;
+    for (const auto& [id, c] : terms_) {
+        if (!merged.empty() && merged.back().first == id) {
+            merged.back().second += c;
+        } else {
+            merged.emplace_back(id, c);
+        }
+    }
+    std::erase_if(merged, [](const auto& t) { return t.second == 0.0; });
+    terms_ = std::move(merged);
+}
+
+double LinExpr::evaluate(const std::vector<double>& values) const {
+    double total = constant_;
+    for (const auto& [id, c] : terms_) total += c * values.at(static_cast<std::size_t>(id));
+    return total;
+}
+
+Var Model::add_var(std::string name, VarType type, double lb, double ub) {
+    if (lb > ub) throw std::logic_error("Model::add_var: lb > ub for " + name);
+    const Var v{static_cast<int>(types_.size())};
+    types_.push_back(type);
+    lb_.push_back(lb);
+    ub_.push_back(ub);
+    priority_.push_back(0);
+    names_.push_back(std::move(name));
+    return v;
+}
+
+void Model::set_branch_priority(Var v, int priority) {
+    priority_.at(static_cast<std::size_t>(v.id)) = priority;
+}
+
+void Model::add_constraint(LinExpr expr, CmpSense sense, double rhs, std::string name) {
+    expr.normalize();
+    rhs -= expr.constant();
+    Constraint c;
+    c.expr = std::move(expr);
+    c.expr.add_constant(-c.expr.constant());  // fold constant into rhs
+    c.sense = sense;
+    c.rhs = rhs;
+    c.name = std::move(name);
+    constraints_.push_back(std::move(c));
+}
+
+void Model::add_le(LinExpr expr, double rhs, std::string name) {
+    add_constraint(std::move(expr), CmpSense::Le, rhs, std::move(name));
+}
+
+void Model::add_ge(LinExpr expr, double rhs, std::string name) {
+    add_constraint(std::move(expr), CmpSense::Ge, rhs, std::move(name));
+}
+
+void Model::add_eq(LinExpr expr, double rhs, std::string name) {
+    add_constraint(std::move(expr), CmpSense::Eq, rhs, std::move(name));
+}
+
+void Model::set_objective(LinExpr objective) {
+    objective.normalize();
+    objective_ = std::move(objective);
+}
+
+int Model::num_integer_vars() const noexcept {
+    int n = 0;
+    for (const VarType t : types_) n += t != VarType::Continuous ? 1 : 0;
+    return n;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+    if (values.size() != types_.size()) return false;
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+        const double v = values[i];
+        if (v < lb_[i] - tol || v > ub_[i] + tol) return false;
+        if (types_[i] != VarType::Continuous && std::abs(v - std::round(v)) > tol) return false;
+    }
+    for (const Constraint& c : constraints_) {
+        const double lhs = c.expr.evaluate(values);
+        switch (c.sense) {
+            case CmpSense::Le:
+                if (lhs > c.rhs + tol) return false;
+                break;
+            case CmpSense::Ge:
+                if (lhs < c.rhs - tol) return false;
+                break;
+            case CmpSense::Eq:
+                if (std::abs(lhs - c.rhs) > tol) return false;
+                break;
+        }
+    }
+    return true;
+}
+
+namespace {
+std::string num_str(double v) {
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+void append_expr(std::string& out, const LinExpr& e, const Model& m) {
+    bool first = true;
+    for (const auto& [id, c] : e.terms()) {
+        if (c >= 0 && !first) out += " + ";
+        if (c < 0) out += first ? "- " : " - ";
+        if (std::abs(c) != 1.0) {
+            out += num_str(std::abs(c));
+            out += ' ';
+        }
+        out += m.var_name(id);
+        first = false;
+    }
+    if (first) out += "0";
+}
+}  // namespace
+
+std::string Model::to_lp_format() const {
+    std::string out = "Maximize\n obj: ";
+    append_expr(out, objective_, *this);
+    out += "\nSubject To\n";
+    for (std::size_t i = 0; i < constraints_.size(); ++i) {
+        const Constraint& c = constraints_[i];
+        out += ' ';
+        out += c.name.empty() ? "c" + std::to_string(i) : c.name;
+        out += ": ";
+        append_expr(out, c.expr, *this);
+        switch (c.sense) {
+            case CmpSense::Le: out += " <= "; break;
+            case CmpSense::Ge: out += " >= "; break;
+            case CmpSense::Eq: out += " = "; break;
+        }
+        out += num_str(c.rhs);
+        out += '\n';
+    }
+    out += "Bounds\n";
+    for (int i = 0; i < num_vars(); ++i) {
+        const std::size_t idx = static_cast<std::size_t>(i);
+        out += ' ' + num_str(lb_[idx]) + " <= " + names_[idx];
+        if (ub_[idx] != kInfinity) out += " <= " + num_str(ub_[idx]);
+        out += '\n';
+    }
+    std::string generals;
+    std::string binaries;
+    for (int i = 0; i < num_vars(); ++i) {
+        const std::size_t idx = static_cast<std::size_t>(i);
+        if (types_[idx] == VarType::Integer) generals += ' ' + names_[idx];
+        if (types_[idx] == VarType::Binary) binaries += ' ' + names_[idx];
+    }
+    if (!generals.empty()) out += "Generals\n" + generals + "\n";
+    if (!binaries.empty()) out += "Binaries\n" + binaries + "\n";
+    out += "End\n";
+    return out;
+}
+
+}  // namespace p4all::ilp

@@ -1,0 +1,131 @@
+// Mixed-integer linear program model.
+//
+// The P4All compiler expresses the Figure 10 placement problem as a MILP
+// over binary placement variables, integer size variables, and continuous
+// memory variables. This model type is solver-facing: it stores variables
+// with bounds, linear constraints, and a maximization objective, and can
+// render itself in CPLEX LP format for debugging.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace p4all::ilp {
+
+enum class VarType { Continuous, Integer, Binary };
+
+/// Lightweight variable handle (index into the model's variable table).
+struct Var {
+    int id = -1;
+
+    [[nodiscard]] bool valid() const noexcept { return id >= 0; }
+    friend bool operator==(const Var&, const Var&) = default;
+};
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A sparse linear expression Σ coeff_j · x_j + constant.
+class LinExpr {
+public:
+    LinExpr() = default;
+    explicit LinExpr(double constant) : constant_(constant) {}
+
+    LinExpr& add(Var v, double coeff);
+    LinExpr& add_constant(double c) noexcept {
+        constant_ += c;
+        return *this;
+    }
+    LinExpr& operator+=(const LinExpr& rhs);
+
+    /// Merges duplicate variables and drops zero coefficients.
+    void normalize();
+
+    [[nodiscard]] const std::vector<std::pair<int, double>>& terms() const noexcept {
+        return terms_;
+    }
+    [[nodiscard]] double constant() const noexcept { return constant_; }
+
+    /// Evaluates under a full assignment indexed by variable id.
+    [[nodiscard]] double evaluate(const std::vector<double>& values) const;
+
+private:
+    std::vector<std::pair<int, double>> terms_;
+    double constant_ = 0.0;
+};
+
+enum class CmpSense { Le, Ge, Eq };
+
+struct Constraint {
+    LinExpr expr;   // constraint is: expr (sense) rhs
+    CmpSense sense = CmpSense::Le;
+    double rhs = 0.0;
+    std::string name;
+};
+
+/// The MILP: maximize objective subject to constraints and variable bounds.
+class Model {
+public:
+    Var add_var(std::string name, VarType type, double lb, double ub);
+    Var add_binary(std::string name) { return add_var(std::move(name), VarType::Binary, 0, 1); }
+    Var add_integer(std::string name, double lb, double ub) {
+        return add_var(std::move(name), VarType::Integer, lb, ub);
+    }
+    Var add_continuous(std::string name, double lb, double ub) {
+        return add_var(std::move(name), VarType::Continuous, lb, ub);
+    }
+
+    void add_le(LinExpr expr, double rhs, std::string name = {});
+    void add_ge(LinExpr expr, double rhs, std::string name = {});
+    void add_eq(LinExpr expr, double rhs, std::string name = {});
+
+    /// Sets the maximization objective.
+    void set_objective(LinExpr objective);
+
+    [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(types_.size()); }
+    [[nodiscard]] int num_constraints() const noexcept {
+        return static_cast<int>(constraints_.size());
+    }
+    [[nodiscard]] int num_integer_vars() const noexcept;
+
+    /// Branch-and-bound hint: higher-priority variables are branched first,
+    /// and their "up" (round-toward-one) child is explored first. Model
+    /// builders use this to dive on structural decisions (iteration
+    /// indicators, placements) before auxiliary variables.
+    void set_branch_priority(Var v, int priority);
+    [[nodiscard]] int branch_priority(int id) const {
+        return priority_.at(static_cast<std::size_t>(id));
+    }
+
+    [[nodiscard]] VarType var_type(int id) const { return types_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] double lower_bound(int id) const { return lb_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] double upper_bound(int id) const { return ub_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] const std::string& var_name(int id) const {
+        return names_.at(static_cast<std::size_t>(id));
+    }
+    [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+        return constraints_;
+    }
+    [[nodiscard]] const LinExpr& objective() const noexcept { return objective_; }
+
+    /// True if `values` satisfies every constraint and bound within `tol`
+    /// (integrality of Integer/Binary vars included).
+    [[nodiscard]] bool is_feasible(const std::vector<double>& values, double tol = 1e-6) const;
+
+    /// CPLEX LP-format rendering (for --dump-ilp and debugging).
+    [[nodiscard]] std::string to_lp_format() const;
+
+private:
+    void add_constraint(LinExpr expr, CmpSense sense, double rhs, std::string name);
+
+    std::vector<VarType> types_;
+    std::vector<double> lb_;
+    std::vector<double> ub_;
+    std::vector<int> priority_;
+    std::vector<std::string> names_;
+    std::vector<Constraint> constraints_;
+    LinExpr objective_;
+};
+
+}  // namespace p4all::ilp

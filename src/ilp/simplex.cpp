@@ -1,0 +1,431 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/rng.hpp"
+
+namespace p4all::ilp {
+
+namespace {
+
+/// Bounded-variable primal simplex on a dense tableau.
+///
+/// Variables are shifted to y = x − lb ∈ [0, d]; constraint rows become
+/// equalities with a slack (Le) or an artificial (Eq / negative-rhs) basic
+/// variable. Nonbasic variables rest at their lower (0) or upper (d) bound;
+/// the ratio test includes the entering variable's own opposite bound, so a
+/// "bound flip" moves a variable across its range with no pivot at all.
+/// Compared with the textbook formulation this removes one tableau row per
+/// finite upper bound — the dominant row count in placement models, where
+/// almost every variable is binary.
+class BoundedSimplex {
+public:
+    BoundedSimplex(const Model& model, const std::vector<double>& lb,
+                   const std::vector<double>& ub, const LpOptions& options)
+        : model_(model), lb_(lb), ub_(ub), options_(options), n_(model.num_vars()) {
+        build();
+    }
+
+    LpResult solve() {
+        LpResult result;
+        if (num_artificial_ > 0) {
+            load_phase1_objective();
+            const LpStatus st = iterate(result.iterations, /*phase1=*/true);
+            if (st == LpStatus::IterLimit) {
+                result.status = st;
+                return result;
+            }
+            double artificial_sum = 0.0;
+            for (int i = 0; i < m_; ++i) {
+                if (basis_[static_cast<std::size_t>(i)] >= artificial_start_) {
+                    artificial_sum += xb_[static_cast<std::size_t>(i)];
+                }
+            }
+            if (artificial_sum > 1e-6) {
+                result.status = LpStatus::Infeasible;
+                return result;
+            }
+            // Pin artificials to zero for phase 2.
+            for (int j = artificial_start_; j < cols_; ++j) {
+                span_[static_cast<std::size_t>(j)] = 0.0;
+            }
+        }
+        load_phase2_objective();
+        const LpStatus st = iterate(result.iterations, /*phase1=*/false);
+        result.status = st;
+        if (st != LpStatus::Optimal) return result;
+
+        result.values.assign(static_cast<std::size_t>(n_), 0.0);
+        for (int j = 0; j < n_; ++j) {
+            if (at_upper_[static_cast<std::size_t>(j)]) {
+                result.values[static_cast<std::size_t>(j)] = span_[static_cast<std::size_t>(j)];
+            }
+        }
+        for (int i = 0; i < m_; ++i) {
+            const int j = basis_[static_cast<std::size_t>(i)];
+            if (j < n_) result.values[static_cast<std::size_t>(j)] = xb_[static_cast<std::size_t>(i)];
+        }
+        for (int j = 0; j < n_; ++j) {
+            result.values[static_cast<std::size_t>(j)] += lb_[static_cast<std::size_t>(j)];
+        }
+        result.objective = model_.objective().evaluate(result.values);
+        result.bound = result.objective + bound_slack_;
+        return result;
+    }
+
+private:
+    double& at(int row, int col) {
+        return data_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(col)];
+    }
+    [[nodiscard]] double get(int row, int col) const {
+        return data_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(col)];
+    }
+
+    void build() {
+        struct Row {
+            std::vector<std::pair<int, double>> terms;
+            bool eq;
+            bool negated = false;
+            double rhs;
+        };
+        std::vector<Row> rows;
+        rows.reserve(model_.constraints().size());
+        for (const Constraint& c : model_.constraints()) {
+            Row r;
+            r.eq = c.sense == CmpSense::Eq;
+            double shift = 0.0;
+            const double sign = c.sense == CmpSense::Ge ? -1.0 : 1.0;
+            for (const auto& [id, coeff] : c.expr.terms()) {
+                shift += coeff * lb_[static_cast<std::size_t>(id)];
+                r.terms.emplace_back(id, sign * coeff);
+            }
+            r.rhs = sign * (c.rhs - shift);
+            rows.push_back(std::move(r));
+        }
+        m_ = static_cast<int>(rows.size());
+
+        // Count columns. Le rows with rhs ≥ 0 start with a basic slack;
+        // Le rows with rhs < 0 are negated (slack coeff −1) and need an
+        // artificial; Eq rows (rhs normalized ≥ 0) need an artificial.
+        int num_slack = 0;
+        num_artificial_ = 0;
+        for (Row& r : rows) {
+            if (!r.eq) ++num_slack;
+            if (r.rhs < 0) {
+                r.negated = true;
+                for (auto& [id, c] : r.terms) c = -c;
+                r.rhs = -r.rhs;
+            }
+            if (r.eq || r.negated) ++num_artificial_;
+        }
+        artificial_start_ = n_ + num_slack;
+        cols_ = artificial_start_ + num_artificial_;
+        data_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(cols_), 0.0);
+        obj_.assign(static_cast<std::size_t>(cols_), 0.0);
+        span_.assign(static_cast<std::size_t>(cols_), kInfinity);
+        at_upper_.assign(static_cast<std::size_t>(cols_), false);
+        basis_.assign(static_cast<std::size_t>(m_), -1);
+        xb_.assign(static_cast<std::size_t>(m_), 0.0);
+        in_basis_.assign(static_cast<std::size_t>(cols_), false);
+
+        for (int j = 0; j < n_; ++j) {
+            const double d = ub_[static_cast<std::size_t>(j)] - lb_[static_cast<std::size_t>(j)];
+            if (d < -1e-12) throw std::logic_error("simplex: lb > ub");
+            span_[static_cast<std::size_t>(j)] = std::max(d, 0.0);
+        }
+
+        int next_slack = n_;
+        int next_artificial = artificial_start_;
+        for (int i = 0; i < m_; ++i) {
+            const Row& r = rows[static_cast<std::size_t>(i)];
+            for (const auto& [id, c] : r.terms) at(i, id) += c;
+            xb_[static_cast<std::size_t>(i)] = r.rhs;
+            int basic = -1;
+            if (!r.eq) {
+                // Negated rows carry their slack with coefficient −1, so the
+                // slack cannot serve as the starting basic variable.
+                at(i, next_slack) = r.negated ? -1.0 : 1.0;
+                if (!r.negated) basic = next_slack;
+                ++next_slack;
+            }
+            if (basic < 0) {
+                at(i, next_artificial) = 1.0;
+                basic = next_artificial++;
+            }
+            basis_[static_cast<std::size_t>(i)] = basic;
+            in_basis_[static_cast<std::size_t>(basic)] = true;
+        }
+    }
+
+    void load_phase1_objective() {
+        std::fill(obj_.begin(), obj_.end(), 0.0);
+        for (int j = artificial_start_; j < cols_; ++j) obj_[static_cast<std::size_t>(j)] = 1.0;
+        reduce_objective();
+    }
+
+    void load_phase2_objective() {
+        std::fill(obj_.begin(), obj_.end(), 0.0);
+        for (const auto& [id, c] : model_.objective().terms()) {
+            obj_[static_cast<std::size_t>(id)] = -c;  // maximize ⇒ minimize −c
+        }
+        // Deterministic cost perturbation on finite-span structural columns:
+        // discourage each slightly (positive in the minimization objective),
+        // scaled so each column's worst-case objective error is at most
+        // `perturbation`. The total is returned via bound_slack_.
+        bound_slack_ = 0.0;
+        if (options_.perturbation > 0.0) {
+            for (int j = 0; j < n_; ++j) {
+                const std::size_t js = static_cast<std::size_t>(j);
+                if (span_[js] == kInfinity || span_[js] <= 0.0) continue;
+                std::uint64_t state = 0x9E3779B97F4A7C15ULL ^ (static_cast<std::uint64_t>(j) << 17);
+                const double xi =
+                    0.5 + 0.5 * static_cast<double>(support::splitmix64(state) >> 11) * 0x1.0p-53;
+                const double eps = options_.perturbation * xi / span_[js];
+                obj_[js] += eps;
+                bound_slack_ += eps * span_[js];
+            }
+        }
+        reduce_objective();
+    }
+
+    /// Eliminates basic columns from the objective row.
+    void reduce_objective() {
+        for (int i = 0; i < m_; ++i) {
+            const int jb = basis_[static_cast<std::size_t>(i)];
+            const double cb = obj_[static_cast<std::size_t>(jb)];
+            if (cb == 0.0) continue;
+            for (int j = 0; j < cols_; ++j) {
+                obj_[static_cast<std::size_t>(j)] -= cb * get(i, j);
+            }
+            obj_[static_cast<std::size_t>(jb)] = 0.0;
+        }
+    }
+
+    LpStatus iterate(int& iterations, bool phase1) {
+        const int limit =
+            options_.max_iterations > 0 ? options_.max_iterations : 400 + 60 * (m_ + cols_);
+        const double tol = options_.tol;
+        int stall = 0;
+        bool bland = false;
+        // Devex reference weights: pricing by r_j²/w_j needs far fewer
+        // iterations than plain Dantzig on degenerate placement LPs.
+        std::vector<double> devex(static_cast<std::size_t>(cols_), 1.0);
+
+        while (true) {
+            if (++iterations > limit) return LpStatus::IterLimit;
+
+            // Pricing: nonbasic at lower wants r < 0; at upper wants r > 0.
+            int enter = -1;
+            double best = 0.0;
+            double enter_dir = 1.0;
+            for (int j = 0; j < cols_; ++j) {
+                const std::size_t js = static_cast<std::size_t>(j);
+                if (in_basis_[js]) continue;
+                if (j >= artificial_start_) continue;  // artificials never re-enter
+                if (span_[js] <= tol) continue;        // fixed variable
+                const double r = obj_[js];
+                double dir = 1.0;
+                if (!at_upper_[js] && r < -tol) {
+                    dir = 1.0;
+                } else if (at_upper_[js] && r > tol) {
+                    dir = -1.0;
+                } else {
+                    continue;
+                }
+                if (bland) {
+                    enter = j;
+                    enter_dir = dir;
+                    break;
+                }
+                const double score = r * r / devex[js];
+                if (score > best) {
+                    best = score;
+                    enter = j;
+                    enter_dir = dir;
+                }
+            }
+            if (enter < 0) return LpStatus::Optimal;
+            const std::size_t es = static_cast<std::size_t>(enter);
+
+            // Ratio test, two passes: pass 1 finds the tightest step t; pass
+            // 2 picks, among rows within a tolerance of t, the one with the
+            // largest pivot magnitude (Harris-style) — numerically safer and
+            // far less prone to long degenerate pivot chains. Under Bland,
+            // smallest basic index wins instead.
+            double t = span_[es];  // own opposite bound ⇒ bound flip
+            for (int i = 0; i < m_; ++i) {
+                const double beta = enter_dir * get(i, enter);
+                const std::size_t bi =
+                    static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+                if (beta > tol) {
+                    t = std::min(t, std::max(xb_[static_cast<std::size_t>(i)] / beta, 0.0));
+                } else if (beta < -tol && span_[bi] != kInfinity) {
+                    t = std::min(
+                        t, std::max((span_[bi] - xb_[static_cast<std::size_t>(i)]) / (-beta), 0.0));
+                }
+            }
+            if (t == kInfinity) {
+                return phase1 ? LpStatus::Infeasible : LpStatus::Unbounded;
+            }
+            int leave = -1;
+            bool leave_at_upper = false;
+            double best_pivot = 0.0;
+            {
+                for (int i = 0; i < m_; ++i) {
+                    const double beta = enter_dir * get(i, enter);
+                    const std::size_t bi =
+                        static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+                    double ratio = kInfinity;
+                    bool hits_upper = false;
+                    if (beta > tol) {
+                        ratio = std::max(xb_[static_cast<std::size_t>(i)] / beta, 0.0);
+                    } else if (beta < -tol && span_[bi] != kInfinity) {
+                        ratio =
+                            std::max((span_[bi] - xb_[static_cast<std::size_t>(i)]) / (-beta), 0.0);
+                        hits_upper = true;
+                    } else {
+                        continue;
+                    }
+                    if (ratio > t + 1e-9) continue;
+                    if (bland) {
+                        if (leave < 0 || basis_[static_cast<std::size_t>(i)] <
+                                             basis_[static_cast<std::size_t>(leave)]) {
+                            leave = i;
+                            leave_at_upper = hits_upper;
+                        }
+                    } else if (std::abs(beta) > best_pivot) {
+                        best_pivot = std::abs(beta);
+                        leave = i;
+                        leave_at_upper = hits_upper;
+                    }
+                }
+            }
+
+            // Objective progress (for stall detection only). Bland's rule
+            // engages after a long stall and disengages on real progress.
+            const double delta = obj_[es] * enter_dir * t;
+            if (std::abs(delta) < 1e-12) {
+                if (++stall > 2 * (m_ + 16)) bland = true;
+            } else {
+                stall = 0;
+                bland = false;
+            }
+
+            if (leave < 0) {
+                // Bound flip: entering crosses to its other bound.
+                for (int i = 0; i < m_; ++i) {
+                    xb_[static_cast<std::size_t>(i)] -= enter_dir * get(i, enter) * t;
+                }
+                at_upper_[es] = !at_upper_[es];
+                continue;
+            }
+
+            // Pivot: update basic values, then eliminate the column.
+            for (int i = 0; i < m_; ++i) {
+                if (i == leave) continue;
+                xb_[static_cast<std::size_t>(i)] -= enter_dir * get(i, enter) * t;
+            }
+            const double enter_value = at_upper_[es] ? span_[es] - t : t;
+            const int old_basic = basis_[static_cast<std::size_t>(leave)];
+            in_basis_[static_cast<std::size_t>(old_basic)] = false;
+            at_upper_[static_cast<std::size_t>(old_basic)] = leave_at_upper;
+            basis_[static_cast<std::size_t>(leave)] = enter;
+            in_basis_[es] = true;
+            at_upper_[es] = false;  // basic status; flag unused while basic
+            xb_[static_cast<std::size_t>(leave)] = enter_value;
+
+            const double pivot = get(leave, enter);
+            const double inv = 1.0 / pivot;
+            for (int j = 0; j < cols_; ++j) at(leave, j) *= inv;
+            at(leave, enter) = 1.0;
+            for (int i = 0; i < m_; ++i) {
+                if (i == leave) continue;
+                const double f = get(i, enter);
+                if (f == 0.0) continue;
+                for (int j = 0; j < cols_; ++j) at(i, j) -= f * get(leave, j);
+                at(i, enter) = 0.0;
+            }
+            const double f = obj_[es];
+            if (f != 0.0) {
+                for (int j = 0; j < cols_; ++j) {
+                    obj_[static_cast<std::size_t>(j)] -= f * get(leave, j);
+                }
+                obj_[es] = 0.0;
+            }
+
+            // Devex weight update against the (normalized) pivot row: the
+            // entry at(leave, j) equals α_rj / α_rq, exactly the reference
+            // ratio the update rule needs.
+            const double wq = devex[es];
+            double wmax = 1.0;
+            for (int j = 0; j < cols_; ++j) {
+                const double a = get(leave, j);
+                if (a == 0.0) continue;
+                const double candidate = a * a * wq;
+                std::size_t js = static_cast<std::size_t>(j);
+                if (candidate > devex[js]) devex[js] = candidate;
+                if (devex[js] > wmax) wmax = devex[js];
+            }
+            devex[static_cast<std::size_t>(old_basic)] = std::max(wq / (pivot * pivot), 1.0);
+            if (wmax > 1e10) std::fill(devex.begin(), devex.end(), 1.0);  // reference reset
+        }
+    }
+
+    const Model& model_;
+    const std::vector<double>& lb_;
+    const std::vector<double>& ub_;
+    const LpOptions& options_;
+
+    int n_ = 0;
+    int m_ = 0;
+    int cols_ = 0;
+    int artificial_start_ = 0;
+    int num_artificial_ = 0;
+
+    std::vector<double> data_;      // m × cols tableau
+    std::vector<double> obj_;       // reduced-cost row
+    std::vector<double> span_;      // per-column width of [0, d]
+    std::vector<bool> at_upper_;    // nonbasic status
+    std::vector<bool> in_basis_;
+    std::vector<int> basis_;        // row -> basic column
+    std::vector<double> xb_;        // basic values
+    double bound_slack_ = 0.0;      // exact perturbation budget
+};
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, const std::vector<double>* lb,
+                  const std::vector<double>* ub, const LpOptions& options) {
+    std::vector<double> lb_local;
+    std::vector<double> ub_local;
+    if (lb == nullptr) {
+        lb_local.resize(static_cast<std::size_t>(model.num_vars()));
+        for (int j = 0; j < model.num_vars(); ++j) {
+            lb_local[static_cast<std::size_t>(j)] = model.lower_bound(j);
+        }
+        lb = &lb_local;
+    }
+    if (ub == nullptr) {
+        ub_local.resize(static_cast<std::size_t>(model.num_vars()));
+        for (int j = 0; j < model.num_vars(); ++j) {
+            ub_local[static_cast<std::size_t>(j)] = model.upper_bound(j);
+        }
+        ub = &ub_local;
+    }
+    for (int j = 0; j < model.num_vars(); ++j) {
+        if ((*lb)[static_cast<std::size_t>(j)] == -kInfinity) {
+            throw std::logic_error("simplex: variable '" + model.var_name(j) +
+                                   "' has an infinite lower bound (unsupported)");
+        }
+    }
+    BoundedSimplex solver(model, *lb, *ub, options);
+    return solver.solve();
+}
+
+}  // namespace p4all::ilp

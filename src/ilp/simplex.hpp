@@ -1,0 +1,60 @@
+// Dense two-phase primal simplex for LP relaxations.
+//
+// Solves  maximize c'x  s.t. model constraints and variable bounds,
+// with optional per-call bound overrides so branch-and-bound can tighten
+// bounds without copying the model. All lower bounds must be finite (true
+// for every model the compiler builds: placements and sizes are ≥ 0).
+//
+// Implementation: variables are shifted to y = x - lb ≥ 0; finite upper
+// bounds become explicit rows; Ge/Eq rows get artificial variables; phase 1
+// minimizes the artificial sum, phase 2 optimizes the real objective.
+// Dantzig pricing with an automatic switch to Bland's rule guards against
+// cycling.
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace p4all::ilp {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
+
+struct LpResult {
+    LpStatus status = LpStatus::IterLimit;
+    double objective = 0.0;
+    /// Valid upper bound on the true LP optimum: `objective` plus the exact
+    /// cost-perturbation budget (== objective when perturbation is off).
+    /// Branch-and-bound must prune against this, not `objective`.
+    double bound = 0.0;
+    std::vector<double> values;  // indexed by model variable id
+    int iterations = 0;
+};
+
+struct LpOptions {
+    int max_iterations = 0;  // 0 ⇒ automatic (scales with model size)
+    double tol = 1e-9;
+    /// Deterministic cost perturbation scale. Placement LPs have huge
+    /// optimal faces (stage symmetry); a tiny per-column cost tilt collapses
+    /// the face to a vertex and avoids degenerate crawling. The induced
+    /// bound error is accounted exactly in LpResult::bound. 0 disables.
+    double perturbation = 1e-7;
+};
+
+/// Solves the LP relaxation (integrality ignored). `lb`/`ub` override the
+/// model bounds when non-null (must have size == model.num_vars()).
+/// Implementation: bounded-variable primal simplex — variable bounds are
+/// handled implicitly (nonbasic-at-lower/upper with bound flips), so the
+/// tableau has one row per constraint only.
+[[nodiscard]] LpResult solve_lp(const Model& model, const std::vector<double>* lb = nullptr,
+                                const std::vector<double>* ub = nullptr,
+                                const LpOptions& options = {});
+
+/// Reference textbook implementation (explicit upper-bound rows, two-phase).
+/// Much slower; used by tests as an independent oracle for solve_lp.
+[[nodiscard]] LpResult solve_lp_textbook(const Model& model,
+                                         const std::vector<double>* lb = nullptr,
+                                         const std::vector<double>* ub = nullptr,
+                                         const LpOptions& options = {});
+
+}  // namespace p4all::ilp

@@ -1,0 +1,261 @@
+#include "ilp/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace p4all::ilp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Rounds the LP solution's integer variables and re-checks feasibility —
+/// a cheap incumbent heuristic that often succeeds on placement models.
+bool try_rounding(const Model& model, const std::vector<double>& lp_values,
+                  std::vector<double>& rounded_out) {
+    std::vector<double> rounded = lp_values;
+    for (int j = 0; j < model.num_vars(); ++j) {
+        if (model.var_type(j) == VarType::Continuous) continue;
+        const std::size_t idx = static_cast<std::size_t>(j);
+        rounded[idx] = std::clamp(std::round(rounded[idx]), model.lower_bound(j),
+                                  model.upper_bound(j));
+    }
+    if (!model.is_feasible(rounded, 1e-6)) return false;
+    rounded_out = std::move(rounded);
+    return true;
+}
+
+struct Node {
+    std::vector<double> lb;
+    std::vector<double> ub;
+};
+
+}  // namespace
+
+std::int64_t Solution::value_int(Var v) const {
+    return static_cast<std::int64_t>(
+        std::llround(values.at(static_cast<std::size_t>(v.id))));
+}
+
+Solution solve_milp(const Model& model, const SolveOptions& options) {
+    const auto start = Clock::now();
+    Solution best;
+    best.status = SolveStatus::Infeasible;
+
+    std::vector<double> root_lb(static_cast<std::size_t>(model.num_vars()));
+    std::vector<double> root_ub(static_cast<std::size_t>(model.num_vars()));
+    for (int j = 0; j < model.num_vars(); ++j) {
+        root_lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
+        root_ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
+    }
+
+    bool have_incumbent = false;
+    bool abandoned_subtree = false;
+    double incumbent_obj = -kInfinity;
+    if (!options.warm_start.empty() && model.is_feasible(options.warm_start, 1e-6)) {
+        have_incumbent = true;
+        incumbent_obj = model.objective().evaluate(options.warm_start);
+        best.values = options.warm_start;
+        best.objective = incumbent_obj;
+    }
+
+    std::vector<Node> stack;
+    stack.push_back({std::move(root_lb), std::move(root_ub)});
+
+    while (!stack.empty()) {
+        if (best.nodes >= options.max_nodes ||
+            seconds_since(start) > options.time_limit_seconds) {
+            best.status = have_incumbent ? SolveStatus::Limit : SolveStatus::Limit;
+            best.seconds = seconds_since(start);
+            return best;
+        }
+        const Node node = std::move(stack.back());
+        stack.pop_back();
+        ++best.nodes;
+
+        const LpResult lp = solve_lp(model, &node.lb, &node.ub, options.lp);
+        best.lp_iterations += lp.iterations;
+        if (lp.status == LpStatus::Infeasible) continue;
+        if (lp.status == LpStatus::Unbounded) {
+            // Unbounded relaxation at the root means an unbounded MILP for
+            // our models (integer vars are bounded).
+            best.status = SolveStatus::Unbounded;
+            best.seconds = seconds_since(start);
+            return best;
+        }
+        if (lp.status == LpStatus::IterLimit) {
+            // This subtree could not be resolved: remember that the search
+            // is incomplete so we never falsely claim optimality.
+            abandoned_subtree = true;
+            continue;
+        }
+        // Prune on the perturbation-corrected bound (a valid upper bound on
+        // every solution in this subtree), within the optimality gap.
+        if (have_incumbent &&
+            lp.bound <= incumbent_obj + std::max(options.gap_absolute,
+                                                 options.gap_relative *
+                                                     std::abs(incumbent_obj))) {
+            continue;
+        }
+
+        // Branch variable: highest priority class first, most fractional
+        // within the class (priorities let model builders dive on structural
+        // decisions before auxiliaries).
+        int branch_var = -1;
+        double branch_frac = options.int_tol;
+        int branch_prio = 0;
+        for (int j = 0; j < model.num_vars(); ++j) {
+            if (model.var_type(j) == VarType::Continuous) continue;
+            const double v = lp.values[static_cast<std::size_t>(j)];
+            const double frac = std::abs(v - std::round(v));
+            if (frac <= options.int_tol) continue;
+            const int prio = model.branch_priority(j);
+            if (branch_var < 0 || prio > branch_prio ||
+                (prio == branch_prio && frac > branch_frac)) {
+                branch_var = j;
+                branch_frac = frac;
+                branch_prio = prio;
+            }
+        }
+        if (branch_var < 0) {
+            // Integral: new incumbent.
+            have_incumbent = true;
+            incumbent_obj = lp.objective;
+            best.values = lp.values;
+            // Snap near-integers exactly.
+            for (int j = 0; j < model.num_vars(); ++j) {
+                if (model.var_type(j) != VarType::Continuous) {
+                    best.values[static_cast<std::size_t>(j)] =
+                        std::round(best.values[static_cast<std::size_t>(j)]);
+                }
+            }
+            best.objective = incumbent_obj;
+            continue;
+        }
+
+        // Incumbent heuristic at the root and occasionally afterwards.
+        if (!have_incumbent || (best.nodes & 0x3F) == 0) {
+            std::vector<double> rounded;
+            if (try_rounding(model, lp.values, rounded)) {
+                const double obj = model.objective().evaluate(rounded);
+                if (!have_incumbent || obj > incumbent_obj) {
+                    have_incumbent = true;
+                    incumbent_obj = obj;
+                    best.values = std::move(rounded);
+                    best.objective = obj;
+                }
+            }
+        }
+
+        const std::size_t bidx = static_cast<std::size_t>(branch_var);
+        // Clamp the LP value into the node's bounds before splitting: LP
+        // tolerances can leave it epsilon outside, which would create an
+        // empty child interval.
+        const double v = std::clamp(lp.values[bidx], node.lb[bidx], node.ub[bidx]);
+        const double floor_v = std::floor(v);
+        Node down = node;
+        down.ub[bidx] = std::min(down.ub[bidx], floor_v);
+        Node up = std::move(node);
+        up.lb[bidx] = std::max(up.lb[bidx], floor_v + 1);
+        const bool down_valid = down.lb[bidx] <= down.ub[bidx];
+        const bool up_valid = up.lb[bidx] <= up.ub[bidx];
+        // DFS order: prioritized (structural) variables dive up first —
+        // instantiate the iteration / take the placement — which reaches a
+        // feasible incumbent quickly; otherwise follow the LP value.
+        const bool up_first = branch_prio > 0 || v - floor_v > 0.5;
+        if (up_first) {
+            if (down_valid) stack.push_back(std::move(down));
+            if (up_valid) stack.push_back(std::move(up));
+        } else {
+            if (up_valid) stack.push_back(std::move(up));
+            if (down_valid) stack.push_back(std::move(down));
+        }
+    }
+
+    best.seconds = seconds_since(start);
+    if (have_incumbent) {
+        best.status = abandoned_subtree ? SolveStatus::Limit : SolveStatus::Optimal;
+    } else if (abandoned_subtree) {
+        best.status = SolveStatus::Limit;
+    }
+    return best;
+}
+
+namespace {
+
+void enumerate(const Model& model, std::vector<int>& int_vars, std::size_t depth,
+               std::vector<double>& lb, std::vector<double>& ub, Solution& best,
+               bool& found) {
+    if (depth == int_vars.size()) {
+        // All integers fixed: solve the continuous remainder (or just check).
+        const LpResult lp = solve_lp(model, &lb, &ub);
+        best.lp_iterations += lp.iterations;
+        ++best.nodes;
+        if (lp.status != LpStatus::Optimal) return;
+        if (!found || lp.objective > best.objective) {
+            found = true;
+            best.objective = lp.objective;
+            best.values = lp.values;
+            for (int j = 0; j < model.num_vars(); ++j) {
+                if (model.var_type(j) != VarType::Continuous) {
+                    best.values[static_cast<std::size_t>(j)] =
+                        std::round(best.values[static_cast<std::size_t>(j)]);
+                }
+            }
+        }
+        return;
+    }
+    const int j = int_vars[depth];
+    const std::size_t idx = static_cast<std::size_t>(j);
+    const double save_lb = lb[idx];
+    const double save_ub = ub[idx];
+    for (double v = save_lb; v <= save_ub + 1e-9; v += 1.0) {
+        lb[idx] = v;
+        ub[idx] = v;
+        enumerate(model, int_vars, depth + 1, lb, ub, best, found);
+    }
+    lb[idx] = save_lb;
+    ub[idx] = save_ub;
+}
+
+}  // namespace
+
+Solution solve_exhaustive(const Model& model, std::int64_t max_combinations) {
+    const auto start = Clock::now();
+    std::vector<int> int_vars;
+    std::int64_t combos = 1;
+    for (int j = 0; j < model.num_vars(); ++j) {
+        if (model.var_type(j) == VarType::Continuous) continue;
+        if (model.upper_bound(j) == kInfinity) {
+            throw std::logic_error("solve_exhaustive: unbounded integer variable '" +
+                                   model.var_name(j) + "'");
+        }
+        const auto domain = static_cast<std::int64_t>(
+            model.upper_bound(j) - model.lower_bound(j) + 1);
+        combos *= std::max<std::int64_t>(domain, 1);
+        if (combos > max_combinations) {
+            throw std::logic_error("solve_exhaustive: domain too large");
+        }
+        int_vars.push_back(j);
+    }
+    std::vector<double> lb(static_cast<std::size_t>(model.num_vars()));
+    std::vector<double> ub(static_cast<std::size_t>(model.num_vars()));
+    for (int j = 0; j < model.num_vars(); ++j) {
+        lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
+        ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
+    }
+    Solution best;
+    bool found = false;
+    enumerate(model, int_vars, 0, lb, ub, best, found);
+    best.status = found ? SolveStatus::Optimal : SolveStatus::Infeasible;
+    best.seconds = seconds_since(start);
+    return best;
+}
+
+}  // namespace p4all::ilp

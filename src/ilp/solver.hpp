@@ -1,0 +1,56 @@
+// MILP solving: branch-and-bound over the simplex relaxation, plus an
+// exhaustive reference solver used to cross-validate on small models.
+// This stack replaces the Gurobi optimizer used by the paper's prototype.
+#pragma once
+
+#include <cstdint>
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace p4all::ilp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, Limit };
+
+struct Solution {
+    SolveStatus status = SolveStatus::Limit;
+    double objective = 0.0;
+    std::vector<double> values;  // indexed by model variable id
+
+    // Statistics.
+    std::int64_t nodes = 0;
+    std::int64_t lp_iterations = 0;
+    double seconds = 0.0;
+
+    [[nodiscard]] bool optimal() const noexcept { return status == SolveStatus::Optimal; }
+    /// Rounded value of an integer/binary variable.
+    [[nodiscard]] std::int64_t value_int(Var v) const;
+};
+
+struct SolveOptions {
+    double time_limit_seconds = 120.0;
+    std::int64_t max_nodes = 2'000'000;
+    double int_tol = 1e-6;
+    /// Optimality gap: a node is pruned when its bound is within
+    /// max(gap_absolute, gap_relative·|incumbent|) of the incumbent.
+    /// Mirrors production MILP-solver defaults; also absorbs the simplex
+    /// cost-perturbation slack so proof trees close.
+    double gap_absolute = 1e-5;
+    double gap_relative = 1e-6;
+    LpOptions lp;
+    /// Optional known-feasible assignment (e.g. from a heuristic) used as
+    /// the initial incumbent; ignored if it fails the feasibility check.
+    std::vector<double> warm_start;
+};
+
+/// Exact branch-and-bound. Returns Optimal with the best solution, or
+/// Infeasible/Unbounded, or Limit (with the incumbent, if any, in `values`).
+[[nodiscard]] Solution solve_milp(const Model& model, const SolveOptions& options = {});
+
+/// Reference solver: enumerates every integer assignment within bounds
+/// (product of domain sizes must not exceed `max_combinations`), solving an
+/// LP for the continuous remainder. Exact but exponential — tests only.
+[[nodiscard]] Solution solve_exhaustive(const Model& model,
+                                        std::int64_t max_combinations = 1 << 22);
+
+}  // namespace p4all::ilp

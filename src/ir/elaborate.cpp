@@ -1,0 +1,740 @@
+#include "ir/elaborate.hpp"
+
+#include <map>
+#include <set>
+
+#include "lang/parser.hpp"
+#include "support/error.hpp"
+
+namespace p4all::ir {
+
+using lang::BinaryOp;
+using lang::UnaryOp;
+using support::CompileError;
+using support::SourceLoc;
+
+namespace {
+
+/// What a bare identifier means inside an expression being evaluated to an
+/// affine value: either the active iteration variable or a literal constant
+/// (const-int or a concretely-unrolled loop variable).
+struct NameBinding {
+    bool is_iter = false;
+    std::int64_t literal = 0;
+};
+
+using Env = std::map<std::string, NameBinding, std::less<>>;
+
+class Elaborator {
+public:
+    Elaborator(const lang::Program& ast, const ElaborateOptions& options)
+        : ast_(ast), options_(options) {}
+
+    Program run() {
+        prog_.name = options_.program_name;
+        collect_declarations();
+        elaborate_actions();
+        flatten_flow();
+        lower_assumes_and_utility();
+        return std::move(prog_);
+    }
+
+private:
+    // -- Pass 1: declaration tables -------------------------------------
+
+    void collect_declarations() {
+        for (const lang::Decl& d : ast_.decls) {
+            const SourceLoc& loc = d.loc;
+            if (const auto* s = std::get_if<lang::SymbolicDecl>(&d.node)) {
+                check_fresh_name(loc, s->name);
+                prog_.symbols.push_back({s->name, SymbolRole::Unused});
+            } else if (const auto* c = std::get_if<lang::ConstDecl>(&d.node)) {
+                check_fresh_name(loc, c->name);
+                consts_[c->name] = fold_const(*c->value);
+            } else if (const auto* r = std::get_if<lang::RegisterDecl>(&d.node)) {
+                check_fresh_name(loc, r->name);
+                RegisterArray reg;
+                reg.name = r->name;
+                reg.width = r->width;
+                reg.elems = resolve_extent(*r->elems, SymbolRole::ElementCount);
+                reg.instances = r->instances
+                                    ? resolve_extent(*r->instances, SymbolRole::IterationCount)
+                                    : Extent::of_literal(1);
+                prog_.registers.push_back(std::move(reg));
+            } else if (const auto* m = std::get_if<lang::MetadataDecl>(&d.node)) {
+                for (const lang::FieldDecl& f : m->fields) {
+                    check_fresh_name(f.loc, "meta." + f.name);
+                    MetaField mf;
+                    mf.name = f.name;
+                    mf.width = f.width;
+                    if (f.array_size) {
+                        mf.array = resolve_extent(*f.array_size, SymbolRole::IterationCount);
+                    }
+                    prog_.meta_fields.push_back(std::move(mf));
+                }
+            } else if (const auto* p = std::get_if<lang::PacketDecl>(&d.node)) {
+                for (const lang::FieldDecl& f : p->fields) {
+                    check_fresh_name(f.loc, "pkt." + f.name);
+                    prog_.packet_fields.push_back({f.name, f.width});
+                }
+            } else if (const auto* a = std::get_if<lang::ActionDecl>(&d.node)) {
+                check_fresh_name(loc, a->name);
+                action_decls_[a->name] = a;
+            } else if (const auto* c2 = std::get_if<lang::ControlDecl>(&d.node)) {
+                check_fresh_name(loc, c2->name);
+                control_decls_[c2->name] = c2;
+            }
+            // AssumeDecl / OptimizeDecl handled in a later pass.
+        }
+    }
+
+    void check_fresh_name(const SourceLoc& loc, const std::string& name) {
+        if (!seen_names_.insert(name).second) {
+            throw CompileError(loc, "duplicate declaration of '" + name + "'");
+        }
+    }
+
+    /// Resolves a size expression to a literal or a symbolic value, tagging
+    /// the symbol's role and diagnosing role conflicts.
+    Extent resolve_extent(const lang::Expr& e, SymbolRole role) {
+        if (const auto* ref = std::get_if<lang::FieldRef>(&e.node);
+            ref != nullptr && ref->path.size() == 1 && !ref->index) {
+            const std::string& name = ref->path[0];
+            if (const auto it = consts_.find(name); it != consts_.end()) {
+                return Extent::of_literal(it->second);
+            }
+            const SymbolId sym = prog_.find_symbol(name);
+            if (sym != kNoId) {
+                assign_role(e.loc, sym, role);
+                return Extent::of_symbol(sym);
+            }
+        }
+        return Extent::of_literal(fold_const(e));
+    }
+
+    void assign_role(const SourceLoc& loc, SymbolId sym, SymbolRole role) {
+        SymbolRole& current = prog_.symbols[static_cast<std::size_t>(sym)].role;
+        if (current == SymbolRole::Unused) {
+            current = role;
+        } else if (current != role) {
+            throw CompileError(
+                loc, "symbolic value '" + prog_.symbol(sym).name +
+                         "' is used both as an iteration count (loop bound / register "
+                         "instances / metadata array size) and as a register element count; "
+                         "split it into two symbolic values");
+        }
+    }
+
+    /// Folds an expression of integer literals and declared consts.
+    std::int64_t fold_const(const lang::Expr& e) {
+        if (const auto* i = std::get_if<lang::IntLit>(&e.node)) return i->value;
+        if (const auto* ref = std::get_if<lang::FieldRef>(&e.node)) {
+            if (ref->path.size() == 1 && !ref->index) {
+                if (const auto it = consts_.find(ref->path[0]); it != consts_.end()) {
+                    return it->second;
+                }
+            }
+            throw CompileError(e.loc, "'" + ref->dotted() + "' is not a compile-time constant");
+        }
+        if (const auto* u = std::get_if<lang::Unary>(&e.node)) {
+            if (u->op == UnaryOp::Neg) return -fold_const(*u->operand);
+            throw CompileError(e.loc, "operator not allowed in constant expression");
+        }
+        if (const auto* b = std::get_if<lang::Binary>(&e.node)) {
+            const std::int64_t l = fold_const(*b->lhs);
+            const std::int64_t r = fold_const(*b->rhs);
+            switch (b->op) {
+                case BinaryOp::Add: return l + r;
+                case BinaryOp::Sub: return l - r;
+                case BinaryOp::Mul: return l * r;
+                case BinaryOp::Div:
+                    if (r == 0) throw CompileError(e.loc, "division by zero");
+                    return l / r;
+                case BinaryOp::Mod:
+                    if (r == 0) throw CompileError(e.loc, "modulo by zero");
+                    return l % r;
+                default:
+                    throw CompileError(e.loc, "operator not allowed in constant expression");
+            }
+        }
+        throw CompileError(e.loc, "expected a compile-time constant expression");
+    }
+
+    // -- Affine / value evaluation ---------------------------------------
+
+    Affine eval_affine(const lang::Expr& e, const Env& env) {
+        if (const auto* i = std::get_if<lang::IntLit>(&e.node)) return Affine::literal(i->value);
+        if (const auto* ref = std::get_if<lang::FieldRef>(&e.node)) {
+            if (ref->path.size() == 1 && !ref->index) {
+                const std::string& name = ref->path[0];
+                if (const auto it = env.find(name); it != env.end()) {
+                    return it->second.is_iter ? Affine::iter() : Affine::literal(it->second.literal);
+                }
+                if (const auto it = consts_.find(name); it != consts_.end()) {
+                    return Affine::literal(it->second);
+                }
+                if (prog_.find_symbol(name) != kNoId) {
+                    throw CompileError(e.loc,
+                                       "symbolic value '" + name +
+                                           "' cannot be used as a run-time operand (sizes are "
+                                           "compile-time only; use a register reference for hash "
+                                           "ranges)");
+                }
+            }
+            throw CompileError(e.loc, "'" + ref->dotted() + "' is not an integer expression here");
+        }
+        if (const auto* u = std::get_if<lang::Unary>(&e.node)) {
+            if (u->op == UnaryOp::Neg) {
+                Affine a = eval_affine(*u->operand, env);
+                a.coeff_iter = -a.coeff_iter;
+                a.constant = -a.constant;
+                return a;
+            }
+            throw CompileError(e.loc, "'!' is not valid in an integer expression");
+        }
+        if (const auto* b = std::get_if<lang::Binary>(&e.node)) {
+            const Affine l = eval_affine(*b->lhs, env);
+            const Affine r = eval_affine(*b->rhs, env);
+            switch (b->op) {
+                case BinaryOp::Add: return {l.coeff_iter + r.coeff_iter, l.constant + r.constant};
+                case BinaryOp::Sub: return {l.coeff_iter - r.coeff_iter, l.constant - r.constant};
+                case BinaryOp::Mul:
+                    if (!l.is_literal() && !r.is_literal()) {
+                        throw CompileError(e.loc,
+                                           "index expressions must be affine in the iteration "
+                                           "variable (i*i is not allowed)");
+                    }
+                    if (l.is_literal()) return {l.constant * r.coeff_iter, l.constant * r.constant};
+                    return {l.coeff_iter * r.constant, l.constant * r.constant};
+                case BinaryOp::Div:
+                case BinaryOp::Mod:
+                    if (!l.is_literal() || !r.is_literal()) {
+                        throw CompileError(e.loc,
+                                           "division in index expressions requires constants");
+                    }
+                    if (r.constant == 0) throw CompileError(e.loc, "division by zero");
+                    return Affine::literal(b->op == BinaryOp::Div ? l.constant / r.constant
+                                                                  : l.constant % r.constant);
+                default:
+                    throw CompileError(e.loc, "comparison not valid in an integer expression");
+            }
+        }
+        throw CompileError(e.loc, "expected an integer expression");
+    }
+
+    Value eval_value(const lang::Expr& e, const Env& env) {
+        if (const auto* ref = std::get_if<lang::FieldRef>(&e.node)) {
+            if (ref->path.size() == 2 && ref->path[0] == "meta") return meta_ref(e.loc, *ref, env);
+            if (ref->path.size() == 2 && ref->path[0] == "pkt") {
+                const PacketFieldId f = prog_.find_packet(ref->path[1]);
+                if (f == kNoId) {
+                    throw CompileError(e.loc, "unknown packet field 'pkt." + ref->path[1] + "'");
+                }
+                if (ref->index) {
+                    throw CompileError(e.loc, "packet fields cannot be indexed");
+                }
+                return PacketRef{f};
+            }
+            if (ref->path.size() == 1 && prog_.find_register(ref->path[0]) != kNoId) {
+                return reg_ref_value(e.loc, *ref, env);
+            }
+        }
+        return eval_affine(e, env);
+    }
+
+    MetaRef meta_ref(const SourceLoc& loc, const lang::FieldRef& ref, const Env& env) {
+        const MetaFieldId f = prog_.find_meta(ref.path[1]);
+        if (f == kNoId) throw CompileError(loc, "unknown metadata field 'meta." + ref.path[1] + "'");
+        const MetaField& field = prog_.meta(f);
+        MetaRef out;
+        out.field = f;
+        if (field.is_array()) {
+            if (!ref.index) {
+                throw CompileError(loc, "metadata array 'meta." + field.name +
+                                            "' must be indexed");
+            }
+            out.index = eval_affine(*ref.index, env);
+        } else {
+            if (ref.index) {
+                throw CompileError(loc, "metadata field 'meta." + field.name +
+                                            "' is scalar and cannot be indexed");
+            }
+            out.index = Affine::literal(0);
+        }
+        return out;
+    }
+
+    Value reg_ref_value(const SourceLoc& loc, const lang::FieldRef& ref, const Env& env) {
+        const RegisterId r = prog_.find_register(ref.path[0]);
+        const RegisterArray& reg = prog_.reg(r);
+        RegRef out;
+        out.reg = r;
+        if (ref.index) {
+            out.instance = eval_affine(*ref.index, env);
+        } else {
+            if (reg.instances.symbolic() || reg.instances.literal != 1) {
+                throw CompileError(loc, "register matrix '" + reg.name +
+                                            "' must be indexed with an instance");
+            }
+            out.instance = Affine::literal(0);
+        }
+        return out;
+    }
+
+    // -- Pass 2: actions --------------------------------------------------
+
+    void elaborate_actions() {
+        for (const auto& [name, decl] : action_decls_) {
+            Action a;
+            a.name = name;
+            a.has_iter_param = decl->iter_param.has_value();
+            Env env;
+            if (a.has_iter_param) env[*decl->iter_param] = NameBinding{true, 0};
+            for (const lang::StmtPtr& s : decl->body.stmts) {
+                const auto* call = std::get_if<lang::CallStmt>(&s->node);
+                if (call == nullptr) {
+                    throw CompileError(s->loc,
+                                       "action bodies may contain only primitive operations "
+                                       "(guards belong in the control's apply block)");
+                }
+                a.ops.push_back(elaborate_prim(s->loc, *call, env));
+            }
+            action_ids_[name] = static_cast<ActionId>(prog_.actions.size());
+            prog_.actions.push_back(std::move(a));
+        }
+    }
+
+    PrimOp elaborate_prim(const SourceLoc& loc, const lang::CallStmt& call, const Env& env) {
+        static const std::map<std::string_view, PrimKind> kPrims = {
+            {"hash", PrimKind::Hash},         {"reg_add", PrimKind::RegAdd},
+            {"reg_read", PrimKind::RegRead},  {"reg_write", PrimKind::RegWrite},
+            {"reg_min", PrimKind::RegMin},    {"reg_max", PrimKind::RegMax},
+            {"set", PrimKind::Set},           {"add", PrimKind::Add},
+            {"sub", PrimKind::Sub},           {"min", PrimKind::Min},
+            {"max", PrimKind::Max},
+        };
+        const auto it = kPrims.find(call.name);
+        if (it == kPrims.end()) {
+            throw CompileError(loc, "unknown primitive or action '" + call.name + "'");
+        }
+        if (call.iter_arg) {
+            throw CompileError(loc, "primitive '" + call.name + "' does not take an iteration "
+                                    "argument");
+        }
+        const PrimKind kind = it->second;
+        PrimOp op;
+        op.kind = kind;
+
+        const auto arity_error = [&](const char* signature) -> CompileError {
+            return CompileError(loc, std::string("wrong arguments for ") + call.name +
+                                         "; expected " + signature);
+        };
+        const auto arg_meta = [&](std::size_t i) {
+            const auto* ref = std::get_if<lang::FieldRef>(&call.args[i]->node);
+            if (ref == nullptr || ref->path.size() != 2 || ref->path[0] != "meta") {
+                throw CompileError(call.args[i]->loc,
+                                   "argument " + std::to_string(i + 1) + " of " + call.name +
+                                       " must be a metadata field");
+            }
+            return meta_ref(call.args[i]->loc, *ref, env);
+        };
+        const auto arg_reg = [&](std::size_t i) {
+            const Value v = eval_value(*call.args[i], env);
+            const auto* r = std::get_if<RegRef>(&v);
+            if (r == nullptr) {
+                throw CompileError(call.args[i]->loc,
+                                   "argument " + std::to_string(i + 1) + " of " + call.name +
+                                       " must be a register (instance) reference");
+            }
+            return *r;
+        };
+        const auto arg_value = [&](std::size_t i) { return eval_value(*call.args[i], env); };
+
+        switch (kind) {
+            case PrimKind::Hash: {
+                // hash(dst, seed, src..., modulus)
+                if (call.args.size() < 4) throw arity_error("hash(dst, seed, src..., modulus)");
+                op.dst = arg_meta(0);
+                op.seed = eval_affine(*call.args[1], env);
+                for (std::size_t i = 2; i + 1 < call.args.size(); ++i) {
+                    op.srcs.push_back(arg_value(i));
+                }
+                const Value mod = arg_value(call.args.size() - 1);
+                if (const auto* r = std::get_if<RegRef>(&mod)) {
+                    op.modulus = *r;
+                } else if (const auto* a = std::get_if<Affine>(&mod); a != nullptr && a->is_literal()) {
+                    if (a->constant <= 0) {
+                        throw CompileError(loc, "hash modulus must be positive");
+                    }
+                    op.modulus = a->constant;
+                } else {
+                    throw CompileError(loc,
+                                       "hash modulus must be a register reference or a positive "
+                                       "constant");
+                }
+                break;
+            }
+            case PrimKind::RegAdd:
+            case PrimKind::RegMin:
+            case PrimKind::RegMax: {
+                // reg_op(reg, idx, src_or_amount [, dst])
+                if (call.args.size() != 3 && call.args.size() != 4) {
+                    throw arity_error("(reg, index, value[, dst])");
+                }
+                op.reg = arg_reg(0);
+                op.reg_index = arg_value(1);
+                op.srcs.push_back(arg_value(2));
+                if (call.args.size() == 4) op.dst = arg_meta(3);
+                break;
+            }
+            case PrimKind::RegRead: {
+                if (call.args.size() != 3) throw arity_error("reg_read(reg, index, dst)");
+                op.reg = arg_reg(0);
+                op.reg_index = arg_value(1);
+                op.dst = arg_meta(2);
+                break;
+            }
+            case PrimKind::RegWrite: {
+                if (call.args.size() != 3) throw arity_error("reg_write(reg, index, src)");
+                op.reg = arg_reg(0);
+                op.reg_index = arg_value(1);
+                op.srcs.push_back(arg_value(2));
+                break;
+            }
+            case PrimKind::Set:
+            case PrimKind::Min:
+            case PrimKind::Max: {
+                if (call.args.size() != 2) throw arity_error("(dst, src)");
+                op.dst = arg_meta(0);
+                op.srcs.push_back(arg_value(1));
+                break;
+            }
+            case PrimKind::Add:
+            case PrimKind::Sub: {
+                if (call.args.size() != 3) throw arity_error("(dst, a, b)");
+                op.dst = arg_meta(0);
+                op.srcs.push_back(arg_value(1));
+                op.srcs.push_back(arg_value(2));
+                break;
+            }
+        }
+        return op;
+    }
+
+    // -- Pass 3: control-flow flattening ----------------------------------
+
+    struct FlowContext {
+        SymbolId loop_bound = kNoId;
+        std::string loop_var;
+        std::vector<Cond> guards;
+        Env env;
+    };
+
+    void flatten_flow() {
+        const lang::ControlDecl* entry = lookup_control(options_.entry_control);
+        FlowContext ctx;
+        std::set<std::string> applying;
+        flatten_block(entry->apply, ctx, applying);
+    }
+
+    const lang::ControlDecl* lookup_control(const std::string& name) {
+        const auto it = control_decls_.find(name);
+        if (it == control_decls_.end()) {
+            throw CompileError("control '" + name + "' not found (the entry control must be "
+                               "named '" + options_.entry_control + "')");
+        }
+        return it->second;
+    }
+
+    void flatten_block(const lang::Block& block, const FlowContext& ctx,
+                       std::set<std::string>& applying) {
+        for (const lang::StmtPtr& s : block.stmts) {
+            flatten_stmt(*s, ctx, applying);
+        }
+    }
+
+    void flatten_stmt(const lang::Stmt& s, const FlowContext& ctx,
+                      std::set<std::string>& applying) {
+        if (const auto* apply = std::get_if<lang::ApplyStmt>(&s.node)) {
+            if (!applying.insert(apply->control).second) {
+                throw CompileError(s.loc, "recursive control application of '" + apply->control +
+                                              "'");
+            }
+            const lang::ControlDecl* c = lookup_control(apply->control);
+            flatten_block(c->apply, ctx, applying);
+            applying.erase(apply->control);
+            return;
+        }
+        if (const auto* loop = std::get_if<lang::ForStmt>(&s.node)) {
+            flatten_for(s.loc, *loop, ctx, applying);
+            return;
+        }
+        if (const auto* branch = std::get_if<lang::IfStmt>(&s.node)) {
+            FlowContext then_ctx = ctx;
+            then_ctx.guards.push_back(lower_cond(*branch->cond, ctx.env));
+            flatten_block(branch->then_block, then_ctx, applying);
+            if (!branch->else_block.stmts.empty()) {
+                FlowContext else_ctx = ctx;
+                Cond negated = lower_cond(*branch->cond, ctx.env);
+                negated.op = negate(negated.op);
+                else_ctx.guards.push_back(negated);
+                flatten_block(branch->else_block, else_ctx, applying);
+            }
+            return;
+        }
+        const auto& call = std::get<lang::CallStmt>(s.node);
+        flatten_call(s.loc, call, ctx);
+    }
+
+    void flatten_for(const SourceLoc& loc, const lang::ForStmt& loop, const FlowContext& ctx,
+                     std::set<std::string>& applying) {
+        // Concrete bound (const int): unroll in place.
+        if (const auto it = consts_.find(loop.bound); it != consts_.end()) {
+            for (std::int64_t k = 0; k < it->second; ++k) {
+                FlowContext inner = ctx;
+                inner.env[loop.var] = NameBinding{false, k};
+                flatten_block(loop.body, inner, applying);
+            }
+            return;
+        }
+        const SymbolId bound = prog_.find_symbol(loop.bound);
+        if (bound == kNoId) {
+            throw CompileError(loc, "loop bound '" + loop.bound +
+                                        "' is neither a symbolic value nor a const int");
+        }
+        if (ctx.loop_bound != kNoId) {
+            throw CompileError(loc,
+                               "nested symbolic loops are not supported; restructure the inner "
+                               "loop as a separate module instantiation (concrete-bound loops "
+                               "may nest freely)");
+        }
+        assign_role(loc, bound, SymbolRole::IterationCount);
+        FlowContext inner = ctx;
+        inner.loop_bound = bound;
+        inner.loop_var = loop.var;
+        inner.env[loop.var] = NameBinding{true, 0};
+        flatten_block(loop.body, inner, applying);
+    }
+
+    void flatten_call(const SourceLoc& loc, const lang::CallStmt& call, const FlowContext& ctx) {
+        CallSite site;
+        site.loop_bound = ctx.loop_bound;
+        site.guards = ctx.guards;
+        site.seq = static_cast<int>(prog_.flow.size());
+
+        const auto action_it = action_ids_.find(call.name);
+        if (action_it != action_ids_.end()) {
+            if (!call.args.empty()) {
+                throw CompileError(loc, "action '" + call.name + "' takes no value arguments");
+            }
+            site.action = action_it->second;
+            const Action& a = prog_.action(site.action);
+            if (a.has_iter_param) {
+                if (!call.iter_arg) {
+                    throw CompileError(loc, "action '" + call.name +
+                                                "' requires an iteration argument [i]");
+                }
+                site.iter_arg = eval_affine(*call.iter_arg, ctx.env);
+            } else if (call.iter_arg) {
+                throw CompileError(loc, "action '" + call.name +
+                                            "' does not take an iteration argument");
+            }
+            prog_.flow.push_back(std::move(site));
+            return;
+        }
+
+        // A primitive invoked directly inside a control: wrap it in a
+        // synthesized single-op action.
+        lang::CallStmt copy;
+        copy.name = call.name;
+        for (const lang::ExprPtr& a : call.args) copy.args.push_back(lang::clone_expr(*a));
+        Action wrapper;
+        wrapper.name = "__inline_" + std::to_string(prog_.flow.size()) + "_" + call.name;
+        wrapper.has_iter_param = ctx.loop_bound != kNoId;
+        wrapper.ops.push_back(elaborate_prim(loc, copy, ctx.env));
+        site.action = static_cast<ActionId>(prog_.actions.size());
+        site.iter_arg = wrapper.has_iter_param ? Affine::iter() : Affine::literal(0);
+        prog_.actions.push_back(std::move(wrapper));
+        prog_.flow.push_back(std::move(site));
+    }
+
+    Cond lower_cond(const lang::Expr& e, const Env& env) {
+        const auto* b = std::get_if<lang::Binary>(&e.node);
+        if (b == nullptr) {
+            throw CompileError(e.loc, "guard must be a comparison (lhs OP rhs)");
+        }
+        Cond c;
+        switch (b->op) {
+            case BinaryOp::Lt: c.op = CmpOp::Lt; break;
+            case BinaryOp::Le: c.op = CmpOp::Le; break;
+            case BinaryOp::Gt: c.op = CmpOp::Gt; break;
+            case BinaryOp::Ge: c.op = CmpOp::Ge; break;
+            case BinaryOp::Eq: c.op = CmpOp::Eq; break;
+            case BinaryOp::Ne: c.op = CmpOp::Ne; break;
+            default:
+                throw CompileError(e.loc,
+                                   "guard must be a single comparison (use nested ifs for "
+                                   "conjunction)");
+        }
+        c.lhs = eval_value(*b->lhs, env);
+        c.rhs = eval_value(*b->rhs, env);
+        if (std::holds_alternative<RegRef>(c.lhs) || std::holds_alternative<RegRef>(c.rhs)) {
+            throw CompileError(e.loc, "guards cannot reference register state directly; "
+                                      "read it into metadata first");
+        }
+        return c;
+    }
+
+    // -- Pass 4: assumes + utility ---------------------------------------
+
+    void lower_assumes_and_utility() {
+        bool have_optimize = false;
+        for (const lang::Decl& d : ast_.decls) {
+            if (const auto* a = std::get_if<lang::AssumeDecl>(&d.node)) {
+                lower_assume(*a->cond);
+            } else if (const auto* o = std::get_if<lang::OptimizeDecl>(&d.node)) {
+                if (have_optimize) {
+                    throw CompileError(d.loc, "multiple optimize declarations");
+                }
+                have_optimize = true;
+                prog_.utility = lower_poly(*o->objective);
+                validate_quadratic_terms(d.loc, prog_.utility);
+            }
+        }
+    }
+
+    void lower_assume(const lang::Expr& e) {
+        if (const auto* b = std::get_if<lang::Binary>(&e.node); b != nullptr && b->op == BinaryOp::And) {
+            lower_assume(*b->lhs);
+            lower_assume(*b->rhs);
+            return;
+        }
+        const auto* b = std::get_if<lang::Binary>(&e.node);
+        if (b == nullptr) {
+            throw CompileError(e.loc, "assume must be a conjunction of comparisons");
+        }
+        PolyConstraint pc;
+        Polynomial lhs = lower_poly(*b->lhs);
+        const Polynomial rhs = lower_poly(*b->rhs);
+        lhs -= rhs;  // constraint on (lhs - rhs)
+        switch (b->op) {
+            case BinaryOp::Le: pc.op = CmpOp::Le; break;
+            case BinaryOp::Ge: pc.op = CmpOp::Ge; break;
+            case BinaryOp::Eq: pc.op = CmpOp::Eq; break;
+            case BinaryOp::Lt:
+                // Integer semantics: x < y  ⇔  x - y + 1 ≤ 0.
+                lhs += Polynomial(1.0);
+                pc.op = CmpOp::Le;
+                break;
+            case BinaryOp::Gt:
+                lhs -= Polynomial(1.0);
+                pc.op = CmpOp::Ge;
+                break;
+            default:
+                throw CompileError(e.loc, "assume supports comparisons joined by && only");
+        }
+        // Normalize Ge to Le by negation.
+        if (pc.op == CmpOp::Ge) {
+            lhs.negate();
+            pc.op = CmpOp::Le;
+        }
+        pc.poly = std::move(lhs);
+        validate_quadratic_terms(e.loc, pc.poly);
+        prog_.assumes.push_back(std::move(pc));
+    }
+
+    Polynomial lower_poly(const lang::Expr& e) {
+        if (const auto* i = std::get_if<lang::IntLit>(&e.node)) {
+            return Polynomial(static_cast<double>(i->value));
+        }
+        if (const auto* f = std::get_if<lang::FloatLit>(&e.node)) {
+            return Polynomial(f->value);
+        }
+        if (const auto* r = std::get_if<lang::FieldRef>(&e.node)) {
+            if (r->path.size() == 1 && !r->index) {
+                if (const auto it = consts_.find(r->path[0]); it != consts_.end()) {
+                    return Polynomial(static_cast<double>(it->second));
+                }
+                const SymbolId s = prog_.find_symbol(r->path[0]);
+                if (s != kNoId) return Polynomial::var(s);
+            }
+            throw CompileError(e.loc, "'" + r->dotted() +
+                                          "' is not a symbolic value or constant");
+        }
+        if (const auto* u = std::get_if<lang::Unary>(&e.node)) {
+            if (u->op != UnaryOp::Neg) {
+                throw CompileError(e.loc, "'!' is not valid in a symbolic expression");
+            }
+            Polynomial p = lower_poly(*u->operand);
+            p.negate();
+            return p;
+        }
+        const auto& b = std::get<lang::Binary>(e.node);
+        Polynomial l = lower_poly(*b.lhs);
+        const Polynomial r = lower_poly(*b.rhs);
+        switch (b.op) {
+            case BinaryOp::Add: l += r; return l;
+            case BinaryOp::Sub: l -= r; return l;
+            case BinaryOp::Mul:
+                try {
+                    return l.multiply(r);
+                } catch (const CompileError& err) {
+                    throw CompileError(e.loc, err.what());
+                }
+            case BinaryOp::Div:
+                if (!r.is_constant()) {
+                    throw CompileError(e.loc, "division by a symbolic value is not supported");
+                }
+                return l.divide_by_constant(r.constant());
+            default:
+                throw CompileError(e.loc, "comparison nested inside arithmetic expression");
+        }
+    }
+
+    /// Quadratic terms must denote register-matrix sizes: instances ×
+    /// elements of some declared register matrix (the paper's rows*cols).
+    void validate_quadratic_terms(const SourceLoc& loc, const Polynomial& p) {
+        for (const PolyTerm& t : p.terms()) {
+            if (t.degree() < 2) continue;
+            bool matched = false;
+            for (const RegisterArray& r : prog_.registers) {
+                if (!r.elems.symbolic() || !r.instances.symbolic()) continue;
+                const SymbolId lo = std::min(r.elems.sym, r.instances.sym);
+                const SymbolId hi = std::max(r.elems.sym, r.instances.sym);
+                if (lo == t.a && hi == t.b) {
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                throw CompileError(
+                    loc, "product '" + prog_.symbol(t.a).name + " * " + prog_.symbol(t.b).name +
+                             "' does not correspond to any register matrix (instances × "
+                             "elements); only such products are expressible in the ILP");
+            }
+        }
+    }
+
+    const lang::Program& ast_;
+    const ElaborateOptions& options_;
+    Program prog_;
+
+    std::map<std::string, std::int64_t, std::less<>> consts_;
+    std::map<std::string, const lang::ActionDecl*, std::less<>> action_decls_;
+    std::map<std::string, const lang::ControlDecl*, std::less<>> control_decls_;
+    std::map<std::string, ActionId, std::less<>> action_ids_;
+    std::set<std::string> seen_names_;
+};
+
+}  // namespace
+
+Program elaborate(const lang::Program& ast, const ElaborateOptions& options) {
+    return Elaborator(ast, options).run();
+}
+
+Program elaborate_source(std::string_view source, const ElaborateOptions& options) {
+    const lang::Program ast = lang::parse(source, options.program_name + ".p4all");
+    return elaborate(ast, options);
+}
+
+}  // namespace p4all::ir

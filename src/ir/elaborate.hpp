@@ -1,0 +1,34 @@
+// Elaboration: lowers a parsed P4All AST to the typed IR.
+//
+// Elaboration performs name resolution, constant folding, symbolic-role
+// inference, primitive signature checking, control-flow flattening (inlining
+// control applies, unrolling concrete loops, collecting `if` guards), and
+// the lowering of `assume`/`optimize` expressions to degree-≤2 polynomials.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+#include "lang/ast.hpp"
+
+namespace p4all::ir {
+
+/// Options controlling elaboration.
+struct ElaborateOptions {
+    /// Name recorded in Program::name (reports, codegen headers).
+    std::string program_name = "program";
+    /// Entry control; must exist in the AST.
+    std::string entry_control = "ingress";
+};
+
+/// Elaborates `ast` into an IR Program. Throws support::CompileError with a
+/// source location on the first semantic error (unknown names, signature
+/// mismatches, role conflicts, nested symbolic loops, non-linearizable
+/// assume/optimize expressions, ...).
+[[nodiscard]] Program elaborate(const lang::Program& ast, const ElaborateOptions& options = {});
+
+/// Convenience: parse + elaborate from source text.
+[[nodiscard]] Program elaborate_source(std::string_view source,
+                                       const ElaborateOptions& options = {});
+
+}  // namespace p4all::ir

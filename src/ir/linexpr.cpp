@@ -1,0 +1,143 @@
+#include "ir/linexpr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace p4all::ir {
+
+using support::CompileError;
+
+Polynomial::Polynomial(double constant) {
+    if (constant != 0.0) terms_.push_back({constant, kNoId, kNoId});
+}
+
+Polynomial Polynomial::var(SymbolId v) {
+    Polynomial p;
+    p.terms_.push_back({1.0, v, kNoId});
+    return p;
+}
+
+void Polynomial::add_term(PolyTerm t) {
+    if (t.a == kNoId && t.b != kNoId) std::swap(t.a, t.b);
+    if (t.a != kNoId && t.b != kNoId && t.a > t.b) std::swap(t.a, t.b);
+    terms_.push_back(t);
+    canonicalize();
+}
+
+void Polynomial::canonicalize() {
+    std::sort(terms_.begin(), terms_.end(), [](const PolyTerm& x, const PolyTerm& y) {
+        if (x.a != y.a) return x.a < y.a;
+        return x.b < y.b;
+    });
+    std::vector<PolyTerm> merged;
+    for (const PolyTerm& t : terms_) {
+        if (!merged.empty() && merged.back().a == t.a && merged.back().b == t.b) {
+            merged.back().coeff += t.coeff;
+        } else {
+            merged.push_back(t);
+        }
+    }
+    std::erase_if(merged, [](const PolyTerm& t) { return t.coeff == 0.0; });
+    terms_ = std::move(merged);
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& rhs) {
+    terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+    canonicalize();
+    return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& rhs) {
+    for (PolyTerm t : rhs.terms_) {
+        t.coeff = -t.coeff;
+        terms_.push_back(t);
+    }
+    canonicalize();
+    return *this;
+}
+
+void Polynomial::negate() {
+    for (PolyTerm& t : terms_) t.coeff = -t.coeff;
+}
+
+Polynomial Polynomial::multiply(const Polynomial& rhs) const {
+    Polynomial out;
+    for (const PolyTerm& x : terms_) {
+        for (const PolyTerm& y : rhs.terms_) {
+            PolyTerm t;
+            t.coeff = x.coeff * y.coeff;
+            // Collect the variable factors of the product.
+            std::vector<SymbolId> vars;
+            for (const SymbolId v : {x.a, x.b, y.a, y.b}) {
+                if (v != kNoId) vars.push_back(v);
+            }
+            if (vars.size() > 2) {
+                throw CompileError(
+                    "expression exceeds degree 2: products of more than two symbolic values "
+                    "cannot be expressed in the ILP");
+            }
+            t.a = vars.size() > 0 ? vars[0] : kNoId;
+            t.b = vars.size() > 1 ? vars[1] : kNoId;
+            out.terms_.push_back(t);
+        }
+    }
+    // add_term canonicalization path
+    Polynomial result;
+    for (const PolyTerm& t : out.terms_) result.add_term(t);
+    return result;
+}
+
+Polynomial Polynomial::divide_by_constant(double c) const {
+    if (c == 0.0) throw CompileError("division by zero in symbolic expression");
+    Polynomial out = *this;
+    for (PolyTerm& t : out.terms_) t.coeff /= c;
+    return out;
+}
+
+double Polynomial::constant() const noexcept {
+    for (const PolyTerm& t : terms_) {
+        if (t.a == kNoId) return t.coeff;
+    }
+    return 0.0;
+}
+
+int Polynomial::degree() const noexcept {
+    int d = 0;
+    for (const PolyTerm& t : terms_) d = std::max(d, t.degree());
+    return d;
+}
+
+double Polynomial::evaluate(const std::vector<std::int64_t>& assignment) const {
+    double total = 0.0;
+    for (const PolyTerm& t : terms_) {
+        double v = t.coeff;
+        if (t.a != kNoId) v *= static_cast<double>(assignment.at(static_cast<std::size_t>(t.a)));
+        if (t.b != kNoId) v *= static_cast<double>(assignment.at(static_cast<std::size_t>(t.b)));
+        total += v;
+    }
+    return total;
+}
+
+std::string Polynomial::to_string() const {
+    if (terms_.empty()) return "0";
+    std::vector<std::string> parts;
+    for (const PolyTerm& t : terms_) {
+        std::string s = support::format_double(t.coeff, 6);
+        // strip trailing zeros for readability
+        while (s.find('.') != std::string::npos && (s.back() == '0')) s.pop_back();
+        if (!s.empty() && s.back() == '.') s.pop_back();
+        if (t.a != kNoId) s += "*s" + std::to_string(t.a);
+        if (t.b != kNoId) s += "*s" + std::to_string(t.b);
+        parts.push_back(std::move(s));
+    }
+    return support::join(parts, " + ");
+}
+
+std::string PolyConstraint::to_string() const {
+    return poly.to_string() + " " + cmp_op_spelling(op) + " 0";
+}
+
+}  // namespace p4all::ir

@@ -1,0 +1,80 @@
+// Degree-≤2 polynomials over symbolic variables.
+//
+// `assume` constraints and `optimize` utility functions are arithmetic
+// expressions over symbolic values. The compiler lowers them to polynomials
+// with terms of degree 0 (constants), 1 (a symbolic value), or 2 (a product
+// of two symbolic values, which must denote a register-matrix size —
+// instances × elements — to stay expressible in the ILP, exactly as the
+// paper's `rows * cols` term does).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/types.hpp"
+
+namespace p4all::ir {
+
+/// coeff · a · b, where a/b are symbolic variables or absent:
+///   a == kNoId && b == kNoId  → constant term
+///   a != kNoId && b == kNoId  → linear term
+///   a != kNoId && b != kNoId  → quadratic term (a ≤ b canonical order)
+struct PolyTerm {
+    double coeff = 0.0;
+    SymbolId a = kNoId;
+    SymbolId b = kNoId;
+
+    [[nodiscard]] int degree() const noexcept { return (a != kNoId ? 1 : 0) + (b != kNoId ? 1 : 0); }
+};
+
+/// A sparse polynomial Σ terms. Terms are kept merged and canonical.
+class Polynomial {
+public:
+    Polynomial() = default;
+    explicit Polynomial(double constant);
+
+    /// Monomial helpers.
+    [[nodiscard]] static Polynomial var(SymbolId v);
+
+    void add_term(PolyTerm t);
+
+    Polynomial& operator+=(const Polynomial& rhs);
+    Polynomial& operator-=(const Polynomial& rhs);
+    void negate();
+
+    /// Polynomial product. Throws support::CompileError if the result would
+    /// exceed degree 2.
+    [[nodiscard]] Polynomial multiply(const Polynomial& rhs) const;
+
+    /// Division / modulus by a nonzero constant only.
+    [[nodiscard]] Polynomial divide_by_constant(double c) const;
+
+    [[nodiscard]] const std::vector<PolyTerm>& terms() const noexcept { return terms_; }
+    [[nodiscard]] double constant() const noexcept;
+    [[nodiscard]] int degree() const noexcept;
+    [[nodiscard]] bool is_constant() const noexcept { return degree() == 0; }
+
+    /// Evaluates under a full assignment (indexed by SymbolId).
+    [[nodiscard]] double evaluate(const std::vector<std::int64_t>& assignment) const;
+
+    /// Debug rendering like "0.4*s0*s1 + 0.6*s2 + 3".
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    void canonicalize();
+
+    std::vector<PolyTerm> terms_;  // merged; no zero coefficients
+};
+
+/// A linear(izable) constraint `poly op 0` produced from an assume clause.
+/// Only Le / Ge / Eq survive normalization (strict inequalities over integers
+/// are rewritten: x < c  ⇒  x ≤ c-1).
+struct PolyConstraint {
+    Polynomial poly;  // constraint is: poly (op) 0
+    CmpOp op = CmpOp::Le;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace p4all::ir

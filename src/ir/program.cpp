@@ -1,0 +1,153 @@
+#include "ir/program.hpp"
+
+#include <cmath>
+
+namespace p4all::ir {
+
+const char* prim_kind_name(PrimKind kind) noexcept {
+    switch (kind) {
+        case PrimKind::Hash: return "hash";
+        case PrimKind::RegAdd: return "reg_add";
+        case PrimKind::RegRead: return "reg_read";
+        case PrimKind::RegWrite: return "reg_write";
+        case PrimKind::RegMin: return "reg_min";
+        case PrimKind::RegMax: return "reg_max";
+        case PrimKind::Set: return "set";
+        case PrimKind::Add: return "add";
+        case PrimKind::Sub: return "sub";
+        case PrimKind::Min: return "min";
+        case PrimKind::Max: return "max";
+    }
+    return "?";
+}
+
+bool is_commutative_update(PrimKind kind) noexcept {
+    return kind == PrimKind::Min || kind == PrimKind::Max;
+}
+
+const char* cmp_op_spelling(CmpOp op) noexcept {
+    switch (op) {
+        case CmpOp::Lt: return "<";
+        case CmpOp::Le: return "<=";
+        case CmpOp::Gt: return ">";
+        case CmpOp::Ge: return ">=";
+        case CmpOp::Eq: return "==";
+        case CmpOp::Ne: return "!=";
+    }
+    return "?";
+}
+
+CmpOp negate(CmpOp op) noexcept {
+    switch (op) {
+        case CmpOp::Lt: return CmpOp::Ge;
+        case CmpOp::Le: return CmpOp::Gt;
+        case CmpOp::Gt: return CmpOp::Le;
+        case CmpOp::Ge: return CmpOp::Lt;
+        case CmpOp::Eq: return CmpOp::Ne;
+        case CmpOp::Ne: return CmpOp::Eq;
+    }
+    return CmpOp::Eq;
+}
+
+int Program::fixed_phv_bits() const noexcept {
+    int bits = 0;
+    for (const PacketField& f : packet_fields) bits += f.width;
+    for (const MetaField& f : meta_fields) {
+        if (!f.is_array()) bits += f.width;
+        // Concrete (non-symbolic) metadata arrays are also fixed PHV.
+        else if (!f.array->symbolic()) bits += f.width * static_cast<int>(f.array->literal);
+    }
+    return bits;
+}
+
+namespace {
+template <typename T>
+int find_by_name(const std::vector<T>& table, std::string_view name) noexcept {
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].name == name) return static_cast<int>(i);
+    }
+    return kNoId;
+}
+}  // namespace
+
+SymbolId Program::find_symbol(std::string_view n) const noexcept { return find_by_name(symbols, n); }
+RegisterId Program::find_register(std::string_view n) const noexcept {
+    return find_by_name(registers, n);
+}
+MetaFieldId Program::find_meta(std::string_view n) const noexcept {
+    return find_by_name(meta_fields, n);
+}
+PacketFieldId Program::find_packet(std::string_view n) const noexcept {
+    return find_by_name(packet_fields, n);
+}
+ActionId Program::find_action(std::string_view n) const noexcept { return find_by_name(actions, n); }
+
+std::vector<SymbolId> Program::iteration_symbols() const {
+    std::vector<SymbolId> out;
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+        if (symbols[i].role == SymbolRole::IterationCount) out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+namespace {
+std::string extent_str(const Program& p, const Extent& e) {
+    return e.symbolic() ? p.symbol(e.sym).name : std::to_string(e.literal);
+}
+}  // namespace
+
+std::string Program::dump() const {
+    std::string out = "program " + name + "\n";
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+        out += "  symbolic s" + std::to_string(i) + " " + symbols[i].name + " role=";
+        switch (symbols[i].role) {
+            case SymbolRole::Unused: out += "unused"; break;
+            case SymbolRole::IterationCount: out += "iteration"; break;
+            case SymbolRole::ElementCount: out += "element"; break;
+        }
+        out += "\n";
+    }
+    for (const RegisterArray& r : registers) {
+        out += "  register " + r.name + " width=" + std::to_string(r.width) + " elems=" +
+               extent_str(*this, r.elems) + " instances=" + extent_str(*this, r.instances) + "\n";
+    }
+    for (const MetaField& f : meta_fields) {
+        out += "  meta " + f.name + " width=" + std::to_string(f.width);
+        if (f.is_array()) out += " array=" + extent_str(*this, *f.array);
+        out += "\n";
+    }
+    for (const PacketField& f : packet_fields) {
+        out += "  packet " + f.name + " width=" + std::to_string(f.width) + "\n";
+    }
+    for (const Action& a : actions) {
+        out += "  action " + a.name + " ops=" + std::to_string(a.ops.size()) + "\n";
+    }
+    for (const CallSite& c : flow) {
+        out += "  call " + action(c.action).name;
+        if (c.elastic()) out += " in-loop-over " + symbol(c.loop_bound).name;
+        if (!c.guards.empty()) out += " guards=" + std::to_string(c.guards.size());
+        out += "\n";
+    }
+    for (const PolyConstraint& pc : assumes) out += "  assume " + pc.to_string() + "\n";
+    out += "  optimize " + utility.to_string() + "\n";
+    return out;
+}
+
+bool satisfies_assumes(const Program& prog, const Assignment& assignment) {
+    for (const PolyConstraint& pc : prog.assumes) {
+        const double v = pc.poly.evaluate(assignment);
+        bool ok = true;
+        switch (pc.op) {
+            case CmpOp::Le: ok = v <= 1e-9; break;
+            case CmpOp::Ge: ok = v >= -1e-9; break;
+            case CmpOp::Eq: ok = std::abs(v) <= 1e-9; break;
+            case CmpOp::Lt: ok = v < 0; break;
+            case CmpOp::Gt: ok = v > 0; break;
+            case CmpOp::Ne: ok = std::abs(v) > 1e-9; break;
+        }
+        if (!ok) return false;
+    }
+    return true;
+}
+
+}  // namespace p4all::ir

@@ -1,0 +1,146 @@
+// The elaborated P4All program representation.
+//
+// Elaboration (elaborate.hpp) lowers the parsed AST into this table-based
+// IR: symbolic variables with inferred roles, register matrices, metadata
+// fields, actions as primitive-op lists, and a flattened ingress flow of
+// call sites. The dependency analysis, the ILP generator, the code
+// generator, and the simulator all operate on this representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/linexpr.hpp"
+#include "ir/types.hpp"
+
+namespace p4all::ir {
+
+/// How a symbolic value is used. Roles are inferred during elaboration and
+/// must be consistent: a value that bounds loops / counts register instances
+/// / sizes metadata arrays is an IterationCount; a value that sizes the
+/// element dimension of register arrays is an ElementCount. The ILP treats
+/// the two differently (unrolled binary indicators vs. an integer size var).
+enum class SymbolRole { Unused, IterationCount, ElementCount };
+
+struct SymbolicVar {
+    std::string name;
+    SymbolRole role = SymbolRole::Unused;
+};
+
+/// Either a literal size or a reference to a symbolic value.
+struct Extent {
+    SymbolId sym = kNoId;          // kNoId ⇒ concrete
+    std::int64_t literal = 1;
+
+    [[nodiscard]] bool symbolic() const noexcept { return sym != kNoId; }
+    [[nodiscard]] static Extent of_literal(std::int64_t v) noexcept { return {kNoId, v}; }
+    [[nodiscard]] static Extent of_symbol(SymbolId s) noexcept { return {s, 0}; }
+};
+
+/// An array of register arrays ("register matrix"): `instances` rows, each
+/// with `elems` registers of `width` bits. A plain register array has
+/// concrete instances == 1.
+struct RegisterArray {
+    std::string name;
+    int width = 32;
+    Extent elems;
+    Extent instances;
+};
+
+/// A metadata field; `array` non-trivial makes it a symbolic metadata array
+/// with one element per loop iteration.
+struct MetaField {
+    std::string name;
+    int width = 32;
+    std::optional<Extent> array;  // disengaged ⇒ scalar
+
+    [[nodiscard]] bool is_array() const noexcept { return array.has_value(); }
+};
+
+struct PacketField {
+    std::string name;
+    int width = 32;
+};
+
+/// An action: a named, atomic bundle of primitive operations. On PISA all
+/// ops of one action instance execute in a single stage (intra-action
+/// dataflow is same-stage forwarding); its ALU cost is the sum of its ops'.
+struct Action {
+    std::string name;
+    bool has_iter_param = false;
+    std::vector<PrimOp> ops;
+};
+
+/// One action invocation in the flattened ingress flow.
+///
+/// `loop_bound != kNoId` means the call sits inside `for (i < bound)`; the
+/// operands of the action instance are affine in i. `guards` is the
+/// conjunction of enclosing `if` conditions. `seq` is program order and
+/// breaks ties when classifying dependence edges.
+struct CallSite {
+    ActionId action = kNoId;
+    SymbolId loop_bound = kNoId;
+    Affine iter_arg;            // argument bound to the action's iteration param
+    std::vector<Cond> guards;
+    int seq = 0;
+
+    [[nodiscard]] bool elastic() const noexcept { return loop_bound != kNoId; }
+};
+
+/// The elaborated program.
+struct Program {
+    std::string name = "program";
+
+    std::vector<SymbolicVar> symbols;
+    std::vector<RegisterArray> registers;
+    std::vector<MetaField> meta_fields;
+    std::vector<PacketField> packet_fields;
+    std::vector<Action> actions;
+    std::vector<CallSite> flow;
+    std::vector<PolyConstraint> assumes;
+    Polynomial utility;
+
+    /// PHV bits consumed by inelastic state: all packet fields plus scalar
+    /// metadata (the paper's P_fixed).
+    [[nodiscard]] int fixed_phv_bits() const noexcept;
+
+    [[nodiscard]] SymbolId find_symbol(std::string_view name) const noexcept;
+    [[nodiscard]] RegisterId find_register(std::string_view name) const noexcept;
+    [[nodiscard]] MetaFieldId find_meta(std::string_view name) const noexcept;
+    [[nodiscard]] PacketFieldId find_packet(std::string_view name) const noexcept;
+    [[nodiscard]] ActionId find_action(std::string_view name) const noexcept;
+
+    [[nodiscard]] const SymbolicVar& symbol(SymbolId id) const {
+        return symbols.at(static_cast<std::size_t>(id));
+    }
+    [[nodiscard]] const RegisterArray& reg(RegisterId id) const {
+        return registers.at(static_cast<std::size_t>(id));
+    }
+    [[nodiscard]] const MetaField& meta(MetaFieldId id) const {
+        return meta_fields.at(static_cast<std::size_t>(id));
+    }
+    [[nodiscard]] const PacketField& packet(PacketFieldId id) const {
+        return packet_fields.at(static_cast<std::size_t>(id));
+    }
+    [[nodiscard]] const Action& action(ActionId id) const {
+        return actions.at(static_cast<std::size_t>(id));
+    }
+
+    /// All symbolic values with IterationCount role (loop bounds).
+    [[nodiscard]] std::vector<SymbolId> iteration_symbols() const;
+
+    /// Human-readable dump for debugging and golden tests.
+    [[nodiscard]] std::string dump() const;
+};
+
+/// A concrete assignment of every symbolic value, indexed by SymbolId.
+using Assignment = std::vector<std::int64_t>;
+
+/// Checks `assumes` under `assignment` (used by tests and the greedy
+/// backend). Returns true if every constraint holds.
+[[nodiscard]] bool satisfies_assumes(const Program& prog, const Assignment& assignment);
+
+}  // namespace p4all::ir

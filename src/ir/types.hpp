@@ -1,0 +1,123 @@
+// Core value/operand types of the elaborated P4All IR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace p4all::ir {
+
+/// Index types into the Program tables (see program.hpp). Kept as plain ints
+/// for cheap copying; -1 means "none".
+using SymbolId = int;
+using RegisterId = int;
+using MetaFieldId = int;
+using PacketFieldId = int;
+using ActionId = int;
+
+inline constexpr int kNoId = -1;
+
+/// An affine function of the enclosing symbolic loop's iteration variable:
+/// value(i) = coeff_iter * i + constant. Concrete literals have
+/// coeff_iter == 0. All indices, seeds, and immediate operands inside
+/// elastic actions are affine in the iteration variable.
+struct Affine {
+    std::int64_t coeff_iter = 0;
+    std::int64_t constant = 0;
+
+    [[nodiscard]] static Affine literal(std::int64_t c) noexcept { return {0, c}; }
+    [[nodiscard]] static Affine iter() noexcept { return {1, 0}; }
+
+    [[nodiscard]] bool is_literal() const noexcept { return coeff_iter == 0; }
+
+    /// Evaluates at iteration `i`.
+    [[nodiscard]] std::int64_t at(std::int64_t i) const noexcept {
+        return coeff_iter * i + constant;
+    }
+
+    friend bool operator==(const Affine&, const Affine&) = default;
+};
+
+/// Reference to a metadata field. For symbolic metadata arrays, `index`
+/// selects the element (affine in the loop variable); for scalar fields it
+/// must be literal 0.
+struct MetaRef {
+    MetaFieldId field = kNoId;
+    Affine index;
+
+    friend bool operator==(const MetaRef&, const MetaRef&) = default;
+};
+
+/// Reference to a parsed packet-header field.
+struct PacketRef {
+    PacketFieldId field = kNoId;
+
+    friend bool operator==(const PacketRef&, const PacketRef&) = default;
+};
+
+/// Reference to one instance of a register array (one row of a register
+/// matrix). `instance` is affine in the loop variable.
+struct RegRef {
+    RegisterId reg = kNoId;
+    Affine instance;
+
+    friend bool operator==(const RegRef&, const RegRef&) = default;
+};
+
+/// A data operand: metadata, packet field, affine immediate, or (only in
+/// register-operand positions) a register reference.
+using Value = std::variant<MetaRef, PacketRef, Affine, RegRef>;
+
+/// Primitive operations available inside actions. Costs in stateful (H_f)
+/// and stateless (H_l) ALUs come from the target specification.
+enum class PrimKind {
+    Hash,      // hash(dst_meta, seed, src..., modulus_reg_or_const)
+    RegAdd,    // reg_add(reg, idx, amount, [dst_meta])  — reg[idx] += amount
+    RegRead,   // reg_read(reg, idx, dst_meta)
+    RegWrite,  // reg_write(reg, idx, src)
+    RegMin,    // reg_min(reg, idx, src, [dst_meta])     — reg[idx] = min(reg[idx], src)
+    RegMax,    // reg_max(reg, idx, src, [dst_meta])
+    Set,       // set(dst_meta, src)
+    Add,       // add(dst_meta, a, b)
+    Sub,       // sub(dst_meta, a, b)
+    Min,       // min(dst_meta, src)                     — dst = min(dst, src)
+    Max,       // max(dst_meta, src)
+};
+
+[[nodiscard]] const char* prim_kind_name(PrimKind kind) noexcept;
+
+/// True for read-modify-write updates on their metadata destination that
+/// commute with themselves (Min/Min, Max/Max): two such writers of the same
+/// field get an exclusion edge instead of a precedence edge (§4.2).
+[[nodiscard]] bool is_commutative_update(PrimKind kind) noexcept;
+
+/// One primitive operation. Operand roles depend on `kind`; unused roles are
+/// disengaged. `modulus` is used by Hash only (register whose element count
+/// is the hash range, or a literal range).
+struct PrimOp {
+    PrimKind kind = PrimKind::Set;
+    std::optional<MetaRef> dst;
+    std::optional<RegRef> reg;
+    std::vector<Value> srcs;
+    std::optional<Value> reg_index;             // register ops: index into the array
+    Affine seed;                                // Hash only
+    std::optional<std::variant<RegRef, std::int64_t>> modulus;  // Hash only
+};
+
+/// Comparison operators usable in `if` guards.
+enum class CmpOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+[[nodiscard]] const char* cmp_op_spelling(CmpOp op) noexcept;
+[[nodiscard]] CmpOp negate(CmpOp op) noexcept;
+
+/// An atomic guard condition `lhs op rhs`. Call sites carry a conjunction of
+/// guards from their enclosing `if` statements.
+struct Cond {
+    CmpOp op = CmpOp::Eq;
+    Value lhs;
+    Value rhs;
+};
+
+}  // namespace p4all::ir

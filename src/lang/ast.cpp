@@ -1,0 +1,139 @@
+#include "lang/ast.hpp"
+
+namespace p4all::lang {
+
+const char* binary_op_spelling(BinaryOp op) noexcept {
+    switch (op) {
+        case BinaryOp::Add: return "+";
+        case BinaryOp::Sub: return "-";
+        case BinaryOp::Mul: return "*";
+        case BinaryOp::Div: return "/";
+        case BinaryOp::Mod: return "%";
+        case BinaryOp::Lt: return "<";
+        case BinaryOp::Le: return "<=";
+        case BinaryOp::Gt: return ">";
+        case BinaryOp::Ge: return ">=";
+        case BinaryOp::Eq: return "==";
+        case BinaryOp::Ne: return "!=";
+        case BinaryOp::And: return "&&";
+        case BinaryOp::Or: return "||";
+    }
+    return "?";
+}
+
+const char* unary_op_spelling(UnaryOp op) noexcept {
+    switch (op) {
+        case UnaryOp::Neg: return "-";
+        case UnaryOp::Not: return "!";
+    }
+    return "?";
+}
+
+std::string FieldRef::dotted() const {
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i != 0) out += '.';
+        out += path[i];
+    }
+    return out;
+}
+
+ExprPtr make_expr(support::SourceLoc loc,
+                  std::variant<IntLit, FloatLit, FieldRef, Binary, Unary> node) {
+    auto e = std::make_unique<Expr>();
+    e->loc = std::move(loc);
+    e->node = std::move(node);
+    return e;
+}
+
+StmtPtr make_stmt(support::SourceLoc loc,
+                  std::variant<ForStmt, IfStmt, CallStmt, ApplyStmt> node) {
+    auto s = std::make_unique<Stmt>();
+    s->loc = std::move(loc);
+    s->node = std::move(node);
+    return s;
+}
+
+ExprPtr clone_expr(const Expr& e) {
+    struct Cloner {
+        const support::SourceLoc& loc;
+        ExprPtr operator()(const IntLit& n) const { return make_expr(loc, n); }
+        ExprPtr operator()(const FloatLit& n) const { return make_expr(loc, n); }
+        ExprPtr operator()(const FieldRef& n) const {
+            FieldRef copy;
+            copy.path = n.path;
+            if (n.index) copy.index = clone_expr(*n.index);
+            return make_expr(loc, std::move(copy));
+        }
+        ExprPtr operator()(const Binary& n) const {
+            Binary copy;
+            copy.op = n.op;
+            copy.lhs = clone_expr(*n.lhs);
+            copy.rhs = clone_expr(*n.rhs);
+            return make_expr(loc, std::move(copy));
+        }
+        ExprPtr operator()(const Unary& n) const {
+            Unary copy;
+            copy.op = n.op;
+            copy.operand = clone_expr(*n.operand);
+            return make_expr(loc, std::move(copy));
+        }
+    };
+    return std::visit(Cloner{e.loc}, e.node);
+}
+
+Block clone_block(const Block& b) {
+    Block out;
+    out.stmts.reserve(b.stmts.size());
+    for (const StmtPtr& s : b.stmts) out.stmts.push_back(clone_stmt(*s));
+    return out;
+}
+
+StmtPtr clone_stmt(const Stmt& s) {
+    struct Cloner {
+        const support::SourceLoc& loc;
+        StmtPtr operator()(const ForStmt& n) const {
+            ForStmt copy;
+            copy.var = n.var;
+            copy.bound = n.bound;
+            copy.body = clone_block(n.body);
+            return make_stmt(loc, std::move(copy));
+        }
+        StmtPtr operator()(const IfStmt& n) const {
+            IfStmt copy;
+            copy.cond = clone_expr(*n.cond);
+            copy.then_block = clone_block(n.then_block);
+            copy.else_block = clone_block(n.else_block);
+            return make_stmt(loc, std::move(copy));
+        }
+        StmtPtr operator()(const CallStmt& n) const {
+            CallStmt copy;
+            copy.name = n.name;
+            for (const ExprPtr& a : n.args) copy.args.push_back(clone_expr(*a));
+            if (n.iter_arg) copy.iter_arg = clone_expr(*n.iter_arg);
+            return make_stmt(loc, std::move(copy));
+        }
+        StmtPtr operator()(const ApplyStmt& n) const { return make_stmt(loc, n); }
+    };
+    return std::visit(Cloner{s.loc}, s.node);
+}
+
+const ActionDecl* Program::find_action(std::string_view name) const {
+    for (const Decl& d : decls) {
+        if (const auto* a = std::get_if<ActionDecl>(&d.node); a != nullptr && a->name == name) {
+            return a;
+        }
+    }
+    return nullptr;
+}
+
+const ControlDecl* Program::find_control(std::string_view name) const {
+    for (const Decl& d : decls) {
+        if (const auto* c = std::get_if<ControlDecl>(&d.node); c != nullptr && c->name == name) {
+            return c;
+        }
+    }
+    return nullptr;
+}
+
+}  // namespace p4all::lang

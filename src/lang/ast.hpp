@@ -1,0 +1,210 @@
+// Abstract syntax tree for P4All.
+//
+// The same AST represents both elastic P4All programs (with symbolic values,
+// symbolic arrays, and for-loops) and the concrete P4 programs the compiler
+// emits (no symbolic declarations, loops fully unrolled, all sizes literal).
+// The printer in printer.hpp renders either form.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace p4all::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Binary operators. Arithmetic operators appear in sizes, indices, and
+/// utility functions; comparisons and logical operators appear in `if`
+/// conditions and `assume` constraints.
+enum class BinaryOp { Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq, Ne, And, Or };
+enum class UnaryOp { Neg, Not };
+
+/// Operator spelling, e.g. "&&" for BinaryOp::And.
+[[nodiscard]] const char* binary_op_spelling(BinaryOp op) noexcept;
+[[nodiscard]] const char* unary_op_spelling(UnaryOp op) noexcept;
+
+struct IntLit {
+    std::int64_t value = 0;
+};
+
+struct FloatLit {
+    double value = 0.0;
+};
+
+/// A possibly-dotted, possibly-indexed name: `rows`, `i`, `pkt.key`,
+/// `meta.count[i]`, `cms[i]`. Elaboration resolves what the path denotes
+/// (symbolic value, loop variable, metadata field, packet field, register).
+struct FieldRef {
+    std::vector<std::string> path;
+    ExprPtr index;  // may be null
+
+    [[nodiscard]] std::string dotted() const;
+};
+
+struct Binary {
+    BinaryOp op = BinaryOp::Add;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct Unary {
+    UnaryOp op = UnaryOp::Neg;
+    ExprPtr operand;
+};
+
+struct Expr {
+    support::SourceLoc loc;
+    std::variant<IntLit, FloatLit, FieldRef, Binary, Unary> node;
+};
+
+/// Allocates an expression node.
+[[nodiscard]] ExprPtr make_expr(support::SourceLoc loc,
+                                std::variant<IntLit, FloatLit, FieldRef, Binary, Unary> node);
+
+/// Deep copy (expressions are move-only otherwise).
+[[nodiscard]] ExprPtr clone_expr(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block {
+    std::vector<StmtPtr> stmts;
+};
+
+/// `for (i < rows) { ... }` — the elastic loop; `bound` must name a symbolic
+/// value (or, in concrete programs, loops are already unrolled away).
+struct ForStmt {
+    std::string var;
+    std::string bound;
+    Block body;
+};
+
+struct IfStmt {
+    ExprPtr cond;
+    Block then_block;
+    Block else_block;  // may be empty
+};
+
+/// `name(args...)[iter];` — either an action invocation (args empty, iter
+/// optional) or a primitive operation (hash, reg_add, set, ...). Elaboration
+/// disambiguates by name.
+struct CallStmt {
+    std::string name;
+    std::vector<ExprPtr> args;
+    ExprPtr iter_arg;  // may be null
+};
+
+/// `name.apply();` — invocation of another control block.
+struct ApplyStmt {
+    std::string control;
+};
+
+struct Stmt {
+    support::SourceLoc loc;
+    std::variant<ForStmt, IfStmt, CallStmt, ApplyStmt> node;
+};
+
+[[nodiscard]] StmtPtr make_stmt(support::SourceLoc loc,
+                                std::variant<ForStmt, IfStmt, CallStmt, ApplyStmt> node);
+
+[[nodiscard]] Block clone_block(const Block& b);
+[[nodiscard]] StmtPtr clone_stmt(const Stmt& s);
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+/// `symbolic int name;`
+struct SymbolicDecl {
+    std::string name;
+};
+
+/// `const int name = expr;` — expr must fold to a constant.
+struct ConstDecl {
+    std::string name;
+    ExprPtr value;
+};
+
+/// `assume expr;`
+struct AssumeDecl {
+    ExprPtr cond;
+};
+
+/// `register<bit<W>>[elems][instances] name;` — `instances` omitted means a
+/// single register array; with both brackets this is a symbolic matrix of
+/// register arrays (e.g. the rows of a count-min sketch).
+struct RegisterDecl {
+    int width = 32;
+    ExprPtr elems;
+    ExprPtr instances;  // may be null (single instance)
+    std::string name;
+};
+
+/// One field inside a metadata or packet block; `array_size` non-null makes
+/// it a symbolic metadata array (`bit<32>[rows] count;`).
+struct FieldDecl {
+    support::SourceLoc loc;
+    int width = 32;
+    ExprPtr array_size;  // may be null
+    std::string name;
+};
+
+/// `metadata { ... }` — per-packet scratch carried in the PHV.
+struct MetadataDecl {
+    std::vector<FieldDecl> fields;
+};
+
+/// `packet { ... }` — parsed header fields available in the PHV.
+struct PacketDecl {
+    std::vector<FieldDecl> fields;
+};
+
+/// `action name()[int i] { ... }` — `iter_param` present makes the action a
+/// per-iteration template instantiated once per unrolled loop iteration.
+struct ActionDecl {
+    std::string name;
+    std::optional<std::string> iter_param;
+    Block body;
+};
+
+/// `control name { apply { ... } }`
+struct ControlDecl {
+    std::string name;
+    Block apply;
+};
+
+/// `optimize expr;` — the utility function the compiler maximizes.
+struct OptimizeDecl {
+    ExprPtr objective;
+};
+
+struct Decl {
+    support::SourceLoc loc;
+    std::variant<SymbolicDecl, ConstDecl, AssumeDecl, RegisterDecl, MetadataDecl, PacketDecl,
+                 ActionDecl, ControlDecl, OptimizeDecl>
+        node;
+};
+
+/// A parsed P4All translation unit. Declaration order is preserved; the
+/// entry point is the control named `ingress`.
+struct Program {
+    std::vector<Decl> decls;
+
+    /// Finds the first declaration of kind T with the given name (actions,
+    /// controls); returns nullptr if absent.
+    [[nodiscard]] const ActionDecl* find_action(std::string_view name) const;
+    [[nodiscard]] const ControlDecl* find_control(std::string_view name) const;
+};
+
+}  // namespace p4all::lang

@@ -1,0 +1,213 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+
+namespace p4all::lang {
+
+using support::CompileError;
+using support::SourceLoc;
+
+Lexer::Lexer(std::string_view source, std::string file)
+    : source_(source), file_(std::move(file)) {}
+
+SourceLoc Lexer::here() const { return SourceLoc{file_, line_, column_}; }
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() noexcept {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+bool Lexer::match(char expected) noexcept {
+    if (at_end() || peek() != expected) return false;
+    advance();
+    return true;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+    while (!at_end()) {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!at_end() && peek() != '\n') advance();
+        } else if (c == '/' && peek(1) == '*') {
+            const SourceLoc start = here();
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (at_end()) throw CompileError(start, "unterminated block comment");
+                advance();
+            }
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token Lexer::lex_number() {
+    const SourceLoc loc = here();
+    const std::size_t start = pos_;
+    // Hex literals: 0x1F (useful for masks and sentinel values).
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        const std::size_t digits_start = pos_;
+        while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek())) != 0) advance();
+        if (pos_ == digits_start) throw CompileError(loc, "hex literal needs digits after 0x");
+        Token tok;
+        tok.kind = TokenKind::IntLiteral;
+        tok.text = std::string(source_.substr(start, pos_ - start));
+        tok.loc = loc;
+        const std::string_view digits = source_.substr(digits_start, pos_ - digits_start);
+        const auto [p, ec] =
+            std::from_chars(digits.data(), digits.data() + digits.size(), tok.int_value, 16);
+        if (ec != std::errc()) {
+            throw CompileError(loc, "hex literal out of range '" + tok.text + "'");
+        }
+        tok.float_value = static_cast<double>(tok.int_value);
+        return tok;
+    }
+    bool is_float = false;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+        is_float = true;
+        advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    }
+    const std::string_view text = source_.substr(start, pos_ - start);
+    Token tok;
+    tok.text = std::string(text);
+    tok.loc = loc;
+    if (is_float) {
+        tok.kind = TokenKind::FloatLiteral;
+        const auto [p, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), tok.float_value);
+        if (ec != std::errc()) throw CompileError(loc, "malformed float literal '" + tok.text + "'");
+    } else {
+        tok.kind = TokenKind::IntLiteral;
+        const auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), tok.int_value);
+        if (ec != std::errc())
+            throw CompileError(loc, "integer literal out of range '" + tok.text + "'");
+        tok.float_value = static_cast<double>(tok.int_value);
+    }
+    return tok;
+}
+
+Token Lexer::lex_identifier() {
+    static const std::map<std::string_view, TokenKind> kKeywords = {
+        {"symbolic", TokenKind::KwSymbolic}, {"int", TokenKind::KwInt},
+        {"const", TokenKind::KwConst},       {"assume", TokenKind::KwAssume},
+        {"register", TokenKind::KwRegister}, {"bit", TokenKind::KwBit},
+        {"metadata", TokenKind::KwMetadata}, {"packet", TokenKind::KwPacket},
+        {"action", TokenKind::KwAction},     {"control", TokenKind::KwControl},
+        {"apply", TokenKind::KwApply},       {"for", TokenKind::KwFor},
+        {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+        {"optimize", TokenKind::KwOptimize},
+    };
+    const SourceLoc loc = here();
+    const std::size_t start = pos_;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_')) {
+        advance();
+    }
+    Token tok;
+    tok.text = std::string(source_.substr(start, pos_ - start));
+    tok.loc = loc;
+    const auto it = kKeywords.find(tok.text);
+    tok.kind = it != kKeywords.end() ? it->second : TokenKind::Identifier;
+    return tok;
+}
+
+std::vector<Token> Lexer::lex_all() {
+    std::vector<Token> tokens;
+    while (true) {
+        skip_whitespace_and_comments();
+        if (at_end()) break;
+        const SourceLoc loc = here();
+        const char c = peek();
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            tokens.push_back(lex_number());
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+            tokens.push_back(lex_identifier());
+            continue;
+        }
+        advance();
+        Token tok;
+        tok.loc = loc;
+        tok.text = std::string(1, c);
+        switch (c) {
+            case '(': tok.kind = TokenKind::LParen; break;
+            case ')': tok.kind = TokenKind::RParen; break;
+            case '{': tok.kind = TokenKind::LBrace; break;
+            case '}': tok.kind = TokenKind::RBrace; break;
+            case '[': tok.kind = TokenKind::LBracket; break;
+            case ']': tok.kind = TokenKind::RBracket; break;
+            case ';': tok.kind = TokenKind::Semicolon; break;
+            case ',': tok.kind = TokenKind::Comma; break;
+            case '.': tok.kind = TokenKind::Dot; break;
+            case '+': tok.kind = TokenKind::Plus; break;
+            case '-': tok.kind = TokenKind::Minus; break;
+            case '*': tok.kind = TokenKind::Star; break;
+            case '/': tok.kind = TokenKind::Slash; break;
+            case '%': tok.kind = TokenKind::Percent; break;
+            case '<':
+                tok.kind = match('=') ? TokenKind::LessEq : TokenKind::Less;
+                break;
+            case '>':
+                // Note: '>>' is deliberately lexed as two '>' tokens so that
+                // nested angle brackets in register<bit<32>> parse naturally
+                // (the language has no shift operator).
+                tok.kind = match('=') ? TokenKind::GreaterEq : TokenKind::Greater;
+                break;
+            case '=':
+                tok.kind = match('=') ? TokenKind::EqEq : TokenKind::Assign;
+                break;
+            case '!':
+                tok.kind = match('=') ? TokenKind::NotEq : TokenKind::Not;
+                break;
+            case '&':
+                if (!match('&')) throw CompileError(loc, "expected '&&'");
+                tok.kind = TokenKind::AndAnd;
+                break;
+            case '|':
+                if (!match('|')) throw CompileError(loc, "expected '||'");
+                tok.kind = TokenKind::OrOr;
+                break;
+            default:
+                throw CompileError(loc, std::string("unexpected character '") + c + "'");
+        }
+        if (tok.kind == TokenKind::LessEq || tok.kind == TokenKind::GreaterEq ||
+            tok.kind == TokenKind::EqEq || tok.kind == TokenKind::NotEq ||
+            tok.kind == TokenKind::AndAnd || tok.kind == TokenKind::OrOr) {
+            tok.text += source_[pos_ - 1];
+        }
+        tokens.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.loc = here();
+    tokens.push_back(std::move(eof));
+    return tokens;
+}
+
+std::vector<Token> lex(std::string_view source, std::string file) {
+    return Lexer(source, std::move(file)).lex_all();
+}
+
+}  // namespace p4all::lang

@@ -1,0 +1,46 @@
+// Lexer for the P4All surface language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "support/error.hpp"
+
+namespace p4all::lang {
+
+/// Converts P4All source text into a token stream. Throws
+/// support::CompileError on malformed input (bad characters, unterminated
+/// comments, malformed numbers).
+class Lexer {
+public:
+    /// `file` is recorded in every token's source location.
+    Lexer(std::string_view source, std::string file);
+
+    /// Lexes the entire input. The returned vector always ends with an
+    /// EndOfFile token.
+    [[nodiscard]] std::vector<Token> lex_all();
+
+private:
+    [[nodiscard]] support::SourceLoc here() const;
+    [[nodiscard]] bool at_end() const noexcept { return pos_ >= source_.size(); }
+    [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
+    char advance() noexcept;
+    bool match(char expected) noexcept;
+    void skip_whitespace_and_comments();
+
+    [[nodiscard]] Token lex_number();
+    [[nodiscard]] Token lex_identifier();
+
+    std::string_view source_;
+    std::string file_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    std::uint32_t column_ = 1;
+};
+
+/// One-shot convenience wrapper around Lexer.
+[[nodiscard]] std::vector<Token> lex(std::string_view source, std::string file = "<input>");
+
+}  // namespace p4all::lang

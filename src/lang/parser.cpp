@@ -1,0 +1,374 @@
+#include "lang/parser.hpp"
+
+#include "lang/lexer.hpp"
+#include "support/error.hpp"
+
+namespace p4all::lang {
+
+using support::CompileError;
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+const Token& Parser::peek(std::size_t ahead) const noexcept {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() noexcept {
+    const Token& t = peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+}
+
+bool Parser::match(TokenKind kind) noexcept {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+}
+
+const Token& Parser::expect(TokenKind kind, std::string_view context) {
+    if (!check(kind)) {
+        throw CompileError(peek().loc, "expected " + std::string(token_kind_name(kind)) +
+                                           " in " + std::string(context) + ", found " +
+                                           std::string(token_kind_name(peek().kind)));
+    }
+    return advance();
+}
+
+void Parser::fail(std::string_view message) const {
+    throw CompileError(peek().loc, std::string(message));
+}
+
+Program Parser::parse_program() {
+    Program prog;
+    while (!check(TokenKind::EndOfFile)) prog.decls.push_back(parse_decl());
+    return prog;
+}
+
+Decl Parser::parse_decl() {
+    Decl d;
+    d.loc = peek().loc;
+    switch (peek().kind) {
+        case TokenKind::KwSymbolic: d.node = parse_symbolic(); break;
+        case TokenKind::KwConst: d.node = parse_const(); break;
+        case TokenKind::KwAssume: d.node = parse_assume(); break;
+        case TokenKind::KwRegister: d.node = parse_register(); break;
+        case TokenKind::KwMetadata: d.node = parse_metadata(); break;
+        case TokenKind::KwPacket: d.node = parse_packet(); break;
+        case TokenKind::KwAction: d.node = parse_action(); break;
+        case TokenKind::KwControl: d.node = parse_control(); break;
+        case TokenKind::KwOptimize: d.node = parse_optimize(); break;
+        default:
+            fail("expected a declaration (symbolic, const, assume, register, metadata, packet, "
+                 "action, control, or optimize)");
+    }
+    return d;
+}
+
+SymbolicDecl Parser::parse_symbolic() {
+    expect(TokenKind::KwSymbolic, "symbolic declaration");
+    expect(TokenKind::KwInt, "symbolic declaration");
+    SymbolicDecl s;
+    s.name = expect(TokenKind::Identifier, "symbolic declaration").text;
+    expect(TokenKind::Semicolon, "symbolic declaration");
+    return s;
+}
+
+ConstDecl Parser::parse_const() {
+    expect(TokenKind::KwConst, "const declaration");
+    expect(TokenKind::KwInt, "const declaration");
+    ConstDecl c;
+    c.name = expect(TokenKind::Identifier, "const declaration").text;
+    expect(TokenKind::Assign, "const declaration");
+    c.value = parse_expr();
+    expect(TokenKind::Semicolon, "const declaration");
+    return c;
+}
+
+AssumeDecl Parser::parse_assume() {
+    expect(TokenKind::KwAssume, "assume statement");
+    AssumeDecl a;
+    a.cond = parse_expr();
+    expect(TokenKind::Semicolon, "assume statement");
+    return a;
+}
+
+int Parser::parse_bit_width() {
+    expect(TokenKind::KwBit, "bit type");
+    expect(TokenKind::Less, "bit type");
+    const Token& w = expect(TokenKind::IntLiteral, "bit type");
+    expect(TokenKind::Greater, "bit type");
+    if (w.int_value <= 0 || w.int_value > 128) {
+        throw CompileError(w.loc, "bit width must be in [1, 128], got " + w.text);
+    }
+    return static_cast<int>(w.int_value);
+}
+
+RegisterDecl Parser::parse_register() {
+    expect(TokenKind::KwRegister, "register declaration");
+    expect(TokenKind::Less, "register declaration");
+    RegisterDecl r;
+    r.width = parse_bit_width();
+    expect(TokenKind::Greater, "register declaration");
+    expect(TokenKind::LBracket, "register declaration");
+    r.elems = parse_expr();
+    expect(TokenKind::RBracket, "register declaration");
+    if (match(TokenKind::LBracket)) {
+        r.instances = parse_expr();
+        expect(TokenKind::RBracket, "register declaration");
+    }
+    r.name = expect(TokenKind::Identifier, "register declaration").text;
+    expect(TokenKind::Semicolon, "register declaration");
+    return r;
+}
+
+FieldDecl Parser::parse_field_decl() {
+    FieldDecl f;
+    f.loc = peek().loc;
+    f.width = parse_bit_width();
+    if (match(TokenKind::LBracket)) {
+        f.array_size = parse_expr();
+        expect(TokenKind::RBracket, "field declaration");
+    }
+    f.name = expect(TokenKind::Identifier, "field declaration").text;
+    expect(TokenKind::Semicolon, "field declaration");
+    return f;
+}
+
+MetadataDecl Parser::parse_metadata() {
+    expect(TokenKind::KwMetadata, "metadata block");
+    expect(TokenKind::LBrace, "metadata block");
+    MetadataDecl m;
+    while (!match(TokenKind::RBrace)) m.fields.push_back(parse_field_decl());
+    return m;
+}
+
+PacketDecl Parser::parse_packet() {
+    expect(TokenKind::KwPacket, "packet block");
+    expect(TokenKind::LBrace, "packet block");
+    PacketDecl p;
+    while (!match(TokenKind::RBrace)) {
+        FieldDecl f = parse_field_decl();
+        if (f.array_size) {
+            throw CompileError(f.loc, "packet fields cannot be symbolic arrays");
+        }
+        p.fields.push_back(std::move(f));
+    }
+    return p;
+}
+
+ActionDecl Parser::parse_action() {
+    expect(TokenKind::KwAction, "action declaration");
+    ActionDecl a;
+    a.name = expect(TokenKind::Identifier, "action declaration").text;
+    expect(TokenKind::LParen, "action declaration");
+    expect(TokenKind::RParen, "action declaration");
+    if (match(TokenKind::LBracket)) {
+        expect(TokenKind::KwInt, "action iteration parameter");
+        a.iter_param = expect(TokenKind::Identifier, "action iteration parameter").text;
+        expect(TokenKind::RBracket, "action iteration parameter");
+    }
+    a.body = parse_block();
+    return a;
+}
+
+ControlDecl Parser::parse_control() {
+    expect(TokenKind::KwControl, "control declaration");
+    ControlDecl c;
+    c.name = expect(TokenKind::Identifier, "control declaration").text;
+    // Optional (possibly empty) parameter list for P4 compatibility.
+    if (match(TokenKind::LParen)) {
+        while (!check(TokenKind::RParen) && !check(TokenKind::EndOfFile)) advance();
+        expect(TokenKind::RParen, "control declaration");
+    }
+    expect(TokenKind::LBrace, "control declaration");
+    expect(TokenKind::KwApply, "control declaration");
+    c.apply = parse_block();
+    expect(TokenKind::RBrace, "control declaration");
+    return c;
+}
+
+OptimizeDecl Parser::parse_optimize() {
+    expect(TokenKind::KwOptimize, "optimize declaration");
+    OptimizeDecl o;
+    o.objective = parse_expr();
+    expect(TokenKind::Semicolon, "optimize declaration");
+    return o;
+}
+
+Block Parser::parse_block() {
+    expect(TokenKind::LBrace, "block");
+    Block b;
+    while (!match(TokenKind::RBrace)) b.stmts.push_back(parse_stmt());
+    return b;
+}
+
+StmtPtr Parser::parse_stmt() {
+    const support::SourceLoc loc = peek().loc;
+    if (check(TokenKind::KwFor)) {
+        advance();
+        expect(TokenKind::LParen, "for statement");
+        ForStmt f;
+        f.var = expect(TokenKind::Identifier, "for statement").text;
+        expect(TokenKind::Less, "for statement");
+        f.bound = expect(TokenKind::Identifier, "for statement").text;
+        expect(TokenKind::RParen, "for statement");
+        f.body = parse_block();
+        return make_stmt(loc, std::move(f));
+    }
+    if (check(TokenKind::KwIf)) {
+        advance();
+        expect(TokenKind::LParen, "if statement");
+        IfStmt s;
+        s.cond = parse_expr();
+        expect(TokenKind::RParen, "if statement");
+        s.then_block = parse_block();
+        if (match(TokenKind::KwElse)) s.else_block = parse_block();
+        return make_stmt(loc, std::move(s));
+    }
+    // Either `name.apply();` or `name(args)[iter];`
+    const Token& name = expect(TokenKind::Identifier, "statement");
+    if (check(TokenKind::Dot) && peek(1).is(TokenKind::KwApply)) {
+        advance();  // '.'
+        advance();  // 'apply'
+        expect(TokenKind::LParen, "apply statement");
+        expect(TokenKind::RParen, "apply statement");
+        expect(TokenKind::Semicolon, "apply statement");
+        return make_stmt(loc, ApplyStmt{name.text});
+    }
+    CallStmt call;
+    call.name = name.text;
+    expect(TokenKind::LParen, "call statement");
+    if (!check(TokenKind::RParen)) {
+        call.args.push_back(parse_expr());
+        while (match(TokenKind::Comma)) call.args.push_back(parse_expr());
+    }
+    expect(TokenKind::RParen, "call statement");
+    if (match(TokenKind::LBracket)) {
+        call.iter_arg = parse_expr();
+        expect(TokenKind::RBracket, "call statement");
+    }
+    expect(TokenKind::Semicolon, "call statement");
+    return make_stmt(loc, std::move(call));
+}
+
+ExprPtr Parser::parse_expr() { return parse_or(); }
+
+ExprPtr Parser::parse_or() {
+    ExprPtr lhs = parse_and();
+    while (check(TokenKind::OrOr)) {
+        const support::SourceLoc loc = advance().loc;
+        Binary b{BinaryOp::Or, std::move(lhs), parse_and()};
+        lhs = make_expr(loc, std::move(b));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_and() {
+    ExprPtr lhs = parse_equality();
+    while (check(TokenKind::AndAnd)) {
+        const support::SourceLoc loc = advance().loc;
+        Binary b{BinaryOp::And, std::move(lhs), parse_equality()};
+        lhs = make_expr(loc, std::move(b));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_equality() {
+    ExprPtr lhs = parse_relational();
+    while (check(TokenKind::EqEq) || check(TokenKind::NotEq)) {
+        const Token& op = advance();
+        Binary b{op.is(TokenKind::EqEq) ? BinaryOp::Eq : BinaryOp::Ne, std::move(lhs),
+                 parse_relational()};
+        lhs = make_expr(op.loc, std::move(b));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_relational() {
+    ExprPtr lhs = parse_additive();
+    while (check(TokenKind::Less) || check(TokenKind::LessEq) || check(TokenKind::Greater) ||
+           check(TokenKind::GreaterEq)) {
+        const Token& op = advance();
+        BinaryOp kind = BinaryOp::Lt;
+        if (op.is(TokenKind::LessEq)) kind = BinaryOp::Le;
+        if (op.is(TokenKind::Greater)) kind = BinaryOp::Gt;
+        if (op.is(TokenKind::GreaterEq)) kind = BinaryOp::Ge;
+        Binary b{kind, std::move(lhs), parse_additive()};
+        lhs = make_expr(op.loc, std::move(b));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+        const Token& op = advance();
+        Binary b{op.is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub, std::move(lhs),
+                 parse_multiplicative()};
+        lhs = make_expr(op.loc, std::move(b));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (check(TokenKind::Star) || check(TokenKind::Slash) || check(TokenKind::Percent)) {
+        const Token& op = advance();
+        BinaryOp kind = BinaryOp::Mul;
+        if (op.is(TokenKind::Slash)) kind = BinaryOp::Div;
+        if (op.is(TokenKind::Percent)) kind = BinaryOp::Mod;
+        Binary b{kind, std::move(lhs), parse_unary()};
+        lhs = make_expr(op.loc, std::move(b));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+    if (check(TokenKind::Minus)) {
+        const support::SourceLoc loc = advance().loc;
+        return make_expr(loc, Unary{UnaryOp::Neg, parse_unary()});
+    }
+    if (check(TokenKind::Not)) {
+        const support::SourceLoc loc = advance().loc;
+        return make_expr(loc, Unary{UnaryOp::Not, parse_unary()});
+    }
+    return parse_primary();
+}
+
+ExprPtr Parser::parse_primary() {
+    const Token& t = peek();
+    if (t.is(TokenKind::IntLiteral)) {
+        advance();
+        return make_expr(t.loc, IntLit{t.int_value});
+    }
+    if (t.is(TokenKind::FloatLiteral)) {
+        advance();
+        return make_expr(t.loc, FloatLit{t.float_value});
+    }
+    if (t.is(TokenKind::LParen)) {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::RParen, "parenthesized expression");
+        return inner;
+    }
+    if (t.is(TokenKind::Identifier)) {
+        FieldRef ref;
+        ref.path.push_back(advance().text);
+        while (match(TokenKind::Dot)) {
+            ref.path.push_back(expect(TokenKind::Identifier, "field reference").text);
+        }
+        if (match(TokenKind::LBracket)) {
+            ref.index = parse_expr();
+            expect(TokenKind::RBracket, "field reference");
+        }
+        return make_expr(t.loc, std::move(ref));
+    }
+    fail("expected an expression");
+}
+
+Program parse(std::string_view source, std::string file) {
+    return Parser(lex(source, std::move(file))).parse_program();
+}
+
+}  // namespace p4all::lang

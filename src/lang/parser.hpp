@@ -1,0 +1,66 @@
+// Recursive-descent parser for P4All.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+
+namespace p4all::lang {
+
+/// Parses a token stream into a Program. Throws support::CompileError with a
+/// source location on the first syntax error.
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens);
+
+    [[nodiscard]] Program parse_program();
+
+private:
+    [[nodiscard]] const Token& peek(std::size_t ahead = 0) const noexcept;
+    [[nodiscard]] bool check(TokenKind kind) const noexcept { return peek().is(kind); }
+    const Token& advance() noexcept;
+    bool match(TokenKind kind) noexcept;
+    const Token& expect(TokenKind kind, std::string_view context);
+
+    [[noreturn]] void fail(std::string_view message) const;
+
+    Decl parse_decl();
+    SymbolicDecl parse_symbolic();
+    ConstDecl parse_const();
+    AssumeDecl parse_assume();
+    RegisterDecl parse_register();
+    MetadataDecl parse_metadata();
+    PacketDecl parse_packet();
+    ActionDecl parse_action();
+    ControlDecl parse_control();
+    OptimizeDecl parse_optimize();
+
+    FieldDecl parse_field_decl();
+    int parse_bit_width();
+
+    Block parse_block();
+    StmtPtr parse_stmt();
+
+    // Precedence-climbing expression grammar:
+    //   or > and > equality > relational > additive > multiplicative > unary
+    ExprPtr parse_expr();
+    ExprPtr parse_or();
+    ExprPtr parse_and();
+    ExprPtr parse_equality();
+    ExprPtr parse_relational();
+    ExprPtr parse_additive();
+    ExprPtr parse_multiplicative();
+    ExprPtr parse_unary();
+    ExprPtr parse_primary();
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+/// Lexes and parses `source` in one step.
+[[nodiscard]] Program parse(std::string_view source, std::string file = "<input>");
+
+}  // namespace p4all::lang

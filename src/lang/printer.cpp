@@ -1,0 +1,190 @@
+#include "lang/printer.hpp"
+
+#include <cstdio>
+
+namespace p4all::lang {
+
+namespace {
+
+/// Precedence levels for minimal parenthesization; higher binds tighter.
+int precedence(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::Or: return 1;
+        case BinaryOp::And: return 2;
+        case BinaryOp::Eq:
+        case BinaryOp::Ne: return 3;
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge: return 4;
+        case BinaryOp::Add:
+        case BinaryOp::Sub: return 5;
+        case BinaryOp::Mul:
+        case BinaryOp::Div:
+        case BinaryOp::Mod: return 6;
+    }
+    return 0;
+}
+
+std::string print_expr_prec(const Expr& e, int parent_prec);
+
+struct ExprPrinter {
+    int parent_prec;
+
+    std::string operator()(const IntLit& n) const { return std::to_string(n.value); }
+
+    std::string operator()(const FloatLit& n) const {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", n.value);
+        return buf;
+    }
+
+    std::string operator()(const FieldRef& n) const {
+        std::string out = n.dotted();
+        if (n.index) {
+            out += '[';
+            out += print_expr_prec(*n.index, 0);
+            out += ']';
+        }
+        return out;
+    }
+
+    std::string operator()(const Binary& n) const {
+        const int prec = precedence(n.op);
+        std::string out = print_expr_prec(*n.lhs, prec) + " " + binary_op_spelling(n.op) + " " +
+                          print_expr_prec(*n.rhs, prec + 1);
+        if (prec < parent_prec) return "(" + out + ")";
+        return out;
+    }
+
+    std::string operator()(const Unary& n) const {
+        return std::string(unary_op_spelling(n.op)) + print_expr_prec(*n.operand, 7);
+    }
+};
+
+std::string print_expr_prec(const Expr& e, int parent_prec) {
+    return std::visit(ExprPrinter{parent_prec}, e.node);
+}
+
+std::string indent_str(int levels) { return std::string(static_cast<std::size_t>(levels) * 4, ' '); }
+
+void print_block_into(const Block& b, int indent, std::string& out);
+
+struct StmtPrinter {
+    int indent;
+    std::string& out;
+
+    void operator()(const ForStmt& n) const {
+        out += indent_str(indent) + "for (" + n.var + " < " + n.bound + ") {\n";
+        print_block_into(n.body, indent + 1, out);
+        out += indent_str(indent) + "}\n";
+    }
+
+    void operator()(const IfStmt& n) const {
+        out += indent_str(indent) + "if (" + print_expr(*n.cond) + ") {\n";
+        print_block_into(n.then_block, indent + 1, out);
+        out += indent_str(indent) + "}";
+        if (!n.else_block.stmts.empty()) {
+            out += " else {\n";
+            print_block_into(n.else_block, indent + 1, out);
+            out += indent_str(indent) + "}";
+        }
+        out += "\n";
+    }
+
+    void operator()(const CallStmt& n) const {
+        out += indent_str(indent) + n.name + "(";
+        for (std::size_t i = 0; i < n.args.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += print_expr(*n.args[i]);
+        }
+        out += ")";
+        if (n.iter_arg) out += "[" + print_expr(*n.iter_arg) + "]";
+        out += ";\n";
+    }
+
+    void operator()(const ApplyStmt& n) const {
+        out += indent_str(indent) + n.control + ".apply();\n";
+    }
+};
+
+void print_block_into(const Block& b, int indent, std::string& out) {
+    for (const StmtPtr& s : b.stmts) out += print_stmt(*s, indent);
+}
+
+std::string print_field(const FieldDecl& f, int indent) {
+    std::string out = indent_str(indent) + "bit<" + std::to_string(f.width) + ">";
+    if (f.array_size) out += "[" + print_expr(*f.array_size) + "]";
+    out += " " + f.name + ";\n";
+    return out;
+}
+
+struct DeclPrinter {
+    std::string& out;
+
+    void operator()(const SymbolicDecl& d) const { out += "symbolic int " + d.name + ";\n"; }
+
+    void operator()(const ConstDecl& d) const {
+        out += "const int " + d.name + " = " + print_expr(*d.value) + ";\n";
+    }
+
+    void operator()(const AssumeDecl& d) const {
+        out += "assume " + print_expr(*d.cond) + ";\n";
+    }
+
+    void operator()(const RegisterDecl& d) const {
+        out += "register<bit<" + std::to_string(d.width) + ">>[" + print_expr(*d.elems) + "]";
+        if (d.instances) out += "[" + print_expr(*d.instances) + "]";
+        out += " " + d.name + ";\n";
+    }
+
+    void operator()(const MetadataDecl& d) const {
+        out += "metadata {\n";
+        for (const FieldDecl& f : d.fields) out += print_field(f, 1);
+        out += "}\n";
+    }
+
+    void operator()(const PacketDecl& d) const {
+        out += "packet {\n";
+        for (const FieldDecl& f : d.fields) out += print_field(f, 1);
+        out += "}\n";
+    }
+
+    void operator()(const ActionDecl& d) const {
+        out += "action " + d.name + "()";
+        if (d.iter_param) out += "[int " + *d.iter_param + "]";
+        out += " {\n";
+        print_block_into(d.body, 1, out);
+        out += "}\n";
+    }
+
+    void operator()(const ControlDecl& d) const {
+        out += "control " + d.name + " {\n    apply {\n";
+        print_block_into(d.apply, 2, out);
+        out += "    }\n}\n";
+    }
+
+    void operator()(const OptimizeDecl& d) const {
+        out += "optimize " + print_expr(*d.objective) + ";\n";
+    }
+};
+
+}  // namespace
+
+std::string print_expr(const Expr& e) { return print_expr_prec(e, 0); }
+
+std::string print_stmt(const Stmt& s, int indent) {
+    std::string out;
+    std::visit(StmtPrinter{indent, out}, s.node);
+    return out;
+}
+
+std::string print_program(const Program& p) {
+    std::string out;
+    for (const Decl& d : p.decls) {
+        std::visit(DeclPrinter{out}, d.node);
+    }
+    return out;
+}
+
+}  // namespace p4all::lang

@@ -1,0 +1,23 @@
+// Pretty-printer: renders an AST back to P4All / concrete-P4 source text.
+//
+// Used for (a) parser round-trip tests, (b) emitting the concrete P4 program
+// produced by the compiler (which is the same AST with loops unrolled and
+// all sizes literal), and (c) the Figure 11 lines-of-code comparison.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace p4all::lang {
+
+/// Renders an expression with minimal parentheses.
+[[nodiscard]] std::string print_expr(const Expr& e);
+
+/// Renders a statement (multi-line, `indent` leading levels of 4 spaces).
+[[nodiscard]] std::string print_stmt(const Stmt& s, int indent = 0);
+
+/// Renders a whole program.
+[[nodiscard]] std::string print_program(const Program& p);
+
+}  // namespace p4all::lang

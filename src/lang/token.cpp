@@ -1,0 +1,54 @@
+#include "lang/token.hpp"
+
+namespace p4all::lang {
+
+std::string_view token_kind_name(TokenKind kind) noexcept {
+    switch (kind) {
+        case TokenKind::Identifier: return "identifier";
+        case TokenKind::IntLiteral: return "integer literal";
+        case TokenKind::FloatLiteral: return "float literal";
+        case TokenKind::KwSymbolic: return "'symbolic'";
+        case TokenKind::KwInt: return "'int'";
+        case TokenKind::KwConst: return "'const'";
+        case TokenKind::KwAssume: return "'assume'";
+        case TokenKind::KwRegister: return "'register'";
+        case TokenKind::KwBit: return "'bit'";
+        case TokenKind::KwMetadata: return "'metadata'";
+        case TokenKind::KwPacket: return "'packet'";
+        case TokenKind::KwAction: return "'action'";
+        case TokenKind::KwControl: return "'control'";
+        case TokenKind::KwApply: return "'apply'";
+        case TokenKind::KwFor: return "'for'";
+        case TokenKind::KwIf: return "'if'";
+        case TokenKind::KwElse: return "'else'";
+        case TokenKind::KwOptimize: return "'optimize'";
+        case TokenKind::LParen: return "'('";
+        case TokenKind::RParen: return "')'";
+        case TokenKind::LBrace: return "'{'";
+        case TokenKind::RBrace: return "'}'";
+        case TokenKind::LBracket: return "'['";
+        case TokenKind::RBracket: return "']'";
+        case TokenKind::Semicolon: return "';'";
+        case TokenKind::Comma: return "','";
+        case TokenKind::Dot: return "'.'";
+        case TokenKind::Assign: return "'='";
+        case TokenKind::Plus: return "'+'";
+        case TokenKind::Minus: return "'-'";
+        case TokenKind::Star: return "'*'";
+        case TokenKind::Slash: return "'/'";
+        case TokenKind::Percent: return "'%'";
+        case TokenKind::Less: return "'<'";
+        case TokenKind::Greater: return "'>'";
+        case TokenKind::LessEq: return "'<='";
+        case TokenKind::GreaterEq: return "'>='";
+        case TokenKind::EqEq: return "'=='";
+        case TokenKind::NotEq: return "'!='";
+        case TokenKind::AndAnd: return "'&&'";
+        case TokenKind::OrOr: return "'||'";
+        case TokenKind::Not: return "'!'";
+        case TokenKind::EndOfFile: return "end of file";
+    }
+    return "?";
+}
+
+}  // namespace p4all::lang

@@ -1,0 +1,82 @@
+// Token definitions for the P4All surface language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace p4all::lang {
+
+/// Lexical token kinds. P4All is a backward-compatible extension of P4;
+/// this lexer covers the subset of P4-16 used by the paper's programs plus
+/// the four elastic extensions (symbolic, assume, for, optimize).
+enum class TokenKind {
+    // Literals and names
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+    // Keywords
+    KwSymbolic,
+    KwInt,
+    KwConst,
+    KwAssume,
+    KwRegister,
+    KwBit,
+    KwMetadata,
+    KwPacket,
+    KwAction,
+    KwControl,
+    KwApply,
+    KwFor,
+    KwIf,
+    KwElse,
+    KwOptimize,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Dot,
+    Assign,
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Less,
+    Greater,
+    LessEq,
+    GreaterEq,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Not,
+    // Sentinel
+    EndOfFile,
+};
+
+/// Human-readable name of a token kind (for diagnostics).
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind) noexcept;
+
+/// A lexed token. `text` views into the source buffer owned by the Lexer's
+/// caller; `int_value` is valid only for IntLiteral, `float_value` only for
+/// FloatLiteral.
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;
+    std::int64_t int_value = 0;
+    double float_value = 0.0;
+    support::SourceLoc loc;
+
+    [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+};
+
+}  // namespace p4all::lang

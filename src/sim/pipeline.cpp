@@ -1,0 +1,301 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace p4all::sim {
+
+using analysis::Instance;
+using ir::Affine;
+using ir::MetaRef;
+using ir::PacketRef;
+using ir::PrimKind;
+using ir::RegRef;
+using support::CompileError;
+
+namespace {
+std::uint64_t mask_for(int width) noexcept {
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+}  // namespace
+
+int Pipeline::meta_slot(ir::MetaFieldId field, std::int64_t index) const {
+    const auto it = meta_slots_.find({field, index});
+    if (it == meta_slots_.end()) {
+        throw CompileError("simulator: metadata chunk " + prog_.meta(field).name + "[" +
+                           std::to_string(index) + "] not materialized in this layout");
+    }
+    return it->second;
+}
+
+Pipeline::Operand Pipeline::resolve(const ir::Value& v, std::int64_t param) const {
+    Operand out;
+    if (const auto* m = std::get_if<MetaRef>(&v)) {
+        out.kind = Operand::Kind::Meta;
+        out.slot = meta_slot(m->field, m->index.at(param));
+        return out;
+    }
+    if (const auto* p = std::get_if<PacketRef>(&v)) {
+        out.kind = Operand::Kind::PacketField;
+        out.slot = p->field;
+        return out;
+    }
+    if (const auto* a = std::get_if<Affine>(&v)) {
+        out.kind = Operand::Kind::Literal;
+        out.literal = a->at(param);
+        return out;
+    }
+    throw CompileError("simulator: register reference used as a data operand");
+}
+
+Pipeline::Pipeline(const ir::Program& prog, const compiler::Layout& layout) : prog_(prog) {
+    // Materialize register rows with their placed sizes.
+    for (const compiler::StagePlan& plan : layout.stages) {
+        for (const compiler::PlacedRegister& pr : plan.registers) {
+            RegState state;
+            state.elems = pr.elems;
+            state.mask = mask_for(prog.reg(pr.reg).width);
+            state.data.assign(static_cast<std::size_t>(pr.elems), 0);
+            reg_index_[{pr.reg, pr.instance}] = static_cast<int>(reg_rows_.size());
+            reg_rows_.push_back(std::move(state));
+        }
+    }
+
+    // Materialize metadata slots: scalars always; elastic chunks on demand
+    // (every chunk any placed instance touches).
+    for (std::size_t f = 0; f < prog.meta_fields.size(); ++f) {
+        const ir::MetaField& field = prog.meta_fields[f];
+        if (!field.is_array()) {
+            meta_slots_[{static_cast<ir::MetaFieldId>(f), 0}] =
+                static_cast<int>(meta_masks_.size());
+            meta_masks_.push_back(mask_for(field.width));
+        } else if (!field.array->symbolic()) {
+            for (std::int64_t i = 0; i < field.array->literal; ++i) {
+                meta_slots_[{static_cast<ir::MetaFieldId>(f), i}] =
+                    static_cast<int>(meta_masks_.size());
+                meta_masks_.push_back(mask_for(field.width));
+            }
+        }
+    }
+    target::TargetSpec probe;  // cost model irrelevant here
+    for (const compiler::StagePlan& plan : layout.stages) {
+        for (const Instance& inst : plan.actions) {
+            const analysis::AccessSummary sum = analysis::summarize(prog, probe, inst);
+            for (const auto& [chunk, access] : sum.meta) {
+                if (meta_slots_.count({chunk.field, chunk.index}) != 0) continue;
+                meta_slots_[{chunk.field, chunk.index}] = static_cast<int>(meta_masks_.size());
+                meta_masks_.push_back(mask_for(prog.meta(chunk.field).width));
+            }
+        }
+    }
+
+    // Compile stages.
+    stages_.resize(layout.stages.size());
+    for (std::size_t s = 0; s < layout.stages.size(); ++s) {
+        for (const Instance& inst : layout.stages[s].actions) {
+            const ir::CallSite& site = prog.flow.at(static_cast<std::size_t>(inst.call));
+            const ir::Action& action = prog.action(site.action);
+            const std::int64_t param = site.iter_arg.at(inst.iter);
+
+            CompiledInstance ci;
+            for (const ir::Cond& guard : site.guards) {
+                CompiledGuard cg;
+                cg.op = guard.op;
+                cg.lhs = resolve(guard.lhs, inst.iter);
+                cg.rhs = resolve(guard.rhs, inst.iter);
+                ci.guards.push_back(cg);
+            }
+            for (const ir::PrimOp& op : action.ops) {
+                CompiledOp co;
+                co.kind = op.kind;
+                if (op.dst) {
+                    co.dst_slot = meta_slot(op.dst->field, op.dst->index.at(param));
+                    co.dst_mask = mask_for(prog.meta(op.dst->field).width);
+                }
+                if (op.reg) {
+                    const std::pair<ir::RegisterId, std::int64_t> row{
+                        op.reg->reg, op.reg->instance.at(param)};
+                    const auto it = reg_index_.find(row);
+                    if (it == reg_index_.end()) {
+                        throw CompileError("simulator: action uses register row " +
+                                           prog.reg(row.first).name + "_" +
+                                           std::to_string(row.second) +
+                                           " absent from the layout");
+                    }
+                    co.reg = it->second;
+                }
+                if (op.reg_index) co.reg_index = resolve(*op.reg_index, param);
+                for (const ir::Value& src : op.srcs) co.srcs.push_back(resolve(src, param));
+                if (op.kind == PrimKind::Hash) {
+                    co.seed = static_cast<std::uint64_t>(op.seed.at(param));
+                    if (const auto* r = std::get_if<RegRef>(&*op.modulus)) {
+                        const std::pair<ir::RegisterId, std::int64_t> row{
+                            r->reg, r->instance.at(param)};
+                        const auto it = reg_index_.find(row);
+                        if (it == reg_index_.end()) {
+                            throw CompileError(
+                                "simulator: hash range register row absent from layout");
+                        }
+                        co.modulus = static_cast<std::uint64_t>(
+                            reg_rows_[static_cast<std::size_t>(it->second)].elems);
+                    } else {
+                        co.modulus = static_cast<std::uint64_t>(std::get<std::int64_t>(*op.modulus));
+                    }
+                    if (co.modulus == 0) throw CompileError("simulator: zero hash range");
+                }
+                ci.ops.push_back(std::move(co));
+            }
+            stages_[s].instances.push_back(std::move(ci));
+        }
+    }
+    phv_.assign(meta_masks_.size(), 0);
+}
+
+std::uint64_t Pipeline::read(const Operand& op, const std::vector<std::uint64_t>& phv,
+                             const Packet& pkt) const {
+    switch (op.kind) {
+        case Operand::Kind::Meta: return phv[static_cast<std::size_t>(op.slot)];
+        case Operand::Kind::PacketField: return pkt.at(static_cast<std::size_t>(op.slot));
+        case Operand::Kind::Literal: return static_cast<std::uint64_t>(op.literal);
+    }
+    return 0;
+}
+
+void Pipeline::process(const Packet& pkt) {
+    if (pkt.size() != prog_.packet_fields.size()) {
+        throw CompileError("simulator: packet has " + std::to_string(pkt.size()) +
+                           " fields, program declares " +
+                           std::to_string(prog_.packet_fields.size()));
+    }
+    std::vector<std::uint64_t> pre(phv_.size(), 0);
+    std::vector<std::uint64_t> post;
+
+    for (Stage& stage : stages_) {
+        post = pre;  // writes land here; reads see `pre`
+        for (const CompiledInstance& ci : stage.instances) {
+            bool fire = true;
+            for (const CompiledGuard& g : ci.guards) {
+                const std::uint64_t lhs = read(g.lhs, pre, pkt);
+                const std::uint64_t rhs = read(g.rhs, pre, pkt);
+                switch (g.op) {
+                    case ir::CmpOp::Lt: fire = lhs < rhs; break;
+                    case ir::CmpOp::Le: fire = lhs <= rhs; break;
+                    case ir::CmpOp::Gt: fire = lhs > rhs; break;
+                    case ir::CmpOp::Ge: fire = lhs >= rhs; break;
+                    case ir::CmpOp::Eq: fire = lhs == rhs; break;
+                    case ir::CmpOp::Ne: fire = lhs != rhs; break;
+                }
+                if (!fire) break;
+            }
+            if (!fire) continue;
+
+            // Intra-instance forwarding: ops see earlier ops' writes via a
+            // local overlay of the pre-stage PHV.
+            std::vector<std::uint64_t> local = pre;
+            for (const CompiledOp& op : ci.ops) {
+                const auto src = [&](std::size_t i) { return read(op.srcs[i], local, pkt); };
+                std::uint64_t result = 0;
+                bool writes_meta = op.dst_slot >= 0;
+                switch (op.kind) {
+                    case PrimKind::Hash: {
+                        std::vector<std::uint64_t> words;
+                        words.reserve(op.srcs.size());
+                        for (std::size_t i = 0; i < op.srcs.size(); ++i) words.push_back(src(i));
+                        result = support::hash_words(words, op.seed) % op.modulus;
+                        break;
+                    }
+                    case PrimKind::RegAdd:
+                    case PrimKind::RegMin:
+                    case PrimKind::RegMax:
+                    case PrimKind::RegRead:
+                    case PrimKind::RegWrite: {
+                        RegState& reg = reg_rows_[static_cast<std::size_t>(op.reg)];
+                        const std::uint64_t idx =
+                            read(op.reg_index, local, pkt) % static_cast<std::uint64_t>(reg.elems);
+                        std::uint64_t& cell = reg.data[idx];
+                        switch (op.kind) {
+                            case PrimKind::RegAdd:
+                                cell = (cell + src(0)) & reg.mask;
+                                result = cell;
+                                break;
+                            case PrimKind::RegMin:
+                                cell = std::min(cell, src(0) & reg.mask);
+                                result = cell;
+                                break;
+                            case PrimKind::RegMax:
+                                cell = std::max(cell, src(0) & reg.mask);
+                                result = cell;
+                                break;
+                            case PrimKind::RegRead:
+                                result = cell;
+                                break;
+                            case PrimKind::RegWrite:
+                                cell = src(0) & reg.mask;
+                                writes_meta = false;
+                                break;
+                            default: break;
+                        }
+                        break;
+                    }
+                    case PrimKind::Set: result = src(0); break;
+                    case PrimKind::Add: result = src(0) + src(1); break;
+                    case PrimKind::Sub: result = src(0) - src(1); break;
+                    case PrimKind::Min:
+                        result = std::min(local[static_cast<std::size_t>(op.dst_slot)], src(0));
+                        break;
+                    case PrimKind::Max:
+                        result = std::max(local[static_cast<std::size_t>(op.dst_slot)], src(0));
+                        break;
+                }
+                if (writes_meta && op.dst_slot >= 0) {
+                    const std::size_t slot = static_cast<std::size_t>(op.dst_slot);
+                    local[slot] = result & op.dst_mask;
+                    post[slot] = local[slot];
+                }
+            }
+        }
+        pre = std::move(post);
+    }
+    phv_ = std::move(pre);
+    ++packets_;
+}
+
+std::uint64_t Pipeline::meta(std::string_view field, std::int64_t index) const {
+    const ir::MetaFieldId f = prog_.find_meta(field);
+    if (f == ir::kNoId) throw CompileError("simulator: unknown metadata field '" +
+                                           std::string(field) + "'");
+    return phv_.at(static_cast<std::size_t>(meta_slot(f, index)));
+}
+
+std::uint64_t Pipeline::reg_read(std::string_view reg, std::int64_t instance,
+                                 std::int64_t index) const {
+    const ir::RegisterId r = prog_.find_register(reg);
+    const auto it = reg_index_.find({r, instance});
+    if (it == reg_index_.end()) throw CompileError("simulator: register row not in layout");
+    const RegState& state = reg_rows_[static_cast<std::size_t>(it->second)];
+    return state.data.at(static_cast<std::size_t>(index));
+}
+
+void Pipeline::reg_write(std::string_view reg, std::int64_t instance, std::int64_t index,
+                         std::uint64_t value) {
+    const ir::RegisterId r = prog_.find_register(reg);
+    const auto it = reg_index_.find({r, instance});
+    if (it == reg_index_.end()) throw CompileError("simulator: register row not in layout");
+    RegState& state = reg_rows_[static_cast<std::size_t>(it->second)];
+    state.data.at(static_cast<std::size_t>(index)) = value & state.mask;
+}
+
+std::int64_t Pipeline::reg_size(std::string_view reg, std::int64_t instance) const {
+    const ir::RegisterId r = prog_.find_register(reg);
+    const auto it = reg_index_.find({r, instance});
+    return it == reg_index_.end() ? 0
+                                  : reg_rows_[static_cast<std::size_t>(it->second)].elems;
+}
+
+void Pipeline::clear_registers() {
+    for (RegState& reg : reg_rows_) std::fill(reg.data.begin(), reg.data.end(), 0);
+}
+
+}  // namespace p4all::sim

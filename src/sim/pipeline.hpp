@@ -1,0 +1,117 @@
+// PISA behavioral simulator.
+//
+// Executes a compiled Layout packet-by-packet with faithful stage
+// semantics: within a stage every action instance reads the pre-stage PHV
+// (guards included) and writes take effect at the end of the stage, while
+// the primitive ops *inside* one action instance execute sequentially with
+// intra-stage forwarding (a hash result feeds the register access in the
+// same action, as on real hardware). Register state persists across
+// packets. Stage parallelism is sound because the compiler's exclusion /
+// precedence constraints guarantee no two same-stage instances conflict.
+//
+// This simulator stands in for the Barefoot Tofino switch in the paper's
+// evaluation: it lets us measure data-structure behaviour (sketch accuracy,
+// cache hit rate) of the exact layouts the compiler emits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/layout.hpp"
+#include "ir/program.hpp"
+
+namespace p4all::sim {
+
+/// A packet: one value per declared packet field, by PacketFieldId.
+using Packet = std::vector<std::uint64_t>;
+
+/// Executable pipeline compiled from a program + layout.
+class Pipeline {
+public:
+    /// Builds the executable form. Throws support::CompileError if the
+    /// layout references rows or chunks inconsistently (which audit_layout
+    /// would also flag).
+    Pipeline(const ir::Program& prog, const compiler::Layout& layout);
+
+    /// Processes one packet; returns the final PHV metadata (access values
+    /// with meta()).
+    void process(const Packet& pkt);
+
+    /// Value of a metadata field after the last process() call. For array
+    /// fields pass the element index.
+    [[nodiscard]] std::uint64_t meta(std::string_view field, std::int64_t index = 0) const;
+
+    /// Direct register-state access, for controller logic (e.g. NetCache
+    /// cache insertion) and tests.
+    [[nodiscard]] std::uint64_t reg_read(std::string_view reg, std::int64_t instance,
+                                         std::int64_t index) const;
+    void reg_write(std::string_view reg, std::int64_t instance, std::int64_t index,
+                   std::uint64_t value);
+    /// Element count of a placed register row (0 if absent).
+    [[nodiscard]] std::int64_t reg_size(std::string_view reg, std::int64_t instance) const;
+    /// Resets all register state to zero.
+    void clear_registers();
+
+    [[nodiscard]] std::uint64_t packets_processed() const noexcept { return packets_; }
+    [[nodiscard]] const ir::Program& program() const noexcept { return prog_; }
+
+private:
+    struct RegState {
+        std::int64_t elems = 0;
+        std::uint64_t mask = ~0ULL;
+        std::vector<std::uint64_t> data;
+    };
+
+    /// Resolved operand: where a value comes from at execution time.
+    struct Operand {
+        enum class Kind { Meta, PacketField, Literal } kind = Kind::Literal;
+        int slot = 0;               // meta slot or packet field id
+        std::int64_t literal = 0;
+    };
+
+    struct CompiledOp {
+        ir::PrimKind kind = ir::PrimKind::Set;
+        int dst_slot = -1;
+        int reg = -1;  // index into reg_rows_
+        Operand reg_index;
+        std::vector<Operand> srcs;
+        std::uint64_t seed = 0;
+        std::uint64_t modulus = 0;  // resolved hash range
+        std::uint64_t dst_mask = ~0ULL;
+    };
+
+    struct CompiledGuard {
+        ir::CmpOp op = ir::CmpOp::Eq;
+        Operand lhs;
+        Operand rhs;
+    };
+
+    struct CompiledInstance {
+        std::vector<CompiledGuard> guards;
+        std::vector<CompiledOp> ops;
+    };
+
+    struct Stage {
+        std::vector<CompiledInstance> instances;
+    };
+
+    [[nodiscard]] int meta_slot(ir::MetaFieldId field, std::int64_t index) const;
+    [[nodiscard]] Operand resolve(const ir::Value& v, std::int64_t param) const;
+    [[nodiscard]] std::uint64_t read(const Operand& op, const std::vector<std::uint64_t>& phv,
+                                     const Packet& pkt) const;
+
+    const ir::Program& prog_;
+    std::vector<Stage> stages_;
+    std::map<std::pair<ir::MetaFieldId, std::int64_t>, int> meta_slots_;
+    std::vector<std::uint64_t> meta_masks_;   // per slot
+    std::map<std::pair<ir::RegisterId, std::int64_t>, int> reg_index_;
+    std::vector<RegState> reg_rows_;
+    std::vector<std::uint64_t> phv_;          // last packet's metadata
+    std::uint64_t packets_ = 0;
+};
+
+}  // namespace p4all::sim

@@ -1,0 +1,49 @@
+#include "support/error.hpp"
+
+namespace p4all::support {
+
+namespace {
+const char* severity_name(Severity s) {
+    switch (s) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "?";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+    return loc.to_string() + ": " + severity_name(severity) + ": " + message;
+}
+
+void Diagnostics::note(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Note, std::move(loc), std::move(message)});
+}
+
+void Diagnostics::warning(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Warning, std::move(loc), std::move(message)});
+}
+
+void Diagnostics::error(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Error, std::move(loc), std::move(message)});
+    ++error_count_;
+}
+
+std::string Diagnostics::to_string() const {
+    std::string out;
+    for (const Diagnostic& d : diags_) {
+        out += d.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+void Diagnostics::throw_if_errors() const {
+    if (!has_errors()) return;
+    for (const Diagnostic& d : diags_) {
+        if (d.severity == Severity::Error) throw CompileError(d.loc, d.message);
+    }
+}
+
+}  // namespace p4all::support

@@ -1,0 +1,68 @@
+// Error handling for the P4All toolchain.
+//
+// Unrecoverable user-facing problems (syntax errors, type errors, infeasible
+// programs) are reported as CompileError exceptions carrying a source
+// location. Recoverable, accumulate-and-continue reporting goes through
+// Diagnostics.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace p4all::support {
+
+/// Severity of a diagnostic message.
+enum class Severity { Note, Warning, Error };
+
+/// A single diagnostic message attached to a source location.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Exception thrown for unrecoverable compilation failures.
+class CompileError : public std::runtime_error {
+public:
+    CompileError(SourceLoc loc, const std::string& message)
+        : std::runtime_error(loc.to_string() + ": error: " + message), loc_(std::move(loc)) {}
+
+    explicit CompileError(const std::string& message)
+        : std::runtime_error("error: " + message) {}
+
+    [[nodiscard]] const SourceLoc& loc() const noexcept { return loc_; }
+
+private:
+    SourceLoc loc_;
+};
+
+/// Accumulates diagnostics during a compiler pass. Passes that can recover
+/// from individual errors record them here and keep going; the driver checks
+/// has_errors() at phase boundaries.
+class Diagnostics {
+public:
+    void note(SourceLoc loc, std::string message);
+    void warning(SourceLoc loc, std::string message);
+    void error(SourceLoc loc, std::string message);
+
+    [[nodiscard]] bool has_errors() const noexcept { return error_count_ > 0; }
+    [[nodiscard]] int error_count() const noexcept { return error_count_; }
+    [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept { return diags_; }
+
+    /// Renders every diagnostic, one per line.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Throws CompileError summarizing the first error if any were recorded.
+    void throw_if_errors() const;
+
+private:
+    std::vector<Diagnostic> diags_;
+    int error_count_ = 0;
+};
+
+}  // namespace p4all::support

@@ -1,0 +1,42 @@
+#include "support/hash.hpp"
+
+namespace p4all::support {
+
+namespace {
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+constexpr std::uint64_t avalanche(std::uint64_t h) noexcept {
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+}
+}  // namespace
+
+std::uint64_t hash_words(std::span<const std::uint64_t> words, std::uint64_t seed) noexcept {
+    std::uint64_t h = avalanche(seed * kPrime1 + kPrime2);
+    for (const std::uint64_t w : words) {
+        h ^= avalanche(w * kPrime1);
+        h = rotl(h, 27) * kPrime1 + kPrime3;
+    }
+    h ^= static_cast<std::uint64_t>(words.size());
+    return avalanche(h);
+}
+
+std::uint64_t hash_word(std::uint64_t word, std::uint64_t seed) noexcept {
+    return hash_words({&word, 1}, seed);
+}
+
+std::uint64_t hash_index(std::uint64_t word, std::uint64_t seed, std::uint64_t modulus) noexcept {
+    return hash_word(word, seed) % modulus;
+}
+
+}  // namespace p4all::support

@@ -1,0 +1,27 @@
+// A seeded family of 64-bit hash functions modeling PISA hash units.
+//
+// PISA stages compute CRC-style hashes of PHV fields. The simulator does not
+// need CRC compatibility — it needs (a) determinism, (b) good independence
+// across seeds (each count-min-sketch row uses a different family member),
+// and (c) speed. We use an xxhash-inspired multiply-xor construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace p4all::support {
+
+/// Hashes `words` under family member `seed`. Distinct seeds behave as
+/// (approximately) independent hash functions, which is what count-min
+/// sketch / Bloom filter analyses assume.
+[[nodiscard]] std::uint64_t hash_words(std::span<const std::uint64_t> words,
+                                       std::uint64_t seed) noexcept;
+
+/// Convenience overload for a single word (flow IDs, keys).
+[[nodiscard]] std::uint64_t hash_word(std::uint64_t word, std::uint64_t seed) noexcept;
+
+/// Hash reduced to an index in [0, modulus). `modulus` must be nonzero.
+[[nodiscard]] std::uint64_t hash_index(std::uint64_t word, std::uint64_t seed,
+                                       std::uint64_t modulus) noexcept;
+
+}  // namespace p4all::support

@@ -1,0 +1,387 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace p4all::support {
+
+Json Json::array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json Json::object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+namespace {
+[[noreturn]] void kind_error(const char* wanted) {
+    throw std::runtime_error(std::string("json: value is not a ") + wanted);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+    if (kind_ != Kind::Bool) kind_error("bool");
+    return bool_;
+}
+
+double Json::as_number() const {
+    if (kind_ != Kind::Number) kind_error("number");
+    return num_;
+}
+
+std::int64_t Json::as_int() const {
+    const double n = as_number();
+    return static_cast<std::int64_t>(std::llround(n));
+}
+
+const std::string& Json::as_string() const {
+    if (kind_ != Kind::String) kind_error("string");
+    return str_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+    if (kind_ != Kind::Array) kind_error("array");
+    return arr_;
+}
+
+bool Json::contains(std::string_view key) const {
+    if (kind_ != Kind::Object) return false;
+    for (const auto& [k, v] : obj_) {
+        if (k == key) return true;
+    }
+    return false;
+}
+
+const Json& Json::at(std::string_view key) const {
+    if (kind_ != Kind::Object) kind_error("object");
+    for (const auto& [k, v] : obj_) {
+        if (k == key) return v;
+    }
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+}
+
+double Json::get_number(std::string_view key, double fallback) const {
+    return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::int64_t Json::get_int(std::string_view key, std::int64_t fallback) const {
+    return contains(key) ? at(key).as_int() : fallback;
+}
+
+std::string Json::get_string(std::string_view key, std::string fallback) const {
+    return contains(key) ? at(key).as_string() : fallback;
+}
+
+Json& Json::set(std::string key, Json value) {
+    if (kind_ == Kind::Null) kind_ = Kind::Object;
+    if (kind_ != Kind::Object) kind_error("object");
+    for (auto& [k, v] : obj_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    obj_.emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+Json& Json::push_back(Json value) {
+    if (kind_ == Kind::Null) kind_ = Kind::Array;
+    if (kind_ != Kind::Array) kind_error("array");
+    arr_.push_back(std::move(value));
+    return *this;
+}
+
+std::size_t Json::size() const noexcept {
+    switch (kind_) {
+        case Kind::Array: return arr_.size();
+        case Kind::Object: return obj_.size();
+        default: return 0;
+    }
+}
+
+namespace {
+void dump_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_number(std::string& out, double n) {
+    if (n == std::floor(n) && std::abs(n) < 1e15) {
+        out += std::to_string(static_cast<std::int64_t>(n));
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.12g", n);
+        out += buf;
+    }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    switch (kind_) {
+        case Kind::Null: out += "null"; return;
+        case Kind::Bool: out += bool_ ? "true" : "false"; return;
+        case Kind::Number: dump_number(out, num_); return;
+        case Kind::String: dump_string(out, str_); return;
+        case Kind::Array: {
+            if (arr_.empty()) {
+                out += "[]";
+                return;
+            }
+            out += '[';
+            for (std::size_t i = 0; i < arr_.size(); ++i) {
+                if (i != 0) out += ',';
+                newline_indent(out, indent, depth + 1);
+                arr_[i].dump_to(out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out += ']';
+            return;
+        }
+        case Kind::Object: {
+            if (obj_.empty()) {
+                out += "{}";
+                return;
+            }
+            out += '{';
+            for (std::size_t i = 0; i < obj_.size(); ++i) {
+                if (i != 0) out += ',';
+                newline_indent(out, indent, depth + 1);
+                dump_string(out, obj_[i].first);
+                out += indent > 0 ? ": " : ":";
+                obj_[i].second.dump_to(out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out += '}';
+            return;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+namespace {
+/// Recursive-descent JSON parser over a string_view.
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    Json parse_document() {
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " + why);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+                // Extension: allow //-comments in hand-written target specs.
+                while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+            } else {
+                return;
+            }
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json parse_value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (consume_literal("true")) return Json(true);
+                fail("bad literal");
+            case 'f':
+                if (consume_literal("false")) return Json(false);
+                fail("bad literal");
+            case 'n':
+                if (consume_literal("null")) return Json(nullptr);
+                fail("bad literal");
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.set(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json parse_array() {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad hex digit in \\u escape");
+                    }
+                    // Encode as UTF-8 (BMP only; no surrogate pairs).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        double value = 0.0;
+        const auto* begin = text_.data() + start;
+        const auto* end = text_.data() + pos_;
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc() || ptr != end) fail("malformed number");
+        return Json(value);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+    return JsonParser(text).parse_document();
+}
+
+}  // namespace p4all::support

@@ -1,0 +1,83 @@
+// A minimal, dependency-free JSON value type with parser and serializer.
+//
+// Used for PISA target-specification files and machine-readable benchmark
+// output. Supports the full JSON grammar except surrogate-pair \u escapes
+// (sufficient for our ASCII configuration files).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4all::support {
+
+/// An owning JSON value (null, bool, number, string, array, or object).
+/// Objects preserve key order of insertion for stable serialization.
+class Json {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Json() noexcept : kind_(Kind::Null) {}
+    Json(std::nullptr_t) noexcept : kind_(Kind::Null) {}  // NOLINT(google-explicit-constructor)
+    Json(bool b) noexcept : kind_(Kind::Bool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+    Json(double n) noexcept : kind_(Kind::Number), num_(n) {}  // NOLINT(google-explicit-constructor)
+    Json(int n) noexcept : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+    Json(std::int64_t n) noexcept : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+    Json(const char* s) : Json(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+
+    /// Creates an empty array / object.
+    static Json array();
+    static Json object();
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+    [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+    [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::Object; }
+    [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+    [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::Number; }
+    [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::String; }
+    [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+
+    /// Typed accessors; throw std::runtime_error on kind mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] std::int64_t as_int() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const std::vector<Json>& as_array() const;
+
+    /// Object access. `at` throws if absent; `get` returns fallback.
+    [[nodiscard]] bool contains(std::string_view key) const;
+    [[nodiscard]] const Json& at(std::string_view key) const;
+    [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+    [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+    [[nodiscard]] std::string get_string(std::string_view key, std::string fallback) const;
+
+    /// Object mutation (converts a null value to an object first).
+    Json& set(std::string key, Json value);
+    /// Array mutation (converts a null value to an array first).
+    Json& push_back(Json value);
+
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+    /// Parses a complete JSON document; throws std::runtime_error with a
+    /// position-annotated message on malformed input.
+    static Json parse(std::string_view text);
+
+private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace p4all::support

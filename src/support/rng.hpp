@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We use splitmix64 for seeding and xoshiro256** as the workhorse generator:
+// both are tiny, fast, and fully reproducible across platforms, which matters
+// because every benchmark in EXPERIMENTS.md must regenerate the same trace.
+#pragma once
+
+#include <cstdint>
+
+namespace p4all::support {
+
+/// splitmix64 step; useful on its own as a strong 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Xoshiro256(std::uint64_t seed = 0x5EEDF00DULL) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : s_) word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~0ULL; }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double next_double() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound). `bound` must be nonzero.
+    constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // bounds far below 2^64 (all our workload bounds are < 2^32).
+        const unsigned __int128 product =
+            static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(bound);
+        return static_cast<std::uint64_t>(product >> 64);
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4] = {};
+};
+
+}  // namespace p4all::support

@@ -1,0 +1,27 @@
+// Source positions for diagnostics produced by the P4All frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p4all::support {
+
+/// A position in a P4All source file. Lines and columns are 1-based;
+/// line 0 means "unknown / synthesized".
+struct SourceLoc {
+    std::string file;
+    std::uint32_t line = 0;
+    std::uint32_t column = 0;
+
+    [[nodiscard]] bool known() const noexcept { return line != 0; }
+
+    /// Renders as "file:line:col" (or "<unknown>" when synthesized).
+    [[nodiscard]] std::string to_string() const {
+        if (!known()) return "<unknown>";
+        return file + ":" + std::to_string(line) + ":" + std::to_string(column);
+    }
+
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace p4all::support

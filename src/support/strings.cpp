@@ -1,0 +1,89 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace p4all::support {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string_view trim(std::string_view s) noexcept {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+int count_loc(std::string_view source) noexcept {
+    int loc = 0;
+    bool in_block_comment = false;
+    for (const std::string& raw : split(source, '\n')) {
+        std::string_view line = trim(raw);
+        bool has_code = false;
+        for (std::size_t i = 0; i < line.size();) {
+            if (in_block_comment) {
+                const std::size_t end = line.find("*/", i);
+                if (end == std::string_view::npos) { i = line.size(); break; }
+                in_block_comment = false;
+                i = end + 2;
+                continue;
+            }
+            if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '/') break;
+            if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '*') {
+                in_block_comment = true;
+                i += 2;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(line[i])) == 0) has_code = true;
+            ++i;
+        }
+        if (has_code) ++loc;
+    }
+    return loc;
+}
+
+std::string pad_left(std::string_view s, std::size_t w) {
+    std::string out(s);
+    if (out.size() < w) out.insert(0, w - out.size(), ' ');
+    return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t w) {
+    std::string out(s);
+    if (out.size() < w) out.append(w - out.size(), ' ');
+    return out;
+}
+
+std::string format_double(double v, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+}  // namespace p4all::support

@@ -1,0 +1,35 @@
+// Small string utilities shared across the toolchain.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4all::support {
+
+/// Splits `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Joins `parts` with `sep` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Counts non-empty, non-comment lines ("lines of code"). Comment prefixes
+/// are "//" and lines inside /* */ blocks; used for the Figure 11 LoC table.
+[[nodiscard]] int count_loc(std::string_view source) noexcept;
+
+/// Left-pads `s` with spaces to width `w` (no-op if already wider).
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t w);
+
+/// Right-pads `s` with spaces to width `w`.
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t w);
+
+/// Formats `v` with `prec` digits after the decimal point.
+[[nodiscard]] std::string format_double(double v, int prec);
+
+}  // namespace p4all::support

@@ -1,0 +1,58 @@
+// Static verification of elastic programs.
+//
+// The paper's related-work section names verification as a natural
+// extension: "we hope to verify that all indices used with symbolic arrays
+// are in bounds". This pass implements that check and several further
+// lint-style analyses over the elaborated IR, using the assume-derived
+// bounds on symbolic values:
+//
+//   - index-bounds:   every metadata-array element and register-matrix row
+//                     touched by any loop iteration exists for every
+//                     admissible value of the loop bound;
+//   - hash-range:     a register op whose index was produced by `hash`
+//                     uses the same register (array and row) that the hash
+//                     ranged over — the classic copy-paste sketch bug;
+//   - seed-overlap:   two different register matrices hashed over the same
+//                     key with overlapping seed ranges behave as correlated
+//                     hash functions (accuracy analyses assume independence);
+//   - dead code:      declared symbols / registers / metadata / actions the
+//                     flattened flow never uses;
+//   - constant guard: a guard that compares two compile-time constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace p4all::verify {
+
+enum class Severity { Error, Warning };
+
+enum class Check {
+    IndexBounds,
+    HashRange,
+    SeedOverlap,
+    DeadCode,
+    ConstantGuard,
+};
+
+struct Issue {
+    Severity severity = Severity::Warning;
+    Check check = Check::IndexBounds;
+    std::string message;
+};
+
+[[nodiscard]] const char* check_name(Check check) noexcept;
+
+/// Runs every check over the elaborated program; returns all issues found
+/// (errors first). An empty result means the program verified clean.
+[[nodiscard]] std::vector<Issue> verify_program(const ir::Program& prog);
+
+/// True if any issue is an error.
+[[nodiscard]] bool has_errors(const std::vector<Issue>& issues) noexcept;
+
+/// One-line-per-issue rendering.
+[[nodiscard]] std::string render(const std::vector<Issue>& issues);
+
+}  // namespace p4all::verify

@@ -1,0 +1,107 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "workload/zipf.hpp"
+
+namespace p4all::workload {
+
+Trace zipf_trace(std::size_t packets, std::size_t universe, double alpha, std::uint64_t seed) {
+    ZipfGenerator zipf(universe, alpha, seed);
+    Trace trace;
+    trace.keys.reserve(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+        const std::uint64_t key = zipf.next();
+        trace.keys.push_back(key);
+        ++trace.counts[key];
+    }
+    return trace;
+}
+
+Trace heavy_hitter_trace(std::size_t packets, std::size_t flows, std::uint64_t seed) {
+    // Pareto(α≈1.2) flow sizes, normalized to `packets` total.
+    support::Xoshiro256 rng(seed);
+    std::vector<double> weights(flows);
+    double total = 0.0;
+    for (double& w : weights) {
+        const double u = std::max(rng.next_double(), 1e-12);
+        w = std::pow(u, -1.0 / 1.2);  // Pareto tail
+        total += w;
+    }
+    std::vector<std::uint64_t> sizes(flows);
+    std::size_t assigned = 0;
+    for (std::size_t f = 0; f < flows; ++f) {
+        sizes[f] = static_cast<std::uint64_t>(
+            std::floor(weights[f] / total * static_cast<double>(packets)));
+        assigned += sizes[f];
+    }
+    // Distribute the rounding remainder to the largest flows.
+    std::vector<std::size_t> order(flows);
+    for (std::size_t f = 0; f < flows; ++f) order[f] = f;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return sizes[a] > sizes[b]; });
+    for (std::size_t i = 0; assigned < packets; ++i, ++assigned) ++sizes[order[i % flows]];
+
+    Trace trace;
+    trace.keys.reserve(packets);
+    for (std::size_t f = 0; f < flows; ++f) {
+        for (std::uint64_t p = 0; p < sizes[f]; ++p) trace.keys.push_back(f + 1);
+    }
+    // Uniform shuffle for interleaving.
+    for (std::size_t i = trace.keys.size() - 1; i > 0; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng.next_below(i + 1));
+        std::swap(trace.keys[i], trace.keys[j]);
+    }
+    for (const std::uint64_t k : trace.keys) ++trace.counts[k];
+    return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("save_trace: cannot open '" + path + "'");
+    out << "# p4all trace: " << trace.keys.size() << " packets, " << trace.counts.size()
+        << " distinct keys\n";
+    for (const std::uint64_t key : trace.keys) out << key << '\n';
+    if (!out) throw std::runtime_error("save_trace: write failed for '" + path + "'");
+}
+
+Trace load_trace(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_trace: cannot open '" + path + "'");
+    Trace trace;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string_view trimmed = p4all::support::trim(line);
+        if (trimmed.empty() || trimmed.front() == '#') continue;
+        std::uint64_t key = 0;
+        const auto [ptr, ec] =
+            std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), key);
+        if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+            throw std::runtime_error("load_trace: malformed line '" + std::string(trimmed) +
+                                     "' in '" + path + "'");
+        }
+        trace.keys.push_back(key);
+        ++trace.counts[key];
+    }
+    return trace;
+}
+
+std::vector<std::uint64_t> top_keys(const Trace& trace, std::size_t k) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items(trace.counts.begin(),
+                                                               trace.counts.end());
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < items.size() && i < k; ++i) out.push_back(items[i].first);
+    return out;
+}
+
+}  // namespace p4all::workload

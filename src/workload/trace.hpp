@@ -1,0 +1,49 @@
+// Synthetic packet traces.
+//
+// The paper's applications were evaluated by their original authors on
+// production or CAIDA traces, which are not redistributable; these
+// generators produce the closest synthetic equivalents (documented in
+// DESIGN.md): Zipf-popularity key-request streams for NetCache-style
+// caching, and heavy-tailed flow-size traces for sketch / heavy-hitter
+// experiments. Both exercise the same data-plane code paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p4all::workload {
+
+/// A key-request trace plus its exact per-key counts (ground truth).
+struct Trace {
+    std::vector<std::uint64_t> keys;
+    std::map<std::uint64_t, std::uint64_t> counts;
+
+    [[nodiscard]] std::size_t size() const noexcept { return keys.size(); }
+};
+
+/// `packets` requests over `universe` keys with Zipf skew `alpha`.
+[[nodiscard]] Trace zipf_trace(std::size_t packets, std::size_t universe, double alpha,
+                               std::uint64_t seed);
+
+/// A flow-size trace for heavy-hitter experiments: `flows` flows whose
+/// sizes follow a Pareto-like heavy tail; packets are interleaved uniformly
+/// at random. `heavy_fraction` of the traffic concentrates in the top 1% of
+/// flows (typical for data-center traces).
+[[nodiscard]] Trace heavy_hitter_trace(std::size_t packets, std::size_t flows,
+                                       std::uint64_t seed);
+
+/// The `k` keys with the highest true counts (ties broken by key id).
+[[nodiscard]] std::vector<std::uint64_t> top_keys(const Trace& trace, std::size_t k);
+
+/// Serializes a trace to a file (one decimal key per line, '#' comments
+/// allowed) so experiment inputs can be archived or swapped for externally
+/// captured key sequences. Throws std::runtime_error on I/O failure.
+void save_trace(const Trace& trace, const std::string& path);
+
+/// Loads a trace saved by save_trace (or any one-key-per-line file),
+/// rebuilding the exact-count ground truth.
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace p4all::workload

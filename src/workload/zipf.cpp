@@ -1,0 +1,48 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace p4all::workload {
+
+ZipfGenerator::ZipfGenerator(std::size_t universe, double alpha, std::uint64_t seed)
+    : rng_(seed) {
+    if (universe == 0) throw std::invalid_argument("zipf: empty universe");
+    cdf_.resize(universe);
+    double total = 0.0;
+    for (std::size_t r = 0; r < universe; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+        cdf_[r] = total;
+    }
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding
+
+    // Fisher-Yates permutation of key ids so rank != key id.
+    key_of_rank_.resize(universe);
+    std::iota(key_of_rank_.begin(), key_of_rank_.end(), 0);
+    support::Xoshiro256 shuffle_rng(seed ^ 0xA5A5A5A5ULL);
+    for (std::size_t i = universe - 1; i > 0; --i) {
+        const std::size_t j = static_cast<std::size_t>(shuffle_rng.next_below(i + 1));
+        std::swap(key_of_rank_[i], key_of_rank_[j]);
+    }
+}
+
+std::uint64_t ZipfGenerator::next() {
+    const double u = rng_.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const std::size_t rank = static_cast<std::size_t>(it - cdf_.begin());
+    return key_of_rank_[std::min(rank, cdf_.size() - 1)];
+}
+
+double ZipfGenerator::rank_probability(std::size_t rank) const {
+    if (rank >= cdf_.size()) return 0.0;
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::uint64_t ZipfGenerator::key_of_rank(std::size_t rank) const {
+    return key_of_rank_.at(rank);
+}
+
+}  // namespace p4all::workload

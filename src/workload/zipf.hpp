@@ -1,0 +1,41 @@
+// Zipf-distributed key generation.
+//
+// NetCache-style workloads (and most key-popularity studies) model key
+// frequency as Zipf(α): the r-th most popular key has probability
+// proportional to 1/r^α. This generator precomputes the CDF and samples by
+// binary search — deterministic for a given seed, so every benchmark trace
+// in EXPERIMENTS.md is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace p4all::workload {
+
+class ZipfGenerator {
+public:
+    /// `universe` distinct keys with skew `alpha` (α=0 is uniform; NetCache
+    /// evaluates α in 0.9–1.3). Keys are returned as ranks permuted by a
+    /// fixed hash so key identity does not correlate with popularity rank.
+    ZipfGenerator(std::size_t universe, double alpha, std::uint64_t seed);
+
+    /// Draws the next key id in [0, universe).
+    [[nodiscard]] std::uint64_t next();
+
+    /// Probability of the key with popularity rank r (0-based).
+    [[nodiscard]] double rank_probability(std::size_t rank) const;
+
+    /// Key id assigned to popularity rank r.
+    [[nodiscard]] std::uint64_t key_of_rank(std::size_t rank) const;
+
+    [[nodiscard]] std::size_t universe() const noexcept { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;
+    std::vector<std::uint64_t> key_of_rank_;
+    support::Xoshiro256 rng_;
+};
+
+}  // namespace p4all::workload

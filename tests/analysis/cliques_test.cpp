@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/depgraph.hpp"
+#include "ir/elaborate.hpp"
+
+namespace p4all::analysis {
+namespace {
+
+// DepGraph owns all its data, so the elaborated program can be local.
+DepGraph graph_for(const char* src, std::int64_t k, const char* symbol) {
+    const ir::Program prog = ir::elaborate_source(src);
+    return build_dep_graph(prog, target::small_test(),
+                           instantiate_symbol(prog, prog.find_symbol(symbol), k));
+}
+
+const char* kMinChain = R"(
+symbolic int rows;
+assume rows >= 1 && rows <= 8;
+packet { bit<32> x; }
+metadata { bit<32>[rows] cnt; bit<32> lo; }
+action fill()[int i] { set(meta.cnt[i], pkt.x); }
+action fold()[int i] { min(meta.lo, meta.cnt[i]); }
+control a { apply { for (i < rows) { fill()[i]; } } }
+control b { apply { for (i < rows) { fold()[i]; } } }
+control ingress { apply { a.apply(); b.apply(); } }
+)";
+
+TEST(ExclusionCliques, MinChainFormsOneClique) {
+    const DepGraph g = graph_for(kMinChain, 4, "rows");
+    const auto cliques = exclusion_cliques(g);
+    ASSERT_EQ(cliques.size(), 1u);
+    EXPECT_EQ(cliques[0].size(), 4u);  // the four fold instances
+}
+
+TEST(ExclusionCliques, CliquesCoverEveryEdge) {
+    const DepGraph g = graph_for(kMinChain, 5, "rows");
+    const auto cliques = exclusion_cliques(g);
+    std::set<std::pair<int, int>> covered;
+    for (const auto& clique : cliques) {
+        for (std::size_t a = 0; a < clique.size(); ++a) {
+            for (std::size_t b = a + 1; b < clique.size(); ++b) {
+                covered.insert({std::min(clique[a], clique[b]),
+                                std::max(clique[a], clique[b])});
+            }
+        }
+        // Every emitted clique really is mutually exclusive.
+        for (std::size_t a = 0; a < clique.size(); ++a) {
+            for (std::size_t b = a + 1; b < clique.size(); ++b) {
+                EXPECT_TRUE(g.exclusive.count({std::min(clique[a], clique[b]),
+                                               std::max(clique[a], clique[b])}) != 0);
+            }
+        }
+    }
+    for (const auto& edge : g.exclusive) {
+        EXPECT_TRUE(covered.count(edge) != 0)
+            << "edge " << edge.first << "-" << edge.second << " not covered";
+    }
+}
+
+TEST(ExclusionCliques, TwoIndependentFieldsGiveTwoCliques) {
+    const char* src = R"(
+symbolic int n;
+assume n >= 1 && n <= 6;
+packet { bit<32> x; }
+metadata { bit<32>[n] v; bit<32> lo; bit<32> hi; }
+action fill()[int i] { set(meta.v[i], pkt.x); }
+action fold_lo()[int i] { min(meta.lo, meta.v[i]); }
+action fold_hi()[int i] { max(meta.hi, meta.v[i]); }
+control a { apply { for (i < n) { fill()[i]; } } }
+control b { apply { for (i < n) { fold_lo()[i]; } } }
+control c { apply { for (i < n) { fold_hi()[i]; } } }
+control ingress { apply { a.apply(); b.apply(); c.apply(); } }
+)";
+    const DepGraph g = graph_for(src, 3, "n");
+    const auto cliques = exclusion_cliques(g);
+    // fold_lo instances exclude each other; fold_hi instances likewise; the
+    // two folds of different fields do not interact.
+    ASSERT_EQ(cliques.size(), 2u);
+    EXPECT_EQ(cliques[0].size(), 3u);
+    EXPECT_EQ(cliques[1].size(), 3u);
+}
+
+TEST(ExclusionCliques, EmptyGraphHasNoCliques) {
+    const char* src = R"(
+symbolic int n;
+assume n >= 1 && n <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[n] v; }
+action fill()[int i] { set(meta.v[i], pkt.x); }
+control ingress { apply { for (i < n) { fill()[i]; } } }
+)";
+    const DepGraph g = graph_for(src, 4, "n");
+    EXPECT_TRUE(exclusion_cliques(g).empty());
+}
+
+}  // namespace
+}  // namespace p4all::analysis

@@ -1,0 +1,198 @@
+#include "analysis/depgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/elaborate.hpp"
+
+namespace p4all::analysis {
+namespace {
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { for (i < rows) { incr()[i]; } } }
+control find_min {
+    apply { for (i < rows) { if (meta.count[i] < meta.min_val) { take_min()[i]; } } }
+}
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+class CmsGraph : public ::testing::Test {
+protected:
+    void SetUp() override {
+        prog_ = ir::elaborate_source(kCms);
+        target_ = target::running_example();
+        rows_ = prog_.find_symbol("rows");
+    }
+
+    ir::Program prog_;
+    target::TargetSpec target_;
+    ir::SymbolId rows_ = ir::kNoId;
+};
+
+TEST_F(CmsGraph, SummaryOfIncr) {
+    // incr_1: hash (stateless) + reg_add (stateful); writes index[1] and
+    // count[1]; reads index[1] (as reg index); owns cms row 1.
+    const Instance inst{0, 1};
+    const AccessSummary s = summarize(prog_, target_, inst);
+    EXPECT_EQ(s.stateful_alus, 1);
+    EXPECT_EQ(s.stateless_alus, 1);
+    EXPECT_EQ(s.hash_units, 1);
+    ASSERT_EQ(s.regs.size(), 1u);
+    EXPECT_EQ(s.regs[0].reg, prog_.find_register("cms"));
+    EXPECT_EQ(s.regs[0].instance, 1);
+    const MetaChunk count_chunk{prog_.find_meta("count"), 1};
+    ASSERT_TRUE(s.meta.contains(count_chunk));
+    EXPECT_TRUE(s.meta.at(count_chunk).writes);
+    const MetaChunk index_chunk{prog_.find_meta("index"), 1};
+    EXPECT_TRUE(s.meta.at(index_chunk).writes);  // hash dst
+    EXPECT_TRUE(s.meta.at(index_chunk).reads);   // reg_add index
+}
+
+TEST_F(CmsGraph, SummaryOfTakeMinIsCommutativeUpdate) {
+    const Instance inst{1, 0};
+    const AccessSummary s = summarize(prog_, target_, inst);
+    const MetaChunk min_chunk{prog_.find_meta("min_val"), 0};
+    ASSERT_TRUE(s.meta.contains(min_chunk));
+    EXPECT_TRUE(s.meta.at(min_chunk).reads);
+    EXPECT_TRUE(s.meta.at(min_chunk).writes);
+    ASSERT_TRUE(s.meta.at(min_chunk).commutative_update.has_value());
+    EXPECT_EQ(*s.meta.at(min_chunk).commutative_update, ir::PrimKind::Min);
+    // Guard reads count[i].
+    const MetaChunk count_chunk{prog_.find_meta("count"), 0};
+    EXPECT_TRUE(s.meta.at(count_chunk).reads);
+}
+
+TEST_F(CmsGraph, GraphMatchesFigure9AtK3) {
+    const DepGraph g = build_dep_graph(prog_, target_, instantiate_symbol(prog_, rows_, 3));
+    ASSERT_FALSE(g.infeasible);
+    // 6 instances: incr×3 (distinct registers ⇒ distinct nodes), min×3.
+    EXPECT_EQ(g.node_count(), 6);
+    // Precedence incr_i -> min_i (3 edges); exclusion among the min clique
+    // (3 pairs).
+    EXPECT_EQ(g.before.size(), 3u);
+    EXPECT_EQ(g.exclusive.size(), 3u);
+    // Figure 9: longest path incr_1, min_1, min_2, min_3 has length 4.
+    EXPECT_EQ(min_stage_requirement(g), 4);
+}
+
+TEST_F(CmsGraph, GraphAtK2FitsThreeStages) {
+    const DepGraph g = build_dep_graph(prog_, target_, instantiate_symbol(prog_, rows_, 2));
+    EXPECT_EQ(min_stage_requirement(g), 3);  // incr, min_1, min_2
+}
+
+TEST_F(CmsGraph, GraphAtK1NeedsTwoStages) {
+    const DepGraph g = build_dep_graph(prog_, target_, instantiate_symbol(prog_, rows_, 1));
+    EXPECT_EQ(min_stage_requirement(g), 2);  // incr -> min
+}
+
+TEST(DepGraph, RegisterSharingGroupsIntoOneNode) {
+    const ir::Program prog = ir::elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> a; bit<32> b; }
+register<bit<32>>[64] shared;
+action first() { reg_add(shared, 0, 1, meta.a); }
+action second() { reg_read(shared, 1, meta.b); }
+control ingress { apply { first(); second(); } }
+)");
+    const DepGraph g = build_dep_graph(prog, target::small_test(),
+                                       instantiate_all(prog, {}));
+    ASSERT_FALSE(g.infeasible);
+    EXPECT_EQ(static_cast<int>(g.instances.size()), 2);
+    EXPECT_EQ(g.node_count(), 1);  // same register row
+    EXPECT_EQ(min_stage_requirement(g), 1);
+}
+
+TEST(DepGraph, WriteAfterReadIsWeakEdge) {
+    const ir::Program prog = ir::elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> a; bit<32> b; }
+action reader() { set(meta.b, meta.a); }
+action writer() { set(meta.a, pkt.x); }
+control ingress { apply { reader(); writer(); } }
+)");
+    const DepGraph g =
+        build_dep_graph(prog, target::small_test(), instantiate_all(prog, {}));
+    EXPECT_TRUE(g.before.empty());
+    EXPECT_EQ(g.not_after.size(), 1u);
+    // Weak edges don't force extra stages.
+    EXPECT_EQ(min_stage_requirement(g), 1);
+}
+
+TEST(DepGraph, WriteWriteNonCommutativeIsPrecedence) {
+    const ir::Program prog = ir::elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> a; }
+action w1() { set(meta.a, 1); }
+action w2() { set(meta.a, 2); }
+control ingress { apply { w1(); w2(); } }
+)");
+    const DepGraph g =
+        build_dep_graph(prog, target::small_test(), instantiate_all(prog, {}));
+    EXPECT_EQ(g.before.size(), 1u);
+    EXPECT_EQ(min_stage_requirement(g), 2);
+}
+
+TEST(DepGraph, MixedMinThenSetIsPrecedenceNotExclusion) {
+    const ir::Program prog = ir::elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> a; }
+action m() { min(meta.a, pkt.x); }
+action s() { set(meta.a, 0); }
+control ingress { apply { m(); s(); } }
+)");
+    const DepGraph g =
+        build_dep_graph(prog, target::small_test(), instantiate_all(prog, {}));
+    EXPECT_TRUE(g.exclusive.empty());
+    EXPECT_EQ(g.before.size(), 1u);
+}
+
+TEST(DepGraph, DependentActionsOnSameRegisterAreInfeasible) {
+    // Both actions must share a stage (same register row) but also have a
+    // write->read dependency between them.
+    const ir::Program prog = ir::elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> a; }
+register<bit<32>>[64] shared;
+action producer() { reg_read(shared, 0, meta.a); }
+action consumer() { reg_add(shared, meta.a, 1); }
+control ingress { apply { producer(); consumer(); } }
+)");
+    const DepGraph g =
+        build_dep_graph(prog, target::small_test(), instantiate_all(prog, {}));
+    EXPECT_TRUE(g.infeasible);
+    EXPECT_EQ(min_stage_requirement(g), kUnschedulable);
+}
+
+TEST(DepGraph, EmptyProgramNeedsNoStages) {
+    const ir::Program prog = ir::elaborate_source("control ingress { apply { } }");
+    const DepGraph g =
+        build_dep_graph(prog, target::small_test(), instantiate_all(prog, {}));
+    EXPECT_EQ(g.node_count(), 0);
+    EXPECT_EQ(min_stage_requirement(g), 0);
+}
+
+TEST(DepGraph, ProgramOrderComparesSeqThenIteration) {
+    const ir::Program prog = ir::elaborate_source(kCms);
+    EXPECT_TRUE(precedes_in_program(prog, {0, 1}, {1, 0}));   // incr_1 before min_0
+    EXPECT_TRUE(precedes_in_program(prog, {0, 0}, {0, 1}));   // incr_0 before incr_1
+    EXPECT_FALSE(precedes_in_program(prog, {1, 0}, {0, 0}));
+}
+
+}  // namespace
+}  // namespace p4all::analysis

@@ -1,0 +1,180 @@
+#include "analysis/unroll.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/elaborate.hpp"
+
+namespace p4all::analysis {
+namespace {
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { for (i < rows) { incr()[i]; } } }
+control find_min {
+    apply { for (i < rows) { if (meta.count[i] < meta.min_val) { take_min()[i]; } } }
+}
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+TEST(Unroll, Figure9RunningExampleBoundIsTwo) {
+    // The paper's Figure 9: on a 3-stage target the CMS loop unrolls twice —
+    // the K=3 graph has a simple path of length 4 > S=3.
+    const ir::Program prog = ir::elaborate_source(kCms);
+    const UnrollResult r =
+        unroll_bound(prog, target::running_example(), prog.find_symbol("rows"));
+    EXPECT_EQ(r.bound, 2);
+    EXPECT_EQ(r.stopped_by, "path");
+}
+
+TEST(Unroll, PathCriterionScalesWithStages) {
+    const ir::Program prog = ir::elaborate_source(kCms);
+    target::TargetSpec t = target::running_example();
+    t.memory_bits = 1 << 24;  // make memory irrelevant
+    UnrollOptions opts;
+    opts.use_assume_bounds = false;
+    opts.use_memory_criterion = false;
+    // With S stages the longest path 1 + K must exceed S at K = S.
+    for (int stages = 2; stages <= 6; ++stages) {
+        t.stages = stages;
+        t.stateful_alus = 64;  // keep ALUs from firing first
+        t.stateless_alus = 64;
+        const UnrollResult r = unroll_bound(prog, t, prog.find_symbol("rows"), opts);
+        EXPECT_EQ(r.bound, stages - 1) << "stages=" << stages;
+        EXPECT_EQ(r.stopped_by, "path");
+    }
+}
+
+TEST(Unroll, AssumeBoundCapsUnrolling) {
+    const ir::Program prog = ir::elaborate_source(kCms);
+    target::TargetSpec t = target::tofino_like();  // 10 stages: path fires at 10
+    const UnrollResult r = unroll_bound(prog, t, prog.find_symbol("rows"));
+    // assume rows <= 4 caps before the 10-stage path bound.
+    EXPECT_EQ(r.bound, 4);
+    EXPECT_EQ(r.stopped_by, "assume");
+}
+
+TEST(Unroll, AluCriterionFires) {
+    // A loop body of pure stateless ALU work, no cross-iteration deps:
+    // the path criterion never fires, the ALU criterion must.
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int n;
+packet { bit<32> x; }
+metadata { bit<32>[n] out; }
+action work()[int i] { set(meta.out[i], pkt.x); }
+control ingress { apply { for (i < n) { work()[i]; } } }
+)");
+    target::TargetSpec t = target::small_test();  // L=8, S=4 ⇒ 32 stateless ALUs
+    t.phv_bits = 1 << 20;                         // keep PHV from firing first
+    UnrollOptions opts;
+    opts.use_phv_criterion = false;
+    const UnrollResult r = unroll_bound(prog, t, prog.find_symbol("n"), opts);
+    EXPECT_EQ(r.bound, 32);
+    EXPECT_EQ(r.stopped_by, "alu");
+}
+
+TEST(Unroll, PhvCriterionFires) {
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int n;
+packet { bit<32> x; }
+metadata { bit<32>[n] out; }
+action work()[int i] { set(meta.out[i], pkt.x); }
+control ingress { apply { for (i < n) { work()[i]; } } }
+)");
+    target::TargetSpec t = target::small_test();
+    t.stateless_alus = 1024;  // keep ALUs from firing
+    // PHV budget: 1024 - 32 fixed = 992 bits; 32-bit chunks ⇒ 31 iterations.
+    const UnrollResult r = unroll_bound(prog, t, prog.find_symbol("n"));
+    EXPECT_EQ(r.bound, 31);
+    EXPECT_EQ(r.stopped_by, "phv");
+}
+
+TEST(Unroll, MemoryCriterionFires) {
+    // Each iteration owns a register row of at least 64 × 32 bits (from the
+    // assume); memory fires once K rows exceed M·S.
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int n;
+symbolic int width;
+assume width >= 512;
+packet { bit<32> x; }
+metadata { bit<32>[n] out; }
+register<bit<32>>[width][n] tab;
+action work()[int i] { reg_add(tab[i], 0, 1, meta.out[i]); }
+control ingress { apply { for (i < n) { work()[i]; } } }
+)");
+    target::TargetSpec t = target::small_test();
+    t.stateful_alus = 64;  // keep ALUs quiet
+    t.stages = 2;
+    t.memory_bits = 64 * 1024;
+    // Min row = 512*32 = 16384 bits; M·S = 131072 ⇒ 8 rows fit, 9th fires.
+    const UnrollResult r = unroll_bound(prog, t, prog.find_symbol("n"));
+    EXPECT_EQ(r.bound, 8);
+    EXPECT_EQ(r.stopped_by, "memory");
+}
+
+TEST(Unroll, HardCapForDegenerateLoops) {
+    // No resources consumed per iteration at all: only the cap stops it.
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int n;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action nop()[int i] { set(meta.y, i); }
+control ingress { apply { for (i < n) { nop()[i]; } } }
+)");
+    target::TargetSpec t = target::small_test();
+    t.stateless_alus = 3;
+    UnrollOptions opts;
+    opts.hard_cap = 5;
+    opts.use_alu_criterion = false;
+    opts.use_path_criterion = false;
+    const UnrollResult r = unroll_bound(prog, t, prog.find_symbol("n"), opts);
+    EXPECT_EQ(r.bound, 5);
+    EXPECT_EQ(r.stopped_by, "cap");
+}
+
+TEST(Unroll, BoundsForAllSymbols) {
+    const ir::Program prog = ir::elaborate_source(kCms);
+    const auto bounds = unroll_bounds_all(prog, target::running_example());
+    EXPECT_EQ(bounds[static_cast<std::size_t>(prog.find_symbol("rows"))], 2);
+    // cols is an element count: not unrolled.
+    EXPECT_EQ(bounds[static_cast<std::size_t>(prog.find_symbol("cols"))], 0);
+}
+
+TEST(Unroll, AssumeBoundExtraction) {
+    const ir::Program prog = ir::elaborate_source(kCms);
+    EXPECT_EQ(assume_lower_bound(prog, prog.find_symbol("rows")), 1);
+    EXPECT_EQ(assume_upper_bound(prog, prog.find_symbol("rows")), 4);
+    EXPECT_EQ(assume_lower_bound(prog, prog.find_symbol("cols")), 64);
+    EXPECT_EQ(assume_upper_bound(prog, prog.find_symbol("cols")), std::nullopt);
+}
+
+TEST(Unroll, AssumeEqualityGivesBothBounds) {
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int n;
+assume n == 3;
+packet { bit<32> x; }
+metadata { bit<32>[n] out; }
+action a()[int i] { set(meta.out[i], 1); }
+control ingress { apply { for (i < n) { a()[i]; } } }
+)");
+    EXPECT_EQ(assume_lower_bound(prog, prog.find_symbol("n")), 3);
+    EXPECT_EQ(assume_upper_bound(prog, prog.find_symbol("n")), 3);
+}
+
+}  // namespace
+}  // namespace p4all::analysis

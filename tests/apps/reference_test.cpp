@@ -1,0 +1,139 @@
+#include "apps/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace p4all::apps {
+namespace {
+
+TEST(CountMinSketch, NeverUndercounts) {
+    CountMinSketch cms(3, 128);
+    std::map<std::uint64_t, std::uint64_t> truth;
+    support::Xoshiro256 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t key = rng.next_below(400);
+        cms.update(key);
+        ++truth[key];
+    }
+    for (const auto& [key, count] : truth) {
+        EXPECT_GE(cms.estimate(key), count);
+    }
+}
+
+TEST(CountMinSketch, ExactWithoutCollisions) {
+    CountMinSketch cms(2, 1 << 16);
+    cms.update(7, 5);
+    cms.update(9, 2);
+    EXPECT_EQ(cms.estimate(7), 5u);
+    EXPECT_EQ(cms.estimate(9), 2u);
+    EXPECT_EQ(cms.estimate(1234), 0u);
+}
+
+TEST(CountMinSketch, MoreRowsReduceError) {
+    const workload::Trace t = workload::zipf_trace(50000, 5000, 1.0, 9);
+    double errors[2] = {0, 0};
+    int idx = 0;
+    for (const int rows : {1, 4}) {
+        CountMinSketch cms(rows, 512);
+        for (const std::uint64_t k : t.keys) cms.update(k);
+        double total_err = 0;
+        for (const auto& [key, count] : t.counts) {
+            total_err += static_cast<double>(cms.estimate(key) - count);
+        }
+        errors[idx++] = total_err;
+    }
+    EXPECT_LT(errors[1], errors[0]);
+}
+
+TEST(CountMinSketch, WiderColsReduceError) {
+    const workload::Trace t = workload::zipf_trace(50000, 5000, 1.0, 9);
+    double errors[2] = {0, 0};
+    int idx = 0;
+    for (const std::int64_t cols : {128, 4096}) {
+        CountMinSketch cms(2, cols);
+        for (const std::uint64_t k : t.keys) cms.update(k);
+        double total_err = 0;
+        for (const auto& [key, count] : t.counts) {
+            total_err += static_cast<double>(cms.estimate(key) - count);
+        }
+        errors[idx++] = total_err;
+    }
+    EXPECT_LT(errors[1], errors[0]);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+    BloomFilter bf(3, 1024);
+    for (std::uint64_t k = 0; k < 200; ++k) bf.insert(k * 7 + 1);
+    for (std::uint64_t k = 0; k < 200; ++k) EXPECT_TRUE(bf.maybe_contains(k * 7 + 1));
+}
+
+TEST(BloomFilter, FalsePositiveRateShrinksWithBits) {
+    double fp[2] = {0, 0};
+    int idx = 0;
+    for (const std::int64_t bits : {256, 8192}) {
+        BloomFilter bf(3, bits);
+        for (std::uint64_t k = 0; k < 300; ++k) bf.insert(k);
+        int positives = 0;
+        for (std::uint64_t k = 10000; k < 20000; ++k) {
+            positives += bf.maybe_contains(k) ? 1 : 0;
+        }
+        fp[idx++] = positives / 10000.0;
+    }
+    EXPECT_LT(fp[1], fp[0] / 4);
+}
+
+TEST(BloomFilter, ClearResets) {
+    BloomFilter bf(2, 256);
+    bf.insert(5);
+    EXPECT_TRUE(bf.maybe_contains(5));
+    bf.clear();
+    EXPECT_FALSE(bf.maybe_contains(5));
+}
+
+TEST(HashKvStore, InsertLookupErase) {
+    HashKvStore kv(2, 64);
+    EXPECT_FALSE(kv.lookup(10).has_value());
+    EXPECT_TRUE(kv.insert(10, 111));
+    EXPECT_EQ(kv.lookup(10), 111u);
+    EXPECT_TRUE(kv.insert(10, 222));  // overwrite
+    EXPECT_EQ(kv.lookup(10), 222u);
+    EXPECT_EQ(kv.occupied(), 1);
+    kv.erase(10);
+    EXPECT_FALSE(kv.lookup(10).has_value());
+    EXPECT_EQ(kv.occupied(), 0);
+}
+
+TEST(HashKvStore, FillsToCapacityFraction) {
+    HashKvStore kv(4, 256);
+    int inserted = 0;
+    for (std::uint64_t k = 1; k <= 1024; ++k) {
+        inserted += kv.insert(k, k) ? 1 : 0;
+    }
+    // 4-way hashing should land most keys despite collisions.
+    EXPECT_GT(inserted, 600);
+    EXPECT_EQ(kv.occupied(), inserted);
+    EXPECT_LE(kv.occupied(), kv.capacity());
+}
+
+TEST(CountingHashTable, CountsResidentKeys) {
+    CountingHashTable t(1024, 3);
+    for (int i = 0; i < 5; ++i) (void)t.update(42);
+    EXPECT_EQ(t.count(42), 5u);
+    EXPECT_EQ(t.count(43), 0u);
+}
+
+TEST(CountingHashTable, CollisionKeepsIncumbent) {
+    CountingHashTable t(1, 3);  // everything collides
+    (void)t.update(1);
+    (void)t.update(1);
+    EXPECT_EQ(t.update(2), 0u);  // rejected
+    EXPECT_EQ(t.count(1), 2u);
+    EXPECT_EQ(t.count(2), 0u);
+}
+
+}  // namespace
+}  // namespace p4all::apps

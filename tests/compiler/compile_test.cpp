@@ -1,0 +1,272 @@
+#include "compiler/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hpp"
+#include "compiler/greedy.hpp"
+#include "support/error.hpp"
+
+namespace p4all::compiler {
+namespace {
+
+using support::CompileError;
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { for (i < rows) { incr()[i]; } } }
+control find_min {
+    apply { for (i < rows) { if (meta.count[i] < meta.min_val) { take_min()[i]; } } }
+}
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+TEST(Compile, CmsOnRunningExampleTarget) {
+    // S=3, M=2048b, F=L=2: cols is pinned to 64 (a full stage of memory),
+    // so the optimum is rows=2 in separate stages — utility 128.
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    EXPECT_EQ(r.layout.binding(r.program.find_symbol("rows")), 2);
+    EXPECT_EQ(r.layout.binding(r.program.find_symbol("cols")), 64);
+    EXPECT_NEAR(r.utility, 128.0, 1e-6);
+    EXPECT_EQ(r.layout.total_actions(), 4u);  // incr×2 + take_min×2
+}
+
+TEST(Compile, CmsOnTofinoLikeTarget) {
+    // 10 stages, 1.75 Mb/stage: the assume caps rows at 4; each row gets a
+    // full stage of memory (54687 elements of 32 bits).
+    CompileOptions opts;
+    opts.target = target::tofino_like();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    EXPECT_EQ(r.layout.binding(r.program.find_symbol("rows")), 4);
+    EXPECT_EQ(r.layout.binding(r.program.find_symbol("cols")), 1'750'000 / 32);
+    EXPECT_NEAR(r.utility, 4.0 * (1'750'000 / 32), 1e-6);
+}
+
+TEST(Compile, LayoutPassesAudit) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    EXPECT_TRUE(audit_layout(r.program, opts.target, r.layout).empty());
+}
+
+TEST(Compile, AuditCatchesTamperedLayouts) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+
+    // Inflated binding: claims more iterations than are placed.
+    {
+        Layout tampered = r.layout;
+        ++tampered.bindings[static_cast<std::size_t>(r.program.find_symbol("rows"))];
+        EXPECT_FALSE(audit_layout(r.program, opts.target, tampered).empty());
+    }
+    // Dropped action instance.
+    {
+        Layout tampered = r.layout;
+        for (StagePlan& plan : tampered.stages) {
+            if (!plan.actions.empty()) {
+                plan.actions.pop_back();
+                break;
+            }
+        }
+        EXPECT_FALSE(audit_layout(r.program, opts.target, tampered).empty());
+    }
+    // Register row resized away from its symbol's binding.
+    {
+        Layout tampered = r.layout;
+        for (StagePlan& plan : tampered.stages) {
+            if (!plan.registers.empty()) {
+                plan.registers.front().elems /= 2;
+                break;
+            }
+        }
+        EXPECT_FALSE(audit_layout(r.program, opts.target, tampered).empty());
+    }
+    // Oversized register row: exceeds the stage memory limit.
+    {
+        Layout tampered = r.layout;
+        for (StagePlan& plan : tampered.stages) {
+            if (!plan.registers.empty()) {
+                plan.registers.front().elems *= 100;
+                break;
+            }
+        }
+        EXPECT_FALSE(audit_layout(r.program, opts.target, tampered).empty());
+    }
+}
+
+TEST(Compile, GeneratedP4Reparses) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    // The generated concrete program must be valid (inelastic) P4All and
+    // elaborate to the same number of placed instances.
+    const ir::Program concrete = ir::elaborate_source(r.p4_source, {.program_name = "concrete"});
+    EXPECT_EQ(concrete.flow.size(), r.layout.total_actions());
+    for (const ir::CallSite& site : concrete.flow) EXPECT_FALSE(site.elastic());
+    // Registers became concrete rows: cms_0 and cms_1, 64 elements each.
+    ASSERT_EQ(concrete.registers.size(), 2u);
+    for (const ir::RegisterArray& reg : concrete.registers) {
+        EXPECT_FALSE(reg.elems.symbolic());
+        EXPECT_EQ(reg.elems.literal, 64);
+    }
+}
+
+TEST(Compile, StatsArePopulated) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    EXPECT_GT(r.stats.ilp_vars, 0);
+    EXPECT_GT(r.stats.ilp_constraints, 0);
+    EXPECT_GE(r.stats.bb_nodes, 1);
+    EXPECT_GT(r.stats.total_seconds, 0.0);
+    EXPECT_EQ(r.stats.unroll_bounds[static_cast<std::size_t>(r.program.find_symbol("rows"))], 2);
+}
+
+TEST(Compile, InfeasibleProgramDiagnosed) {
+    // Demands at least 5 rows on a 3-stage target that fits at most 2.
+    std::string src = kCms;
+    const std::string from = "assume rows >= 1 && rows <= 4;";
+    src.replace(src.find(from), from.size(), "assume rows >= 5 && rows <= 8;");
+    CompileOptions opts;
+    opts.target = target::running_example();
+    EXPECT_THROW((void)compile_source(src, opts, "cms"), CompileError);
+}
+
+TEST(Compile, ElementAssumeVsMemoryConflictDiagnosed) {
+    std::string src = kCms;
+    const std::string from = "assume cols >= 64;";
+    src.replace(src.find(from), from.size(), "assume cols >= 100;");  // 100*32 > 2048
+    CompileOptions opts;
+    opts.target = target::running_example();
+    EXPECT_THROW((void)compile_source(src, opts, "cms"), CompileError);
+}
+
+TEST(Compile, GreedyBackendProducesValidLayout) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    opts.backend = Backend::Greedy;
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    EXPECT_TRUE(audit_layout(r.program, opts.target, r.layout).empty());
+    EXPECT_GT(r.utility, 0.0);
+}
+
+TEST(Compile, IlpUtilityAtLeastGreedy) {
+    CompileOptions ilp_opts;
+    ilp_opts.target = target::running_example();
+    const CompileResult exact = compile_source(kCms, ilp_opts, "cms");
+    CompileOptions greedy_opts = ilp_opts;
+    greedy_opts.backend = Backend::Greedy;
+    const CompileResult heur = compile_source(kCms, greedy_opts, "cms");
+    EXPECT_GE(exact.utility + 1e-6, heur.utility);
+}
+
+TEST(Compile, StageWindowPresolveDoesNotChangeOptimum) {
+    CompileOptions with;
+    with.target = target::running_example();
+    with.ilpgen.stage_windows = true;
+    CompileOptions without = with;
+    without.ilpgen.stage_windows = false;
+    const CompileResult a = compile_source(kCms, with, "cms");
+    const CompileResult b = compile_source(kCms, without, "cms");
+    EXPECT_NEAR(a.utility, b.utility, 1e-6);
+    // The presolve must shrink the model.
+    EXPECT_LT(a.stats.ilp_vars, b.stats.ilp_vars);
+}
+
+TEST(Compile, InelasticProgramCompilesDirectly) {
+    const char* src = R"(
+packet { bit<32> x; bit<32> dst; }
+metadata { bit<32> acc; }
+register<bit<32>>[128] counter_tab;
+action count_pkt() { reg_add(counter_tab, 0, 1, meta.acc); }
+action route() { set(meta.acc, pkt.dst); }
+control ingress { apply { count_pkt(); route(); } }
+)";
+    CompileOptions opts;
+    opts.target = target::small_test();
+    const CompileResult r = compile_source(src, opts, "plain");
+    EXPECT_EQ(r.layout.total_actions(), 2u);
+    // route writes meta.acc after count_pkt wrote it: two stages.
+    analysis::Instance count_inst{0, 0};
+    analysis::Instance route_inst{1, 0};
+    EXPECT_LT(r.layout.stage_of(count_inst), r.layout.stage_of(route_inst));
+}
+
+TEST(Compile, UtilityBalancesTwoStructures) {
+    // Two register matrices compete for memory; the weighted utility must
+    // pick the split favoring the heavier weight.
+    const char* src = R"(
+symbolic int a_rows;
+symbolic int a_cols;
+symbolic int b_rows;
+symbolic int b_cols;
+assume a_rows == 1;
+assume b_rows == 1;
+assume a_cols >= 1;
+assume b_cols >= 1;
+packet { bit<32> key; }
+metadata { bit<32>[a_rows] a_idx; bit<32>[b_rows] b_idx; bit<32> a_v; bit<32> b_v; }
+register<bit<32>>[a_cols][a_rows] tab_a;
+register<bit<32>>[b_cols][b_rows] tab_b;
+action touch_a()[int i] {
+    hash(meta.a_idx[i], i, pkt.key, tab_a[i]);
+    reg_add(tab_a[i], meta.a_idx[i], 1, meta.a_v);
+}
+action touch_b()[int i] {
+    hash(meta.b_idx[i], 100 + i, pkt.key, tab_b[i]);
+    reg_add(tab_b[i], meta.b_idx[i], 1, meta.b_v);
+}
+control ingress {
+    apply {
+        for (i < a_rows) { touch_a()[i]; }
+        for (j < b_rows) { touch_b()[j]; }
+    }
+}
+optimize 0.25 * (a_rows * a_cols) + 0.75 * (b_rows * b_cols);
+)";
+    CompileOptions opts;
+    opts.target = target::small_test();
+    opts.target.stages = 1;  // force the two rows into one stage: shared M
+    const CompileResult r = compile_source(src, opts, "two");
+    const std::int64_t a = r.layout.binding(r.program.find_symbol("a_cols"));
+    const std::int64_t b = r.layout.binding(r.program.find_symbol("b_cols"));
+    // All memory except a's minimum goes to b (weight 0.75 > 0.25).
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, (opts.target.memory_bits / 32) - 1);
+}
+
+TEST(Compile, WarEdgeAllowsSameStage) {
+    const char* src = R"(
+packet { bit<32> x; }
+metadata { bit<32> a; bit<32> b; }
+action reader() { set(meta.b, meta.a); }
+action writer() { set(meta.a, pkt.x); }
+control ingress { apply { reader(); writer(); } }
+)";
+    CompileOptions opts;
+    opts.target = target::small_test();
+    opts.target.stages = 1;  // both must fit in one stage — WAR permits it
+    const CompileResult r = compile_source(src, opts, "war");
+    EXPECT_EQ(r.layout.total_actions(), 2u);
+}
+
+}  // namespace
+}  // namespace p4all::compiler

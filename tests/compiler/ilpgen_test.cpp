@@ -1,0 +1,218 @@
+#include "compiler/ilpgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/unroll.hpp"
+#include "compiler/greedy.hpp"
+#include "ir/elaborate.hpp"
+#include "support/error.hpp"
+
+namespace p4all::compiler {
+namespace {
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+struct Generated {
+    ir::Program prog;
+    target::TargetSpec target;
+    std::vector<std::int64_t> bounds;
+    GeneratedIlp gen;
+};
+
+Generated make(const char* src, target::TargetSpec t, IlpGenOptions opts = {}) {
+    Generated g{ir::elaborate_source(src), std::move(t), {}, {}};
+    g.bounds = analysis::unroll_bounds_all(g.prog, g.target);
+    g.gen = generate_ilp(g.prog, g.target, g.bounds, opts);
+    return g;
+}
+
+TEST(IlpGen, VariableFamiliesPresent) {
+    const Generated g = make(kCms, target::running_example());
+    // y per (rows, iteration): bound is 2 on the 3-stage target.
+    EXPECT_EQ(g.bounds[static_cast<std::size_t>(g.prog.find_symbol("rows"))], 2);
+    EXPECT_EQ(g.gen.y.size(), 2u);
+    // n_e for cols; e per register row.
+    EXPECT_EQ(g.gen.elem_count.size(), 1u);
+    EXPECT_EQ(g.gen.row_elems.size(), 2u);
+    // d per elastic metadata chunk: index/count × 2 iterations.
+    EXPECT_EQ(g.gen.d.size(), 4u);
+    // Every register row has an owner node.
+    EXPECT_EQ(g.gen.row_owner.size(), 2u);
+}
+
+TEST(IlpGen, StageWindowsShrinkTheModel) {
+    IlpGenOptions with;
+    with.stage_windows = true;
+    IlpGenOptions without;
+    without.stage_windows = false;
+    const Generated a = make(kCms, target::tofino_like(), with);
+    const Generated b = make(kCms, target::tofino_like(), without);
+    EXPECT_LT(a.gen.model.num_vars(), b.gen.model.num_vars());
+    EXPECT_LT(a.gen.model.num_constraints(), b.gen.model.num_constraints());
+    // Windowed x vectors have invalid slots outside [earliest, latest].
+    bool found_window_gap = false;
+    for (const auto& row : a.gen.x) {
+        for (const ilp::Var v : row) found_window_gap = found_window_gap || !v.valid();
+    }
+    EXPECT_TRUE(found_window_gap);
+}
+
+TEST(IlpGen, ElementBoundsComeFromMemoryAndAssumes) {
+    const Generated g = make(kCms, target::running_example());
+    const ilp::Var ne = g.gen.elem_count.at(g.prog.find_symbol("cols"));
+    // cols >= 64 (assume) and <= M/width = 2048/32 = 64.
+    EXPECT_DOUBLE_EQ(g.gen.model.lower_bound(ne.id), 64.0);
+    EXPECT_DOUBLE_EQ(g.gen.model.upper_bound(ne.id), 64.0);
+}
+
+TEST(IlpGen, ObjectiveSumsRowElementVariables) {
+    const Generated g = make(kCms, target::running_example());
+    // utility rows*cols lowers to Σ e[cms,row]; both rows present.
+    const auto& obj = g.gen.model.objective();
+    EXPECT_EQ(obj.terms().size(), 2u);
+    for (const auto& [row, var] : g.gen.row_elems) {
+        bool found = false;
+        for (const auto& [id, coeff] : obj.terms()) {
+            if (id == var.id) {
+                found = true;
+                EXPECT_DOUBLE_EQ(coeff, 1.0);
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(IlpGen, WarmStartFromGreedyIsFeasible) {
+    const Generated g = make(kCms, target::tofino_like());
+    const auto greedy = greedy_place(g.prog, g.target, g.bounds);
+    ASSERT_TRUE(greedy.has_value());
+    const std::vector<double> ws = warm_start_values(g.prog, g.gen, greedy->layout);
+    EXPECT_TRUE(g.gen.model.is_feasible(ws, 1e-6));
+}
+
+TEST(IlpGen, WarmStartObjectiveMatchesGreedyUtility) {
+    const Generated g = make(kCms, target::tofino_like());
+    const auto greedy = greedy_place(g.prog, g.target, g.bounds);
+    ASSERT_TRUE(greedy.has_value());
+    const std::vector<double> ws = warm_start_values(g.prog, g.gen, greedy->layout);
+    EXPECT_NEAR(g.gen.model.objective().evaluate(ws), greedy->utility, 1e-6);
+}
+
+TEST(IlpGen, ContradictoryDependenciesRejected) {
+    const char* bad = R"(
+packet { bit<32> x; }
+metadata { bit<32> a; }
+register<bit<32>>[64] shared;
+action producer() { reg_read(shared, 0, meta.a); }
+action consumer() { reg_add(shared, meta.a, 1); }
+control ingress { apply { producer(); consumer(); } }
+)";
+    const ir::Program prog = ir::elaborate_source(bad);
+    const auto bounds = analysis::unroll_bounds_all(prog, target::small_test());
+    EXPECT_THROW((void)generate_ilp(prog, target::small_test(), bounds),
+                 support::CompileError);
+}
+
+TEST(IlpGen, InelasticActionsMustBePlaced) {
+    // The route action (inelastic) yields an equality Σ_s x = 1.
+    const char* src = R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action route() { set(meta.y, pkt.x); }
+control ingress { apply { route(); } }
+)";
+    const ir::Program prog = ir::elaborate_source(src);
+    const auto bounds = analysis::unroll_bounds_all(prog, target::small_test());
+    const GeneratedIlp gen = generate_ilp(prog, target::small_test(), bounds);
+    bool found_place_eq = false;
+    for (const ilp::Constraint& c : gen.model.constraints()) {
+        if (c.name.rfind("place_", 0) == 0 && c.sense == ilp::CmpSense::Eq && c.rhs == 1.0) {
+            found_place_eq = true;
+        }
+    }
+    EXPECT_TRUE(found_place_eq);
+}
+
+TEST(IlpGen, IterationOrderingConstraintsEmitted) {
+    const Generated g = make(kCms, target::tofino_like());
+    int order_rows = 0;
+    for (const ilp::Constraint& c : g.gen.model.constraints()) {
+        if (c.name.rfind("order_rows", 0) == 0) ++order_rows;
+    }
+    // U(rows) = 4 iterations ⇒ 3 adjacent ordering rows.
+    EXPECT_EQ(order_rows, 3);
+}
+
+TEST(IlpGen, PerStageResourceRowsEmitted) {
+    const Generated g = make(kCms, target::running_example());
+    int mem_rows = 0;
+    int salu_rows = 0;
+    for (const ilp::Constraint& c : g.gen.model.constraints()) {
+        if (c.name.rfind("mem_s", 0) == 0) ++mem_rows;
+        if (c.name.rfind("salu_s", 0) == 0) ++salu_rows;
+    }
+    // With stage windows, resource rows exist only for stages some node can
+    // occupy: on the 3-stage target the final stage can only hold the
+    // stateless, memoryless fold, so memory/stateful rows cover stages 0–1.
+    EXPECT_EQ(mem_rows, 2);
+    EXPECT_EQ(salu_rows, 2);
+
+    // Without windows every stage gets its rows.
+    IlpGenOptions no_windows;
+    no_windows.stage_windows = false;
+    const Generated full = make(kCms, target::running_example(), no_windows);
+    int full_mem = 0;
+    for (const ilp::Constraint& c : full.gen.model.constraints()) {
+        if (c.name.rfind("mem_s", 0) == 0) ++full_mem;
+    }
+    EXPECT_EQ(full_mem, 3);
+}
+
+TEST(IlpGen, PhvBudgetRowEmitted) {
+    const Generated g = make(kCms, target::running_example());
+    bool found = false;
+    for (const ilp::Constraint& c : g.gen.model.constraints()) {
+        if (c.name == "phv") {
+            found = true;
+            // Budget = P - fixed = 4096 - 64.
+            EXPECT_DOUBLE_EQ(c.rhs, 4032.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(IlpGen, LpFormatDumpIsWellFormed) {
+    const Generated g = make(kCms, target::running_example());
+    const std::string lp = g.gen.model.to_lp_format();
+    EXPECT_NE(lp.find("Maximize"), std::string::npos);
+    EXPECT_NE(lp.find("Subject To"), std::string::npos);
+    EXPECT_NE(lp.find("Binaries"), std::string::npos);
+    EXPECT_NE(lp.find("y_rows_0"), std::string::npos);
+    EXPECT_NE(lp.find("n_cols"), std::string::npos);
+    EXPECT_NE(lp.find("End"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::compiler

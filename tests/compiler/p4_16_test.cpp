@@ -1,0 +1,127 @@
+#include "compiler/p4_16.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/netcache.hpp"
+#include "apps/applications.hpp"
+#include "compiler/compiler.hpp"
+
+namespace p4all::compiler {
+namespace {
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+std::string compile_to_p4_16(const std::string& src, const target::TargetSpec& t) {
+    CompileOptions opts;
+    opts.target = t;
+    const CompileResult r = compile_source(src, opts, "p416");
+    return generate_p4_16(r.program, r.layout);
+}
+
+/// Braces, parens, and brackets must balance and never go negative.
+void expect_balanced(const std::string& text) {
+    int brace = 0;
+    int paren = 0;
+    int bracket = 0;
+    for (const char c : text) {
+        brace += c == '{' ? 1 : (c == '}' ? -1 : 0);
+        paren += c == '(' ? 1 : (c == ')' ? -1 : 0);
+        bracket += c == '[' ? 1 : (c == ']' ? -1 : 0);
+        ASSERT_GE(brace, 0);
+        ASSERT_GE(paren, 0);
+        ASSERT_GE(bracket, 0);
+    }
+    EXPECT_EQ(brace, 0);
+    EXPECT_EQ(paren, 0);
+    EXPECT_EQ(bracket, 0);
+}
+
+TEST(P4_16, CmsHasV1ModelScaffolding) {
+    const std::string p4 = compile_to_p4_16(kCms, target::running_example());
+    for (const char* needle :
+         {"#include <v1model.p4>", "header p4all_t", "struct metadata_t", "parser P4AllParser",
+          "control P4AllIngress", "control P4AllDeparser", "V1Switch("}) {
+        EXPECT_NE(p4.find(needle), std::string::npos) << needle << "\n" << p4;
+    }
+    expect_balanced(p4);
+}
+
+TEST(P4_16, RegistersSizedFromLayout) {
+    const std::string p4 = compile_to_p4_16(kCms, target::running_example());
+    // rows=2, cols=64 on the running-example target.
+    EXPECT_NE(p4.find("register<bit<32>>(64) cms_0;"), std::string::npos) << p4;
+    EXPECT_NE(p4.find("register<bit<32>>(64) cms_1;"), std::string::npos) << p4;
+    EXPECT_EQ(p4.find("cms_2"), std::string::npos);
+}
+
+TEST(P4_16, StageAnnotationsMatchLayout) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "p416");
+    const std::string p4 = generate_p4_16(r.program, r.layout);
+    for (std::size_t s = 0; s < r.layout.stages.size(); ++s) {
+        if (r.layout.stages[s].actions.empty()) continue;
+        EXPECT_NE(p4.find("@stage(" + std::to_string(s) + ")"), std::string::npos);
+    }
+}
+
+TEST(P4_16, HashUsesV1ModelSignature) {
+    const std::string p4 = compile_to_p4_16(kCms, target::running_example());
+    EXPECT_NE(p4.find("hash(meta.index_0, HashAlgorithm.crc32, 32w0, {hdr.p4all.flow_id}, "
+                      "32w64);"),
+              std::string::npos)
+        << p4;
+}
+
+TEST(P4_16, GuardedCallsEmitIfStatements) {
+    const char* src = R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action mark() { set(meta.y, 1); }
+control ingress { apply { if (pkt.x > 10) { mark(); } } }
+)";
+    const std::string p4 = compile_to_p4_16(src, target::small_test());
+    EXPECT_NE(p4.find("if (hdr.p4all.x > 10) {"), std::string::npos) << p4;
+    expect_balanced(p4);
+}
+
+TEST(P4_16, EveryApplicationExports) {
+    for (const std::string& src :
+         {apps::netcache_source(), apps::sketchlearn_source(), apps::precision_source(),
+          apps::conquest_source(), apps::flowradar_source()}) {
+        const std::string p4 = compile_to_p4_16(src, target::tofino_like());
+        EXPECT_NE(p4.find("V1Switch("), std::string::npos);
+        expect_balanced(p4);
+    }
+}
+
+TEST(P4_16, SymbolicAssignmentRecordedInHeader) {
+    const std::string p4 = compile_to_p4_16(kCms, target::running_example());
+    EXPECT_NE(p4.find("rows=2"), std::string::npos);
+    EXPECT_NE(p4.find("cols=64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::compiler

@@ -1,0 +1,101 @@
+#include "compiler/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hpp"
+
+namespace p4all::compiler {
+namespace {
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+TEST(Report, AccountsResourcesPerStage) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    const UsageReport usage = compute_usage(r.program, opts.target, r.layout);
+
+    ASSERT_EQ(usage.stages.size(), 3u);
+    // rows=2, cols=64: stage 0 holds init+incr_0, stage 1 incr_1+fold_0,
+    // stage 2 fold_1 (see compile_test expectations).
+    EXPECT_EQ(usage.stages[0].memory_bits, 64 * 32);
+    EXPECT_EQ(usage.stages[1].memory_bits, 64 * 32);
+    EXPECT_EQ(usage.stages[2].memory_bits, 0);
+    EXPECT_EQ(usage.stages[0].stateful_alus, 1);
+    EXPECT_EQ(usage.stages[0].hash_units, 1);
+    EXPECT_EQ(usage.total_actions(), 5);  // init + 2 incr + 2 fold
+    EXPECT_EQ(usage.stages_occupied, 3);
+}
+
+TEST(Report, PhvCountsFixedPlusPlacedChunks) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    const UsageReport usage = compute_usage(r.program, opts.target, r.layout);
+    // Fixed: flow_id (32) + min_val (32); elastic: index/count × 2 = 128.
+    EXPECT_EQ(usage.phv_bits, 64 + 128);
+}
+
+TEST(Report, UsageNeverExceedsTargetLimits) {
+    // Compiled layouts pass the audit, so the report must show every stage
+    // within limits.
+    CompileOptions opts;
+    opts.target = target::tofino_like();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    const UsageReport usage = compute_usage(r.program, opts.target, r.layout);
+    for (const StageUsage& s : usage.stages) {
+        EXPECT_LE(s.memory_bits, opts.target.memory_bits);
+        EXPECT_LE(s.stateful_alus, opts.target.stateful_alus);
+        EXPECT_LE(s.stateless_alus, opts.target.stateless_alus);
+        EXPECT_LE(s.hash_units, opts.target.hash_units);
+    }
+    EXPECT_LE(usage.phv_bits, opts.target.phv_bits);
+}
+
+TEST(Report, PhvReuseNeverExceedsTotalAndCatchesDeadRanges) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    const UsageReport usage = compute_usage(r.program, opts.target, r.layout);
+    EXPECT_LE(usage.phv_bits_with_reuse, usage.phv_bits);
+    EXPECT_GT(usage.phv_bits_with_reuse, 0);
+    // index_0 dies after stage 0, count_0 after stage 1, etc.: the peak of
+    // concurrently-live bits is strictly below the naive total.
+    EXPECT_LT(usage.phv_bits_with_reuse, usage.phv_bits);
+}
+
+TEST(Report, RenderContainsBarsAndTotals) {
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    const UsageReport usage = compute_usage(r.program, opts.target, r.layout);
+    const std::string text = render_usage(usage, opts.target);
+    EXPECT_NE(text.find("####################"), std::string::npos);  // 100% stage
+    EXPECT_NE(text.find("PHV: 192 / 4096"), std::string::npos);
+    EXPECT_NE(text.find("stages occupied: 3 / 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::compiler

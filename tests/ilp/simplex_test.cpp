@@ -1,0 +1,179 @@
+#include "ilp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4all::ilp {
+namespace {
+
+TEST(Simplex, SimpleTwoVarLp) {
+    // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 → x=4, y=0, obj 12.
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    m.add_le(LinExpr().add(x, 1).add(y, 1), 4);
+    m.add_le(LinExpr().add(x, 1).add(y, 3), 6);
+    m.set_objective(LinExpr().add(x, 3).add(y, 2));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 12.0, 1e-7);
+    EXPECT_NEAR(r.values[0], 4.0, 1e-7);
+    EXPECT_NEAR(r.values[1], 0.0, 1e-7);
+}
+
+TEST(Simplex, InteriorOptimum) {
+    // max x + y  s.t. 2x + y <= 4, x + 2y <= 4 → x=y=4/3, obj 8/3.
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    m.add_le(LinExpr().add(x, 2).add(y, 1), 4);
+    m.add_le(LinExpr().add(x, 1).add(y, 2), 4);
+    m.set_objective(LinExpr().add(x, 1).add(y, 1));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 8.0 / 3.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualAndEqualityRows) {
+    // max x  s.t. x + y = 5, x >= 2, y >= 1 → x=4, y=1.
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    m.add_eq(LinExpr().add(x, 1).add(y, 1), 5);
+    m.add_ge(LinExpr().add(x, 1), 2);
+    m.add_ge(LinExpr().add(y, 1), 1);
+    m.set_objective(LinExpr().add(x, 1));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.values[0], 4.0, 1e-7);
+    EXPECT_NEAR(r.values[1], 1.0, 1e-7);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+    // max x + y with x in [1,2], y in [0,3], x + y <= 4 → x=2 (bound), y=2.
+    Model m;
+    const Var x = m.add_continuous("x", 1, 2);
+    const Var y = m.add_continuous("y", 0, 3);
+    m.add_le(LinExpr().add(x, 1).add(y, 1), 4);
+    m.set_objective(LinExpr().add(x, 1).add(y, 1));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 4.0, 1e-7);
+    EXPECT_GE(r.values[0], 1.0 - 1e-7);
+    EXPECT_LE(r.values[0], 2.0 + 1e-7);
+}
+
+TEST(Simplex, NonzeroLowerBoundsShift) {
+    // min-style check via negative objective: max -x with x >= 3 → x = 3.
+    Model m;
+    const Var x = m.add_continuous("x", 3, kInfinity);
+    m.set_objective(LinExpr().add(x, -1));
+    // Need at least one constraint for a meaningful tableau; add slackful one.
+    m.add_le(LinExpr().add(x, 1), 100);
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.values[0], 3.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    m.add_ge(LinExpr().add(x, 1), 5);
+    m.add_le(LinExpr().add(x, 1), 2);
+    m.set_objective(LinExpr().add(x, 1));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    m.add_ge(LinExpr().add(x, 1).add(y, -1), 0);
+    m.set_objective(LinExpr().add(x, 1));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+    // x - y <= -1 with x,y in [0,10]: max x → y ≥ x+1, so x = 9.
+    Model m;
+    const Var x = m.add_continuous("x", 0, 10);
+    const Var y = m.add_continuous("y", 0, 10);
+    m.add_le(LinExpr().add(x, 1).add(y, -1), -1);
+    m.set_objective(LinExpr().add(x, 1));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 9.0, 1e-7);
+}
+
+TEST(Simplex, BoundOverrides) {
+    Model m;
+    const Var x = m.add_continuous("x", 0, 10);
+    m.add_le(LinExpr().add(x, 1), 100);
+    m.set_objective(LinExpr().add(x, 1));
+    std::vector<double> lb{0.0};
+    std::vector<double> ub{4.0};
+    const LpResult r = solve_lp(m, &lb, &ub);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 4.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+    // Classic degeneracy: many redundant constraints through the origin.
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    const Var z = m.add_continuous("z", 0, kInfinity);
+    m.add_le(LinExpr().add(x, 0.5).add(y, -5.5).add(z, -2.5), 0);
+    m.add_le(LinExpr().add(x, 0.5).add(y, -1.5).add(z, -0.5), 0);
+    m.add_le(LinExpr().add(x, 1), 1);
+    m.set_objective(LinExpr().add(x, 10).add(y, -57).add(z, -9));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 1.0, 1e-6);
+}
+
+TEST(Simplex, EmptyModelIsTriviallyOptimal) {
+    Model m;
+    const Var x = m.add_continuous("x", 0, 5);
+    m.set_objective(LinExpr().add(x, 2));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 10.0, 1e-7);
+}
+
+TEST(Model, LpFormatDump) {
+    Model m;
+    const Var x = m.add_binary("x_a_1");
+    const Var y = m.add_integer("n_cols", 1, 2048);
+    m.add_le(LinExpr().add(x, 32).add(y, 1), 2048, "mem_stage0");
+    m.set_objective(LinExpr().add(y, 0.4));
+    const std::string lp = m.to_lp_format();
+    EXPECT_NE(lp.find("Maximize"), std::string::npos);
+    EXPECT_NE(lp.find("mem_stage0"), std::string::npos);
+    EXPECT_NE(lp.find("Binaries"), std::string::npos);
+    EXPECT_NE(lp.find("Generals"), std::string::npos);
+    EXPECT_NE(lp.find("x_a_1"), std::string::npos);
+}
+
+TEST(Model, FeasibilityChecker) {
+    Model m;
+    const Var x = m.add_binary("x");
+    const Var y = m.add_continuous("y", 0, 10);
+    m.add_le(LinExpr().add(x, 5).add(y, 1), 7);
+    EXPECT_TRUE(m.is_feasible({1.0, 2.0}));
+    EXPECT_FALSE(m.is_feasible({1.0, 2.5}));   // constraint violated
+    EXPECT_FALSE(m.is_feasible({0.5, 0.0}));   // fractional binary
+    EXPECT_FALSE(m.is_feasible({0.0, 11.0}));  // bound violated
+    EXPECT_FALSE(m.is_feasible({1.0}));        // wrong arity
+}
+
+TEST(Model, NormalizeMergesDuplicates) {
+    Model m;
+    const Var x = m.add_continuous("x", 0, 1);
+    LinExpr e;
+    e.add(x, 2).add(x, 3).add(x, -5);
+    e.normalize();
+    EXPECT_TRUE(e.terms().empty());
+}
+
+}  // namespace
+}  // namespace p4all::ilp

@@ -1,0 +1,326 @@
+#include "ir/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace p4all::ir {
+namespace {
+
+using support::CompileError;
+
+// The running example of the paper (§3.2): an elastic count-min sketch.
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+
+packet { bit<32> flow_id; }
+
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+
+register<bit<32>>[cols][rows] cms;
+
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+
+action take_min()[int i] {
+    min(meta.min_val, meta.count[i]);
+}
+
+control hash_inc { apply { for (i < rows) { incr()[i]; } } }
+control find_min {
+    apply { for (i < rows) { if (meta.count[i] < meta.min_val) { take_min()[i]; } } }
+}
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+
+optimize rows * cols;
+)";
+
+TEST(Elaborate, CmsTables) {
+    const Program p = elaborate_source(kCms, {.program_name = "cms"});
+    EXPECT_EQ(p.name, "cms");
+    ASSERT_EQ(p.symbols.size(), 2u);
+    EXPECT_EQ(p.symbol(p.find_symbol("rows")).role, SymbolRole::IterationCount);
+    EXPECT_EQ(p.symbol(p.find_symbol("cols")).role, SymbolRole::ElementCount);
+    ASSERT_EQ(p.registers.size(), 1u);
+    EXPECT_EQ(p.reg(0).width, 32);
+    EXPECT_TRUE(p.reg(0).elems.symbolic());
+    EXPECT_TRUE(p.reg(0).instances.symbolic());
+    EXPECT_EQ(p.meta_fields.size(), 3u);
+    EXPECT_TRUE(p.meta(p.find_meta("index")).is_array());
+    EXPECT_FALSE(p.meta(p.find_meta("min_val")).is_array());
+    EXPECT_EQ(p.packet_fields.size(), 1u);
+    EXPECT_EQ(p.actions.size(), 2u);
+}
+
+TEST(Elaborate, CmsFlow) {
+    const Program p = elaborate_source(kCms);
+    ASSERT_EQ(p.flow.size(), 2u);
+    const CallSite& incr = p.flow[0];
+    EXPECT_EQ(p.action(incr.action).name, "incr");
+    EXPECT_TRUE(incr.elastic());
+    EXPECT_EQ(incr.loop_bound, p.find_symbol("rows"));
+    EXPECT_EQ(incr.iter_arg, Affine::iter());
+    EXPECT_TRUE(incr.guards.empty());
+
+    const CallSite& take_min = p.flow[1];
+    EXPECT_EQ(p.action(take_min.action).name, "take_min");
+    ASSERT_EQ(take_min.guards.size(), 1u);
+    EXPECT_EQ(take_min.guards[0].op, CmpOp::Lt);
+}
+
+TEST(Elaborate, CmsActionOps) {
+    const Program p = elaborate_source(kCms);
+    const Action& incr = p.action(p.find_action("incr"));
+    ASSERT_EQ(incr.ops.size(), 2u);
+    const PrimOp& h = incr.ops[0];
+    EXPECT_EQ(h.kind, PrimKind::Hash);
+    ASSERT_TRUE(h.dst.has_value());
+    EXPECT_EQ(h.dst->field, p.find_meta("index"));
+    EXPECT_EQ(h.dst->index, Affine::iter());
+    EXPECT_EQ(h.seed, Affine::iter());
+    ASSERT_TRUE(h.modulus.has_value());
+    const auto& mod = std::get<RegRef>(*h.modulus);
+    EXPECT_EQ(mod.reg, p.find_register("cms"));
+
+    const PrimOp& add = incr.ops[1];
+    EXPECT_EQ(add.kind, PrimKind::RegAdd);
+    ASSERT_TRUE(add.reg.has_value());
+    EXPECT_EQ(add.reg->instance, Affine::iter());
+    ASSERT_TRUE(add.reg_index.has_value());
+    const auto& idx = std::get<MetaRef>(*add.reg_index);
+    EXPECT_EQ(idx.field, p.find_meta("index"));
+}
+
+TEST(Elaborate, CmsAssumesAndUtility) {
+    const Program p = elaborate_source(kCms);
+    // rows >= 1, rows <= 4, cols >= 64 : three Le-normalized constraints.
+    ASSERT_EQ(p.assumes.size(), 3u);
+    for (const PolyConstraint& pc : p.assumes) EXPECT_EQ(pc.op, CmpOp::Le);
+    EXPECT_TRUE(satisfies_assumes(p, {2, 100}));
+    EXPECT_FALSE(satisfies_assumes(p, {0, 100}));   // rows >= 1 violated
+    EXPECT_FALSE(satisfies_assumes(p, {5, 100}));   // rows <= 4 violated
+    EXPECT_FALSE(satisfies_assumes(p, {2, 10}));    // cols >= 64 violated
+    EXPECT_EQ(p.utility.degree(), 2);
+    EXPECT_DOUBLE_EQ(p.utility.evaluate({3, 512}), 1536.0);
+}
+
+TEST(Elaborate, FixedPhvCountsScalarsAndPacketFields) {
+    const Program p = elaborate_source(kCms);
+    // pkt.flow_id (32) + meta.min_val (32); elastic arrays excluded.
+    EXPECT_EQ(p.fixed_phv_bits(), 64);
+}
+
+TEST(Elaborate, ConcreteLoopUnrollsInline) {
+    const Program p = elaborate_source(R"(
+const int copies = 3;
+packet { bit<32> x; }
+metadata { bit<32> acc; }
+action bump()[int i] { add(meta.acc, meta.acc, i); }
+control ingress { apply { for (k < copies) { bump()[k]; } } }
+)");
+    ASSERT_EQ(p.flow.size(), 3u);
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_FALSE(p.flow[static_cast<std::size_t>(k)].elastic());
+        EXPECT_EQ(p.flow[static_cast<std::size_t>(k)].iter_arg, Affine::literal(k));
+    }
+}
+
+TEST(Elaborate, InlinePrimitiveSynthesizesAction) {
+    const Program p = elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+control ingress { apply { set(meta.y, pkt.x); } }
+)");
+    ASSERT_EQ(p.flow.size(), 1u);
+    const Action& a = p.action(p.flow[0].action);
+    EXPECT_EQ(a.ops.size(), 1u);
+    EXPECT_EQ(a.ops[0].kind, PrimKind::Set);
+    EXPECT_FALSE(a.has_iter_param);
+}
+
+TEST(Elaborate, ElseBranchNegatesGuard) {
+    const Program p = elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+action b() { set(meta.y, 2); }
+control ingress { apply { if (pkt.x == 5) { a(); } else { b(); } } }
+)");
+    ASSERT_EQ(p.flow.size(), 2u);
+    EXPECT_EQ(p.flow[0].guards[0].op, CmpOp::Eq);
+    EXPECT_EQ(p.flow[1].guards[0].op, CmpOp::Ne);
+}
+
+TEST(Elaborate, SeedAffineExpression) {
+    const Program p = elaborate_source(R"(
+symbolic int r;
+packet { bit<32> x; }
+metadata { bit<32>[r] idx; }
+register<bit<32>>[1024][r] tab;
+action go()[int i] { hash(meta.idx[i], 2 * i + 100, pkt.x, tab[i]); }
+control ingress { apply { for (i < r) { go()[i]; } } }
+)");
+    const PrimOp& h = p.action(p.find_action("go")).ops[0];
+    EXPECT_EQ(h.seed.coeff_iter, 2);
+    EXPECT_EQ(h.seed.constant, 100);
+}
+
+TEST(Elaborate, RoleConflictDiagnosed) {
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int n;
+register<bit<32>>[n][n] bad;
+control ingress { apply { } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, NestedSymbolicLoopsRejected) {
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int a;
+symbolic int b;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+control ingress { apply { for (i < a) { for (j < b) { set(meta.y, 1); } } } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, UnknownNamesDiagnosed) {
+    EXPECT_THROW(elaborate_source("control ingress { apply { mystery(); } }"), CompileError);
+    EXPECT_THROW(elaborate_source("control ingress { apply { ghost.apply(); } }"), CompileError);
+    EXPECT_THROW(elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+control ingress { apply { set(meta.zzz, 1); } }
+)"),
+                 CompileError);
+    EXPECT_THROW(elaborate_source("control nothing { apply { } }"), CompileError);
+}
+
+TEST(Elaborate, PrimitiveArityChecked) {
+    const char* tmpl = R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+register<bit<32>>[64] tab;
+control ingress { apply { %s; } }
+)";
+    const auto with = [&](const std::string& call) {
+        std::string src = tmpl;
+        src.replace(src.find("%s"), 2, call);
+        return src;
+    };
+    EXPECT_THROW(elaborate_source(with("set(meta.y)")), CompileError);
+    EXPECT_THROW(elaborate_source(with("hash(meta.y, 1)")), CompileError);
+    EXPECT_THROW(elaborate_source(with("reg_read(tab, 0)")), CompileError);
+    EXPECT_THROW(elaborate_source(with("add(meta.y, 1)")), CompileError);
+    EXPECT_NO_THROW(elaborate_source(with("reg_read(tab, 0, meta.y)")));
+}
+
+TEST(Elaborate, ScalarMetaCannotBeIndexed) {
+    EXPECT_THROW(elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y[0], 1); }
+control ingress { apply { a(); } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, ArrayMetaMustBeIndexed) {
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int r;
+packet { bit<32> x; }
+metadata { bit<32>[r] arr; }
+action a()[int i] { set(meta.arr, 1); }
+control ingress { apply { for (i < r) { a()[i]; } } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, RecursiveControlRejected) {
+    EXPECT_THROW(elaborate_source(R"(
+control loop_a { apply { loop_a.apply(); } }
+control ingress { apply { loop_a.apply(); } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, DuplicateDeclarationsRejected) {
+    EXPECT_THROW(elaborate_source("symbolic int n; symbolic int n; control ingress { apply { } }"),
+                 CompileError);
+}
+
+TEST(Elaborate, SymbolicValueNotARuntimeOperand) {
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int n;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, n); }
+control ingress { apply { a(); } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, QuadraticUtilityMustMatchRegisterMatrix) {
+    // a*b appears in utility but no register matrix is [b][a].
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int a;
+symbolic int b;
+control ingress { apply { } }
+optimize a * b;
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, MultipleOptimizeRejected) {
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int a;
+control ingress { apply { } }
+optimize a;
+optimize a;
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, IterationArgWithoutParamRejected) {
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int r;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { for (i < r) { a()[i]; } } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, MissingIterationArgRejected) {
+    EXPECT_THROW(elaborate_source(R"(
+symbolic int r;
+packet { bit<32> x; }
+metadata { bit<32>[r] arr; }
+action a()[int i] { set(meta.arr[i], 1); }
+control ingress { apply { for (i < r) { a(); } } }
+)"),
+                 CompileError);
+}
+
+TEST(Elaborate, DumpMentionsKeyEntities) {
+    const Program p = elaborate_source(kCms, {.program_name = "cms"});
+    const std::string d = p.dump();
+    EXPECT_NE(d.find("program cms"), std::string::npos);
+    EXPECT_NE(d.find("register cms"), std::string::npos);
+    EXPECT_NE(d.find("action incr"), std::string::npos);
+    EXPECT_NE(d.find("optimize"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::ir

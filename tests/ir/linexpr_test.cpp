@@ -1,0 +1,86 @@
+#include "ir/linexpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace p4all::ir {
+namespace {
+
+TEST(Polynomial, ConstantAndVar) {
+    const Polynomial c(3.5);
+    EXPECT_TRUE(c.is_constant());
+    EXPECT_DOUBLE_EQ(c.constant(), 3.5);
+    const Polynomial v = Polynomial::var(0);
+    EXPECT_EQ(v.degree(), 1);
+    EXPECT_DOUBLE_EQ(v.evaluate({7}), 7.0);
+}
+
+TEST(Polynomial, AdditionMergesTerms) {
+    Polynomial p = Polynomial::var(0);
+    p += Polynomial::var(0);
+    p += Polynomial(2.0);
+    ASSERT_EQ(p.terms().size(), 2u);
+    EXPECT_DOUBLE_EQ(p.evaluate({5}), 12.0);
+}
+
+TEST(Polynomial, SubtractionCancels) {
+    Polynomial p = Polynomial::var(1);
+    p -= Polynomial::var(1);
+    EXPECT_TRUE(p.terms().empty());
+    EXPECT_DOUBLE_EQ(p.evaluate({0, 9}), 0.0);
+}
+
+TEST(Polynomial, ProductDegree2) {
+    const Polynomial p = Polynomial::var(0).multiply(Polynomial::var(1));
+    EXPECT_EQ(p.degree(), 2);
+    EXPECT_DOUBLE_EQ(p.evaluate({3, 4}), 12.0);
+}
+
+TEST(Polynomial, ProductCanonicalOrder) {
+    // s1*s0 and s0*s1 must merge.
+    Polynomial p = Polynomial::var(1).multiply(Polynomial::var(0));
+    p += Polynomial::var(0).multiply(Polynomial::var(1));
+    ASSERT_EQ(p.terms().size(), 1u);
+    EXPECT_DOUBLE_EQ(p.terms()[0].coeff, 2.0);
+    EXPECT_EQ(p.terms()[0].a, 0);
+    EXPECT_EQ(p.terms()[0].b, 1);
+}
+
+TEST(Polynomial, WeightedUtilityShape) {
+    // 0.4*(rows*cols) + 0.6*kv : the NetCache utility.
+    Polynomial util = Polynomial(0.4).multiply(Polynomial::var(0).multiply(Polynomial::var(1)));
+    util += Polynomial(0.6).multiply(Polynomial::var(2));
+    EXPECT_DOUBLE_EQ(util.evaluate({2, 1024, 70000}), 0.4 * 2048 + 0.6 * 70000);
+}
+
+TEST(Polynomial, Degree3Throws) {
+    const Polynomial q = Polynomial::var(0).multiply(Polynomial::var(1));
+    EXPECT_THROW((void)q.multiply(Polynomial::var(2)), support::CompileError);
+}
+
+TEST(Polynomial, DivideByConstant) {
+    Polynomial p = Polynomial::var(0);
+    p += Polynomial(4.0);
+    const Polynomial half = p.divide_by_constant(2.0);
+    EXPECT_DOUBLE_EQ(half.evaluate({6}), 5.0);
+    EXPECT_THROW((void)p.divide_by_constant(0.0), support::CompileError);
+}
+
+TEST(Polynomial, NegateFlipsEvaluation) {
+    Polynomial p = Polynomial::var(0);
+    p += Polynomial(1.0);
+    p.negate();
+    EXPECT_DOUBLE_EQ(p.evaluate({3}), -4.0);
+}
+
+TEST(Polynomial, ToStringReadable) {
+    Polynomial p = Polynomial(0.4).multiply(Polynomial::var(0).multiply(Polynomial::var(1)));
+    p += Polynomial(2.0);
+    const std::string s = p.to_string();
+    EXPECT_NE(s.find("s0*s1"), std::string::npos);
+    EXPECT_NE(s.find("0.4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::ir

@@ -1,0 +1,98 @@
+#include "lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace p4all::lang {
+namespace {
+
+using support::CompileError;
+
+std::vector<TokenKind> kinds(std::string_view src) {
+    std::vector<TokenKind> out;
+    for (const Token& t : lex(src)) out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+    const auto toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+    const auto toks = lex("symbolic int rows; myvar");
+    ASSERT_EQ(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, TokenKind::KwSymbolic);
+    EXPECT_EQ(toks[1].kind, TokenKind::KwInt);
+    EXPECT_EQ(toks[2].kind, TokenKind::Identifier);
+    EXPECT_EQ(toks[2].text, "rows");
+    EXPECT_EQ(toks[3].kind, TokenKind::Semicolon);
+    EXPECT_EQ(toks[4].kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, IntAndFloatLiterals) {
+    const auto toks = lex("2048 0.4 7");
+    EXPECT_EQ(toks[0].kind, TokenKind::IntLiteral);
+    EXPECT_EQ(toks[0].int_value, 2048);
+    EXPECT_EQ(toks[1].kind, TokenKind::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[1].float_value, 0.4);
+    EXPECT_EQ(toks[2].int_value, 7);
+}
+
+TEST(Lexer, NestedAngleBracketsLexAsSeparateTokens) {
+    // register<bit<32>>[cols] — the '>>' must not fuse.
+    const auto ks = kinds("register<bit<32>>[cols]");
+    const std::vector<TokenKind> expected{
+        TokenKind::KwRegister, TokenKind::Less,     TokenKind::KwBit,
+        TokenKind::Less,       TokenKind::IntLiteral, TokenKind::Greater,
+        TokenKind::Greater,    TokenKind::LBracket, TokenKind::Identifier,
+        TokenKind::RBracket,   TokenKind::EndOfFile};
+    EXPECT_EQ(ks, expected);
+}
+
+TEST(Lexer, TwoCharOperators) {
+    const auto ks = kinds("<= >= == != && ||");
+    const std::vector<TokenKind> expected{TokenKind::LessEq, TokenKind::GreaterEq,
+                                          TokenKind::EqEq,   TokenKind::NotEq,
+                                          TokenKind::AndAnd, TokenKind::OrOr,
+                                          TokenKind::EndOfFile};
+    EXPECT_EQ(ks, expected);
+}
+
+TEST(Lexer, CommentsSkipped) {
+    const auto ks = kinds("a // line comment\n/* block\ncomment */ b");
+    const std::vector<TokenKind> expected{TokenKind::Identifier, TokenKind::Identifier,
+                                          TokenKind::EndOfFile};
+    EXPECT_EQ(ks, expected);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+    const auto toks = lex("a\n  b", "f.p4all");
+    EXPECT_EQ(toks[0].loc.line, 1u);
+    EXPECT_EQ(toks[0].loc.column, 1u);
+    EXPECT_EQ(toks[1].loc.line, 2u);
+    EXPECT_EQ(toks[1].loc.column, 3u);
+    EXPECT_EQ(toks[1].loc.file, "f.p4all");
+}
+
+TEST(Lexer, RejectsBadCharacters) {
+    EXPECT_THROW(lex("a @ b"), CompileError);
+    EXPECT_THROW(lex("a & b"), CompileError);   // single & not allowed
+    EXPECT_THROW(lex("a | b"), CompileError);
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+    EXPECT_THROW(lex("/* never ends"), CompileError);
+}
+
+TEST(Lexer, UnderscoreIdentifiers) {
+    const auto toks = lex("kv_items _x a1_b2");
+    EXPECT_EQ(toks[0].text, "kv_items");
+    EXPECT_EQ(toks[1].text, "_x");
+    EXPECT_EQ(toks[2].text, "a1_b2");
+}
+
+}  // namespace
+}  // namespace p4all::lang

@@ -1,0 +1,228 @@
+#include "lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/printer.hpp"
+#include "support/error.hpp"
+
+namespace p4all::lang {
+namespace {
+
+using support::CompileError;
+
+// The paper's Figure 6 count-min-sketch program, in our dialect.
+const char* kCmsSource = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+
+packet {
+    bit<32> flow_id;
+}
+
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+
+register<bit<32>>[cols][rows] cms;
+
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+
+action take_min()[int i] {
+    min(meta.min_val, meta.count[i]);
+}
+
+control hash_inc {
+    apply {
+        for (i < rows) {
+            incr()[i];
+        }
+    }
+}
+
+control find_min {
+    apply {
+        for (i < rows) {
+            if (meta.count[i] < meta.min_val) {
+                take_min()[i];
+            }
+        }
+    }
+}
+
+control ingress {
+    apply {
+        hash_inc.apply();
+        find_min.apply();
+    }
+}
+
+optimize rows * cols;
+)";
+
+TEST(Parser, ParsesCmsProgram) {
+    const Program p = parse(kCmsSource, "cms.p4all");
+    // 2 symbolic + 2 assume + packet + metadata + register + 2 actions
+    // + 3 controls + optimize = 13 declarations.
+    EXPECT_EQ(p.decls.size(), 13u);
+    EXPECT_NE(p.find_action("incr"), nullptr);
+    EXPECT_NE(p.find_action("take_min"), nullptr);
+    EXPECT_NE(p.find_control("ingress"), nullptr);
+    EXPECT_EQ(p.find_action("missing"), nullptr);
+    EXPECT_EQ(p.find_control("missing"), nullptr);
+}
+
+TEST(Parser, SymbolicDecl) {
+    const Program p = parse("symbolic int rows;");
+    ASSERT_EQ(p.decls.size(), 1u);
+    const auto& s = std::get<SymbolicDecl>(p.decls[0].node);
+    EXPECT_EQ(s.name, "rows");
+}
+
+TEST(Parser, ConstDeclWithExpr) {
+    const Program p = parse("const int x = 4 * 1024;");
+    const auto& c = std::get<ConstDecl>(p.decls[0].node);
+    EXPECT_EQ(c.name, "x");
+    EXPECT_EQ(print_expr(*c.value), "4 * 1024");
+}
+
+TEST(Parser, RegisterSingleInstance) {
+    const Program p = parse("register<bit<64>>[1024] arr;");
+    const auto& r = std::get<RegisterDecl>(p.decls[0].node);
+    EXPECT_EQ(r.width, 64);
+    EXPECT_EQ(r.name, "arr");
+    EXPECT_EQ(r.instances, nullptr);
+    EXPECT_EQ(print_expr(*r.elems), "1024");
+}
+
+TEST(Parser, RegisterMatrix) {
+    const Program p = parse("symbolic int c; symbolic int r; register<bit<32>>[c][r] cms;");
+    const auto& r = std::get<RegisterDecl>(p.decls[2].node);
+    ASSERT_NE(r.instances, nullptr);
+    EXPECT_EQ(print_expr(*r.elems), "c");
+    EXPECT_EQ(print_expr(*r.instances), "r");
+}
+
+TEST(Parser, MetadataSymbolicArrays) {
+    const Program p = parse("metadata { bit<32>[rows] count; bit<16> small; }");
+    const auto& m = std::get<MetadataDecl>(p.decls[0].node);
+    ASSERT_EQ(m.fields.size(), 2u);
+    EXPECT_NE(m.fields[0].array_size, nullptr);
+    EXPECT_EQ(m.fields[0].width, 32);
+    EXPECT_EQ(m.fields[1].array_size, nullptr);
+    EXPECT_EQ(m.fields[1].width, 16);
+}
+
+TEST(Parser, PacketFieldsCannotBeArrays) {
+    EXPECT_THROW(parse("packet { bit<32>[rows] x; }"), CompileError);
+}
+
+TEST(Parser, ActionWithIterationParam) {
+    const Program p = parse("action f()[int j] { set(meta.x, 1); }");
+    const auto& a = std::get<ActionDecl>(p.decls[0].node);
+    ASSERT_TRUE(a.iter_param.has_value());
+    EXPECT_EQ(*a.iter_param, "j");
+    ASSERT_EQ(a.body.stmts.size(), 1u);
+    const auto& call = std::get<CallStmt>(a.body.stmts[0]->node);
+    EXPECT_EQ(call.name, "set");
+    EXPECT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, ForLoopBoundIsIdentifier) {
+    const Program p = parse("control c { apply { for (i < rows) { f()[i]; } } }");
+    const auto& c = std::get<ControlDecl>(p.decls[0].node);
+    const auto& f = std::get<ForStmt>(c.apply.stmts[0]->node);
+    EXPECT_EQ(f.var, "i");
+    EXPECT_EQ(f.bound, "rows");
+    const auto& call = std::get<CallStmt>(f.body.stmts[0]->node);
+    ASSERT_NE(call.iter_arg, nullptr);
+    EXPECT_EQ(print_expr(*call.iter_arg), "i");
+}
+
+TEST(Parser, IfElse) {
+    const Program p = parse(
+        "control c { apply { if (meta.a == 1) { f(); } else { g(); } } }");
+    const auto& c = std::get<ControlDecl>(p.decls[0].node);
+    const auto& s = std::get<IfStmt>(c.apply.stmts[0]->node);
+    EXPECT_EQ(s.then_block.stmts.size(), 1u);
+    EXPECT_EQ(s.else_block.stmts.size(), 1u);
+}
+
+TEST(Parser, ApplyStatement) {
+    const Program p = parse("control c { apply { other.apply(); } }");
+    const auto& c = std::get<ControlDecl>(p.decls[0].node);
+    const auto& s = std::get<ApplyStmt>(c.apply.stmts[0]->node);
+    EXPECT_EQ(s.control, "other");
+}
+
+TEST(Parser, OptimizeUtilityFunction) {
+    const Program p = parse("optimize 0.4 * (rows * cols) + 0.6 * kv_items;");
+    const auto& o = std::get<OptimizeDecl>(p.decls[0].node);
+    // The printer preserves the right-nested multiplication structure.
+    EXPECT_EQ(print_expr(*o.objective), "0.4 * (rows * cols) + 0.6 * kv_items");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+    const Program p = parse("assume a + b * c <= d && e >= f || !g;");
+    const auto& a = std::get<AssumeDecl>(p.decls[0].node);
+    // || binds loosest, then &&, then comparisons, then + and *.
+    const auto& orNode = std::get<Binary>(a.cond->node);
+    EXPECT_EQ(orNode.op, BinaryOp::Or);
+    const auto& andNode = std::get<Binary>(orNode.lhs->node);
+    EXPECT_EQ(andNode.op, BinaryOp::And);
+    const auto& le = std::get<Binary>(andNode.lhs->node);
+    EXPECT_EQ(le.op, BinaryOp::Le);
+    const auto& notNode = std::get<Unary>(orNode.rhs->node);
+    EXPECT_EQ(notNode.op, UnaryOp::Not);
+}
+
+TEST(Parser, UnaryMinus) {
+    const Program p = parse("assume -x + 3 >= 0;");
+    const auto& a = std::get<AssumeDecl>(p.decls[0].node);
+    EXPECT_EQ(print_expr(*a.cond), "-x + 3 >= 0");
+}
+
+TEST(Parser, DottedIndexedFieldRef) {
+    const Program p = parse("action f()[int i] { reg_add(cms[i], meta.index[i], 1, meta.count[i]); }");
+    const auto& act = std::get<ActionDecl>(p.decls[0].node);
+    const auto& call = std::get<CallStmt>(act.body.stmts[0]->node);
+    ASSERT_EQ(call.args.size(), 4u);
+    const auto& arg0 = std::get<FieldRef>(call.args[0]->node);
+    EXPECT_EQ(arg0.dotted(), "cms");
+    ASSERT_NE(arg0.index, nullptr);
+    const auto& arg1 = std::get<FieldRef>(call.args[1]->node);
+    EXPECT_EQ(arg1.dotted(), "meta.index");
+}
+
+TEST(Parser, ErrorsHaveLocations) {
+    try {
+        (void)parse("symbolic int ;", "bad.p4all");
+        FAIL() << "expected CompileError";
+    } catch (const CompileError& e) {
+        EXPECT_EQ(e.loc().file, "bad.p4all");
+        EXPECT_EQ(e.loc().line, 1u);
+    }
+}
+
+TEST(Parser, RejectsMalformedDeclarations) {
+    EXPECT_THROW(parse("register<bit<32>> noSize;"), CompileError);
+    EXPECT_THROW(parse("action a() { f() }"), CompileError);           // missing ;
+    EXPECT_THROW(parse("control c { }"), CompileError);                // missing apply
+    EXPECT_THROW(parse("for (i < rows) {}"), CompileError);            // stmt at top level
+    EXPECT_THROW(parse("assume rows >;"), CompileError);
+    EXPECT_THROW(parse("bit<0> x;"), CompileError);
+}
+
+TEST(Parser, ControlWithIgnoredParamList) {
+    const Program p = parse("control c(inout headers hdr) { apply { f(); } }");
+    EXPECT_NE(p.find_control("c"), nullptr);
+}
+
+}  // namespace
+}  // namespace p4all::lang

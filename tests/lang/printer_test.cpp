@@ -1,0 +1,83 @@
+#include "lang/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "support/strings.hpp"
+
+namespace p4all::lang {
+namespace {
+
+/// Round-trip property: print(parse(s)) must reparse to a program that
+/// prints identically (idempotent normal form).
+void expect_roundtrip(const std::string& src) {
+    const Program p1 = parse(src);
+    const std::string printed1 = print_program(p1);
+    const Program p2 = parse(printed1);
+    const std::string printed2 = print_program(p2);
+    EXPECT_EQ(printed1, printed2) << "for source:\n" << src;
+}
+
+TEST(Printer, RoundTripDeclarations) {
+    expect_roundtrip("symbolic int rows;");
+    expect_roundtrip("const int w = 3 * (4 + 5);");
+    expect_roundtrip("assume rows >= 1 && rows <= 4 || cols == 2;");
+    expect_roundtrip("register<bit<32>>[cols][rows] cms;");
+    expect_roundtrip("register<bit<64>>[128] single;");
+    expect_roundtrip("metadata { bit<32>[rows] idx; bit<8> tag; }");
+    expect_roundtrip("packet { bit<48> mac; }");
+    expect_roundtrip("optimize 0.4 * (rows * cols) + 0.6 * kv;");
+}
+
+TEST(Printer, RoundTripStatements) {
+    expect_roundtrip(R"(
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+control c {
+    apply {
+        for (i < rows) {
+            if (meta.count[i] < meta.min_val) {
+                incr()[i];
+            } else {
+                other.apply();
+            }
+        }
+    }
+}
+)");
+}
+
+TEST(Printer, ParenthesizationPreservesStructure) {
+    // (a + b) * c must keep parens; a + (b * c) must not add them.
+    const Program p1 = parse("optimize (a + b) * c;");
+    EXPECT_EQ(print_program(p1), "optimize (a + b) * c;\n");
+    const Program p2 = parse("optimize a + b * c;");
+    EXPECT_EQ(print_program(p2), "optimize a + b * c;\n");
+}
+
+TEST(Printer, SubtractionAssociativity) {
+    // a - (b - c) must keep parens; (a - b) - c must not.
+    const Program p1 = parse("optimize a - (b - c);");
+    EXPECT_EQ(print_program(p1), "optimize a - (b - c);\n");
+    const Program p2 = parse("optimize a - b - c;");
+    EXPECT_EQ(print_program(p2), "optimize a - b - c;\n");
+}
+
+TEST(Printer, UnaryPrinting) {
+    const Program p = parse("assume !(a == 1) && -b < 0;");
+    expect_roundtrip(print_program(p));
+}
+
+TEST(Printer, CountsLocOfPrintedProgram) {
+    const Program p = parse(R"(
+symbolic int rows;
+control c { apply { f(); } }
+)");
+    const std::string printed = print_program(p);
+    EXPECT_GE(support::count_loc(printed), 4);
+}
+
+}  // namespace
+}  // namespace p4all::lang

@@ -1,0 +1,191 @@
+#include "sim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "compiler/compiler.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace p4all::sim {
+namespace {
+
+const char* kCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+compiler::CompileResult compile_cms(const target::TargetSpec& t) {
+    compiler::CompileOptions opts;
+    opts.target = t;
+    return compiler::compile_source(kCms, opts, "cms");
+}
+
+TEST(Pipeline, CmsMatchesReferenceExactly) {
+    const compiler::CompileResult r = compile_cms(target::tofino_like());
+    Pipeline pipe(r.program, r.layout);
+    const auto rows = static_cast<int>(r.layout.binding(r.program.find_symbol("rows")));
+    const std::int64_t cols = r.layout.binding(r.program.find_symbol("cols"));
+    apps::CountMinSketch reference(rows, cols, /*seed_base=*/0);
+
+    support::Xoshiro256 rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t key = rng.next_below(500);
+        pipe.process({key});
+        reference.update(key);
+        ASSERT_EQ(pipe.meta("min_val"), reference.estimate(key)) << "packet " << i;
+    }
+}
+
+TEST(Pipeline, CmsNeverUndercounts) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    std::map<std::uint64_t, std::uint64_t> truth;
+    support::Xoshiro256 rng(11);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = rng.next_below(64);
+        pipe.process({key});
+        ++truth[key];
+        ASSERT_GE(pipe.meta("min_val"), truth[key]);
+    }
+}
+
+TEST(Pipeline, RegisterStatePersistsAcrossPackets) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    pipe.process({42});
+    pipe.process({42});
+    pipe.process({42});
+    EXPECT_EQ(pipe.meta("min_val"), 3u);
+    pipe.clear_registers();
+    pipe.process({42});
+    EXPECT_EQ(pipe.meta("min_val"), 1u);
+}
+
+TEST(Pipeline, RegReadWriteRoundTrip) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    EXPECT_GT(pipe.reg_size("cms", 0), 0);
+    pipe.reg_write("cms", 0, 5, 99);
+    EXPECT_EQ(pipe.reg_read("cms", 0, 5), 99u);
+    EXPECT_EQ(pipe.reg_read("cms", 0, 6), 0u);
+}
+
+TEST(Pipeline, GuardsGateExecution) {
+    const char* src = R"(
+packet { bit<32> x; }
+metadata { bit<32> big; bit<32> small; }
+action mark_big() { set(meta.big, 1); }
+action mark_small() { set(meta.small, 1); }
+control ingress {
+    apply {
+        if (pkt.x > 100) { mark_big(); } else { mark_small(); }
+    }
+}
+)";
+    compiler::CompileOptions opts;
+    opts.target = target::small_test();
+    const compiler::CompileResult r = compiler::compile_source(src, opts, "guards");
+    Pipeline pipe(r.program, r.layout);
+    pipe.process({200});
+    EXPECT_EQ(pipe.meta("big"), 1u);
+    EXPECT_EQ(pipe.meta("small"), 0u);
+    pipe.process({5});
+    EXPECT_EQ(pipe.meta("big"), 0u);
+    EXPECT_EQ(pipe.meta("small"), 1u);
+}
+
+TEST(Pipeline, StageReadsSeePreStageState) {
+    // writer runs in a later stage than reader (reader gets stale value in
+    // the same pass) — the WAR ordering the compiler allows.
+    const char* src = R"(
+packet { bit<32> x; }
+metadata { bit<32> a; bit<32> b; }
+action reader() { set(meta.b, meta.a); }
+action writer() { set(meta.a, pkt.x); }
+control ingress { apply { reader(); writer(); } }
+)";
+    compiler::CompileOptions opts;
+    opts.target = target::small_test();
+    const compiler::CompileResult r = compiler::compile_source(src, opts, "war");
+    Pipeline pipe(r.program, r.layout);
+    pipe.process({77});
+    EXPECT_EQ(pipe.meta("a"), 77u);
+    EXPECT_EQ(pipe.meta("b"), 0u);  // read the pre-write value
+}
+
+TEST(Pipeline, IntraActionForwarding) {
+    // hash result feeds the register access within the same action.
+    const char* src = R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<32> out; }
+register<bit<32>>[128] tab;
+action touch() {
+    hash(meta.idx, 3, pkt.x, tab);
+    reg_add(tab, meta.idx, 1, meta.out);
+}
+control ingress { apply { touch(); } }
+)";
+    compiler::CompileOptions opts;
+    opts.target = target::small_test();
+    const compiler::CompileResult r = compiler::compile_source(src, opts, "fwd");
+    Pipeline pipe(r.program, r.layout);
+    pipe.process({9});
+    const std::uint64_t idx = pipe.meta("idx");
+    EXPECT_EQ(idx, support::hash_word(9, 3) % 128);
+    EXPECT_EQ(pipe.meta("out"), 1u);
+    EXPECT_EQ(pipe.reg_read("tab", 0, static_cast<std::int64_t>(idx)), 1u);
+}
+
+TEST(Pipeline, WidthMasking) {
+    const char* src = R"(
+packet { bit<32> x; }
+metadata { bit<8> narrow; }
+action acc() { add(meta.narrow, meta.narrow, pkt.x); }
+control ingress { apply { acc(); } }
+)";
+    compiler::CompileOptions opts;
+    opts.target = target::small_test();
+    const compiler::CompileResult r = compiler::compile_source(src, opts, "mask");
+    Pipeline pipe(r.program, r.layout);
+    pipe.process({300});
+    EXPECT_EQ(pipe.meta("narrow"), 300u & 0xFF);
+}
+
+TEST(Pipeline, RejectsWrongPacketArity) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    EXPECT_THROW(pipe.process({1, 2, 3}), support::CompileError);
+}
+
+TEST(Pipeline, PacketCounter) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    EXPECT_EQ(pipe.packets_processed(), 0u);
+    pipe.process({1});
+    pipe.process({2});
+    EXPECT_EQ(pipe.packets_processed(), 2u);
+}
+
+}  // namespace
+}  // namespace p4all::sim

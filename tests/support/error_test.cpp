@@ -1,0 +1,57 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4all::support {
+namespace {
+
+TEST(SourceLoc, ToString) {
+    EXPECT_EQ((SourceLoc{"f.p4all", 3, 7}).to_string(), "f.p4all:3:7");
+    EXPECT_EQ(SourceLoc{}.to_string(), "<unknown>");
+    EXPECT_FALSE(SourceLoc{}.known());
+}
+
+TEST(CompileError, CarriesLocation) {
+    const CompileError err(SourceLoc{"x.p4all", 1, 2}, "boom");
+    EXPECT_EQ(err.loc().line, 1u);
+    EXPECT_NE(std::string(err.what()).find("x.p4all:1:2"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("boom"), std::string::npos);
+}
+
+TEST(Diagnostics, AccumulatesAndCounts) {
+    Diagnostics diags;
+    EXPECT_FALSE(diags.has_errors());
+    diags.note({}, "n");
+    diags.warning({}, "w");
+    EXPECT_FALSE(diags.has_errors());
+    diags.error(SourceLoc{"a", 1, 1}, "e1");
+    diags.error(SourceLoc{"a", 2, 1}, "e2");
+    EXPECT_TRUE(diags.has_errors());
+    EXPECT_EQ(diags.error_count(), 2);
+    EXPECT_EQ(diags.all().size(), 4u);
+}
+
+TEST(Diagnostics, ThrowIfErrorsThrowsFirstError) {
+    Diagnostics diags;
+    diags.warning({}, "w");
+    EXPECT_NO_THROW(diags.throw_if_errors());
+    diags.error(SourceLoc{"f", 9, 9}, "bad thing");
+    try {
+        diags.throw_if_errors();
+        FAIL() << "expected CompileError";
+    } catch (const CompileError& e) {
+        EXPECT_EQ(e.loc().line, 9u);
+    }
+}
+
+TEST(Diagnostics, ToStringOnePerLine) {
+    Diagnostics diags;
+    diags.error(SourceLoc{"f", 1, 1}, "x");
+    diags.note(SourceLoc{"f", 2, 1}, "y");
+    const std::string s = diags.to_string();
+    EXPECT_NE(s.find("f:1:1: error: x\n"), std::string::npos);
+    EXPECT_NE(s.find("f:2:1: note: y\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::support

@@ -1,0 +1,98 @@
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace p4all::support {
+namespace {
+
+TEST(Hash, Deterministic) {
+    EXPECT_EQ(hash_word(42, 7), hash_word(42, 7));
+    const std::vector<std::uint64_t> words{1, 2, 3};
+    EXPECT_EQ(hash_words(words, 0), hash_words(words, 0));
+}
+
+TEST(Hash, SeedChangesOutput) {
+    EXPECT_NE(hash_word(42, 0), hash_word(42, 1));
+    EXPECT_NE(hash_word(42, 1), hash_word(42, 2));
+}
+
+TEST(Hash, InputChangesOutput) {
+    EXPECT_NE(hash_word(1, 0), hash_word(2, 0));
+}
+
+TEST(Hash, IndexInRange) {
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        EXPECT_LT(hash_index(k, 3, 17), 17u);
+    }
+}
+
+TEST(Hash, IndexRoughlyUniform) {
+    // chi-square-style sanity: 64 buckets, 64k keys, each bucket should hold
+    // close to 1024 entries.
+    constexpr std::uint64_t kBuckets = 64;
+    constexpr std::uint64_t kKeys = 64 * 1024;
+    std::vector<int> counts(kBuckets, 0);
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+        ++counts[hash_index(k, 99, kBuckets)];
+    }
+    for (const int c : counts) {
+        EXPECT_GT(c, 800);
+        EXPECT_LT(c, 1250);
+    }
+}
+
+TEST(Hash, SeedsBehaveIndependently) {
+    // Keys colliding under seed A should not systematically collide under B.
+    constexpr std::uint64_t kMod = 128;
+    int both = 0;
+    int first = 0;
+    for (std::uint64_t k = 1; k < 20000; ++k) {
+        const bool a = hash_index(k, 10, kMod) == hash_index(0, 10, kMod);
+        const bool b = hash_index(k, 20, kMod) == hash_index(0, 20, kMod);
+        first += a ? 1 : 0;
+        both += (a && b) ? 1 : 0;
+    }
+    // P(both) should be ~ P(a)/128; allow generous slack.
+    EXPECT_LT(both, first / 16 + 4);
+}
+
+TEST(Rng, DeterministicForSeed) {
+    Xoshiro256 a(123);
+    Xoshiro256 b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+    Xoshiro256 g(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = g.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Xoshiro256 g(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = g.next_below(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+}  // namespace
+}  // namespace p4all::support

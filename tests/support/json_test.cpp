@@ -1,0 +1,94 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace p4all::support {
+namespace {
+
+TEST(Json, ParseScalars) {
+    EXPECT_TRUE(Json::parse("null").is_null());
+    EXPECT_TRUE(Json::parse("true").as_bool());
+    EXPECT_FALSE(Json::parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(Json::parse("3.5").as_number(), 3.5);
+    EXPECT_EQ(Json::parse("-12").as_int(), -12);
+    EXPECT_EQ(Json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(Json, ParseNestedObject) {
+    const Json j = Json::parse(R"({"target": {"stages": 12, "mem": 1048576.0},
+                                   "names": ["a", "b"]})");
+    EXPECT_EQ(j.at("target").get_int("stages", 0), 12);
+    EXPECT_DOUBLE_EQ(j.at("target").at("mem").as_number(), 1048576.0);
+    ASSERT_EQ(j.at("names").as_array().size(), 2u);
+    EXPECT_EQ(j.at("names").as_array()[1].as_string(), "b");
+}
+
+TEST(Json, ParseAllowsComments) {
+    const Json j = Json::parse("{ // target spec\n \"stages\": 3 }");
+    EXPECT_EQ(j.get_int("stages", 0), 3);
+}
+
+TEST(Json, GetWithFallback) {
+    const Json j = Json::parse(R"({"a": 1})");
+    EXPECT_EQ(j.get_int("a", 9), 1);
+    EXPECT_EQ(j.get_int("missing", 9), 9);
+    EXPECT_EQ(j.get_string("missing", "d"), "d");
+    EXPECT_DOUBLE_EQ(j.get_number("missing", 2.5), 2.5);
+}
+
+TEST(Json, RoundTripDump) {
+    const char* text = R"({"s":"q\"uote","n":-4.25,"b":true,"x":null,"arr":[1,2,3],"o":{"k":1}})";
+    const Json j = Json::parse(text);
+    const Json j2 = Json::parse(j.dump());
+    EXPECT_EQ(j2.at("s").as_string(), "q\"uote");
+    EXPECT_DOUBLE_EQ(j2.at("n").as_number(), -4.25);
+    EXPECT_TRUE(j2.at("b").as_bool());
+    EXPECT_TRUE(j2.at("x").is_null());
+    EXPECT_EQ(j2.at("arr").size(), 3u);
+    EXPECT_EQ(j2.at("o").at("k").as_int(), 1);
+}
+
+TEST(Json, PrettyDumpReparses) {
+    Json j = Json::object();
+    j.set("list", Json::array());
+    j.set("v", 7);
+    Json inner = Json::object();
+    inner.set("w", 8);
+    j.set("inner", std::move(inner));
+    const std::string pretty = j.dump(2);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    const Json back = Json::parse(pretty);
+    EXPECT_EQ(back.at("v").as_int(), 7);
+    EXPECT_EQ(back.at("inner").at("w").as_int(), 8);
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+    Json j = Json::object();
+    j.set("k", 1);
+    j.set("k", 2);
+    EXPECT_EQ(j.size(), 1u);
+    EXPECT_EQ(j.at("k").as_int(), 2);
+}
+
+TEST(Json, ErrorsOnMalformedInput) {
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]2"), std::runtime_error);
+    EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+    EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+}
+
+TEST(Json, ErrorsOnKindMismatch) {
+    const Json j = Json::parse("[1]");
+    EXPECT_THROW((void)j.as_string(), std::runtime_error);
+    EXPECT_THROW((void)j.at("k"), std::runtime_error);
+}
+
+TEST(Json, UnicodeEscapeBmp) {
+    EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+}  // namespace
+}  // namespace p4all::support

@@ -1,0 +1,81 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4all::support {
+namespace {
+
+TEST(Strings, SplitBasic) {
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    const auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimBothEnds) {
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsWith) {
+    EXPECT_TRUE(starts_with("register<bit<32>>", "register"));
+    EXPECT_FALSE(starts_with("reg", "register"));
+    EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, CountLocSkipsBlankAndComments) {
+    const char* src = R"(
+// a comment line
+action incr() {   // trailing comment
+    reg_add(cms, idx, 1, out);
+}
+
+/* block
+   comment */
+control c { apply { } }
+)";
+    // Lines with code: action incr..., reg_add..., }, control...
+    EXPECT_EQ(count_loc(src), 4);
+}
+
+TEST(Strings, CountLocCodeBeforeBlockComment) {
+    EXPECT_EQ(count_loc("x; /* c */\n/* all comment */"), 1);
+    EXPECT_EQ(count_loc("/* a */ y; /* b */"), 1);
+}
+
+TEST(Strings, Padding) {
+    EXPECT_EQ(pad_left("7", 3), "  7");
+    EXPECT_EQ(pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Strings, FormatDouble) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace p4all::support

@@ -1,0 +1,247 @@
+#include "verify/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/elaborate.hpp"
+
+namespace p4all::verify {
+namespace {
+
+std::vector<Issue> verify_source(const std::string& src) {
+    return verify_program(ir::elaborate_source(src));
+}
+
+bool mentions(const std::vector<Issue>& issues, Check check, Severity severity) {
+    for (const Issue& i : issues) {
+        if (i.check == check && i.severity == severity) return true;
+    }
+    return false;
+}
+
+const char* kCleanCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+TEST(Verify, CleanProgramHasNoIssues) {
+    const auto issues = verify_source(kCleanCms);
+    EXPECT_TRUE(issues.empty()) << render(issues);
+}
+
+TEST(Verify, OffByOneIndexIsAnError) {
+    // meta.count[i + 1] at the last iteration indexes an element that is
+    // never instantiated — the exact bug the paper wants verified away.
+    const auto issues = verify_source(R"(
+symbolic int rows;
+assume rows >= 1 && rows <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[rows] count; bit<32> out; }
+action peek()[int i] { set(meta.out, meta.count[i + 1]); }
+control ingress { apply { for (i < rows) { peek()[i]; } } }
+)");
+    EXPECT_TRUE(mentions(issues, Check::IndexBounds, Severity::Error)) << render(issues);
+    EXPECT_TRUE(has_errors(issues));
+}
+
+TEST(Verify, ConcreteArrayOverrunIsAnError) {
+    const auto issues = verify_source(R"(
+symbolic int n;
+assume n >= 1 && n <= 8;
+packet { bit<32> x; }
+metadata { bit<32>[4] buf; bit<32> out; }
+action touch()[int i] { set(meta.buf[i], pkt.x); }
+control ingress { apply { for (i < n) { touch()[i]; } } }
+)");
+    // i reaches 7 but buf has 4 elements.
+    EXPECT_TRUE(mentions(issues, Check::IndexBounds, Severity::Error)) << render(issues);
+}
+
+TEST(Verify, ConcreteArrayWithinBoundsIsClean) {
+    const auto issues = verify_source(R"(
+symbolic int n;
+assume n >= 1 && n <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[4] buf; }
+action touch()[int i] { set(meta.buf[i], pkt.x); }
+control ingress { apply { for (i < n) { touch()[i]; } } }
+)");
+    EXPECT_FALSE(mentions(issues, Check::IndexBounds, Severity::Error)) << render(issues);
+}
+
+TEST(Verify, UnboundedLoopIndexGetsWarning) {
+    const auto issues = verify_source(R"(
+symbolic int n;
+packet { bit<32> x; }
+metadata { bit<32>[16] buf; }
+action touch()[int i] { set(meta.buf[i], pkt.x); }
+control ingress { apply { for (i < n) { touch()[i]; } } }
+)");
+    EXPECT_TRUE(mentions(issues, Check::IndexBounds, Severity::Warning)) << render(issues);
+    EXPECT_FALSE(has_errors(issues));
+}
+
+TEST(Verify, HashRangeMismatchWarns) {
+    // Index hashed over `other` but used to address `tab` — the classic
+    // copy-paste sketch bug.
+    const auto issues = verify_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<32> out; }
+register<bit<32>>[64] tab;
+register<bit<32>>[4096] other;
+action bug() {
+    hash(meta.idx, 1, pkt.x, other);
+    reg_add(tab, meta.idx, 1, meta.out);
+}
+control ingress { apply { bug(); } }
+)");
+    EXPECT_TRUE(mentions(issues, Check::HashRange, Severity::Warning)) << render(issues);
+}
+
+TEST(Verify, MatchingHashRangeIsClean) {
+    const auto issues = verify_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<32> out; }
+register<bit<32>>[64] tab;
+action fine() {
+    hash(meta.idx, 1, pkt.x, tab);
+    reg_add(tab, meta.idx, 1, meta.out);
+}
+control ingress { apply { fine(); } }
+)");
+    EXPECT_FALSE(mentions(issues, Check::HashRange, Severity::Warning)) << render(issues);
+}
+
+TEST(Verify, SeedOverlapAcrossStructuresWarns) {
+    // Two sketches over the same key with identical seeds: correlated rows.
+    const auto issues = verify_source(R"(
+symbolic int a_rows; symbolic int a_cols;
+symbolic int b_rows; symbolic int b_cols;
+assume a_rows >= 1 && a_rows <= 2;
+assume b_rows >= 1 && b_rows <= 2;
+assume a_cols >= 64;
+assume b_cols >= 64;
+packet { bit<32> x; }
+metadata { bit<32>[a_rows] ai; bit<32>[b_rows] bi; bit<32> av; bit<32> bv; }
+register<bit<32>>[a_cols][a_rows] ta;
+register<bit<32>>[b_cols][b_rows] tb;
+action ua()[int i] { hash(meta.ai[i], i, pkt.x, ta[i]); reg_add(ta[i], meta.ai[i], 1, meta.av); }
+action ub()[int i] { hash(meta.bi[i], i, pkt.x, tb[i]); reg_add(tb[i], meta.bi[i], 1, meta.bv); }
+control ingress { apply { for (i < a_rows) { ua()[i]; } for (j < b_rows) { ub()[j]; } } }
+)");
+    EXPECT_TRUE(mentions(issues, Check::SeedOverlap, Severity::Warning)) << render(issues);
+}
+
+TEST(Verify, DisjointSeedsAreClean) {
+    const auto issues = verify_source(R"(
+symbolic int a_rows; symbolic int a_cols;
+symbolic int b_rows; symbolic int b_cols;
+assume a_rows >= 1 && a_rows <= 2;
+assume b_rows >= 1 && b_rows <= 2;
+assume a_cols >= 64;
+assume b_cols >= 64;
+packet { bit<32> x; }
+metadata { bit<32>[a_rows] ai; bit<32>[b_rows] bi; bit<32> av; bit<32> bv; }
+register<bit<32>>[a_cols][a_rows] ta;
+register<bit<32>>[b_cols][b_rows] tb;
+action ua()[int i] { hash(meta.ai[i], i, pkt.x, ta[i]); reg_add(ta[i], meta.ai[i], 1, meta.av); }
+action ub()[int i] { hash(meta.bi[i], 100 + i, pkt.x, tb[i]); reg_add(tb[i], meta.bi[i], 1, meta.bv); }
+control ingress { apply { for (i < a_rows) { ua()[i]; } for (j < b_rows) { ub()[j]; } } }
+)");
+    EXPECT_FALSE(mentions(issues, Check::SeedOverlap, Severity::Warning)) << render(issues);
+}
+
+TEST(Verify, DeadDeclarationsWarn) {
+    const auto issues = verify_source(R"(
+symbolic int ghost;
+packet { bit<32> x; }
+metadata { bit<32> used; bit<32> unused; }
+register<bit<32>>[64] never_touched;
+action live() { set(meta.used, pkt.x); }
+action dead() { set(meta.used, 1); }
+control ingress { apply { live(); } }
+)");
+    EXPECT_TRUE(mentions(issues, Check::DeadCode, Severity::Warning));
+    const std::string text = render(issues);
+    EXPECT_NE(text.find("ghost"), std::string::npos);
+    EXPECT_NE(text.find("unused"), std::string::npos);
+    EXPECT_NE(text.find("never_touched"), std::string::npos);
+    EXPECT_NE(text.find("dead"), std::string::npos);
+}
+
+TEST(Verify, ConstantGuardWarns) {
+    const auto issues = verify_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { if (1 == 2) { a(); } } }
+)");
+    EXPECT_TRUE(mentions(issues, Check::ConstantGuard, Severity::Warning)) << render(issues);
+    EXPECT_NE(render(issues).find("always false"), std::string::npos);
+}
+
+TEST(Verify, ErrorsSortBeforeWarnings) {
+    const auto issues = verify_source(R"(
+symbolic int rows;
+assume rows >= 1 && rows <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[rows] count; bit<32> out; bit<32> unused; }
+action peek()[int i] { set(meta.out, meta.count[i + 1]); }
+control ingress { apply { for (i < rows) { peek()[i]; } } }
+)");
+    ASSERT_GE(issues.size(), 2u);
+    EXPECT_EQ(issues.front().severity, Severity::Error);
+}
+
+TEST(Verify, SameSizedKeyValueArraysAreClean) {
+    // A value array indexed by a hash ranged over the same-sized key array
+    // is the standard KVS layout, not a bug.
+    const auto issues = verify_source(R"(
+symbolic int ways; symbolic int slots;
+assume ways >= 1 && ways <= 2;
+assume slots >= 16;
+packet { bit<64> key; }
+metadata { bit<32>[ways] idx; bit<64>[ways] k; bit<64>[ways] v; }
+register<bit<64>>[slots][ways] keys;
+register<bit<64>>[slots][ways] vals;
+action probe()[int i] {
+    hash(meta.idx[i], i, pkt.key, keys[i]);
+    reg_read(keys[i], meta.idx[i], meta.k[i]);
+    reg_read(vals[i], meta.idx[i], meta.v[i]);
+}
+control ingress { apply { for (i < ways) { probe()[i]; } } }
+)");
+    EXPECT_FALSE(mentions(issues, Check::HashRange, Severity::Warning)) << render(issues);
+}
+
+TEST(Verify, RenderIncludesCheckNames) {
+    const auto issues = verify_source(R"(
+symbolic int ghost;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { a(); } }
+)");
+    EXPECT_NE(render(issues).find("[dead-code]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::verify

@@ -1,0 +1,109 @@
+#include "workload/trace.hpp"
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace p4all::workload {
+namespace {
+
+TEST(Zipf, DeterministicForSeed) {
+    ZipfGenerator a(1000, 1.1, 5);
+    ZipfGenerator b(1000, 1.1, 5);
+    for (int i = 0; i < 200; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipf, KeysWithinUniverse) {
+    ZipfGenerator gen(100, 0.9, 1);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.next(), 100u);
+}
+
+TEST(Zipf, RankProbabilitiesSumToOne) {
+    ZipfGenerator gen(500, 1.2, 1);
+    double total = 0.0;
+    for (std::size_t r = 0; r < 500; ++r) total += gen.rank_probability(r);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Rank 0 dominates rank 100 heavily at α=1.2.
+    EXPECT_GT(gen.rank_probability(0), 50 * gen.rank_probability(100));
+}
+
+TEST(Zipf, EmpiricalSkewMatchesTheory) {
+    constexpr std::size_t kDraws = 200000;
+    ZipfGenerator gen(1000, 1.1, 99);
+    std::map<std::uint64_t, int> counts;
+    for (std::size_t i = 0; i < kDraws; ++i) ++counts[gen.next()];
+    // The most popular key's empirical frequency ≈ its rank-0 probability.
+    const std::uint64_t top = gen.key_of_rank(0);
+    const double expected = gen.rank_probability(0);
+    const double actual = static_cast<double>(counts[top]) / kDraws;
+    EXPECT_NEAR(actual, expected, expected * 0.1);
+}
+
+TEST(Zipf, PermutationDecouplesKeyFromRank) {
+    ZipfGenerator gen(1000, 1.0, 3);
+    int identity = 0;
+    for (std::size_t r = 0; r < 1000; ++r) identity += gen.key_of_rank(r) == r ? 1 : 0;
+    EXPECT_LT(identity, 20);  // a fixed permutation keeps very few points
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+    ZipfGenerator gen(10, 0.0, 4);
+    for (std::size_t r = 0; r < 10; ++r) {
+        EXPECT_NEAR(gen.rank_probability(r), 0.1, 1e-9);
+    }
+}
+
+TEST(Trace, ZipfTraceCountsConsistent) {
+    const Trace t = zipf_trace(5000, 200, 1.1, 7);
+    EXPECT_EQ(t.size(), 5000u);
+    std::uint64_t total = 0;
+    for (const auto& [key, count] : t.counts) {
+        EXPECT_LT(key, 200u);
+        total += count;
+    }
+    EXPECT_EQ(total, 5000u);
+}
+
+TEST(Trace, HeavyHitterTraceExactSize) {
+    const Trace t = heavy_hitter_trace(10000, 500, 3);
+    EXPECT_EQ(t.size(), 10000u);
+    std::uint64_t total = 0;
+    for (const auto& [key, count] : t.counts) {
+        EXPECT_GE(key, 1u);  // keys start at 1 (0 is the empty sentinel)
+        total += count;
+    }
+    EXPECT_EQ(total, 10000u);
+}
+
+TEST(Trace, HeavyHitterTraceIsHeavyTailed) {
+    const Trace t = heavy_hitter_trace(100000, 1000, 5);
+    const auto top = top_keys(t, 50);
+    std::uint64_t top_total = 0;
+    for (const std::uint64_t k : top) top_total += t.counts.at(k);
+    // Top 5% of flows should carry well over a third of the traffic.
+    EXPECT_GT(top_total, 100000u / 3);
+}
+
+TEST(Trace, TopKeysOrderedByCount) {
+    Trace t;
+    t.keys = {1, 2, 2, 3, 3, 3};
+    for (const auto k : t.keys) ++t.counts[k];
+    const auto top = top_keys(t, 2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 3u);
+    EXPECT_EQ(top[1], 2u);
+    EXPECT_EQ(top_keys(t, 10).size(), 3u);  // capped at distinct keys
+}
+
+TEST(Trace, Deterministic) {
+    const Trace a = zipf_trace(1000, 100, 1.3, 42);
+    const Trace b = zipf_trace(1000, 100, 1.3, 42);
+    EXPECT_EQ(a.keys, b.keys);
+    const Trace c = zipf_trace(1000, 100, 1.3, 43);
+    EXPECT_NE(a.keys, c.keys);
+}
+
+}  // namespace
+}  // namespace p4all::workload
