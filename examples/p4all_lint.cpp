@@ -1,0 +1,130 @@
+// p4all-lint — the static-analysis driver for elastic P4All programs.
+//
+//   p4all-lint <program.p4all>... [options]
+//     --checks=a,b,...       run only the named passes (default: all)
+//     --list-checks          print the registered passes and exit
+//     --target <spec.json>   PISA target for target-dependent passes
+//     --Werror               treat warnings as errors
+//     --format=text|json     output format (json is SARIF-shaped)
+//
+//   Exit codes: 0 clean (or warnings without --Werror), 1 findings at error
+//   severity, 2 usage or fatal front-end errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/elaborate.hpp"
+#include "lang/parser.hpp"
+#include "support/error.hpp"
+#include "verify/lint.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw p4all::support::CompileError("cannot open '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string> split_commas(const std::string& list) {
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream ss(list);
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: p4all-lint <program.p4all>... [--checks=a,b,...] [--list-checks]\n"
+                 "                  [--target spec.json] [--Werror] [--format=text|json]\n");
+    return 2;
+}
+
+int list_checks() {
+    for (const p4all::verify::LintPass* pass : p4all::verify::PassRegistry::global().passes()) {
+        std::printf("%-20s %s\n", std::string(pass->id()).c_str(),
+                    std::string(pass->description()).c_str());
+    }
+    return 0;
+}
+
+std::string program_name(const std::string& path) {
+    std::string name = path;
+    if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+        name = name.substr(slash + 1);
+    }
+    if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+        name = name.substr(0, dot);
+    }
+    return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> inputs;
+    std::string target_path;
+    std::string format = "text";
+    p4all::verify::LintOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--checks=", 0) == 0) {
+            options.checks = split_commas(arg.substr(9));
+        } else if (arg == "--list-checks") {
+            return list_checks();
+        } else if (arg == "--target" && i + 1 < argc) {
+            target_path = argv[++i];
+        } else if (arg == "--Werror") {
+            options.werror = true;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json") return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) return usage();
+
+    try {
+        if (!target_path.empty()) {
+            options.target = p4all::target::TargetSpec::from_json(
+                p4all::support::Json::parse(read_file(target_path)));
+        }
+
+        bool any_errors = false;
+        std::size_t total_findings = 0;
+        for (const std::string& input : inputs) {
+            const std::string source = read_file(input);
+            const p4all::ir::Program prog = p4all::ir::elaborate(
+                p4all::lang::parse(source, input), {.program_name = program_name(input)});
+            const p4all::verify::LintResult result = p4all::verify::run_lint(prog, options);
+            any_errors = any_errors || result.has_errors();
+            total_findings += result.findings.size();
+            if (format == "json") {
+                std::fputs(result.to_json().dump(2).c_str(), stdout);
+                std::fputc('\n', stdout);
+            } else {
+                std::fputs(result.render().c_str(), stdout);
+            }
+        }
+        if (format == "text" && total_findings == 0) {
+            std::fprintf(stderr, "p4all-lint: %zu file%s clean\n", inputs.size(),
+                         inputs.size() == 1 ? "" : "s");
+        }
+        return any_errors ? 1 : 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "p4all-lint: %s\n", e.what());
+        return 2;
+    }
+}

@@ -172,10 +172,10 @@ std::vector<std::vector<int>> exclusion_cliques(const DepGraph& g) {
     return cliques;
 }
 
-int min_stage_requirement(const DepGraph& g) {
-    if (g.infeasible) return kUnschedulable;
+CriticalPath critical_path(const DepGraph& g) {
+    CriticalPath result;
     const int n = g.node_count();
-    if (n == 0) return 0;
+    if (n == 0) return result;
 
     // Collapse exclusion components into super-nodes. A clique of size k
     // needs k distinct stages, so it contributes weight k to any path
@@ -204,6 +204,7 @@ int min_stage_requirement(const DepGraph& g) {
 
     // Super-node DAG over Before edges; longest weighted path by topo DP.
     std::vector<std::vector<int>> succ(static_cast<std::size_t>(sn));
+    std::vector<std::vector<int>> pred(static_cast<std::size_t>(sn));
     std::vector<int> indeg(static_cast<std::size_t>(sn), 0);
     std::set<std::pair<int, int>> super_edges;
     for (const auto& [a, b] : g.before) {
@@ -218,6 +219,7 @@ int min_stage_requirement(const DepGraph& g) {
         }
         if (super_edges.insert({sa, sb}).second) {
             succ[static_cast<std::size_t>(sa)].push_back(sb);
+            pred[static_cast<std::size_t>(sb)].push_back(sa);
             ++indeg[static_cast<std::size_t>(sb)];
         }
     }
@@ -236,19 +238,72 @@ int min_stage_requirement(const DepGraph& g) {
             if (--indeg[static_cast<std::size_t>(t)] == 0) stack.push_back(t);
         }
     }
-    if (static_cast<int>(order.size()) != sn) return kUnschedulable;  // cycle
+    if (static_cast<int>(order.size()) != sn) {
+        // Cyclic Before relation. Every super-node left out of the topo
+        // order has a predecessor that is also left out, so walking
+        // predecessors from any of them must revisit a node — that revisit
+        // closes one offending cycle.
+        result.cyclic = true;
+        result.stages = kUnschedulable;
+        std::vector<bool> in_order(static_cast<std::size_t>(sn), false);
+        for (const int s : order) in_order[static_cast<std::size_t>(s)] = true;
+        int cur = -1;
+        for (int s = 0; s < sn; ++s) {
+            if (!in_order[static_cast<std::size_t>(s)]) {
+                cur = s;
+                break;
+            }
+        }
+        std::vector<int> trail;
+        std::vector<int> pos(static_cast<std::size_t>(sn), -1);
+        while (pos[static_cast<std::size_t>(cur)] < 0) {
+            pos[static_cast<std::size_t>(cur)] = static_cast<int>(trail.size());
+            trail.push_back(cur);
+            for (const int p : pred[static_cast<std::size_t>(cur)]) {
+                if (!in_order[static_cast<std::size_t>(p)]) {
+                    cur = p;
+                    break;
+                }
+            }
+        }
+        // trail[pos[cur]..] is the cycle in reverse edge order; report it
+        // following the Before direction.
+        for (std::size_t i = trail.size();
+             i-- > static_cast<std::size_t>(pos[static_cast<std::size_t>(cur)]);) {
+            result.nodes.push_back(super_members[static_cast<std::size_t>(trail[i])].front());
+        }
+        return result;
+    }
 
     std::vector<int> longest(static_cast<std::size_t>(sn), 0);
+    std::vector<int> prev(static_cast<std::size_t>(sn), -1);
     int best = 0;
+    int best_end = -1;
     for (const int s : order) {
         longest[static_cast<std::size_t>(s)] += weight[static_cast<std::size_t>(s)];
-        best = std::max(best, longest[static_cast<std::size_t>(s)]);
+        if (longest[static_cast<std::size_t>(s)] > best) {
+            best = longest[static_cast<std::size_t>(s)];
+            best_end = s;
+        }
         for (const int t : succ[static_cast<std::size_t>(s)]) {
-            longest[static_cast<std::size_t>(t)] =
-                std::max(longest[static_cast<std::size_t>(t)], longest[static_cast<std::size_t>(s)]);
+            if (longest[static_cast<std::size_t>(s)] > longest[static_cast<std::size_t>(t)]) {
+                longest[static_cast<std::size_t>(t)] = longest[static_cast<std::size_t>(s)];
+                prev[static_cast<std::size_t>(t)] = s;
+            }
         }
     }
-    return best;
+    result.stages = best;
+    for (int s = best_end; s != -1; s = prev[static_cast<std::size_t>(s)]) {
+        result.nodes.push_back(super_members[static_cast<std::size_t>(s)].front());
+    }
+    std::reverse(result.nodes.begin(), result.nodes.end());
+    return result;
+}
+
+int min_stage_requirement(const DepGraph& g) {
+    if (g.infeasible) return kUnschedulable;
+    const CriticalPath path = critical_path(g);
+    return path.cyclic ? kUnschedulable : path.stages;
 }
 
 }  // namespace p4all::analysis

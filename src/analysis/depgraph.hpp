@@ -51,6 +51,21 @@ struct DepGraph {
 /// constraints and a strictly tighter LP relaxation than pairwise rows.
 [[nodiscard]] std::vector<std::vector<int>> exclusion_cliques(const DepGraph& g);
 
+/// The longest weighted Before-chain that determines the minimum stage
+/// requirement. `stages` is the chain's weight (exclusion cliques weigh
+/// |clique|); `nodes` lists one representative DepGraph node per step of the
+/// chain, in schedule order. When the Before relation is cyclic, `cyclic` is
+/// true and `nodes` instead holds the nodes of one offending cycle. Used by
+/// the schedule-infeasible lint pass to point at the offending dependency
+/// chain.
+struct CriticalPath {
+    int stages = 0;
+    bool cyclic = false;
+    std::vector<int> nodes;
+};
+
+[[nodiscard]] CriticalPath critical_path(const DepGraph& g);
+
 /// A lower bound on the pipeline stages needed to schedule the graph:
 /// the longest weighted path where exclusion cliques collapse to weight
 /// |clique| (their members need that many distinct stages) and Before edges

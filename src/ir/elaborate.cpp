@@ -47,7 +47,7 @@ private:
             const SourceLoc& loc = d.loc;
             if (const auto* s = std::get_if<lang::SymbolicDecl>(&d.node)) {
                 check_fresh_name(loc, s->name);
-                prog_.symbols.push_back({s->name, SymbolRole::Unused});
+                prog_.symbols.push_back({s->name, SymbolRole::Unused, loc});
             } else if (const auto* c = std::get_if<lang::ConstDecl>(&d.node)) {
                 check_fresh_name(loc, c->name);
                 consts_[c->name] = fold_const(*c->value);
@@ -60,6 +60,7 @@ private:
                 reg.instances = r->instances
                                     ? resolve_extent(*r->instances, SymbolRole::IterationCount)
                                     : Extent::of_literal(1);
+                reg.loc = loc;
                 prog_.registers.push_back(std::move(reg));
             } else if (const auto* m = std::get_if<lang::MetadataDecl>(&d.node)) {
                 for (const lang::FieldDecl& f : m->fields) {
@@ -70,16 +71,18 @@ private:
                     if (f.array_size) {
                         mf.array = resolve_extent(*f.array_size, SymbolRole::IterationCount);
                     }
+                    mf.loc = f.loc;
                     prog_.meta_fields.push_back(std::move(mf));
                 }
             } else if (const auto* p = std::get_if<lang::PacketDecl>(&d.node)) {
                 for (const lang::FieldDecl& f : p->fields) {
                     check_fresh_name(f.loc, "pkt." + f.name);
-                    prog_.packet_fields.push_back({f.name, f.width});
+                    prog_.packet_fields.push_back({f.name, f.width, f.loc});
                 }
             } else if (const auto* a = std::get_if<lang::ActionDecl>(&d.node)) {
                 check_fresh_name(loc, a->name);
                 action_decls_[a->name] = a;
+                action_locs_[a->name] = loc;
             } else if (const auto* c2 = std::get_if<lang::ControlDecl>(&d.node)) {
                 check_fresh_name(loc, c2->name);
                 control_decls_[c2->name] = c2;
@@ -288,6 +291,7 @@ private:
             Action a;
             a.name = name;
             a.has_iter_param = decl->iter_param.has_value();
+            a.loc = action_locs_[name];
             Env env;
             if (a.has_iter_param) env[*decl->iter_param] = NameBinding{true, 0};
             for (const lang::StmtPtr& s : decl->body.stmts) {
@@ -324,6 +328,7 @@ private:
         const PrimKind kind = it->second;
         PrimOp op;
         op.kind = kind;
+        op.loc = loc;
 
         const auto arity_error = [&](const char* signature) -> CompileError {
             return CompileError(loc, std::string("wrong arguments for ") + call.name +
@@ -521,6 +526,7 @@ private:
         site.loop_bound = ctx.loop_bound;
         site.guards = ctx.guards;
         site.seq = static_cast<int>(prog_.flow.size());
+        site.loc = loc;
 
         const auto action_it = action_ids_.find(call.name);
         if (action_it != action_ids_.end()) {
@@ -551,6 +557,7 @@ private:
         Action wrapper;
         wrapper.name = "__inline_" + std::to_string(prog_.flow.size()) + "_" + call.name;
         wrapper.has_iter_param = ctx.loop_bound != kNoId;
+        wrapper.loc = loc;
         wrapper.ops.push_back(elaborate_prim(loc, copy, ctx.env));
         site.action = static_cast<ActionId>(prog_.actions.size());
         site.iter_arg = wrapper.has_iter_param ? Affine::iter() : Affine::literal(0);
@@ -564,6 +571,7 @@ private:
             throw CompileError(e.loc, "guard must be a comparison (lhs OP rhs)");
         }
         Cond c;
+        c.loc = e.loc;
         switch (b->op) {
             case BinaryOp::Lt: c.op = CmpOp::Lt; break;
             case BinaryOp::Le: c.op = CmpOp::Le; break;
@@ -721,6 +729,7 @@ private:
 
     std::map<std::string, std::int64_t, std::less<>> consts_;
     std::map<std::string, const lang::ActionDecl*, std::less<>> action_decls_;
+    std::map<std::string, SourceLoc, std::less<>> action_locs_;
     std::map<std::string, const lang::ControlDecl*, std::less<>> control_decls_;
     std::map<std::string, ActionId, std::less<>> action_ids_;
     std::set<std::string> seen_names_;

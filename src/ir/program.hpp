@@ -28,6 +28,7 @@ enum class SymbolRole { Unused, IterationCount, ElementCount };
 struct SymbolicVar {
     std::string name;
     SymbolRole role = SymbolRole::Unused;
+    support::SourceLoc loc;  // declaration site
 };
 
 /// Either a literal size or a reference to a symbolic value.
@@ -48,6 +49,7 @@ struct RegisterArray {
     int width = 32;
     Extent elems;
     Extent instances;
+    support::SourceLoc loc;  // declaration site
 };
 
 /// A metadata field; `array` non-trivial makes it a symbolic metadata array
@@ -56,6 +58,7 @@ struct MetaField {
     std::string name;
     int width = 32;
     std::optional<Extent> array;  // disengaged ⇒ scalar
+    support::SourceLoc loc;       // declaration site
 
     [[nodiscard]] bool is_array() const noexcept { return array.has_value(); }
 };
@@ -63,6 +66,7 @@ struct MetaField {
 struct PacketField {
     std::string name;
     int width = 32;
+    support::SourceLoc loc;  // declaration site
 };
 
 /// An action: a named, atomic bundle of primitive operations. On PISA all
@@ -72,6 +76,7 @@ struct Action {
     std::string name;
     bool has_iter_param = false;
     std::vector<PrimOp> ops;
+    support::SourceLoc loc;  // declaration site
 };
 
 /// One action invocation in the flattened ingress flow.
@@ -86,6 +91,7 @@ struct CallSite {
     Affine iter_arg;            // argument bound to the action's iteration param
     std::vector<Cond> guards;
     int seq = 0;
+    support::SourceLoc loc;     // the `apply` statement
 
     [[nodiscard]] bool elastic() const noexcept { return loop_bound != kNoId; }
 };

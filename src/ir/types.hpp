@@ -7,6 +7,8 @@
 #include <variant>
 #include <vector>
 
+#include "support/source_location.hpp"
+
 namespace p4all::ir {
 
 /// Index types into the Program tables (see program.hpp). Kept as plain ints
@@ -104,6 +106,7 @@ struct PrimOp {
     std::optional<Value> reg_index;             // register ops: index into the array
     Affine seed;                                // Hash only
     std::optional<std::variant<RegRef, std::int64_t>> modulus;  // Hash only
+    support::SourceLoc loc;                     // statement that produced this op
 };
 
 /// Comparison operators usable in `if` guards.
@@ -118,6 +121,7 @@ struct Cond {
     CmpOp op = CmpOp::Eq;
     Value lhs;
     Value rhs;
+    support::SourceLoc loc;  // the `if` condition expression
 };
 
 }  // namespace p4all::ir

@@ -1,0 +1,106 @@
+#include "target/spec.hpp"
+
+#include "support/error.hpp"
+
+namespace p4all::target {
+
+int TargetSpec::stateful_cost(ir::PrimKind kind) const noexcept {
+    switch (kind) {
+        case ir::PrimKind::RegAdd:
+        case ir::PrimKind::RegRead:
+        case ir::PrimKind::RegWrite:
+        case ir::PrimKind::RegMin:
+        case ir::PrimKind::RegMax:
+            return 1;
+        default:
+            return 0;
+    }
+}
+
+int TargetSpec::stateless_cost(ir::PrimKind kind) const noexcept {
+    switch (kind) {
+        case ir::PrimKind::Hash:
+        case ir::PrimKind::Set:
+        case ir::PrimKind::Add:
+        case ir::PrimKind::Sub:
+        case ir::PrimKind::Min:
+        case ir::PrimKind::Max:
+            return 1;
+        default:
+            return 0;
+    }
+}
+
+int TargetSpec::hash_cost(ir::PrimKind kind) const noexcept {
+    return kind == ir::PrimKind::Hash ? 1 : 0;
+}
+
+TargetSpec TargetSpec::from_json(const support::Json& json) {
+    if (!json.is_object()) {
+        throw support::CompileError("target spec must be a JSON object");
+    }
+    TargetSpec spec;
+    spec.name = json.get_string("name", spec.name);
+    spec.stages = static_cast<int>(json.get_int("stages", spec.stages));
+    spec.memory_bits = json.get_int("memory_bits_per_stage", spec.memory_bits);
+    spec.stateful_alus =
+        static_cast<int>(json.get_int("stateful_alus_per_stage", spec.stateful_alus));
+    spec.stateless_alus =
+        static_cast<int>(json.get_int("stateless_alus_per_stage", spec.stateless_alus));
+    spec.hash_units = static_cast<int>(json.get_int("hash_units_per_stage", spec.hash_units));
+    spec.phv_bits = static_cast<int>(json.get_int("phv_bits", spec.phv_bits));
+
+    const auto positive = [&](std::int64_t v, const char* what) {
+        if (v <= 0) {
+            throw support::CompileError("target spec '" + spec.name + "': " + what +
+                                        " must be positive");
+        }
+    };
+    positive(spec.stages, "stages");
+    positive(spec.memory_bits, "memory_bits_per_stage");
+    positive(spec.stateful_alus, "stateful_alus_per_stage");
+    positive(spec.stateless_alus, "stateless_alus_per_stage");
+    positive(spec.hash_units, "hash_units_per_stage");
+    positive(spec.phv_bits, "phv_bits");
+    return spec;
+}
+
+support::Json TargetSpec::to_json() const {
+    support::Json out = support::Json::object();
+    out.set("name", name);
+    out.set("stages", stages);
+    out.set("memory_bits_per_stage", memory_bits);
+    out.set("stateful_alus_per_stage", stateful_alus);
+    out.set("stateless_alus_per_stage", stateless_alus);
+    out.set("phv_bits", phv_bits);
+    out.set("hash_units_per_stage", hash_units);
+    return out;
+}
+
+TargetSpec tofino_like() { return TargetSpec{}; }
+
+TargetSpec running_example() {
+    TargetSpec spec;
+    spec.name = "running-example";
+    spec.stages = 3;
+    spec.memory_bits = 2048;
+    spec.stateful_alus = 2;
+    spec.stateless_alus = 2;
+    spec.hash_units = 2;
+    spec.phv_bits = 4096;
+    return spec;
+}
+
+TargetSpec small_test() {
+    TargetSpec spec;
+    spec.name = "small-test";
+    spec.stages = 4;
+    spec.memory_bits = 8192;
+    spec.stateful_alus = 2;
+    spec.stateless_alus = 8;
+    spec.hash_units = 2;
+    spec.phv_bits = 1024;
+    return spec;
+}
+
+}  // namespace p4all::target

@@ -1,0 +1,72 @@
+// The PISA target specification (the paper's Figure 3).
+//
+// A target is described by five scalar resources per Figure 3 — stages S,
+// per-stage register memory M, per-stage stateful ALUs F, per-stage
+// stateless ALUs L, and total PHV bits P — plus per-stage hash units and
+// the per-primitive ALU cost functions H_f / H_l the dependency analysis
+// and the ILP charge against those budgets. Specs are loaded from JSON
+// files (see examples/targets/) or taken from the built-in presets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/types.hpp"
+#include "support/json.hpp"
+
+namespace p4all::target {
+
+struct TargetSpec {
+    std::string name = "tofino-like";
+
+    /// Pipeline stages (S).
+    int stages = 10;
+    /// Register memory per stage in bits (M).
+    std::int64_t memory_bits = 1'750'000;
+    /// Stateful ALUs per stage (F).
+    int stateful_alus = 4;
+    /// Stateless ALUs per stage (L).
+    int stateless_alus = 100;
+    /// Hash units per stage.
+    int hash_units = 8;
+    /// Total PHV bits across the pipeline (P).
+    int phv_bits = 4096;
+
+    /// Total ALUs of either kind across the pipeline: (F + L) · S.
+    [[nodiscard]] std::int64_t total_alus() const noexcept {
+        return static_cast<std::int64_t>(stateful_alus + stateless_alus) * stages;
+    }
+
+    /// Total register memory across the pipeline: M · S.
+    [[nodiscard]] std::int64_t total_memory_bits() const noexcept {
+        return memory_bits * stages;
+    }
+
+    /// Per-primitive cost functions (H_f, H_l, hash units). Register
+    /// read-modify-write primitives occupy one stateful ALU; everything
+    /// else (including the hash computation itself) is stateless.
+    [[nodiscard]] int stateful_cost(ir::PrimKind kind) const noexcept;
+    [[nodiscard]] int stateless_cost(ir::PrimKind kind) const noexcept;
+    [[nodiscard]] int hash_cost(ir::PrimKind kind) const noexcept;
+
+    /// Loads a spec from a JSON object (see examples/targets/*.json for the
+    /// accepted keys). Missing keys keep their preset defaults; non-positive
+    /// resources throw support::CompileError.
+    [[nodiscard]] static TargetSpec from_json(const support::Json& json);
+
+    /// Serializes with the same keys from_json accepts.
+    [[nodiscard]] support::Json to_json() const;
+};
+
+/// The Tofino-like PISA target used throughout the paper's evaluation:
+/// S=10, M=1.75 Mb, F=4, L=100, P=4096, 8 hash units.
+[[nodiscard]] TargetSpec tofino_like();
+
+/// The paper's §4.1 running-example target: S=3, M=2048 b, F=L=2.
+[[nodiscard]] TargetSpec running_example();
+
+/// A deliberately tiny target for unit tests: S=4, M=8192 b, F=2, L=8,
+/// P=1024, 2 hash units.
+[[nodiscard]] TargetSpec small_test();
+
+}  // namespace p4all::target

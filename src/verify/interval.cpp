@@ -1,0 +1,166 @@
+#include "verify/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4all::verify {
+
+Interval Interval::of_width(int bits) noexcept {
+    if (bits <= 0) return point(0);
+    if (bits >= 63) return {0, kPosInf};
+    return {0, (std::int64_t{1} << bits) - 1};
+}
+
+Interval Interval::meet(const Interval& o) const noexcept {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+}
+
+Interval Interval::join(const Interval& o) const noexcept {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+    std::int64_t out = 0;
+    if (__builtin_add_overflow(a, b, &out)) {
+        return a > 0 ? Interval::kPosInf : Interval::kNegInf;
+    }
+    return out;
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
+    std::int64_t out = 0;
+    if (__builtin_mul_overflow(a, b, &out)) {
+        return ((a > 0) == (b > 0)) ? Interval::kPosInf : Interval::kNegInf;
+    }
+    return out;
+}
+
+namespace {
+
+/// Saturating multiply that treats the infinities as genuine infinities:
+/// inf * 0 = 0 (an empty factor contributes nothing), inf * x keeps sign.
+std::int64_t inf_mul(std::int64_t a, std::int64_t b) noexcept {
+    if (a == 0 || b == 0) return 0;
+    const bool a_inf = a == Interval::kPosInf || a == Interval::kNegInf;
+    const bool b_inf = b == Interval::kPosInf || b == Interval::kNegInf;
+    if (a_inf || b_inf) {
+        return ((a > 0) == (b > 0)) ? Interval::kPosInf : Interval::kNegInf;
+    }
+    return sat_mul(a, b);
+}
+
+}  // namespace
+
+Interval operator+(const Interval& a, const Interval& b) noexcept {
+    if (a.empty() || b.empty()) return {1, 0};
+    return {sat_add(a.lo, b.lo), sat_add(a.hi, b.hi)};
+}
+
+Interval operator-(const Interval& a, const Interval& b) noexcept {
+    if (a.empty() || b.empty()) return {1, 0};
+    return {sat_add(a.lo, b.hi == Interval::kPosInf ? Interval::kNegInf : -b.hi),
+            sat_add(a.hi, b.lo == Interval::kNegInf ? Interval::kPosInf : -b.lo)};
+}
+
+Interval operator*(const Interval& a, const Interval& b) noexcept {
+    if (a.empty() || b.empty()) return {1, 0};
+    const std::int64_t c[4] = {inf_mul(a.lo, b.lo), inf_mul(a.lo, b.hi), inf_mul(a.hi, b.lo),
+                               inf_mul(a.hi, b.hi)};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Truth compare(ir::CmpOp op, const Interval& l, const Interval& r) noexcept {
+    if (l.empty() || r.empty()) return Truth::Unknown;
+    switch (op) {
+        case ir::CmpOp::Lt:
+            if (l.hi < r.lo) return Truth::True;
+            if (l.lo >= r.hi) return Truth::False;
+            return Truth::Unknown;
+        case ir::CmpOp::Le:
+            if (l.hi <= r.lo) return Truth::True;
+            if (l.lo > r.hi) return Truth::False;
+            return Truth::Unknown;
+        case ir::CmpOp::Gt:
+            return compare(ir::CmpOp::Lt, r, l);
+        case ir::CmpOp::Ge:
+            return compare(ir::CmpOp::Le, r, l);
+        case ir::CmpOp::Eq:
+            if (l.is_point() && r.is_point() && l.lo == r.lo) return Truth::True;
+            if (l.meet(r).empty()) return Truth::False;
+            return Truth::Unknown;
+        case ir::CmpOp::Ne: {
+            const Truth eq = compare(ir::CmpOp::Eq, l, r);
+            if (eq == Truth::True) return Truth::False;
+            if (eq == Truth::False) return Truth::True;
+            return Truth::Unknown;
+        }
+    }
+    return Truth::Unknown;
+}
+
+BoundEnv::BoundEnv(const ir::Program& prog) : prog_(&prog) {
+    // Sizes are at least 1: a loop that never runs or an empty array leaves
+    // no trace in the pipeline, and the ILP's size variables start at 1.
+    symbols_.assign(prog.symbols.size(), Interval{1, Interval::kPosInf});
+
+    // Refine from single-variable linear assume clauses. Elaboration
+    // normalizes every clause to `poly <= 0` or `poly == 0`.
+    for (const ir::PolyConstraint& pc : prog.assumes) {
+        ir::SymbolId sym = ir::kNoId;
+        double coeff = 0.0;
+        double constant = 0.0;
+        bool usable = true;
+        for (const ir::PolyTerm& t : pc.poly.terms()) {
+            if (t.degree() == 0) {
+                constant += t.coeff;
+            } else if (t.degree() == 1 && (sym == ir::kNoId || sym == t.a)) {
+                sym = t.a;
+                coeff += t.coeff;
+            } else {
+                usable = false;  // multi-variable or quadratic clause
+                break;
+            }
+        }
+        if (!usable || sym == ir::kNoId || coeff == 0.0) continue;
+        Interval& dom = symbols_[static_cast<std::size_t>(sym)];
+        // coeff*s + constant <= 0  ⇒  s <= floor(-constant/coeff) (coeff > 0)
+        //                             s >= ceil(-constant/coeff)  (coeff < 0)
+        const double bound = -constant / coeff;
+        if (pc.op == ir::CmpOp::Eq) {
+            const auto v = static_cast<std::int64_t>(std::llround(bound));
+            if (static_cast<double>(v) * coeff + constant == 0.0) {
+                dom = dom.meet(Interval::point(v));
+            }
+        } else if (coeff > 0.0) {
+            dom = dom.meet({Interval::kNegInf, static_cast<std::int64_t>(std::floor(bound))});
+        } else {
+            dom = dom.meet({static_cast<std::int64_t>(std::ceil(bound)), Interval::kPosInf});
+        }
+    }
+}
+
+Interval BoundEnv::symbol(ir::SymbolId sym) const {
+    if (sym == ir::kNoId || static_cast<std::size_t>(sym) >= symbols_.size()) {
+        return {1, Interval::kPosInf};
+    }
+    return symbols_[static_cast<std::size_t>(sym)];
+}
+
+Interval BoundEnv::iterations(ir::SymbolId loop_bound) const {
+    if (loop_bound == ir::kNoId) return Interval::point(0);
+    const Interval bound = symbol(loop_bound);
+    if (bound.empty()) return bound;
+    return {0, bound.hi == Interval::kPosInf ? Interval::kPosInf : bound.hi - 1};
+}
+
+Interval BoundEnv::affine(const ir::Affine& a, const Interval& iter) const {
+    return Interval::point(a.coeff_iter) * iter + Interval::point(a.constant);
+}
+
+Interval BoundEnv::extent(const ir::Extent& e) const {
+    return e.symbolic() ? symbol(e.sym) : Interval::point(e.literal);
+}
+
+}  // namespace p4all::verify

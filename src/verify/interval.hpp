@@ -1,0 +1,91 @@
+// Interval analysis over symbolic values and affine index expressions.
+//
+// The lint passes need conservative ranges for the quantities appearing in
+// the elaborated IR: symbolic sizes (bounded by `assume` constraints),
+// iteration variables (0 .. bound-1), affine functions of the iteration
+// variable, and the run-time contents of fixed-width fields (0 .. 2^w - 1).
+// BoundEnv derives all of these from a Program once; Interval is the shared
+// abstract domain. All arithmetic saturates at the int64 limits, so the
+// domain is closed under the operations (and UBSan-clean) even for the
+// "unbounded" rays produced by assume-less symbols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace p4all::verify {
+
+/// A closed integer interval [lo, hi]. The int64 limits act as -inf / +inf.
+/// Empty intervals (lo > hi) arise from contradictory constraints.
+struct Interval {
+    static constexpr std::int64_t kNegInf = INT64_MIN;
+    static constexpr std::int64_t kPosInf = INT64_MAX;
+
+    std::int64_t lo = kNegInf;
+    std::int64_t hi = kPosInf;
+
+    [[nodiscard]] static Interval all() noexcept { return {}; }
+    [[nodiscard]] static Interval point(std::int64_t v) noexcept { return {v, v}; }
+    [[nodiscard]] static Interval of(std::int64_t lo, std::int64_t hi) noexcept {
+        return {lo, hi};
+    }
+    /// The value range of an unsigned w-bit field: [0, 2^w - 1].
+    [[nodiscard]] static Interval of_width(int bits) noexcept;
+
+    [[nodiscard]] bool empty() const noexcept { return lo > hi; }
+    [[nodiscard]] bool is_point() const noexcept { return lo == hi; }
+    [[nodiscard]] bool contains(std::int64_t v) const noexcept { return lo <= v && v <= hi; }
+    [[nodiscard]] bool bounded_below() const noexcept { return lo != kNegInf; }
+    [[nodiscard]] bool bounded_above() const noexcept { return hi != kPosInf; }
+
+    /// Intersection and convex hull.
+    [[nodiscard]] Interval meet(const Interval& o) const noexcept;
+    [[nodiscard]] Interval join(const Interval& o) const noexcept;
+
+    friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Saturating scalar arithmetic (infinities stay pinned, no signed overflow).
+[[nodiscard]] std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept;
+[[nodiscard]] std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept;
+
+/// Interval arithmetic built on the saturating scalar ops.
+[[nodiscard]] Interval operator+(const Interval& a, const Interval& b) noexcept;
+[[nodiscard]] Interval operator-(const Interval& a, const Interval& b) noexcept;
+[[nodiscard]] Interval operator*(const Interval& a, const Interval& b) noexcept;
+
+/// Three-valued truth for comparisons evaluated over intervals.
+enum class Truth { False, True, Unknown };
+
+/// Decides `l op r` when it holds (or fails) for every pair of values drawn
+/// from the operand intervals; Unknown otherwise (or when either is empty).
+[[nodiscard]] Truth compare(ir::CmpOp op, const Interval& l, const Interval& r) noexcept;
+
+/// Assume-derived bounds for one program. Symbolic values default to
+/// [1, +inf) — sizes are at least 1 — and are refined by every
+/// single-variable linear `assume` constraint.
+class BoundEnv {
+public:
+    explicit BoundEnv(const ir::Program& prog);
+
+    /// The admissible values of symbol `sym`.
+    [[nodiscard]] Interval symbol(ir::SymbolId sym) const;
+
+    /// The admissible iteration values of a loop bounded by `loop_bound`:
+    /// [0, max(bound) - 1], or the single iteration {0} for kNoId.
+    [[nodiscard]] Interval iterations(ir::SymbolId loop_bound) const;
+
+    /// The range of `a` evaluated over the iteration interval `iter`.
+    [[nodiscard]] Interval affine(const ir::Affine& a, const Interval& iter) const;
+
+    /// The admissible sizes denoted by an extent (literal or symbolic).
+    [[nodiscard]] Interval extent(const ir::Extent& e) const;
+
+private:
+    const ir::Program* prog_;
+    std::vector<Interval> symbols_;  // indexed by SymbolId
+};
+
+}  // namespace p4all::verify

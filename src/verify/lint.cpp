@@ -1,0 +1,220 @@
+#include "verify/lint.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace p4all::verify {
+
+namespace {
+
+const char* severity_name(support::Severity severity) noexcept {
+    switch (severity) {
+        case support::Severity::Note: return "note";
+        case support::Severity::Warning: return "warning";
+        case support::Severity::Error: return "error";
+    }
+    return "?";
+}
+
+/// SARIF levels: error / warning / note.
+const char* sarif_level(support::Severity severity) noexcept {
+    return severity_name(severity);
+}
+
+}  // namespace
+
+std::string Finding::to_string() const {
+    std::string out = loc.known() ? loc.to_string() : std::string(loc.file.empty() ? "<program>" : loc.file);
+    out += ": ";
+    out += severity_name(severity);
+    out += ": ";
+    out += message;
+    out += " [";
+    out += check;
+    out += "]";
+    return out;
+}
+
+void LintContext::error(support::SourceLoc loc, std::string message, std::string fix_hint) {
+    report({support::Severity::Error, active_check_, std::move(loc), std::move(message),
+            std::move(fix_hint)});
+}
+
+void LintContext::warning(support::SourceLoc loc, std::string message, std::string fix_hint) {
+    report({support::Severity::Warning, active_check_, std::move(loc), std::move(message),
+            std::move(fix_hint)});
+}
+
+PassRegistry& PassRegistry::global() {
+    static PassRegistry* registry = [] {
+        auto* r = new PassRegistry();
+        register_builtin_passes(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void PassRegistry::add(std::unique_ptr<LintPass> pass) {
+    passes_.push_back(std::move(pass));
+}
+
+LintPass* PassRegistry::find(std::string_view id) const noexcept {
+    for (const auto& pass : passes_) {
+        if (pass->id() == id) return pass.get();
+    }
+    return nullptr;
+}
+
+std::vector<LintPass*> PassRegistry::passes() const {
+    std::vector<LintPass*> out;
+    out.reserve(passes_.size());
+    for (const auto& pass : passes_) out.push_back(pass.get());
+    return out;
+}
+
+bool LintResult::has_errors() const noexcept {
+    return std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.severity == support::Severity::Error;
+    });
+}
+
+std::string LintResult::render() const {
+    std::string out;
+    for (const Finding& f : findings) {
+        out += f.to_string();
+        out += '\n';
+        if (!f.fix_hint.empty()) {
+            out += "    hint: ";
+            out += f.fix_hint;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+support::Json LintResult::to_json() const {
+    support::Json rules = support::Json::array();
+    for (const std::string& id : checks_run) {
+        support::Json rule = support::Json::object();
+        rule.set("id", id);
+        if (const LintPass* pass = PassRegistry::global().find(id)) {
+            support::Json text = support::Json::object();
+            text.set("text", std::string(pass->description()));
+            rule.set("shortDescription", std::move(text));
+        }
+        rules.push_back(std::move(rule));
+    }
+
+    support::Json results = support::Json::array();
+    for (const Finding& f : findings) {
+        support::Json message = support::Json::object();
+        message.set("text", f.message);
+
+        support::Json result = support::Json::object();
+        result.set("ruleId", f.check);
+        result.set("level", std::string(sarif_level(f.severity)));
+        result.set("message", std::move(message));
+        if (!f.fix_hint.empty()) {
+            support::Json props = support::Json::object();
+            props.set("fixHint", f.fix_hint);
+            result.set("properties", std::move(props));
+        }
+        if (f.loc.known()) {
+            support::Json artifact = support::Json::object();
+            artifact.set("uri", f.loc.file);
+            support::Json region = support::Json::object();
+            region.set("startLine", static_cast<std::int64_t>(f.loc.line));
+            region.set("startColumn", static_cast<std::int64_t>(f.loc.column));
+            support::Json physical = support::Json::object();
+            physical.set("artifactLocation", std::move(artifact));
+            physical.set("region", std::move(region));
+            support::Json location = support::Json::object();
+            location.set("physicalLocation", std::move(physical));
+            support::Json locations = support::Json::array();
+            locations.push_back(std::move(location));
+            result.set("locations", std::move(locations));
+        }
+        results.push_back(std::move(result));
+    }
+
+    support::Json driver = support::Json::object();
+    driver.set("name", "p4all-lint");
+    driver.set("informationUri", "docs/LINTING.md");
+    driver.set("rules", std::move(rules));
+    support::Json tool = support::Json::object();
+    tool.set("driver", std::move(driver));
+    support::Json run = support::Json::object();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    support::Json runs = support::Json::array();
+    runs.push_back(std::move(run));
+
+    support::Json doc = support::Json::object();
+    doc.set("version", "2.1.0");
+    doc.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    doc.set("runs", std::move(runs));
+    return doc;
+}
+
+LintResult run_lint(const ir::Program& prog, const LintOptions& options) {
+    PassRegistry& registry = PassRegistry::global();
+    std::vector<LintPass*> selected;
+    if (options.checks.empty()) {
+        selected = registry.passes();
+    } else {
+        for (const std::string& id : options.checks) {
+            LintPass* pass = registry.find(id);
+            if (pass == nullptr) {
+                throw support::CompileError("unknown lint check '" + id +
+                                            "' (see --list-checks for the registered passes)");
+            }
+            selected.push_back(pass);
+        }
+    }
+
+    LintContext ctx(prog, options);
+    LintResult result;
+    for (LintPass* pass : selected) {
+        ctx.set_active_check(pass->id());
+        pass->run(ctx);
+        result.checks_run.emplace_back(pass->id());
+    }
+    result.findings = ctx.take_findings();
+
+    if (options.werror) {
+        for (Finding& f : result.findings) {
+            if (f.severity == support::Severity::Warning) {
+                f.severity = support::Severity::Error;
+            }
+        }
+    }
+
+    std::stable_sort(result.findings.begin(), result.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         return std::tie(a.loc.file, a.loc.line, a.loc.column) <
+                                std::tie(b.loc.file, b.loc.line, b.loc.column);
+                     });
+    // One action applied from several call sites repeats its per-op findings
+    // verbatim; collapse exact duplicates.
+    result.findings.erase(
+        std::unique(result.findings.begin(), result.findings.end(),
+                    [](const Finding& a, const Finding& b) {
+                        return a.check == b.check && a.loc == b.loc && a.message == b.message &&
+                               a.severity == b.severity;
+                    }),
+        result.findings.end());
+    return result;
+}
+
+void to_diagnostics(const LintResult& result, support::Diagnostics& diags) {
+    for (const Finding& f : result.findings) {
+        std::string message = f.message + " [" + f.check + "]";
+        switch (f.severity) {
+            case support::Severity::Note: diags.note(f.loc, std::move(message)); break;
+            case support::Severity::Warning: diags.warning(f.loc, std::move(message)); break;
+            case support::Severity::Error: diags.error(f.loc, std::move(message)); break;
+        }
+    }
+}
+
+}  // namespace p4all::verify

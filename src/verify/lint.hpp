@@ -1,0 +1,134 @@
+// The p4all-lint static-analysis engine.
+//
+// Each check is a LintPass: a named, individually selectable analysis over
+// the elaborated IR that reports Findings carrying a source location,
+// severity, check id, and fix hint — the located successor of the bare
+// string Issues in verify.hpp (which is now a thin compatibility shim over
+// this engine). Passes register in a global PassRegistry, LLVM-Analysis
+// style; run_lint executes a selection of them and collects the findings,
+// sorted by source position, with optional warnings-as-errors promotion.
+// Results render as one-per-line text diagnostics or as a SARIF-shaped JSON
+// document for machine consumption.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "target/spec.hpp"
+#include "verify/interval.hpp"
+
+namespace p4all::verify {
+
+/// One located diagnostic produced by a lint pass.
+struct Finding {
+    support::Severity severity = support::Severity::Warning;
+    std::string check;       // id of the pass that produced it
+    support::SourceLoc loc;  // loc.known() is false only for whole-program findings
+    std::string message;
+    std::string fix_hint;    // optional "how to silence / repair" suggestion
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Options selecting and configuring a lint run.
+struct LintOptions {
+    /// Pass ids to run; empty means every registered pass. Unknown ids make
+    /// run_lint throw support::CompileError.
+    std::vector<std::string> checks;
+    /// Promote warnings to errors in the result.
+    bool werror = false;
+    /// Target spec for target-dependent passes (schedule-infeasible).
+    target::TargetSpec target = target::tofino_like();
+};
+
+/// Shared state handed to each pass: the program, the target, lazily usable
+/// assume-derived bounds, and the finding sink.
+class LintContext {
+public:
+    LintContext(const ir::Program& prog, const LintOptions& options)
+        : prog_(&prog), options_(&options), bounds_(prog) {}
+
+    [[nodiscard]] const ir::Program& program() const noexcept { return *prog_; }
+    [[nodiscard]] const target::TargetSpec& target() const noexcept { return options_->target; }
+    [[nodiscard]] const BoundEnv& bounds() const noexcept { return bounds_; }
+
+    void report(Finding finding) { findings_.push_back(std::move(finding)); }
+
+    /// Convenience reporters stamping the current pass id.
+    void error(support::SourceLoc loc, std::string message, std::string fix_hint = {});
+    void warning(support::SourceLoc loc, std::string message, std::string fix_hint = {});
+
+    [[nodiscard]] std::vector<Finding> take_findings() { return std::move(findings_); }
+
+    /// Set by the driver before each pass runs; reporters stamp it.
+    void set_active_check(std::string_view id) { active_check_ = id; }
+
+private:
+    const ir::Program* prog_;
+    const LintOptions* options_;
+    BoundEnv bounds_;
+    std::string active_check_;
+    std::vector<Finding> findings_;
+};
+
+/// A named static-analysis pass over the elaborated IR.
+class LintPass {
+public:
+    virtual ~LintPass() = default;
+
+    /// Stable kebab-case id used by --checks= and in rendered findings.
+    [[nodiscard]] virtual std::string_view id() const noexcept = 0;
+    /// One-line description for --list-checks and SARIF rule metadata.
+    [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+    virtual void run(LintContext& ctx) = 0;
+};
+
+/// The process-wide pass registry. Built-in passes self-register on first
+/// access; additional passes may be added by embedders.
+class PassRegistry {
+public:
+    /// The global registry, populated with the built-in passes.
+    static PassRegistry& global();
+
+    void add(std::unique_ptr<LintPass> pass);
+
+    [[nodiscard]] LintPass* find(std::string_view id) const noexcept;
+    /// All passes in registration order.
+    [[nodiscard]] std::vector<LintPass*> passes() const;
+
+private:
+    std::vector<std::unique_ptr<LintPass>> passes_;
+};
+
+/// The outcome of a lint run.
+struct LintResult {
+    std::vector<Finding> findings;       // sorted by (file, line, column)
+    std::vector<std::string> checks_run; // pass ids, execution order
+
+    [[nodiscard]] bool has_errors() const noexcept;
+    /// One finding per line: "file:line:col: severity: message [check]".
+    [[nodiscard]] std::string render() const;
+    /// SARIF 2.1.0-shaped document (version, runs[0].tool.driver.rules,
+    /// runs[0].results with ruleId/level/message/locations).
+    [[nodiscard]] support::Json to_json() const;
+};
+
+/// Runs the selected passes over `prog`. Throws support::CompileError when
+/// options.checks names a pass the registry does not know.
+[[nodiscard]] LintResult run_lint(const ir::Program& prog, const LintOptions& options = {});
+
+/// Replays the findings into a Diagnostics accumulator (severity-preserving),
+/// unifying lint output with the compiler's diagnostic machinery.
+void to_diagnostics(const LintResult& result, support::Diagnostics& diags);
+
+/// Registers the built-in passes into `registry` (idempotent per registry;
+/// called automatically for PassRegistry::global()).
+void register_builtin_passes(PassRegistry& registry);
+
+}  // namespace p4all::verify

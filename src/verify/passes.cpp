@@ -1,0 +1,741 @@
+// The built-in lint passes.
+//
+// Five are located ports of the original verify.cpp checks (index-bounds,
+// hash-range, seed-overlap, dead-code, constant-guard); three are new
+// analyses on top of the interval substrate and the dependency graph
+// (guard-unreachable, width-overflow, schedule-infeasible). Each pass is a
+// self-contained LintPass registered by register_builtin_passes; check ids
+// double as the --checks= spelling and the SARIF ruleId.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "analysis/depgraph.hpp"
+#include "analysis/instances.hpp"
+#include "analysis/unroll.hpp"
+#include "verify/lint.hpp"
+
+namespace p4all::verify {
+
+namespace {
+
+using ir::Affine;
+using ir::CallSite;
+using ir::MetaRef;
+using ir::PacketRef;
+using ir::PrimOp;
+using ir::RegRef;
+using ir::SymbolId;
+using ir::Value;
+using support::SourceLoc;
+
+/// Largest admissible value of the iteration variable for a call site:
+/// bound's assume upper bound minus one, if known.
+std::optional<std::int64_t> max_iter(const ir::Program& prog, const CallSite& site) {
+    if (!site.elastic()) return 0;
+    if (const auto ub = analysis::assume_upper_bound(prog, site.loop_bound)) {
+        return *ub - 1;
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// index-bounds
+// ---------------------------------------------------------------------------
+
+class IndexBoundsPass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "index-bounds"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "symbolic-array and register-matrix indices stay in bounds for every "
+               "admissible loop bound";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        for (const CallSite& site : prog.flow) {
+            const ir::Action& action = prog.action(site.action);
+            const std::string where = "in " + action.name;
+            for (const ir::Cond& guard : site.guards) {
+                check_value(ctx, site, guard.loc, guard.lhs, where + " (guard)");
+                check_value(ctx, site, guard.loc, guard.rhs, where + " (guard)");
+            }
+            for (const PrimOp& op : action.ops) {
+                if (op.dst) check_value(ctx, site, op.loc, *op.dst, where);
+                if (op.reg) check_value(ctx, site, op.loc, Value(*op.reg), where);
+                if (op.reg_index) check_value(ctx, site, op.loc, *op.reg_index, where);
+                for (const Value& src : op.srcs) check_value(ctx, site, op.loc, src, where);
+                if (op.kind == ir::PrimKind::Hash) {
+                    if (const auto* mod = std::get_if<RegRef>(&*op.modulus)) {
+                        check_value(ctx, site, op.loc, Value(*mod), where + " (hash range)");
+                    }
+                }
+            }
+        }
+    }
+
+private:
+    void check_value(LintContext& ctx, const CallSite& site, const SourceLoc& loc, const Value& v,
+                     const std::string& what) {
+        if (const auto* m = std::get_if<MetaRef>(&v)) {
+            const ir::MetaField& f = ctx.program().meta(m->field);
+            if (f.is_array()) {
+                check_index(ctx, site, loc, m->index, *f.array, what + " meta." + f.name);
+            }
+        } else if (const auto* r = std::get_if<RegRef>(&v)) {
+            check_index(ctx, site, loc, r->instance, ctx.program().reg(r->reg).instances,
+                        what + " register " + ctx.program().reg(r->reg).name);
+        }
+    }
+
+    /// Checks 0 ≤ f(i) < extent for all admissible iterations i of `site`.
+    /// `extent` may be symbolic; a symbolic extent equal to the loop bound
+    /// admits exactly the indices 0..i (contiguity of instantiation).
+    void check_index(LintContext& ctx, const CallSite& site, const SourceLoc& loc,
+                     const Affine& index, const ir::Extent& extent, const std::string& what) {
+        const ir::Program& prog = ctx.program();
+        const std::int64_t at0 = index.at(0);
+        if (index.coeff_iter >= 0 && at0 < 0) {
+            ctx.error(loc, what + ": index " + std::to_string(at0) +
+                               " is negative at iteration 0");
+            return;
+        }
+        if (index.coeff_iter < 0) {
+            // Decreasing index: minimum at the largest iteration.
+            if (const auto mi = max_iter(prog, site)) {
+                if (index.at(*mi) < 0) {
+                    ctx.error(loc, what + ": index becomes negative at iteration " +
+                                       std::to_string(*mi));
+                    return;
+                }
+            } else {
+                ctx.warning(loc,
+                            what + ": decreasing index with unbounded loop cannot be proven in "
+                                   "bounds (add an assume upper bound)",
+                            "add `assume " + prog.symbol(site.loop_bound).name +
+                                " <= ...;` to bound the loop");
+                return;
+            }
+        }
+
+        if (extent.symbolic()) {
+            if (site.elastic() && extent.sym == site.loop_bound) {
+                // Element k exists whenever iteration k is instantiated, and
+                // iterations are contiguous from 0 — so f(i) ≤ i is safe.
+                if (index.coeff_iter > 1 || (index.coeff_iter == 1 && index.constant > 0) ||
+                    (index.coeff_iter == 0 && index.constant > 0)) {
+                    ctx.error(loc,
+                              what + ": index can exceed the iteration count (f(i) > i); element "
+                                     "f(i) need not be instantiated",
+                              "index elements with at most the iteration variable itself");
+                }
+                return;
+            }
+            // Different symbol: compare worst-case index against the
+            // extent's assumed minimum.
+            const auto extent_min = analysis::assume_lower_bound(prog, extent.sym);
+            std::optional<std::int64_t> worst;
+            if (index.coeff_iter <= 0) {
+                worst = index.at(0);
+            } else if (const auto mi = max_iter(prog, site)) {
+                worst = index.at(*mi);
+            }
+            if (!worst) {
+                ctx.warning(loc,
+                            what + ": cannot bound the index (no assume upper bound on the loop)",
+                            "add an assume upper bound on the loop's symbolic bound");
+                return;
+            }
+            if (!extent_min || *worst >= *extent_min) {
+                ctx.warning(loc, what + ": index may reach " + std::to_string(*worst) +
+                                     " but the array is only assumed to have at least " +
+                                     (extent_min ? std::to_string(*extent_min) : std::string("1")) +
+                                     " elements",
+                            "raise the array's assume lower bound above the largest index");
+            }
+            return;
+        }
+        // Concrete extent.
+        std::optional<std::int64_t> worst;
+        if (index.coeff_iter <= 0) {
+            worst = index.at(0);
+        } else if (const auto mi = max_iter(prog, site)) {
+            worst = index.at(*mi);
+        }
+        if (!worst) {
+            ctx.warning(loc, what + ": cannot bound the index (no assume upper bound on the loop)",
+                        "add an assume upper bound on the loop's symbolic bound");
+            return;
+        }
+        if (*worst >= extent.literal) {
+            ctx.error(loc, what + ": index reaches " + std::to_string(*worst) +
+                               " but the array has " + std::to_string(extent.literal) +
+                               " elements");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// hash-range
+// ---------------------------------------------------------------------------
+
+class HashRangePass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "hash-range"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "register indices produced by hash were ranged over the same register";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        for (const CallSite& site : prog.flow) {
+            const ir::Action& action = prog.action(site.action);
+            const std::string where = "in " + action.name;
+            std::map<std::tuple<ir::MetaFieldId, std::int64_t, std::int64_t>, const PrimOp*>
+                hash_by_dst;
+            for (const PrimOp& op : action.ops) {
+                if (op.kind == ir::PrimKind::Hash) {
+                    hash_by_dst[{op.dst->field, op.dst->index.coeff_iter,
+                                 op.dst->index.constant}] = &op;
+                    continue;
+                }
+                if (!op.reg || !op.reg_index) continue;
+                const auto* idx = std::get_if<MetaRef>(&*op.reg_index);
+                if (idx == nullptr) continue;
+                const auto it =
+                    hash_by_dst.find({idx->field, idx->index.coeff_iter, idx->index.constant});
+                if (it == hash_by_dst.end()) continue;
+                const PrimOp& hash_op = *it->second;
+                const auto* range = std::get_if<RegRef>(&*hash_op.modulus);
+                if (range == nullptr) continue;
+                if (range->reg != op.reg->reg || !(range->instance == op.reg->instance)) {
+                    // Distinct arrays are fine when they provably have the
+                    // same element count (e.g. a key array and its value
+                    // array are declared with the same symbolic size).
+                    const ir::Extent& a = prog.reg(range->reg).elems;
+                    const ir::Extent& b = prog.reg(op.reg->reg).elems;
+                    const bool same_size =
+                        (a.symbolic() && b.symbolic() && a.sym == b.sym) ||
+                        (!a.symbolic() && !b.symbolic() && a.literal == b.literal);
+                    if (same_size) continue;
+                    ctx.warning(op.loc,
+                                where + ": register " + prog.reg(op.reg->reg).name +
+                                    " is indexed by a hash ranged over " +
+                                    prog.reg(range->reg).name +
+                                    " — index distribution will not match the array size",
+                                "range the hash over " + prog.reg(op.reg->reg).name +
+                                    " (or give both registers the same element count)");
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// seed-overlap
+// ---------------------------------------------------------------------------
+
+class SeedOverlapPass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "seed-overlap"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "distinct register matrices are hashed with disjoint seed ranges";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        struct SeedUse {
+            ir::RegisterId reg = ir::kNoId;
+            Affine seed;
+            SymbolId loop = ir::kNoId;
+            SourceLoc loc;
+        };
+        std::vector<SeedUse> uses;
+        for (const CallSite& site : prog.flow) {
+            for (const PrimOp& op : prog.action(site.action).ops) {
+                if (op.kind != ir::PrimKind::Hash) continue;
+                if (const auto* mod = std::get_if<RegRef>(&*op.modulus)) {
+                    uses.push_back({mod->reg, op.seed, site.loop_bound, op.loc});
+                }
+            }
+        }
+        const auto range_of = [&](const SeedUse& u) -> std::pair<std::int64_t, std::int64_t> {
+            std::int64_t hi_iter = 0;
+            if (u.loop != ir::kNoId) {
+                if (const auto ub = analysis::assume_upper_bound(prog, u.loop)) {
+                    hi_iter = *ub - 1;
+                } else {
+                    hi_iter = 64;  // conservative window for unbounded loops
+                }
+            }
+            const std::int64_t a = u.seed.at(0);
+            const std::int64_t b = u.seed.at(hi_iter);
+            return {std::min(a, b), std::max(a, b)};
+        };
+        for (std::size_t a = 0; a < uses.size(); ++a) {
+            for (std::size_t b = a + 1; b < uses.size(); ++b) {
+                const SeedUse& x = uses[a];
+                const SeedUse& y = uses[b];
+                if (x.reg == y.reg) continue;
+                const auto [xl, xh] = range_of(x);
+                const auto [yl, yh] = range_of(y);
+                if (std::max(xl, yl) <= std::min(xh, yh)) {
+                    ctx.warning(y.loc,
+                                "registers " + prog.reg(x.reg).name + " and " +
+                                    prog.reg(y.reg).name +
+                                    " are hashed with overlapping seed ranges; their hash "
+                                    "functions are correlated",
+                                "offset one seed expression so the ranges are disjoint");
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// dead-code
+// ---------------------------------------------------------------------------
+
+class DeadCodePass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "dead-code"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "declared symbols, registers, metadata, and actions are reachable from the flow";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        std::set<ir::MetaFieldId> used_meta;
+        std::set<ir::RegisterId> used_regs;
+        std::set<ir::ActionId> used_actions;
+        const auto mark = [&](const Value& v) {
+            if (const auto* m = std::get_if<MetaRef>(&v)) {
+                used_meta.insert(m->field);
+            } else if (const auto* r = std::get_if<RegRef>(&v)) {
+                used_regs.insert(r->reg);
+            }
+        };
+        for (const CallSite& site : prog.flow) {
+            used_actions.insert(site.action);
+            for (const ir::Cond& guard : site.guards) {
+                mark(guard.lhs);
+                mark(guard.rhs);
+            }
+            for (const PrimOp& op : prog.action(site.action).ops) {
+                if (op.dst) mark(*op.dst);
+                if (op.reg) mark(Value(*op.reg));
+                if (op.reg_index) mark(*op.reg_index);
+                for (const Value& src : op.srcs) mark(src);
+                if (op.kind == ir::PrimKind::Hash) {
+                    if (const auto* mod = std::get_if<RegRef>(&*op.modulus)) {
+                        used_regs.insert(mod->reg);
+                    }
+                }
+            }
+        }
+        for (const ir::SymbolicVar& sym : prog.symbols) {
+            if (sym.role == ir::SymbolRole::Unused) {
+                ctx.warning(sym.loc,
+                            "symbolic value '" + sym.name + "' is declared but never used",
+                            "delete the declaration (or size something with it)");
+            }
+        }
+        for (std::size_t i = 0; i < prog.registers.size(); ++i) {
+            if (used_regs.count(static_cast<ir::RegisterId>(i)) == 0) {
+                ctx.warning(prog.registers[i].loc, "register '" + prog.registers[i].name +
+                                                       "' is declared but never accessed",
+                            "delete the declaration");
+            }
+        }
+        for (std::size_t i = 0; i < prog.meta_fields.size(); ++i) {
+            if (used_meta.count(static_cast<ir::MetaFieldId>(i)) == 0) {
+                ctx.warning(prog.meta_fields[i].loc, "metadata field '" +
+                                                         prog.meta_fields[i].name +
+                                                         "' is declared but never accessed",
+                            "delete the declaration");
+            }
+        }
+        for (std::size_t i = 0; i < prog.actions.size(); ++i) {
+            if (used_actions.count(static_cast<ir::ActionId>(i)) == 0) {
+                ctx.warning(prog.actions[i].loc,
+                            "action '" + prog.actions[i].name + "' is never invoked",
+                            "delete the action (or apply it from a control)");
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// constant-guard
+// ---------------------------------------------------------------------------
+
+bool constant_guard_holds(ir::CmpOp op, std::int64_t l, std::int64_t r) {
+    switch (op) {
+        case ir::CmpOp::Lt: return l < r;
+        case ir::CmpOp::Le: return l <= r;
+        case ir::CmpOp::Gt: return l > r;
+        case ir::CmpOp::Ge: return l >= r;
+        case ir::CmpOp::Eq: return l == r;
+        case ir::CmpOp::Ne: return l != r;
+    }
+    return false;
+}
+
+class ConstantGuardPass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "constant-guard"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "guards do not compare two compile-time constants";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        for (const CallSite& site : prog.flow) {
+            const std::string where = "in " + prog.action(site.action).name;
+            for (const ir::Cond& guard : site.guards) {
+                const auto* l = std::get_if<Affine>(&guard.lhs);
+                const auto* r = std::get_if<Affine>(&guard.rhs);
+                if (l != nullptr && r != nullptr && l->is_literal() && r->is_literal()) {
+                    ctx.warning(guard.loc,
+                                where + ": guard compares two constants (" +
+                                    std::to_string(l->constant) + " vs " +
+                                    std::to_string(r->constant) + ") — always " +
+                                    (constant_guard_holds(guard.op, l->constant, r->constant)
+                                         ? "true"
+                                         : "false"),
+                                "fold the guard away (or compare a run-time field)");
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// guard-unreachable
+// ---------------------------------------------------------------------------
+
+class GuardUnreachablePass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "guard-unreachable"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "guards are neither statically false (dead branch) nor statically true "
+               "(redundant) under the assume-derived bounds";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        for (const CallSite& site : prog.flow) {
+            const std::string where = "in " + prog.action(site.action).name;
+            for (const ir::Cond& guard : site.guards) {
+                const auto* l = std::get_if<Affine>(&guard.lhs);
+                const auto* r = std::get_if<Affine>(&guard.rhs);
+                if (l != nullptr && r != nullptr && l->is_literal() && r->is_literal()) {
+                    continue;  // constant-guard's domain
+                }
+                const Truth truth = decide(ctx, site, guard);
+                if (truth == Truth::False) {
+                    ctx.warning(guard.loc,
+                                where + ": guard is false for every admissible symbolic "
+                                        "assignment — the guarded call is unreachable",
+                                "delete the branch, or widen the assume bounds it depends on");
+                } else if (truth == Truth::True) {
+                    ctx.warning(guard.loc,
+                                where + ": guard is true for every admissible symbolic "
+                                        "assignment — the condition is redundant",
+                                "drop the guard (the call runs unconditionally)");
+                }
+            }
+        }
+    }
+
+private:
+    Truth decide(LintContext& ctx, const CallSite& site, const ir::Cond& guard) const {
+        const BoundEnv& bounds = ctx.bounds();
+        const Interval iter = bounds.iterations(site.loop_bound);
+        const auto* l = std::get_if<Affine>(&guard.lhs);
+        const auto* r = std::get_if<Affine>(&guard.rhs);
+        if (l != nullptr && r != nullptr) {
+            // Both sides affine in the same iteration variable: compare the
+            // difference, which is exact even for correlated operands like
+            // `i < i + 1` (interval-pair comparison would lose the
+            // correlation and answer Unknown).
+            const Affine diff{l->coeff_iter - r->coeff_iter, l->constant - r->constant};
+            return compare(guard.op, bounds.affine(diff, iter), Interval::point(0));
+        }
+        return compare(guard.op, operand_range(ctx, site, guard.lhs, iter),
+                       operand_range(ctx, site, guard.rhs, iter));
+    }
+
+    Interval operand_range(LintContext& ctx, const CallSite& site, const Value& v,
+                           const Interval& iter) const {
+        const ir::Program& prog = ctx.program();
+        if (const auto* a = std::get_if<Affine>(&v)) {
+            return ctx.bounds().affine(*a, iter);
+        }
+        if (const auto* m = std::get_if<MetaRef>(&v)) {
+            return Interval::of_width(prog.meta(m->field).width);
+        }
+        if (const auto* p = std::get_if<PacketRef>(&v)) {
+            return Interval::of_width(prog.packet(p->field).width);
+        }
+        (void)site;
+        return Interval::all();
+    }
+};
+
+// ---------------------------------------------------------------------------
+// width-overflow
+// ---------------------------------------------------------------------------
+
+class WidthOverflowPass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "width-overflow"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "stored values provably fit the declared cell / field width";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        for (const CallSite& site : prog.flow) {
+            const ir::Action& action = prog.action(site.action);
+            const std::string where = "in " + action.name;
+            const Interval iter = ctx.bounds().iterations(site.loop_bound);
+            for (const PrimOp& op : action.ops) {
+                switch (op.kind) {
+                    case ir::PrimKind::RegAdd:
+                    case ir::PrimKind::RegWrite:
+                    case ir::PrimKind::RegMin:
+                    case ir::PrimKind::RegMax:
+                        check_store(ctx, where, op, iter);
+                        break;
+                    case ir::PrimKind::RegRead:
+                        check_read(ctx, where, op);
+                        break;
+                    case ir::PrimKind::Hash:
+                        check_hash(ctx, where, op);
+                        break;
+                    case ir::PrimKind::Set:
+                        check_set(ctx, where, op, iter);
+                        break;
+                    default:
+                        break;
+                }
+            }
+        }
+    }
+
+private:
+    static Interval width_range(int bits) { return Interval::of_width(bits); }
+
+    void check_store(LintContext& ctx, const std::string& where, const PrimOp& op,
+                     const Interval& iter) {
+        const ir::Program& prog = ctx.program();
+        const ir::RegisterArray& reg = prog.reg(op.reg->reg);
+        const Interval cell = width_range(reg.width);
+        const Value& src = op.srcs.front();
+        if (const auto* a = std::get_if<Affine>(&src)) {
+            const Interval v = ctx.bounds().affine(*a, iter);
+            if (!v.empty() && ((v.bounded_above() && v.hi > cell.hi) || v.lo < 0)) {
+                ctx.warning(op.loc,
+                            where + ": value can reach " + std::to_string(v.lo < 0 ? v.lo : v.hi) +
+                                " but register '" + reg.name + "' cells are " +
+                                std::to_string(reg.width) + " bits wide (max " +
+                                std::to_string(cell.hi) + ")",
+                            "widen the register cells or clamp the operand");
+            }
+        } else if (const auto* m = std::get_if<MetaRef>(&src)) {
+            const ir::MetaField& f = prog.meta(m->field);
+            if (f.width > reg.width) {
+                truncation(ctx, where, op.loc, "meta." + f.name, f.width,
+                           "register '" + reg.name + "'", reg.width);
+            }
+        } else if (const auto* p = std::get_if<PacketRef>(&src)) {
+            const ir::PacketField& f = prog.packet(p->field);
+            if (f.width > reg.width) {
+                truncation(ctx, where, op.loc, "pkt." + f.name, f.width,
+                           "register '" + reg.name + "'", reg.width);
+            }
+        }
+        // A RegAdd accumulates without bound: if the cell is narrower than
+        // the add amount's width requirement we already warned above; the
+        // classic saturating-counter sizing is the operator's choice, so we
+        // stay quiet for in-range amounts.
+        if (op.dst) {
+            const ir::MetaField& dst = prog.meta(op.dst->field);
+            if (reg.width > dst.width) {
+                truncation(ctx, where, op.loc, "register '" + reg.name + "'", reg.width,
+                           "metadata field meta." + dst.name, dst.width);
+            }
+        }
+    }
+
+    void check_read(LintContext& ctx, const std::string& where, const PrimOp& op) {
+        const ir::Program& prog = ctx.program();
+        const ir::RegisterArray& reg = prog.reg(op.reg->reg);
+        const ir::MetaField& dst = prog.meta(op.dst->field);
+        if (reg.width > dst.width) {
+            truncation(ctx, where, op.loc, "register '" + reg.name + "'", reg.width,
+                       "metadata field meta." + dst.name, dst.width);
+        }
+    }
+
+    void check_hash(LintContext& ctx, const std::string& where, const PrimOp& op) {
+        const ir::Program& prog = ctx.program();
+        const ir::MetaField& dst = prog.meta(op.dst->field);
+        const Interval dst_range = width_range(dst.width);
+        std::optional<std::int64_t> max_hash;
+        if (const auto* lit = std::get_if<std::int64_t>(&*op.modulus)) {
+            max_hash = *lit - 1;
+        } else if (const auto* reg = std::get_if<RegRef>(&*op.modulus)) {
+            const ir::Extent& elems = prog.reg(reg->reg).elems;
+            if (!elems.symbolic()) max_hash = elems.literal - 1;
+            // A symbolic range is sized by the ILP; its upper bound is the
+            // memory budget, which cannot be decided here — stay quiet.
+        }
+        if (max_hash && *max_hash > dst_range.hi) {
+            ctx.warning(op.loc,
+                        where + ": hash result can reach " + std::to_string(*max_hash) +
+                            " but destination meta." + dst.name + " is only " +
+                            std::to_string(dst.width) + " bits wide (max " +
+                            std::to_string(dst_range.hi) + ")",
+                        "widen the destination field or shrink the hash range");
+        }
+    }
+
+    void check_set(LintContext& ctx, const std::string& where, const PrimOp& op,
+                   const Interval& iter) {
+        const ir::Program& prog = ctx.program();
+        const ir::MetaField& dst = prog.meta(op.dst->field);
+        const Interval dst_range = width_range(dst.width);
+        const Value& src = op.srcs.front();
+        if (const auto* a = std::get_if<Affine>(&src)) {
+            const Interval v = ctx.bounds().affine(*a, iter);
+            if (!v.empty() && ((v.bounded_above() && v.hi > dst_range.hi) || v.lo < 0)) {
+                ctx.warning(op.loc,
+                            where + ": value can reach " + std::to_string(v.lo < 0 ? v.lo : v.hi) +
+                                " but meta." + dst.name + " is only " + std::to_string(dst.width) +
+                                " bits wide (max " + std::to_string(dst_range.hi) + ")",
+                            "widen the destination field");
+            }
+        } else if (const auto* m = std::get_if<MetaRef>(&src)) {
+            const ir::MetaField& f = prog.meta(m->field);
+            if (f.width > dst.width) {
+                truncation(ctx, where, op.loc, "meta." + f.name, f.width,
+                           "metadata field meta." + dst.name, dst.width);
+            }
+        } else if (const auto* p = std::get_if<PacketRef>(&src)) {
+            const ir::PacketField& f = prog.packet(p->field);
+            if (f.width > dst.width) {
+                truncation(ctx, where, op.loc, "pkt." + f.name, f.width,
+                           "metadata field meta." + dst.name, dst.width);
+            }
+        }
+    }
+
+    void truncation(LintContext& ctx, const std::string& where, const SourceLoc& loc,
+                    const std::string& src, int src_width, const std::string& dst, int dst_width) {
+        ctx.warning(loc, where + ": " + std::to_string(src_width) + "-bit " + src +
+                             " is truncated into " + std::to_string(dst_width) + "-bit " + dst,
+                    "match the widths to avoid silently dropping high bits");
+    }
+};
+
+// ---------------------------------------------------------------------------
+// schedule-infeasible
+// ---------------------------------------------------------------------------
+
+class ScheduleInfeasiblePass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "schedule-infeasible"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "the dependency graph is acyclic and its minimum stage requirement fits the "
+               "target before the ILP runs";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        if (prog.flow.empty()) return;
+        const target::TargetSpec& target = ctx.target();
+
+        // Lint at the smallest admissible unrolling: one iteration per
+        // elastic loop (raised to the assume lower bound). If even that
+        // cannot be scheduled, no elastic sizing will help.
+        std::vector<std::int64_t> bounds(prog.symbols.size(), 1);
+        for (std::size_t s = 0; s < prog.symbols.size(); ++s) {
+            if (prog.symbols[s].role != ir::SymbolRole::IterationCount) continue;
+            if (const auto lb =
+                    analysis::assume_lower_bound(prog, static_cast<SymbolId>(s))) {
+                bounds[s] = std::max<std::int64_t>(1, *lb);
+            }
+        }
+        const std::vector<analysis::Instance> instances =
+            analysis::instantiate_all(prog, bounds);
+        const analysis::DepGraph g = analysis::build_dep_graph(prog, target, instances);
+
+        const auto node_loc = [&](int node) -> const SourceLoc& {
+            const analysis::Instance& inst =
+                g.instances[static_cast<std::size_t>(g.members[static_cast<std::size_t>(node)]
+                                                         .front())];
+            return prog.flow[static_cast<std::size_t>(inst.call)].loc;
+        };
+        const auto node_name = [&](int node) {
+            const analysis::Instance& inst =
+                g.instances[static_cast<std::size_t>(g.members[static_cast<std::size_t>(node)]
+                                                         .front())];
+            const CallSite& site = prog.flow[static_cast<std::size_t>(inst.call)];
+            std::string name = prog.action(site.action).name;
+            if (site.elastic()) name += "[" + std::to_string(inst.iter) + "]";
+            return name;
+        };
+        const auto chain_string = [&](const std::vector<int>& nodes) {
+            std::string out;
+            for (const int n : nodes) {
+                if (!out.empty()) out += " -> ";
+                out += node_name(n);
+            }
+            return out;
+        };
+
+        if (g.infeasible) {
+            ctx.error(prog.flow.front().loc,
+                      "dependency graph is unschedulable: " + g.infeasible_reason,
+                      "restructure the conflicting register/metadata accesses");
+            return;
+        }
+        const analysis::CriticalPath path = analysis::critical_path(g);
+        if (path.cyclic) {
+            ctx.error(path.nodes.empty() ? prog.flow.front().loc : node_loc(path.nodes.front()),
+                      "dependency cycle prevents any stage assignment: " +
+                          chain_string(path.nodes),
+                      "break the cycle by splitting one of the actions");
+            return;
+        }
+        if (path.stages > target.stages) {
+            ctx.error(path.nodes.empty() ? prog.flow.front().loc : node_loc(path.nodes.front()),
+                      "program needs at least " + std::to_string(path.stages) +
+                          " stages even at the smallest admissible sizing, but target '" +
+                          target.name + "' has " + std::to_string(target.stages) +
+                          "; critical dependency chain: " + chain_string(path.nodes),
+                      "shorten the dependency chain or target a deeper pipeline");
+        }
+    }
+};
+
+}  // namespace
+
+void register_builtin_passes(PassRegistry& registry) {
+    if (registry.find("index-bounds") != nullptr) return;  // already registered
+    registry.add(std::make_unique<IndexBoundsPass>());
+    registry.add(std::make_unique<HashRangePass>());
+    registry.add(std::make_unique<SeedOverlapPass>());
+    registry.add(std::make_unique<DeadCodePass>());
+    registry.add(std::make_unique<ConstantGuardPass>());
+    registry.add(std::make_unique<GuardUnreachablePass>());
+    registry.add(std::make_unique<WidthOverflowPass>());
+    registry.add(std::make_unique<ScheduleInfeasiblePass>());
+}
+
+}  // namespace p4all::verify

@@ -1,22 +1,15 @@
+// Compatibility shim: the original bare-string verification API, now backed
+// by the located lint engine (lint.hpp). verify_program runs exactly the
+// five original checks and strips the source locations; new code should call
+// run_lint directly.
 #include "verify/verify.hpp"
 
 #include <algorithm>
-#include <map>
 #include <optional>
-#include <set>
-#include <tuple>
 
-#include "analysis/unroll.hpp"
+#include "verify/lint.hpp"
 
 namespace p4all::verify {
-
-using ir::Affine;
-using ir::CallSite;
-using ir::MetaRef;
-using ir::PrimOp;
-using ir::RegRef;
-using ir::SymbolId;
-using ir::Value;
 
 const char* check_name(Check check) noexcept {
     switch (check) {
@@ -31,292 +24,37 @@ const char* check_name(Check check) noexcept {
 
 namespace {
 
-class Verifier {
-public:
-    explicit Verifier(const ir::Program& prog) : prog_(prog) {}
+constexpr Check kLegacyChecks[] = {Check::IndexBounds, Check::HashRange, Check::SeedOverlap,
+                                   Check::DeadCode, Check::ConstantGuard};
 
-    std::vector<Issue> run() {
-        for (const CallSite& site : prog_.flow) visit_site(site);
-        check_dead_code();
-        std::stable_sort(issues_.begin(), issues_.end(), [](const Issue& a, const Issue& b) {
-            return a.severity == Severity::Error && b.severity == Severity::Warning;
-        });
-        return std::move(issues_);
+std::optional<Check> check_from_id(const std::string& id) {
+    for (const Check c : kLegacyChecks) {
+        if (id == check_name(c)) return c;
     }
-
-private:
-    void error(Check check, std::string message) {
-        issues_.push_back({Severity::Error, check, std::move(message)});
-    }
-    void warn(Check check, std::string message) {
-        issues_.push_back({Severity::Warning, check, std::move(message)});
-    }
-
-    /// Largest admissible value of the iteration variable for a call site:
-    /// bound's assume upper bound minus one, if known.
-    [[nodiscard]] std::optional<std::int64_t> max_iter(const CallSite& site) const {
-        if (!site.elastic()) return 0;
-        if (const auto ub = analysis::assume_upper_bound(prog_, site.loop_bound)) {
-            return *ub - 1;
-        }
-        return std::nullopt;
-    }
-
-    /// Checks 0 ≤ f(i) < extent for all admissible iterations i of `site`.
-    /// `extent` may be symbolic; a symbolic extent equal to the loop bound
-    /// admits exactly the indices 0..i (contiguity of instantiation).
-    void check_index(const CallSite& site, const Affine& index, const ir::Extent& extent,
-                     const std::string& what) {
-        // Lower bound: f is monotone in i, so its minimum over i ≥ 0 is at
-        // i = 0 when the coefficient is nonnegative.
-        const std::int64_t at0 = index.at(0);
-        if ((index.coeff_iter >= 0 && at0 < 0) || (index.coeff_iter < 0 && !site.elastic())) {
-            if (at0 < 0) {
-                error(Check::IndexBounds, what + ": index " + std::to_string(at0) +
-                                              " is negative at iteration 0");
-                return;
-            }
-        }
-        if (index.coeff_iter < 0) {
-            // Decreasing index: minimum at the largest iteration.
-            if (const auto mi = max_iter(site)) {
-                if (index.at(*mi) < 0) {
-                    error(Check::IndexBounds,
-                          what + ": index becomes negative at iteration " + std::to_string(*mi));
-                    return;
-                }
-            } else {
-                warn(Check::IndexBounds,
-                     what + ": decreasing index with unbounded loop cannot be proven in bounds "
-                            "(add an assume upper bound)");
-                return;
-            }
-        }
-
-        if (extent.symbolic()) {
-            if (site.elastic() && extent.sym == site.loop_bound) {
-                // Element k exists whenever iteration k is instantiated, and
-                // iterations are contiguous from 0 — so f(i) ≤ i is safe.
-                if (index.coeff_iter > 1 || (index.coeff_iter == 1 && index.constant > 0) ||
-                    (index.coeff_iter == 0 && index.constant > 0)) {
-                    error(Check::IndexBounds,
-                          what + ": index can exceed the iteration count (f(i) > i); element "
-                                 "f(i) need not be instantiated");
-                }
-                return;
-            }
-            // Different symbol: compare worst-case index against the
-            // extent's assumed minimum.
-            const auto extent_min = analysis::assume_lower_bound(prog_, extent.sym);
-            std::optional<std::int64_t> worst;
-            if (index.coeff_iter <= 0) {
-                worst = index.at(0);
-            } else if (const auto mi = max_iter(site)) {
-                worst = index.at(*mi);
-            }
-            if (!worst) {
-                warn(Check::IndexBounds,
-                     what + ": cannot bound the index (no assume upper bound on the loop)");
-                return;
-            }
-            if (!extent_min || *worst >= *extent_min) {
-                warn(Check::IndexBounds,
-                     what + ": index may reach " + std::to_string(*worst) +
-                         " but the array is only assumed to have at least " +
-                         (extent_min ? std::to_string(*extent_min) : std::string("1")) +
-                         " elements");
-            }
-            return;
-        }
-        // Concrete extent.
-        std::optional<std::int64_t> worst;
-        if (index.coeff_iter <= 0) {
-            worst = index.at(0);
-        } else if (const auto mi = max_iter(site)) {
-            worst = index.at(*mi);
-        }
-        if (!worst) {
-            warn(Check::IndexBounds,
-                 what + ": cannot bound the index (no assume upper bound on the loop)");
-            return;
-        }
-        if (*worst >= extent.literal) {
-            error(Check::IndexBounds, what + ": index reaches " + std::to_string(*worst) +
-                                          " but the array has " +
-                                          std::to_string(extent.literal) + " elements");
-        }
-    }
-
-    void check_value(const CallSite& site, const Value& v, const std::string& what) {
-        if (const auto* m = std::get_if<MetaRef>(&v)) {
-            used_meta_.insert(m->field);
-            const ir::MetaField& f = prog_.meta(m->field);
-            if (f.is_array()) {
-                check_index(site, m->index, *f.array, what + " meta." + f.name);
-            }
-        } else if (const auto* r = std::get_if<RegRef>(&v)) {
-            used_regs_.insert(r->reg);
-            check_index(site, r->instance, prog_.reg(r->reg).instances,
-                        what + " register " + prog_.reg(r->reg).name);
-        }
-    }
-
-    void visit_site(const CallSite& site) {
-        used_actions_.insert(site.action);
-        if (site.elastic()) used_symbols_.insert(site.loop_bound);
-        const ir::Action& action = prog_.action(site.action);
-        const std::string where = "in " + action.name;
-
-        for (const ir::Cond& guard : site.guards) {
-            check_value(site, guard.lhs, where + " (guard)");
-            check_value(site, guard.rhs, where + " (guard)");
-            const auto* l = std::get_if<Affine>(&guard.lhs);
-            const auto* r = std::get_if<Affine>(&guard.rhs);
-            if (l != nullptr && r != nullptr && l->is_literal() && r->is_literal()) {
-                warn(Check::ConstantGuard,
-                     where + ": guard compares two constants (" + std::to_string(l->constant) +
-                         " vs " + std::to_string(r->constant) + ") — always " +
-                         (constant_guard_holds(guard.op, l->constant, r->constant) ? "true"
-                                                                                   : "false"));
-            }
-        }
-
-        // Hash bookkeeping for hash-range and seed-overlap checks.
-        std::map<std::tuple<ir::MetaFieldId, std::int64_t, std::int64_t>, const PrimOp*>
-            hash_by_dst;
-        for (const PrimOp& op : action.ops) {
-            if (op.dst) check_value(site, *op.dst, where);
-            if (op.reg) check_value(site, Value(*op.reg), where);
-            if (op.reg_index) check_value(site, *op.reg_index, where);
-            for (const Value& src : op.srcs) check_value(site, src, where);
-
-            if (op.kind == ir::PrimKind::Hash) {
-                hash_by_dst[{op.dst->field, op.dst->index.coeff_iter,
-                             op.dst->index.constant}] = &op;
-                if (const auto* mod = std::get_if<RegRef>(&*op.modulus)) {
-                    used_regs_.insert(mod->reg);
-                    check_value(site, Value(*mod), where + " (hash range)");
-                    seed_uses_.push_back({mod->reg, op.seed, site.loop_bound});
-                }
-                continue;
-            }
-            if (!op.reg || !op.reg_index) continue;
-            const auto* idx = std::get_if<MetaRef>(&*op.reg_index);
-            if (idx == nullptr) continue;
-            const auto it =
-                hash_by_dst.find({idx->field, idx->index.coeff_iter, idx->index.constant});
-            if (it == hash_by_dst.end()) continue;
-            const PrimOp& hash_op = *it->second;
-            const auto* range = std::get_if<RegRef>(&*hash_op.modulus);
-            if (range == nullptr) continue;
-            if (range->reg != op.reg->reg || !(range->instance == op.reg->instance)) {
-                // Distinct arrays are fine when they provably have the same
-                // element count (e.g. a key array and its value array are
-                // declared with the same symbolic size).
-                const ir::Extent& a = prog_.reg(range->reg).elems;
-                const ir::Extent& b = prog_.reg(op.reg->reg).elems;
-                const bool same_size = (a.symbolic() && b.symbolic() && a.sym == b.sym) ||
-                                       (!a.symbolic() && !b.symbolic() && a.literal == b.literal);
-                if (same_size) continue;
-                warn(Check::HashRange,
-                     where + ": register " + prog_.reg(op.reg->reg).name +
-                         " is indexed by a hash ranged over " + prog_.reg(range->reg).name +
-                         " — index distribution will not match the array size");
-            }
-        }
-    }
-
-    static bool constant_guard_holds(ir::CmpOp op, std::int64_t l, std::int64_t r) {
-        switch (op) {
-            case ir::CmpOp::Lt: return l < r;
-            case ir::CmpOp::Le: return l <= r;
-            case ir::CmpOp::Gt: return l > r;
-            case ir::CmpOp::Ge: return l >= r;
-            case ir::CmpOp::Eq: return l == r;
-            case ir::CmpOp::Ne: return l != r;
-        }
-        return false;
-    }
-
-    void check_dead_code() {
-        // Seed overlap across distinct register matrices: same seed value
-        // reachable by both seed affines over their admissible iterations.
-        for (std::size_t a = 0; a < seed_uses_.size(); ++a) {
-            for (std::size_t b = a + 1; b < seed_uses_.size(); ++b) {
-                const SeedUse& x = seed_uses_[a];
-                const SeedUse& y = seed_uses_[b];
-                if (x.reg == y.reg) continue;
-                if (seed_sets_overlap(x, y)) {
-                    warn(Check::SeedOverlap,
-                         "registers " + prog_.reg(x.reg).name + " and " + prog_.reg(y.reg).name +
-                             " are hashed with overlapping seed ranges; their hash functions "
-                             "are correlated");
-                }
-            }
-        }
-        for (std::size_t i = 0; i < prog_.symbols.size(); ++i) {
-            if (prog_.symbols[i].role == ir::SymbolRole::Unused) {
-                warn(Check::DeadCode, "symbolic value '" + prog_.symbols[i].name +
-                                          "' is declared but never used");
-            }
-        }
-        for (std::size_t i = 0; i < prog_.registers.size(); ++i) {
-            if (used_regs_.count(static_cast<ir::RegisterId>(i)) == 0) {
-                warn(Check::DeadCode,
-                     "register '" + prog_.registers[i].name + "' is declared but never accessed");
-            }
-        }
-        for (std::size_t i = 0; i < prog_.meta_fields.size(); ++i) {
-            if (used_meta_.count(static_cast<ir::MetaFieldId>(i)) == 0) {
-                warn(Check::DeadCode, "metadata field '" + prog_.meta_fields[i].name +
-                                          "' is declared but never accessed");
-            }
-        }
-        for (std::size_t i = 0; i < prog_.actions.size(); ++i) {
-            if (used_actions_.count(static_cast<ir::ActionId>(i)) == 0) {
-                warn(Check::DeadCode,
-                     "action '" + prog_.actions[i].name + "' is never invoked");
-            }
-        }
-    }
-
-    struct SeedUse {
-        ir::RegisterId reg = ir::kNoId;
-        Affine seed;
-        SymbolId loop = ir::kNoId;
-    };
-
-    [[nodiscard]] bool seed_sets_overlap(const SeedUse& x, const SeedUse& y) const {
-        const auto range_of = [&](const SeedUse& u) -> std::pair<std::int64_t, std::int64_t> {
-            std::int64_t hi_iter = 0;
-            if (u.loop != ir::kNoId) {
-                if (const auto ub = analysis::assume_upper_bound(prog_, u.loop)) {
-                    hi_iter = *ub - 1;
-                } else {
-                    hi_iter = 64;  // conservative window for unbounded loops
-                }
-            }
-            const std::int64_t a = u.seed.at(0);
-            const std::int64_t b = u.seed.at(hi_iter);
-            return {std::min(a, b), std::max(a, b)};
-        };
-        const auto [xl, xh] = range_of(x);
-        const auto [yl, yh] = range_of(y);
-        return std::max(xl, yl) <= std::min(xh, yh);
-    }
-
-    const ir::Program& prog_;
-    std::vector<Issue> issues_;
-    std::set<ir::MetaFieldId> used_meta_;
-    std::set<ir::RegisterId> used_regs_;
-    std::set<ir::ActionId> used_actions_;
-    std::set<SymbolId> used_symbols_;
-    std::vector<SeedUse> seed_uses_;
-};
+    return std::nullopt;
+}
 
 }  // namespace
 
-std::vector<Issue> verify_program(const ir::Program& prog) { return Verifier(prog).run(); }
+std::vector<Issue> verify_program(const ir::Program& prog) {
+    LintOptions options;
+    for (const Check c : kLegacyChecks) options.checks.emplace_back(check_name(c));
+    const LintResult result = run_lint(prog, options);
+
+    std::vector<Issue> issues;
+    issues.reserve(result.findings.size());
+    for (const Finding& f : result.findings) {
+        const auto check = check_from_id(f.check);
+        if (!check) continue;
+        issues.push_back({f.severity == support::Severity::Error ? Severity::Error
+                                                                 : Severity::Warning,
+                          *check, f.message});
+    }
+    std::stable_sort(issues.begin(), issues.end(), [](const Issue& a, const Issue& b) {
+        return a.severity == Severity::Error && b.severity == Severity::Warning;
+    });
+    return issues;
+}
 
 bool has_errors(const std::vector<Issue>& issues) noexcept {
     return std::any_of(issues.begin(), issues.end(),

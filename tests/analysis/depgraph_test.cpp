@@ -187,6 +187,48 @@ TEST(DepGraph, EmptyProgramNeedsNoStages) {
     EXPECT_EQ(min_stage_requirement(g), 0);
 }
 
+namespace {
+
+/// critical_path only inspects the node count and the edge sets, so a graph
+/// can be hand-built without instances for focused tests.
+DepGraph bare_graph(int nodes) {
+    DepGraph g;
+    g.members.resize(static_cast<std::size_t>(nodes));
+    return g;
+}
+
+}  // namespace
+
+TEST(CriticalPath, ReportsTheLongestChainInScheduleOrder) {
+    DepGraph g = bare_graph(4);
+    g.before = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+    const CriticalPath path = critical_path(g);
+    EXPECT_FALSE(path.cyclic);
+    EXPECT_EQ(path.stages, 4);
+    EXPECT_EQ(path.nodes, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CriticalPath, ExclusionCliquesWeighTheirSize) {
+    // Nodes 0/1/2 are mutually exclusive (three distinct stages) and node 3
+    // must come after one of them: 3 + 1 stages.
+    DepGraph g = bare_graph(4);
+    g.exclusive = {{0, 1}, {0, 2}, {1, 2}};
+    g.before = {{2, 3}};
+    const CriticalPath path = critical_path(g);
+    EXPECT_FALSE(path.cyclic);
+    EXPECT_EQ(path.stages, 4);
+}
+
+TEST(CriticalPath, DetectsBeforeCycles) {
+    DepGraph g = bare_graph(3);
+    g.before = {{0, 1}, {1, 2}, {2, 0}};
+    const CriticalPath path = critical_path(g);
+    EXPECT_TRUE(path.cyclic);
+    EXPECT_EQ(path.stages, kUnschedulable);
+    EXPECT_EQ(path.nodes.size(), 3u);
+    EXPECT_EQ(min_stage_requirement(g), kUnschedulable);
+}
+
 TEST(DepGraph, ProgramOrderComparesSeqThenIteration) {
     const ir::Program prog = ir::elaborate_source(kCms);
     EXPECT_TRUE(precedes_in_program(prog, {0, 1}, {1, 0}));   // incr_1 before min_0

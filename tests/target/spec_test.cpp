@@ -1,0 +1,106 @@
+#include "target/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace p4all {
+namespace {
+
+TEST(TargetSpec, TofinoLikePreset) {
+    const target::TargetSpec spec = target::tofino_like();
+    EXPECT_EQ(spec.name, "tofino-like");
+    EXPECT_EQ(spec.stages, 10);
+    EXPECT_EQ(spec.memory_bits, 1'750'000);
+    EXPECT_EQ(spec.stateful_alus, 4);
+    EXPECT_EQ(spec.stateless_alus, 100);
+    EXPECT_EQ(spec.hash_units, 8);
+    EXPECT_EQ(spec.phv_bits, 4096);
+}
+
+TEST(TargetSpec, RunningExamplePreset) {
+    const target::TargetSpec spec = target::running_example();
+    EXPECT_EQ(spec.stages, 3);
+    EXPECT_EQ(spec.memory_bits, 2048);
+    EXPECT_EQ(spec.stateful_alus, 2);
+    EXPECT_EQ(spec.stateless_alus, 2);
+}
+
+TEST(TargetSpec, SmallTestPreset) {
+    const target::TargetSpec spec = target::small_test();
+    EXPECT_EQ(spec.stages, 4);
+    EXPECT_EQ(spec.stateless_alus, 8);
+    EXPECT_EQ(spec.phv_bits, 1024);
+}
+
+TEST(TargetSpec, TotalsAggregateAcrossStages) {
+    const target::TargetSpec spec = target::small_test();
+    EXPECT_EQ(spec.total_alus(), (2 + 8) * 4);
+    EXPECT_EQ(spec.total_memory_bits(), 8192 * 4);
+}
+
+TEST(TargetSpec, CostModelChargesStatefulForRegisterPrimitives) {
+    const target::TargetSpec spec = target::tofino_like();
+    for (ir::PrimKind kind : {ir::PrimKind::RegAdd, ir::PrimKind::RegRead, ir::PrimKind::RegWrite,
+                              ir::PrimKind::RegMin, ir::PrimKind::RegMax}) {
+        EXPECT_EQ(spec.stateful_cost(kind), 1);
+        EXPECT_EQ(spec.stateless_cost(kind), 0);
+        EXPECT_EQ(spec.hash_cost(kind), 0);
+    }
+}
+
+TEST(TargetSpec, CostModelChargesStatelessForComputePrimitives) {
+    const target::TargetSpec spec = target::tofino_like();
+    for (ir::PrimKind kind : {ir::PrimKind::Hash, ir::PrimKind::Set, ir::PrimKind::Add,
+                              ir::PrimKind::Sub, ir::PrimKind::Min, ir::PrimKind::Max}) {
+        EXPECT_EQ(spec.stateful_cost(kind), 0);
+        EXPECT_EQ(spec.stateless_cost(kind), 1);
+    }
+    EXPECT_EQ(spec.hash_cost(ir::PrimKind::Hash), 1);
+    EXPECT_EQ(spec.hash_cost(ir::PrimKind::Set), 0);
+}
+
+TEST(TargetSpec, FromJsonOverridesAndDefaults) {
+    const auto json = support::Json::parse(R"({
+        // comments are allowed in target files
+        "name": "toy",
+        "stages": 6,
+        "memory_bits_per_stage": 4096
+    })");
+    const target::TargetSpec spec = target::TargetSpec::from_json(json);
+    EXPECT_EQ(spec.name, "toy");
+    EXPECT_EQ(spec.stages, 6);
+    EXPECT_EQ(spec.memory_bits, 4096);
+    // Unspecified keys keep the tofino-like defaults.
+    EXPECT_EQ(spec.stateful_alus, 4);
+    EXPECT_EQ(spec.phv_bits, 4096);
+}
+
+TEST(TargetSpec, JsonRoundTrip) {
+    const target::TargetSpec spec = target::running_example();
+    const target::TargetSpec back = target::TargetSpec::from_json(spec.to_json());
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.stages, spec.stages);
+    EXPECT_EQ(back.memory_bits, spec.memory_bits);
+    EXPECT_EQ(back.stateful_alus, spec.stateful_alus);
+    EXPECT_EQ(back.stateless_alus, spec.stateless_alus);
+    EXPECT_EQ(back.hash_units, spec.hash_units);
+    EXPECT_EQ(back.phv_bits, spec.phv_bits);
+}
+
+TEST(TargetSpec, FromJsonRejectsNonObject) {
+    EXPECT_THROW((void)target::TargetSpec::from_json(support::Json::parse("[1, 2]")),
+                 support::CompileError);
+}
+
+TEST(TargetSpec, FromJsonRejectsNonPositiveResources) {
+    EXPECT_THROW((void)target::TargetSpec::from_json(support::Json::parse(R"({"stages": 0})")),
+                 support::CompileError);
+    EXPECT_THROW(
+        (void)target::TargetSpec::from_json(support::Json::parse(R"({"phv_bits": -5})")),
+        support::CompileError);
+}
+
+}  // namespace
+}  // namespace p4all

@@ -1,0 +1,164 @@
+#include "verify/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/elaborate.hpp"
+
+namespace p4all::verify {
+namespace {
+
+constexpr std::int64_t kNegInf = Interval::kNegInf;
+constexpr std::int64_t kPosInf = Interval::kPosInf;
+
+TEST(Interval, SaturatingAddPinsAtTheLimits) {
+    EXPECT_EQ(sat_add(1, 2), 3);
+    EXPECT_EQ(sat_add(kPosInf, 1), kPosInf);
+    EXPECT_EQ(sat_add(kPosInf, kPosInf), kPosInf);
+    EXPECT_EQ(sat_add(kNegInf, -1), kNegInf);
+    EXPECT_EQ(sat_add(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(Interval, SaturatingMulPinsAtTheLimits) {
+    EXPECT_EQ(sat_mul(6, 7), 42);
+    EXPECT_EQ(sat_mul(kPosInf, 2), kPosInf);
+    EXPECT_EQ(sat_mul(kPosInf, -2), kNegInf);
+    EXPECT_EQ(sat_mul(kNegInf, 2), kNegInf);
+    EXPECT_EQ(sat_mul(kNegInf, -2), kPosInf);
+    EXPECT_EQ(sat_mul(3'000'000'000, 4'000'000'000), kPosInf);
+}
+
+TEST(Interval, OfWidthCoversTheFieldRange) {
+    EXPECT_EQ(Interval::of_width(1), Interval::of(0, 1));
+    EXPECT_EQ(Interval::of_width(8), Interval::of(0, 255));
+    EXPECT_EQ(Interval::of_width(16), Interval::of(0, 65535));
+    EXPECT_EQ(Interval::of_width(32), Interval::of(0, 4294967295LL));
+    // 63+ bit fields would overflow the domain; they pin at +inf.
+    EXPECT_EQ(Interval::of_width(64), Interval::of(0, kPosInf));
+}
+
+TEST(Interval, MeetAndJoin) {
+    const Interval a = Interval::of(0, 10);
+    const Interval b = Interval::of(5, 20);
+    EXPECT_EQ(a.meet(b), Interval::of(5, 10));
+    EXPECT_EQ(a.join(b), Interval::of(0, 20));
+    EXPECT_TRUE(Interval::of(0, 3).meet(Interval::of(5, 9)).empty());
+    EXPECT_FALSE(a.empty());
+    EXPECT_TRUE(Interval::point(7).is_point());
+    EXPECT_TRUE(a.contains(10));
+    EXPECT_FALSE(a.contains(11));
+}
+
+TEST(Interval, ArithmeticTracksEndpoints) {
+    const Interval a = Interval::of(1, 4);
+    const Interval b = Interval::of(-2, 3);
+    EXPECT_EQ(a + b, Interval::of(-1, 7));
+    EXPECT_EQ(a - b, Interval::of(-2, 6));
+    EXPECT_EQ(a * b, Interval::of(-8, 12));
+    // Negative times negative flips the range.
+    EXPECT_EQ(Interval::of(-3, -2) * Interval::of(-5, -4), Interval::of(8, 15));
+}
+
+TEST(Interval, ArithmeticSaturatesInsteadOfOverflowing) {
+    const Interval ray = Interval::of(1, kPosInf);
+    EXPECT_EQ((ray + Interval::point(1)).hi, kPosInf);
+    EXPECT_EQ((ray * Interval::point(2)).hi, kPosInf);
+    EXPECT_EQ((Interval::point(0) * ray), Interval::point(0));
+}
+
+TEST(Interval, CompareDecidesWhenRangesAreDisjoint) {
+    const Interval lo = Interval::of(0, 4);
+    const Interval hi = Interval::of(5, 9);
+    EXPECT_EQ(compare(ir::CmpOp::Lt, lo, hi), Truth::True);
+    EXPECT_EQ(compare(ir::CmpOp::Lt, hi, lo), Truth::False);
+    EXPECT_EQ(compare(ir::CmpOp::Gt, hi, lo), Truth::True);
+    EXPECT_EQ(compare(ir::CmpOp::Le, lo, hi), Truth::True);
+    EXPECT_EQ(compare(ir::CmpOp::Ge, hi, lo), Truth::True);
+    EXPECT_EQ(compare(ir::CmpOp::Ne, lo, hi), Truth::True);
+    EXPECT_EQ(compare(ir::CmpOp::Eq, lo, hi), Truth::False);
+}
+
+TEST(Interval, CompareIsUnknownWhenRangesOverlap) {
+    const Interval a = Interval::of(0, 6);
+    const Interval b = Interval::of(4, 9);
+    EXPECT_EQ(compare(ir::CmpOp::Lt, a, b), Truth::Unknown);
+    EXPECT_EQ(compare(ir::CmpOp::Eq, a, b), Truth::Unknown);
+    EXPECT_EQ(compare(ir::CmpOp::Ne, a, b), Truth::Unknown);
+}
+
+TEST(Interval, CompareEqOnPoints) {
+    EXPECT_EQ(compare(ir::CmpOp::Eq, Interval::point(3), Interval::point(3)), Truth::True);
+    EXPECT_EQ(compare(ir::CmpOp::Ne, Interval::point(3), Interval::point(3)), Truth::False);
+    EXPECT_EQ(compare(ir::CmpOp::Eq, Interval::point(3), Interval::point(4)), Truth::False);
+}
+
+TEST(BoundEnv, SymbolsRefinedByAssumes) {
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int rows;
+symbolic int cols;
+symbolic int free;
+assume rows >= 2 && rows <= 8;
+assume cols >= 64;
+packet { bit<32> x; }
+metadata { bit<32>[rows] a; }
+register<bit<32>>[cols][rows] tab;
+action touch()[int i] { set(meta.a[i], pkt.x); }
+control ingress { apply { for (i < rows) { touch()[i]; } } }
+optimize rows * cols + free;
+)");
+    BoundEnv env(prog);
+    EXPECT_EQ(env.symbol(prog.find_symbol("rows")), Interval::of(2, 8));
+    EXPECT_EQ(env.symbol(prog.find_symbol("cols")), Interval::of(64, Interval::kPosInf));
+    // No assume: sizes default to [1, +inf).
+    EXPECT_EQ(env.symbol(prog.find_symbol("free")), Interval::of(1, Interval::kPosInf));
+}
+
+TEST(BoundEnv, IterationRangeComesFromTheLoopBound) {
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int rows;
+assume rows >= 1 && rows <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[rows] a; }
+action touch()[int i] { set(meta.a[i], pkt.x); }
+control ingress { apply { for (i < rows) { touch()[i]; } } }
+)");
+    BoundEnv env(prog);
+    // for (i < rows) with rows <= 4: i ranges over [0, 3].
+    EXPECT_EQ(env.iterations(prog.find_symbol("rows")), Interval::of(0, 3));
+    // A non-elastic call site runs its body once, at iteration 0.
+    EXPECT_EQ(env.iterations(ir::kNoId), Interval::point(0));
+}
+
+TEST(BoundEnv, AffineEvaluatesOverTheIterationRange) {
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int rows;
+assume rows >= 1 && rows <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[rows] a; }
+action touch()[int i] { set(meta.a[i], pkt.x); }
+control ingress { apply { for (i < rows) { touch()[i]; } } }
+)");
+    BoundEnv env(prog);
+    const Interval iter = Interval::of(0, 3);
+    EXPECT_EQ(env.affine(ir::Affine{2, 1}, iter), Interval::of(1, 7));
+    EXPECT_EQ(env.affine(ir::Affine::literal(42), iter), Interval::point(42));
+    EXPECT_EQ(env.affine(ir::Affine{-1, 0}, iter), Interval::of(-3, 0));
+}
+
+TEST(BoundEnv, ExtentIsAPointForLiteralsAndASymbolRangeOtherwise) {
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int cols;
+assume cols >= 16 && cols <= 64;
+packet { bit<32> x; }
+metadata { bit<32> idx; }
+register<bit<32>>[cols] tab;
+action touch() { hash(meta.idx, 1, pkt.x, tab); }
+control ingress { apply { touch(); } }
+optimize cols;
+)");
+    BoundEnv env(prog);
+    EXPECT_EQ(env.extent(ir::Extent::of_literal(128)), Interval::point(128));
+    EXPECT_EQ(env.extent(prog.registers.front().elems), Interval::of(16, 64));
+}
+
+}  // namespace
+}  // namespace p4all::verify

@@ -1,0 +1,481 @@
+#include "verify/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/elaborate.hpp"
+#include "support/error.hpp"
+
+namespace p4all::verify {
+namespace {
+
+// elaborate_source stamps locations with "<program_name>.p4all"; the default
+// program name is "program".
+constexpr const char* kFile = "program.p4all";
+
+LintResult lint(const std::string& src, LintOptions options = {}) {
+    return run_lint(ir::elaborate_source(src), options);
+}
+
+const Finding* find_check(const LintResult& result, std::string_view check) {
+    for (const Finding& f : result.findings) {
+        if (f.check == check) return &f;
+    }
+    return nullptr;
+}
+
+std::size_t count_check(const LintResult& result, std::string_view check) {
+    return static_cast<std::size_t>(
+        std::count_if(result.findings.begin(), result.findings.end(),
+                      [&](const Finding& f) { return f.check == check; }));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistry, ListsTheBuiltinPassesInOrder) {
+    const std::vector<std::string> expected = {
+        "index-bounds",      "hash-range",     "seed-overlap",   "dead-code",
+        "constant-guard",    "guard-unreachable", "width-overflow", "schedule-infeasible",
+    };
+    const auto passes = PassRegistry::global().passes();
+    ASSERT_EQ(passes.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(passes[i]->id(), expected[i]);
+        EXPECT_FALSE(passes[i]->description().empty());
+    }
+}
+
+TEST(LintRegistry, FindsPassesById) {
+    EXPECT_NE(PassRegistry::global().find("dead-code"), nullptr);
+    EXPECT_EQ(PassRegistry::global().find("no-such-pass"), nullptr);
+}
+
+TEST(Lint, UnknownCheckIdThrows) {
+    LintOptions options;
+    options.checks = {"no-such-pass"};
+    EXPECT_THROW(lint("packet { bit<32> x; }\n"
+                      "metadata { bit<32> y; }\n"
+                      "action a() { set(meta.y, pkt.x); }\n"
+                      "control ingress { apply { a(); } }\n",
+                      options),
+                 support::CompileError);
+}
+
+TEST(Lint, ChecksFilterRunsOnlyTheSelection) {
+    LintOptions options;
+    options.checks = {"dead-code"};
+    const LintResult result = lint(R"(
+symbolic int ghost;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { if (1 == 2) { a(); } } }
+)",
+                                   options);
+    ASSERT_EQ(result.checks_run, std::vector<std::string>{"dead-code"});
+    EXPECT_GE(result.findings.size(), 1u);
+    for (const Finding& f : result.findings) EXPECT_EQ(f.check, "dead-code");
+    // The constant guard is not reported because its pass did not run.
+    EXPECT_EQ(find_check(result, "constant-guard"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Located findings, one positive case per pass
+// ---------------------------------------------------------------------------
+
+TEST(Lint, IndexBoundsFindingCarriesTheStatementLocation) {
+    const LintResult result = lint(R"(
+symbolic int rows;
+assume rows >= 1 && rows <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[rows] count; bit<32> out; }
+action peek()[int i] {
+    set(meta.out, meta.count[i + 1]);
+}
+control ingress { apply { for (i < rows) { peek()[i]; } } }
+)");
+    const Finding* f = find_check(result, "index-bounds");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->severity, support::Severity::Error);
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 7u);  // the set(...) statement
+    EXPECT_EQ(f->loc.column, 5u);
+    EXPECT_FALSE(f->fix_hint.empty());
+}
+
+TEST(Lint, HashRangeFindingPointsAtTheMisindexedRegisterOp) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<32> out; }
+register<bit<32>>[64] tab;
+register<bit<32>>[4096] other;
+action bug() {
+    hash(meta.idx, 1, pkt.x, other);
+    reg_add(tab, meta.idx, 1, meta.out);
+}
+control ingress { apply { bug(); } }
+)");
+    const Finding* f = find_check(result, "hash-range");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->severity, support::Severity::Warning);
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 8u);  // the reg_add that uses the mis-ranged index
+    EXPECT_EQ(f->loc.column, 5u);
+}
+
+TEST(Lint, SeedOverlapFindingPointsAtTheSecondHash) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> ai; bit<32> bi; }
+register<bit<32>>[64] ta;
+register<bit<32>>[64] tb;
+action h() {
+    hash(meta.ai, 7, pkt.x, ta);
+    hash(meta.bi, 7, pkt.x, tb);
+}
+control ingress { apply { h(); } }
+)");
+    const Finding* f = find_check(result, "seed-overlap");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 8u);  // the later of the two colliding hashes
+    EXPECT_EQ(f->loc.column, 5u);
+}
+
+TEST(Lint, DeadCodeFindingPointsAtTheDeclaration) {
+    const LintResult result = lint(R"(
+symbolic int ghost;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, pkt.x); }
+control ingress { apply { a(); } }
+)");
+    const Finding* f = find_check(result, "dead-code");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 2u);  // symbolic int ghost;
+    EXPECT_EQ(f->loc.column, 1u);
+    EXPECT_NE(f->message.find("ghost"), std::string::npos);
+}
+
+TEST(Lint, ConstantGuardFindingIsLocated) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { if (1 == 2) { a(); } } }
+)");
+    const Finding* f = find_check(result, "constant-guard");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 5u);  // the if (1 == 2) guard
+    EXPECT_GT(f->loc.column, 0u);
+    EXPECT_NE(f->message.find("always false"), std::string::npos);
+}
+
+TEST(Lint, GuardUnreachableFlagsAnImpossibleComparison) {
+    // A 16-bit port can never exceed 70000: the branch is dead for every
+    // admissible assignment, but neither side is a bare constant.
+    const LintResult result = lint(R"(
+packet { bit<16> sport; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { if (pkt.sport > 70000) { a(); } } }
+)");
+    const Finding* f = find_check(result, "guard-unreachable");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 5u);
+    EXPECT_NE(f->message.find("unreachable"), std::string::npos);
+    EXPECT_EQ(find_check(result, "constant-guard"), nullptr);
+}
+
+TEST(Lint, GuardUnreachableFlagsTautologies) {
+    const LintResult result = lint(R"(
+packet { bit<16> sport; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { if (pkt.sport < 70000) { a(); } } }
+)");
+    const Finding* f = find_check(result, "guard-unreachable");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_NE(f->message.find("redundant"), std::string::npos);
+}
+
+TEST(Lint, GuardOnRuntimeDataStaysQuiet) {
+    const LintResult result = lint(R"(
+packet { bit<16> sport; }
+metadata { bit<32> y; }
+action a() { set(meta.y, 1); }
+control ingress { apply { if (pkt.sport > 1000) { a(); } } }
+)");
+    EXPECT_EQ(find_check(result, "guard-unreachable"), nullptr) << result.render();
+}
+
+TEST(Lint, WidthOverflowFlagsRegisterReadTruncation) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<8> small; }
+register<bit<32>>[64] tab;
+action rd() {
+    hash(meta.idx, 1, pkt.x, tab);
+    reg_read(tab, meta.idx, meta.small);
+}
+control ingress { apply { rd(); } }
+)");
+    const Finding* f = find_check(result, "width-overflow");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 7u);  // the reg_read
+    EXPECT_EQ(f->loc.column, 5u);
+    EXPECT_NE(f->message.find("truncated"), std::string::npos);
+}
+
+TEST(Lint, WidthOverflowFlagsAnOversizedConstantStore) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<8> tiny; }
+action a() { set(meta.tiny, 300); }
+control ingress { apply { a(); } }
+)");
+    const Finding* f = find_check(result, "width-overflow");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->loc.line, 4u);
+    EXPECT_NE(f->message.find("300"), std::string::npos);
+    EXPECT_NE(f->message.find("8 bits"), std::string::npos);
+}
+
+TEST(Lint, WidthOverflowQuietWhenWidthsMatch) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<32> v; }
+register<bit<32>>[64] tab;
+action rd() {
+    hash(meta.idx, 1, pkt.x, tab);
+    reg_read(tab, meta.idx, meta.v);
+}
+control ingress { apply { rd(); } }
+)");
+    EXPECT_EQ(find_check(result, "width-overflow"), nullptr) << result.render();
+}
+
+TEST(Lint, ScheduleInfeasibleReportsTheCriticalChain) {
+    // Four sequentially dependent actions need four stages; the running
+    // example target has only three.
+    LintOptions options;
+    options.checks = {"schedule-infeasible"};
+    options.target = target::running_example();
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> a; bit<32> b; bit<32> c; bit<32> d; }
+action s1() { set(meta.a, pkt.x); }
+action s2() { add(meta.b, meta.a, 1); }
+action s3() { add(meta.c, meta.b, 1); }
+action s4() { add(meta.d, meta.c, 1); }
+control ingress { apply { s1(); s2(); s3(); s4(); } }
+)",
+                                   options);
+    const Finding* f = find_check(result, "schedule-infeasible");
+    ASSERT_NE(f, nullptr) << result.render();
+    EXPECT_EQ(f->severity, support::Severity::Error);
+    EXPECT_EQ(f->loc.file, kFile);
+    EXPECT_EQ(f->loc.line, 8u);  // the flow statement starting the chain
+    EXPECT_NE(f->message.find("needs at least 4 stages"), std::string::npos);
+    EXPECT_NE(f->message.find("s1 -> s2 -> s3 -> s4"), std::string::npos);
+}
+
+TEST(Lint, ScheduleInfeasibleQuietOnADeepEnoughTarget) {
+    LintOptions options;
+    options.checks = {"schedule-infeasible"};  // tofino_like: 10 stages
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> a; bit<32> b; bit<32> c; bit<32> d; }
+action s1() { set(meta.a, pkt.x); }
+action s2() { add(meta.b, meta.a, 1); }
+action s3() { add(meta.c, meta.b, 1); }
+action s4() { add(meta.d, meta.c, 1); }
+control ingress { apply { s1(); s2(); s3(); s4(); } }
+)",
+                                   options);
+    EXPECT_TRUE(result.findings.empty()) << result.render();
+}
+
+// ---------------------------------------------------------------------------
+// Driver behavior
+// ---------------------------------------------------------------------------
+
+TEST(Lint, WerrorPromotesWarningsToErrors) {
+    const char* src = R"(
+symbolic int ghost;
+packet { bit<32> x; }
+metadata { bit<32> y; }
+action a() { set(meta.y, pkt.x); }
+control ingress { apply { a(); } }
+)";
+    const LintResult relaxed = lint(src);
+    ASSERT_NE(find_check(relaxed, "dead-code"), nullptr);
+    EXPECT_FALSE(relaxed.has_errors());
+
+    LintOptions options;
+    options.werror = true;
+    const LintResult strict = lint(src, options);
+    ASSERT_NE(find_check(strict, "dead-code"), nullptr);
+    EXPECT_EQ(find_check(strict, "dead-code")->severity, support::Severity::Error);
+    EXPECT_TRUE(strict.has_errors());
+}
+
+TEST(Lint, DuplicateFindingsFromRepeatedCallSitesCollapse) {
+    // The same action applied twice would report the same located finding
+    // once per call site; the driver deduplicates them.
+    LintOptions options;
+    options.checks = {"width-overflow"};
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<8> small; }
+register<bit<32>>[64] tab;
+action rd() {
+    hash(meta.idx, 1, pkt.x, tab);
+    reg_read(tab, meta.idx, meta.small);
+}
+control ingress { apply { rd(); rd(); } }
+)",
+                                   options);
+    EXPECT_EQ(count_check(result, "width-overflow"), 1u) << result.render();
+}
+
+TEST(Lint, FindingsAreSortedBySourcePosition) {
+    const LintResult result = lint(R"(
+symbolic int ghost;
+packet { bit<16> sport; }
+metadata { bit<32> y; bit<32> unused; }
+action a() { set(meta.y, 1); }
+control ingress { apply { if (pkt.sport > 70000) { a(); } } }
+)");
+    ASSERT_GE(result.findings.size(), 3u) << result.render();
+    for (std::size_t i = 1; i < result.findings.size(); ++i) {
+        const auto& a = result.findings[i - 1].loc;
+        const auto& b = result.findings[i].loc;
+        EXPECT_LE(std::tie(a.file, a.line, a.column), std::tie(b.file, b.line, b.column));
+    }
+}
+
+TEST(Lint, CleanProgramProducesNoFindings) {
+    const LintResult result = lint(R"(
+symbolic int rows;
+symbolic int cols;
+assume rows >= 1 && rows <= 4;
+assume cols >= 64;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)");
+    EXPECT_TRUE(result.findings.empty()) << result.render();
+    // Every registered pass ran.
+    EXPECT_EQ(result.checks_run.size(), PassRegistry::global().passes().size());
+}
+
+// ---------------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------------
+
+TEST(Lint, RenderFormatsFileLineColumnSeverityAndHint) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<8> small; }
+register<bit<32>>[64] tab;
+action rd() {
+    hash(meta.idx, 1, pkt.x, tab);
+    reg_read(tab, meta.idx, meta.small);
+}
+control ingress { apply { rd(); } }
+)");
+    const std::string text = result.render();
+    EXPECT_NE(text.find("program.p4all:7:5: warning:"), std::string::npos) << text;
+    EXPECT_NE(text.find("[width-overflow]"), std::string::npos) << text;
+    EXPECT_NE(text.find("    hint: "), std::string::npos) << text;
+}
+
+TEST(Lint, FindingToStringHandlesUnknownLocations) {
+    Finding f;
+    f.severity = support::Severity::Error;
+    f.check = "schedule-infeasible";
+    f.message = "boom";
+    EXPECT_EQ(f.to_string(), "<program>: error: boom [schedule-infeasible]");
+    f.loc = {"x.p4all", 3, 9};
+    EXPECT_EQ(f.to_string(), "x.p4all:3:9: error: boom [schedule-infeasible]");
+}
+
+TEST(Lint, JsonOutputIsSarifShaped) {
+    const LintResult result = lint(R"(
+packet { bit<32> x; }
+metadata { bit<32> idx; bit<8> small; }
+register<bit<32>>[64] tab;
+action rd() {
+    hash(meta.idx, 1, pkt.x, tab);
+    reg_read(tab, meta.idx, meta.small);
+}
+control ingress { apply { rd(); } }
+)");
+    ASSERT_FALSE(result.findings.empty());
+
+    // Round-trip through the serializer to prove the output is parseable.
+    const support::Json doc = support::Json::parse(result.to_json().dump(2));
+    EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+    EXPECT_TRUE(doc.contains("$schema"));
+
+    const support::Json& run = doc.at("runs").as_array().front();
+    const support::Json& driver = run.at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").as_string(), "p4all-lint");
+    EXPECT_EQ(driver.at("rules").size(), result.checks_run.size());
+
+    const auto& results = run.at("results").as_array();
+    ASSERT_EQ(results.size(), result.findings.size());
+    const support::Json& first = results.front();
+    const Finding& f = result.findings.front();
+    EXPECT_EQ(first.at("ruleId").as_string(), f.check);
+    EXPECT_EQ(first.at("level").as_string(), "warning");
+    EXPECT_EQ(first.at("message").at("text").as_string(), f.message);
+    const support::Json& physical =
+        first.at("locations").as_array().front().at("physicalLocation");
+    EXPECT_EQ(physical.at("artifactLocation").at("uri").as_string(), kFile);
+    EXPECT_EQ(physical.at("region").at("startLine").as_int(),
+              static_cast<std::int64_t>(f.loc.line));
+    EXPECT_EQ(physical.at("region").at("startColumn").as_int(),
+              static_cast<std::int64_t>(f.loc.column));
+}
+
+TEST(Lint, ToDiagnosticsPreservesSeverities) {
+    const LintResult result = lint(R"(
+symbolic int rows;
+assume rows >= 1 && rows <= 4;
+packet { bit<32> x; }
+metadata { bit<32>[rows] count; bit<32> out; bit<32> unused; }
+action peek()[int i] { set(meta.out, meta.count[i + 1]); }
+control ingress { apply { for (i < rows) { peek()[i]; } } }
+)");
+    support::Diagnostics diags;
+    to_diagnostics(result, diags);
+    EXPECT_EQ(diags.all().size(), result.findings.size());
+    EXPECT_TRUE(diags.has_errors());
+    EXPECT_NE(diags.to_string().find("[index-bounds]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::verify
