@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "ir/elaborate.hpp"
 #include "lang/parser.hpp"
 #include "support/error.hpp"
@@ -70,6 +71,10 @@ std::string program_name(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Audit passes live in the same registry (visible in --list-checks);
+    // without compiled artifacts they are no-ops.
+    p4all::audit::register_audit_passes(p4all::verify::PassRegistry::global());
+
     std::vector<std::string> inputs;
     std::string target_path;
     std::string format = "text";

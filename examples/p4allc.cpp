@@ -10,6 +10,9 @@
 //     --emit-p4 <file>       write the generated concrete P4 to a file
 //     --emit-p4-16 <file>    write a v1model P4_16 translation unit
 //     --report               print the per-stage resource-occupancy table
+//     --audit                independently re-verify the compiled layout and
+//                            the ILP certificate (src/audit/); rejection
+//                            fails the compilation
 //     --quiet                layout summary only
 #include <cstdio>
 #include <fstream>
@@ -17,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "audit/audit.hpp"
 #include "compiler/compiler.hpp"
 #include "compiler/p4_16.hpp"
 #include "compiler/report.hpp"
@@ -37,7 +41,7 @@ std::string read_file(const std::string& path) {
 int usage() {
     std::fprintf(stderr,
                  "usage: p4allc <program.p4all> [--target spec.json] [--backend greedy|ilp]\n"
-                 "              [--no-windows] [--dump-ilp] [--verify] [--report]\n"
+                 "              [--no-windows] [--dump-ilp] [--verify] [--report] [--audit]\n"
                  "              [--emit-p4 out.p4] [--emit-p4-16 out.p4] [--quiet]\n");
     return 2;
 }
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
     bool dump_ilp = false;
     bool run_verify = false;
     bool show_report = false;
+    bool run_audit = false;
     bool quiet = false;
     p4all::compiler::CompileOptions options;
 
@@ -78,6 +83,8 @@ int main(int argc, char** argv) {
             emit_p4_16_path = argv[++i];
         } else if (arg == "--report") {
             show_report = true;
+        } else if (arg == "--audit") {
+            run_audit = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -131,6 +138,20 @@ int main(int argc, char** argv) {
 
         std::printf("%s: compiled for '%s' in %.3f s (utility %.2f)\n", input.c_str(),
                     options.target.name.c_str(), result.stats.total_seconds, result.utility);
+        if (run_audit) {
+            if (!result.artifacts) {
+                std::fprintf(stderr, "p4allc: --audit requires artifact emission\n");
+                return 1;
+            }
+            const p4all::verify::LintResult audit =
+                p4all::audit::audit_artifacts(result.program, *result.artifacts);
+            std::fputs(audit.render().c_str(), stdout);
+            if (audit.has_errors()) {
+                std::fprintf(stderr, "p4allc: audit REJECTED the compiled layout\n");
+                return 1;
+            }
+            std::printf("audit: layout and certificate independently verified\n");
+        }
         std::printf("%s", result.layout.to_string(result.program).c_str());
         if (!quiet) {
             std::printf("ILP: %d variables, %d constraints, %lld branch-and-bound nodes\n",

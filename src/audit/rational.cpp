@@ -1,0 +1,180 @@
+#include "audit/rational.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace p4all::audit {
+
+namespace {
+
+using i128 = __int128;
+using u128 = unsigned __int128;
+
+[[noreturn]] void overflow(const char* what) {
+    throw support::CompileError(std::string("audit rational overflow in ") + what +
+                                " (certificate magnitudes exceed 128-bit range)");
+}
+
+i128 checked_add(i128 a, i128 b) {
+    i128 r;
+    if (__builtin_add_overflow(a, b, &r)) overflow("addition");
+    return r;
+}
+
+i128 checked_mul(i128 a, i128 b) {
+    i128 r;
+    if (__builtin_mul_overflow(a, b, &r)) overflow("multiplication");
+    return r;
+}
+
+u128 abs_u128(i128 v) { return v < 0 ? -static_cast<u128>(v) : static_cast<u128>(v); }
+
+/// std::gcd rejects __int128 under strict C++20, so roll our own.
+u128 gcd_u128(u128 a, u128 b) {
+    while (b != 0) {
+        const u128 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+std::string u128_to_string(u128 v) {
+    if (v == 0) return "0";
+    std::string out;
+    while (v != 0) {
+        out.insert(out.begin(), static_cast<char>('0' + static_cast<int>(v % 10)));
+        v /= 10;
+    }
+    return out;
+}
+
+}  // namespace
+
+void Rat::normalize() {
+    if (den_ == 0) overflow("normalization");
+    if (den_ < 0) {
+        num_ = -num_;
+        den_ = -den_;
+    }
+    if (num_ == 0) {
+        den_ = 1;
+        return;
+    }
+    const u128 g = gcd_u128(abs_u128(num_), static_cast<u128>(den_));
+    if (g > 1) {
+        num_ /= static_cast<i128>(g);
+        den_ /= static_cast<i128>(g);
+    }
+}
+
+Rat Rat::from_double(double v) {
+    if (!std::isfinite(v)) {
+        throw support::CompileError("audit rational: non-finite double");
+    }
+    if (v == 0.0) return Rat(0);
+    int exp = 0;
+    const double m = std::frexp(v, &exp);  // v = m · 2^exp, |m| ∈ [0.5, 1)
+    auto mant = static_cast<std::int64_t>(std::ldexp(m, 53));  // exact: 53-bit mantissa
+    exp -= 53;
+    while ((mant & 1) == 0) {
+        mant >>= 1;
+        ++exp;
+    }
+    Rat r;
+    if (exp >= 0) {
+        if (exp > 70) overflow("from_double (magnitude)");
+        r.num_ = static_cast<i128>(mant) << exp;
+    } else {
+        if (-exp > 120) overflow("from_double (precision)");
+        r.num_ = mant;
+        r.den_ = static_cast<i128>(1) << -exp;
+    }
+    return r;
+}
+
+Rat Rat::from_double_quantized(double v, int frac_bits) {
+    if (!std::isfinite(v)) {
+        throw support::CompileError("audit rational: non-finite double");
+    }
+    const double scaled = std::ldexp(v, frac_bits);
+    if (std::abs(scaled) >= 9.2e18) overflow("from_double_quantized");
+    Rat r;
+    r.num_ = static_cast<std::int64_t>(scaled);  // C++ truncation: toward zero
+    r.den_ = static_cast<i128>(1) << frac_bits;
+    r.normalize();
+    return r;
+}
+
+Rat Rat::operator-() const {
+    Rat r = *this;
+    r.num_ = -r.num_;
+    return r;
+}
+
+Rat Rat::operator+(const Rat& o) const {
+    // Reduce by gcd(den, o.den) before cross-multiplying: all our inputs are
+    // dyadic, so this keeps the common denominator at max(den, o.den)
+    // instead of the product — the difference between fitting comfortably in
+    // 128 bits and overflowing on any real model.
+    const u128 g = gcd_u128(static_cast<u128>(den_), static_cast<u128>(o.den_));
+    const i128 oden_red = o.den_ / static_cast<i128>(g);
+    const i128 den_red = den_ / static_cast<i128>(g);
+    Rat r;
+    r.num_ = checked_add(checked_mul(num_, oden_red), checked_mul(o.num_, den_red));
+    r.den_ = checked_mul(den_, oden_red);
+    r.normalize();
+    return r;
+}
+
+Rat Rat::operator-(const Rat& o) const { return *this + (-o); }
+
+Rat Rat::operator*(const Rat& o) const {
+    // Cross-reduce before multiplying to keep intermediates small.
+    Rat a = *this;
+    Rat b = o;
+    const u128 g1 = gcd_u128(abs_u128(a.num_), static_cast<u128>(b.den_));
+    if (g1 > 1) {
+        a.num_ /= static_cast<i128>(g1);
+        b.den_ /= static_cast<i128>(g1);
+    }
+    const u128 g2 = gcd_u128(abs_u128(b.num_), static_cast<u128>(a.den_));
+    if (g2 > 1) {
+        b.num_ /= static_cast<i128>(g2);
+        a.den_ /= static_cast<i128>(g2);
+    }
+    Rat r;
+    r.num_ = checked_mul(a.num_, b.num_);
+    r.den_ = checked_mul(a.den_, b.den_);
+    r.normalize();
+    return r;
+}
+
+int Rat::cmp(const Rat& o) const {
+    // Denominators are positive, so the sign of num·o.den − o.num·den
+    // decides; reduce by gcd(den, o.den) first to avoid overflow.
+    const u128 g = gcd_u128(static_cast<u128>(den_), static_cast<u128>(o.den_));
+    const i128 lhs = checked_mul(num_, o.den_ / static_cast<i128>(g));
+    const i128 rhs = checked_mul(o.num_, den_ / static_cast<i128>(g));
+    if (lhs < rhs) return -1;
+    if (lhs > rhs) return 1;
+    return 0;
+}
+
+double Rat::to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rat::to_string() const {
+    std::string out;
+    if (num_ < 0) out += '-';
+    out += u128_to_string(abs_u128(num_));
+    if (den_ != 1) {
+        out += '/';
+        out += u128_to_string(static_cast<u128>(den_));
+    }
+    return out;
+}
+
+}  // namespace p4all::audit

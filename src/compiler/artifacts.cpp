@@ -1,0 +1,35 @@
+#include "compiler/artifacts.hpp"
+
+#include <string>
+
+namespace p4all::compiler {
+
+namespace {
+
+std::string trimmed_double(double v) {
+    std::string s = std::to_string(v);
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+}
+
+}  // namespace
+
+std::string CompileArtifacts::summary() const {
+    std::string out = "program '" + name + "' on target '" + target.name + "' via " + backend +
+                      " backend: utility " + trimmed_double(claimed_utility) + ", " +
+                      std::to_string(layout.total_actions()) + " placed actions, " +
+                      std::to_string(claimed_usage.stages_occupied) + "/" +
+                      std::to_string(target.stages) + " stages";
+    if (has_ilp) {
+        out += "; ILP " + std::to_string(ilp.model.num_vars()) + " vars / " +
+               std::to_string(ilp.model.num_constraints()) + " rows, " +
+               std::to_string(solution.nodes) + " B&B nodes";
+        out += solution.root_duals.empty() ? ", no root certificate"
+                                           : ", root certificate present (bound " +
+                                                 trimmed_double(solution.root_bound) + ")";
+    }
+    return out;
+}
+
+}  // namespace p4all::compiler

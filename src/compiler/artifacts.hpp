@@ -1,0 +1,41 @@
+// Auditable compilation artifacts.
+//
+// Everything the compiler *claims* about a compile, packaged so an
+// independent checker (src/audit/) can re-derive each claim from scratch:
+// the final layout and symbol bindings, the compiler's own resource
+// accounting, and — for the ILP backend — the generated model, the
+// incumbent solution, and the root-relaxation dual certificate. The audit
+// layer trusts nothing in here beyond "this is what the compiler said";
+// every number is re-checked against the elaborated IR and the TargetSpec.
+#pragma once
+
+#include <string>
+
+#include "compiler/ilpgen.hpp"
+#include "compiler/layout.hpp"
+#include "compiler/report.hpp"
+#include "ilp/solver.hpp"
+#include "target/spec.hpp"
+
+namespace p4all::compiler {
+
+struct CompileArtifacts {
+    std::string name;           // program name
+    std::string backend;        // "ilp" or "greedy"
+    target::TargetSpec target;  // spec the compile was performed against
+
+    Layout layout;                // final stage map + symbol bindings
+    double claimed_utility = 0.0; // compiler's reported objective value
+    UsageReport claimed_usage;    // compiler's own per-stage accounting
+
+    /// ILP backend only (has_ilp == false for greedy compiles).
+    bool has_ilp = false;
+    GeneratedIlp ilp;               // Figure 10 model + variable bookkeeping
+    ilp::Solution solution;         // incumbent + root dual certificate
+    ilp::SolveOptions solve_options;  // tolerances the solve ran under
+
+    /// One-paragraph human-readable description (for p4all-audit -v).
+    [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace p4all::compiler

@@ -4,6 +4,7 @@
 
 #include "compiler/codegen.hpp"
 #include "compiler/greedy.hpp"
+#include "compiler/report.hpp"
 #include "lang/parser.hpp"
 #include "support/error.hpp"
 
@@ -23,6 +24,13 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
                       const std::string& name) {
     const auto t_start = Clock::now();
     CompileResult result;
+    std::shared_ptr<CompileArtifacts> artifacts;
+    if (options.emit_artifacts) {
+        artifacts = std::make_shared<CompileArtifacts>();
+        artifacts->name = name;
+        artifacts->backend = options.backend == Backend::Greedy ? "greedy" : "ilp";
+        artifacts->target = options.target;
+    }
 
     auto t0 = Clock::now();
     ir::ElaborateOptions elab_opts;
@@ -78,6 +86,12 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
         }
         result.layout = extract_layout(result.program, options.target, gen, solution);
         result.utility = solution.objective;
+        if (artifacts) {
+            artifacts->has_ilp = true;
+            artifacts->solution = solution;
+            artifacts->solve_options = solve_opts;
+            artifacts->ilp = std::move(gen);
+        }
     }
 
     if (options.audit) {
@@ -88,6 +102,13 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
             for (const std::string& v : violations) msg += "\n  " + v;
             throw CompileError(msg);
         }
+    }
+
+    if (artifacts) {
+        artifacts->layout = result.layout;
+        artifacts->claimed_utility = result.utility;
+        artifacts->claimed_usage = compute_usage(result.program, options.target, result.layout);
+        result.artifacts = std::move(artifacts);
     }
 
     result.p4_source = generate_p4(result.program, result.layout);

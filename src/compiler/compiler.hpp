@@ -10,10 +10,12 @@
 // (compile time, ILP variable/constraint counts).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "analysis/unroll.hpp"
+#include "compiler/artifacts.hpp"
 #include "compiler/ilpgen.hpp"
 #include "compiler/layout.hpp"
 #include "ilp/solver.hpp"
@@ -36,6 +38,10 @@ struct CompileOptions {
     /// Post-solve audit of the layout against every constraint; failures
     /// throw (they would indicate a compiler bug, not a user error).
     bool audit = true;
+    /// Record CompileArtifacts in the result for the independent audit layer
+    /// (src/audit/). Cheap relative to solving; on by default so `--audit`
+    /// and the p4all-audit CLI always have a certificate to check.
+    bool emit_artifacts = true;
 };
 
 struct CompileStats {
@@ -57,6 +63,10 @@ struct CompileResult {
     double utility = 0.0;    // achieved value of the optimize expression
     std::string p4_source;   // generated concrete P4
     CompileStats stats;
+    /// The compiler's auditable claims (model, incumbent, certificate, usage);
+    /// null when CompileOptions::emit_artifacts is off. Shared so callers can
+    /// keep it alive past the result (the audit passes borrow it).
+    std::shared_ptr<const CompileArtifacts> artifacts;
 };
 
 /// Compiles a parsed P4All program. Throws support::CompileError when the

@@ -12,6 +12,11 @@ namespace p4all::ilp {
 
 namespace {
 
+/// Consecutive degenerate pivots tolerated before Bland's rule engages.
+/// Scales with the row count: short degenerate runs are routine on
+/// placement LPs and Devex resolves them faster than Bland would.
+constexpr int kDegeneratePivotLimit(int rows) { return 2 * (rows + 16); }
+
 /// Bounded-variable primal simplex on a dense tableau.
 ///
 /// Variables are shifted to y = x − lb ∈ [0, d]; constraint rows become
@@ -59,6 +64,19 @@ public:
         result.status = st;
         if (st != LpStatus::Optimal) return result;
 
+        // Dual extraction. The tableau's objective row holds the reduced
+        // costs r_j = ĉ_j − w'A_j of the shifted minimization problem; the
+        // auxiliary (slack/artificial) column of row i has cost 0 and
+        // coefficient σcol, so w_i = −σcol·r_aux. Mapping back through the
+        // row normalization (σrow) and the min(−c) ⇄ max(c) flip gives the
+        // maximize-convention dual y_i = σrow·σcol·r_aux.
+        result.duals.assign(static_cast<std::size_t>(m_), 0.0);
+        for (int i = 0; i < m_; ++i) {
+            const std::size_t is = static_cast<std::size_t>(i);
+            result.duals[is] = static_cast<double>(dual_sign_[is]) *
+                               obj_[static_cast<std::size_t>(aux_col_[is])];
+        }
+
         result.values.assign(static_cast<std::size_t>(n_), 0.0);
         for (int j = 0; j < n_; ++j) {
             if (at_upper_[static_cast<std::size_t>(j)]) {
@@ -73,6 +91,7 @@ public:
             result.values[static_cast<std::size_t>(j)] += lb_[static_cast<std::size_t>(j)];
         }
         result.objective = model_.objective().evaluate(result.values);
+        result.bound_slack = bound_slack_;
         result.bound = result.objective + bound_slack_;
         return result;
     }
@@ -92,6 +111,7 @@ private:
             std::vector<std::pair<int, double>> terms;
             bool eq;
             bool negated = false;
+            int sense_sign = 1;  // −1 for Ge rows (normalized to Le)
             double rhs;
         };
         std::vector<Row> rows;
@@ -101,6 +121,7 @@ private:
             r.eq = c.sense == CmpSense::Eq;
             double shift = 0.0;
             const double sign = c.sense == CmpSense::Ge ? -1.0 : 1.0;
+            r.sense_sign = c.sense == CmpSense::Ge ? -1 : 1;
             for (const auto& [id, coeff] : c.expr.terms()) {
                 shift += coeff * lb_[static_cast<std::size_t>(id)];
                 r.terms.emplace_back(id, sign * coeff);
@@ -140,6 +161,8 @@ private:
             span_[static_cast<std::size_t>(j)] = std::max(d, 0.0);
         }
 
+        aux_col_.assign(static_cast<std::size_t>(m_), -1);
+        dual_sign_.assign(static_cast<std::size_t>(m_), 1);
         int next_slack = n_;
         int next_artificial = artificial_start_;
         for (int i = 0; i < m_; ++i) {
@@ -147,15 +170,25 @@ private:
             for (const auto& [id, c] : r.terms) at(i, id) += c;
             xb_[static_cast<std::size_t>(i)] = r.rhs;
             int basic = -1;
+            // Dual bookkeeping: σrow is the net sign applied to the original
+            // constraint's coefficients; σcol is the auxiliary column's
+            // coefficient in this row.
+            const int sigma_row = r.sense_sign * (r.negated ? -1 : 1);
             if (!r.eq) {
                 // Negated rows carry their slack with coefficient −1, so the
                 // slack cannot serve as the starting basic variable.
                 at(i, next_slack) = r.negated ? -1.0 : 1.0;
                 if (!r.negated) basic = next_slack;
+                aux_col_[static_cast<std::size_t>(i)] = next_slack;
+                dual_sign_[static_cast<std::size_t>(i)] = sigma_row * (r.negated ? -1 : 1);
                 ++next_slack;
             }
             if (basic < 0) {
                 at(i, next_artificial) = 1.0;
+                if (r.eq) {
+                    aux_col_[static_cast<std::size_t>(i)] = next_artificial;
+                    dual_sign_[static_cast<std::size_t>(i)] = sigma_row;
+                }
                 basic = next_artificial++;
             }
             basis_[static_cast<std::size_t>(i)] = basic;
@@ -276,7 +309,14 @@ private:
             int leave = -1;
             bool leave_at_upper = false;
             double best_pivot = 0.0;
-            {
+            if (bland) {
+                // Bland's anti-cycling rule: exact minimal ratio (no Harris
+                // tolerance window — a widened tie set would break the
+                // termination guarantee), smallest basic index among exact
+                // ties. Combined with first-eligible entering selection
+                // above, no basis can repeat, so degenerate pivot chains
+                // always terminate.
+                double exact_t = span_[es];
                 for (int i = 0; i < m_; ++i) {
                     const double beta = enter_dir * get(i, enter);
                     const std::size_t bi =
@@ -292,14 +332,37 @@ private:
                     } else {
                         continue;
                     }
+                    if (ratio < exact_t ||
+                        (leave >= 0 && ratio == exact_t &&
+                         basis_[static_cast<std::size_t>(i)] <
+                             basis_[static_cast<std::size_t>(leave)]) ||
+                        (leave < 0 && ratio <= exact_t)) {
+                        exact_t = ratio;
+                        leave = i;
+                        leave_at_upper = hits_upper;
+                    }
+                }
+                t = leave >= 0 ? exact_t : t;
+            } else {
+                for (int i = 0; i < m_; ++i) {
+                    const double beta = enter_dir * get(i, enter);
+                    const std::size_t bi =
+                        static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+                    double ratio = kInfinity;
+                    bool hits_upper = false;
+                    if (beta > tol) {
+                        ratio = std::max(xb_[static_cast<std::size_t>(i)] / beta, 0.0);
+                    } else if (beta < -tol && span_[bi] != kInfinity) {
+                        ratio =
+                            std::max((span_[bi] - xb_[static_cast<std::size_t>(i)]) / (-beta), 0.0);
+                        hits_upper = true;
+                    } else {
+                        continue;
+                    }
+                    // Harris-style: among rows within a tolerance of the
+                    // tightest step, prefer the largest pivot magnitude.
                     if (ratio > t + 1e-9) continue;
-                    if (bland) {
-                        if (leave < 0 || basis_[static_cast<std::size_t>(i)] <
-                                             basis_[static_cast<std::size_t>(leave)]) {
-                            leave = i;
-                            leave_at_upper = hits_upper;
-                        }
-                    } else if (std::abs(beta) > best_pivot) {
+                    if (std::abs(beta) > best_pivot) {
                         best_pivot = std::abs(beta);
                         leave = i;
                         leave_at_upper = hits_upper;
@@ -307,11 +370,15 @@ private:
                 }
             }
 
-            // Objective progress (for stall detection only). Bland's rule
-            // engages after a long stall and disengages on real progress.
+            // Anti-cycling guard: a long run of consecutive degenerate
+            // steps (no objective movement) can only mean the solver is
+            // crawling an optimal/degenerate face — or cycling. Engage
+            // Bland's rule, whose lowest-index pivot selection provably
+            // terminates; disengage as soon as real progress resumes (a
+            // strict improvement breaks any cycle, so the guarantee holds).
             const double delta = obj_[es] * enter_dir * t;
             if (std::abs(delta) < 1e-12) {
-                if (++stall > 2 * (m_ + 16)) bland = true;
+                if (++stall > kDegeneratePivotLimit(m_)) bland = true;
             } else {
                 stall = 0;
                 bland = false;
@@ -395,6 +462,8 @@ private:
     std::vector<bool> in_basis_;
     std::vector<int> basis_;        // row -> basic column
     std::vector<double> xb_;        // basic values
+    std::vector<int> aux_col_;      // row -> slack/artificial column (duals)
+    std::vector<int> dual_sign_;    // row -> σrow·σcol sign for dual readout
     double bound_slack_ = 0.0;      // exact perturbation budget
 };
 

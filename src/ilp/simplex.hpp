@@ -28,6 +28,17 @@ struct LpResult {
     /// Branch-and-bound must prune against this, not `objective`.
     double bound = 0.0;
     std::vector<double> values;  // indexed by model variable id
+    /// Dual multipliers, one per model constraint row, in the maximize
+    /// convention: y ≥ 0 for Le rows, y ≤ 0 for Ge rows, free for Eq rows.
+    /// Any sign-correct vector certifies the upper bound
+    ///   Σ y_i·rhs_i + Σ_j max(d_j·lb_j, d_j·ub_j),  d_j = c_j − Σ_i y_i·A_ij,
+    /// which the audit layer re-derives in exact rational arithmetic
+    /// (audit/certificate.hpp). Empty unless status == Optimal.
+    std::vector<double> duals;
+    /// Exact objective error budget of the deterministic cost perturbation
+    /// (== bound − objective; kept separately so certificate checks need not
+    /// reconstruct it from two rounded doubles).
+    double bound_slack = 0.0;
     int iterations = 0;
 };
 

@@ -51,6 +51,15 @@ public:
         for (int j = 0; j < n_; ++j) {
             result.values[static_cast<std::size_t>(j)] += lb_[static_cast<std::size_t>(j)];
         }
+        // Maximize-convention duals for the model rows, read off the final
+        // reduced costs of each row's slack/artificial column (see the
+        // bounded solver for the sign derivation).
+        const std::size_t model_rows = model_.constraints().size();
+        result.duals.assign(model_rows, 0.0);
+        for (std::size_t i = 0; i < model_rows; ++i) {
+            result.duals[i] =
+                static_cast<double>(dual_sign_[i]) * obj_[static_cast<std::size_t>(aux_col_[i])];
+        }
         result.objective = model_.objective().evaluate(result.values);
         result.bound = result.objective;
         return result;
@@ -72,6 +81,7 @@ private:
     struct Row {
         std::vector<std::pair<int, double>> terms;  // structural coefficients
         CmpSense sense;
+        bool negated = false;  // true if normalization flipped the row's sign
         double rhs;
     };
 
@@ -111,6 +121,7 @@ private:
                 // Normalize rhs ≥ 0 by negating the row.
                 for (auto& [id, c] : r.terms) c = -c;
                 r.rhs = -r.rhs;
+                r.negated = true;
                 if (r.sense == CmpSense::Le) r.sense = CmpSense::Ge;
                 else if (r.sense == CmpSense::Ge) r.sense = CmpSense::Le;
             }
@@ -122,27 +133,37 @@ private:
         data_.assign(static_cast<std::size_t>(m_) * stride_, 0.0);
         obj_.assign(stride_, 0.0);
         basis_.assign(static_cast<std::size_t>(m_), -1);
+        aux_col_.assign(static_cast<std::size_t>(m_), 0);
+        dual_sign_.assign(static_cast<std::size_t>(m_), 1);
         artificial_start_ = n_ + num_slack;
 
         int next_slack = n_;
         int next_artificial = artificial_start_;
         for (int i = 0; i < m_; ++i) {
             const Row& r = rows[static_cast<std::size_t>(i)];
+            const std::size_t is = static_cast<std::size_t>(i);
+            const int sigma_row = r.negated ? -1 : 1;
             for (const auto& [id, c] : r.terms) at(i, id) += c;
             rhs_ref(i) = r.rhs;
             switch (r.sense) {
                 case CmpSense::Le:
                     at(i, next_slack) = 1.0;
+                    aux_col_[is] = next_slack;
+                    dual_sign_[is] = sigma_row;
                     basis_[static_cast<std::size_t>(i)] = next_slack++;
                     break;
                 case CmpSense::Ge:
                     at(i, next_slack) = -1.0;
+                    aux_col_[is] = next_slack;
+                    dual_sign_[is] = -sigma_row;
                     ++next_slack;
                     at(i, next_artificial) = 1.0;
                     basis_[static_cast<std::size_t>(i)] = next_artificial++;
                     break;
                 case CmpSense::Eq:
                     at(i, next_artificial) = 1.0;
+                    aux_col_[is] = next_artificial;
+                    dual_sign_[is] = sigma_row;
                     basis_[static_cast<std::size_t>(i)] = next_artificial++;
                     break;
             }
@@ -290,6 +311,8 @@ private:
     std::vector<double> data_;  // m_ rows × (cols_+1), last col = rhs
     std::vector<double> obj_;   // objective row, cols_+1 entries
     std::vector<int> basis_;
+    std::vector<int> aux_col_;   // row -> slack/artificial column (duals)
+    std::vector<int> dual_sign_; // row -> σrow·σcol sign for dual readout
 };
 
 }  // namespace

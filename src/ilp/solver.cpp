@@ -81,6 +81,13 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
 
         const LpResult lp = solve_lp(model, &node.lb, &node.ub, options.lp);
         best.lp_iterations += lp.iterations;
+        if (best.nodes == 1 && lp.status == LpStatus::Optimal) {
+            // Root relaxation: keep its dual certificate so the audit layer
+            // can independently witness the global bound.
+            best.root_duals = lp.duals;
+            best.root_bound = lp.bound;
+            best.root_bound_slack = lp.bound_slack;
+        }
         if (lp.status == LpStatus::Infeasible) continue;
         if (lp.status == LpStatus::Unbounded) {
             // Unbounded relaxation at the root means an unbounded MILP for

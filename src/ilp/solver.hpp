@@ -17,6 +17,17 @@ struct Solution {
     double objective = 0.0;
     std::vector<double> values;  // indexed by model variable id
 
+    /// Root-relaxation certificate: the duals of the root LP (maximize
+    /// convention, one per model constraint) and the perturbation budget of
+    /// that solve. Any sign-correct dual vector witnesses a global upper
+    /// bound on the MILP optimum; the audit layer re-derives that bound in
+    /// exact rational arithmetic and checks it against the incumbent
+    /// (audit/certificate.hpp). Empty when the root LP was not solved to
+    /// optimality.
+    std::vector<double> root_duals;
+    double root_bound = 0.0;        // solver's float view of the root bound
+    double root_bound_slack = 0.0;  // root LP perturbation budget
+
     // Statistics.
     std::int64_t nodes = 0;
     std::int64_t lp_iterations = 0;

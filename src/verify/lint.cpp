@@ -45,6 +45,11 @@ void LintContext::warning(support::SourceLoc loc, std::string message, std::stri
             std::move(fix_hint)});
 }
 
+void LintContext::note(support::SourceLoc loc, std::string message, std::string fix_hint) {
+    report({support::Severity::Note, active_check_, std::move(loc), std::move(message),
+            std::move(fix_hint)});
+}
+
 PassRegistry& PassRegistry::global() {
     static PassRegistry* registry = [] {
         auto* r = new PassRegistry();
@@ -189,10 +194,15 @@ LintResult run_lint(const ir::Program& prog, const LintOptions& options) {
         }
     }
 
+    // Full-tuple sort key: identical inputs must yield byte-identical output
+    // regardless of pass registration or execution order, so two findings at
+    // the same position are ordered by check id, then severity, then text.
     std::stable_sort(result.findings.begin(), result.findings.end(),
                      [](const Finding& a, const Finding& b) {
-                         return std::tie(a.loc.file, a.loc.line, a.loc.column) <
-                                std::tie(b.loc.file, b.loc.line, b.loc.column);
+                         return std::tie(a.loc.file, a.loc.line, a.loc.column, a.check,
+                                         a.severity, a.message) <
+                                std::tie(b.loc.file, b.loc.line, b.loc.column, b.check,
+                                         b.severity, b.message);
                      });
     // One action applied from several call sites repeats its per-op findings
     // verbatim; collapse exact duplicates.

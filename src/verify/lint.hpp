@@ -35,6 +35,15 @@ struct Finding {
     [[nodiscard]] std::string to_string() const;
 };
 
+/// Opaque extension point: extra input a registered pass may need beyond the
+/// IR and target (e.g. compiled artifacts for the audit passes). Passes
+/// dynamic_cast LintContext::payload() to their expected concrete type and
+/// no-op when it is absent, so payload-carrying passes are safe to leave in
+/// the registry for plain source-only lint runs.
+struct LintPayload {
+    virtual ~LintPayload() = default;
+};
+
 /// Options selecting and configuring a lint run.
 struct LintOptions {
     /// Pass ids to run; empty means every registered pass. Unknown ids make
@@ -44,6 +53,8 @@ struct LintOptions {
     bool werror = false;
     /// Target spec for target-dependent passes (schedule-infeasible).
     target::TargetSpec target = target::tofino_like();
+    /// Extra pass input (not owned; must outlive the run). See LintPayload.
+    const LintPayload* payload = nullptr;
 };
 
 /// Shared state handed to each pass: the program, the target, lazily usable
@@ -56,12 +67,14 @@ public:
     [[nodiscard]] const ir::Program& program() const noexcept { return *prog_; }
     [[nodiscard]] const target::TargetSpec& target() const noexcept { return options_->target; }
     [[nodiscard]] const BoundEnv& bounds() const noexcept { return bounds_; }
+    [[nodiscard]] const LintPayload* payload() const noexcept { return options_->payload; }
 
     void report(Finding finding) { findings_.push_back(std::move(finding)); }
 
     /// Convenience reporters stamping the current pass id.
     void error(support::SourceLoc loc, std::string message, std::string fix_hint = {});
     void warning(support::SourceLoc loc, std::string message, std::string fix_hint = {});
+    void note(support::SourceLoc loc, std::string message, std::string fix_hint = {});
 
     [[nodiscard]] std::vector<Finding> take_findings() { return std::move(findings_); }
 
@@ -108,7 +121,7 @@ private:
 
 /// The outcome of a lint run.
 struct LintResult {
-    std::vector<Finding> findings;       // sorted by (file, line, column)
+    std::vector<Finding> findings;       // sorted by (file, line, column, check, …)
     std::vector<std::string> checks_run; // pass ids, execution order
 
     [[nodiscard]] bool has_errors() const noexcept;

@@ -71,6 +71,54 @@ TEST(LpFormat, RejectsMalformedInput) {
     EXPECT_THROW((void)parse_lp_format("x + y <= 1\n"), std::runtime_error);
 }
 
+/// Structural round-trip: dump(model) reparsed reproduces every variable
+/// (name, type, bounds), every row (name, sense, rhs, term-by-term
+/// coefficients), and the objective identically — not just the same optimum.
+/// Coefficients are decimal-exact so the writer's %.9g rendering is lossless.
+TEST(LpFormat, StructuralRoundTripIdentity) {
+    Model m;
+    const Var x = m.add_binary("x_a_0");
+    const Var n = m.add_integer("n_elems", 1, 2048);
+    const Var e = m.add_continuous("e_row", 0, kInfinity);
+    m.add_le(LinExpr().add(x, 32).add(e, 1.5), 2048, "mem_stage0");
+    m.add_ge(LinExpr().add(n, 1).add(e, -0.5), -4, "rowlink");
+    m.add_eq(LinExpr().add(x, 1), 1, "place_once");
+    m.set_objective(LinExpr().add(n, 0.25).add(x, 3));
+
+    const Model back = parse_lp_format(m.to_lp_format());
+
+    ASSERT_EQ(back.num_vars(), m.num_vars());
+    for (int j = 0; j < m.num_vars(); ++j) {
+        EXPECT_EQ(back.var_name(j), m.var_name(j)) << "var " << j;
+        EXPECT_EQ(back.var_type(j), m.var_type(j)) << "var " << j;
+        EXPECT_EQ(back.lower_bound(j), m.lower_bound(j)) << "var " << j;
+        EXPECT_EQ(back.upper_bound(j), m.upper_bound(j)) << "var " << j;
+    }
+
+    ASSERT_EQ(back.num_constraints(), m.num_constraints());
+    const auto& rows = m.constraints();
+    const auto& back_rows = back.constraints();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(back_rows[i].name, rows[i].name) << "row " << i;
+        EXPECT_EQ(back_rows[i].sense, rows[i].sense) << "row " << i;
+        EXPECT_EQ(back_rows[i].rhs, rows[i].rhs) << "row " << i;
+        ASSERT_EQ(back_rows[i].expr.terms().size(), rows[i].expr.terms().size())
+            << "row " << i;
+        for (std::size_t t = 0; t < rows[i].expr.terms().size(); ++t) {
+            EXPECT_EQ(back_rows[i].expr.terms()[t].first, rows[i].expr.terms()[t].first)
+                << "row " << i << " term " << t;
+            EXPECT_EQ(back_rows[i].expr.terms()[t].second, rows[i].expr.terms()[t].second)
+                << "row " << i << " term " << t;
+        }
+    }
+
+    ASSERT_EQ(back.objective().terms().size(), m.objective().terms().size());
+    for (std::size_t t = 0; t < m.objective().terms().size(); ++t) {
+        EXPECT_EQ(back.objective().terms()[t].first, m.objective().terms()[t].first);
+        EXPECT_EQ(back.objective().terms()[t].second, m.objective().terms()[t].second);
+    }
+}
+
 /// Round-trip property: dump(model) reparsed solves to the same optimum.
 class LpRoundTrip : public ::testing::TestWithParam<int> {};
 
@@ -111,7 +159,9 @@ TEST_P(LpRoundTrip, DumpReparsesToEquivalentModel) {
     const Solution a = solve_milp(m);
     const Solution b = solve_milp(back);
     ASSERT_EQ(a.optimal(), b.optimal());
-    if (a.optimal()) EXPECT_NEAR(a.objective, b.objective, 1e-5) << m.to_lp_format();
+    if (a.optimal()) {
+        EXPECT_NEAR(a.objective, b.objective, 1e-5) << m.to_lp_format();
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LpRoundTrip, ::testing::Range(0, 40));

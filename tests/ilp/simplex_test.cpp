@@ -166,6 +166,171 @@ TEST(Model, FeasibilityChecker) {
     EXPECT_FALSE(m.is_feasible({1.0}));        // wrong arity
 }
 
+// --- Anti-cycling (Bland's rule) ------------------------------------------
+
+/// Beale's classic cycling LP: under Dantzig pricing with naive tie-breaking
+/// the simplex revisits the same degenerate bases forever. Optimum is 0.05
+/// at (1/25, 0, 1, 0). Solved with perturbation disabled so the anti-cycling
+/// guard alone must terminate the solve.
+Model beale_model() {
+    Model m;
+    const Var x1 = m.add_continuous("x1", 0, kInfinity);
+    const Var x2 = m.add_continuous("x2", 0, kInfinity);
+    const Var x3 = m.add_continuous("x3", 0, kInfinity);
+    const Var x4 = m.add_continuous("x4", 0, kInfinity);
+    m.add_le(LinExpr().add(x1, 0.25).add(x2, -60).add(x3, -0.04).add(x4, 9), 0);
+    m.add_le(LinExpr().add(x1, 0.5).add(x2, -90).add(x3, -0.02).add(x4, 3), 0);
+    m.add_le(LinExpr().add(x3, 1), 1);
+    m.set_objective(LinExpr().add(x1, 0.75).add(x2, -150).add(x3, 0.02).add(x4, -6));
+    return m;
+}
+
+TEST(Simplex, BealeCyclingLpTerminatesWithoutPerturbation) {
+    const Model m = beale_model();
+    LpOptions opts;
+    opts.perturbation = 0.0;
+    const LpResult r = solve_lp(m, nullptr, nullptr, opts);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 0.05, 1e-9);
+}
+
+TEST(Simplex, BealeCyclingLpTerminatesInTextbookSolver) {
+    const Model m = beale_model();
+    LpOptions opts;
+    opts.perturbation = 0.0;
+    const LpResult r = solve_lp_textbook(m, nullptr, nullptr, opts);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 0.05, 1e-9);
+}
+
+TEST(Simplex, DegeneratePivotRegressionWithoutPerturbation) {
+    // The DegenerateProblemTerminates model again, but with the cost
+    // perturbation off: termination must come from the stall guard engaging
+    // Bland's rule, not from the perturbation collapsing the optimal face.
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    const Var z = m.add_continuous("z", 0, kInfinity);
+    m.add_le(LinExpr().add(x, 0.5).add(y, -5.5).add(z, -2.5), 0);
+    m.add_le(LinExpr().add(x, 0.5).add(y, -1.5).add(z, -0.5), 0);
+    m.add_le(LinExpr().add(x, 1), 1);
+    m.set_objective(LinExpr().add(x, 10).add(y, -57).add(z, -9));
+    LpOptions opts;
+    opts.perturbation = 0.0;
+    const LpResult dense = solve_lp(m, nullptr, nullptr, opts);
+    ASSERT_EQ(dense.status, LpStatus::Optimal);
+    EXPECT_NEAR(dense.objective, 1.0, 1e-9);
+    const LpResult textbook = solve_lp_textbook(m, nullptr, nullptr, opts);
+    ASSERT_EQ(textbook.status, LpStatus::Optimal);
+    EXPECT_NEAR(textbook.objective, 1.0, 1e-9);
+}
+
+// --- Dual extraction -------------------------------------------------------
+
+/// Float-side weak-duality bound: Σ y·rhs + Σ_j max(d_j·lb, d_j·ub) with
+/// d = c − yᵀA. The audit layer re-derives this exactly; here we sanity-check
+/// the extracted duals in plain doubles.
+double weak_bound(const Model& m, const std::vector<double>& duals) {
+    std::vector<double> d(static_cast<std::size_t>(m.num_vars()), 0.0);
+    for (const auto& [id, c] : m.objective().terms()) d[static_cast<std::size_t>(id)] += c;
+    double bound = m.objective().constant();
+    const auto& rows = m.constraints();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        bound += duals[i] * rows[i].rhs;
+        for (const auto& [id, c] : rows[i].expr.terms()) {
+            d[static_cast<std::size_t>(id)] -= duals[i] * c;
+        }
+    }
+    for (int j = 0; j < m.num_vars(); ++j) {
+        const double dj = d[static_cast<std::size_t>(j)];
+        if (dj > 0) {
+            bound += dj * m.upper_bound(j);
+        } else if (dj < 0) {
+            bound += dj * m.lower_bound(j);
+        }
+    }
+    return bound;
+}
+
+void expect_valid_duals(const Model& m, const LpResult& r) {
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    ASSERT_EQ(r.duals.size(), m.constraints().size());
+    for (std::size_t i = 0; i < r.duals.size(); ++i) {
+        switch (m.constraints()[i].sense) {
+            case CmpSense::Le: EXPECT_GE(r.duals[i], -1e-7) << "row " << i; break;
+            case CmpSense::Ge: EXPECT_LE(r.duals[i], 1e-7) << "row " << i; break;
+            case CmpSense::Eq: break;  // free
+        }
+    }
+    // Strong duality up to the perturbation budget: the certified bound must
+    // cover the objective and sit within bound_slack (+ float noise) of it.
+    const double bound = weak_bound(m, r.duals);
+    EXPECT_GE(bound, r.objective - 1e-6);
+    EXPECT_LE(bound, r.objective + r.bound_slack + 1e-6);
+}
+
+TEST(Simplex, DualsCertifyOptimumOnInequalityLp) {
+    // SimpleTwoVarLp: optimal dual is y = (3, 0), bound 12.
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    m.add_le(LinExpr().add(x, 1).add(y, 1), 4);
+    m.add_le(LinExpr().add(x, 1).add(y, 3), 6);
+    m.set_objective(LinExpr().add(x, 3).add(y, 2));
+    const LpResult r = solve_lp(m);
+    expect_valid_duals(m, r);
+    EXPECT_NEAR(r.duals[0], 3.0, 1e-5);
+    EXPECT_NEAR(r.duals[1], 0.0, 1e-5);
+}
+
+TEST(Simplex, DualsCertifyOptimumWithEqualityAndGeRows) {
+    // max x s.t. x + y = 5, x >= 2, y >= 1: optimum 4 with duals
+    // (1, 0, -1) — equality dual free, Ge duals ≤ 0.
+    Model m;
+    const Var x = m.add_continuous("x", 0, kInfinity);
+    const Var y = m.add_continuous("y", 0, kInfinity);
+    m.add_eq(LinExpr().add(x, 1).add(y, 1), 5);
+    m.add_ge(LinExpr().add(x, 1), 2);
+    m.add_ge(LinExpr().add(y, 1), 1);
+    m.set_objective(LinExpr().add(x, 1));
+    const LpResult r = solve_lp(m);
+    expect_valid_duals(m, r);
+    EXPECT_NEAR(r.duals[0], 1.0, 1e-5);
+    EXPECT_NEAR(r.duals[2], -1.0, 1e-5);
+}
+
+TEST(Simplex, DualsAgreeBetweenDenseAndTextbookSolvers) {
+    Model m;
+    const Var x = m.add_continuous("x", 0, 10);
+    const Var y = m.add_continuous("y", 0, 10);
+    const Var z = m.add_continuous("z", 1, 6);
+    m.add_le(LinExpr().add(x, 2).add(y, 1).add(z, 1), 14, "r0");
+    m.add_ge(LinExpr().add(x, 1).add(y, -1), -2, "r1");
+    m.add_eq(LinExpr().add(y, 1).add(z, 1), 7, "r2");
+    m.set_objective(LinExpr().add(x, 2).add(y, 3).add(z, 1));
+    const LpResult dense = solve_lp(m);
+    const LpResult textbook = solve_lp_textbook(m);
+    expect_valid_duals(m, dense);
+    expect_valid_duals(m, textbook);
+    EXPECT_NEAR(dense.objective, textbook.objective, 1e-6);
+    for (std::size_t i = 0; i < dense.duals.size(); ++i) {
+        EXPECT_NEAR(dense.duals[i], textbook.duals[i], 1e-5) << "row " << i;
+    }
+}
+
+TEST(Simplex, DualsCertifyNegatedRowNormalization) {
+    // Negative-rhs row forces the internal rhs-normalization sign flip; the
+    // reported dual must still be in the model's (un-negated) convention.
+    Model m;
+    const Var x = m.add_continuous("x", 0, 10);
+    const Var y = m.add_continuous("y", 0, 10);
+    m.add_le(LinExpr().add(x, 1).add(y, -1), -1);
+    m.set_objective(LinExpr().add(x, 1));
+    const LpResult r = solve_lp(m);
+    expect_valid_duals(m, r);
+    EXPECT_NEAR(r.objective, 9.0, 1e-7);
+}
+
 TEST(Model, NormalizeMergesDuplicates) {
     Model m;
     const Var x = m.add_continuous("x", 0, 1);
