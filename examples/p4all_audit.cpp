@@ -155,6 +155,12 @@ int main(int argc, char** argv) {
             }
         }
         return any_rejected ? 1 : 0;
+    } catch (const p4all::support::Error& e) {
+        // Structured failure: the stable code is already rendered in what(),
+        // repeat it bare so scripts can match on it without parsing.
+        std::fprintf(stderr, "p4all-audit: %s (code %s)\n", e.what(),
+                     p4all::support::errc_code(e.code()));
+        return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "p4all-audit: %s\n", e.what());
         return 2;

@@ -13,8 +13,16 @@
 //     --audit                independently re-verify the compiled layout and
 //                            the ILP certificate (src/audit/); rejection
 //                            fails the compilation
+//     --resilient            compile through the fallback portfolio (ILP ->
+//                            Bland restart -> greedy -> exhaustive), each
+//                            attempt audit-gated; prints the attempt record
+//     --deadline <seconds>   wall-clock budget for the compile (cooperative:
+//                            every phase polls it and stops cleanly)
+//     --faults <spec>        arm deterministic fault injection (see
+//                            docs/RESILIENCE.md; same syntax as P4ALL_FAULTS)
 //     --quiet                layout summary only
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -24,8 +32,10 @@
 #include "compiler/compiler.hpp"
 #include "compiler/p4_16.hpp"
 #include "compiler/report.hpp"
+#include "compiler/resilient.hpp"
 #include "lang/parser.hpp"
 #include "support/error.hpp"
+#include "support/faultpoint.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -42,6 +52,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage: p4allc <program.p4all> [--target spec.json] [--backend greedy|ilp]\n"
                  "              [--no-windows] [--dump-ilp] [--verify] [--report] [--audit]\n"
+                 "              [--resilient] [--deadline seconds] [--faults spec]\n"
                  "              [--emit-p4 out.p4] [--emit-p4-16 out.p4] [--quiet]\n");
     return 2;
 }
@@ -57,7 +68,9 @@ int main(int argc, char** argv) {
     bool run_verify = false;
     bool show_report = false;
     bool run_audit = false;
+    bool resilient = false;
     bool quiet = false;
+    double deadline_seconds = -1.0;
     p4all::compiler::CompileOptions options;
 
     for (int i = 1; i < argc; ++i) {
@@ -85,6 +98,17 @@ int main(int argc, char** argv) {
             show_report = true;
         } else if (arg == "--audit") {
             run_audit = true;
+        } else if (arg == "--resilient") {
+            resilient = true;
+        } else if (arg == "--deadline" && i + 1 < argc) {
+            deadline_seconds = std::atof(argv[++i]);
+        } else if (arg == "--faults" && i + 1 < argc) {
+            try {
+                p4all::support::FaultRegistry::instance().configure(argv[++i]);
+            } catch (const p4all::support::Error& e) {
+                std::fprintf(stderr, "p4allc: %s\n", e.what());
+                return 2;
+            }
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -133,8 +157,21 @@ int main(int argc, char** argv) {
             return 0;
         }
 
-        const p4all::compiler::CompileResult result =
-            p4all::compiler::compile_source(source, options, name);
+        if (deadline_seconds >= 0.0) {
+            options.deadline = p4all::support::Deadline::after_seconds(deadline_seconds);
+            options.solve.deadline = options.deadline;
+        }
+
+        p4all::compiler::CompileResult result;
+        if (resilient) {
+            p4all::compiler::ResilienceOptions res;
+            if (deadline_seconds >= 0.0) res.budget_seconds = deadline_seconds;
+            res.external_gate = p4all::audit::make_resilience_gate();
+            result = p4all::compiler::compile_resilient_source(source, options, res, name);
+            if (!quiet) std::printf("%s\n", result.resilience.to_string().c_str());
+        } else {
+            result = p4all::compiler::compile_source(source, options, name);
+        }
 
         std::printf("%s: compiled for '%s' in %.3f s (utility %.2f)\n", input.c_str(),
                     options.target.name.c_str(), result.stats.total_seconds, result.utility);
@@ -177,6 +214,13 @@ int main(int argc, char** argv) {
             std::printf("\n%s", result.p4_source.c_str());
         }
         return 0;
+    } catch (const p4all::compiler::ResilientError& e) {
+        std::fprintf(stderr, "p4allc: error[%s]: %s\n",
+                     p4all::support::errc_code(e.code()), e.what());
+        return 1;
+    } catch (const p4all::support::Error& e) {
+        std::fprintf(stderr, "p4allc: %s\n", e.what());
+        return 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "p4allc: %s\n", e.what());
         return 1;

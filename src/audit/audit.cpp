@@ -500,4 +500,18 @@ verify::LintResult audit_artifacts(const ir::Program& prog, const CompileArtifac
     return verify::run_lint(prog, options);
 }
 
+std::function<std::string(const ir::Program&, const CompileArtifacts&)> make_resilience_gate(
+    bool werror) {
+    return [werror](const ir::Program& prog, const CompileArtifacts& artifacts) -> std::string {
+        const verify::LintResult result = audit_artifacts(prog, artifacts, werror);
+        if (!result.has_errors()) return {};
+        std::string out = "audit rejected the layout:";
+        for (const verify::Finding& f : result.findings) {
+            if (f.severity != support::Severity::Error) continue;
+            out += "\n  [" + f.check + "] " + f.message;
+        }
+        return out;
+    };
+}
+
 }  // namespace p4all::audit

@@ -25,6 +25,9 @@
 // lint run carries none, so they are safe to leave registered globally.
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "compiler/artifacts.hpp"
 #include "verify/lint.hpp"
 
@@ -51,5 +54,14 @@ void register_audit_passes(verify::PassRegistry& registry);
 [[nodiscard]] verify::LintResult audit_artifacts(const ir::Program& prog,
                                                  const compiler::CompileArtifacts& artifacts,
                                                  bool werror = false);
+
+/// Acceptance gate for the resilient driver (compiler/resilient.hpp): runs
+/// the five audit passes and returns "" when the layout is clean, otherwise
+/// the rendered error findings. Injected as ResilienceOptions::external_gate
+/// — the compiler library cannot call this layer directly (it links the
+/// other way), so anytime incumbents get independently re-checked before the
+/// portfolio accepts them.
+[[nodiscard]] std::function<std::string(const ir::Program&, const compiler::CompileArtifacts&)>
+make_resilience_gate(bool werror = false);
 
 }  // namespace p4all::audit

@@ -14,6 +14,7 @@
 #include "compiler/ilpgen.hpp"
 #include "compiler/layout.hpp"
 #include "compiler/report.hpp"
+#include "compiler/resilience.hpp"
 #include "ilp/solver.hpp"
 #include "target/spec.hpp"
 
@@ -33,6 +34,10 @@ struct CompileArtifacts {
     GeneratedIlp ilp;               // Figure 10 model + variable bookkeeping
     ilp::Solution solution;         // incumbent + root dual certificate
     ilp::SolveOptions solve_options;  // tolerances the solve ran under
+
+    /// How this compile was obtained when the resilient driver produced it
+    /// (which backends were tried, why each stopped); empty otherwise.
+    ResilienceReport resilience;
 
     /// One-paragraph human-readable description (for p4all-audit -v).
     [[nodiscard]] std::string summary() const;

@@ -12,11 +12,15 @@
 #include <string>
 
 #include "compiler/layout.hpp"
+#include "support/deadline.hpp"
 
 namespace p4all::compiler {
 
 /// Renders `layout` as concrete P4 source. Stage assignments are emitted as
-/// comments (`// stage k`) above each action invocation.
-[[nodiscard]] std::string generate_p4(const ir::Program& prog, const Layout& layout);
+/// comments (`// stage k`) above each action invocation. The deadline is
+/// polled per stage; expiry raises support::Error with code DeadlineExceeded
+/// (or Cancelled) rather than emitting a truncated program.
+[[nodiscard]] std::string generate_p4(const ir::Program& prog, const Layout& layout,
+                                      const support::Deadline& deadline = {});
 
 }  // namespace p4all::compiler

@@ -7,6 +7,7 @@
 #include "compiler/report.hpp"
 #include "lang/parser.hpp"
 #include "support/error.hpp"
+#include "support/faultpoint.hpp"
 
 namespace p4all::compiler {
 
@@ -28,7 +29,9 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
     if (options.emit_artifacts) {
         artifacts = std::make_shared<CompileArtifacts>();
         artifacts->name = name;
-        artifacts->backend = options.backend == Backend::Greedy ? "greedy" : "ilp";
+        artifacts->backend = options.backend == Backend::Greedy       ? "greedy"
+                             : options.backend == Backend::Exhaustive ? "exhaustive"
+                                                                      : "ilp";
         artifacts->target = options.target;
     }
 
@@ -44,10 +47,19 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
     result.stats.bounds_seconds = since(t0);
 
     if (options.backend == Backend::Greedy) {
-        auto greedy = greedy_place(result.program, options.target, result.stats.unroll_bounds);
+        auto greedy = greedy_place(result.program, options.target, result.stats.unroll_bounds,
+                                   options.deadline);
         if (!greedy) {
-            throw CompileError("program '" + name + "' does not fit target '" +
-                               options.target.name + "' (greedy backend)");
+            if (options.deadline.expired()) {
+                throw support::Error(options.deadline.cancelled()
+                                         ? support::Errc::Cancelled
+                                         : support::Errc::DeadlineExceeded,
+                                     "greedy placement for '" + name +
+                                         "' cut off before finding a layout");
+            }
+            throw support::Error(support::Errc::NoLayoutFound,
+                                 "program '" + name + "' does not fit target '" +
+                                     options.target.name + "' (greedy backend)");
         }
         result.layout = std::move(greedy->layout);
         result.utility = greedy->utility;
@@ -61,28 +73,43 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
 
         t0 = Clock::now();
         ilp::SolveOptions solve_opts = options.solve;
-        if (solve_opts.warm_start.empty()) {
-            // Seed branch-and-bound with the greedy heuristic's layout: the
-            // LP bound is often tight, so a good incumbent prunes most of
-            // the tree immediately.
-            if (const auto greedy =
-                    greedy_place(result.program, options.target, result.stats.unroll_bounds)) {
-                solve_opts.warm_start = warm_start_values(result.program, gen, greedy->layout);
+        // The whole-pipeline deadline also bounds the solve (tighter wins).
+        solve_opts.deadline = solve_opts.deadline.merged(options.deadline);
+        ilp::Solution solution;
+        if (options.backend == Backend::Exhaustive) {
+            solution = ilp::solve_exhaustive(gen.model, options.exhaustive_max_combinations,
+                                             solve_opts.deadline);
+        } else {
+            if (solve_opts.warm_start.empty()) {
+                // Seed branch-and-bound with the greedy heuristic's layout:
+                // the LP bound is often tight, so a good incumbent prunes
+                // most of the tree immediately.
+                if (const auto greedy = greedy_place(result.program, options.target,
+                                                     result.stats.unroll_bounds,
+                                                     solve_opts.deadline)) {
+                    solve_opts.warm_start =
+                        warm_start_values(result.program, gen, greedy->layout);
+                }
             }
+            solution = ilp::solve_milp(gen.model, solve_opts);
         }
-        const ilp::Solution solution = ilp::solve_milp(gen.model, solve_opts);
         result.stats.solve_seconds = since(t0);
         result.stats.bb_nodes = solution.nodes;
         result.stats.lp_iterations = solution.lp_iterations;
 
         if (solution.status == ilp::SolveStatus::Infeasible) {
-            throw CompileError("program '" + name + "' does not fit target '" +
-                               options.target.name +
-                               "' under its assume constraints (ILP infeasible)");
+            throw support::Error(support::Errc::Infeasible,
+                                 "program '" + name + "' does not fit target '" +
+                                     options.target.name +
+                                     "' under its assume constraints (ILP infeasible)");
         }
         if (!solution.optimal() && solution.values.empty()) {
-            throw CompileError("ILP solve hit its limit without finding any layout for '" +
-                               name + "'; raise SolveOptions limits");
+            const support::Errc code = solution.error != support::Errc::None
+                                           ? solution.error
+                                           : support::Errc::NoLayoutFound;
+            std::string msg = "solve stopped without finding any layout for '" + name + "'";
+            if (!solution.error_detail.empty()) msg += " (" + solution.error_detail + ")";
+            throw support::Error(code, msg);
         }
         result.layout = extract_layout(result.program, options.target, gen, solution);
         result.utility = solution.objective;
@@ -100,18 +127,24 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
         if (!violations.empty()) {
             std::string msg = "internal error: compiled layout fails audit:";
             for (const std::string& v : violations) msg += "\n  " + v;
-            throw CompileError(msg);
+            throw support::Error(support::Errc::AuditRejected, msg);
         }
     }
 
     if (artifacts) {
+        // Fault point: simulates artifact-packaging failure (e.g. an I/O or
+        // serialization error) after a successful solve.
+        if (support::fault_fires("artifacts.emit")) {
+            throw support::Error(support::Errc::FaultInjected,
+                                 "injected fault: artifacts.emit for '" + name + "'");
+        }
         artifacts->layout = result.layout;
         artifacts->claimed_utility = result.utility;
         artifacts->claimed_usage = compute_usage(result.program, options.target, result.layout);
         result.artifacts = std::move(artifacts);
     }
 
-    result.p4_source = generate_p4(result.program, result.layout);
+    result.p4_source = generate_p4(result.program, result.layout, options.deadline);
     result.stats.total_seconds = since(t_start);
     return result;
 }

@@ -25,8 +25,9 @@
 namespace p4all::compiler {
 
 enum class Backend {
-    Ilp,     // exact: Figure 10 MILP via branch-and-bound
-    Greedy,  // heuristic: list scheduling + element stretching
+    Ilp,         // exact: Figure 10 MILP via branch-and-bound
+    Greedy,      // heuristic: list scheduling + element stretching
+    Exhaustive,  // reference: full integer enumeration (tiny models only)
 };
 
 struct CompileOptions {
@@ -35,6 +36,13 @@ struct CompileOptions {
     ilp::SolveOptions solve;
     IlpGenOptions ilpgen;
     Backend backend = Backend::Ilp;
+    /// Whole-pipeline cooperative cutoff: merged into the solve deadline and
+    /// also checked by the greedy backend and codegen, so every phase — not
+    /// just the MILP search — honors a caller's budget or cancel request.
+    support::Deadline deadline;
+    /// Combination cap for Backend::Exhaustive; larger domains yield a
+    /// structured DomainTooLarge failure (the portfolio driver's cue to skip).
+    std::int64_t exhaustive_max_combinations = 4096;
     /// Post-solve audit of the layout against every constraint; failures
     /// throw (they would indicate a compiler bug, not a user error).
     bool audit = true;
@@ -67,6 +75,9 @@ struct CompileResult {
     /// null when CompileOptions::emit_artifacts is off. Shared so callers can
     /// keep it alive past the result (the audit passes borrow it).
     std::shared_ptr<const CompileArtifacts> artifacts;
+    /// Fallback-portfolio account; empty unless compile_resilient produced
+    /// this result (compiler/resilient.hpp).
+    ResilienceReport resilience;
 };
 
 /// Compiles a parsed P4All program. Throws support::CompileError when the

@@ -260,7 +260,8 @@ void stretch_elements(const ir::Program& prog, const target::TargetSpec& target,
 
 std::optional<GreedyResult> greedy_place(const ir::Program& prog,
                                          const target::TargetSpec& target,
-                                         const std::vector<std::int64_t>& bounds) {
+                                         const std::vector<std::int64_t>& bounds,
+                                         const support::Deadline& deadline) {
     const std::vector<std::vector<ir::SymbolId>> groups = equality_groups(prog);
     std::vector<std::int64_t> k = bounds;
     std::vector<std::int64_t> k_min(prog.symbols.size(), 0);
@@ -325,14 +326,22 @@ std::optional<GreedyResult> greedy_place(const ir::Program& prog,
 
     if (combos <= 256) {
         std::vector<std::int64_t> counts = k;
+        bool stopped = false;
         const std::function<void(std::size_t)> enumerate = [&](std::size_t depth) {
+            if (stopped) return;
             if (depth == iter_groups.size()) {
+                // Poll between attempts (each is a full schedule + stretch +
+                // audit); on expiry keep whatever best layout exists so far.
+                if (deadline.expired()) {
+                    stopped = true;
+                    return;
+                }
                 attempt(counts);
                 return;
             }
             const std::vector<ir::SymbolId>& iters = iter_groups[depth];
             const std::size_t rep = static_cast<std::size_t>(iters.front());
-            for (std::int64_t v = k[rep]; v >= k_min[rep]; --v) {
+            for (std::int64_t v = k[rep]; v >= k_min[rep] && !stopped; --v) {
                 for (const ir::SymbolId s : iters) counts[static_cast<std::size_t>(s)] = v;
                 enumerate(depth + 1);
             }
@@ -342,6 +351,7 @@ std::optional<GreedyResult> greedy_place(const ir::Program& prog,
     }
 
     while (true) {
+        if (deadline.expired()) return best;
         attempt(k);
         if (best) return best;
         // Shrink the largest shrinkable iteration-count group and retry.

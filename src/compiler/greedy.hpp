@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "compiler/layout.hpp"
+#include "support/deadline.hpp"
 
 namespace p4all::compiler {
 
@@ -21,9 +22,11 @@ struct GreedyResult {
 /// Attempts a feasible layout with iteration counts starting at `bounds`
 /// and shrinking until the schedule fits; element counts are then stretched
 /// into the remaining per-stage memory. Returns nullopt if no feasible
-/// assignment exists even at minimum sizes.
-[[nodiscard]] std::optional<GreedyResult> greedy_place(const ir::Program& prog,
-                                                       const target::TargetSpec& target,
-                                                       const std::vector<std::int64_t>& bounds);
+/// assignment exists even at minimum sizes. The deadline is polled between
+/// attempts: on expiry the search stops and returns the best layout found so
+/// far (or nullopt if none yet).
+[[nodiscard]] std::optional<GreedyResult> greedy_place(
+    const ir::Program& prog, const target::TargetSpec& target,
+    const std::vector<std::int64_t>& bounds, const support::Deadline& deadline = {});
 
 }  // namespace p4all::compiler

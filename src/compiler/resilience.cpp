@@ -1,0 +1,98 @@
+#include "compiler/resilience.hpp"
+
+namespace p4all::compiler {
+
+const char* attempt_outcome_name(AttemptOutcome outcome) noexcept {
+    switch (outcome) {
+        case AttemptOutcome::Success: return "success";
+        case AttemptOutcome::Timeout: return "timeout";
+        case AttemptOutcome::Cancelled: return "cancelled";
+        case AttemptOutcome::Infeasible: return "infeasible";
+        case AttemptOutcome::NumericalTrouble: return "numerical-trouble";
+        case AttemptOutcome::AuditRejected: return "audit-rejected";
+        case AttemptOutcome::Error: return "error";
+        case AttemptOutcome::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string trimmed_double(double v) {
+    std::string s = std::to_string(v);
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xF];
+                    out += hex[c & 0xF];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string ResilienceReport::to_string() const {
+    std::string out = "resilience: budget " + trimmed_double(budget_seconds) + "s, spent " +
+                      trimmed_double(total_seconds) + "s, ";
+    if (succeeded()) {
+        out += "accepted '" + final_backend + "'" + (anytime ? " (anytime incumbent)" : "");
+    } else {
+        out += "no backend succeeded";
+    }
+    for (const AttemptReport& a : attempts) {
+        out += "\n  " + a.backend + ": " + attempt_outcome_name(a.outcome);
+        if (a.error != support::Errc::None) {
+            out += " [" + std::string(support::errc_code(a.error)) + "]";
+        }
+        out += " in " + trimmed_double(a.seconds) + "s";
+        if (a.nodes > 0) out += ", " + std::to_string(a.nodes) + " nodes";
+        if (a.lp_iterations > 0) out += ", " + std::to_string(a.lp_iterations) + " LP iters";
+        if (a.perturb_seed != 0) out += ", seed " + std::to_string(a.perturb_seed);
+        if (a.anytime) out += ", anytime";
+        if (!a.detail.empty()) out += " — " + a.detail;
+    }
+    return out;
+}
+
+std::string ResilienceReport::to_json() const {
+    std::string out = "{\"budget_seconds\":" + trimmed_double(budget_seconds) +
+                      ",\"total_seconds\":" + trimmed_double(total_seconds) +
+                      ",\"final_backend\":\"" + json_escape(final_backend) +
+                      "\",\"anytime\":" + (anytime ? "true" : "false") + ",\"attempts\":[";
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+        const AttemptReport& a = attempts[i];
+        if (i != 0) out += ",";
+        out += "{\"backend\":\"" + json_escape(a.backend) + "\",\"outcome\":\"" +
+               attempt_outcome_name(a.outcome) + "\",\"error\":\"" +
+               (a.error == support::Errc::None ? "" : support::errc_code(a.error)) +
+               "\",\"detail\":\"" + json_escape(a.detail) +
+               "\",\"seconds\":" + trimmed_double(a.seconds) +
+               ",\"nodes\":" + std::to_string(a.nodes) +
+               ",\"lp_iterations\":" + std::to_string(a.lp_iterations) +
+               ",\"perturb_seed\":" + std::to_string(a.perturb_seed) +
+               ",\"anytime\":" + (a.anytime ? "true" : "false") + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace p4all::compiler

@@ -1,0 +1,64 @@
+// Structured record of a resilient compile: which backends were attempted,
+// why each one stopped, and what the driver finally shipped.
+//
+// Kept free of heavy compiler includes so CompileArtifacts can embed a
+// ResilienceReport without a header cycle (the driver itself lives in
+// compiler/resilient.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace p4all::compiler {
+
+/// How one backend attempt ended.
+enum class AttemptOutcome {
+    Success,           // produced an accepted (audited) layout
+    Timeout,           // cut off by the deadline
+    Cancelled,         // cut off by the cancel token
+    Infeasible,        // proved no layout exists
+    NumericalTrouble,  // simplex breakdown (detected or injected)
+    AuditRejected,     // produced a layout the audit gate refused
+    Error,             // any other structured failure
+    Skipped,           // never ran (disabled, no budget, or not applicable)
+};
+
+[[nodiscard]] const char* attempt_outcome_name(AttemptOutcome outcome) noexcept;
+
+/// One backend attempt inside the fallback portfolio.
+struct AttemptReport {
+    std::string backend;  // "ilp", "ilp-bland", "greedy", "exhaustive"
+    AttemptOutcome outcome = AttemptOutcome::Skipped;
+    support::Errc error = support::Errc::None;
+    std::string detail;
+    double seconds = 0.0;
+    std::int64_t nodes = 0;
+    std::int64_t lp_iterations = 0;
+    /// Perturbation seed the attempt's LP solves ran under — logged so any
+    /// injected failure or restart replays bit-for-bit.
+    std::uint64_t perturb_seed = 0;
+    /// True when the attempt shipped a best-so-far incumbent from a search
+    /// that did not run to completion (anytime semantics).
+    bool anytime = false;
+};
+
+/// The driver's full account of a resilient compile.
+struct ResilienceReport {
+    double budget_seconds = 0.0;
+    double total_seconds = 0.0;
+    /// Backend whose layout was accepted; empty when every attempt failed.
+    std::string final_backend;
+    bool anytime = false;
+    std::vector<AttemptReport> attempts;
+
+    [[nodiscard]] bool succeeded() const noexcept { return !final_backend.empty(); }
+    /// Multi-line human-readable account (one line per attempt).
+    [[nodiscard]] std::string to_string() const;
+    /// Compact JSON object mirroring the fields above.
+    [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace p4all::compiler

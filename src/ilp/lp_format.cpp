@@ -3,8 +3,8 @@
 #include <cctype>
 #include <charconv>
 #include <map>
-#include <stdexcept>
 
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace p4all::ilp {
@@ -101,8 +101,9 @@ private:
     }
 
     [[noreturn]] static void fail(int line_no, const std::string& why) {
-        throw std::runtime_error("lp parse error at line " + std::to_string(line_no) + ": " +
-                                 why);
+        throw support::Error(support::Errc::ParseError,
+                             "lp parse error at line " + std::to_string(line_no) +
+                                 ": " + why);
     }
 
     void touch(const std::string& name) {

@@ -17,8 +17,8 @@
 
 namespace p4all::ilp {
 
-/// Parses LP-format text into a Model. Throws std::runtime_error with a
-/// line-annotated message on malformed input. Minimize objectives are
+/// Parses LP-format text into a Model. Throws support::Error with code
+/// Errc::ParseError and a line-annotated message on malformed input. Minimize objectives are
 /// negated into the Model's maximize convention.
 [[nodiscard]] Model parse_lp_format(std::string_view text);
 

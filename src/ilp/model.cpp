@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
+#include "support/error.hpp"
 
 namespace p4all::ilp {
 
 LinExpr& LinExpr::add(Var v, double coeff) {
-    if (!v.valid()) throw std::logic_error("LinExpr::add: invalid variable");
+    if (!v.valid()) throw support::Error(support::Errc::InvalidModel,
+                             "LinExpr::add: invalid variable");
     if (coeff != 0.0) terms_.emplace_back(v.id, coeff);
     return *this;
 }
@@ -40,7 +41,8 @@ double LinExpr::evaluate(const std::vector<double>& values) const {
 }
 
 Var Model::add_var(std::string name, VarType type, double lb, double ub) {
-    if (lb > ub) throw std::logic_error("Model::add_var: lb > ub for " + name);
+    if (lb > ub) throw support::Error(support::Errc::InvalidModel,
+                             "Model::add_var: lb > ub for " + name);
     const Var v{static_cast<int>(types_.size())};
     types_.push_back(type);
     lb_.push_back(lb);

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/error.hpp"
+#include "support/faultpoint.hpp"
 #include "support/rng.hpp"
 
 namespace p4all::ilp {
@@ -42,6 +43,8 @@ public:
             const LpStatus st = iterate(result.iterations, /*phase1=*/true);
             if (st == LpStatus::IterLimit) {
                 result.status = st;
+                result.deadline_hit = deadline_hit_;
+                result.error = error_;
                 return result;
             }
             double artificial_sum = 0.0;
@@ -62,7 +65,11 @@ public:
         load_phase2_objective();
         const LpStatus st = iterate(result.iterations, /*phase1=*/false);
         result.status = st;
-        if (st != LpStatus::Optimal) return result;
+        if (st != LpStatus::Optimal) {
+            result.deadline_hit = deadline_hit_;
+            result.error = error_;
+            return result;
+        }
 
         // Dual extraction. The tableau's objective row holds the reduced
         // costs r_j = ĉ_j − w'A_j of the shifted minimization problem; the
@@ -157,7 +164,10 @@ private:
 
         for (int j = 0; j < n_; ++j) {
             const double d = ub_[static_cast<std::size_t>(j)] - lb_[static_cast<std::size_t>(j)];
-            if (d < -1e-12) throw std::logic_error("simplex: lb > ub");
+            if (d < -1e-12) {
+                throw support::Error(support::Errc::InvalidModel,
+                                     "simplex: lb > ub for variable '" + model_.var_name(j) + "'");
+            }
             span_[static_cast<std::size_t>(j)] = std::max(d, 0.0);
         }
 
@@ -216,7 +226,12 @@ private:
             for (int j = 0; j < n_; ++j) {
                 const std::size_t js = static_cast<std::size_t>(j);
                 if (span_[js] == kInfinity || span_[js] <= 0.0) continue;
-                std::uint64_t state = 0x9E3779B97F4A7C15ULL ^ (static_cast<std::uint64_t>(j) << 17);
+                // perturb_seed == 0 reproduces the historical tilt exactly;
+                // any other seed gives a different (still deterministic) one.
+                std::uint64_t state =
+                    (0x9E3779B97F4A7C15ULL +
+                     options_.perturb_seed * 0xD1342543DE82EF95ULL) ^
+                    (static_cast<std::uint64_t>(j) << 17);
                 const double xi =
                     0.5 + 0.5 * static_cast<double>(support::splitmix64(state) >> 11) * 0x1.0p-53;
                 const double eps = options_.perturbation * xi / span_[js];
@@ -245,13 +260,27 @@ private:
             options_.max_iterations > 0 ? options_.max_iterations : 400 + 60 * (m_ + cols_);
         const double tol = options_.tol;
         int stall = 0;
-        bool bland = false;
+        bool bland = options_.force_bland;
         // Devex reference weights: pricing by r_j²/w_j needs far fewer
         // iterations than plain Dantzig on degenerate placement LPs.
         std::vector<double> devex(static_cast<std::size_t>(cols_), 1.0);
 
         while (true) {
-            if (++iterations > limit) return LpStatus::IterLimit;
+            if (++iterations > limit) {
+                error_ = support::Errc::ResourceLimit;
+                return LpStatus::IterLimit;
+            }
+            // Deadline poll, amortized: one clock read per 16 iterations
+            // (including the very first, so an already-expired budget does
+            // no pivoting at all) keeps the worst-case overshoot of a
+            // caller's wall budget to a handful of pivots.
+            if ((iterations & 15) == 1 && !options_.deadline.unlimited() &&
+                options_.deadline.expired()) {
+                deadline_hit_ = true;
+                error_ = options_.deadline.cancelled() ? support::Errc::Cancelled
+                                                       : support::Errc::DeadlineExceeded;
+                return LpStatus::IterLimit;
+            }
 
             // Pricing: nonbasic at lower wants r < 0; at upper wants r > 0.
             int enter = -1;
@@ -381,7 +410,7 @@ private:
                 if (++stall > kDegeneratePivotLimit(m_)) bland = true;
             } else {
                 stall = 0;
-                bland = false;
+                bland = options_.force_bland;
             }
 
             if (leave < 0) {
@@ -391,6 +420,13 @@ private:
                 }
                 at_upper_[es] = !at_upper_[es];
                 continue;
+            }
+
+            // Fault point: a firing here simulates the pivot breakdown this
+            // status exists for (tiny pivot magnitude corrupting the basis).
+            if (support::fault_fires("simplex.pivot")) {
+                error_ = support::Errc::NumericalTrouble;
+                return LpStatus::IterLimit;
             }
 
             // Pivot: update basic values, then eliminate the column.
@@ -465,6 +501,8 @@ private:
     std::vector<int> aux_col_;      // row -> slack/artificial column (duals)
     std::vector<int> dual_sign_;    // row -> σrow·σcol sign for dual readout
     double bound_slack_ = 0.0;      // exact perturbation budget
+    bool deadline_hit_ = false;     // IterLimit caused by deadline/cancel
+    support::Errc error_ = support::Errc::None;
 };
 
 }  // namespace
@@ -489,8 +527,9 @@ LpResult solve_lp(const Model& model, const std::vector<double>* lb,
     }
     for (int j = 0; j < model.num_vars(); ++j) {
         if ((*lb)[static_cast<std::size_t>(j)] == -kInfinity) {
-            throw std::logic_error("simplex: variable '" + model.var_name(j) +
-                                   "' has an infinite lower bound (unsupported)");
+            throw support::Error(support::Errc::InvalidModel,
+                                 "simplex: variable '" + model.var_name(j) +
+                                     "' has an infinite lower bound (unsupported)");
         }
     }
     BoundedSimplex solver(model, *lb, *ub, options);

@@ -12,9 +12,12 @@
 // cycling.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ilp/model.hpp"
+#include "support/deadline.hpp"
+#include "support/error.hpp"
 
 namespace p4all::ilp {
 
@@ -40,6 +43,12 @@ struct LpResult {
     /// reconstruct it from two rounded doubles).
     double bound_slack = 0.0;
     int iterations = 0;
+    /// True when IterLimit was caused by the deadline/cancellation rather
+    /// than the iteration budget.
+    bool deadline_hit = false;
+    /// Structured diagnostic for non-Optimal statuses: DeadlineExceeded /
+    /// Cancelled / ResourceLimit / NumericalTrouble (detected or injected).
+    support::Errc error = support::Errc::None;
 };
 
 struct LpOptions {
@@ -50,6 +59,19 @@ struct LpOptions {
     /// the face to a vertex and avoids degenerate crawling. The induced
     /// bound error is accounted exactly in LpResult::bound. 0 disables.
     double perturbation = 1e-7;
+    /// Extra entropy mixed into the deterministic perturbation: restarting a
+    /// numerically stuck solve with a different seed tilts the face along a
+    /// different direction. 0 reproduces the historical tilt; every value is
+    /// fully reproducible (log the seed, replay the solve).
+    std::uint64_t perturb_seed = 0;
+    /// Run Bland's rule from the first iteration instead of engaging it only
+    /// after a degenerate stall — slower but cycle-proof; the fallback
+    /// driver's restart profile.
+    bool force_bland = false;
+    /// Cooperative wall-clock budget, polled inside the iteration loop (so a
+    /// single long solve cannot overshoot a caller's time limit). Expiry
+    /// returns IterLimit with deadline_hit set.
+    support::Deadline deadline;
 };
 
 /// Solves the LP relaxation (integrality ignored). `lb`/`ub` override the

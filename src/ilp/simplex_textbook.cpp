@@ -5,7 +5,9 @@
 // simplex.cpp; kept as an independent oracle for randomized cross-checks.
 
 #include <cmath>
-#include <stdexcept>
+
+#include "support/error.hpp"
+#include "support/faultpoint.hpp"
 
 namespace p4all::ilp {
 
@@ -28,6 +30,8 @@ public:
             const LpStatus st = iterate(result.iterations, /*phase1=*/true);
             if (st == LpStatus::IterLimit) {
                 result.status = LpStatus::IterLimit;
+                result.deadline_hit = deadline_hit_;
+                result.error = error_;
                 return result;
             }
             if (current_objective() > 1e-6) {
@@ -39,7 +43,11 @@ public:
         load_phase2_objective();
         const LpStatus st = iterate(result.iterations, /*phase1=*/false);
         result.status = st;
-        if (st != LpStatus::Optimal) return result;
+        if (st != LpStatus::Optimal) {
+            result.deadline_hit = deadline_hit_;
+            result.error = error_;
+            return result;
+        }
 
         result.values.assign(static_cast<std::size_t>(n_), 0.0);
         for (int i = 0; i < m_; ++i) {
@@ -103,7 +111,10 @@ private:
             const double span =
                 ub_[static_cast<std::size_t>(j)] - lb_[static_cast<std::size_t>(j)];
             if (span == kInfinity) continue;
-            if (span < 0) throw std::logic_error("simplex: lb > ub");
+            if (span < 0) {
+                throw support::Error(support::Errc::InvalidModel,
+                                     "simplex: lb > ub for variable '" + model_.var_name(j) + "'");
+            }
             Row r;
             r.sense = CmpSense::Le;
             r.terms.emplace_back(j, 1.0);
@@ -225,9 +236,22 @@ private:
         const double tol = options_.tol;
         int stall = 0;
         double last_obj = current_objective();
-        bool bland = false;
+        bool bland = options_.force_bland;
         while (true) {
-            if (iterations++ > limit) return LpStatus::IterLimit;
+            if (iterations++ > limit) {
+                error_ = support::Errc::ResourceLimit;
+                return LpStatus::IterLimit;
+            }
+            // Deadline poll (amortized), mirroring the bounded solver: the
+            // caller's wall budget binds inside a single solve, not only at
+            // branch-and-bound node boundaries.
+            if ((iterations & 15) == 1 && !options_.deadline.unlimited() &&
+                options_.deadline.expired()) {
+                deadline_hit_ = true;
+                error_ = options_.deadline.cancelled() ? support::Errc::Cancelled
+                                                       : support::Errc::DeadlineExceeded;
+                return LpStatus::IterLimit;
+            }
             // Entering column: reduced cost < -tol. Artificials never
             // re-enter; in phase 2 they are banned entirely.
             int enter = -1;
@@ -260,6 +284,13 @@ private:
                 }
             }
             if (leave < 0) return phase1 ? LpStatus::Infeasible : LpStatus::Unbounded;
+
+            // Shared fault point with the bounded solver: simulates a pivot
+            // breakdown so both implementations exercise the same path.
+            if (support::fault_fires("simplex.pivot")) {
+                error_ = support::Errc::NumericalTrouble;
+                return LpStatus::IterLimit;
+            }
 
             pivot(leave, enter);
 
@@ -313,6 +344,8 @@ private:
     std::vector<int> basis_;
     std::vector<int> aux_col_;   // row -> slack/artificial column (duals)
     std::vector<int> dual_sign_; // row -> σrow·σcol sign for dual readout
+    bool deadline_hit_ = false;  // IterLimit caused by deadline/cancel
+    support::Errc error_ = support::Errc::None;
 };
 
 }  // namespace
@@ -337,8 +370,9 @@ LpResult solve_lp_textbook(const Model& model, const std::vector<double>* lb,
     }
     for (int j = 0; j < model.num_vars(); ++j) {
         if ((*lb)[static_cast<std::size_t>(j)] == -kInfinity) {
-            throw std::logic_error("simplex: variable '" + model.var_name(j) +
-                                   "' has an infinite lower bound (unsupported)");
+            throw support::Error(support::Errc::InvalidModel,
+                                 "simplex: variable '" + model.var_name(j) +
+                                     "' has an infinite lower bound (unsupported)");
         }
     }
     Tableau tableau(model, *lb, *ub, options);

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <stdexcept>
+
+#include "support/faultpoint.hpp"
 
 namespace p4all::ilp {
 
@@ -20,11 +21,22 @@ double seconds_since(Clock::time_point start) {
 bool try_rounding(const Model& model, const std::vector<double>& lp_values,
                   std::vector<double>& rounded_out) {
     std::vector<double> rounded = lp_values;
+    int first_int = -1;
     for (int j = 0; j < model.num_vars(); ++j) {
         if (model.var_type(j) == VarType::Continuous) continue;
+        if (first_int < 0) first_int = j;
         const std::size_t idx = static_cast<std::size_t>(j);
         rounded[idx] = std::clamp(std::round(rounded[idx]), model.lower_bound(j),
                                   model.upper_bound(j));
+    }
+    // Fault point: a firing simulates a buggy rounding heuristic — the
+    // incumbent is corrupted and the feasibility re-check is skipped, so the
+    // only thing standing between the bad layout and the user is the audit
+    // gate downstream.
+    if (support::fault_fires("bnb.round")) {
+        if (first_int >= 0) rounded[static_cast<std::size_t>(first_int)] += 1.0;
+        rounded_out = std::move(rounded);
+        return true;
     }
     if (!model.is_feasible(rounded, 1e-6)) return false;
     rounded_out = std::move(rounded);
@@ -45,6 +57,13 @@ std::int64_t Solution::value_int(Var v) const {
 
 Solution solve_milp(const Model& model, const SolveOptions& options) {
     const auto start = Clock::now();
+    // Combine the legacy scalar limit with the cooperative deadline; the
+    // tighter bound wins and is threaded into every LP solve below.
+    const support::Deadline deadline =
+        options.deadline.tightened(options.time_limit_seconds);
+    LpOptions lp_options = options.lp;
+    lp_options.deadline = deadline;
+
     Solution best;
     best.status = SolveStatus::Infeasible;
 
@@ -69,9 +88,21 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     stack.push_back({std::move(root_lb), std::move(root_ub)});
 
     while (!stack.empty()) {
-        if (best.nodes >= options.max_nodes ||
-            seconds_since(start) > options.time_limit_seconds) {
-            best.status = have_incumbent ? SolveStatus::Limit : SolveStatus::Limit;
+        if (best.nodes >= options.max_nodes) {
+            best.status = SolveStatus::Limit;
+            best.error = support::Errc::ResourceLimit;
+            best.error_detail = "node limit reached (" +
+                                std::to_string(options.max_nodes) + " nodes)";
+            best.seconds = seconds_since(start);
+            return best;
+        }
+        if (deadline.expired()) {
+            best.status = SolveStatus::Limit;
+            best.error = deadline.cancelled() ? support::Errc::Cancelled
+                                              : support::Errc::DeadlineExceeded;
+            best.error_detail = deadline.cancelled()
+                                    ? "cancellation requested during search"
+                                    : "time budget exhausted during search";
             best.seconds = seconds_since(start);
             return best;
         }
@@ -79,7 +110,15 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
         stack.pop_back();
         ++best.nodes;
 
-        const LpResult lp = solve_lp(model, &node.lb, &node.ub, options.lp);
+        // Fault point: simulates a node whose relaxation blew up — the
+        // subtree is abandoned, so the search ends incomplete (Limit, never a
+        // false Optimal).
+        if (support::fault_fires("bnb.node")) {
+            abandoned_subtree = true;
+            continue;
+        }
+
+        const LpResult lp = solve_lp(model, &node.lb, &node.ub, lp_options);
         best.lp_iterations += lp.iterations;
         if (best.nodes == 1 && lp.status == LpStatus::Optimal) {
             // Root relaxation: keep its dual certificate so the audit layer
@@ -93,13 +132,31 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
             // Unbounded relaxation at the root means an unbounded MILP for
             // our models (integer vars are bounded).
             best.status = SolveStatus::Unbounded;
+            best.error = support::Errc::Unbounded;
+            best.error_detail = "objective is unbounded over the relaxation";
             best.seconds = seconds_since(start);
             return best;
         }
         if (lp.status == LpStatus::IterLimit) {
+            if (lp.deadline_hit) {
+                // The LP itself ran out of budget: stop the whole search and
+                // return the incumbent (anytime semantics).
+                best.status = SolveStatus::Limit;
+                best.error = lp.error;
+                best.error_detail = lp.error == support::Errc::Cancelled
+                                        ? "cancellation requested inside simplex"
+                                        : "time budget exhausted inside simplex";
+                best.seconds = seconds_since(start);
+                return best;
+            }
             // This subtree could not be resolved: remember that the search
             // is incomplete so we never falsely claim optimality.
             abandoned_subtree = true;
+            if (lp.error == support::Errc::NumericalTrouble &&
+                best.error == support::Errc::None) {
+                best.error = support::Errc::NumericalTrouble;
+                best.error_detail = "simplex reported numerical trouble";
+            }
             continue;
         }
         // Prune on the perturbation-corrected bound (a valid upper bound on
@@ -191,6 +248,20 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     } else if (abandoned_subtree) {
         best.status = SolveStatus::Limit;
     }
+    if (best.status == SolveStatus::Limit && best.error == support::Errc::None) {
+        best.error = support::Errc::ResourceLimit;
+        best.error_detail = "search incomplete: subtree abandoned at LP limit";
+    }
+    if (best.status == SolveStatus::Optimal) {
+        best.error = support::Errc::None;
+        best.error_detail.clear();
+    } else if (best.status == SolveStatus::Infeasible) {
+        best.error = support::Errc::Infeasible;
+        if (best.error_detail.empty()) best.error_detail = "no integer assignment satisfies the constraints";
+    } else if (best.status == SolveStatus::Unbounded) {
+        best.error = support::Errc::Unbounded;
+        if (best.error_detail.empty()) best.error_detail = "objective is unbounded over the relaxation";
+    }
     return best;
 }
 
@@ -198,12 +269,25 @@ namespace {
 
 void enumerate(const Model& model, std::vector<int>& int_vars, std::size_t depth,
                std::vector<double>& lb, std::vector<double>& ub, Solution& best,
-               bool& found) {
+               bool& found, const support::Deadline& deadline, bool& stopped) {
+    if (stopped) return;
     if (depth == int_vars.size()) {
+        // Poll between leaf LP solves: the amortized cost is one clock read
+        // per assignment, and each leaf LP already honors the deadline.
+        if (deadline.expired()) {
+            stopped = true;
+            return;
+        }
         // All integers fixed: solve the continuous remainder (or just check).
-        const LpResult lp = solve_lp(model, &lb, &ub);
+        LpOptions lp_options;
+        lp_options.deadline = deadline;
+        const LpResult lp = solve_lp(model, &lb, &ub, lp_options);
         best.lp_iterations += lp.iterations;
         ++best.nodes;
+        if (lp.deadline_hit) {
+            stopped = true;
+            return;
+        }
         if (lp.status != LpStatus::Optimal) return;
         if (!found || lp.objective > best.objective) {
             found = true;
@@ -222,10 +306,11 @@ void enumerate(const Model& model, std::vector<int>& int_vars, std::size_t depth
     const std::size_t idx = static_cast<std::size_t>(j);
     const double save_lb = lb[idx];
     const double save_ub = ub[idx];
-    for (double v = save_lb; v <= save_ub + 1e-9; v += 1.0) {
+    for (double v = save_lb; v <= save_ub + 1e-9 && !stopped; v += 1.0) {
         lb[idx] = v;
         ub[idx] = v;
-        enumerate(model, int_vars, depth + 1, lb, ub, best, found);
+        enumerate(model, int_vars, depth + 1, lb, ub, best, found, deadline,
+                  stopped);
     }
     lb[idx] = save_lb;
     ub[idx] = save_ub;
@@ -233,21 +318,35 @@ void enumerate(const Model& model, std::vector<int>& int_vars, std::size_t depth
 
 }  // namespace
 
-Solution solve_exhaustive(const Model& model, std::int64_t max_combinations) {
+Solution solve_exhaustive(const Model& model, std::int64_t max_combinations,
+                          const support::Deadline& deadline) {
     const auto start = Clock::now();
+    Solution best;
     std::vector<int> int_vars;
     std::int64_t combos = 1;
     for (int j = 0; j < model.num_vars(); ++j) {
         if (model.var_type(j) == VarType::Continuous) continue;
         if (model.upper_bound(j) == kInfinity) {
-            throw std::logic_error("solve_exhaustive: unbounded integer variable '" +
-                                   model.var_name(j) + "'");
+            // Structured refusal instead of a throw: portfolio drivers treat
+            // this exactly like any other backend that could not run.
+            best.status = SolveStatus::Limit;
+            best.error = support::Errc::DomainTooLarge;
+            best.error_detail = "unbounded integer variable '" +
+                                model.var_name(j) + "'";
+            best.seconds = seconds_since(start);
+            return best;
         }
         const auto domain = static_cast<std::int64_t>(
             model.upper_bound(j) - model.lower_bound(j) + 1);
         combos *= std::max<std::int64_t>(domain, 1);
         if (combos > max_combinations) {
-            throw std::logic_error("solve_exhaustive: domain too large");
+            best.status = SolveStatus::Limit;
+            best.error = support::Errc::DomainTooLarge;
+            best.error_detail = "integer domain exceeds " +
+                                std::to_string(max_combinations) +
+                                " combinations";
+            best.seconds = seconds_since(start);
+            return best;
         }
         int_vars.push_back(j);
     }
@@ -257,10 +356,23 @@ Solution solve_exhaustive(const Model& model, std::int64_t max_combinations) {
         lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
         ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
     }
-    Solution best;
     bool found = false;
-    enumerate(model, int_vars, 0, lb, ub, best, found);
-    best.status = found ? SolveStatus::Optimal : SolveStatus::Infeasible;
+    bool stopped = false;
+    enumerate(model, int_vars, 0, lb, ub, best, found, deadline, stopped);
+    if (stopped) {
+        // Keep the best-so-far assignment: even a truncated enumeration can
+        // hand the caller a usable (audited) incumbent.
+        best.status = SolveStatus::Limit;
+        best.error = deadline.cancelled() ? support::Errc::Cancelled
+                                          : support::Errc::DeadlineExceeded;
+        best.error_detail = "enumeration stopped before covering the domain";
+    } else if (found) {
+        best.status = SolveStatus::Optimal;
+    } else {
+        best.status = SolveStatus::Infeasible;
+        best.error = support::Errc::Infeasible;
+        best.error_detail = "no integer assignment satisfies the constraints";
+    }
     best.seconds = seconds_since(start);
     return best;
 }

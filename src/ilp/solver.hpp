@@ -4,9 +4,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
+#include "support/deadline.hpp"
+#include "support/error.hpp"
 
 namespace p4all::ilp {
 
@@ -33,6 +36,12 @@ struct Solution {
     std::int64_t lp_iterations = 0;
     double seconds = 0.0;
 
+    /// Structured diagnostic for Limit (and other non-Optimal) statuses:
+    /// DeadlineExceeded / Cancelled / ResourceLimit / NumericalTrouble /
+    /// DomainTooLarge, with a human-readable detail. None when Optimal.
+    support::Errc error = support::Errc::None;
+    std::string error_detail;
+
     [[nodiscard]] bool optimal() const noexcept { return status == SolveStatus::Optimal; }
     /// Rounded value of an integer/binary variable.
     [[nodiscard]] std::int64_t value_int(Var v) const;
@@ -52,16 +61,25 @@ struct SolveOptions {
     /// Optional known-feasible assignment (e.g. from a heuristic) used as
     /// the initial incumbent; ignored if it fails the feasibility check.
     std::vector<double> warm_start;
+    /// Cooperative wall-clock budget / cancellation, combined with
+    /// time_limit_seconds (the tighter bound wins) and threaded into every
+    /// LP solve so no single simplex run can overshoot it.
+    support::Deadline deadline;
 };
 
 /// Exact branch-and-bound. Returns Optimal with the best solution, or
 /// Infeasible/Unbounded, or Limit (with the incumbent, if any, in `values`).
 [[nodiscard]] Solution solve_milp(const Model& model, const SolveOptions& options = {});
 
-/// Reference solver: enumerates every integer assignment within bounds
-/// (product of domain sizes must not exceed `max_combinations`), solving an
-/// LP for the continuous remainder. Exact but exponential — tests only.
+/// Reference solver: enumerates every integer assignment within bounds,
+/// solving an LP for the continuous remainder. Exact but exponential —
+/// tests and tiny-model fallback only. Unbounded integer domains or a
+/// combination count above `max_combinations` yield SolveStatus::Limit with
+/// error == Errc::DomainTooLarge (never a throw), so portfolio drivers can
+/// fall through; an expired deadline yields Limit with the best-so-far
+/// incumbent.
 [[nodiscard]] Solution solve_exhaustive(const Model& model,
-                                        std::int64_t max_combinations = 1 << 22);
+                                        std::int64_t max_combinations = 1 << 22,
+                                        const support::Deadline& deadline = {});
 
 }  // namespace p4all::ilp

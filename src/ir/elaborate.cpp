@@ -10,7 +10,16 @@ namespace p4all::ir {
 
 using lang::BinaryOp;
 using lang::UnaryOp;
-using support::CompileError;
+namespace {
+/// Local shadow of support::CompileError: elaboration failures carry the
+/// stable SemanticError code from the error taxonomy.
+struct CompileError : support::Error {
+    CompileError(support::SourceLoc loc, const std::string& msg)
+        : support::Error(support::Errc::SemanticError, std::move(loc), msg) {}
+    explicit CompileError(const std::string& msg)
+        : support::Error(support::Errc::SemanticError, msg) {}
+};
+}  // namespace
 using support::SourceLoc;
 
 namespace {

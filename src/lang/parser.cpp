@@ -5,7 +5,16 @@
 
 namespace p4all::lang {
 
-using support::CompileError;
+namespace {
+/// Local shadow of support::CompileError: every frontend throw in this file
+/// carries the stable ParseError code from the error taxonomy.
+struct CompileError : support::Error {
+    CompileError(support::SourceLoc loc, const std::string& msg)
+        : support::Error(support::Errc::ParseError, std::move(loc), msg) {}
+    explicit CompileError(const std::string& msg)
+        : support::Error(support::Errc::ParseError, msg) {}
+};
+}  // namespace
 
 Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 

@@ -1,0 +1,135 @@
+// Cooperative deadlines and cancellation for long-running compiler phases.
+//
+// A Deadline couples an optional wall-clock budget (steady_clock) with an
+// optional shared CancelToken. Both are checked through expired(); phases
+// that can run unbounded (simplex iterations, branch-and-bound nodes, greedy
+// shrinking, codegen) poll it periodically and return their best-so-far
+// state with an explicit Limit/Cancelled status instead of running away.
+// Deadline and CancelToken are cheap to copy and safe to pass by value; a
+// default-constructed Deadline never expires and a default-constructed
+// CancelToken is inert.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace p4all::support {
+
+/// Shared cancellation flag. Copies observe the same flag; the default
+/// constructed token has no flag and can never be cancelled.
+class CancelToken {
+public:
+    CancelToken() = default;
+
+    /// Creates a token backed by a fresh shared flag.
+    [[nodiscard]] static CancelToken make() {
+        CancelToken t;
+        t.flag_ = std::make_shared<std::atomic<bool>>(false);
+        return t;
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return flag_ != nullptr; }
+
+    /// Requests cancellation; a no-op on an inert (default) token.
+    void request_cancel() const noexcept {
+        if (flag_) flag_->store(true, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] bool cancel_requested() const noexcept {
+        return flag_ && flag_->load(std::memory_order_relaxed);
+    }
+
+private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Why a Deadline reports expiry.
+enum class StopReason { None, Deadline, Cancelled };
+
+class Deadline {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    /// Unlimited: never expires (unless a token is attached elsewhere).
+    Deadline() = default;
+
+    [[nodiscard]] static Deadline never() noexcept { return {}; }
+
+    /// Expires `seconds` from now (clamped at 0: a non-positive budget is
+    /// already expired). Infinite seconds means no time bound.
+    [[nodiscard]] static Deadline after_seconds(double seconds, CancelToken token = {}) {
+        Deadline d;
+        d.token_ = std::move(token);
+        if (seconds == std::numeric_limits<double>::infinity()) return d;
+        d.has_time_ = true;
+        d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(std::max(seconds, 0.0)));
+        return d;
+    }
+
+    /// No time bound; expires only through the token.
+    [[nodiscard]] static Deadline cancellable(CancelToken token) {
+        Deadline d;
+        d.token_ = std::move(token);
+        return d;
+    }
+
+    [[nodiscard]] bool unlimited() const noexcept { return !has_time_ && !token_.valid(); }
+
+    [[nodiscard]] bool cancelled() const noexcept { return token_.cancel_requested(); }
+
+    [[nodiscard]] bool expired() const noexcept {
+        return cancelled() || (has_time_ && Clock::now() >= at_);
+    }
+
+    [[nodiscard]] StopReason reason() const noexcept {
+        if (cancelled()) return StopReason::Cancelled;
+        if (has_time_ && Clock::now() >= at_) return StopReason::Deadline;
+        return StopReason::None;
+    }
+
+    /// Seconds until expiry: +inf when no time bound, 0 when already past.
+    [[nodiscard]] double remaining_seconds() const noexcept {
+        if (!has_time_) return std::numeric_limits<double>::infinity();
+        const double r = std::chrono::duration<double>(at_ - Clock::now()).count();
+        return r > 0.0 ? r : 0.0;
+    }
+
+    /// The tighter of this deadline and `now + seconds`; keeps the token.
+    [[nodiscard]] Deadline tightened(double seconds) const {
+        Deadline d = after_seconds(seconds, token_);
+        if (has_time_ && (!d.has_time_ || at_ < d.at_)) {
+            d.has_time_ = true;
+            d.at_ = at_;
+        }
+        return d;
+    }
+
+    /// The tighter of two deadlines. Keeps this deadline's token when valid,
+    /// otherwise adopts the other's — so a time-only bound can be merged with
+    /// a cancellable one without losing either signal.
+    [[nodiscard]] Deadline merged(const Deadline& other) const {
+        Deadline d;
+        d.token_ = token_.valid() ? token_ : other.token_;
+        if (has_time_ && (!other.has_time_ || at_ <= other.at_)) {
+            d.has_time_ = true;
+            d.at_ = at_;
+        } else if (other.has_time_) {
+            d.has_time_ = true;
+            d.at_ = other.at_;
+        }
+        return d;
+    }
+
+    [[nodiscard]] const CancelToken& token() const noexcept { return token_; }
+
+private:
+    bool has_time_ = false;
+    Clock::time_point at_{};
+    CancelToken token_;
+};
+
+}  // namespace p4all::support

@@ -11,7 +11,78 @@ const char* severity_name(Severity s) {
     }
     return "?";
 }
+
+std::string render_structured(Errc code, const SourceLoc* loc, Severity severity,
+                              const std::string& message) {
+    std::string out;
+    if (loc != nullptr && loc->known()) {
+        out += loc->to_string();
+        out += ": ";
+    }
+    out += severity_name(severity);
+    out += '[';
+    out += errc_code(code);
+    out += "]: ";
+    out += message;
+    return out;
+}
 }  // namespace
+
+const char* errc_code(Errc code) noexcept {
+    switch (code) {
+        case Errc::None: return "P4ALL-0000";
+        case Errc::ParseError: return "P4ALL-0101";
+        case Errc::SemanticError: return "P4ALL-0102";
+        case Errc::IoError: return "P4ALL-0103";
+        case Errc::TargetError: return "P4ALL-0104";
+        case Errc::Infeasible: return "P4ALL-0201";
+        case Errc::Unbounded: return "P4ALL-0202";
+        case Errc::DeadlineExceeded: return "P4ALL-0203";
+        case Errc::Cancelled: return "P4ALL-0204";
+        case Errc::ResourceLimit: return "P4ALL-0205";
+        case Errc::NumericalTrouble: return "P4ALL-0206";
+        case Errc::DomainTooLarge: return "P4ALL-0207";
+        case Errc::NoLayoutFound: return "P4ALL-0208";
+        case Errc::AuditRejected: return "P4ALL-0209";
+        case Errc::InvalidModel: return "P4ALL-0301";
+        case Errc::InvalidArgument: return "P4ALL-0302";
+        case Errc::Internal: return "P4ALL-0303";
+        case Errc::FaultInjected: return "P4ALL-0304";
+    }
+    return "P4ALL-????";
+}
+
+const char* errc_name(Errc code) noexcept {
+    switch (code) {
+        case Errc::None: return "unclassified";
+        case Errc::ParseError: return "parse-error";
+        case Errc::SemanticError: return "semantic-error";
+        case Errc::IoError: return "io-error";
+        case Errc::TargetError: return "target-error";
+        case Errc::Infeasible: return "infeasible";
+        case Errc::Unbounded: return "unbounded";
+        case Errc::DeadlineExceeded: return "deadline-exceeded";
+        case Errc::Cancelled: return "cancelled";
+        case Errc::ResourceLimit: return "resource-limit";
+        case Errc::NumericalTrouble: return "numerical-trouble";
+        case Errc::DomainTooLarge: return "domain-too-large";
+        case Errc::NoLayoutFound: return "no-layout-found";
+        case Errc::AuditRejected: return "audit-rejected";
+        case Errc::InvalidModel: return "invalid-model";
+        case Errc::InvalidArgument: return "invalid-argument";
+        case Errc::Internal: return "internal";
+        case Errc::FaultInjected: return "fault-injected";
+    }
+    return "unknown";
+}
+
+Error::Error(Errc code, const std::string& message, Severity severity)
+    : CompileError(render_structured(code, nullptr, severity, message), SourceLoc{}, code),
+      severity_(severity) {}
+
+Error::Error(Errc code, SourceLoc loc, const std::string& message, Severity severity)
+    : CompileError(render_structured(code, &loc, severity, message), loc, code),
+      severity_(severity) {}
 
 std::string Diagnostic::to_string() const {
     return loc.to_string() + ": " + severity_name(severity) + ": " + message;

@@ -2,8 +2,11 @@
 //
 // Unrecoverable user-facing problems (syntax errors, type errors, infeasible
 // programs) are reported as CompileError exceptions carrying a source
-// location. Recoverable, accumulate-and-continue reporting goes through
-// Diagnostics.
+// location. New code throws the structured subclass Error, which adds a
+// stable machine-readable error code (Errc) and a severity, so CLIs print
+// actionable diagnostics ("error[P4ALL-0203]") and drivers can branch on the
+// failure class instead of parsing message text. Recoverable,
+// accumulate-and-continue reporting goes through Diagnostics.
 #pragma once
 
 #include <stdexcept>
@@ -17,14 +20,43 @@ namespace p4all::support {
 /// Severity of a diagnostic message.
 enum class Severity { Note, Warning, Error };
 
-/// A single diagnostic message attached to a source location.
-struct Diagnostic {
-    Severity severity = Severity::Error;
-    SourceLoc loc;
-    std::string message;
+/// Stable error codes for the whole toolchain. Values are part of the
+/// public contract (printed as P4ALL-<code>, tested, documented in
+/// docs/RESILIENCE.md): never renumber, only append.
+///
+///   0xx  unclassified / legacy
+///   1xx  user input (source programs, target specs, configuration)
+///   2xx  solve / compilation outcomes (recoverable by the fallback chain)
+///   3xx  internal invariants and injected faults
+enum class Errc : int {
+    None = 0,  // unclassified (legacy CompileError) / "no error" in results
 
-    [[nodiscard]] std::string to_string() const;
+    ParseError = 101,     // malformed source text, LP file, or config string
+    SemanticError = 102,  // well-formed but meaningless input
+    IoError = 103,        // file could not be read or written
+    TargetError = 104,    // invalid target specification
+
+    Infeasible = 201,        // program cannot fit the target under its assumes
+    Unbounded = 202,         // objective is unbounded (degenerate model)
+    DeadlineExceeded = 203,  // wall-clock budget exhausted
+    Cancelled = 204,         // cooperative cancellation requested
+    ResourceLimit = 205,     // node / iteration budget exhausted
+    NumericalTrouble = 206,  // pivot breakdown or injected numerical failure
+    DomainTooLarge = 207,    // exhaustive enumeration refused the model
+    NoLayoutFound = 208,     // every backend in the portfolio failed
+    AuditRejected = 209,     // a produced layout failed the audit gate
+
+    InvalidModel = 301,     // caller handed the solver a malformed model
+    InvalidArgument = 302,  // bad API argument (e.g. malformed fault spec)
+    Internal = 303,         // broken compiler invariant
+    FaultInjected = 304,    // a configured fault point fired
 };
+
+/// Stable printable code, e.g. "P4ALL-0203". Never changes for a given Errc.
+[[nodiscard]] const char* errc_code(Errc code) noexcept;
+
+/// Short kebab-case name, e.g. "deadline-exceeded".
+[[nodiscard]] const char* errc_name(Errc code) noexcept;
 
 /// Exception thrown for unrecoverable compilation failures.
 class CompileError : public std::runtime_error {
@@ -37,8 +69,39 @@ public:
 
     [[nodiscard]] const SourceLoc& loc() const noexcept { return loc_; }
 
+    /// Structured error code; Errc::None for legacy unclassified throws.
+    [[nodiscard]] Errc code() const noexcept { return code_; }
+
+protected:
+    CompileError(std::string rendered, SourceLoc loc, Errc code)
+        : std::runtime_error(std::move(rendered)), loc_(std::move(loc)), code_(code) {}
+
 private:
     SourceLoc loc_;
+    Errc code_ = Errc::None;
+};
+
+/// Structured error: a CompileError with a stable code and a severity.
+/// what() renders as "<loc>: error[P4ALL-xxxx]: <message>".
+class Error : public CompileError {
+public:
+    Error(Errc code, const std::string& message, Severity severity = Severity::Error);
+    Error(Errc code, SourceLoc loc, const std::string& message,
+          Severity severity = Severity::Error);
+
+    [[nodiscard]] Severity severity() const noexcept { return severity_; }
+
+private:
+    Severity severity_ = Severity::Error;
+};
+
+/// A single diagnostic message attached to a source location.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    [[nodiscard]] std::string to_string() const;
 };
 
 /// Accumulates diagnostics during a compiler pass. Passes that can recover

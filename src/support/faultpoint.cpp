@@ -1,0 +1,169 @@
+#include "support/faultpoint.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace p4all::support {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view item, const std::string& why) {
+    throw Error(Errc::InvalidArgument,
+                "malformed fault spec '" + std::string(item) + "': " + why);
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(sep, start);
+        if (end == std::string_view::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+FaultSpec parse_item(std::string_view item) {
+    const std::vector<std::string_view> parts = split(item, ':');
+    FaultSpec spec;
+    spec.point = std::string(parts.front());
+    if (spec.point.empty()) bad_spec(item, "empty fault-point name");
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string_view part = parts[i];
+        const std::size_t eq = part.find('=');
+        if (eq == std::string_view::npos) bad_spec(item, "option needs key=value");
+        const std::string_view key = part.substr(0, eq);
+        const std::string_view value = part.substr(eq + 1);
+        if (key == "after") {
+            const auto [p, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), spec.after);
+            if (ec != std::errc() || p != value.data() + value.size() || spec.after < 1) {
+                bad_spec(item, "after must be an integer >= 1");
+            }
+        } else if (key == "prob") {
+            char* end = nullptr;
+            const std::string text(value);
+            spec.prob = std::strtod(text.c_str(), &end);
+            if (end != text.c_str() + text.size() || spec.prob < 0.0 || spec.prob > 1.0) {
+                bad_spec(item, "prob must be a number in [0, 1]");
+            }
+        } else if (key == "seed") {
+            const auto [p, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), spec.seed);
+            if (ec != std::errc() || p != value.data() + value.size()) {
+                bad_spec(item, "seed must be a non-negative integer");
+            }
+        } else {
+            bad_spec(item, "unknown option '" + std::string(key) + "'");
+        }
+    }
+    if (spec.after == 0 && spec.prob == 0.0) {
+        bad_spec(item, "needs after=N or prob=P to ever fire");
+    }
+    if (spec.after != 0 && spec.prob != 0.0) {
+        bad_spec(item, "after and prob are mutually exclusive");
+    }
+    return spec;
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+    std::string out = point;
+    if (after >= 1) {
+        out += ":after=" + std::to_string(after);
+    } else {
+        std::string p = std::to_string(prob);
+        while (p.size() > 1 && p.back() == '0') p.pop_back();
+        if (!p.empty() && p.back() == '.') p.pop_back();
+        out += ":prob=" + p + ":seed=" + std::to_string(seed);
+    }
+    return out;
+}
+
+FaultRegistry& FaultRegistry::instance() {
+    static FaultRegistry* reg = [] {
+        auto* r = new FaultRegistry();
+        r->configure_from_env();
+        return r;
+    }();
+    return *reg;
+}
+
+void FaultRegistry::configure(std::string_view spec) {
+    std::vector<State> states;
+    for (const std::string_view item : split(spec, ',')) {
+        if (item.empty()) continue;
+        State s;
+        s.spec = parse_item(item);
+        for (const State& other : states) {
+            if (other.spec.point == s.spec.point) bad_spec(item, "fault point configured twice");
+        }
+        s.rng = Xoshiro256(s.spec.seed);
+        states.push_back(std::move(s));
+    }
+    states_ = std::move(states);
+}
+
+void FaultRegistry::configure_from_env() {
+    if (const char* env = std::getenv("P4ALL_FAULTS"); env != nullptr && env[0] != '\0') {
+        configure(env);
+    }
+}
+
+void FaultRegistry::clear() { states_.clear(); }
+
+FaultRegistry::State* FaultRegistry::find(std::string_view point) noexcept {
+    for (State& s : states_) {
+        if (s.spec.point == point) return &s;
+    }
+    return nullptr;
+}
+
+const FaultRegistry::State* FaultRegistry::find(std::string_view point) const noexcept {
+    for (const State& s : states_) {
+        if (s.spec.point == point) return &s;
+    }
+    return nullptr;
+}
+
+bool FaultRegistry::should_fire(std::string_view point) noexcept {
+    State* s = find(point);
+    if (s == nullptr) return false;
+    ++s->hits;
+    bool fire = false;
+    if (s->spec.after >= 1) {
+        fire = s->hits == s->spec.after;
+    } else if (s->spec.prob > 0.0) {
+        fire = s->rng.next_double() < s->spec.prob;
+    }
+    if (fire) ++s->fires;
+    return fire;
+}
+
+std::int64_t FaultRegistry::hits(std::string_view point) const noexcept {
+    const State* s = find(point);
+    return s == nullptr ? 0 : s->hits;
+}
+
+std::int64_t FaultRegistry::fires(std::string_view point) const noexcept {
+    const State* s = find(point);
+    return s == nullptr ? 0 : s->fires;
+}
+
+std::string FaultRegistry::describe() const {
+    std::string out;
+    for (const State& s : states_) {
+        if (!out.empty()) out += ',';
+        out += s.spec.to_string();
+    }
+    return out;
+}
+
+}  // namespace p4all::support

@@ -171,7 +171,20 @@ TEST(Exhaustive, RejectsHugeDomains) {
     Model m;
     (void)m.add_integer("x", 0, 1 << 24);
     m.set_objective(LinExpr());
-    EXPECT_THROW((void)solve_exhaustive(m, 1000), std::logic_error);
+    const Solution s = solve_exhaustive(m, 1000);
+    EXPECT_EQ(s.status, SolveStatus::Limit);
+    EXPECT_EQ(s.error, support::Errc::DomainTooLarge);
+    EXPECT_FALSE(s.error_detail.empty());
+}
+
+TEST(Exhaustive, RejectsUnboundedIntegerDomains) {
+    Model m;
+    (void)m.add_var("x", VarType::Integer, 0.0, kInfinity);
+    m.set_objective(LinExpr());
+    const Solution s = solve_exhaustive(m);
+    EXPECT_EQ(s.status, SolveStatus::Limit);
+    EXPECT_EQ(s.error, support::Errc::DomainTooLarge);
+    EXPECT_NE(s.error_detail.find("x"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+#include "support/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace p4all::support {
+namespace {
+
+TEST(CancelToken, DefaultIsInert) {
+    CancelToken t;
+    EXPECT_FALSE(t.valid());
+    EXPECT_FALSE(t.cancel_requested());
+    t.request_cancel();  // no-op, must not crash
+    EXPECT_FALSE(t.cancel_requested());
+}
+
+TEST(CancelToken, CopiesShareTheFlag) {
+    CancelToken a = CancelToken::make();
+    CancelToken b = a;
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(b.cancel_requested());
+    a.request_cancel();
+    EXPECT_TRUE(b.cancel_requested());
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+    Deadline d;
+    EXPECT_TRUE(d.unlimited());
+    EXPECT_FALSE(d.expired());
+    EXPECT_EQ(d.reason(), StopReason::None);
+    EXPECT_EQ(d.remaining_seconds(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Deadline, ZeroBudgetIsAlreadyExpired) {
+    const Deadline d = Deadline::after_seconds(0.0);
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.reason(), StopReason::Deadline);
+    EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, NegativeBudgetClampsToExpired) {
+    EXPECT_TRUE(Deadline::after_seconds(-5.0).expired());
+}
+
+TEST(Deadline, InfiniteBudgetHasNoTimeBound) {
+    const Deadline d = Deadline::after_seconds(std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(d.unlimited());
+    EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, GenerousBudgetNotExpired) {
+    const Deadline d = Deadline::after_seconds(3600.0);
+    EXPECT_FALSE(d.unlimited());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remaining_seconds(), 3000.0);
+    EXPECT_LE(d.remaining_seconds(), 3600.0);
+}
+
+TEST(Deadline, CancellationExpiresAndWinsTheReason) {
+    CancelToken t = CancelToken::make();
+    const Deadline d = Deadline::after_seconds(3600.0, t);
+    EXPECT_FALSE(d.expired());
+    t.request_cancel();
+    EXPECT_TRUE(d.cancelled());
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.reason(), StopReason::Cancelled);
+}
+
+TEST(Deadline, CancellableHasNoTimeBound) {
+    CancelToken t = CancelToken::make();
+    const Deadline d = Deadline::cancellable(t);
+    EXPECT_FALSE(d.unlimited());  // the token can still expire it
+    EXPECT_FALSE(d.expired());
+    t.request_cancel();
+    EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, TightenedTakesTheEarlierBound) {
+    EXPECT_TRUE(Deadline::after_seconds(3600.0).tightened(0.0).expired());
+    // An already-expired deadline stays expired no matter the new budget.
+    EXPECT_TRUE(Deadline::after_seconds(0.0).tightened(3600.0).expired());
+    // Unlimited tightened by a finite budget adopts that budget.
+    const Deadline d = Deadline::never().tightened(3600.0);
+    EXPECT_FALSE(d.unlimited());
+    EXPECT_LE(d.remaining_seconds(), 3600.0);
+}
+
+TEST(Deadline, TightenedKeepsTheToken) {
+    CancelToken t = CancelToken::make();
+    const Deadline d = Deadline::after_seconds(3600.0, t).tightened(1800.0);
+    t.request_cancel();
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.reason(), StopReason::Cancelled);
+}
+
+TEST(Deadline, MergedTakesTheEarlierBound) {
+    EXPECT_TRUE(Deadline::never().merged(Deadline::after_seconds(0.0)).expired());
+    EXPECT_TRUE(Deadline::after_seconds(0.0).merged(Deadline::never()).expired());
+    EXPECT_FALSE(Deadline::after_seconds(3600.0)
+                     .merged(Deadline::after_seconds(1800.0))
+                     .expired());
+    EXPECT_TRUE(Deadline::never().merged(Deadline::never()).unlimited());
+}
+
+TEST(Deadline, MergedAdoptsAValidToken) {
+    CancelToken t = CancelToken::make();
+    // Token on the right side only: the merge must still observe it.
+    const Deadline d = Deadline::after_seconds(3600.0).merged(Deadline::cancellable(t));
+    t.request_cancel();
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.reason(), StopReason::Cancelled);
+}
+
+}  // namespace
+}  // namespace p4all::support

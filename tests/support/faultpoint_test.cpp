@@ -1,0 +1,116 @@
+#include "support/faultpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace p4all::support {
+namespace {
+
+/// The registry is process-global: every test starts and ends disarmed so
+/// suites sharing the binary cannot contaminate each other.
+class FaultPointTest : public ::testing::Test {
+protected:
+    void SetUp() override { FaultRegistry::instance().clear(); }
+    void TearDown() override { FaultRegistry::instance().clear(); }
+};
+
+TEST_F(FaultPointTest, UnarmedNeverFires) {
+    EXPECT_FALSE(FaultRegistry::instance().armed());
+    EXPECT_FALSE(fault_fires("simplex.pivot"));
+    EXPECT_EQ(FaultRegistry::instance().hits("simplex.pivot"), 0);
+}
+
+TEST_F(FaultPointTest, AfterFiresExactlyOnceOnTheNthHit) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("simplex.pivot:after=3");
+    EXPECT_TRUE(reg.armed());
+    EXPECT_FALSE(fault_fires("simplex.pivot"));
+    EXPECT_FALSE(fault_fires("simplex.pivot"));
+    EXPECT_TRUE(fault_fires("simplex.pivot"));
+    EXPECT_FALSE(fault_fires("simplex.pivot"));  // once, not "from then on"
+    EXPECT_EQ(reg.hits("simplex.pivot"), 4);
+    EXPECT_EQ(reg.fires("simplex.pivot"), 1);
+}
+
+TEST_F(FaultPointTest, UnconfiguredPointsAreNotCounted) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("simplex.pivot:after=1");
+    EXPECT_FALSE(fault_fires("bnb.node"));
+    EXPECT_EQ(reg.hits("bnb.node"), 0);
+}
+
+TEST_F(FaultPointTest, ProbOneAlwaysFires) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("bnb.node:prob=1:seed=1");
+    for (int i = 0; i < 20; ++i) EXPECT_TRUE(fault_fires("bnb.node"));
+    EXPECT_EQ(reg.fires("bnb.node"), 20);
+}
+
+TEST_F(FaultPointTest, ProbStreamIsReproducibleFromTheSeed) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    const auto draw = [&](std::uint64_t seed) {
+        reg.configure("bnb.node:prob=0.5:seed=" + std::to_string(seed));
+        std::vector<bool> out;
+        out.reserve(64);
+        for (int i = 0; i < 64; ++i) out.push_back(fault_fires("bnb.node"));
+        return out;
+    };
+    const std::vector<bool> a = draw(7);
+    const std::vector<bool> b = draw(7);
+    const std::vector<bool> c = draw(8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);  // 2^-64 false-failure odds; a collision means a bug
+}
+
+TEST_F(FaultPointTest, ClearDisarms) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("codegen.emit:after=1");
+    reg.clear();
+    EXPECT_FALSE(reg.armed());
+    EXPECT_FALSE(fault_fires("codegen.emit"));
+}
+
+TEST_F(FaultPointTest, EmptySpecDisarms) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("codegen.emit:after=1");
+    reg.configure("");
+    EXPECT_FALSE(reg.armed());
+}
+
+TEST_F(FaultPointTest, MalformedSpecsRejectedWithStableCode) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    const auto expect_rejected = [&](const char* spec) {
+        try {
+            reg.configure(spec);
+            FAIL() << "accepted malformed spec: " << spec;
+        } catch (const Error& e) {
+            EXPECT_EQ(e.code(), Errc::InvalidArgument) << spec;
+            EXPECT_NE(std::string(e.what()).find("P4ALL-0302"), std::string::npos) << spec;
+        }
+        EXPECT_FALSE(reg.armed());
+    };
+    expect_rejected(":after=1");                              // missing point name
+    expect_rejected("simplex.pivot");                         // no trigger
+    expect_rejected("simplex.pivot:prob=0");                  // can never fire
+    expect_rejected("simplex.pivot:after=0");                 // after must be >= 1
+    expect_rejected("simplex.pivot:after=x");                 // non-numeric
+    expect_rejected("simplex.pivot:prob=2");                  // prob outside [0,1]
+    expect_rejected("simplex.pivot:prob=0.5:after=3");        // mutually exclusive
+    expect_rejected("simplex.pivot:frequency=3");             // unknown key
+    expect_rejected("a:after=1,a:after=2");                   // duplicate point
+}
+
+TEST_F(FaultPointTest, SpecRoundTripsThroughDescribe) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("simplex.pivot:after=200,bnb.node:prob=0.01:seed=7");
+    const std::string desc = reg.describe();
+    EXPECT_NE(desc.find("simplex.pivot:after=200"), std::string::npos);
+    EXPECT_NE(desc.find("bnb.node:prob=0.01:seed=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4all::support
