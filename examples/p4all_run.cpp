@@ -1,0 +1,162 @@
+// p4all-run — the elastic runtime daemon, in miniature.
+//
+// Brings up one benchmark application on the elastic runtime and streams a
+// drifting Zipf workload through it: every packet flows through the live
+// pipeline and the app's controller policy, the drift detector watches the
+// stream, and each drifted window triggers a background recompile + state
+// migration + atomic epoch swap (or an audited rollback). The event log it
+// prints is the runtime's full SwapEvent history.
+//
+//   p4all-run <app> [options]          app: netcache | sketchlearn |
+//                                           precision | conquest
+//     --packets N          trace length                  (default 16384)
+//     --phases N           workload drift phases         (default 4)
+//     --universe N         distinct keys per phase       (default 600)
+//     --alpha A            Zipf skew                     (default 1.2)
+//     --seed S             trace seed                    (default 1)
+//     --window N           drift-detector window         (default 1024)
+//     --min-swaps N        exit 1 unless >= N reconfigurations commit
+//     --expect-rollback    exit 1 unless >= 1 attempt rolls back cleanly
+//                          (for faulted runs)
+//     --snapshot PATH      crash-safe epoch snapshots here on every swap
+//     --faults SPEC        arm fault injection (P4ALL_FAULTS syntax, e.g.
+//                          runtime.swap:after=1)
+//     --ilp                use the exact ILP backend (default: greedy)
+//
+//   Exit codes: 0 run completed with the demanded swaps/rollbacks, 1 the
+//   demands were not met or serving state was damaged, 2 usage/fatal error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "runtime/drivers.hpp"
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+#include "support/faultpoint.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: p4all-run <netcache|sketchlearn|precision|conquest>\n"
+                 "                 [--packets N] [--phases N] [--universe N] [--alpha A]\n"
+                 "                 [--seed S] [--window N] [--min-swaps N] [--expect-rollback]\n"
+                 "                 [--snapshot PATH] [--faults SPEC] [--ilp]\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace p4all;
+
+    if (argc < 2) return usage();
+    const std::string app = argv[1];
+
+    std::size_t packets = 16384, phases = 4, universe = 600;
+    double alpha = 1.2;
+    std::uint64_t seed = 1;
+    std::size_t min_swaps = 0;
+    bool expect_rollback = false;
+    runtime::RuntimeOptions options;
+    options.compile.backend = compiler::Backend::Greedy;
+    options.drift.window = 1024;
+    options.drift.top_k = 32;
+    options.drift.min_hit_samples = 256;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--packets" && has_value) packets = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--phases" && has_value) phases = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--universe" && has_value) universe = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--alpha" && has_value) alpha = std::strtod(argv[++i], nullptr);
+        else if (arg == "--seed" && has_value) seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--window" && has_value)
+            options.drift.window = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--min-swaps" && has_value)
+            min_swaps = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--expect-rollback") expect_rollback = true;
+        else if (arg == "--snapshot" && has_value) options.snapshot_path = argv[++i];
+        else if (arg == "--faults" && has_value) {
+            try {
+                support::FaultRegistry::instance().configure(argv[++i]);
+            } catch (const support::Error& e) {
+                std::fprintf(stderr, "p4all-run: %s\n", e.what());
+                return 2;
+            }
+        } else if (arg == "--ilp") options.compile.backend = compiler::Backend::Ilp;
+        else return usage();
+    }
+    if (phases == 0 || packets == 0) return usage();
+
+    try {
+        runtime::AppDriver driver = runtime::make_driver(app);
+        std::printf("p4all-run: bringing up '%s' (drift window %zu)\n", driver.name.c_str(),
+                    options.drift.window);
+        runtime::ElasticRuntime rt(driver.name, driver.source, options, driver.profile);
+        std::printf("p4all-run: epoch 0 serving (utility %.1f)\n", rt.compiled().utility);
+
+        const workload::Trace trace =
+            workload::zipf_drifting_trace(packets, universe, alpha, seed, phases);
+        std::uint64_t last_logged = 0;
+        for (const std::uint64_t key : trace.keys) {
+            driver.step(rt, key);
+            if (rt.history().size() != last_logged) {
+                const runtime::SwapEvent& ev = rt.history().back();
+                last_logged = rt.history().size();
+                std::printf("p4all-run: pkt %-8llu %-9s epoch %llu -> %llu  [%s]%s%s\n",
+                            static_cast<unsigned long long>(ev.at_packet),
+                            ev.committed ? "SWAP" : "ROLLBACK",
+                            static_cast<unsigned long long>(ev.from_epoch),
+                            static_cast<unsigned long long>(ev.to_epoch), ev.trigger.c_str(),
+                            ev.committed && !ev.migration_exact ? " (migration inexact)" : "",
+                            ev.committed ? "" : (" — " + ev.detail).c_str());
+            }
+        }
+
+        const std::size_t committed = rt.swaps_committed();
+        std::size_t rolled_back = rt.history().size() - committed;
+
+        // When snapshotting, prove the persisted state round-trips: save the
+        // final epoch and restore it back. A failed restore (I/O fault, the
+        // `runtime.restore` point) must leave the serving state untouched.
+        if (!options.snapshot_path.empty()) {
+            rt.save();
+            try {
+                rt.restore();
+                std::printf("p4all-run: snapshot restore verified\n");
+            } catch (const support::Error& e) {
+                std::printf("p4all-run: restore failed cleanly — still serving (%s)\n",
+                            e.what());
+                ++rolled_back;
+            }
+        }
+        std::printf(
+            "p4all-run: done — %llu packets, epoch %llu, %zu swaps committed, %zu rolled back\n",
+            static_cast<unsigned long long>(rt.packets_total()),
+            static_cast<unsigned long long>(rt.epoch()), committed, rolled_back);
+
+        // The serving pipeline must still be live whatever happened above.
+        (void)rt.pipeline();
+        if (rt.epoch() != committed) {
+            std::fprintf(stderr, "p4all-run: ERROR: epoch %llu != %zu committed swaps\n",
+                         static_cast<unsigned long long>(rt.epoch()), committed);
+            return 1;
+        }
+        if (committed < min_swaps) {
+            std::fprintf(stderr, "p4all-run: ERROR: %zu swaps committed, %zu required\n",
+                         committed, min_swaps);
+            return 1;
+        }
+        if (expect_rollback && rolled_back == 0) {
+            std::fprintf(stderr, "p4all-run: ERROR: expected at least one clean rollback\n");
+            return 1;
+        }
+        return 0;
+    } catch (const support::CompileError& e) {
+        std::fprintf(stderr, "p4all-run: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,10 +1,42 @@
 #include "apps/autotune.hpp"
 
+#include <algorithm>
+
 #include "apps/netcache.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 
 namespace p4all::apps {
+
+namespace {
+
+/// Order-preserving seeded subsample of `trace` (cache behavior depends on
+/// packet order, so the sample keeps the original sequence).
+workload::Trace subsample_trace(const workload::Trace& trace, std::size_t max_packets,
+                                std::uint64_t seed) {
+    if (max_packets == 0 || trace.keys.size() <= max_packets) return trace;
+    support::Xoshiro256 rng(seed);
+    std::vector<std::size_t> picks(trace.keys.size());
+    for (std::size_t i = 0; i < picks.size(); ++i) picks[i] = i;
+    // Partial Fisher-Yates: choose max_packets distinct indices.
+    for (std::size_t i = 0; i < max_packets; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.next_below(picks.size() - i));
+        std::swap(picks[i], picks[j]);
+    }
+    picks.resize(max_packets);
+    std::sort(picks.begin(), picks.end());
+    workload::Trace out;
+    out.keys.reserve(max_packets);
+    for (const std::size_t i : picks) {
+        out.keys.push_back(trace.keys[i]);
+        ++out.counts[trace.keys[i]];
+    }
+    return out;
+}
+
+}  // namespace
 
 std::string AutotuneResult::best_utility() const {
     const AutotuneCandidate& c = best_candidate();
@@ -15,6 +47,10 @@ std::string AutotuneResult::best_utility() const {
 
 AutotuneResult autotune_netcache(const workload::Trace& trace, const AutotuneOptions& options) {
     AutotuneResult result;
+    const workload::Trace eval_trace =
+        subsample_trace(trace, options.max_eval_packets, options.eval_seed);
+    result.eval_seed = options.eval_seed;
+    result.eval_packets = eval_trace.keys.size();
     double best_rate = -1.0;
     for (const double w_kv : options.kv_weights) {
         compiler::CompileOptions copts;
@@ -33,9 +69,11 @@ AutotuneResult autotune_netcache(const workload::Trace& trace, const AutotuneOpt
         } catch (const support::CompileError&) {
             continue;  // candidate does not fit this target
         }
+        candidate.eval_seed = options.eval_seed;
+        candidate.eval_packets = eval_trace.keys.size();
         const NetCacheResult q = netcache_quality(
             static_cast<int>(candidate.cms_rows), candidate.cms_cols,
-            static_cast<int>(candidate.kv_ways), candidate.kv_slots, trace,
+            static_cast<int>(candidate.kv_ways), candidate.kv_slots, eval_trace,
             options.promote_threshold);
         candidate.hit_rate = q.hit_rate();
         if (candidate.hit_rate > best_rate) {

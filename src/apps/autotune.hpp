@@ -10,6 +10,8 @@
 // `optimize` line) that maximize measured quality.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,13 @@ struct AutotuneOptions {
     /// layouts suffice and the sweep stays interactive; recompile the
     /// winner exactly afterwards if desired.
     compiler::Backend backend = compiler::Backend::Greedy;
+    /// Seed for every random choice in candidate evaluation (currently the
+    /// trace subsample draw). Recorded per candidate and in the result so a
+    /// sweep replays bit-for-bit.
+    std::uint64_t eval_seed = 7;
+    /// Evaluate each candidate on at most this many packets, drawn as a
+    /// seeded order-preserving subsample of the trace. 0 = full trace.
+    std::size_t max_eval_packets = 0;
 };
 
 struct AutotuneCandidate {
@@ -39,11 +48,15 @@ struct AutotuneCandidate {
     std::int64_t kv_ways = 0;
     std::int64_t kv_slots = 0;
     double compile_seconds = 0.0;
+    std::uint64_t eval_seed = 0;   ///< seed this candidate was evaluated under
+    std::size_t eval_packets = 0;  ///< packets the quality model replayed
 };
 
 struct AutotuneResult {
     std::vector<AutotuneCandidate> candidates;  // in sweep order
     std::size_t best = 0;                       // index into candidates
+    std::uint64_t eval_seed = 0;                // the sweep-wide evaluation seed
+    std::size_t eval_packets = 0;               // per-candidate replay length
 
     [[nodiscard]] const AutotuneCandidate& best_candidate() const {
         return candidates.at(best);

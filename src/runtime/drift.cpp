@@ -1,0 +1,78 @@
+#include "runtime/drift.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace p4all::runtime {
+
+DriftDetector::DriftDetector(DriftOptions options) : options_(options) {
+    if (options_.window == 0) options_.window = 1;
+    if (options_.top_k == 0) options_.top_k = 1;
+}
+
+void DriftDetector::observe(std::uint64_t key, int hit) {
+    current_.keys.push_back(key);
+    ++current_.counts[key];
+    if (hit >= 0) {
+        ++lookups_;
+        if (hit > 0) ++hits_;
+    }
+}
+
+bool DriftDetector::window_full() const noexcept {
+    return current_.keys.size() >= options_.window;
+}
+
+DriftSignal DriftDetector::sample() {
+    DriftSignal signal;
+
+    const std::vector<std::uint64_t> cur_top = workload::top_keys(current_, options_.top_k);
+    if (lookups_ >= options_.min_hit_samples) {
+        signal.hit_rate = static_cast<double>(hits_) / static_cast<double>(lookups_);
+    }
+    signal.baseline_hit_rate = ref_hit_rate_;
+
+    if (have_reference_ && !ref_top_.empty()) {
+        const std::set<std::uint64_t> cur(cur_top.begin(), cur_top.end());
+        std::size_t kept = 0;
+        for (const std::uint64_t key : ref_top_) kept += cur.count(key);
+        signal.churn =
+            1.0 - static_cast<double>(kept) / static_cast<double>(ref_top_.size());
+        if (signal.churn >= options_.churn_threshold) {
+            signal.drifted = true;
+            signal.reason = "top-" + std::to_string(options_.top_k) + " churn " +
+                            std::to_string(signal.churn);
+        }
+        if (ref_hit_rate_ >= 0.0 && signal.hit_rate >= 0.0 &&
+            ref_hit_rate_ - signal.hit_rate >= options_.hit_drop_threshold) {
+            signal.drifted = true;
+            if (!signal.reason.empty()) signal.reason += "; ";
+            signal.reason += "hit rate " + std::to_string(signal.hit_rate) + " down from " +
+                             std::to_string(ref_hit_rate_);
+        }
+    }
+
+    last_ = std::move(current_);
+    current_ = workload::Trace{};
+    last_hit_rate_ = signal.hit_rate;
+    hits_ = 0;
+    lookups_ = 0;
+    ++sampled_;
+
+    if (!have_reference_) {
+        // The first window is the baseline; nothing to compare against yet.
+        ref_top_ = cur_top;
+        ref_hit_rate_ = last_hit_rate_;
+        have_reference_ = true;
+    }
+    return signal;
+}
+
+void DriftDetector::rebaseline() {
+    if (last_.keys.empty()) return;
+    ref_top_ = workload::top_keys(last_, options_.top_k);
+    ref_hit_rate_ = last_hit_rate_;
+    have_reference_ = true;
+}
+
+}  // namespace p4all::runtime

@@ -1,0 +1,84 @@
+// Workload drift detection for the elastic runtime.
+//
+// The detector samples the live packet stream in fixed-size windows and
+// compares each completed window against the *reference* window adopted at
+// the last reconfiguration:
+//
+//   top-k churn    fraction of the reference window's top-k keys that left
+//                  the current window's top-k (hot-set rotation — the
+//                  signal NetCache's controller watches);
+//   hit-rate drop  absolute drop of the window's application-reported hit
+//                  rate below the reference window's (the quality signal
+//                  apps::autotune maximizes; the runtime watches it decay).
+//
+// Either signal crossing its threshold marks the window as drifted; the
+// runtime responds by recompiling with an assume profile derived from the
+// drifted window (drivers.hpp) and rebaselining on a committed swap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace p4all::runtime {
+
+struct DriftOptions {
+    std::size_t window = 4096;         ///< packets per sampling window
+    std::size_t top_k = 32;            ///< hot-set size for the churn signal
+    double churn_threshold = 0.5;      ///< drift when churn >= this
+    double hit_drop_threshold = 0.15;  ///< drift when baseline - hit_rate >= this
+    /// Minimum hit/miss observations in a window before the hit-rate signal
+    /// is trusted (apps that report no outcome never trip it).
+    std::size_t min_hit_samples = 256;
+};
+
+/// Verdict over one completed window.
+struct DriftSignal {
+    bool drifted = false;
+    double churn = 0.0;              ///< 1 - |ref_topk ∩ cur_topk| / |ref_topk|
+    double hit_rate = -1.0;          ///< window hit rate; -1 when unmeasured
+    double baseline_hit_rate = -1.0; ///< reference window's; -1 when unmeasured
+    std::string reason;              ///< human-readable trigger; empty if !drifted
+};
+
+class DriftDetector {
+public:
+    explicit DriftDetector(DriftOptions options = {});
+
+    /// Records one packet key; optional outcome (1 = hit, 0 = miss, -1 =
+    /// not applicable) feeds the hit-rate signal.
+    void observe(std::uint64_t key, int hit = -1);
+
+    [[nodiscard]] bool window_full() const noexcept;
+
+    /// Evaluates the completed window against the reference and rolls the
+    /// window. The first window ever sampled becomes the reference and never
+    /// reports drift. Callable early (partial window) for shutdown flushes.
+    [[nodiscard]] DriftSignal sample();
+
+    /// Adopts the last sampled window as the new reference (called by the
+    /// runtime after a committed reconfiguration).
+    void rebaseline();
+
+    /// Keys of the last completed window — the workload profile handed to
+    /// the recompile loop. Empty before the first sample().
+    [[nodiscard]] const workload::Trace& last_window() const noexcept { return last_; }
+
+    [[nodiscard]] std::size_t windows_sampled() const noexcept { return sampled_; }
+    [[nodiscard]] const DriftOptions& options() const noexcept { return options_; }
+
+private:
+    DriftOptions options_;
+    workload::Trace current_;
+    workload::Trace last_;
+    std::uint64_t hits_ = 0, lookups_ = 0;
+    std::vector<std::uint64_t> ref_top_;
+    double ref_hit_rate_ = -1.0;
+    double last_hit_rate_ = -1.0;
+    bool have_reference_ = false;
+    std::size_t sampled_ = 0;
+};
+
+}  // namespace p4all::runtime

@@ -1,0 +1,38 @@
+// Streaming adapters binding the four benchmark applications (NetCache,
+// SketchLearn, Precision, ConQuest) to the elastic runtime.
+//
+// The batch replay loops in src/apps/ consume a whole trace against a fixed
+// pipeline; a live runtime instead feeds one packet at a time into whatever
+// epoch is currently serving, runs the app's controller policy against that
+// epoch, and reports the per-packet outcome to the drift detector. Each
+// AppDriver packages: the program source, the single-packet step (process +
+// controller + note_packet), and the assume-profile generator that
+// right-sizes the app's elastic structures to an observed window — the
+// recompile loop's input.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace p4all::runtime {
+
+struct AppDriver {
+    std::string name;
+    std::string source;  ///< base P4All program (epoch 0 compiles this)
+    /// Feeds one packet key through `rt.pipeline()`, runs the app's
+    /// controller policy, and calls rt.note_packet() with the outcome.
+    std::function<void(ElasticRuntime&, std::uint64_t key)> step;
+    /// Derives `assume` bounds from a workload window (ProfileFn contract).
+    ProfileFn profile;
+};
+
+/// Drivers exist for "netcache", "sketchlearn", "precision", "conquest".
+[[nodiscard]] AppDriver make_driver(std::string_view app);
+[[nodiscard]] const std::vector<std::string>& driver_names();
+
+}  // namespace p4all::runtime

@@ -1,0 +1,192 @@
+#include "runtime/runtime.hpp"
+
+#include <utility>
+
+#include "audit/audit.hpp"
+#include "compiler/resilient.hpp"
+#include "support/error.hpp"
+#include "support/faultpoint.hpp"
+
+namespace p4all::runtime {
+
+using support::Errc;
+using support::Error;
+
+void require_committed(const SwapEvent& event) {
+    if (event.committed) return;
+    throw Error(Errc::SwapRejected, "runtime: reconfiguration rolled back: " + event.detail);
+}
+
+/// One compiled generation. The pipeline borrows the program inside the
+/// compile result, so both live together and the pair is heap-pinned (the
+/// runtime swaps whole epochs, never mutates one).
+struct ElasticRuntime::Epoch {
+    compiler::CompileResult compiled;
+    sim::Pipeline pipe;
+
+    explicit Epoch(compiler::CompileResult r)
+        : compiled(std::move(r)), pipe(compiled.program, compiled.layout) {}
+};
+
+namespace {
+
+compiler::CompileResult compile_epoch(const std::string& source, const std::string& name,
+                                      const compiler::CompileOptions& base, double budget) {
+    compiler::ResilienceOptions res;
+    res.budget_seconds = budget;
+    res.external_gate = audit::make_resilience_gate();
+    return compiler::compile_resilient_source(source, base, res, name);
+}
+
+}  // namespace
+
+ElasticRuntime::ElasticRuntime(std::string name, std::string source, RuntimeOptions options,
+                               ProfileFn profile)
+    : name_(std::move(name)),
+      source_(std::move(source)),
+      options_(std::move(options)),
+      profile_(std::move(profile)),
+      drift_(options_.drift) {
+    // Epoch 0 compiles with the profile of an empty window, so every epoch
+    // (initial and reconfigured) sits on the same assume lattice and
+    // migrations stay on the exact divisible paths.
+    std::string initial = source_;
+    if (profile_) {
+        const std::string extra = profile_(workload::Trace{});
+        if (!extra.empty()) initial += "\n" + extra;
+    }
+    current_ = std::make_unique<Epoch>(
+        compile_epoch(initial, name_, options_.compile, options_.recompile_budget_seconds));
+}
+
+ElasticRuntime::~ElasticRuntime() = default;
+
+sim::Pipeline& ElasticRuntime::pipeline() noexcept { return current_->pipe; }
+const sim::Pipeline& ElasticRuntime::pipeline() const noexcept { return current_->pipe; }
+const compiler::CompileResult& ElasticRuntime::compiled() const noexcept {
+    return current_->compiled;
+}
+const ir::Program& ElasticRuntime::program() const noexcept {
+    return current_->compiled.program;
+}
+
+std::size_t ElasticRuntime::swaps_committed() const noexcept {
+    std::size_t n = 0;
+    for (const SwapEvent& e : history_) n += e.committed ? 1 : 0;
+    return n;
+}
+
+void ElasticRuntime::note_packet(std::uint64_t key, int hit) {
+    ++packets_;
+    drift_.observe(key, hit);
+    if (!drift_.window_full()) return;
+    const DriftSignal signal = drift_.sample();
+    if (!signal.drifted || !options_.auto_reconfigure || reconfiguring_) return;
+    const std::string extra =
+        profile_ ? profile_(drift_.last_window()) : std::string();
+    const SwapEvent event = attempt_swap(extra, "drift: " + signal.reason);
+    if (event.committed) drift_.rebaseline();
+}
+
+SwapEvent ElasticRuntime::reconfigure(const std::string& trigger) {
+    const std::string extra =
+        profile_ ? profile_(drift_.last_window()) : std::string();
+    const SwapEvent event = attempt_swap(extra, trigger);
+    if (event.committed) drift_.rebaseline();
+    return event;
+}
+
+SwapEvent ElasticRuntime::attempt_swap(const std::string& extra, const std::string& trigger) {
+    reconfiguring_ = true;
+    SwapEvent event;
+    event.from_epoch = epoch_;
+    event.to_epoch = epoch_;
+    event.at_packet = packets_;
+    event.trigger = trigger;
+    event.old_utility = current_->compiled.utility;
+
+    // The serving epoch's state, captured up front: migration never writes
+    // it, and failure paths verify the guarantee before declaring rollback.
+    const Snapshot pre = take_snapshot(current_->pipe, epoch_);
+
+    const auto reject = [&](const std::string& why) -> SwapEvent {
+        event.detail = why;
+        const Snapshot post = take_snapshot(current_->pipe, epoch_);
+        if (!pre.state_identical(post)) {
+            // Unreachable by construction; surfaced loudly rather than
+            // silently serving perturbed state.
+            event.detail += " [serving state diverged during rollback]";
+        }
+        history_.push_back(event);
+        reconfiguring_ = false;
+        return event;
+    };
+
+    std::string source = source_;
+    if (!extra.empty()) source += "\n" + extra;
+
+    std::unique_ptr<Epoch> candidate;
+    try {
+        candidate = std::make_unique<Epoch>(compile_epoch(
+            source, name_, options_.compile, options_.recompile_budget_seconds));
+    } catch (const std::exception& e) {
+        return reject(std::string("recompile failed: ") + e.what());
+    }
+    event.new_utility = candidate->compiled.utility;
+
+    MigrationReport migration;
+    try {
+        migration = migrate_state(current_->pipe, candidate->pipe);
+    } catch (const std::exception& e) {
+        return reject(std::string("migration failed: ") + e.what());
+    }
+    event.migration_exact = migration.exact();
+    event.invariants_preserved = migration.invariants_preserved();
+    event.entries_dropped = migration.entries_dropped();
+
+    if (options_.require_invariants && !migration.invariants_preserved()) {
+        return reject("migration broke a module invariant:\n" + migration.to_string());
+    }
+
+    // Persist the new epoch's state before committing: a swap whose snapshot
+    // cannot be written is not crash-safe and must not commit.
+    if (!options_.snapshot_path.empty()) {
+        try {
+            save_snapshot(take_snapshot(candidate->pipe, epoch_ + 1), options_.snapshot_path);
+        } catch (const std::exception& e) {
+            return reject(std::string("snapshot failed: ") + e.what());
+        }
+    }
+
+    if (support::fault_fires("runtime.swap")) {
+        return reject("injected failure at the swap commit point");
+    }
+
+    // Commit: one pointer swap adopts the new epoch.
+    ++epoch_;
+    event.to_epoch = epoch_;
+    event.committed = true;
+    event.detail = migration.to_string();
+    current_ = std::move(candidate);
+    history_.push_back(event);
+    reconfiguring_ = false;
+    return event;
+}
+
+void ElasticRuntime::save(const std::string& path) {
+    const std::string& target = path.empty() ? options_.snapshot_path : path;
+    if (target.empty()) {
+        throw Error(Errc::SnapshotError, "runtime: no snapshot path configured");
+    }
+    save_snapshot(take_snapshot(current_->pipe, epoch_), target);
+}
+
+void ElasticRuntime::restore(const std::string& path) {
+    const std::string& target = path.empty() ? options_.snapshot_path : path;
+    if (target.empty()) {
+        throw Error(Errc::SnapshotError, "runtime: no snapshot path configured");
+    }
+    apply_snapshot(load_snapshot(target), current_->pipe);
+}
+
+}  // namespace p4all::runtime

@@ -1,0 +1,152 @@
+// The elastic runtime: a daemon-side service that owns a live compiled
+// pipeline and reconfigures it *hitlessly* when the workload drifts.
+//
+// Life of a reconfiguration (reconfigure() / the note_packet drift loop):
+//
+//   1. recompile   the base program plus an assume profile derived from the
+//                  drifted window runs through compiler::compile_resilient
+//                  (full fallback portfolio), gated by the independent audit
+//                  passes (audit::make_resilience_gate) — exactly the PR-3
+//                  acceptance pipeline;
+//   2. migrate     register state flows old -> new through the state
+//                  migrator (migrate.hpp); the old pipeline is never
+//                  written, so the serving epoch is untouched throughout;
+//   3. gate        the swap commits only if migration preserved every
+//                  module invariant (when require_invariants is set) and
+//                  the post-migration snapshot persisted (when a
+//                  snapshot_path is configured);
+//   4. swap        one epoch-counter bump adopts the new pipeline; packets
+//                  keep flowing against the old epoch until this instant
+//                  (single-threaded here, but the commit point is atomic by
+//                  construction);
+//   5. rollback    any failure anywhere — compile, migration, gate, the
+//                  `runtime.swap` fault point — discards the candidate
+//                  epoch and keeps serving the old one; every attempt is
+//                  recorded as a SwapEvent.
+//
+// Fault points threaded through this path: `runtime.swap` (commit step),
+// `runtime.migrate` (migrate.cpp), `runtime.snapshot` / `runtime.restore`
+// (snapshot.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "runtime/drift.hpp"
+#include "runtime/migrate.hpp"
+#include "runtime/snapshot.hpp"
+#include "sim/pipeline.hpp"
+
+namespace p4all::runtime {
+
+/// Renders extra source text (typically `assume` bounds) from an observed
+/// workload window — the "new assume profile" fed to the recompile loop.
+/// An empty function (or empty result) recompiles the base program as-is.
+using ProfileFn = std::function<std::string(const workload::Trace& window)>;
+
+struct RuntimeOptions {
+    /// Base options for every compile (initial and reconfigurations).
+    compiler::CompileOptions compile;
+    /// Wall-clock budget handed to each reconfiguration's portfolio.
+    double recompile_budget_seconds = 30.0;
+    DriftOptions drift;
+    /// Reconfigure automatically when note_packet completes a drifted window.
+    bool auto_reconfigure = true;
+    /// Reject (roll back) swaps whose migration broke a module invariant.
+    bool require_invariants = true;
+    /// When non-empty: a crash-safe snapshot of the new state is written
+    /// here on every committed swap, and a failed write aborts the swap.
+    std::string snapshot_path;
+};
+
+/// Record of one reconfiguration attempt.
+struct SwapEvent {
+    std::uint64_t from_epoch = 0;
+    std::uint64_t to_epoch = 0;       ///< == from_epoch when not committed
+    std::uint64_t at_packet = 0;      ///< runtime packet total at the attempt
+    std::string trigger;              ///< drift reason or caller-supplied
+    bool committed = false;
+    std::string detail;               ///< rollback cause / migration summary
+    bool migration_exact = true;
+    bool invariants_preserved = true;
+    std::int64_t entries_dropped = 0;
+    double old_utility = 0.0;
+    double new_utility = 0.0;
+};
+
+/// Throws support::Error(Errc::SwapRejected) when `event` was rolled back.
+void require_committed(const SwapEvent& event);
+
+class ElasticRuntime {
+public:
+    /// Compiles `source` (through the resilient portfolio + audit gate) and
+    /// brings up epoch 0. `profile` derives per-reconfiguration assume text
+    /// from the drifted window.
+    ElasticRuntime(std::string name, std::string source, RuntimeOptions options = {},
+                   ProfileFn profile = {});
+    ~ElasticRuntime();
+
+    ElasticRuntime(const ElasticRuntime&) = delete;
+    ElasticRuntime& operator=(const ElasticRuntime&) = delete;
+
+    /// The serving pipeline of the current epoch. The reference is
+    /// invalidated by a committed reconfiguration — re-fetch after
+    /// note_packet() / reconfigure().
+    [[nodiscard]] sim::Pipeline& pipeline() noexcept;
+    [[nodiscard]] const sim::Pipeline& pipeline() const noexcept;
+    [[nodiscard]] const compiler::CompileResult& compiled() const noexcept;
+    [[nodiscard]] const ir::Program& program() const noexcept;
+
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+    [[nodiscard]] std::uint64_t packets_total() const noexcept { return packets_; }
+    [[nodiscard]] const std::vector<SwapEvent>& history() const noexcept { return history_; }
+    [[nodiscard]] std::size_t swaps_committed() const noexcept;
+    [[nodiscard]] DriftDetector& drift() noexcept { return drift_; }
+
+    /// Feeds the drift detector after the caller pushed one packet through
+    /// pipeline(). `hit`: 1 / 0 for an application-level hit / miss, -1 when
+    /// the app has no such signal. When a window completes drifted and
+    /// auto_reconfigure is set, a reconfiguration runs inline; the attempt
+    /// (committed or rolled back) is appended to history().
+    void note_packet(std::uint64_t key, int hit = -1);
+
+    /// Forces one reconfiguration attempt now, profiling the last completed
+    /// window (empty when none was sampled yet). Never throws on rollback —
+    /// inspect the returned event / use require_committed().
+    SwapEvent reconfigure(const std::string& trigger = "manual");
+
+    /// Persists the current epoch's state to options().snapshot_path (or an
+    /// explicit path). Crash-safe; throws Error(Errc::SnapshotError) or
+    /// FaultInjected (point `runtime.snapshot`) on failure.
+    void save(const std::string& path = "");
+
+    /// Restores register state from a snapshot file into the *current*
+    /// epoch (same-layout apply; throws Error(Errc::SnapshotError) on any
+    /// mismatch or corruption, FaultInjected on `runtime.restore`). State
+    /// is untouched on failure.
+    void restore(const std::string& path = "");
+
+    [[nodiscard]] const RuntimeOptions& options() const noexcept { return options_; }
+
+private:
+    struct Epoch;
+
+    SwapEvent attempt_swap(const std::string& extra, const std::string& trigger);
+
+    std::string name_;
+    std::string source_;
+    RuntimeOptions options_;
+    ProfileFn profile_;
+    DriftDetector drift_;
+    std::unique_ptr<Epoch> current_;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t packets_ = 0;
+    std::vector<SwapEvent> history_;
+    bool reconfiguring_ = false;  // re-entrancy guard for the drift loop
+};
+
+}  // namespace p4all::runtime

@@ -165,9 +165,10 @@ std::uint64_t Pipeline::read(const Operand& op, const std::vector<std::uint64_t>
 
 void Pipeline::process(const Packet& pkt) {
     if (pkt.size() != prog_.packet_fields.size()) {
-        throw CompileError("simulator: packet has " + std::to_string(pkt.size()) +
-                           " fields, program declares " +
-                           std::to_string(prog_.packet_fields.size()));
+        throw support::Error(support::Errc::SimPacketShape,
+                             "simulator: packet has " + std::to_string(pkt.size()) +
+                                 " fields, program '" + prog_.name + "' declares " +
+                                 std::to_string(prog_.packet_fields.size()));
     }
     std::vector<std::uint64_t> pre(phv_.size(), 0);
     std::vector<std::uint64_t> post;
@@ -264,31 +265,60 @@ void Pipeline::process(const Packet& pkt) {
 
 std::uint64_t Pipeline::meta(std::string_view field, std::int64_t index) const {
     const ir::MetaFieldId f = prog_.find_meta(field);
-    if (f == ir::kNoId) throw CompileError("simulator: unknown metadata field '" +
-                                           std::string(field) + "'");
-    return phv_.at(static_cast<std::size_t>(meta_slot(f, index)));
+    if (f == ir::kNoId) {
+        throw support::Error(support::Errc::SimUnknownName,
+                             "simulator: unknown metadata field '" + std::string(field) + "'");
+    }
+    const auto it = meta_slots_.find({f, index});
+    if (it == meta_slots_.end()) {
+        throw support::Error(support::Errc::SimOutOfRange, prog_.meta(f).loc,
+                             "simulator: metadata chunk " + prog_.meta(f).name + "[" +
+                                 std::to_string(index) + "] not materialized in this layout");
+    }
+    return phv_.at(static_cast<std::size_t>(it->second));
+}
+
+const Pipeline::RegState& Pipeline::checked_row(std::string_view reg, std::int64_t instance,
+                                                std::int64_t index) const {
+    const ir::RegisterId r = prog_.find_register(reg);
+    if (r == ir::kNoId) {
+        throw support::Error(support::Errc::SimUnknownName,
+                             "simulator: unknown register '" + std::string(reg) + "'");
+    }
+    const auto it = reg_index_.find({r, instance});
+    if (it == reg_index_.end()) {
+        throw support::Error(support::Errc::SimOutOfRange, prog_.reg(r).loc,
+                             "simulator: register row " + prog_.reg(r).name + "_" +
+                                 std::to_string(instance) + " not in this layout");
+    }
+    const RegState& state = reg_rows_[static_cast<std::size_t>(it->second)];
+    if (index < 0 || index >= state.elems) {
+        throw support::Error(support::Errc::SimOutOfRange, prog_.reg(r).loc,
+                             "simulator: index " + std::to_string(index) + " out of range for " +
+                                 prog_.reg(r).name + "_" + std::to_string(instance) + " (" +
+                                 std::to_string(state.elems) + " elements)");
+    }
+    return state;
 }
 
 std::uint64_t Pipeline::reg_read(std::string_view reg, std::int64_t instance,
                                  std::int64_t index) const {
-    const ir::RegisterId r = prog_.find_register(reg);
-    const auto it = reg_index_.find({r, instance});
-    if (it == reg_index_.end()) throw CompileError("simulator: register row not in layout");
-    const RegState& state = reg_rows_[static_cast<std::size_t>(it->second)];
-    return state.data.at(static_cast<std::size_t>(index));
+    return checked_row(reg, instance, index).data[static_cast<std::size_t>(index)];
 }
 
 void Pipeline::reg_write(std::string_view reg, std::int64_t instance, std::int64_t index,
                          std::uint64_t value) {
-    const ir::RegisterId r = prog_.find_register(reg);
-    const auto it = reg_index_.find({r, instance});
-    if (it == reg_index_.end()) throw CompileError("simulator: register row not in layout");
-    RegState& state = reg_rows_[static_cast<std::size_t>(it->second)];
-    state.data.at(static_cast<std::size_t>(index)) = value & state.mask;
+    // checked_row validates; the const_cast writes into our own state.
+    auto& state = const_cast<RegState&>(checked_row(reg, instance, index));
+    state.data[static_cast<std::size_t>(index)] = value & state.mask;
 }
 
 std::int64_t Pipeline::reg_size(std::string_view reg, std::int64_t instance) const {
     const ir::RegisterId r = prog_.find_register(reg);
+    if (r == ir::kNoId) {
+        throw support::Error(support::Errc::SimUnknownName,
+                             "simulator: unknown register '" + std::string(reg) + "'");
+    }
     const auto it = reg_index_.find({r, instance});
     return it == reg_index_.end() ? 0
                                   : reg_rows_[static_cast<std::size_t>(it->second)].elems;
@@ -296,6 +326,45 @@ std::int64_t Pipeline::reg_size(std::string_view reg, std::int64_t instance) con
 
 void Pipeline::clear_registers() {
     for (RegState& reg : reg_rows_) std::fill(reg.data.begin(), reg.data.end(), 0);
+}
+
+std::vector<RegRowInfo> Pipeline::reg_rows() const {
+    std::vector<RegRowInfo> rows;
+    rows.reserve(reg_index_.size());
+    for (const auto& [key, idx] : reg_index_) {  // map order: (register id, instance)
+        rows.push_back({key.first, key.second,
+                        reg_rows_[static_cast<std::size_t>(idx)].elems,
+                        prog_.reg(key.first).width});
+    }
+    return rows;
+}
+
+std::span<const std::uint64_t> Pipeline::reg_row_data(ir::RegisterId reg,
+                                                      std::int64_t instance) const {
+    const auto it = reg_index_.find({reg, instance});
+    if (it == reg_index_.end()) {
+        throw support::Error(support::Errc::SimOutOfRange,
+                             "simulator: register row not in this layout");
+    }
+    const RegState& state = reg_rows_[static_cast<std::size_t>(it->second)];
+    return {state.data.data(), state.data.size()};
+}
+
+void Pipeline::reg_row_assign(ir::RegisterId reg, std::int64_t instance,
+                              std::span<const std::uint64_t> values) {
+    const auto it = reg_index_.find({reg, instance});
+    if (it == reg_index_.end()) {
+        throw support::Error(support::Errc::SimOutOfRange,
+                             "simulator: register row not in this layout");
+    }
+    RegState& state = reg_rows_[static_cast<std::size_t>(it->second)];
+    if (static_cast<std::int64_t>(values.size()) != state.elems) {
+        throw support::Error(support::Errc::SimOutOfRange,
+                             "simulator: row assignment of " + std::to_string(values.size()) +
+                                 " values to a row of " + std::to_string(state.elems) +
+                                 " elements");
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) state.data[i] = values[i] & state.mask;
 }
 
 }  // namespace p4all::sim

@@ -29,7 +29,22 @@ namespace p4all::sim {
 /// A packet: one value per declared packet field, by PacketFieldId.
 using Packet = std::vector<std::uint64_t>;
 
+/// One placed register row, as enumerated by Pipeline::reg_rows() (the
+/// elastic runtime's migration and snapshot layers walk these).
+struct RegRowInfo {
+    ir::RegisterId reg = ir::kNoId;
+    std::int64_t instance = 0;
+    std::int64_t elems = 0;
+    int width = 32;
+};
+
 /// Executable pipeline compiled from a program + layout.
+///
+/// External inputs (packets via process(), controller reads/writes via
+/// meta()/reg_read()/reg_write()) are validated: a wrong packet shape, an
+/// unknown field or register name, or an out-of-range instance/index raises
+/// a structured support::Error in the P4ALL-04xx range, never an
+/// out-of-bounds access.
 class Pipeline {
 public:
     /// Builds the executable form. Throws support::CompileError if the
@@ -38,7 +53,8 @@ public:
     Pipeline(const ir::Program& prog, const compiler::Layout& layout);
 
     /// Processes one packet; returns the final PHV metadata (access values
-    /// with meta()).
+    /// with meta()). Throws Error(Errc::SimPacketShape) if the packet's
+    /// field count differs from the program's declaration.
     void process(const Packet& pkt);
 
     /// Value of a metadata field after the last process() call. For array
@@ -51,10 +67,22 @@ public:
                                          std::int64_t index) const;
     void reg_write(std::string_view reg, std::int64_t instance, std::int64_t index,
                    std::uint64_t value);
-    /// Element count of a placed register row (0 if absent).
+    /// Element count of a placed register row (0 if the instance is absent;
+    /// unknown register names throw).
     [[nodiscard]] std::int64_t reg_size(std::string_view reg, std::int64_t instance) const;
     /// Resets all register state to zero.
     void clear_registers();
+
+    /// Every placed register row, ordered by (register id, instance) — the
+    /// deterministic walk order used by snapshots and state migration.
+    [[nodiscard]] std::vector<RegRowInfo> reg_rows() const;
+    /// Read-only view of one row's cells.
+    [[nodiscard]] std::span<const std::uint64_t> reg_row_data(ir::RegisterId reg,
+                                                              std::int64_t instance) const;
+    /// Replaces one row's cells (values are masked to the register width).
+    /// `values` must match the placed element count exactly.
+    void reg_row_assign(ir::RegisterId reg, std::int64_t instance,
+                        std::span<const std::uint64_t> values);
 
     [[nodiscard]] std::uint64_t packets_processed() const noexcept { return packets_; }
     [[nodiscard]] const ir::Program& program() const noexcept { return prog_; }
@@ -100,6 +128,9 @@ private:
     };
 
     [[nodiscard]] int meta_slot(ir::MetaFieldId field, std::int64_t index) const;
+    /// Validates name + instance + index, throwing the 04xx-range errors.
+    [[nodiscard]] const RegState& checked_row(std::string_view reg, std::int64_t instance,
+                                              std::int64_t index) const;
     [[nodiscard]] Operand resolve(const ir::Value& v, std::int64_t param) const;
     [[nodiscard]] std::uint64_t read(const Operand& op, const std::vector<std::uint64_t>& phv,
                                      const Packet& pkt) const;

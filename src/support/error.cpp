@@ -48,6 +48,12 @@ const char* errc_code(Errc code) noexcept {
         case Errc::InvalidArgument: return "P4ALL-0302";
         case Errc::Internal: return "P4ALL-0303";
         case Errc::FaultInjected: return "P4ALL-0304";
+        case Errc::SimPacketShape: return "P4ALL-0401";
+        case Errc::SimUnknownName: return "P4ALL-0402";
+        case Errc::SimOutOfRange: return "P4ALL-0403";
+        case Errc::MigrationError: return "P4ALL-0404";
+        case Errc::SnapshotError: return "P4ALL-0405";
+        case Errc::SwapRejected: return "P4ALL-0406";
     }
     return "P4ALL-????";
 }
@@ -72,6 +78,12 @@ const char* errc_name(Errc code) noexcept {
         case Errc::InvalidArgument: return "invalid-argument";
         case Errc::Internal: return "internal";
         case Errc::FaultInjected: return "fault-injected";
+        case Errc::SimPacketShape: return "sim-packet-shape";
+        case Errc::SimUnknownName: return "sim-unknown-name";
+        case Errc::SimOutOfRange: return "sim-out-of-range";
+        case Errc::MigrationError: return "migration-error";
+        case Errc::SnapshotError: return "snapshot-error";
+        case Errc::SwapRejected: return "swap-rejected";
     }
     return "unknown";
 }

@@ -28,6 +28,8 @@ enum class Severity { Note, Warning, Error };
 ///   1xx  user input (source programs, target specs, configuration)
 ///   2xx  solve / compilation outcomes (recoverable by the fallback chain)
 ///   3xx  internal invariants and injected faults
+///   4xx  data-plane runtime (simulator input validation, live
+///        reconfiguration, state migration, snapshot/restore)
 enum class Errc : int {
     None = 0,  // unclassified (legacy CompileError) / "no error" in results
 
@@ -50,6 +52,13 @@ enum class Errc : int {
     InvalidArgument = 302,  // bad API argument (e.g. malformed fault spec)
     Internal = 303,         // broken compiler invariant
     FaultInjected = 304,    // a configured fault point fired
+
+    SimPacketShape = 401,   // packet field count differs from the program's
+    SimUnknownName = 402,   // unknown metadata field / register name
+    SimOutOfRange = 403,    // meta index / register instance or index OOB
+    MigrationError = 404,   // state migration between layouts failed
+    SnapshotError = 405,    // register snapshot could not be written/read
+    SwapRejected = 406,     // a live reconfiguration was rolled back
 };
 
 /// Stable printable code, e.g. "P4ALL-0203". Never changes for a given Errc.

@@ -26,6 +26,14 @@
 //                    exercising the audit-gated acceptance path)
 //   artifacts.emit   CompileArtifacts assembly (fires => structured throw)
 //   codegen.emit     concrete-P4 emission (fires => structured throw)
+//   runtime.migrate  state migrator, once per migrated row / table group
+//                    (fires => the live reconfiguration rolls back)
+//   runtime.swap     elastic runtime, at the epoch-swap commit point
+//                    (fires => the candidate epoch is discarded)
+//   runtime.snapshot snapshot save, after the temp file is written (fires =>
+//                    the previous on-disk snapshot survives untouched)
+//   runtime.restore  snapshot load (fires => restore fails with a clean
+//                    structured error, state untouched)
 //
 // Probability-based specs draw from a per-point xoshiro256** stream seeded
 // only by `seed`, so every injected failure is reproducible from the logged

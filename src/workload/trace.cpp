@@ -24,6 +24,25 @@ Trace zipf_trace(std::size_t packets, std::size_t universe, double alpha, std::u
     return trace;
 }
 
+Trace zipf_drifting_trace(std::size_t packets, std::size_t universe, double alpha,
+                          std::uint64_t seed, std::size_t phases) {
+    if (phases == 0) throw std::runtime_error("zipf_drifting_trace: phases must be >= 1");
+    Trace trace;
+    trace.keys.reserve(packets);
+    for (std::size_t p = 0; p < phases; ++p) {
+        // Each phase gets its own rank->key permutation via a distinct seed.
+        ZipfGenerator zipf(universe, alpha, seed + p);
+        const std::size_t begin = packets * p / phases;
+        const std::size_t end = packets * (p + 1) / phases;
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint64_t key = zipf.next();
+            trace.keys.push_back(key);
+            ++trace.counts[key];
+        }
+    }
+    return trace;
+}
+
 Trace heavy_hitter_trace(std::size_t packets, std::size_t flows, std::uint64_t seed) {
     // Pareto(α≈1.2) flow sizes, normalized to `packets` total.
     support::Xoshiro256 rng(seed);

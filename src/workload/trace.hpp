@@ -27,6 +27,14 @@ struct Trace {
 [[nodiscard]] Trace zipf_trace(std::size_t packets, std::size_t universe, double alpha,
                                std::uint64_t seed);
 
+/// A drifting Zipf trace: `phases` back-to-back Zipf segments over the same
+/// universe where each phase re-permutes which keys carry the popular ranks
+/// (phase p draws from ZipfGenerator(universe, alpha, seed + p)). Hot keys
+/// churn completely at every phase boundary — the workload shift a live
+/// elastic runtime must detect and retune for. `phases` must be >= 1.
+[[nodiscard]] Trace zipf_drifting_trace(std::size_t packets, std::size_t universe, double alpha,
+                                        std::uint64_t seed, std::size_t phases);
+
 /// A flow-size trace for heavy-hitter experiments: `flows` flows whose
 /// sizes follow a Pareto-like heavy tail; packets are interleaved uniformly
 /// at random. `heavy_fraction` of the traffic concentrates in the top 1% of

@@ -200,6 +200,30 @@ TEST(Autotune, PicksTheQualityMaximizingWeights) {
     EXPECT_NO_THROW((void)ir::elaborate_source(src));
 }
 
+TEST(Autotune, EvaluationSeedIsRecordedAndReproducible) {
+    const workload::Trace trace = workload::zipf_trace(12000, 12000, 1.1, 51);
+    AutotuneOptions opts;
+    opts.kv_weights = {0.3, 0.85};
+    opts.eval_seed = 11;
+    opts.max_eval_packets = 3000;  // seeded order-preserving subsample
+
+    const AutotuneResult a = autotune_netcache(trace, opts);
+    EXPECT_EQ(a.eval_seed, 11u);
+    EXPECT_EQ(a.eval_packets, 3000u);
+    for (const AutotuneCandidate& c : a.candidates) {
+        EXPECT_EQ(c.eval_seed, 11u);    // every candidate records its seed
+        EXPECT_EQ(c.eval_packets, 3000u);
+    }
+
+    // Same seed ⇒ the sweep replays bit-for-bit.
+    const AutotuneResult b = autotune_netcache(trace, opts);
+    ASSERT_EQ(b.candidates.size(), a.candidates.size());
+    for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+        EXPECT_EQ(b.candidates[i].hit_rate, a.candidates[i].hit_rate);
+    }
+    EXPECT_EQ(b.best, a.best);
+}
+
 TEST(Apps, GeneratedP4IsLongerThanP4All) {
     // The Figure 11 claim: one elastic program replaces a family of longer
     // concrete ones.

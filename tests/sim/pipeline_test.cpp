@@ -178,6 +178,106 @@ TEST(Pipeline, RejectsWrongPacketArity) {
     EXPECT_THROW(pipe.process({1, 2, 3}), support::CompileError);
 }
 
+// --- External-input validation (the P4ALL-04xx contract): every malformed
+// controller/packet input yields a structured, located error — never an
+// out-of-bounds access.
+
+template <typename Fn>
+support::Errc catch_code(Fn&& fn) {
+    try {
+        fn();
+    } catch (const support::Error& e) {
+        return e.code();
+    }
+    return support::Errc::None;
+}
+
+TEST(PipelineValidation, WrongPacketShapeIsStructured) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    EXPECT_EQ(catch_code([&] { pipe.process({1, 2, 3}); }), support::Errc::SimPacketShape);
+    EXPECT_EQ(catch_code([&] { pipe.process({}); }), support::Errc::SimPacketShape);
+}
+
+TEST(PipelineValidation, UnknownMetaFieldThrows) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    pipe.process({1});
+    EXPECT_EQ(catch_code([&] { (void)pipe.meta("no_such_field"); }),
+              support::Errc::SimUnknownName);
+}
+
+TEST(PipelineValidation, MetaIndexOutOfRangeCarriesDeclLocation) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    pipe.process({1});
+    try {
+        (void)pipe.meta("index", 1000);
+        FAIL() << "expected Error";
+    } catch (const support::Error& e) {
+        EXPECT_EQ(e.code(), support::Errc::SimOutOfRange);
+        EXPECT_TRUE(e.loc().known());  // points at the metadata declaration
+    }
+}
+
+TEST(PipelineValidation, UnknownRegisterThrows) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    EXPECT_EQ(catch_code([&] { (void)pipe.reg_read("nope", 0, 0); }),
+              support::Errc::SimUnknownName);
+    EXPECT_EQ(catch_code([&] { pipe.reg_write("nope", 0, 0, 1); }),
+              support::Errc::SimUnknownName);
+    EXPECT_EQ(catch_code([&] { (void)pipe.reg_size("nope", 0); }),
+              support::Errc::SimUnknownName);
+}
+
+TEST(PipelineValidation, RegisterInstanceAndIndexBounds) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    EXPECT_EQ(catch_code([&] { (void)pipe.reg_read("cms", 99, 0); }),
+              support::Errc::SimOutOfRange);
+    EXPECT_EQ(catch_code([&] { (void)pipe.reg_read("cms", 0, 1'000'000'000); }),
+              support::Errc::SimOutOfRange);
+    EXPECT_EQ(catch_code([&] { (void)pipe.reg_read("cms", 0, -1); }),
+              support::Errc::SimOutOfRange);
+    EXPECT_EQ(catch_code([&] { pipe.reg_write("cms", 0, 1'000'000'000, 5); }),
+              support::Errc::SimOutOfRange);
+}
+
+TEST(PipelineValidation, AbsentInstanceRegSizeStaysZero) {
+    // The way-probing idiom (`while (reg_size(name, w) > 0) ++w;`) relies on
+    // absent instances reporting 0, not throwing.
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    EXPECT_EQ(pipe.reg_size("cms", 99), 0);
+}
+
+TEST(PipelineValidation, RowEnumerationMatchesRegSize) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    const std::vector<RegRowInfo> rows = pipe.reg_rows();
+    ASSERT_FALSE(rows.empty());
+    for (const RegRowInfo& row : rows) {
+        EXPECT_EQ(row.elems, pipe.reg_size(r.program.reg(row.reg).name, row.instance));
+        EXPECT_EQ(static_cast<std::int64_t>(pipe.reg_row_data(row.reg, row.instance).size()),
+                  row.elems);
+    }
+}
+
+TEST(PipelineValidation, RowAssignValidatesShape) {
+    const compiler::CompileResult r = compile_cms(target::running_example());
+    Pipeline pipe(r.program, r.layout);
+    const RegRowInfo row = pipe.reg_rows().front();
+    std::vector<std::uint64_t> wrong(static_cast<std::size_t>(row.elems) + 1, 0);
+    EXPECT_EQ(catch_code([&] { pipe.reg_row_assign(row.reg, row.instance, wrong); }),
+              support::Errc::SimOutOfRange);
+    EXPECT_EQ(catch_code([&] {
+                  pipe.reg_row_assign(row.reg, row.instance + 1000,
+                                      std::vector<std::uint64_t>{});
+              }),
+              support::Errc::SimOutOfRange);
+}
+
 TEST(Pipeline, PacketCounter) {
     const compiler::CompileResult r = compile_cms(target::running_example());
     Pipeline pipe(r.program, r.layout);

@@ -44,6 +44,29 @@ TEST(Diagnostics, ThrowIfErrorsThrowsFirstError) {
     }
 }
 
+TEST(Errc, RuntimeRangeCodesAreStable) {
+    // The P4ALL-04xx block (data-plane runtime) is part of the stable
+    // diagnostic taxonomy; tools match on these strings.
+    EXPECT_STREQ(errc_code(Errc::SimPacketShape), "P4ALL-0401");
+    EXPECT_STREQ(errc_code(Errc::SimUnknownName), "P4ALL-0402");
+    EXPECT_STREQ(errc_code(Errc::SimOutOfRange), "P4ALL-0403");
+    EXPECT_STREQ(errc_code(Errc::MigrationError), "P4ALL-0404");
+    EXPECT_STREQ(errc_code(Errc::SnapshotError), "P4ALL-0405");
+    EXPECT_STREQ(errc_code(Errc::SwapRejected), "P4ALL-0406");
+    EXPECT_STREQ(errc_name(Errc::SimPacketShape), "sim-packet-shape");
+    EXPECT_STREQ(errc_name(Errc::SimUnknownName), "sim-unknown-name");
+    EXPECT_STREQ(errc_name(Errc::SimOutOfRange), "sim-out-of-range");
+    EXPECT_STREQ(errc_name(Errc::MigrationError), "migration-error");
+    EXPECT_STREQ(errc_name(Errc::SnapshotError), "snapshot-error");
+    EXPECT_STREQ(errc_name(Errc::SwapRejected), "swap-rejected");
+}
+
+TEST(Errc, RuntimeErrorsRenderTheirCode) {
+    const Error err(Errc::SimPacketShape, "packet has 3 fields, program declares 1");
+    EXPECT_EQ(err.code(), Errc::SimPacketShape);
+    EXPECT_NE(std::string(err.what()).find("P4ALL-0401"), std::string::npos);
+}
+
 TEST(Diagnostics, ToStringOnePerLine) {
     Diagnostics diags;
     diags.error(SourceLoc{"f", 1, 1}, "x");
