@@ -1,0 +1,94 @@
+// BENCH_compile.json: end-to-end compile latency with the solver-core
+// backends swapped — the dense serial pipeline (the historical default)
+// against the sparse revised simplex + deterministic best-first search the
+// resilient portfolio now tries first. Same schema and --check gate as
+// bench_ilp, so CI can hold compile latency to the committed baseline.
+//
+// Usage:
+//   bench_compile [--out BENCH_compile.json] [--reps N] [--check baseline.json]
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/applications.hpp"
+#include "apps/netcache.hpp"
+#include "bench_json.hpp"
+#include "compiler/compiler.hpp"
+
+namespace {
+
+using namespace p4all;
+
+bench::InstanceReport bench_app(const std::string& name, const std::string& source, int reps,
+                                double budget_seconds) {
+    bench::InstanceReport rep;
+    rep.name = name;
+    rep.kind = "compile";
+
+    const auto run = [&](ilp::LpBackend backend, ilp::SearchMode search) {
+        compiler::CompileOptions o;
+        o.backend = compiler::Backend::Ilp;
+        o.solve.lp_backend = backend;
+        o.solve.search = search;
+        o.solve.threads = 0;
+        // compile_source seeds branch-and-bound from the greedy layout; the
+        // budget bounds instances (netcache) whose honest root gap is not
+        // closable at bench scale.
+        o.solve.time_limit_seconds = budget_seconds;
+        const compiler::CompileResult r = compiler::compile_source(source, o, name);
+        rep.vars = r.stats.ilp_vars;
+        rep.rows = r.stats.ilp_constraints;
+        return std::pair<std::int64_t, std::int64_t>(r.stats.lp_iterations, r.stats.bb_nodes);
+    };
+
+    rep.dense = bench::measure(
+        reps, [&] { return run(ilp::LpBackend::Dense, ilp::SearchMode::Dfs); });
+    rep.sparse = bench::measure(
+        reps, [&] { return run(ilp::LpBackend::Sparse, ilp::SearchMode::BestFirst); });
+    return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string out_path = "BENCH_compile.json";
+    std::string check_path;
+    int reps = 7;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_compile [--out file] [--reps N] [--check baseline]\n");
+            return 2;
+        }
+    }
+
+    std::vector<bench::InstanceReport> instances;
+    instances.push_back(bench_app("netcache", apps::netcache_source(), reps, 1.0));
+    instances.push_back(bench_app("sketchlearn-l4", apps::sketchlearn_source(4), reps, 5.0));
+    instances.push_back(bench_app("sketchlearn-l6", apps::sketchlearn_source(6), reps, 2.0));
+    instances.push_back(bench_app("precision", apps::precision_source(), reps, 5.0));
+    instances.push_back(bench_app("conquest-s4", apps::conquest_source(4), reps, 5.0));
+    instances.push_back(bench_app("conquest-s6", apps::conquest_source(6), reps, 2.0));
+
+    bench::print_table(instances);
+
+    if (!bench::write_report(bench::report_json("compile", instances), out_path)) return 1;
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!check_path.empty()) {
+        const int regressions = bench::check_against_baseline(instances, check_path, "compile");
+        if (regressions > 0) {
+            std::fprintf(stderr, "bench_compile: %d regression(s) vs %s\n", regressions,
+                         check_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -44,6 +44,85 @@ void BM_SimplexDense(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexDense)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_SimplexSparseRevised(benchmark::State& state) {
+    // Same instances through the sparse revised simplex; apples-to-apples
+    // with BM_SimplexDense above (these dense random LPs are the sparse
+    // backend's worst case — its advantage grows with column sparsity, see
+    // bench_ilp's placement-style instances).
+    const int n = static_cast<int>(state.range(0));
+    const Model model = random_lp(n, n, 42);
+    for (auto _ : state) {
+        const LpResult r = solve_lp_sparse(model);
+        benchmark::DoNotOptimize(r.objective);
+    }
+    state.SetLabel("n=m=" + std::to_string(n));
+}
+BENCHMARK(BM_SimplexSparseRevised)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+/// Placement-shaped LP: tall and sparse (each column touches 3 rows), the
+/// regime unrolled P4All programs put the solver in.
+Model placement_lp(int rows, int cols, std::uint64_t seed) {
+    p4all::support::Xoshiro256 rng(seed);
+    Model model;
+    std::vector<LinExpr> row_exprs(static_cast<std::size_t>(rows));
+    LinExpr obj;
+    for (int j = 0; j < cols; ++j) {
+        const Var v = model.add_continuous("x" + std::to_string(j), 0, 6);
+        for (int t = 0; t < 3; ++t) {
+            const auto r =
+                static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(rows)));
+            row_exprs[r].add(v, static_cast<double>(1 + rng.next_below(4)));
+        }
+        obj.add(v, static_cast<double>(1 + rng.next_below(9)));
+    }
+    for (auto& e : row_exprs) model.add_le(std::move(e), 50.0);
+    model.set_objective(obj);
+    return model;
+}
+
+void BM_SimplexPlacementShape(benchmark::State& state) {
+    // arg0: rows; arg1: 0 = dense tableau, 1 = sparse revised.
+    const int rows = static_cast<int>(state.range(0));
+    const Model model = placement_lp(rows, rows * 12, 5);
+    const bool sparse = state.range(1) == 1;
+    for (auto _ : state) {
+        const LpResult r = sparse ? solve_lp_sparse(model) : solve_lp(model);
+        benchmark::DoNotOptimize(r.objective);
+    }
+    state.SetLabel((sparse ? "sparse " : "dense ") + std::to_string(rows) + "x" +
+                   std::to_string(rows * 12));
+}
+BENCHMARK(BM_SimplexPlacementShape)
+    ->Args({40, 0})
+    ->Args({40, 1})
+    ->Args({100, 0})
+    ->Args({100, 1});
+
+void BM_BestFirstParallelKnapsack(benchmark::State& state) {
+    // Deterministic parallel best-first over the sparse backend; arg is the
+    // thread count (results identical across all of them, by contract).
+    p4all::support::Xoshiro256 rng(9);
+    Model model;
+    LinExpr weight;
+    LinExpr value;
+    for (int j = 0; j < 20; ++j) {
+        const Var v = model.add_binary("b" + std::to_string(j));
+        weight.add(v, static_cast<double>(1 + rng.next_below(20)));
+        value.add(v, static_cast<double>(1 + rng.next_below(30)));
+    }
+    model.add_le(std::move(weight), 100.0);
+    model.set_objective(value);
+    SolveOptions o;
+    o.lp_backend = LpBackend::Sparse;
+    o.search = SearchMode::BestFirst;
+    o.threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const Solution s = solve_milp(model, o);
+        benchmark::DoNotOptimize(s.objective);
+    }
+}
+BENCHMARK(BM_BestFirstParallelKnapsack)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_SimplexBounded_vs_Textbook(benchmark::State& state) {
     // Same model through the production bounded-variable solver and the
     // textbook oracle (arg 0/1 selects), showing why bounds must be

@@ -124,27 +124,51 @@ CompileResult compile_resilient(const lang::Program& ast, const CompileOptions& 
     common.deadline = hard;
     common.exhaustive_max_combinations = res.exhaustive_max_combinations;
 
-    // 1. ILP with the bulk of the budget.
+    // Did the most recent attempt fail in a way a pivot-path restart could
+    // plausibly sidestep?
     bool restart_worthwhile = false;
-    if (res.try_ilp) {
+    const auto note_ilp_failure = [&] {
+        const AttemptOutcome last = report.attempts.back().outcome;
+        restart_worthwhile = restart_worthwhile ||
+                             last == AttemptOutcome::NumericalTrouble ||
+                             last == AttemptOutcome::AuditRejected;
+    };
+
+    // 1. Sparse revised simplex + deterministic parallel best-first search:
+    // the fast path gets the first (and largest) slice of the budget.
+    if (res.try_ilp_sparse) {
         if (overall.cancelled()) {
-            skip("ilp", "cancellation requested before start");
+            skip("ilp-sparse", "cancellation requested before start");
+        } else {
+            CompileOptions o = common;
+            o.backend = Backend::Ilp;
+            o.solve.lp_backend = ilp::LpBackend::Sparse;
+            o.solve.search = ilp::SearchMode::BestFirst;
+            o.solve.threads = res.sparse_threads;
+            o.solve.deadline =
+                o.solve.deadline.merged(overall.tightened(0.5 * res.budget_seconds));
+            if (!run_attempt("ilp-sparse", o, o.solve.lp.perturb_seed)) note_ilp_failure();
+        }
+    }
+
+    // 2. Dense-tableau serial engine: same model, the maximally proven
+    // implementation — catches instances where the sparse factorization ran
+    // into numerical trouble.
+    if (!accepted && res.try_ilp) {
+        if (overall.cancelled()) {
+            skip("ilp", "cancellation requested");
+        } else if (hard.expired()) {
+            skip("ilp", "hard stop reached");
         } else {
             CompileOptions o = common;
             o.backend = Backend::Ilp;
             o.solve.deadline =
-                o.solve.deadline.merged(overall.tightened(0.6 * res.budget_seconds));
-            if (run_attempt("ilp", o, o.solve.lp.perturb_seed)) {
-                restart_worthwhile = false;
-            } else {
-                const AttemptOutcome last = report.attempts.back().outcome;
-                restart_worthwhile = last == AttemptOutcome::NumericalTrouble ||
-                                     last == AttemptOutcome::AuditRejected;
-            }
+                o.solve.deadline.merged(overall.tightened(0.35 * res.budget_seconds));
+            if (!run_attempt("ilp", o, o.solve.lp.perturb_seed)) note_ilp_failure();
         }
     }
 
-    // 2. ILP restart: Bland's rule from iteration 0 plus a reseeded cost
+    // 3. ILP restart: Bland's rule from iteration 0 plus a reseeded cost
     // perturbation — a different pivot path around the breakdown. Only worth
     // paying for when the first solve hit numerical trouble or shipped a
     // layout the audit refused.
@@ -163,7 +187,7 @@ CompileResult compile_resilient(const lang::Program& ast, const CompileOptions& 
         }
     }
 
-    // 3. Greedy: cheap, audit-checked, never claims optimality.
+    // 4. Greedy: cheap, audit-checked, never claims optimality.
     if (!accepted && res.try_greedy) {
         if (overall.cancelled()) {
             skip("greedy", "cancellation requested");
@@ -177,7 +201,7 @@ CompileResult compile_resilient(const lang::Program& ast, const CompileOptions& 
         }
     }
 
-    // 4. Exhaustive enumeration: tiny models only; the combination cap makes
+    // 5. Exhaustive enumeration: tiny models only; the combination cap makes
     // oversized domains a quick structured refusal rather than a blowup.
     if (!accepted && res.try_exhaustive) {
         if (overall.cancelled()) {

@@ -2,15 +2,18 @@
 // until one backend produces an accepted layout or the portfolio is
 // exhausted.
 //
-//   1. ilp          branch-and-bound with the bulk of the time budget;
-//                   anytime — a timed-out search still ships its incumbent
-//                   if the audit gate accepts it.
-//   2. ilp-bland    restart with Bland's rule forced from iteration 0 and a
+//   1. ilp-sparse   branch-and-bound over the sparse revised simplex with
+//                   the deterministic parallel best-first engine — the fast
+//                   path, first choice; anytime like every ILP rung.
+//   2. ilp          the dense-tableau serial engine. Slower but maximally
+//                   battle-tested; catches the (rare) instance where the
+//                   sparse factorization hits numerical trouble.
+//   3. ilp-bland    restart with Bland's rule forced from iteration 0 and a
 //                   perturbed (logged, reproducible) cost tilt; tried only
 //                   after numerical trouble or an audit rejection, where a
 //                   different pivot path may sidestep the breakdown.
-//   3. greedy       heuristic list scheduling — fast, never optimal-claiming.
-//   4. exhaustive   full integer enumeration, tiny models only (guarded by a
+//   4. greedy       heuristic list scheduling — fast, never optimal-claiming.
+//   5. exhaustive   full integer enumeration, tiny models only (guarded by a
 //                   combination cap).
 //
 // Every attempt is audited (the compiler's built-in audit_layout plus an
@@ -40,10 +43,16 @@ struct ResilienceOptions {
     /// Cooperative cancellation, observed by every phase of every attempt.
     support::CancelToken cancel;
 
+    bool try_ilp_sparse = true;
     bool try_ilp = true;
     bool try_ilp_restart = true;
     bool try_greedy = true;
     bool try_exhaustive = true;
+
+    /// Worker threads for the ilp-sparse rung's parallel best-first search
+    /// (0 picks the hardware concurrency). Any value produces bit-identical
+    /// layouts — see SearchMode::BestFirst.
+    int sparse_threads = 0;
 
     /// Combination cap for the exhaustive backend.
     std::int64_t exhaustive_max_combinations = 4096;

@@ -1,0 +1,675 @@
+#include "ilp/revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ilp/scaling.hpp"
+#include "ilp/sparse.hpp"
+#include "support/error.hpp"
+#include "support/faultpoint.hpp"
+#include "support/rng.hpp"
+
+namespace p4all::ilp {
+
+namespace {
+
+/// Consecutive degenerate pivots tolerated before Bland's rule engages
+/// (same policy as the dense solver).
+constexpr int kDegeneratePivotLimit(int rows) { return 2 * (rows + 16); }
+
+/// Bounded-variable two-phase revised simplex over CSC + eta-file factors.
+///
+/// The standard-form construction mirrors simplex.cpp exactly — variables
+/// shifted to y = x − lb ∈ [0, span], Ge rows negated to Le, negative-rhs
+/// rows negated again, slacks on Le rows, artificials on Eq/negated rows —
+/// so both backends expose identical status/dual conventions. On top of
+/// that, singleton rows (one variable — the shape `assume lo <= x <= hi`
+/// ranges produce) are folded into the variable's working bounds during the
+/// build instead of becoming explicit rows: the bounded-variable mechanics
+/// already handle them for free, and their dual multiplier is reported as 0
+/// (always sign-correct, so the weak-duality certificate stays valid — a
+/// folded row can only loosen the certified gap, never unsound it).
+class RevisedSimplex {
+public:
+    RevisedSimplex(const Model& model, const std::vector<double>& lb,
+                   const std::vector<double>& ub, const LpOptions& options)
+        : model_(model), options_(options), n_(model.num_vars()),
+          lb_(lb), ub_(ub) {}
+
+    LpResult solve() {
+        LpResult result;
+        if (!build(result)) return result;  // folded-bound contradiction ⇒ Infeasible
+        if (!recompute_state()) {
+            result.status = LpStatus::IterLimit;
+            result.error = support::Errc::NumericalTrouble;
+            return result;
+        }
+        if (num_artificial_ > 0) {
+            load_phase1_costs();
+            const LpStatus st = iterate(result.iterations, /*phase1=*/true);
+            if (st == LpStatus::IterLimit) {
+                result.status = st;
+                result.deadline_hit = deadline_hit_;
+                result.error = error_;
+                return result;
+            }
+            double artificial_sum = 0.0;
+            for (int i = 0; i < m_; ++i) {
+                if (basis_[static_cast<std::size_t>(i)] >= artificial_start_) {
+                    artificial_sum += std::abs(xb_[static_cast<std::size_t>(i)]);
+                }
+            }
+            if (st == LpStatus::Infeasible || artificial_sum > 1e-6) {
+                result.status = LpStatus::Infeasible;
+                return result;
+            }
+            // Pin artificials to zero for phase 2.
+            for (int j = artificial_start_; j < cols_; ++j) {
+                span_[static_cast<std::size_t>(j)] = 0.0;
+            }
+        }
+        load_phase2_costs();
+        const LpStatus st = iterate(result.iterations, /*phase1=*/false);
+        result.status = st;
+        if (st != LpStatus::Optimal) {
+            result.deadline_hit = deadline_hit_;
+            result.error = error_;
+            return result;
+        }
+
+        // Dual extraction via BTRAN: y solves Bᵀy = c_B, so the reduced cost
+        // of row i's auxiliary column (cost 0, single entry v at row i) is
+        // r_aux = −v·y_i, and the maximize-convention dual is σ·r_aux with
+        // the same σ bookkeeping as the dense tableau. Folded singleton rows
+        // report dual 0.
+        std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+        for (int i = 0; i < m_; ++i) {
+            y[static_cast<std::size_t>(i)] =
+                cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+        }
+        factor_.btran(y);
+        result.duals.assign(static_cast<std::size_t>(model_.num_constraints()), 0.0);
+        for (int i = 0; i < m_; ++i) {
+            const std::size_t is = static_cast<std::size_t>(i);
+            const double r_aux = -aux_coeff_[is] * y[is];
+            // ·ρ maps the scaled row's dual back to the original row's unit.
+            result.duals[static_cast<std::size_t>(orig_row_[is])] =
+                static_cast<double>(dual_sign_[is]) * r_aux * row_scale_[is];
+        }
+
+        result.values.assign(static_cast<std::size_t>(n_), 0.0);
+        for (int j = 0; j < n_; ++j) {
+            if (at_upper_[static_cast<std::size_t>(j)]) {
+                result.values[static_cast<std::size_t>(j)] = span_[static_cast<std::size_t>(j)];
+            }
+        }
+        for (int i = 0; i < m_; ++i) {
+            const int j = basis_[static_cast<std::size_t>(i)];
+            if (j < n_) result.values[static_cast<std::size_t>(j)] = xb_[static_cast<std::size_t>(i)];
+        }
+        for (int j = 0; j < n_; ++j) {
+            // ·s undoes the column scaling, then the lb shift.
+            const std::size_t js = static_cast<std::size_t>(j);
+            result.values[js] = result.values[js] * col_scale_[js] + work_lb_[js];
+        }
+        result.objective = model_.objective().evaluate(result.values);
+        result.bound_slack = bound_slack_;
+        result.bound = result.objective + bound_slack_;
+        return result;
+    }
+
+private:
+    /// Builds the CSC standard form. Returns false (status pre-set to
+    /// Infeasible) when folding a singleton row produces an empty domain.
+    bool build(LpResult& result) {
+        work_lb_ = lb_;
+        work_ub_ = ub_;
+        for (int j = 0; j < n_; ++j) {
+            if (work_ub_[static_cast<std::size_t>(j)] - work_lb_[static_cast<std::size_t>(j)] <
+                -1e-12) {
+                throw support::Error(support::Errc::InvalidModel,
+                                     "simplex: lb > ub for variable '" + model_.var_name(j) +
+                                         "'");
+            }
+        }
+
+        struct Row {
+            std::vector<std::pair<int, double>> terms;
+            bool eq;
+            bool negated = false;
+            int sense_sign = 1;  // −1 for Ge rows (normalized to Le)
+            double rhs;
+            int orig = 0;
+        };
+        std::vector<Row> rows;
+        rows.reserve(model_.constraints().size());
+        int orig_index = -1;
+        for (const Constraint& c : model_.constraints()) {
+            ++orig_index;
+            // Singleton-row presolve against the *unshifted* bounds.
+            if (c.expr.terms().size() <= 1) {
+                if (!fold_singleton(c)) {
+                    result.status = LpStatus::Infeasible;
+                    return false;
+                }
+                continue;
+            }
+            Row r;
+            r.eq = c.sense == CmpSense::Eq;
+            r.orig = orig_index;
+            const double sign = c.sense == CmpSense::Ge ? -1.0 : 1.0;
+            r.sense_sign = c.sense == CmpSense::Ge ? -1 : 1;
+            for (const auto& [id, coeff] : c.expr.terms()) {
+                r.terms.emplace_back(id, sign * coeff);
+            }
+            r.rhs = sign * (c.rhs - c.expr.constant());
+            rows.push_back(std::move(r));
+        }
+        // Bound folding finished: now shift every kept row by the working
+        // lower bounds (y = x − lb) and normalize signs.
+        for (Row& r : rows) {
+            double shift = 0.0;
+            for (const auto& [id, coeff] : r.terms) {
+                shift += coeff * work_lb_[static_cast<std::size_t>(id)];
+            }
+            r.rhs -= shift;
+        }
+        m_ = static_cast<int>(rows.size());
+
+        // Equilibrate (scaling.hpp) — identical policy to the dense backend
+        // so both solve the same scaled problem: power-of-two row/column
+        // factors keep entries near 1 and the absolute tolerances sound on
+        // models mixing O(1) utility rows with O(10^6) memory rows.
+        {
+            std::vector<std::vector<std::pair<int, double>>> term_rows;
+            term_rows.reserve(rows.size());
+            for (const Row& r : rows) term_rows.push_back(r.terms);
+            Equilibration eq = equilibrate(term_rows, n_);
+            row_scale_ = std::move(eq.row);
+            col_scale_ = std::move(eq.col);
+            for (int i = 0; i < m_; ++i) {
+                Row& r = rows[static_cast<std::size_t>(i)];
+                const double rho = row_scale_[static_cast<std::size_t>(i)];
+                for (auto& [id, c] : r.terms) {
+                    c *= rho * col_scale_[static_cast<std::size_t>(id)];
+                }
+                r.rhs *= rho;
+            }
+        }
+
+        int num_slack = 0;
+        num_artificial_ = 0;
+        for (Row& r : rows) {
+            if (!r.eq) ++num_slack;
+            if (r.rhs < 0) {
+                r.negated = true;
+                for (auto& [id, c] : r.terms) c = -c;
+                r.rhs = -r.rhs;
+            }
+            if (r.eq || r.negated) ++num_artificial_;
+        }
+        artificial_start_ = n_ + num_slack;
+        cols_ = artificial_start_ + num_artificial_;
+
+        span_.assign(static_cast<std::size_t>(cols_), kInfinity);
+        at_upper_.assign(static_cast<std::size_t>(cols_), false);
+        in_basis_.assign(static_cast<std::size_t>(cols_), false);
+        basis_.assign(static_cast<std::size_t>(m_), -1);
+        xb_.assign(static_cast<std::size_t>(m_), 0.0);
+        rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+        aux_coeff_.assign(static_cast<std::size_t>(m_), 1.0);
+        aux_col_.assign(static_cast<std::size_t>(m_), -1);
+        dual_sign_.assign(static_cast<std::size_t>(m_), 1);
+        orig_row_.assign(static_cast<std::size_t>(m_), 0);
+        cost_.assign(static_cast<std::size_t>(cols_), 0.0);
+
+        for (int j = 0; j < n_; ++j) {
+            const double d =
+                work_ub_[static_cast<std::size_t>(j)] - work_lb_[static_cast<std::size_t>(j)];
+            span_[static_cast<std::size_t>(j)] =
+                std::max(d, 0.0) / col_scale_[static_cast<std::size_t>(j)];
+        }
+
+        std::vector<CscMatrix::Triplet> triplets;
+        int next_slack = n_;
+        int next_artificial = artificial_start_;
+        for (int i = 0; i < m_; ++i) {
+            const Row& r = rows[static_cast<std::size_t>(i)];
+            for (const auto& [id, c] : r.terms) {
+                if (c != 0.0) triplets.push_back({i, id, c});
+            }
+            rhs_[static_cast<std::size_t>(i)] = r.rhs;
+            orig_row_[static_cast<std::size_t>(i)] = r.orig;
+            int basic = -1;
+            const int sigma_row = r.sense_sign * (r.negated ? -1 : 1);
+            if (!r.eq) {
+                const double slack_coeff = r.negated ? -1.0 : 1.0;
+                triplets.push_back({i, next_slack, slack_coeff});
+                if (!r.negated) basic = next_slack;
+                aux_col_[static_cast<std::size_t>(i)] = next_slack;
+                aux_coeff_[static_cast<std::size_t>(i)] = slack_coeff;
+                dual_sign_[static_cast<std::size_t>(i)] = sigma_row * (r.negated ? -1 : 1);
+                ++next_slack;
+            }
+            if (basic < 0) {
+                triplets.push_back({i, next_artificial, 1.0});
+                if (r.eq) {
+                    aux_col_[static_cast<std::size_t>(i)] = next_artificial;
+                    aux_coeff_[static_cast<std::size_t>(i)] = 1.0;
+                    dual_sign_[static_cast<std::size_t>(i)] = sigma_row;
+                }
+                basic = next_artificial++;
+            }
+            basis_[static_cast<std::size_t>(i)] = basic;
+            in_basis_[static_cast<std::size_t>(basic)] = true;
+        }
+        A_ = CscMatrix::from_triplets(m_, cols_, std::move(triplets));
+        return true;
+    }
+
+    /// Folds a 0- or 1-term constraint into the working bounds. Returns
+    /// false when the fold makes the constraint unsatisfiable.
+    bool fold_singleton(const Constraint& c) {
+        const double rhs = c.rhs - c.expr.constant();
+        if (c.expr.terms().empty() ||
+            c.expr.terms().front().second == 0.0) {
+            // Constant row: pure feasibility check.
+            constexpr double kTol = 1e-9;
+            switch (c.sense) {
+                case CmpSense::Le: return 0.0 <= rhs + kTol;
+                case CmpSense::Ge: return 0.0 >= rhs - kTol;
+                case CmpSense::Eq: return std::abs(rhs) <= kTol;
+            }
+            return true;
+        }
+        const auto& [id, a] = c.expr.terms().front();
+        const std::size_t js = static_cast<std::size_t>(id);
+        const double v = rhs / a;
+        const bool tightens_ub =
+            (c.sense == CmpSense::Le && a > 0) || (c.sense == CmpSense::Ge && a < 0);
+        const bool tightens_lb =
+            (c.sense == CmpSense::Ge && a > 0) || (c.sense == CmpSense::Le && a < 0);
+        if (c.sense == CmpSense::Eq || tightens_ub) {
+            work_ub_[js] = std::min(work_ub_[js], v);
+        }
+        if (c.sense == CmpSense::Eq || tightens_lb) {
+            work_lb_[js] = std::max(work_lb_[js], v);
+        }
+        // LP feasibility tolerance: an epsilon-inverted interval is an empty
+        // domain only beyond the same tolerance the dense solver applies.
+        return work_ub_[js] - work_lb_[js] >= -1e-9;
+    }
+
+    /// Refactorizes the basis and recomputes the basic values
+    /// xb = B⁻¹·(b − Σ_{nonbasic at upper} span_j·A_j).
+    bool recompute_state() {
+        if (!factor_.refactorize(A_, basis_)) return false;
+        std::vector<double> beff = rhs_;
+        for (int j = 0; j < cols_; ++j) {
+            const std::size_t js = static_cast<std::size_t>(j);
+            if (!in_basis_[js] && at_upper_[js] && span_[js] != kInfinity && span_[js] > 0.0) {
+                A_.axpy_col(j, -span_[js], beff);
+            }
+        }
+        factor_.ftran(beff);
+        xb_ = std::move(beff);
+        return true;
+    }
+
+    void load_phase1_costs() {
+        std::fill(cost_.begin(), cost_.end(), 0.0);
+        for (int j = artificial_start_; j < cols_; ++j) cost_[static_cast<std::size_t>(j)] = 1.0;
+        bound_slack_ = 0.0;
+    }
+
+    void load_phase2_costs() {
+        std::fill(cost_.begin(), cost_.end(), 0.0);
+        for (const auto& [id, c] : model_.objective().terms()) {
+            // maximize ⇒ minimize −c, in column-scaled units (ĉ = s·c keeps
+            // the scaled objective value equal to the true one).
+            cost_[static_cast<std::size_t>(id)] = -c * col_scale_[static_cast<std::size_t>(id)];
+        }
+        // Deterministic cost perturbation, same formula as the dense solver
+        // (simplex.cpp) so the exactly-accounted bound budget is identical.
+        bound_slack_ = 0.0;
+        if (options_.perturbation > 0.0) {
+            for (int j = 0; j < n_; ++j) {
+                const std::size_t js = static_cast<std::size_t>(j);
+                if (span_[js] == kInfinity || span_[js] <= 0.0) continue;
+                std::uint64_t state =
+                    (0x9E3779B97F4A7C15ULL +
+                     options_.perturb_seed * 0xD1342543DE82EF95ULL) ^
+                    (static_cast<std::uint64_t>(j) << 17);
+                const double xi =
+                    0.5 + 0.5 * static_cast<double>(support::splitmix64(state) >> 11) * 0x1.0p-53;
+                const double eps = options_.perturbation * xi / span_[js];
+                cost_[js] += eps;
+                bound_slack_ += eps * span_[js];
+            }
+        }
+    }
+
+    LpStatus iterate(int& iterations, bool phase1) {
+        const int limit =
+            options_.max_iterations > 0 ? options_.max_iterations : 400 + 60 * (m_ + cols_);
+        const double tol = options_.tol;
+        int stall = 0;
+        int recoveries = 0;
+        bool bland = options_.force_bland;
+        std::vector<double> devex(static_cast<std::size_t>(cols_), 1.0);
+        std::vector<double> y(static_cast<std::size_t>(m_));
+        std::vector<double> w(static_cast<std::size_t>(m_));
+        std::vector<double> rho(static_cast<std::size_t>(m_));
+
+        while (true) {
+            if (++iterations > limit) {
+                error_ = support::Errc::ResourceLimit;
+                return LpStatus::IterLimit;
+            }
+            if ((iterations & 15) == 1 && !options_.deadline.unlimited() &&
+                options_.deadline.expired()) {
+                deadline_hit_ = true;
+                error_ = options_.deadline.cancelled() ? support::Errc::Cancelled
+                                                       : support::Errc::DeadlineExceeded;
+                return LpStatus::IterLimit;
+            }
+
+            // BTRAN pricing: y = B⁻ᵀc_B, then r_j = c_j − y·A_j per nonbasic
+            // column. Nonbasic at lower wants r < 0; at upper wants r > 0.
+            std::fill(y.begin(), y.end(), 0.0);
+            for (int i = 0; i < m_; ++i) {
+                y[static_cast<std::size_t>(i)] =
+                    cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+            }
+            factor_.btran(y);
+            int enter = -1;
+            double enter_reduced = 0.0;
+            double best = 0.0;
+            double enter_dir = 1.0;
+            for (int j = 0; j < cols_; ++j) {
+                const std::size_t js = static_cast<std::size_t>(j);
+                if (in_basis_[js]) continue;
+                if (j >= artificial_start_) continue;  // artificials never re-enter
+                if (span_[js] <= tol) continue;        // fixed variable
+                const double r = cost_[js] - A_.dot_col(j, y);
+                double dir = 1.0;
+                if (!at_upper_[js] && r < -tol) {
+                    dir = 1.0;
+                } else if (at_upper_[js] && r > tol) {
+                    dir = -1.0;
+                } else {
+                    continue;
+                }
+                if (bland) {
+                    enter = j;
+                    enter_dir = dir;
+                    enter_reduced = r;
+                    break;
+                }
+                const double score = r * r / devex[js];
+                if (score > best) {
+                    best = score;
+                    enter = j;
+                    enter_dir = dir;
+                    enter_reduced = r;
+                }
+            }
+            if (enter < 0) return LpStatus::Optimal;
+            const std::size_t es = static_cast<std::size_t>(enter);
+
+            // FTRAN: w = B⁻¹·A_enter, the entering column in basis coords.
+            A_.scatter_col(enter, w);
+            factor_.ftran(w);
+
+            // Ratio test: Harris-style two-pass under Devex, exact minimal
+            // ratio with smallest-index ties under Bland (identical policy
+            // to the dense solver — the anti-cycling guarantee depends on
+            // the exact rule).
+            double t = span_[es];  // own opposite bound ⇒ bound flip
+            for (int i = 0; i < m_; ++i) {
+                const double beta = enter_dir * w[static_cast<std::size_t>(i)];
+                const std::size_t bi =
+                    static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+                if (beta > tol) {
+                    t = std::min(t, std::max(xb_[static_cast<std::size_t>(i)] / beta, 0.0));
+                } else if (beta < -tol && span_[bi] != kInfinity) {
+                    t = std::min(
+                        t, std::max((span_[bi] - xb_[static_cast<std::size_t>(i)]) / (-beta), 0.0));
+                }
+            }
+            if (t == kInfinity) {
+                return phase1 ? LpStatus::Infeasible : LpStatus::Unbounded;
+            }
+            int leave = -1;
+            bool leave_at_upper = false;
+            double best_pivot = 0.0;
+            if (bland) {
+                double exact_t = span_[es];
+                for (int i = 0; i < m_; ++i) {
+                    const double beta = enter_dir * w[static_cast<std::size_t>(i)];
+                    const std::size_t bi =
+                        static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+                    double ratio = kInfinity;
+                    bool hits_upper = false;
+                    if (beta > tol) {
+                        ratio = std::max(xb_[static_cast<std::size_t>(i)] / beta, 0.0);
+                    } else if (beta < -tol && span_[bi] != kInfinity) {
+                        ratio =
+                            std::max((span_[bi] - xb_[static_cast<std::size_t>(i)]) / (-beta), 0.0);
+                        hits_upper = true;
+                    } else {
+                        continue;
+                    }
+                    if (ratio < exact_t ||
+                        (leave >= 0 && ratio == exact_t &&
+                         basis_[static_cast<std::size_t>(i)] <
+                             basis_[static_cast<std::size_t>(leave)]) ||
+                        (leave < 0 && ratio <= exact_t)) {
+                        exact_t = ratio;
+                        leave = i;
+                        leave_at_upper = hits_upper;
+                    }
+                }
+                t = leave >= 0 ? exact_t : t;
+            } else {
+                for (int i = 0; i < m_; ++i) {
+                    const double beta = enter_dir * w[static_cast<std::size_t>(i)];
+                    const std::size_t bi =
+                        static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+                    double ratio = kInfinity;
+                    bool hits_upper = false;
+                    if (beta > tol) {
+                        ratio = std::max(xb_[static_cast<std::size_t>(i)] / beta, 0.0);
+                    } else if (beta < -tol && span_[bi] != kInfinity) {
+                        ratio =
+                            std::max((span_[bi] - xb_[static_cast<std::size_t>(i)]) / (-beta), 0.0);
+                        hits_upper = true;
+                    } else {
+                        continue;
+                    }
+                    if (ratio > t + 1e-9) continue;
+                    if (std::abs(beta) > best_pivot) {
+                        best_pivot = std::abs(beta);
+                        leave = i;
+                        leave_at_upper = hits_upper;
+                    }
+                }
+            }
+
+            // Numerical recovery: a pivot element too small to divide by is
+            // retried against fresh factors (the eta file may have drifted);
+            // a second failure in a row is genuine numerical trouble.
+            if (leave >= 0 &&
+                std::abs(w[static_cast<std::size_t>(leave)]) < 1e-11) {
+                if (++recoveries > 1) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+                if (!recompute_state()) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+                continue;  // re-price with exact factors
+            }
+
+            // Anti-cycling guard, same policy as the dense solver: a long
+            // degenerate stall engages Bland's rule; strict progress
+            // disengages it.
+            const double delta = enter_reduced * enter_dir * t;
+            if (std::abs(delta) < 1e-12) {
+                if (++stall > kDegeneratePivotLimit(m_)) bland = true;
+            } else {
+                stall = 0;
+                bland = options_.force_bland;
+            }
+
+            if (leave < 0) {
+                // Bound flip: entering crosses to its other bound.
+                for (int i = 0; i < m_; ++i) {
+                    xb_[static_cast<std::size_t>(i)] -=
+                        enter_dir * w[static_cast<std::size_t>(i)] * t;
+                }
+                at_upper_[es] = !at_upper_[es];
+                continue;
+            }
+
+            // Fault point: simulates the basis-corrupting pivot breakdown
+            // this status exists for (shared budget with the dense solver).
+            if (support::fault_fires("simplex.pivot")) {
+                error_ = support::Errc::NumericalTrouble;
+                return LpStatus::IterLimit;
+            }
+
+            // Devex weight update needs the (pre-pivot) pivot row
+            // α_r = eᵣᵀB⁻¹A: one extra BTRAN plus a sweep over the columns.
+            const double pivot = w[static_cast<std::size_t>(leave)];
+            if (!bland) {
+                std::fill(rho.begin(), rho.end(), 0.0);
+                rho[static_cast<std::size_t>(leave)] = 1.0;
+                factor_.btran(rho);
+                const double wq = devex[es];
+                double wmax = 1.0;
+                for (int j = 0; j < cols_; ++j) {
+                    const std::size_t js = static_cast<std::size_t>(j);
+                    if (in_basis_[js]) continue;
+                    const double alpha = A_.dot_col(j, rho) / pivot;
+                    if (alpha == 0.0) continue;
+                    const double candidate = alpha * alpha * wq;
+                    if (candidate > devex[js]) devex[js] = candidate;
+                    if (devex[js] > wmax) wmax = devex[js];
+                }
+                devex[static_cast<std::size_t>(basis_[static_cast<std::size_t>(leave)])] =
+                    std::max(wq / (pivot * pivot), 1.0);
+                if (wmax > 1e10) std::fill(devex.begin(), devex.end(), 1.0);
+            }
+
+            // Apply the pivot: update basic values and the basis bookkeeping,
+            // then append the eta to the factorization.
+            for (int i = 0; i < m_; ++i) {
+                if (i == leave) continue;
+                xb_[static_cast<std::size_t>(i)] -=
+                    enter_dir * w[static_cast<std::size_t>(i)] * t;
+            }
+            const double enter_value = at_upper_[es] ? span_[es] - t : t;
+            const int old_basic = basis_[static_cast<std::size_t>(leave)];
+            in_basis_[static_cast<std::size_t>(old_basic)] = false;
+            at_upper_[static_cast<std::size_t>(old_basic)] = leave_at_upper;
+            basis_[static_cast<std::size_t>(leave)] = enter;
+            in_basis_[es] = true;
+            at_upper_[es] = false;  // basic status; flag unused while basic
+            xb_[static_cast<std::size_t>(leave)] = enter_value;
+
+            if (!factor_.update(w, leave) || factor_.needs_refactorization()) {
+                if (!recompute_state()) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+            }
+            recoveries = 0;
+        }
+    }
+
+    const Model& model_;
+    const LpOptions& options_;
+    int n_ = 0;
+    const std::vector<double>& lb_;
+    const std::vector<double>& ub_;
+
+    int m_ = 0;
+    int cols_ = 0;
+    int artificial_start_ = 0;
+    int num_artificial_ = 0;
+
+    CscMatrix A_;
+    BasisFactorization factor_;
+    std::vector<double> work_lb_;   // caller bounds tightened by folded rows
+    std::vector<double> work_ub_;
+    std::vector<double> cost_;      // active minimization costs
+    std::vector<double> span_;      // per-column width of [0, d]
+    std::vector<double> rhs_;       // normalized right-hand sides
+    std::vector<bool> at_upper_;    // nonbasic status
+    std::vector<bool> in_basis_;
+    std::vector<int> basis_;        // row -> basic column
+    std::vector<double> xb_;        // basic values
+    std::vector<int> aux_col_;      // row -> slack/artificial column (duals)
+    std::vector<double> aux_coeff_; // row -> that column's coefficient (±1)
+    std::vector<int> dual_sign_;    // row -> σrow·σcol sign for dual readout
+    std::vector<int> orig_row_;     // row -> model constraint index
+    std::vector<double> row_scale_; // equilibration factors (powers of two)
+    std::vector<double> col_scale_;
+    double bound_slack_ = 0.0;      // exact perturbation budget
+    bool deadline_hit_ = false;
+    support::Errc error_ = support::Errc::None;
+};
+
+}  // namespace
+
+const char* to_string(LpBackend backend) noexcept {
+    switch (backend) {
+        case LpBackend::Sparse: return "sparse";
+        case LpBackend::Dense: return "dense";
+        case LpBackend::Textbook: return "textbook";
+    }
+    return "?";
+}
+
+LpResult solve_lp_sparse(const Model& model, const std::vector<double>* lb,
+                         const std::vector<double>* ub, const LpOptions& options) {
+    std::vector<double> lb_local;
+    std::vector<double> ub_local;
+    if (lb == nullptr) {
+        lb_local.resize(static_cast<std::size_t>(model.num_vars()));
+        for (int j = 0; j < model.num_vars(); ++j) {
+            lb_local[static_cast<std::size_t>(j)] = model.lower_bound(j);
+        }
+        lb = &lb_local;
+    }
+    if (ub == nullptr) {
+        ub_local.resize(static_cast<std::size_t>(model.num_vars()));
+        for (int j = 0; j < model.num_vars(); ++j) {
+            ub_local[static_cast<std::size_t>(j)] = model.upper_bound(j);
+        }
+        ub = &ub_local;
+    }
+    for (int j = 0; j < model.num_vars(); ++j) {
+        if ((*lb)[static_cast<std::size_t>(j)] == -kInfinity) {
+            throw support::Error(support::Errc::InvalidModel,
+                                 "simplex: variable '" + model.var_name(j) +
+                                     "' has an infinite lower bound (unsupported)");
+        }
+    }
+    RevisedSimplex solver(model, *lb, *ub, options);
+    return solver.solve();
+}
+
+LpResult solve_lp_with(LpBackend backend, const Model& model, const std::vector<double>* lb,
+                       const std::vector<double>* ub, const LpOptions& options) {
+    switch (backend) {
+        case LpBackend::Sparse: return solve_lp_sparse(model, lb, ub, options);
+        case LpBackend::Dense: return solve_lp(model, lb, ub, options);
+        case LpBackend::Textbook: return solve_lp_textbook(model, lb, ub, options);
+    }
+    return solve_lp(model, lb, ub, options);
+}
+
+}  // namespace p4all::ilp

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "ilp/scaling.hpp"
 #include "support/error.hpp"
 #include "support/faultpoint.hpp"
 #include "support/rng.hpp"
@@ -80,8 +81,9 @@ public:
         result.duals.assign(static_cast<std::size_t>(m_), 0.0);
         for (int i = 0; i < m_; ++i) {
             const std::size_t is = static_cast<std::size_t>(i);
+            // ·ρ maps the scaled row's dual back to the original row's unit.
             result.duals[is] = static_cast<double>(dual_sign_[is]) *
-                               obj_[static_cast<std::size_t>(aux_col_[is])];
+                               obj_[static_cast<std::size_t>(aux_col_[is])] * row_scale_[is];
         }
 
         result.values.assign(static_cast<std::size_t>(n_), 0.0);
@@ -95,7 +97,9 @@ public:
             if (j < n_) result.values[static_cast<std::size_t>(j)] = xb_[static_cast<std::size_t>(i)];
         }
         for (int j = 0; j < n_; ++j) {
-            result.values[static_cast<std::size_t>(j)] += lb_[static_cast<std::size_t>(j)];
+            // ·s undoes the column scaling, then the lb shift.
+            const std::size_t js = static_cast<std::size_t>(j);
+            result.values[js] = result.values[js] * col_scale_[js] + lb_[js];
         }
         result.objective = model_.objective().evaluate(result.values);
         result.bound_slack = bound_slack_;
@@ -138,6 +142,28 @@ private:
         }
         m_ = static_cast<int>(rows.size());
 
+        // Equilibrate (scaling.hpp): power-of-two row/column factors keep
+        // every tableau entry near 1 so the absolute pricing and ratio-test
+        // tolerances stay meaningful on models mixing O(1) utility rows
+        // with O(10^6) memory rows. Values and duals are mapped back on
+        // extraction; the objective value is unchanged by construction.
+        {
+            std::vector<std::vector<std::pair<int, double>>> term_rows;
+            term_rows.reserve(rows.size());
+            for (const Row& r : rows) term_rows.push_back(r.terms);
+            Equilibration eq = equilibrate(term_rows, n_);
+            row_scale_ = std::move(eq.row);
+            col_scale_ = std::move(eq.col);
+            for (int i = 0; i < m_; ++i) {
+                Row& r = rows[static_cast<std::size_t>(i)];
+                const double rho = row_scale_[static_cast<std::size_t>(i)];
+                for (auto& [id, c] : r.terms) {
+                    c *= rho * col_scale_[static_cast<std::size_t>(id)];
+                }
+                r.rhs *= rho;
+            }
+        }
+
         // Count columns. Le rows with rhs ≥ 0 start with a basic slack;
         // Le rows with rhs < 0 are negated (slack coeff −1) and need an
         // artificial; Eq rows (rhs normalized ≥ 0) need an artificial.
@@ -168,7 +194,8 @@ private:
                 throw support::Error(support::Errc::InvalidModel,
                                      "simplex: lb > ub for variable '" + model_.var_name(j) + "'");
             }
-            span_[static_cast<std::size_t>(j)] = std::max(d, 0.0);
+            span_[static_cast<std::size_t>(j)] =
+                std::max(d, 0.0) / col_scale_[static_cast<std::size_t>(j)];
         }
 
         aux_col_.assign(static_cast<std::size_t>(m_), -1);
@@ -204,18 +231,113 @@ private:
             basis_[static_cast<std::size_t>(i)] = basic;
             in_basis_[static_cast<std::size_t>(basic)] = true;
         }
+        tab0_ = data_;
+        rhs0_ = xb_;
+    }
+
+    /// Rebuilds the tableau, the reduced-cost row, and the basic values from
+    /// the pristine (scaled) data and the current basis — the tableau
+    /// analogue of the revised method's refactorization. Incremental row
+    /// operations accumulate error (a single near-tolerance pivot can
+    /// inflate a row by ~1/tol), and the only symptom is silent: pricing
+    /// stops seeing improving columns and the solver declares a premature
+    /// optimum. iterate() therefore re-verifies every terminal claim against
+    /// a fresh rebuild. Returns false when a basis pivot collapses (the
+    /// basis has become numerically singular).
+    bool rebuild_from_basis() {
+        data_ = tab0_;
+        obj_ = cost0_;
+        std::vector<double> rhsred = rhs0_;
+        // Gauss-Jordan over the basis pairs (i, basis_[i]), processed in
+        // partial-pivoting order: each step eliminates the unprocessed pair
+        // with the largest current pivot magnitude, which keeps the rebuild
+        // stable on bases whose natural row order would hit tiny pivots.
+        std::vector<bool> done(static_cast<std::size_t>(m_), false);
+        for (int step = 0; step < m_; ++step) {
+            int i = -1;
+            double best = 0.0;
+            for (int k = 0; k < m_; ++k) {
+                if (done[static_cast<std::size_t>(k)]) continue;
+                const double v = std::abs(get(k, basis_[static_cast<std::size_t>(k)]));
+                if (i < 0 || v > best) {
+                    best = v;
+                    i = k;
+                }
+            }
+            done[static_cast<std::size_t>(i)] = true;
+            const int jb = basis_[static_cast<std::size_t>(i)];
+            if (std::abs(get(i, jb)) < 1e-8) {
+                // The pairing's own entry vanished (think permuted identity:
+                // every diagonal is zero though the basis is invertible).
+                // Any still-unclaimed row has zeros in all claimed columns,
+                // so adding one into row i is a legal row operation that
+                // cannot disturb the unit columns already established —
+                // pick the one that best restores the pivot.
+                int r = -1;
+                double rbest = 0.0;
+                for (int k = 0; k < m_; ++k) {
+                    if (k == i || done[static_cast<std::size_t>(k)]) continue;
+                    const double v = std::abs(get(k, jb));
+                    if (v > rbest) {
+                        rbest = v;
+                        r = k;
+                    }
+                }
+                if (r >= 0 && rbest > std::abs(get(i, jb))) {
+                    for (int j = 0; j < cols_; ++j) at(i, j) += get(r, j);
+                    rhsred[static_cast<std::size_t>(i)] +=
+                        rhsred[static_cast<std::size_t>(r)];
+                }
+            }
+            const double pivot = get(i, jb);
+            if (std::abs(pivot) < 1e-11) return false;
+            const double inv = 1.0 / pivot;
+            for (int j = 0; j < cols_; ++j) at(i, j) *= inv;
+            at(i, jb) = 1.0;
+            rhsred[static_cast<std::size_t>(i)] *= inv;
+            for (int k = 0; k < m_; ++k) {
+                if (k == i) continue;
+                const double f = get(k, jb);
+                if (f == 0.0) continue;
+                for (int j = 0; j < cols_; ++j) at(k, j) -= f * get(i, j);
+                at(k, jb) = 0.0;
+                rhsred[static_cast<std::size_t>(k)] -=
+                    f * rhsred[static_cast<std::size_t>(i)];
+            }
+            const double f = obj_[static_cast<std::size_t>(jb)];
+            if (f != 0.0) {
+                for (int j = 0; j < cols_; ++j) {
+                    obj_[static_cast<std::size_t>(j)] -= f * get(i, j);
+                }
+                obj_[static_cast<std::size_t>(jb)] = 0.0;
+            }
+        }
+        // xb = B⁻¹b − Σ_{nonbasic at upper} span_j·(B⁻¹A_j).
+        xb_ = std::move(rhsred);
+        for (int j = 0; j < cols_; ++j) {
+            const std::size_t js = static_cast<std::size_t>(j);
+            if (in_basis_[js] || !at_upper_[js]) continue;
+            if (span_[js] == kInfinity || span_[js] <= 0.0) continue;
+            for (int i = 0; i < m_; ++i) {
+                xb_[static_cast<std::size_t>(i)] -= span_[js] * get(i, j);
+            }
+        }
+        return true;
     }
 
     void load_phase1_objective() {
         std::fill(obj_.begin(), obj_.end(), 0.0);
         for (int j = artificial_start_; j < cols_; ++j) obj_[static_cast<std::size_t>(j)] = 1.0;
+        cost0_ = obj_;  // pristine costs for rebuild_from_basis()
         reduce_objective();
     }
 
     void load_phase2_objective() {
         std::fill(obj_.begin(), obj_.end(), 0.0);
         for (const auto& [id, c] : model_.objective().terms()) {
-            obj_[static_cast<std::size_t>(id)] = -c;  // maximize ⇒ minimize −c
+            // maximize ⇒ minimize −c, in column-scaled units (ĉ = s·c keeps
+            // the scaled objective value equal to the true one).
+            obj_[static_cast<std::size_t>(id)] = -c * col_scale_[static_cast<std::size_t>(id)];
         }
         // Deterministic cost perturbation on finite-span structural columns:
         // discourage each slightly (positive in the minimization objective),
@@ -239,6 +361,7 @@ private:
                 bound_slack_ += eps * span_[js];
             }
         }
+        cost0_ = obj_;  // pristine costs for rebuild_from_basis()
         reduce_objective();
     }
 
@@ -261,6 +384,10 @@ private:
         const double tol = options_.tol;
         int stall = 0;
         bool bland = options_.force_bland;
+        // True while the tableau is freshly rebuilt from the basis (no
+        // incremental updates since): terminal claims are only trusted when
+        // fresh, otherwise they trigger rebuild_from_basis() and a re-price.
+        bool fresh = false;
         // Devex reference weights: pricing by r_j²/w_j needs far fewer
         // iterations than plain Dantzig on degenerate placement LPs.
         std::vector<double> devex(static_cast<std::size_t>(cols_), 1.0);
@@ -280,6 +407,18 @@ private:
                 error_ = options_.deadline.cancelled() ? support::Errc::Cancelled
                                                        : support::Errc::DeadlineExceeded;
                 return LpStatus::IterLimit;
+            }
+
+            // Periodic refresh: rebuilding every 128 pivots bounds the
+            // incremental-update drift window, so pivot selection never runs
+            // on badly corrupted data (which could walk the basis into
+            // numerical singularity before the terminal check fires).
+            if (!fresh && (iterations & 127) == 0) {
+                if (!rebuild_from_basis()) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+                fresh = true;
             }
 
             // Pricing: nonbasic at lower wants r < 0; at upper wants r > 0.
@@ -312,7 +451,17 @@ private:
                     enter_dir = dir;
                 }
             }
-            if (enter < 0) return LpStatus::Optimal;
+            if (enter < 0) {
+                if (!fresh) {
+                    if (!rebuild_from_basis()) {
+                        error_ = support::Errc::NumericalTrouble;
+                        return LpStatus::IterLimit;
+                    }
+                    fresh = true;
+                    continue;  // re-price against exact reduced costs
+                }
+                return LpStatus::Optimal;
+            }
             const std::size_t es = static_cast<std::size_t>(enter);
 
             // Ratio test, two passes: pass 1 finds the tightest step t; pass
@@ -333,6 +482,14 @@ private:
                 }
             }
             if (t == kInfinity) {
+                if (!fresh) {
+                    if (!rebuild_from_basis()) {
+                        error_ = support::Errc::NumericalTrouble;
+                        return LpStatus::IterLimit;
+                    }
+                    fresh = true;
+                    continue;  // re-price: the unbounded ray may be drift
+                }
                 return phase1 ? LpStatus::Infeasible : LpStatus::Unbounded;
             }
             int leave = -1;
@@ -399,6 +556,20 @@ private:
                 }
             }
 
+            // Tiny-pivot recovery (mirrors the revised backend): dividing by
+            // a near-tolerance pivot inflates the whole tableau by ~1/|β|
+            // and one such step can corrupt every later pivot choice. Retry
+            // the iteration against freshly rebuilt data; only a pivot that
+            // is still tiny on exact data is genuinely unavoidable.
+            if (leave >= 0 && !fresh && std::abs(get(leave, enter)) < 1e-6) {
+                if (!rebuild_from_basis()) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+                fresh = true;
+                continue;
+            }
+
             // Anti-cycling guard: a long run of consecutive degenerate
             // steps (no objective movement) can only mean the solver is
             // crawling an optimal/degenerate face — or cycling. Engage
@@ -419,6 +590,7 @@ private:
                     xb_[static_cast<std::size_t>(i)] -= enter_dir * get(i, enter) * t;
                 }
                 at_upper_[es] = !at_upper_[es];
+                fresh = false;
                 continue;
             }
 
@@ -477,6 +649,7 @@ private:
             }
             devex[static_cast<std::size_t>(old_basic)] = std::max(wq / (pivot * pivot), 1.0);
             if (wmax > 1e10) std::fill(devex.begin(), devex.end(), 1.0);  // reference reset
+            fresh = false;
         }
     }
 
@@ -492,6 +665,9 @@ private:
     int num_artificial_ = 0;
 
     std::vector<double> data_;      // m × cols tableau
+    std::vector<double> tab0_;      // pristine scaled tableau (rebuild source)
+    std::vector<double> rhs0_;      // pristine normalized rhs
+    std::vector<double> cost0_;     // pristine phase costs (incl. perturbation)
     std::vector<double> obj_;       // reduced-cost row
     std::vector<double> span_;      // per-column width of [0, d]
     std::vector<bool> at_upper_;    // nonbasic status
@@ -500,6 +676,8 @@ private:
     std::vector<double> xb_;        // basic values
     std::vector<int> aux_col_;      // row -> slack/artificial column (duals)
     std::vector<int> dual_sign_;    // row -> σrow·σcol sign for dual readout
+    std::vector<double> row_scale_; // equilibration factors (powers of two)
+    std::vector<double> col_scale_;
     double bound_slack_ = 0.0;      // exact perturbation budget
     bool deadline_hit_ = false;     // IterLimit caused by deadline/cancel
     support::Errc error_ = support::Errc::None;

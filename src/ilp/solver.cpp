@@ -1,8 +1,14 @@
 #include "ilp/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
 
 #include "support/faultpoint.hpp"
 
@@ -43,10 +49,407 @@ bool try_rounding(const Model& model, const std::vector<double>& lp_values,
     return true;
 }
 
+/// Branch-variable selection shared by both engines: highest priority class
+/// first, most fractional within the class.
+struct BranchChoice {
+    int var = -1;
+    double frac = 0.0;
+    int prio = 0;
+};
+
+BranchChoice pick_branch(const Model& model, const std::vector<double>& values,
+                         double int_tol) {
+    BranchChoice choice;
+    choice.frac = int_tol;
+    for (int j = 0; j < model.num_vars(); ++j) {
+        if (model.var_type(j) == VarType::Continuous) continue;
+        const double v = values[static_cast<std::size_t>(j)];
+        const double frac = std::abs(v - std::round(v));
+        if (frac <= int_tol) continue;
+        const int prio = model.branch_priority(j);
+        if (choice.var < 0 || prio > choice.prio ||
+            (prio == choice.prio && frac > choice.frac)) {
+            choice.var = j;
+            choice.frac = frac;
+            choice.prio = prio;
+        }
+    }
+    return choice;
+}
+
+/// Snaps the integer variables of an LP assignment to exact integers.
+void snap_integers(const Model& model, std::vector<double>& values) {
+    for (int j = 0; j < model.num_vars(); ++j) {
+        if (model.var_type(j) != VarType::Continuous) {
+            values[static_cast<std::size_t>(j)] =
+                std::round(values[static_cast<std::size_t>(j)]);
+        }
+    }
+}
+
 struct Node {
     std::vector<double> lb;
     std::vector<double> ub;
 };
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel best-first search
+// ---------------------------------------------------------------------------
+
+/// A best-first node: bounds plus its deterministic order key. `bound` is
+/// the parent relaxation's perturbation-corrected bound (the tightest known
+/// upper bound on the subtree); `seq` is the creation sequence number,
+/// assigned in serial commit order, so (bound desc, seq desc) is a strict
+/// total order independent of thread timing. Ties on the bound pop the
+/// NEWEST node first (LIFO): placement relaxations are massively degenerate
+/// — most children inherit the parent bound exactly — and FIFO order would
+/// sweep those plateaus breadth-first, exploding the frontier before any
+/// incumbent exists. LIFO dives like DFS on plateaus while still jumping to
+/// strictly better-bounded subtrees, and is just as deterministic.
+struct BfNode {
+    std::vector<double> lb;
+    std::vector<double> ub;
+    double bound = kInfinity;
+    std::uint64_t seq = 0;
+};
+
+struct BfNodeOrder {
+    bool operator()(const BfNode& a, const BfNode& b) const {
+        if (a.bound != b.bound) return a.bound < b.bound;  // max-heap on bound
+        return a.seq < b.seq;                              // then LIFO (dive)
+    }
+};
+
+/// Work-stealing thread pool for batch LP evaluation. Workers (plus the
+/// calling thread) steal task indices from a shared atomic counter, so a
+/// slow LP never serializes the batch behind it. The pool carries no task
+/// state of its own — determinism is the caller's property (tasks write to
+/// disjoint slots; the caller joins the batch before reading any of them).
+class LpWorkerPool {
+public:
+    explicit LpWorkerPool(int extra_workers) {
+        for (int i = 0; i < extra_workers; ++i) {
+            workers_.emplace_back([this](const std::stop_token& stop) { worker(stop); });
+        }
+    }
+
+    ~LpWorkerPool() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /// Runs fn(0..count-1) across the pool and the calling thread; returns
+    /// when every task has finished.
+    void run(int count, const std::function<void(int)>& fn) {
+        if (count <= 0) return;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            fn_ = &fn;
+            count_ = count;
+            next_.store(0, std::memory_order_relaxed);
+            remaining_.store(count, std::memory_order_relaxed);
+            ++generation_;
+        }
+        cv_.notify_all();
+        drain(fn, count);
+        // The round is over only when every task is done AND every worker
+        // that joined it has left drain(): a worker still inside drain()
+        // after the last task completes would otherwise race the next
+        // round's counter reset, steal an index there with this round's
+        // (destroyed) task function, and double-execute it — driving
+        // `remaining_` negative and deadlocking the next run() forever.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] {
+            return remaining_.load(std::memory_order_acquire) == 0 && draining_ == 0;
+        });
+        fn_ = nullptr;
+    }
+
+private:
+    void drain(const std::function<void(int)>& fn, int count) {
+        while (true) {
+            const int i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            fn(i);
+            if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                // Serialize with the caller's predicate-check-then-sleep: a
+                // notify issued without the mutex can land in the window
+                // between the two and be lost, leaving run() asleep forever.
+                { const std::lock_guard<std::mutex> lock(mutex_); }
+                done_cv_.notify_all();
+            }
+        }
+    }
+
+    void worker(const std::stop_token& stop) {
+        std::uint64_t seen = 0;
+        while (!stop.stop_requested()) {
+            const std::function<void(int)>* fn = nullptr;
+            int count = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+                if (shutdown_) return;
+                seen = generation_;
+                fn = fn_;
+                count = count_;
+                if (fn != nullptr) ++draining_;  // round membership (see run)
+            }
+            if (fn != nullptr) {
+                drain(*fn, count);
+                { const std::lock_guard<std::mutex> lock(mutex_); --draining_; }
+                done_cv_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(int)>* fn_ = nullptr;
+    int count_ = 0;
+    std::uint64_t generation_ = 0;
+    int draining_ = 0;  // workers currently inside drain(); guarded by mutex_
+    bool shutdown_ = false;
+    std::atomic<int> next_{0};
+    std::atomic<int> remaining_{0};
+    std::vector<std::jthread> workers_;
+};
+
+/// Nodes relaxed per round. Fixed (never derived from the thread count):
+/// the batch composition is part of the deterministic search order, so the
+/// same tree unfolds whether one worker or eight drain the batch.
+constexpr int kBestFirstBatch = 8;
+
+Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
+                               const support::Deadline& deadline,
+                               Clock::time_point start) {
+    LpOptions lp_options = options.lp;
+    lp_options.deadline = deadline;
+
+    Solution best;
+    best.status = SolveStatus::Infeasible;
+
+    bool have_incumbent = false;
+    bool abandoned_subtree = false;
+    // Atomic mirror of the incumbent objective: written only during serial
+    // commits (between batches), read by anyone. Workers never act on it
+    // mid-batch — all pruning happens in the serial sections — which is
+    // exactly why the search stays deterministic.
+    std::atomic<double> incumbent_obj{-kInfinity};
+    if (!options.warm_start.empty() && model.is_feasible(options.warm_start, 1e-6)) {
+        have_incumbent = true;
+        incumbent_obj.store(model.objective().evaluate(options.warm_start),
+                            std::memory_order_relaxed);
+        best.values = options.warm_start;
+        best.objective = incumbent_obj.load(std::memory_order_relaxed);
+    }
+
+    const auto prune_cutoff = [&]() {
+        const double inc = incumbent_obj.load(std::memory_order_relaxed);
+        return inc + std::max(options.gap_absolute, options.gap_relative * std::abs(inc));
+    };
+
+    std::priority_queue<BfNode, std::vector<BfNode>, BfNodeOrder> queue;
+    {
+        BfNode root;
+        root.lb.resize(static_cast<std::size_t>(model.num_vars()));
+        root.ub.resize(static_cast<std::size_t>(model.num_vars()));
+        for (int j = 0; j < model.num_vars(); ++j) {
+            root.lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
+            root.ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
+        }
+        queue.push(std::move(root));
+    }
+    std::uint64_t next_seq = 1;
+
+    const int threads = options.threads > 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+    LpWorkerPool pool(threads - 1);
+
+    std::vector<BfNode> batch;
+    std::vector<LpResult> results;
+    const auto finish = [&](SolveStatus status, support::Errc error,
+                            const std::string& detail) {
+        best.status = status;
+        best.error = error;
+        best.error_detail = detail;
+        best.seconds = seconds_since(start);
+        return best;
+    };
+
+    while (!queue.empty()) {
+        if (deadline.expired()) {
+            return finish(SolveStatus::Limit,
+                          deadline.cancelled() ? support::Errc::Cancelled
+                                               : support::Errc::DeadlineExceeded,
+                          deadline.cancelled() ? "cancellation requested during search"
+                                               : "time budget exhausted during search");
+        }
+
+        // --- serial batch selection -----------------------------------
+        batch.clear();
+        while (!queue.empty() && static_cast<int>(batch.size()) < kBestFirstBatch) {
+            if (best.nodes >= options.max_nodes) {
+                if (batch.empty()) {
+                    return finish(SolveStatus::Limit, support::Errc::ResourceLimit,
+                                  "node limit reached (" + std::to_string(options.max_nodes) +
+                                      " nodes)");
+                }
+                break;
+            }
+            BfNode node = std::move(const_cast<BfNode&>(queue.top()));
+            queue.pop();
+            ++best.nodes;
+            // Parent-bound pruning uses the incumbent as of this serial
+            // section — the same value a serial best-first run would see.
+            if (have_incumbent && node.bound <= prune_cutoff()) continue;
+            // Fault point: fired in the serial section so the shared fault
+            // budget is consumed in deterministic node order no matter how
+            // many workers evaluate the surviving batch.
+            if (support::fault_fires("bnb.node")) {
+                abandoned_subtree = true;
+                continue;
+            }
+            batch.push_back(std::move(node));
+        }
+        if (batch.empty()) {
+            if (best.nodes >= options.max_nodes && !queue.empty()) {
+                return finish(SolveStatus::Limit, support::Errc::ResourceLimit,
+                              "node limit reached (" + std::to_string(options.max_nodes) +
+                                  " nodes)");
+            }
+            continue;
+        }
+
+        // --- parallel relaxation --------------------------------------
+        results.assign(batch.size(), LpResult{});
+        pool.run(static_cast<int>(batch.size()), [&](int i) {
+            const BfNode& node = batch[static_cast<std::size_t>(i)];
+            results[static_cast<std::size_t>(i)] =
+                solve_lp_with(options.lp_backend, model, &node.lb, &node.ub, lp_options);
+        });
+
+        // --- serial commit, in batch (deterministic) order ------------
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+            BfNode& node = batch[k];
+            const LpResult& lp = results[k];
+            best.lp_iterations += lp.iterations;
+            if (node.seq == 0 && lp.status == LpStatus::Optimal) {
+                // Root relaxation: keep its dual certificate so the audit
+                // layer can independently witness the global bound. The
+                // duals arrive through the backend-agnostic LpResult
+                // contract — dense tableau and sparse BTRAN alike.
+                best.root_duals = lp.duals;
+                best.root_bound = lp.bound;
+                best.root_bound_slack = lp.bound_slack;
+            }
+            if (lp.status == LpStatus::Infeasible) continue;
+            if (lp.status == LpStatus::Unbounded) {
+                return finish(SolveStatus::Unbounded, support::Errc::Unbounded,
+                              "objective is unbounded over the relaxation");
+            }
+            if (lp.status == LpStatus::IterLimit) {
+                if (lp.deadline_hit) {
+                    return finish(SolveStatus::Limit, lp.error,
+                                  lp.error == support::Errc::Cancelled
+                                      ? "cancellation requested inside simplex"
+                                      : "time budget exhausted inside simplex");
+                }
+                abandoned_subtree = true;
+                if (lp.error == support::Errc::NumericalTrouble &&
+                    best.error == support::Errc::None) {
+                    best.error = support::Errc::NumericalTrouble;
+                    best.error_detail = "simplex reported numerical trouble";
+                }
+                continue;
+            }
+            if (have_incumbent && lp.bound <= prune_cutoff()) continue;
+
+            const BranchChoice branch = pick_branch(model, lp.values, options.int_tol);
+            if (branch.var < 0) {
+                // Integral: candidate incumbent. Strict improvement keeps
+                // the commit deterministic (ties keep the earlier, i.e.
+                // lower-seq, incumbent).
+                const double obj = lp.objective;
+                if (!have_incumbent || obj > incumbent_obj.load(std::memory_order_relaxed)) {
+                    have_incumbent = true;
+                    incumbent_obj.store(obj, std::memory_order_relaxed);
+                    best.values = lp.values;
+                    snap_integers(model, best.values);
+                    best.objective = obj;
+                }
+                continue;
+            }
+
+            // Incumbent heuristic at the root and occasionally afterwards
+            // (same cadence as the serial engine, counted in commit order).
+            if (!have_incumbent || (best.nodes & 0x3F) == 0) {
+                std::vector<double> rounded;
+                if (try_rounding(model, lp.values, rounded)) {
+                    const double obj = model.objective().evaluate(rounded);
+                    if (!have_incumbent || obj > incumbent_obj.load(std::memory_order_relaxed)) {
+                        have_incumbent = true;
+                        incumbent_obj.store(obj, std::memory_order_relaxed);
+                        best.values = std::move(rounded);
+                        best.objective = obj;
+                    }
+                }
+            }
+
+            const std::size_t bidx = static_cast<std::size_t>(branch.var);
+            const double v = std::clamp(lp.values[bidx], node.lb[bidx], node.ub[bidx]);
+            const double floor_v = std::floor(v);
+            BfNode down;
+            down.lb = node.lb;
+            down.ub = node.ub;
+            down.ub[bidx] = std::min(down.ub[bidx], floor_v);
+            down.bound = lp.bound;
+            BfNode up;
+            up.lb = std::move(node.lb);
+            up.ub = std::move(node.ub);
+            up.lb[bidx] = std::max(up.lb[bidx], floor_v + 1);
+            up.bound = lp.bound;
+            const bool down_valid = down.lb[bidx] <= down.ub[bidx];
+            const bool up_valid = up.lb[bidx] <= up.ub[bidx];
+            // The preferred child (structural dive / LP-suggested side)
+            // gets the larger sequence number: ties on the bound pop
+            // newest-first, so it is explored first — mirroring the DFS dive.
+            const bool up_first = branch.prio > 0 || v - floor_v > 0.5;
+            if (up_first) {
+                if (down_valid) {
+                    down.seq = next_seq++;
+                    queue.push(std::move(down));
+                }
+                if (up_valid) {
+                    up.seq = next_seq++;
+                    queue.push(std::move(up));
+                }
+            } else {
+                if (up_valid) {
+                    up.seq = next_seq++;
+                    queue.push(std::move(up));
+                }
+                if (down_valid) {
+                    down.seq = next_seq++;
+                    queue.push(std::move(down));
+                }
+            }
+        }
+    }
+
+    best.seconds = seconds_since(start);
+    if (have_incumbent) {
+        best.status = abandoned_subtree ? SolveStatus::Limit : SolveStatus::Optimal;
+    } else if (abandoned_subtree) {
+        best.status = SolveStatus::Limit;
+    }
+    return best;
+}
 
 }  // namespace
 
@@ -61,193 +464,179 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     // tighter bound wins and is threaded into every LP solve below.
     const support::Deadline deadline =
         options.deadline.tightened(options.time_limit_seconds);
-    LpOptions lp_options = options.lp;
-    lp_options.deadline = deadline;
 
     Solution best;
-    best.status = SolveStatus::Infeasible;
+    if (options.search == SearchMode::BestFirst) {
+        best = solve_milp_best_first(model, options, deadline, start);
+    } else {
+        best = [&] {
+            LpOptions lp_options = options.lp;
+            lp_options.deadline = deadline;
 
-    std::vector<double> root_lb(static_cast<std::size_t>(model.num_vars()));
-    std::vector<double> root_ub(static_cast<std::size_t>(model.num_vars()));
-    for (int j = 0; j < model.num_vars(); ++j) {
-        root_lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
-        root_ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
-    }
+            Solution out;
+            out.status = SolveStatus::Infeasible;
 
-    bool have_incumbent = false;
-    bool abandoned_subtree = false;
-    double incumbent_obj = -kInfinity;
-    if (!options.warm_start.empty() && model.is_feasible(options.warm_start, 1e-6)) {
-        have_incumbent = true;
-        incumbent_obj = model.objective().evaluate(options.warm_start);
-        best.values = options.warm_start;
-        best.objective = incumbent_obj;
-    }
-
-    std::vector<Node> stack;
-    stack.push_back({std::move(root_lb), std::move(root_ub)});
-
-    while (!stack.empty()) {
-        if (best.nodes >= options.max_nodes) {
-            best.status = SolveStatus::Limit;
-            best.error = support::Errc::ResourceLimit;
-            best.error_detail = "node limit reached (" +
-                                std::to_string(options.max_nodes) + " nodes)";
-            best.seconds = seconds_since(start);
-            return best;
-        }
-        if (deadline.expired()) {
-            best.status = SolveStatus::Limit;
-            best.error = deadline.cancelled() ? support::Errc::Cancelled
-                                              : support::Errc::DeadlineExceeded;
-            best.error_detail = deadline.cancelled()
-                                    ? "cancellation requested during search"
-                                    : "time budget exhausted during search";
-            best.seconds = seconds_since(start);
-            return best;
-        }
-        const Node node = std::move(stack.back());
-        stack.pop_back();
-        ++best.nodes;
-
-        // Fault point: simulates a node whose relaxation blew up — the
-        // subtree is abandoned, so the search ends incomplete (Limit, never a
-        // false Optimal).
-        if (support::fault_fires("bnb.node")) {
-            abandoned_subtree = true;
-            continue;
-        }
-
-        const LpResult lp = solve_lp(model, &node.lb, &node.ub, lp_options);
-        best.lp_iterations += lp.iterations;
-        if (best.nodes == 1 && lp.status == LpStatus::Optimal) {
-            // Root relaxation: keep its dual certificate so the audit layer
-            // can independently witness the global bound.
-            best.root_duals = lp.duals;
-            best.root_bound = lp.bound;
-            best.root_bound_slack = lp.bound_slack;
-        }
-        if (lp.status == LpStatus::Infeasible) continue;
-        if (lp.status == LpStatus::Unbounded) {
-            // Unbounded relaxation at the root means an unbounded MILP for
-            // our models (integer vars are bounded).
-            best.status = SolveStatus::Unbounded;
-            best.error = support::Errc::Unbounded;
-            best.error_detail = "objective is unbounded over the relaxation";
-            best.seconds = seconds_since(start);
-            return best;
-        }
-        if (lp.status == LpStatus::IterLimit) {
-            if (lp.deadline_hit) {
-                // The LP itself ran out of budget: stop the whole search and
-                // return the incumbent (anytime semantics).
-                best.status = SolveStatus::Limit;
-                best.error = lp.error;
-                best.error_detail = lp.error == support::Errc::Cancelled
-                                        ? "cancellation requested inside simplex"
-                                        : "time budget exhausted inside simplex";
-                best.seconds = seconds_since(start);
-                return best;
-            }
-            // This subtree could not be resolved: remember that the search
-            // is incomplete so we never falsely claim optimality.
-            abandoned_subtree = true;
-            if (lp.error == support::Errc::NumericalTrouble &&
-                best.error == support::Errc::None) {
-                best.error = support::Errc::NumericalTrouble;
-                best.error_detail = "simplex reported numerical trouble";
-            }
-            continue;
-        }
-        // Prune on the perturbation-corrected bound (a valid upper bound on
-        // every solution in this subtree), within the optimality gap.
-        if (have_incumbent &&
-            lp.bound <= incumbent_obj + std::max(options.gap_absolute,
-                                                 options.gap_relative *
-                                                     std::abs(incumbent_obj))) {
-            continue;
-        }
-
-        // Branch variable: highest priority class first, most fractional
-        // within the class (priorities let model builders dive on structural
-        // decisions before auxiliaries).
-        int branch_var = -1;
-        double branch_frac = options.int_tol;
-        int branch_prio = 0;
-        for (int j = 0; j < model.num_vars(); ++j) {
-            if (model.var_type(j) == VarType::Continuous) continue;
-            const double v = lp.values[static_cast<std::size_t>(j)];
-            const double frac = std::abs(v - std::round(v));
-            if (frac <= options.int_tol) continue;
-            const int prio = model.branch_priority(j);
-            if (branch_var < 0 || prio > branch_prio ||
-                (prio == branch_prio && frac > branch_frac)) {
-                branch_var = j;
-                branch_frac = frac;
-                branch_prio = prio;
-            }
-        }
-        if (branch_var < 0) {
-            // Integral: new incumbent.
-            have_incumbent = true;
-            incumbent_obj = lp.objective;
-            best.values = lp.values;
-            // Snap near-integers exactly.
+            std::vector<double> root_lb(static_cast<std::size_t>(model.num_vars()));
+            std::vector<double> root_ub(static_cast<std::size_t>(model.num_vars()));
             for (int j = 0; j < model.num_vars(); ++j) {
-                if (model.var_type(j) != VarType::Continuous) {
-                    best.values[static_cast<std::size_t>(j)] =
-                        std::round(best.values[static_cast<std::size_t>(j)]);
-                }
+                root_lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
+                root_ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
             }
-            best.objective = incumbent_obj;
-            continue;
-        }
 
-        // Incumbent heuristic at the root and occasionally afterwards.
-        if (!have_incumbent || (best.nodes & 0x3F) == 0) {
-            std::vector<double> rounded;
-            if (try_rounding(model, lp.values, rounded)) {
-                const double obj = model.objective().evaluate(rounded);
-                if (!have_incumbent || obj > incumbent_obj) {
+            bool have_incumbent = false;
+            bool abandoned_subtree = false;
+            double incumbent_obj = -kInfinity;
+            if (!options.warm_start.empty() && model.is_feasible(options.warm_start, 1e-6)) {
+                have_incumbent = true;
+                incumbent_obj = model.objective().evaluate(options.warm_start);
+                out.values = options.warm_start;
+                out.objective = incumbent_obj;
+            }
+
+            std::vector<Node> stack;
+            stack.push_back({std::move(root_lb), std::move(root_ub)});
+
+            while (!stack.empty()) {
+                if (out.nodes >= options.max_nodes) {
+                    out.status = SolveStatus::Limit;
+                    out.error = support::Errc::ResourceLimit;
+                    out.error_detail = "node limit reached (" +
+                                       std::to_string(options.max_nodes) + " nodes)";
+                    return out;
+                }
+                if (deadline.expired()) {
+                    out.status = SolveStatus::Limit;
+                    out.error = deadline.cancelled() ? support::Errc::Cancelled
+                                                     : support::Errc::DeadlineExceeded;
+                    out.error_detail = deadline.cancelled()
+                                           ? "cancellation requested during search"
+                                           : "time budget exhausted during search";
+                    return out;
+                }
+                const Node node = std::move(stack.back());
+                stack.pop_back();
+                ++out.nodes;
+
+                // Fault point: simulates a node whose relaxation blew up — the
+                // subtree is abandoned, so the search ends incomplete (Limit,
+                // never a false Optimal).
+                if (support::fault_fires("bnb.node")) {
+                    abandoned_subtree = true;
+                    continue;
+                }
+
+                const LpResult lp =
+                    solve_lp_with(options.lp_backend, model, &node.lb, &node.ub, lp_options);
+                out.lp_iterations += lp.iterations;
+                if (out.nodes == 1 && lp.status == LpStatus::Optimal) {
+                    // Root relaxation: keep its dual certificate so the audit
+                    // layer can independently witness the global bound.
+                    out.root_duals = lp.duals;
+                    out.root_bound = lp.bound;
+                    out.root_bound_slack = lp.bound_slack;
+                }
+                if (lp.status == LpStatus::Infeasible) continue;
+                if (lp.status == LpStatus::Unbounded) {
+                    // Unbounded relaxation at the root means an unbounded MILP
+                    // for our models (integer vars are bounded).
+                    out.status = SolveStatus::Unbounded;
+                    out.error = support::Errc::Unbounded;
+                    out.error_detail = "objective is unbounded over the relaxation";
+                    return out;
+                }
+                if (lp.status == LpStatus::IterLimit) {
+                    if (lp.deadline_hit) {
+                        // The LP itself ran out of budget: stop the whole
+                        // search and return the incumbent (anytime semantics).
+                        out.status = SolveStatus::Limit;
+                        out.error = lp.error;
+                        out.error_detail = lp.error == support::Errc::Cancelled
+                                               ? "cancellation requested inside simplex"
+                                               : "time budget exhausted inside simplex";
+                        return out;
+                    }
+                    // This subtree could not be resolved: remember that the
+                    // search is incomplete so we never falsely claim optimality.
+                    abandoned_subtree = true;
+                    if (lp.error == support::Errc::NumericalTrouble &&
+                        out.error == support::Errc::None) {
+                        out.error = support::Errc::NumericalTrouble;
+                        out.error_detail = "simplex reported numerical trouble";
+                    }
+                    continue;
+                }
+                // Prune on the perturbation-corrected bound (a valid upper
+                // bound on every solution in this subtree), within the
+                // optimality gap.
+                if (have_incumbent &&
+                    lp.bound <= incumbent_obj + std::max(options.gap_absolute,
+                                                         options.gap_relative *
+                                                             std::abs(incumbent_obj))) {
+                    continue;
+                }
+
+                const BranchChoice branch = pick_branch(model, lp.values, options.int_tol);
+                if (branch.var < 0) {
+                    // Integral: new incumbent.
                     have_incumbent = true;
-                    incumbent_obj = obj;
-                    best.values = std::move(rounded);
-                    best.objective = obj;
+                    incumbent_obj = lp.objective;
+                    out.values = lp.values;
+                    snap_integers(model, out.values);
+                    out.objective = incumbent_obj;
+                    continue;
+                }
+
+                // Incumbent heuristic at the root and occasionally afterwards.
+                if (!have_incumbent || (out.nodes & 0x3F) == 0) {
+                    std::vector<double> rounded;
+                    if (try_rounding(model, lp.values, rounded)) {
+                        const double obj = model.objective().evaluate(rounded);
+                        if (!have_incumbent || obj > incumbent_obj) {
+                            have_incumbent = true;
+                            incumbent_obj = obj;
+                            out.values = std::move(rounded);
+                            out.objective = obj;
+                        }
+                    }
+                }
+
+                const std::size_t bidx = static_cast<std::size_t>(branch.var);
+                // Clamp the LP value into the node's bounds before splitting:
+                // LP tolerances can leave it epsilon outside, which would
+                // create an empty child interval.
+                const double v = std::clamp(lp.values[bidx], node.lb[bidx], node.ub[bidx]);
+                const double floor_v = std::floor(v);
+                Node down = node;
+                down.ub[bidx] = std::min(down.ub[bidx], floor_v);
+                Node up = std::move(node);
+                up.lb[bidx] = std::max(up.lb[bidx], floor_v + 1);
+                const bool down_valid = down.lb[bidx] <= down.ub[bidx];
+                const bool up_valid = up.lb[bidx] <= up.ub[bidx];
+                // DFS order: prioritized (structural) variables dive up first —
+                // instantiate the iteration / take the placement — which
+                // reaches a feasible incumbent quickly; otherwise follow the
+                // LP value.
+                const bool up_first = branch.prio > 0 || v - floor_v > 0.5;
+                if (up_first) {
+                    if (down_valid) stack.push_back(std::move(down));
+                    if (up_valid) stack.push_back(std::move(up));
+                } else {
+                    if (up_valid) stack.push_back(std::move(up));
+                    if (down_valid) stack.push_back(std::move(down));
                 }
             }
-        }
 
-        const std::size_t bidx = static_cast<std::size_t>(branch_var);
-        // Clamp the LP value into the node's bounds before splitting: LP
-        // tolerances can leave it epsilon outside, which would create an
-        // empty child interval.
-        const double v = std::clamp(lp.values[bidx], node.lb[bidx], node.ub[bidx]);
-        const double floor_v = std::floor(v);
-        Node down = node;
-        down.ub[bidx] = std::min(down.ub[bidx], floor_v);
-        Node up = std::move(node);
-        up.lb[bidx] = std::max(up.lb[bidx], floor_v + 1);
-        const bool down_valid = down.lb[bidx] <= down.ub[bidx];
-        const bool up_valid = up.lb[bidx] <= up.ub[bidx];
-        // DFS order: prioritized (structural) variables dive up first —
-        // instantiate the iteration / take the placement — which reaches a
-        // feasible incumbent quickly; otherwise follow the LP value.
-        const bool up_first = branch_prio > 0 || v - floor_v > 0.5;
-        if (up_first) {
-            if (down_valid) stack.push_back(std::move(down));
-            if (up_valid) stack.push_back(std::move(up));
-        } else {
-            if (up_valid) stack.push_back(std::move(up));
-            if (down_valid) stack.push_back(std::move(down));
-        }
+            if (have_incumbent) {
+                out.status = abandoned_subtree ? SolveStatus::Limit : SolveStatus::Optimal;
+            } else if (abandoned_subtree) {
+                out.status = SolveStatus::Limit;
+            }
+            return out;
+        }();
+        best.seconds = seconds_since(start);
     }
 
-    best.seconds = seconds_since(start);
-    if (have_incumbent) {
-        best.status = abandoned_subtree ? SolveStatus::Limit : SolveStatus::Optimal;
-    } else if (abandoned_subtree) {
-        best.status = SolveStatus::Limit;
-    }
+    if (best.seconds == 0.0) best.seconds = seconds_since(start);
     if (best.status == SolveStatus::Limit && best.error == support::Errc::None) {
         best.error = support::Errc::ResourceLimit;
         best.error_detail = "search incomplete: subtree abandoned at LP limit";
@@ -257,10 +646,14 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
         best.error_detail.clear();
     } else if (best.status == SolveStatus::Infeasible) {
         best.error = support::Errc::Infeasible;
-        if (best.error_detail.empty()) best.error_detail = "no integer assignment satisfies the constraints";
+        if (best.error_detail.empty()) {
+            best.error_detail = "no integer assignment satisfies the constraints";
+        }
     } else if (best.status == SolveStatus::Unbounded) {
         best.error = support::Errc::Unbounded;
-        if (best.error_detail.empty()) best.error_detail = "objective is unbounded over the relaxation";
+        if (best.error_detail.empty()) {
+            best.error_detail = "objective is unbounded over the relaxation";
+        }
     }
     return best;
 }
@@ -293,12 +686,7 @@ void enumerate(const Model& model, std::vector<int>& int_vars, std::size_t depth
             found = true;
             best.objective = lp.objective;
             best.values = lp.values;
-            for (int j = 0; j < model.num_vars(); ++j) {
-                if (model.var_type(j) != VarType::Continuous) {
-                    best.values[static_cast<std::size_t>(j)] =
-                        std::round(best.values[static_cast<std::size_t>(j)]);
-                }
-            }
+            snap_integers(model, best.values);
         }
         return;
     }

@@ -1,0 +1,395 @@
+#include "ilp/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p4all::ilp {
+
+CscMatrix CscMatrix::from_triplets(int rows, int cols, std::vector<Triplet> triplets) {
+    std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+        if (a.col != b.col) return a.col < b.col;
+        return a.row < b.row;
+    });
+    CscMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.col_ptr_.assign(static_cast<std::size_t>(cols) + 1, 0);
+    m.row_idx_.reserve(triplets.size());
+    m.values_.reserve(triplets.size());
+    std::size_t k = 0;
+    for (int j = 0; j < cols; ++j) {
+        while (k < triplets.size() && triplets[k].col == j) {
+            const int row = triplets[k].row;
+            double sum = 0.0;
+            while (k < triplets.size() && triplets[k].col == j && triplets[k].row == row) {
+                sum += triplets[k].value;
+                ++k;
+            }
+            if (sum != 0.0) {
+                m.row_idx_.push_back(row);
+                m.values_.push_back(sum);
+            }
+        }
+        m.col_ptr_[static_cast<std::size_t>(j) + 1] = m.row_idx_.size();
+    }
+    return m;
+}
+
+CscMatrix CscMatrix::from_dense(int rows, int cols, const std::vector<double>& row_major) {
+    std::vector<Triplet> triplets;
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) {
+            const double v =
+                row_major[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols) +
+                          static_cast<std::size_t>(j)];
+            if (v != 0.0) triplets.push_back({i, j, v});
+        }
+    }
+    return from_triplets(rows, cols, std::move(triplets));
+}
+
+std::vector<double> CscMatrix::to_dense() const {
+    std::vector<double> dense(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_),
+                              0.0);
+    for (int j = 0; j < cols_; ++j) {
+        for (std::size_t k = col_begin(j); k < col_end(j); ++k) {
+            dense[static_cast<std::size_t>(row_idx_[k]) * static_cast<std::size_t>(cols_) +
+                  static_cast<std::size_t>(j)] = values_[k];
+        }
+    }
+    return dense;
+}
+
+double CscMatrix::dot_col(int j, const std::vector<double>& y) const {
+    double sum = 0.0;
+    for (std::size_t k = col_begin(j); k < col_end(j); ++k) {
+        sum += values_[k] * y[static_cast<std::size_t>(row_idx_[k])];
+    }
+    return sum;
+}
+
+void CscMatrix::axpy_col(int j, double scale, std::vector<double>& dense) const {
+    for (std::size_t k = col_begin(j); k < col_end(j); ++k) {
+        dense[static_cast<std::size_t>(row_idx_[k])] += scale * values_[k];
+    }
+}
+
+void CscMatrix::scatter_col(int j, std::vector<double>& dense) const {
+    std::fill(dense.begin(), dense.end(), 0.0);
+    for (std::size_t k = col_begin(j); k < col_end(j); ++k) {
+        dense[static_cast<std::size_t>(row_idx_[k])] = values_[k];
+    }
+}
+
+bool BasisFactorization::refactorize(const CscMatrix& A, const std::vector<int>& basis) {
+    m_ = static_cast<int>(basis.size());
+    etas_.clear();
+    peel_.clear();
+    bump_rows_.clear();
+    bump_pos_.clear();
+    bump_in_peel_.clear();
+    bump_lu_.clear();
+    bump_perm_.clear();
+    if (m_ == 0) {
+        factorized_empty_ = true;
+        bump_row_slot_.clear();
+        return true;
+    }
+    const std::size_t ms = static_cast<std::size_t>(m_);
+
+    // Gather the basis columns once (row-sorted, straight from the CSC) and
+    // a row → basis-position adjacency for the singleton cascade.
+    std::vector<std::vector<std::pair<int, double>>> cols(ms);
+    std::vector<std::vector<int>> row_cols(ms);
+    for (int j = 0; j < m_; ++j) {
+        const int col = basis[static_cast<std::size_t>(j)];
+        auto& entries = cols[static_cast<std::size_t>(j)];
+        entries.reserve(A.col_end(col) - A.col_begin(col));
+        for (std::size_t k = A.col_begin(col); k < A.col_end(col); ++k) {
+            entries.emplace_back(A.entry_row(k), A.entry_value(k));
+            row_cols[static_cast<std::size_t>(A.entry_row(k))].push_back(j);
+        }
+    }
+
+    // Peel the column-singleton cascade: a column with exactly one entry in
+    // a still-active row pivots there, which deactivates the row and may
+    // expose new singletons. Queue processing is FIFO over deterministic
+    // push order, so the peel sequence depends only on the basis.
+    std::vector<int> active_in_col(ms);
+    std::vector<char> row_active(ms, 1);
+    std::vector<char> col_done(ms, 0);
+    std::vector<int> queue;
+    queue.reserve(ms);
+    for (int j = 0; j < m_; ++j) {
+        active_in_col[static_cast<std::size_t>(j)] =
+            static_cast<int>(cols[static_cast<std::size_t>(j)].size());
+        if (active_in_col[static_cast<std::size_t>(j)] == 1) queue.push_back(j);
+    }
+    peel_.reserve(ms);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int c = queue[head];
+        if (col_done[static_cast<std::size_t>(c)] ||
+            active_in_col[static_cast<std::size_t>(c)] != 1) {
+            continue;  // stale queue entry
+        }
+        int pivot_row = -1;
+        double pivot_val = 0.0;
+        for (const auto& [r, v] : cols[static_cast<std::size_t>(c)]) {
+            if (row_active[static_cast<std::size_t>(r)]) {
+                pivot_row = r;
+                pivot_val = v;
+                break;
+            }
+        }
+        // Numerically tiny singleton: leave it for the bump, where partial
+        // pivoting (or a singularity report) handles it.
+        if (pivot_row < 0 || std::abs(pivot_val) < 1e-12) continue;
+        col_done[static_cast<std::size_t>(c)] = 1;
+        row_active[static_cast<std::size_t>(pivot_row)] = 0;
+        PeelPivot pp;
+        pp.row = pivot_row;
+        pp.pos = c;
+        pp.pivot = pivot_val;
+        for (const auto& [r, v] : cols[static_cast<std::size_t>(c)]) {
+            if (r != pivot_row) pp.above.emplace_back(r, v);
+        }
+        peel_.push_back(std::move(pp));
+        for (const int j : row_cols[static_cast<std::size_t>(pivot_row)]) {
+            if (col_done[static_cast<std::size_t>(j)]) continue;
+            if (--active_in_col[static_cast<std::size_t>(j)] == 1) queue.push_back(j);
+        }
+    }
+
+    // Whatever survived the cascade is the bump; dense-LU it.
+    bump_row_slot_.assign(ms, -1);
+    for (int i = 0; i < m_; ++i) {
+        if (row_active[static_cast<std::size_t>(i)]) {
+            bump_row_slot_[static_cast<std::size_t>(i)] = static_cast<int>(bump_rows_.size());
+            bump_rows_.push_back(i);
+        }
+    }
+    for (int j = 0; j < m_; ++j) {
+        if (!col_done[static_cast<std::size_t>(j)]) bump_pos_.push_back(j);
+    }
+    const int s = static_cast<int>(bump_rows_.size());
+    if (static_cast<int>(bump_pos_.size()) != s) return false;  // structurally singular
+    const std::size_t ss = static_cast<std::size_t>(s);
+    bump_in_peel_.assign(ss, {});
+    bump_lu_.assign(ss * ss, 0.0);
+    for (int t = 0; t < s; ++t) {
+        for (const auto& [r, v] : cols[static_cast<std::size_t>(bump_pos_[static_cast<std::size_t>(t)])]) {
+            const int slot = bump_row_slot_[static_cast<std::size_t>(r)];
+            if (slot >= 0) {
+                bump_lu_[static_cast<std::size_t>(slot) * ss + static_cast<std::size_t>(t)] = v;
+            } else {
+                bump_in_peel_[static_cast<std::size_t>(t)].emplace_back(r, v);
+            }
+        }
+    }
+    // Dense LU with partial pivoting on the bump: P·B22 = LU, bump_perm_
+    // records the (bump-local) row order.
+    bump_perm_.resize(ss);
+    for (int i = 0; i < s; ++i) bump_perm_[static_cast<std::size_t>(i)] = i;
+    for (int k = 0; k < s; ++k) {
+        int pivot_row = k;
+        double pivot_mag =
+            std::abs(bump_lu_[static_cast<std::size_t>(k) * ss + static_cast<std::size_t>(k)]);
+        for (int i = k + 1; i < s; ++i) {
+            const double mag =
+                std::abs(bump_lu_[static_cast<std::size_t>(i) * ss + static_cast<std::size_t>(k)]);
+            if (mag > pivot_mag) {
+                pivot_mag = mag;
+                pivot_row = i;
+            }
+        }
+        if (pivot_mag < 1e-12) return false;  // singular to working precision
+        if (pivot_row != k) {
+            for (int j = 0; j < s; ++j) {
+                std::swap(bump_lu_[static_cast<std::size_t>(k) * ss + static_cast<std::size_t>(j)],
+                          bump_lu_[static_cast<std::size_t>(pivot_row) * ss +
+                                   static_cast<std::size_t>(j)]);
+            }
+            std::swap(bump_perm_[static_cast<std::size_t>(k)],
+                      bump_perm_[static_cast<std::size_t>(pivot_row)]);
+        }
+        const double inv =
+            1.0 / bump_lu_[static_cast<std::size_t>(k) * ss + static_cast<std::size_t>(k)];
+        for (int i = k + 1; i < s; ++i) {
+            double& lik = bump_lu_[static_cast<std::size_t>(i) * ss + static_cast<std::size_t>(k)];
+            if (lik == 0.0) continue;
+            lik *= inv;
+            const double f = lik;
+            for (int j = k + 1; j < s; ++j) {
+                bump_lu_[static_cast<std::size_t>(i) * ss + static_cast<std::size_t>(j)] -=
+                    f * bump_lu_[static_cast<std::size_t>(k) * ss + static_cast<std::size_t>(j)];
+            }
+        }
+    }
+    return true;
+}
+
+void BasisFactorization::ftran(std::vector<double>& x) const {
+    if (m_ == 0) return;
+    // x arrives as the row-indexed rhs b and leaves as the basis-position-
+    // indexed solution z of B·z = b. Under the peel permutation B is
+    // [U11 B12; 0 B22]: solve the bump first (its rows see only bump
+    // columns), push its contribution into the peeled rows, then back-
+    // substitute the triangular peel in reverse order.
+    const int s = static_cast<int>(bump_rows_.size());
+    const std::size_t ss = static_cast<std::size_t>(s);
+    std::vector<double> zb(ss);
+    if (s > 0) {
+        std::vector<double> rhs(ss);
+        for (int t = 0; t < s; ++t) {
+            rhs[static_cast<std::size_t>(t)] =
+                x[static_cast<std::size_t>(bump_rows_[static_cast<std::size_t>(t)])];
+        }
+        // P·B22 = LU: permute, forward (unit L), backward (U).
+        for (int i = 0; i < s; ++i) {
+            zb[static_cast<std::size_t>(i)] =
+                rhs[static_cast<std::size_t>(bump_perm_[static_cast<std::size_t>(i)])];
+        }
+        for (int i = 1; i < s; ++i) {
+            double sum = zb[static_cast<std::size_t>(i)];
+            for (int j = 0; j < i; ++j) {
+                sum -= bump_lu_[static_cast<std::size_t>(i) * ss + static_cast<std::size_t>(j)] *
+                       zb[static_cast<std::size_t>(j)];
+            }
+            zb[static_cast<std::size_t>(i)] = sum;
+        }
+        for (int i = s - 1; i >= 0; --i) {
+            double sum = zb[static_cast<std::size_t>(i)];
+            for (int j = i + 1; j < s; ++j) {
+                sum -= bump_lu_[static_cast<std::size_t>(i) * ss + static_cast<std::size_t>(j)] *
+                       zb[static_cast<std::size_t>(j)];
+            }
+            zb[static_cast<std::size_t>(i)] =
+                sum / bump_lu_[static_cast<std::size_t>(i) * ss + static_cast<std::size_t>(i)];
+        }
+        // B12 contribution: bump columns' entries that land in peeled rows.
+        for (int t = 0; t < s; ++t) {
+            const double zt = zb[static_cast<std::size_t>(t)];
+            if (zt == 0.0) continue;
+            for (const auto& [r, v] : bump_in_peel_[static_cast<std::size_t>(t)]) {
+                x[static_cast<std::size_t>(r)] -= v * zt;
+            }
+        }
+    }
+    std::vector<double> z(static_cast<std::size_t>(m_));
+    for (auto it = peel_.rbegin(); it != peel_.rend(); ++it) {
+        const double zk = x[static_cast<std::size_t>(it->row)] / it->pivot;
+        z[static_cast<std::size_t>(it->pos)] = zk;
+        if (zk == 0.0) continue;
+        for (const auto& [r, v] : it->above) {
+            x[static_cast<std::size_t>(r)] -= v * zk;
+        }
+    }
+    for (int t = 0; t < s; ++t) {
+        z[static_cast<std::size_t>(bump_pos_[static_cast<std::size_t>(t)])] =
+            zb[static_cast<std::size_t>(t)];
+    }
+    x = std::move(z);
+    // Eta file, in creation order: x ← E_k⁻¹ x.
+    for (const Eta& e : etas_) {
+        const double t = x[static_cast<std::size_t>(e.pos)];
+        if (t == 0.0) continue;
+        x[static_cast<std::size_t>(e.pos)] = e.pivot_inv * t;
+        for (const auto& [i, eta_i] : e.terms) {
+            x[static_cast<std::size_t>(i)] += eta_i * t;
+        }
+    }
+}
+
+void BasisFactorization::btran(std::vector<double>& y) const {
+    if (m_ == 0) return;
+    // Eta transposes in reverse creation order: y_pos ← η·y.
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+        double dot = it->pivot_inv * y[static_cast<std::size_t>(it->pos)];
+        for (const auto& [i, eta_i] : it->terms) {
+            dot += eta_i * y[static_cast<std::size_t>(i)];
+        }
+        y[static_cast<std::size_t>(it->pos)] = dot;
+    }
+    // y now holds the basis-position-indexed rhs c; solve B0ᵀ·w = c into the
+    // row-indexed dual vector w. Transposing [U11 B12; 0 B22] makes the peel
+    // lower triangular: forward-substitute it in peel order (each pivot's
+    // `above` rows were peeled earlier, hence already solved), then the
+    // dense bump picks up the B12ᵀ coupling.
+    std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
+    for (const PeelPivot& pp : peel_) {
+        double sum = y[static_cast<std::size_t>(pp.pos)];
+        for (const auto& [r, v] : pp.above) {
+            sum -= v * w[static_cast<std::size_t>(r)];
+        }
+        w[static_cast<std::size_t>(pp.row)] = sum / pp.pivot;
+    }
+    const int s = static_cast<int>(bump_rows_.size());
+    if (s > 0) {
+        const std::size_t ss = static_cast<std::size_t>(s);
+        std::vector<double> b(ss);
+        for (int t = 0; t < s; ++t) {
+            double sum = y[static_cast<std::size_t>(bump_pos_[static_cast<std::size_t>(t)])];
+            for (const auto& [r, v] : bump_in_peel_[static_cast<std::size_t>(t)]) {
+                sum -= v * w[static_cast<std::size_t>(r)];
+            }
+            b[static_cast<std::size_t>(t)] = sum;
+        }
+        // Solve B22ᵀ·u = b via P·B22 = LU: Uᵀ forward, Lᵀ (unit) backward,
+        // then un-permute the bump-local rows.
+        for (int i = 0; i < s; ++i) {
+            double sum = b[static_cast<std::size_t>(i)];
+            for (int j = 0; j < i; ++j) {
+                sum -= bump_lu_[static_cast<std::size_t>(j) * ss + static_cast<std::size_t>(i)] *
+                       b[static_cast<std::size_t>(j)];
+            }
+            b[static_cast<std::size_t>(i)] =
+                sum / bump_lu_[static_cast<std::size_t>(i) * ss + static_cast<std::size_t>(i)];
+        }
+        for (int i = s - 2; i >= 0; --i) {
+            double sum = b[static_cast<std::size_t>(i)];
+            for (int j = i + 1; j < s; ++j) {
+                sum -= bump_lu_[static_cast<std::size_t>(j) * ss + static_cast<std::size_t>(i)] *
+                       b[static_cast<std::size_t>(j)];
+            }
+            b[static_cast<std::size_t>(i)] = sum;
+        }
+        for (int i = 0; i < s; ++i) {
+            w[static_cast<std::size_t>(
+                bump_rows_[static_cast<std::size_t>(bump_perm_[static_cast<std::size_t>(i)])])] =
+                b[static_cast<std::size_t>(i)];
+        }
+    }
+    y = std::move(w);
+}
+
+bool BasisFactorization::update(const std::vector<double>& w, int pos) {
+    const double pivot = w[static_cast<std::size_t>(pos)];
+    if (std::abs(pivot) < options_.pivot_tol) return false;
+    Eta e;
+    e.pos = pos;
+    e.pivot_inv = 1.0 / pivot;
+    for (int i = 0; i < m_; ++i) {
+        if (i == pos) continue;
+        const double wi = w[static_cast<std::size_t>(i)];
+        if (wi != 0.0) e.terms.emplace_back(i, -wi * e.pivot_inv);
+    }
+    etas_.push_back(std::move(e));
+    return true;
+}
+
+double BasisFactorization::residual_inf(const CscMatrix& A, const std::vector<int>& basis) const {
+    double worst = 0.0;
+    std::vector<double> x(static_cast<std::size_t>(m_));
+    for (int j = 0; j < m_; ++j) {
+        A.scatter_col(basis[static_cast<std::size_t>(j)], x);
+        ftran(x);
+        for (int i = 0; i < m_; ++i) {
+            const double expect = i == j ? 1.0 : 0.0;
+            worst = std::max(worst, std::abs(x[static_cast<std::size_t>(i)] - expect));
+        }
+    }
+    return worst;
+}
+
+}  // namespace p4all::ilp

@@ -108,7 +108,9 @@ void FaultRegistry::configure(std::string_view spec) {
         s.rng = Xoshiro256(s.spec.seed);
         states.push_back(std::move(s));
     }
+    const std::lock_guard<std::mutex> lock(mutex_);
     states_ = std::move(states);
+    armed_.store(!states_.empty(), std::memory_order_relaxed);
 }
 
 void FaultRegistry::configure_from_env() {
@@ -117,7 +119,11 @@ void FaultRegistry::configure_from_env() {
     }
 }
 
-void FaultRegistry::clear() { states_.clear(); }
+void FaultRegistry::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    states_.clear();
+    armed_.store(false, std::memory_order_relaxed);
+}
 
 FaultRegistry::State* FaultRegistry::find(std::string_view point) noexcept {
     for (State& s : states_) {
@@ -134,6 +140,10 @@ const FaultRegistry::State* FaultRegistry::find(std::string_view point) const no
 }
 
 bool FaultRegistry::should_fire(std::string_view point) noexcept {
+    // One lock per hit at an ARMED point only (fault_fires checks armed()
+    // first) — a shared budget like after=N must count hits from every
+    // branch-and-bound worker in one total order to fire exactly once.
+    const std::lock_guard<std::mutex> lock(mutex_);
     State* s = find(point);
     if (s == nullptr) return false;
     ++s->hits;
@@ -148,16 +158,19 @@ bool FaultRegistry::should_fire(std::string_view point) noexcept {
 }
 
 std::int64_t FaultRegistry::hits(std::string_view point) const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const State* s = find(point);
     return s == nullptr ? 0 : s->hits;
 }
 
 std::int64_t FaultRegistry::fires(std::string_view point) const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const State* s = find(point);
     return s == nullptr ? 0 : s->fires;
 }
 
 std::string FaultRegistry::describe() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::string out;
     for (const State& s : states_) {
         if (!out.empty()) out += ',';

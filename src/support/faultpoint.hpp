@@ -37,12 +37,16 @@
 //
 // Probability-based specs draw from a per-point xoshiro256** stream seeded
 // only by `seed`, so every injected failure is reproducible from the logged
-// spec. The registry is process-global and not thread-safe (the compiler
-// pipeline is single-threaded); an unarmed registry costs one branch per
-// fault-point hit.
+// spec. The registry is process-global and thread-safe: hit counting and
+// firing decisions are serialized behind a mutex so the parallel
+// branch-and-bound workers share one fault budget (an `after=N` point fires
+// exactly once process-wide, never once per thread). An unarmed registry
+// still costs only one relaxed atomic load per fault-point hit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -78,7 +82,9 @@ public:
     /// Disarms every point and resets counters.
     void clear();
 
-    [[nodiscard]] bool armed() const noexcept { return !states_.empty(); }
+    [[nodiscard]] bool armed() const noexcept {
+        return armed_.load(std::memory_order_relaxed);
+    }
 
     /// Records a hit at `point` and decides whether it fires. Points that
     /// are not configured never fire (and are not counted).
@@ -100,6 +106,8 @@ private:
     State* find(std::string_view point) noexcept;
     [[nodiscard]] const State* find(std::string_view point) const noexcept;
 
+    mutable std::mutex mutex_;
+    std::atomic<bool> armed_{false};
     std::vector<State> states_;
 };
 

@@ -1,0 +1,231 @@
+// Property/fuzz suite for the sparse kernel under the revised simplex:
+// CSC construction round-trips, LU + eta-file FTRAN/BTRAN against dense
+// reference arithmetic, and randomized pivot sequences that must never
+// corrupt the factorized basis. Runs under the ASan/UBSan CI job like the
+// rest of test_ilp.
+#include "ilp/sparse.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace p4all::ilp {
+namespace {
+
+using support::Xoshiro256;
+
+std::vector<double> random_dense(Xoshiro256& rng, int rows, int cols, double density) {
+    std::vector<double> m(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0);
+    for (double& v : m) {
+        if (rng.next_double() < density) {
+            v = std::floor(rng.next_double() * 9.0) - 4.0;  // integers in [-4, 4]
+        }
+    }
+    return m;
+}
+
+// Dense mat-vec over a row-major matrix: y = M·x.
+std::vector<double> matvec(const std::vector<double>& m, int rows, int cols,
+                           const std::vector<double>& x) {
+    std::vector<double> y(static_cast<std::size_t>(rows), 0.0);
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) {
+            y[static_cast<std::size_t>(i)] +=
+                m[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols) +
+                  static_cast<std::size_t>(j)] *
+                x[static_cast<std::size_t>(j)];
+        }
+    }
+    return y;
+}
+
+// Column `basis[j]` of A as a dense vector.
+std::vector<double> basis_col(const CscMatrix& a, int col) {
+    std::vector<double> x(static_cast<std::size_t>(a.rows()));
+    a.scatter_col(col, x);
+    return x;
+}
+
+TEST(CscMatrix, FromTripletsSumsDuplicatesAndDropsZeros) {
+    const CscMatrix m = CscMatrix::from_triplets(
+        2, 2, {{0, 0, 1.5}, {0, 0, 2.5}, {1, 1, 3.0}, {1, 1, -3.0}, {1, 0, 0.0}});
+    const std::vector<double> dense = m.to_dense();
+    EXPECT_DOUBLE_EQ(dense[0], 4.0);   // duplicates summed
+    EXPECT_DOUBLE_EQ(dense[3], 0.0);   // cancelled pair dropped
+    EXPECT_EQ(m.nonzeros(), 1);        // only the (0,0) entry survives
+}
+
+TEST(CscMatrix, DenseRoundTrip) {
+    Xoshiro256 rng(0xC5C0);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int rows = 1 + static_cast<int>(rng.next_below(8));
+        const int cols = 1 + static_cast<int>(rng.next_below(8));
+        const std::vector<double> dense = random_dense(rng, rows, cols, 0.4);
+        const CscMatrix sparse = CscMatrix::from_dense(rows, cols, dense);
+        EXPECT_EQ(sparse.to_dense(), dense) << "trial " << trial;
+    }
+}
+
+TEST(CscMatrix, ColumnKernelsMatchDenseArithmetic) {
+    Xoshiro256 rng(0xD07);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int rows = 2 + static_cast<int>(rng.next_below(6));
+        const int cols = 2 + static_cast<int>(rng.next_below(6));
+        const std::vector<double> dense = random_dense(rng, rows, cols, 0.5);
+        const CscMatrix sparse = CscMatrix::from_dense(rows, cols, dense);
+        std::vector<double> y(static_cast<std::size_t>(rows));
+        for (double& v : y) v = rng.next_double() * 4.0 - 2.0;
+        for (int j = 0; j < cols; ++j) {
+            double want = 0.0;
+            for (int i = 0; i < rows; ++i) {
+                want += dense[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(j)] *
+                        y[static_cast<std::size_t>(i)];
+            }
+            EXPECT_NEAR(sparse.dot_col(j, y), want, 1e-12);
+        }
+    }
+}
+
+// Builds a random square-invertible-ish CSC matrix whose first `m` columns
+// form a well-conditioned basis (diagonal dominance), plus extra columns to
+// pivot in.
+CscMatrix random_basis_matrix(Xoshiro256& rng, int m, int extra) {
+    std::vector<CscMatrix::Triplet> triplets;
+    for (int j = 0; j < m; ++j) {
+        triplets.push_back({j, j, 6.0 + rng.next_double()});  // dominant diagonal
+        for (int i = 0; i < m; ++i) {
+            if (i != j && rng.next_double() < 0.3) {
+                triplets.push_back({i, j, rng.next_double() * 2.0 - 1.0});
+            }
+        }
+    }
+    for (int j = m; j < m + extra; ++j) {
+        int nonzeros = 0;
+        for (int i = 0; i < m; ++i) {
+            if (rng.next_double() < 0.4) {
+                triplets.push_back({i, j, rng.next_double() * 4.0 - 2.0});
+                ++nonzeros;
+            }
+        }
+        if (nonzeros == 0) {
+            triplets.push_back({static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m))),
+                                j, 1.0 + rng.next_double()});
+        }
+    }
+    return CscMatrix::from_triplets(m, m + extra, std::move(triplets));
+}
+
+TEST(BasisFactorization, FtranSolvesAndBtranSolvesTranspose) {
+    Xoshiro256 rng(0xFAB);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int m = 1 + static_cast<int>(rng.next_below(10));
+        const CscMatrix a = random_basis_matrix(rng, m, 0);
+        std::vector<int> basis(static_cast<std::size_t>(m));
+        for (int j = 0; j < m; ++j) basis[static_cast<std::size_t>(j)] = j;
+        BasisFactorization fac;
+        ASSERT_TRUE(fac.refactorize(a, basis));
+
+        // FTRAN: B·x = b → reapplying B must give b back.
+        std::vector<double> b(static_cast<std::size_t>(m));
+        for (double& v : b) v = rng.next_double() * 10.0 - 5.0;
+        std::vector<double> x = b;
+        fac.ftran(x);
+        const std::vector<double> dense = a.to_dense();
+        const std::vector<double> bx = matvec(dense, m, a.cols(), x);
+        for (int i = 0; i < m; ++i) {
+            EXPECT_NEAR(bx[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-8);
+        }
+
+        // BTRAN: Bᵀ·y = c → column dot-products must give c back.
+        std::vector<double> c(static_cast<std::size_t>(m));
+        for (double& v : c) v = rng.next_double() * 10.0 - 5.0;
+        std::vector<double> y = c;
+        fac.btran(y);
+        for (int j = 0; j < m; ++j) {
+            EXPECT_NEAR(a.dot_col(j, y), c[static_cast<std::size_t>(j)], 1e-8);
+        }
+    }
+}
+
+TEST(BasisFactorization, RefactorizationResidualBounded) {
+    Xoshiro256 rng(0x1DE);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int m = 2 + static_cast<int>(rng.next_below(10));
+        const CscMatrix a = random_basis_matrix(rng, m, 0);
+        std::vector<int> basis(static_cast<std::size_t>(m));
+        for (int j = 0; j < m; ++j) basis[static_cast<std::size_t>(j)] = j;
+        BasisFactorization fac;
+        ASSERT_TRUE(fac.refactorize(a, basis));
+        // ‖B·B⁻¹ − I‖∞ stays tiny on these well-conditioned bases.
+        EXPECT_LT(fac.residual_inf(a, basis), 1e-9) << "trial " << trial;
+    }
+}
+
+TEST(BasisFactorization, SingularBasisRefused) {
+    // Two identical columns: LU must report singularity, not divide by ~0.
+    const CscMatrix a =
+        CscMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 0, 2.0}, {0, 1, 1.0}, {1, 1, 2.0}});
+    BasisFactorization fac;
+    EXPECT_FALSE(fac.refactorize(a, {0, 1}));
+}
+
+TEST(BasisFactorization, UpdateRefusesTinyPivot) {
+    const CscMatrix a = CscMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+    BasisFactorization fac;
+    ASSERT_TRUE(fac.refactorize(a, {0, 1}));
+    std::vector<double> w{1e-13, 1.0};
+    EXPECT_FALSE(fac.update(w, 0));   // pivot below tolerance → refused
+    EXPECT_EQ(fac.eta_count(), 0);    // and no state change
+    EXPECT_TRUE(fac.update(w, 1));    // healthy pivot in the same vector → fine
+    EXPECT_EQ(fac.eta_count(), 1);
+}
+
+// The core fuzz property: a randomized sequence of basis exchanges — each
+// applied both to the eta-file and to a bookkeeping copy of the basis —
+// never corrupts the factorization. After every update, FTRAN of each basis
+// column must still reproduce the corresponding unit vector, and once the
+// eta budget trips, refactorization must restore a near-exact basis.
+TEST(BasisFactorization, RandomPivotSequencesPreserveTheBasis) {
+    Xoshiro256 rng(0xBEEF);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int m = 3 + static_cast<int>(rng.next_below(6));
+        const int extra = 4 + static_cast<int>(rng.next_below(6));
+        const CscMatrix a = random_basis_matrix(rng, m, extra);
+        std::vector<int> basis(static_cast<std::size_t>(m));
+        for (int j = 0; j < m; ++j) basis[static_cast<std::size_t>(j)] = j;
+        BasisFactorization fac(BasisFactorization::Options{.max_etas = 8});
+        ASSERT_TRUE(fac.refactorize(a, basis));
+
+        for (int step = 0; step < 40; ++step) {
+            const int enter =
+                m + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(extra)));
+            std::vector<double> w = basis_col(a, enter);
+            fac.ftran(w);
+            const int pos = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m)));
+            if (!fac.update(w, pos)) continue;  // tiny pivot: skip this exchange
+            basis[static_cast<std::size_t>(pos)] = enter;
+
+            // Spot-check one random basis column: FTRAN must give a unit vector.
+            const int probe = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m)));
+            std::vector<double> e = basis_col(a, basis[static_cast<std::size_t>(probe)]);
+            fac.ftran(e);
+            for (int i = 0; i < m; ++i) {
+                const double expect = i == probe ? 1.0 : 0.0;
+                ASSERT_NEAR(e[static_cast<std::size_t>(i)], expect, 1e-6)
+                    << "trial " << trial << " step " << step;
+            }
+
+            if (fac.needs_refactorization()) {
+                ASSERT_TRUE(fac.refactorize(a, basis));
+                ASSERT_LT(fac.residual_inf(a, basis), 1e-8);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace p4all::ilp

@@ -107,6 +107,84 @@ TEST_F(ResilienceTest, BnbNodeFaultAbandonsSubtreeNeverFalseOptimal) {
     EXPECT_NE(s.error, Errc::None);
 }
 
+// --- fault points inside the parallel solver -------------------------------
+
+// A model whose tree has enough depth for the parallel engine to run
+// multi-node batches: fractional LP optimum, several branching layers.
+ilp::Model branching_model() {
+    ilp::Model m;
+    const ilp::Var a = m.add_integer("a", 0, 5);
+    const ilp::Var b = m.add_integer("b", 0, 5);
+    const ilp::Var c = m.add_integer("c", 0, 5);
+    m.add_le(ilp::LinExpr().add(a, 2.0).add(b, 3.0).add(c, 1.0), 7.5);
+    m.add_le(ilp::LinExpr().add(a, 1.0).add(b, 1.0).add(c, 2.0), 6.3);
+    m.set_objective(ilp::LinExpr().add(a, 3.0).add(b, 2.0).add(c, 4.0));
+    return m;
+}
+
+ilp::SolveOptions parallel_options(int threads) {
+    ilp::SolveOptions o;
+    o.lp_backend = ilp::LpBackend::Sparse;
+    o.search = ilp::SearchMode::BestFirst;
+    o.threads = threads;
+    return o;
+}
+
+TEST_F(ResilienceTest, SparseSimplexPivotFaultReportsNumericalTrouble) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("simplex.pivot:after=1");
+    const ilp::LpResult r = ilp::solve_lp_sparse(small_fractional_model());
+    EXPECT_EQ(r.status, ilp::LpStatus::IterLimit);
+    EXPECT_EQ(r.error, Errc::NumericalTrouble);
+    EXPECT_FALSE(r.deadline_hit);
+    EXPECT_EQ(reg.fires("simplex.pivot"), 1);
+}
+
+TEST_F(ResilienceTest, ParallelSolverSharesOneNodeFaultBudget) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    // `after=1` is a process-wide budget: no matter how many workers drain
+    // the batch, exactly one node is abandoned.
+    for (const int threads : {1, 2, 8}) {
+        reg.configure("bnb.node:after=1");
+        const ilp::Solution s =
+            ilp::solve_milp(small_fractional_model(), parallel_options(threads));
+        EXPECT_EQ(reg.fires("bnb.node"), 1) << threads << " threads";
+        // The root was the abandoned node: incomplete search, never Optimal.
+        EXPECT_EQ(s.status, ilp::SolveStatus::Limit) << threads << " threads";
+        EXPECT_NE(s.error, Errc::None) << threads << " threads";
+    }
+}
+
+TEST_F(ResilienceTest, ParallelSolverNodeFaultIsThreadCountDeterministic) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    // bnb.node fires in the serial batch-selection section, so the SAME node
+    // (in the deterministic pop order) is abandoned for every thread count —
+    // the whole Solution must be bit-identical.
+    const ilp::Model m = branching_model();
+    reg.configure("bnb.node:after=2");
+    const ilp::Solution t1 = ilp::solve_milp(m, parallel_options(1));
+    reg.configure("bnb.node:after=2");
+    const ilp::Solution t8 = ilp::solve_milp(m, parallel_options(8));
+    EXPECT_EQ(reg.fires("bnb.node"), 1);
+    EXPECT_EQ(t8.status, t1.status);
+    EXPECT_EQ(t8.nodes, t1.nodes);
+    EXPECT_EQ(t8.objective, t1.objective);
+    EXPECT_EQ(t8.values, t1.values);
+    EXPECT_EQ(t8.lp_iterations, t1.lp_iterations);
+}
+
+TEST_F(ResilienceTest, ParallelSolverSimplexFaultFiresExactlyOnceAcrossWorkers) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    // simplex.pivot is hit from worker threads relaxing LPs concurrently;
+    // the mutex-guarded registry must hand the single firing to exactly one
+    // of them, and the engine must absorb it as an abandoned subtree.
+    reg.configure("simplex.pivot:after=3");
+    const ilp::Solution s = ilp::solve_milp(branching_model(), parallel_options(8));
+    EXPECT_EQ(reg.fires("simplex.pivot"), 1);
+    EXPECT_EQ(s.status, ilp::SolveStatus::Limit);
+    EXPECT_EQ(s.error, Errc::NumericalTrouble);
+}
+
 // --- fault point: bnb.round ------------------------------------------------
 
 TEST_F(ResilienceTest, BnbRoundFaultCorruptsIncumbentPastTheFeasibilityCheck) {
@@ -123,7 +201,7 @@ TEST_F(ResilienceTest, BnbRoundFaultCorruptsIncumbentPastTheFeasibilityCheck) {
 
 // --- fault points: artifacts.emit and codegen.emit -------------------------
 
-TEST_F(ResilienceTest, ArtifactsEmitFaultFailsOverToGreedy) {
+TEST_F(ResilienceTest, ArtifactsEmitFaultFailsOverToNextRung) {
     FaultRegistry& reg = FaultRegistry::instance();
     reg.configure("artifacts.emit:after=1");
     CompileOptions opts;
@@ -134,9 +212,37 @@ TEST_F(ResilienceTest, ArtifactsEmitFaultFailsOverToGreedy) {
     const CompileResult r = compiler::compile_resilient_source(kCms, opts, res, "cms");
     EXPECT_EQ(reg.fires("artifacts.emit"), 1);
     ASSERT_GE(r.resilience.attempts.size(), 2u);
-    EXPECT_EQ(r.resilience.attempts[0].backend, "ilp");
+    EXPECT_EQ(r.resilience.attempts[0].backend, "ilp-sparse");
     EXPECT_EQ(r.resilience.attempts[0].error, Errc::FaultInjected);
-    EXPECT_EQ(r.resilience.final_backend, "greedy");
+    // The single-shot fault budget is spent; the dense rung sails through.
+    EXPECT_EQ(r.resilience.final_backend, "ilp");
+}
+
+TEST_F(ResilienceTest, ArtifactsEmitPermanentFaultFailsTheWholePortfolioCleanly) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    // Every rung loses its artifacts: the portfolio must exhaust itself and
+    // throw a structured error with the full per-attempt record — never a
+    // raw exception or a layout without artifacts.
+    reg.configure("artifacts.emit:prob=1:seed=1");
+    CompileOptions opts;
+    opts.target = target::running_example();
+    ResilienceOptions res;
+    res.budget_seconds = 30.0;
+    res.external_gate = audit::make_resilience_gate();
+    try {
+        (void)compiler::compile_resilient_source(kCms, opts, res, "cms");
+        FAIL() << "portfolio accepted a layout whose artifacts never emitted";
+    } catch (const ResilientError& e) {
+        EXPECT_GE(e.report.attempts.size(), 4u);
+        for (const compiler::AttemptReport& a : e.report.attempts) {
+            if (a.outcome == AttemptOutcome::Skipped) continue;
+            // Every rung that got far enough to assemble artifacts lost them
+            // to the fault; exhaustive may refuse earlier (domain too large).
+            EXPECT_TRUE(a.error == Errc::FaultInjected || a.error == Errc::DomainTooLarge)
+                << a.backend;
+        }
+    }
+    EXPECT_GE(reg.fires("artifacts.emit"), 2);
 }
 
 TEST_F(ResilienceTest, CodegenEmitFaultIsStructuredAndFailsOver) {
@@ -218,12 +324,14 @@ TEST_F(ResilienceTest, RejectingGateWalksTheWholePortfolio) {
         FAIL() << "always-rejecting gate accepted something";
     } catch (const ResilientError& e) {
         EXPECT_EQ(e.code(), Errc::AuditRejected);
-        // The rejection triggers the Bland-restart profile, then the
-        // remaining backends; every produced layout was gated.
-        ASSERT_GE(e.report.attempts.size(), 3u);
-        EXPECT_EQ(e.report.attempts[0].backend, "ilp");
+        // The rejection walks sparse → dense → Bland restart → the remaining
+        // backends; every produced layout was gated.
+        ASSERT_GE(e.report.attempts.size(), 4u);
+        EXPECT_EQ(e.report.attempts[0].backend, "ilp-sparse");
         EXPECT_EQ(e.report.attempts[0].outcome, AttemptOutcome::AuditRejected);
-        EXPECT_EQ(e.report.attempts[1].backend, "ilp-bland");
+        EXPECT_EQ(e.report.attempts[1].backend, "ilp");
+        EXPECT_EQ(e.report.attempts[1].outcome, AttemptOutcome::AuditRejected);
+        EXPECT_EQ(e.report.attempts[2].backend, "ilp-bland");
         bool greedy_rejected = false;
         for (const compiler::AttemptReport& a : e.report.attempts) {
             greedy_rejected = greedy_rejected ||
@@ -243,13 +351,13 @@ TEST_F(ResilienceTest, AnytimeIncumbentAcceptedAndMarked) {
     res.budget_seconds = 30.0;
     res.external_gate = audit::make_resilience_gate();
     const CompileResult r = compiler::compile_resilient_source(kCms, opts, res, "cms");
-    EXPECT_EQ(r.resilience.final_backend, "ilp");
+    EXPECT_EQ(r.resilience.final_backend, "ilp-sparse");
     EXPECT_TRUE(r.resilience.anytime);
     ASSERT_FALSE(r.resilience.attempts.empty());
     EXPECT_TRUE(r.resilience.attempts[0].anytime);
     // The record is mirrored into the shared artifacts for provenance.
     ASSERT_TRUE(r.artifacts != nullptr);
-    EXPECT_EQ(r.artifacts->resilience.final_backend, "ilp");
+    EXPECT_EQ(r.artifacts->resilience.final_backend, "ilp-sparse");
     EXPECT_TRUE(r.artifacts->resilience.anytime);
     // An anytime layout is still a valid layout.
     const verify::LintResult audit = audit::audit_artifacts(r.program, *r.artifacts);
@@ -263,9 +371,9 @@ TEST_F(ResilienceTest, ReportSerializesToJson) {
     res.budget_seconds = 30.0;
     const CompileResult r = compiler::compile_resilient_source(kCms, opts, res, "cms");
     const std::string json = r.resilience.to_json();
-    EXPECT_NE(json.find("\"final_backend\":\"ilp\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"final_backend\":\"ilp-sparse\""), std::string::npos) << json;
     EXPECT_NE(json.find("\"attempts\":["), std::string::npos) << json;
-    EXPECT_NE(r.resilience.to_string().find("accepted 'ilp'"), std::string::npos);
+    EXPECT_NE(r.resilience.to_string().find("accepted 'ilp-sparse'"), std::string::npos);
 }
 
 TEST_F(ResilienceTest, GreedyHonorsAnExpiredDeadline) {
