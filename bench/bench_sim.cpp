@@ -1,0 +1,160 @@
+// BENCH_sim.json: per-packet simulation throughput with and without the
+// abstract-interpretation bounds proofs — the checked pipeline (every
+// register access re-validated per packet, the historical default) against
+// the proved pipeline (accesses the dataflow engine discharged statically
+// run without the per-packet check). Same schema and --check gate as
+// bench_ilp / bench_compile: dense = checked, sparse = proved, so the
+// committed baseline holds the proved path's throughput.
+//
+// Usage:
+//   bench_sim [--out BENCH_sim.json] [--reps N] [--packets N]
+//             [--check baseline.json]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/applications.hpp"
+#include "apps/netcache.hpp"
+#include "bench_json.hpp"
+#include "compiler/compiler.hpp"
+#include "sim/pipeline.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace p4all;
+
+/// Deterministic packet stream: every benchmark app keys on its packet
+/// fields, so fully random field values exercise the hash + register path.
+std::vector<sim::Packet> make_trace(const ir::Program& prog, int packets) {
+    support::Xoshiro256 rng(0xBE4C);
+    std::vector<sim::Packet> trace;
+    trace.reserve(static_cast<std::size_t>(packets));
+    for (int i = 0; i < packets; ++i) {
+        sim::Packet pkt(prog.packet_fields.size(), 0);
+        for (std::size_t f = 0; f < pkt.size(); ++f) pkt[f] = 1 + rng.next_below(1'000'000);
+        trace.push_back(std::move(pkt));
+    }
+    return trace;
+}
+
+bench::InstanceReport bench_app(const std::string& name, const std::string& source, int reps,
+                                int packets) {
+    compiler::CompileOptions options;
+    options.backend = compiler::Backend::Greedy;
+    const compiler::CompileResult r = compiler::compile_source(source, options, name);
+
+    bench::InstanceReport rep;
+    rep.name = name;
+    rep.kind = "sim";
+    rep.vars = static_cast<std::int64_t>(r.artifacts ? r.artifacts->proofs.size() : 0);
+    rep.rows = packets;
+
+    const std::vector<sim::Packet> trace = make_trace(r.program, packets);
+
+    const auto run = [&](const sim::Pipeline& fresh) {
+        using Clock = std::chrono::steady_clock;
+        sim::Pipeline pipe = fresh;
+        const auto t0 = Clock::now();
+        for (const sim::Packet& pkt : trace) {
+            sim::Packet p = pkt;
+            pipe.process(p);
+        }
+        return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    };
+    const auto stats_of = [&](std::vector<double> ms, std::int64_t elided) {
+        std::sort(ms.begin(), ms.end());
+        bench::RunStats s;
+        s.median_ms = ms[ms.size() / 2];
+        const std::size_t p95 = std::min(
+            ms.size() - 1,
+            static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(ms.size()))) - 1);
+        s.p95_ms = ms[p95];
+        // The stat columns: pivots = bounds checks elided by the proofs,
+        // nodes = packets processed per rep.
+        s.pivots = elided;
+        s.nodes = static_cast<std::int64_t>(trace.size());
+        return s;
+    };
+
+    const sim::Pipeline checked(r.program, r.layout);
+    std::span<const verify::ProofFact> proofs;
+    if (r.artifacts) proofs = r.artifacts->proofs;
+    const sim::Pipeline proved(r.program, r.layout, proofs);
+
+    // The per-access delta (the index wrap the proofs elide) is a few
+    // percent of a packet's interpreter cost, so the two pipelines run in
+    // strict alternation: scheduler and frequency drift then lands on both
+    // sides equally instead of biasing whichever block ran second.
+    run(checked);
+    run(proved);  // warm-up: fault in code, trace, and register rows
+    std::vector<double> checked_ms, proved_ms;
+    for (int i = 0; i < reps; ++i) {
+        // Swap the A/B order every other rep so a one-sided slot cost
+        // (e.g. the rep right after a timer tick) cannot favour either.
+        if (i % 2 == 0) {
+            checked_ms.push_back(run(checked));
+            proved_ms.push_back(run(proved));
+        } else {
+            proved_ms.push_back(run(proved));
+            checked_ms.push_back(run(checked));
+        }
+    }
+    rep.dense = stats_of(std::move(checked_ms),
+                         static_cast<std::int64_t>(checked.bounds_checks_elided()));
+    rep.sparse = stats_of(std::move(proved_ms),
+                          static_cast<std::int64_t>(proved.bounds_checks_elided()));
+    return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string out_path = "BENCH_sim.json";
+    std::string check_path;
+    int reps = 21;
+    int packets = 30000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+            packets = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_sim [--out file] [--reps N] [--packets N] "
+                         "[--check baseline]\n");
+            return 2;
+        }
+    }
+
+    std::vector<bench::InstanceReport> instances;
+    instances.push_back(bench_app("netcache", apps::netcache_source(), reps, packets));
+    instances.push_back(bench_app("sketchlearn-l4", apps::sketchlearn_source(4), reps, packets));
+    instances.push_back(bench_app("precision", apps::precision_source(), reps, packets));
+    instances.push_back(bench_app("conquest-s4", apps::conquest_source(4), reps, packets));
+
+    bench::print_table(instances);
+
+    if (!bench::write_report(bench::report_json("sim", instances), out_path)) return 1;
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!check_path.empty()) {
+        const int regressions = bench::check_against_baseline(instances, check_path, "sim");
+        if (regressions > 0) {
+            std::fprintf(stderr, "bench_sim: %d regression(s) vs %s\n", regressions,
+                         check_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

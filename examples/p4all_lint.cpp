@@ -5,10 +5,12 @@
 //     --list-checks          print the registered passes and exit
 //     --target <spec.json>   PISA target for target-dependent passes
 //     --Werror               treat warnings as errors
+//     --fail-on=<sev>        lowest severity that fails the run:
+//                            note | warning | error (default error)
 //     --format=text|json     output format (json is SARIF-shaped)
 //
-//   Exit codes: 0 clean (or warnings without --Werror), 1 findings at error
-//   severity, 2 usage or fatal front-end errors.
+//   Exit codes: 0 clean (no finding at or above the --fail-on threshold),
+//   1 findings at or above the threshold, 2 usage or fatal front-end errors.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -19,6 +21,7 @@
 #include "audit/audit.hpp"
 #include "ir/elaborate.hpp"
 #include "lang/parser.hpp"
+#include "runtime/migrate_static.hpp"
 #include "support/error.hpp"
 #include "verify/lint.hpp"
 
@@ -45,7 +48,8 @@ std::vector<std::string> split_commas(const std::string& list) {
 int usage() {
     std::fprintf(stderr,
                  "usage: p4all-lint <program.p4all>... [--checks=a,b,...] [--list-checks]\n"
-                 "                  [--target spec.json] [--Werror] [--format=text|json]\n");
+                 "                  [--target spec.json] [--Werror] [--format=text|json]\n"
+                 "                  [--fail-on=note|warning|error]\n");
     return 2;
 }
 
@@ -71,13 +75,15 @@ std::string program_name(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    // Audit passes live in the same registry (visible in --list-checks);
-    // without compiled artifacts they are no-ops.
+    // Audit and runtime passes live in the same registry (visible in
+    // --list-checks); without their payloads they are no-ops.
     p4all::audit::register_audit_passes(p4all::verify::PassRegistry::global());
+    p4all::runtime::register_runtime_passes(p4all::verify::PassRegistry::global());
 
     std::vector<std::string> inputs;
     std::string target_path;
     std::string format = "text";
+    p4all::support::Severity fail_on = p4all::support::Severity::Error;
     p4all::verify::LintOptions options;
 
     for (int i = 1; i < argc; ++i) {
@@ -90,6 +96,17 @@ int main(int argc, char** argv) {
             target_path = argv[++i];
         } else if (arg == "--Werror") {
             options.werror = true;
+        } else if (arg.rfind("--fail-on=", 0) == 0) {
+            const std::string sev = arg.substr(10);
+            if (sev == "note") {
+                fail_on = p4all::support::Severity::Note;
+            } else if (sev == "warning") {
+                fail_on = p4all::support::Severity::Warning;
+            } else if (sev == "error") {
+                fail_on = p4all::support::Severity::Error;
+            } else {
+                return usage();
+            }
         } else if (arg.rfind("--format=", 0) == 0) {
             format = arg.substr(9);
             if (format != "text" && format != "json") return usage();
@@ -107,14 +124,16 @@ int main(int argc, char** argv) {
                 p4all::support::Json::parse(read_file(target_path)));
         }
 
-        bool any_errors = false;
+        bool failed = false;
         std::size_t total_findings = 0;
         for (const std::string& input : inputs) {
             const std::string source = read_file(input);
             const p4all::ir::Program prog = p4all::ir::elaborate(
                 p4all::lang::parse(source, input), {.program_name = program_name(input)});
             const p4all::verify::LintResult result = p4all::verify::run_lint(prog, options);
-            any_errors = any_errors || result.has_errors();
+            for (const p4all::verify::Finding& f : result.findings) {
+                failed = failed || f.severity >= fail_on;
+            }
             total_findings += result.findings.size();
             if (format == "json") {
                 std::fputs(result.to_json().dump(2).c_str(), stdout);
@@ -127,7 +146,7 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "p4all-lint: %zu file%s clean\n", inputs.size(),
                          inputs.size() == 1 ? "" : "s");
         }
-        return any_errors ? 1 : 0;
+        return failed ? 1 : 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "p4all-lint: %s\n", e.what());
         return 2;

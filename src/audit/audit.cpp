@@ -13,6 +13,10 @@
 
 namespace p4all::audit {
 
+// Implemented in proofs.cpp.
+std::unique_ptr<verify::LintPass> make_register_bounds_proof_pass();
+std::unique_ptr<verify::LintPass> make_proof_fact_consistency_pass();
+
 namespace {
 
 using analysis::Instance;
@@ -485,6 +489,8 @@ void register_audit_passes(verify::PassRegistry& registry) {
     registry.add(std::make_unique<SymbolMismatchPass>());
     registry.add(std::make_unique<InfeasibleIncumbentPass>());
     registry.add(std::make_unique<CertificateGapPass>());
+    registry.add(make_register_bounds_proof_pass());
+    registry.add(make_proof_fact_consistency_pass());
 }
 
 verify::LintResult audit_artifacts(const ir::Program& prog, const CompileArtifacts& artifacts,

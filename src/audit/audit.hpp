@@ -4,7 +4,7 @@
 // compiler claims from scratch, using only the elaborated IR, the
 // TargetSpec, and the final CompileArtifacts — deliberately sharing no code
 // with the compiler-side audit_layout()/compute_usage() checkers so a bug
-// in the compiler's accounting cannot hide itself. Exposed as five lint
+// in the compiler's accounting cannot hide itself. Exposed as seven lint
 // passes in the standard verify registry:
 //
 //   layout-resource-overcommit   per-stage memory / ALU / hash / PHV
@@ -20,6 +20,13 @@
 //                                the incumbent; claimed objective == c·x
 //   ilp-certificate-gap          weak-duality certificate of the root
 //                                relaxation bounds the incumbent
+//   register-bounds-proof        re-runs the abstract-interpretation bounds
+//                                engine over the artifacts' layout and
+//                                rejects any claimed-proved fact the
+//                                re-derivation cannot reproduce
+//   proof-fact-consistency       geometric validity of every shipped
+//                                ProofFact against the layout and program
+//                                (no engine re-run; pure cross-checking)
 //
 // The passes read their input through an ArtifactsPayload and no-op when a
 // lint run carries none, so they are safe to leave registered globally.
@@ -39,16 +46,17 @@ struct ArtifactsPayload : verify::LintPayload {
     const compiler::CompileArtifacts* artifacts = nullptr;
 };
 
-/// The five audit check ids, registration order.
+/// The seven audit check ids, registration order.
 inline constexpr const char* kAuditChecks[] = {
     "layout-resource-overcommit", "layout-dependency-violation", "layout-symbol-mismatch",
-    "ilp-infeasible-incumbent",   "ilp-certificate-gap",
+    "ilp-infeasible-incumbent",   "ilp-certificate-gap",         "register-bounds-proof",
+    "proof-fact-consistency",
 };
 
 /// Registers the audit passes into `registry` (idempotent per registry).
 void register_audit_passes(verify::PassRegistry& registry);
 
-/// Runs exactly the five audit passes over `prog` + `artifacts` (against the
+/// Runs exactly the seven audit passes over `prog` + `artifacts` (against the
 /// artifacts' own target spec). Findings of severity Error mean the compile
 /// must be rejected.
 [[nodiscard]] verify::LintResult audit_artifacts(const ir::Program& prog,
@@ -56,7 +64,7 @@ void register_audit_passes(verify::PassRegistry& registry);
                                                  bool werror = false);
 
 /// Acceptance gate for the resilient driver (compiler/resilient.hpp): runs
-/// the five audit passes and returns "" when the layout is clean, otherwise
+/// the seven audit passes and returns "" when the layout is clean, otherwise
 /// the rendered error findings. Injected as ResilienceOptions::external_gate
 /// — the compiler library cannot call this layer directly (it links the
 /// other way), so anytime incumbents get independently re-checked before the

@@ -1,0 +1,254 @@
+// Audit-side validation of the register-bounds proof facts.
+//
+// Two passes over CompileArtifacts::proofs, deliberately independent of the
+// compiler's emission path:
+//
+//   register-bounds-proof    re-runs the abstract-interpretation bounds
+//                            engine (verify::prove_register_bounds) over the
+//                            artifacts' own layout and demands the shipped
+//                            facts match the re-derivation fact-for-fact —
+//                            an unsound "proved" claim, a fabricated fact,
+//                            or a missing fact is an error; accesses the
+//                            engine cannot prove get a located warning (the
+//                            pipeline keeps their per-packet check)
+//   proof-fact-consistency   pure geometry: every fact must name a real
+//                            register access of a placed instance, match
+//                            the placed row's element count, and carry
+//                            bounds that actually fit the row — no engine
+//                            re-run, so it also guards against a buggy
+//                            engine agreeing with itself
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "audit/audit.hpp"
+#include "compiler/artifacts.hpp"
+#include "verify/dataflow.hpp"
+#include "verify/lint.hpp"
+
+namespace p4all::audit {
+
+std::unique_ptr<verify::LintPass> make_register_bounds_proof_pass();
+std::unique_ptr<verify::LintPass> make_proof_fact_consistency_pass();
+
+namespace {
+
+using compiler::CompileArtifacts;
+using verify::ProofFact;
+
+const CompileArtifacts* artifacts_of(verify::LintContext& ctx) {
+    const auto* payload = dynamic_cast<const ArtifactsPayload*>(ctx.payload());
+    return payload != nullptr ? payload->artifacts : nullptr;
+}
+
+using FactKey = std::tuple<std::int32_t, std::int64_t, std::int32_t>;
+
+FactKey key_of(const ProofFact& f) { return {f.call, f.iter, f.op}; }
+
+/// "action[iter] op N" for messages; tolerant of out-of-range facts.
+std::string fact_label(const ir::Program& prog, const ProofFact& f) {
+    std::string label = "<call " + std::to_string(f.call) + ">";
+    if (f.call >= 0 && static_cast<std::size_t>(f.call) < prog.flow.size()) {
+        const ir::CallSite& site = prog.flow[static_cast<std::size_t>(f.call)];
+        label = prog.action(site.action).name;
+        if (site.elastic()) label += "[" + std::to_string(f.iter) + "]";
+    }
+    return label + " op " + std::to_string(f.op);
+}
+
+std::string render_bounds(const ProofFact& f) {
+    return "[" + std::to_string(f.index_lo) + ", " + std::to_string(f.index_hi) + "] of " +
+           std::to_string(f.elems) + " elements";
+}
+
+// ---------------------------------------------------------------------------
+// register-bounds-proof
+// ---------------------------------------------------------------------------
+
+class BoundsProofPass final : public verify::LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override {
+        return "register-bounds-proof";
+    }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "re-runs the abstract-interpretation bounds engine over the artifacts' layout "
+               "and rejects any claimed-proved fact the independent re-derivation cannot "
+               "reproduce";
+    }
+
+    void run(verify::LintContext& ctx) override {
+        const CompileArtifacts* art = artifacts_of(ctx);
+        if (art == nullptr) return;
+        // Hand-assembled artifacts (tests, partial toolchains) ship no facts;
+        // a compile that emits artifacts always attaches the full set, so an
+        // empty vector means "no claims to check", not "claims all deleted".
+        if (art->proofs.empty()) return;
+        const ir::Program& prog = ctx.program();
+
+        const verify::BoundsProofs derived =
+            verify::prove_register_bounds(prog, compiler::dataplane_view(prog, art->layout));
+        std::map<FactKey, const ProofFact*> derived_by_key;
+        for (const ProofFact& f : derived.facts) derived_by_key[key_of(f)] = &f;
+
+        std::set<FactKey> claimed;
+        for (const ProofFact& f : art->proofs) {
+            claimed.insert(key_of(f));
+            const auto it = derived_by_key.find(key_of(f));
+            if (it == derived_by_key.end()) {
+                ctx.error(f.loc, "artifacts carry a bounds fact for " + fact_label(prog, f) +
+                                     " but the independent re-derivation finds no register "
+                                     "access there");
+                continue;
+            }
+            const ProofFact& d = *it->second;
+            if (f.proved && !d.proved) {
+                ctx.error(f.loc, "unsound proof: artifacts claim the index of " +
+                                     fact_label(prog, f) + " stays within " + render_bounds(f) +
+                                     ", but the re-derivation cannot prove it (best bounds " +
+                                     render_bounds(d) + ")");
+                continue;
+            }
+            if (f != d) {
+                ctx.error(f.loc, "bounds fact for " + fact_label(prog, f) +
+                                     " disagrees with the re-derivation: claimed " +
+                                     render_bounds(f) + (f.proved ? " proved" : " unproved") +
+                                     ", derived " + render_bounds(d) +
+                                     (d.proved ? " proved" : " unproved"));
+            }
+        }
+
+        for (const ProofFact& f : derived.facts) {
+            if (claimed.count(key_of(f)) == 0) {
+                ctx.error(f.loc, "register access " + fact_label(prog, f) +
+                                     " carries no bounds fact in the artifacts");
+            }
+            if (!f.proved) {
+                ctx.warning(f.loc, "register access " + fact_label(prog, f) +
+                                       " is not provably in-bounds (index in " +
+                                       render_bounds(f) +
+                                       "); the pipeline keeps its per-packet check",
+                            "index through hash(..., register) or mask the index down to the "
+                            "row's power-of-two size so the bounds engine can discharge it");
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// proof-fact-consistency
+// ---------------------------------------------------------------------------
+
+class ProofConsistencyPass final : public verify::LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override {
+        return "proof-fact-consistency";
+    }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "every shipped proof fact names a real register access of a placed instance, "
+               "matches the placed row geometry, and its proved bounds fit the row";
+    }
+
+    void run(verify::LintContext& ctx) override {
+        const CompileArtifacts* art = artifacts_of(ctx);
+        if (art == nullptr) return;
+        const ir::Program& prog = ctx.program();
+
+        std::map<std::pair<ir::RegisterId, std::int64_t>, std::int64_t> placed;
+        for (const compiler::StagePlan& plan : art->layout.stages) {
+            for (const compiler::PlacedRegister& pr : plan.registers) {
+                placed[{pr.reg, pr.instance}] = pr.elems;
+            }
+        }
+
+        std::set<FactKey> seen;
+        for (const ProofFact& f : art->proofs) {
+            const std::string label = fact_label(prog, f);
+            if (!seen.insert(key_of(f)).second) {
+                ctx.error(f.loc, "duplicate bounds fact for " + label);
+                continue;
+            }
+            if (f.call < 0 || static_cast<std::size_t>(f.call) >= prog.flow.size()) {
+                ctx.error(f.loc, "bounds fact names call site " + std::to_string(f.call) +
+                                     " which the program does not have");
+                continue;
+            }
+            const ir::CallSite& site = prog.flow[static_cast<std::size_t>(f.call)];
+            const ir::Action& action = prog.action(site.action);
+            if (art->layout.stage_of({f.call, f.iter}) < 0) {
+                ctx.error(f.loc, "bounds fact for " + label +
+                                     " names an instance the layout never placed");
+                continue;
+            }
+            if (f.op < 0 || static_cast<std::size_t>(f.op) >= action.ops.size()) {
+                ctx.error(f.loc, "bounds fact for " + label + " points past the " +
+                                     std::to_string(action.ops.size()) + " ops of '" +
+                                     action.name + "'");
+                continue;
+            }
+            const ir::PrimOp& op = action.ops[static_cast<std::size_t>(f.op)];
+            const bool is_reg_op =
+                op.kind == ir::PrimKind::RegAdd || op.kind == ir::PrimKind::RegRead ||
+                op.kind == ir::PrimKind::RegWrite || op.kind == ir::PrimKind::RegMin ||
+                op.kind == ir::PrimKind::RegMax;
+            if (!is_reg_op || !op.reg.has_value() || op.reg->reg != f.reg) {
+                ctx.error(f.loc, "bounds fact for " + label +
+                                     " does not point at an access of register '" +
+                                     (f.reg != ir::kNoId ? prog.reg(f.reg).name : "?") + "'");
+                continue;
+            }
+            const std::int64_t param = site.iter_arg.at(f.iter);
+            if (op.reg->instance.at(param) != f.instance) {
+                ctx.error(f.loc, "bounds fact for " + label + " names row instance " +
+                                     std::to_string(f.instance) + " but the op touches row " +
+                                     std::to_string(op.reg->instance.at(param)));
+                continue;
+            }
+            const auto placed_it = placed.find({f.reg, f.instance});
+            if (placed_it == placed.end()) {
+                ctx.error(f.loc, "bounds fact for " + label + " names register row " +
+                                     prog.reg(f.reg).name + "_" + std::to_string(f.instance) +
+                                     " which the layout does not place");
+                continue;
+            }
+            if (placed_it->second != f.elems) {
+                ctx.error(f.loc, "bounds fact for " + label + " is against " +
+                                     std::to_string(f.elems) + " elements but the layout "
+                                     "places the row with " +
+                                     std::to_string(placed_it->second));
+                continue;
+            }
+            if (f.index_lo > f.index_hi) {
+                ctx.error(f.loc, "bounds fact for " + label + " carries an empty index range " +
+                                     render_bounds(f));
+                continue;
+            }
+            if (f.proved) {
+                if (f.domain != "interval" && f.domain != "known-bits") {
+                    ctx.error(f.loc, "proved bounds fact for " + label +
+                                         " names no proving domain");
+                }
+                if (f.elems <= 0 || f.index_lo < 0 || f.index_hi >= f.elems) {
+                    ctx.error(f.loc, "bounds fact for " + label +
+                                         " claims proved but its own bounds " +
+                                         render_bounds(f) + " do not fit the row");
+                }
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<verify::LintPass> make_register_bounds_proof_pass() {
+    return std::make_unique<BoundsProofPass>();
+}
+
+std::unique_ptr<verify::LintPass> make_proof_fact_consistency_pass() {
+    return std::make_unique<ProofConsistencyPass>();
+}
+
+}  // namespace p4all::audit

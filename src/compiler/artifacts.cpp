@@ -15,6 +15,20 @@ std::string trimmed_double(double v) {
 
 }  // namespace
 
+verify::DataplaneView dataplane_view(const ir::Program&, const Layout& layout) {
+    verify::DataplaneView view;
+    view.stage_count = static_cast<int>(layout.stages.size());
+    for (std::size_t s = 0; s < layout.stages.size(); ++s) {
+        for (const analysis::Instance& inst : layout.stages[s].actions) {
+            view.instances.push_back({inst, static_cast<int>(s)});
+        }
+        for (const PlacedRegister& pr : layout.stages[s].registers) {
+            view.reg_elems[{pr.reg, pr.instance}] = pr.elems;
+        }
+    }
+    return view;
+}
+
 std::string CompileArtifacts::summary() const {
     std::string out = "program '" + name + "' on target '" + target.name + "' via " + backend +
                       " backend: utility " + trimmed_double(claimed_utility) + ", " +

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "compiler/ilpgen.hpp"
 #include "compiler/layout.hpp"
@@ -17,6 +18,7 @@
 #include "compiler/resilience.hpp"
 #include "ilp/solver.hpp"
 #include "target/spec.hpp"
+#include "verify/dataflow.hpp"
 
 namespace p4all::compiler {
 
@@ -39,8 +41,19 @@ struct CompileArtifacts {
     /// (which backends were tried, why each stopped); empty otherwise.
     ResilienceReport resilience;
 
+    /// Register-bounds proof facts derived against `layout` (one per static
+    /// register access). The audit re-derives them; sim::Pipeline consumes
+    /// proved facts to elide per-packet bounds checks.
+    std::vector<verify::ProofFact> proofs;
+
     /// One-paragraph human-readable description (for p4all-audit -v).
     [[nodiscard]] std::string summary() const;
 };
+
+/// The concrete dataplane view of a finished layout: stage-major placed
+/// action instances plus each placed register row's element count — the
+/// input the verify dataflow engine proves bounds against.
+[[nodiscard]] verify::DataplaneView dataplane_view(const ir::Program& prog,
+                                                   const Layout& layout);
 
 }  // namespace p4all::compiler

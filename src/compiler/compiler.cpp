@@ -8,6 +8,7 @@
 #include "lang/parser.hpp"
 #include "support/error.hpp"
 #include "support/faultpoint.hpp"
+#include "verify/dataflow.hpp"
 
 namespace p4all::compiler {
 
@@ -141,6 +142,10 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
         artifacts->layout = result.layout;
         artifacts->claimed_utility = result.utility;
         artifacts->claimed_usage = compute_usage(result.program, options.target, result.layout);
+        artifacts->proofs =
+            verify::prove_register_bounds(result.program,
+                                          dataplane_view(result.program, result.layout))
+                .facts;
         result.artifacts = std::move(artifacts);
     }
 

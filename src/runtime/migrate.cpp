@@ -27,14 +27,7 @@ struct RegTraits {
     bool has_minmax = false;
 };
 
-struct Classification {
-    std::map<ir::RegisterId, ModuleKind> kind;
-    /// key register -> companions sharing its probe-index field.
-    std::map<ir::RegisterId, std::vector<ir::RegisterId>> groups;
-    /// key register -> the in-plane count companion (kNoId for caches).
-    std::map<ir::RegisterId, ir::RegisterId> count_companion;
-    std::set<ir::RegisterId> grouped;  // every register owned by some group
-};
+using Classification = RegisterClassification;
 
 std::map<ir::RegisterId, RegTraits> collect_traits(const ir::Program& prog) {
     std::map<ir::RegisterId, RegTraits> traits;
@@ -170,6 +163,8 @@ ModuleKind classify_register(const ir::Program& prog, ir::RegisterId reg) {
     const auto it = cls.kind.find(reg);
     return it == cls.kind.end() ? ModuleKind::Opaque : it->second;
 }
+
+RegisterClassification classify_registers(const ir::Program& prog) { return classify(prog); }
 
 bool MigrationReport::exact() const noexcept {
     return std::all_of(rows.begin(), rows.end(), [](const RowMigration& r) { return r.exact; });

@@ -39,6 +39,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,22 @@ enum class ModuleKind { Counter, Bloom, Cache, HeavyHitter, Opaque };
 /// Classifies one register of `prog` by its IR access pattern (exposed for
 /// tests; migrate_state uses the same logic).
 [[nodiscard]] ModuleKind classify_register(const ir::Program& prog, ir::RegisterId reg);
+
+/// The full structural classification: per-register kinds plus the key-table
+/// groups (key register -> companions sharing its probe index). This is the
+/// exact grouping migrate_state rehashes by; the static migration planner
+/// (migrate_static.hpp) consumes it so its verdicts track the dynamic
+/// migrator policy-for-policy.
+struct RegisterClassification {
+    std::map<ir::RegisterId, ModuleKind> kind;
+    /// key register -> companions sharing its probe-index field.
+    std::map<ir::RegisterId, std::vector<ir::RegisterId>> groups;
+    /// key register -> the in-plane count companion (kNoId for caches).
+    std::map<ir::RegisterId, ir::RegisterId> count_companion;
+    std::set<ir::RegisterId> grouped;  // every register owned by some group
+};
+
+[[nodiscard]] RegisterClassification classify_registers(const ir::Program& prog);
 
 /// What happened to one destination register row.
 struct RowMigration {

@@ -1,0 +1,239 @@
+// Static migration planner: migrate_state's policy table on layout geometry.
+#include "runtime/migrate_static.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace p4all::runtime {
+
+const char* migration_safety_name(MigrationSafety safety) noexcept {
+    switch (safety) {
+        case MigrationSafety::Exact: return "exact";
+        case MigrationSafety::Invariant: return "invariant";
+        case MigrationSafety::Unsafe: return "unsafe";
+    }
+    return "?";
+}
+
+bool StaticMigrationPlan::invariants_preserved() const noexcept {
+    return std::none_of(rows.begin(), rows.end(), [](const StaticRowVerdict& r) {
+        return r.safety == MigrationSafety::Unsafe;
+    });
+}
+
+bool StaticMigrationPlan::all_exact() const noexcept {
+    return std::all_of(rows.begin(), rows.end(), [](const StaticRowVerdict& r) {
+        return r.safety == MigrationSafety::Exact;
+    });
+}
+
+std::string StaticMigrationPlan::to_string() const {
+    std::string out;
+    for (const StaticRowVerdict& r : rows) {
+        out += r.reg + "_" + std::to_string(r.instance) + " [" + module_kind_name(r.kind) +
+               "] " + r.policy + " " + std::to_string(r.old_elems) + " -> " +
+               std::to_string(r.new_elems) + ": " + migration_safety_name(r.safety);
+        if (!r.reason.empty()) out += " (" + r.reason + ")";
+        out += '\n';
+    }
+    return out;
+}
+
+StaticMigrationPlan plan_migration(const ir::Program& from_prog,
+                                   const compiler::Layout& from_layout,
+                                   const ir::Program& to_prog,
+                                   const compiler::Layout& to_layout) {
+    // Old geometry by (register name, instance) — the same matching rule the
+    // dynamic migrator applies to pipeline rows.
+    std::map<std::pair<std::string, std::int64_t>, std::int64_t> old_elems;
+    for (const compiler::StagePlan& plan : from_layout.stages) {
+        for (const compiler::PlacedRegister& pr : plan.registers) {
+            old_elems[{from_prog.reg(pr.reg).name, pr.instance}] = pr.elems;
+        }
+    }
+    const auto old_row = [&](const std::string& name,
+                             std::int64_t inst) -> std::optional<std::int64_t> {
+        const auto it = old_elems.find({name, inst});
+        if (it == old_elems.end()) return std::nullopt;
+        return it->second;
+    };
+
+    std::vector<std::pair<ir::RegisterId, std::int64_t>> to_rows;  // (reg, instance)
+    std::map<ir::RegisterId, std::vector<std::pair<std::int64_t, std::int64_t>>> to_by_reg;
+    std::map<std::pair<ir::RegisterId, std::int64_t>, std::int64_t> to_elems;
+    for (const compiler::StagePlan& plan : to_layout.stages) {
+        for (const compiler::PlacedRegister& pr : plan.registers) {
+            to_rows.push_back({pr.reg, pr.instance});
+            to_by_reg[pr.reg].push_back({pr.instance, pr.elems});
+            to_elems[{pr.reg, pr.instance}] = pr.elems;
+        }
+    }
+    std::sort(to_rows.begin(), to_rows.end());
+    for (auto& [reg, ways] : to_by_reg) std::sort(ways.begin(), ways.end());
+
+    const RegisterClassification cls = classify_registers(to_prog);
+
+    StaticMigrationPlan plan;
+    std::set<std::pair<ir::RegisterId, std::int64_t>> handled;
+
+    // --- key-table groups rehash as a unit; the verdict hinges on whether
+    // any old key row exists (entries to move => collisions are possible).
+    for (const auto& [key_reg, companions] : cls.groups) {
+        const auto ways_it = to_by_reg.find(key_reg);
+        if (ways_it == to_by_reg.end()) continue;  // group absent from layout
+        const std::string key_name = to_prog.reg(key_reg).name;
+        const ModuleKind kind = cls.kind.at(key_reg);
+
+        bool has_old_entries = false;
+        for (const auto& [name_inst, elems] : old_elems) {
+            if (name_inst.first == key_name && elems > 0) {
+                has_old_entries = true;
+                break;
+            }
+        }
+
+        std::vector<ir::RegisterId> group_regs{key_reg};
+        group_regs.insert(group_regs.end(), companions.begin(), companions.end());
+        for (const auto& [way, unused_elems] : ways_it->second) {
+            (void)unused_elems;
+            for (const ir::RegisterId r : group_regs) {
+                const auto elems_it = to_elems.find({r, way});
+                if (elems_it == to_elems.end()) continue;  // companion row not at this way
+                StaticRowVerdict v;
+                v.reg = to_prog.reg(r).name;
+                v.instance = way;
+                v.kind = kind;
+                v.policy = "rehash";
+                v.old_elems = old_row(v.reg, way).value_or(0);
+                v.new_elems = elems_it->second;
+                if (has_old_entries) {
+                    v.safety = MigrationSafety::Invariant;
+                    v.reason = "rehash keeps every surviving entry reachable; collisions may "
+                               "drop entries, so exactness is data-dependent";
+                } else {
+                    v.safety = MigrationSafety::Exact;
+                    v.reason = "no old rows to rehash";
+                }
+                handled.insert({r, way});
+                plan.rows.push_back(std::move(v));
+            }
+        }
+    }
+
+    // --- per-row kinds: counters, Bloom rows, opaque state.
+    for (const auto& [reg, instance] : to_rows) {
+        if (handled.count({reg, instance})) continue;
+        const std::string name = to_prog.reg(reg).name;
+        const ModuleKind kind =
+            cls.kind.count(reg) ? cls.kind.at(reg) : ModuleKind::Opaque;
+
+        StaticRowVerdict v;
+        v.reg = name;
+        v.instance = instance;
+        v.kind = kind;
+        v.new_elems = to_elems.at({reg, instance});
+
+        const std::optional<std::int64_t> old = old_row(name, instance);
+        if (!old) {
+            v.policy = "fresh";
+            v.reason = "row is new in this layout";
+            plan.rows.push_back(std::move(v));
+            continue;
+        }
+        v.old_elems = *old;
+
+        const std::int64_t oe = v.old_elems;
+        const std::int64_t ne = v.new_elems;
+        const bool foldable = kind == ModuleKind::Counter || kind == ModuleKind::Bloom;
+        const bool is_or = kind == ModuleKind::Bloom;
+        if (ne == oe) {
+            v.policy = "copy";
+            v.reason = "same geometry";
+        } else if (!foldable) {
+            v.policy = "zero";
+            v.safety = MigrationSafety::Unsafe;
+            v.reason = std::string(module_kind_name(kind)) +
+                       " state cannot be resized; the row resets and loses its invariant";
+        } else if (ne > oe) {
+            if (ne % oe == 0) {
+                v.policy = "replicate-up";
+                v.reason = "old | new: H mod new mod old == H mod old, estimates preserved";
+            } else {
+                v.policy = "copy-prefix";
+                v.safety = MigrationSafety::Unsafe;
+                v.reason = "non-divisible grow remaps hash slots; estimates of old keys "
+                           "may undercount";
+            }
+        } else {
+            v.policy = is_or ? "fold-or" : "fold-sum";
+            if (oe % ne == 0) {
+                v.safety = MigrationSafety::Invariant;
+                v.reason = is_or ? "divisible fold keeps no-false-negative; false positives grow"
+                                 : "divisible fold keeps no-undercount; over-estimates grow";
+            } else {
+                v.safety = MigrationSafety::Unsafe;
+                v.reason = "non-divisible shrink breaks the fold congruence; the module "
+                           "invariant is lost";
+            }
+        }
+        plan.rows.push_back(std::move(v));
+    }
+
+    return plan;
+}
+
+// ---------------------------------------------------------------------------
+// migration-safety-static lint pass
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class MigrationSafetyPass final : public verify::LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override {
+        return "migration-safety-static";
+    }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "a proposed layout change preserves every module's migration invariant "
+               "(static verdicts matching the dynamic migrator)";
+    }
+
+    void run(verify::LintContext& ctx) override {
+        const auto* pair = dynamic_cast<const MigrationPairPayload*>(ctx.payload());
+        if (pair == nullptr || pair->from_prog == nullptr || pair->from_layout == nullptr ||
+            pair->to_prog == nullptr || pair->to_layout == nullptr) {
+            return;  // source-only lint run: nothing to check
+        }
+        const StaticMigrationPlan plan =
+            plan_migration(*pair->from_prog, *pair->from_layout, *pair->to_prog,
+                           *pair->to_layout);
+        for (const StaticRowVerdict& row : plan.rows) {
+            const ir::RegisterId reg = pair->to_prog->find_register(row.reg);
+            const support::SourceLoc loc =
+                reg == ir::kNoId ? support::SourceLoc{} : pair->to_prog->reg(reg).loc;
+            const std::string what = "migrating register " + row.reg + "_" +
+                                     std::to_string(row.instance) + " (" + row.policy + " " +
+                                     std::to_string(row.old_elems) + " -> " +
+                                     std::to_string(row.new_elems) + ")";
+            if (row.safety == MigrationSafety::Unsafe) {
+                ctx.error(loc, what + " breaks the module invariant: " + row.reason,
+                          "resize along the power-of-two lattice so old and new element "
+                          "counts divide");
+            } else if (row.safety == MigrationSafety::Invariant) {
+                ctx.note(loc, what + " is invariant-preserving but inexact: " + row.reason);
+            }
+        }
+    }
+};
+
+}  // namespace
+
+void register_runtime_passes(verify::PassRegistry& registry) {
+    if (registry.find("migration-safety-static") != nullptr) return;  // already registered
+    registry.add(std::make_unique<MigrationSafetyPass>());
+}
+
+}  // namespace p4all::runtime

@@ -1,0 +1,83 @@
+// Static migration-safety analysis: the migrate_state policy table
+// evaluated on layout geometry alone, before any traffic moves.
+//
+// plan_migration walks the destination layout's placed register rows and
+// assigns each the policy migrate_state would pick — from nothing but the
+// two layouts and the register classification — then maps the policy to a
+// three-valued safety verdict:
+//
+//   Exact      state carries over with estimates/lookups unchanged
+//              (copy, replicate-up, fresh rows, rehash of an empty group)
+//   Invariant  the module's safety invariant survives but values may
+//              coarsen (divisible fold-sum/fold-or, rehash with entries)
+//   Unsafe     the invariant is lost (zero-reset, copy-prefix,
+//              non-divisible fold)
+//
+// The verdict relation to the dynamic migrator is exact by construction and
+// cross-checked by tests: a row is Unsafe here if and only if migrate_state
+// reports invariant_preserved == false for it, and Exact implies the
+// dynamic report is exact. ElasticRuntime consults the plan to reject
+// invariant-breaking swaps before the migrator (or any traffic) runs; the
+// migration-safety-static lint pass reports the same verdicts through the
+// PassRegistry/SARIF machinery when given a layout pair payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/layout.hpp"
+#include "runtime/migrate.hpp"
+#include "verify/lint.hpp"
+
+namespace p4all::runtime {
+
+enum class MigrationSafety { Exact, Invariant, Unsafe };
+
+[[nodiscard]] const char* migration_safety_name(MigrationSafety safety) noexcept;
+
+/// The statically determined fate of one destination register row.
+struct StaticRowVerdict {
+    std::string reg;
+    std::int64_t instance = 0;
+    ModuleKind kind = ModuleKind::Opaque;
+    std::string policy;          // the migrate_state policy this row gets
+    std::int64_t old_elems = 0;  // 0 when the row is new in this layout
+    std::int64_t new_elems = 0;
+    MigrationSafety safety = MigrationSafety::Exact;
+    std::string reason;          // one-line justification of the verdict
+};
+
+struct StaticMigrationPlan {
+    std::vector<StaticRowVerdict> rows;
+
+    /// No row loses its module invariant (i.e. no Unsafe verdict).
+    [[nodiscard]] bool invariants_preserved() const noexcept;
+    [[nodiscard]] bool all_exact() const noexcept;
+    /// One line per row.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Statically classifies the migration `from_layout` -> `to_layout` of the
+/// same elastic source (rows matched by register name + instance, exactly
+/// like migrate_state). Pure geometry: no pipeline or traffic needed.
+[[nodiscard]] StaticMigrationPlan plan_migration(const ir::Program& from_prog,
+                                                 const compiler::Layout& from_layout,
+                                                 const ir::Program& to_prog,
+                                                 const compiler::Layout& to_layout);
+
+/// Payload handing a layout pair to the migration-safety-static lint pass.
+/// All pointers are borrowed and must outlive the run.
+struct MigrationPairPayload final : verify::LintPayload {
+    const ir::Program* from_prog = nullptr;
+    const compiler::Layout* from_layout = nullptr;
+    const ir::Program* to_prog = nullptr;
+    const compiler::Layout* to_layout = nullptr;
+};
+
+/// Registers the runtime-layer lint passes (migration-safety-static) into
+/// `registry`; idempotent. p4all-lint calls this next to the builtin and
+/// audit registrations.
+void register_runtime_passes(verify::PassRegistry& registry);
+
+}  // namespace p4all::runtime

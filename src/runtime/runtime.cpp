@@ -4,6 +4,7 @@
 
 #include "audit/audit.hpp"
 #include "compiler/resilient.hpp"
+#include "runtime/migrate_static.hpp"
 #include "support/error.hpp"
 #include "support/faultpoint.hpp"
 
@@ -25,7 +26,13 @@ struct ElasticRuntime::Epoch {
     sim::Pipeline pipe;
 
     explicit Epoch(compiler::CompileResult r)
-        : compiled(std::move(r)), pipe(compiled.program, compiled.layout) {}
+        : compiled(std::move(r)),
+          // Proved register-bounds facts from the artifacts let the pipeline
+          // run its proved fast path; a compile without artifacts serves the
+          // fully checked interpreter.
+          pipe(compiled.program, compiled.layout,
+               compiled.artifacts ? std::span<const verify::ProofFact>(compiled.artifacts->proofs)
+                                  : std::span<const verify::ProofFact>{}) {}
 };
 
 namespace {
@@ -133,6 +140,21 @@ SwapEvent ElasticRuntime::attempt_swap(const std::string& extra, const std::stri
         return reject(std::string("recompile failed: ") + e.what());
     }
     event.new_utility = candidate->compiled.utility;
+
+    // Static gate: the migration planner sees every invariant-breaking
+    // geometry from the layouts alone, so an unsafe swap is rejected before
+    // the migrator touches the candidate (and before any traffic).
+    const StaticMigrationPlan plan =
+        plan_migration(current_->compiled.program, current_->compiled.layout,
+                       candidate->compiled.program, candidate->compiled.layout);
+    if (options_.require_invariants && !plan.invariants_preserved()) {
+        event.migration_exact = false;
+        event.invariants_preserved = false;
+        return reject(
+            "static migration plan: swap would break a module invariant (rejected before "
+            "migration):\n" +
+            plan.to_string());
+    }
 
     MigrationReport migration;
     try {

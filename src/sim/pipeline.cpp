@@ -1,6 +1,7 @@
 #include "sim/pipeline.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "support/error.hpp"
 #include "support/hash.hpp"
@@ -50,7 +51,16 @@ Pipeline::Operand Pipeline::resolve(const ir::Value& v, std::int64_t param) cons
     throw CompileError("simulator: register reference used as a data operand");
 }
 
-Pipeline::Pipeline(const ir::Program& prog, const compiler::Layout& layout) : prog_(prog) {
+Pipeline::Pipeline(const ir::Program& prog, const compiler::Layout& layout,
+                   std::span<const verify::ProofFact> proofs)
+    : prog_(prog) {
+    // Proved facts by (call, iter, op index); only proved facts matter here.
+    std::map<std::tuple<std::int32_t, std::int64_t, std::int32_t>, const verify::ProofFact*>
+        proved;
+    for (const verify::ProofFact& fact : proofs) {
+        if (fact.proved) proved[{fact.call, fact.iter, fact.op}] = &fact;
+    }
+
     // Materialize register rows with their placed sizes.
     for (const compiler::StagePlan& plan : layout.stages) {
         for (const compiler::PlacedRegister& pr : plan.registers) {
@@ -107,7 +117,8 @@ Pipeline::Pipeline(const ir::Program& prog, const compiler::Layout& layout) : pr
                 cg.rhs = resolve(guard.rhs, inst.iter);
                 ci.guards.push_back(cg);
             }
-            for (const ir::PrimOp& op : action.ops) {
+            for (std::size_t oi = 0; oi < action.ops.size(); ++oi) {
+                const ir::PrimOp& op = action.ops[oi];
                 CompiledOp co;
                 co.kind = op.kind;
                 if (op.dst) {
@@ -125,6 +136,22 @@ Pipeline::Pipeline(const ir::Program& prog, const compiler::Layout& layout) : pr
                                            " absent from the layout");
                     }
                     co.reg = it->second;
+
+                    // Bring the per-packet index wrap down: to a mask for
+                    // power-of-two rows, and away entirely when a proved
+                    // fact for this exact access and row geometry exists.
+                    const std::int64_t elems =
+                        reg_rows_[static_cast<std::size_t>(co.reg)].elems;
+                    if (elems > 0 && (elems & (elems - 1)) == 0) {
+                        co.wrap = IndexWrap::Mask;
+                        co.wrap_mask = static_cast<std::uint64_t>(elems) - 1;
+                    }
+                    const auto pit = proved.find({inst.call, inst.iter, static_cast<int>(oi)});
+                    if (pit != proved.end() && pit->second->reg == row.first &&
+                        pit->second->instance == row.second && pit->second->elems == elems) {
+                        co.wrap = IndexWrap::None;
+                        ++elided_;
+                    }
                 }
                 if (op.reg_index) co.reg_index = resolve(*op.reg_index, param);
                 for (const ir::Value& src : op.srcs) co.srcs.push_back(resolve(src, param));
@@ -144,6 +171,9 @@ Pipeline::Pipeline(const ir::Program& prog, const compiler::Layout& layout) : pr
                         co.modulus = static_cast<std::uint64_t>(std::get<std::int64_t>(*op.modulus));
                     }
                     if (co.modulus == 0) throw CompileError("simulator: zero hash range");
+                    if ((co.modulus & (co.modulus - 1)) == 0) {
+                        co.modulus_mask = co.modulus - 1;
+                    }
                 }
                 ci.ops.push_back(std::move(co));
             }
@@ -204,7 +234,8 @@ void Pipeline::process(const Packet& pkt) {
                         std::vector<std::uint64_t> words;
                         words.reserve(op.srcs.size());
                         for (std::size_t i = 0; i < op.srcs.size(); ++i) words.push_back(src(i));
-                        result = support::hash_words(words, op.seed) % op.modulus;
+                        const std::uint64_t h = support::hash_words(words, op.seed);
+                        result = op.modulus_mask != 0 ? (h & op.modulus_mask) : (h % op.modulus);
                         break;
                     }
                     case PrimKind::RegAdd:
@@ -213,8 +244,14 @@ void Pipeline::process(const Packet& pkt) {
                     case PrimKind::RegRead:
                     case PrimKind::RegWrite: {
                         RegState& reg = reg_rows_[static_cast<std::size_t>(op.reg)];
-                        const std::uint64_t idx =
-                            read(op.reg_index, local, pkt) % static_cast<std::uint64_t>(reg.elems);
+                        std::uint64_t idx = read(op.reg_index, local, pkt);
+                        switch (op.wrap) {
+                            case IndexWrap::Mask: idx &= op.wrap_mask; break;
+                            case IndexWrap::Modulo:
+                                idx %= static_cast<std::uint64_t>(reg.elems);
+                                break;
+                            case IndexWrap::None: break;  // proved in bounds
+                        }
                         std::uint64_t& cell = reg.data[idx];
                         switch (op.kind) {
                             case PrimKind::RegAdd:

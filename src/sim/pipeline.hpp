@@ -23,6 +23,7 @@
 
 #include "compiler/layout.hpp"
 #include "ir/program.hpp"
+#include "verify/dataflow.hpp"
 
 namespace p4all::sim {
 
@@ -50,7 +51,13 @@ public:
     /// Builds the executable form. Throws support::CompileError if the
     /// layout references rows or chunks inconsistently (which audit_layout
     /// would also flag).
-    Pipeline(const ir::Program& prog, const compiler::Layout& layout);
+    ///
+    /// `proofs` are register-bounds ProofFacts derived against this exact
+    /// layout (CompileArtifacts::proofs): a register access whose proved
+    /// fact matches the placed row runs without its per-packet bounds wrap.
+    /// Pass an empty span for the fully checked interpreter.
+    Pipeline(const ir::Program& prog, const compiler::Layout& layout,
+             std::span<const verify::ProofFact> proofs = {});
 
     /// Processes one packet; returns the final PHV metadata (access values
     /// with meta()). Throws Error(Errc::SimPacketShape) if the packet's
@@ -87,6 +94,10 @@ public:
     [[nodiscard]] std::uint64_t packets_processed() const noexcept { return packets_; }
     [[nodiscard]] const ir::Program& program() const noexcept { return prog_; }
 
+    /// Static register accesses running without a per-packet bounds wrap
+    /// because a matching proved ProofFact covered them.
+    [[nodiscard]] std::size_t bounds_checks_elided() const noexcept { return elided_; }
+
 private:
     struct RegState {
         std::int64_t elems = 0;
@@ -101,6 +112,13 @@ private:
         std::int64_t literal = 0;
     };
 
+    /// How a register index is brought in range per packet: `Modulo` is the
+    /// checked interpreter; `Mask` is the power-of-two strength reduction
+    /// (applied to checked and proved engines alike, keeping the proved-vs-
+    /// checked comparison honest); `None` means a proved ProofFact showed
+    /// the wrap can never fire.
+    enum class IndexWrap { Modulo, Mask, None };
+
     struct CompiledOp {
         ir::PrimKind kind = ir::PrimKind::Set;
         int dst_slot = -1;
@@ -108,8 +126,11 @@ private:
         Operand reg_index;
         std::vector<Operand> srcs;
         std::uint64_t seed = 0;
-        std::uint64_t modulus = 0;  // resolved hash range
+        std::uint64_t modulus = 0;       // resolved hash range
+        std::uint64_t modulus_mask = 0;  // modulus - 1 when it is a power of two
         std::uint64_t dst_mask = ~0ULL;
+        IndexWrap wrap = IndexWrap::Modulo;
+        std::uint64_t wrap_mask = 0;     // elems - 1 when wrap == Mask
     };
 
     struct CompiledGuard {
@@ -143,6 +164,7 @@ private:
     std::vector<RegState> reg_rows_;
     std::vector<std::uint64_t> phv_;          // last packet's metadata
     std::uint64_t packets_ = 0;
+    std::size_t elided_ = 0;
 };
 
 }  // namespace p4all::sim

@@ -1,0 +1,566 @@
+// Monotone dataflow solver, the bundled abstract domains, register-bounds
+// proof emission, and the cross-flow-interference (tenant taint) lint pass.
+#include "verify/dataflow.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <variant>
+
+namespace p4all::verify {
+
+// ---------------------------------------------------------------------------
+// Views.
+// ---------------------------------------------------------------------------
+
+DataplaneView min_sizing_view(const ir::Program& prog) {
+    DataplaneView view;
+    const BoundEnv env(prog);
+
+    std::vector<std::int64_t> bounds(prog.symbols.size(), 1);
+    for (std::size_t s = 0; s < prog.symbols.size(); ++s) {
+        if (prog.symbols[s].role != ir::SymbolRole::IterationCount) continue;
+        const Interval dom = env.symbol(static_cast<ir::SymbolId>(s));
+        bounds[s] = std::max<std::int64_t>(1, dom.empty() ? 1 : dom.lo);
+    }
+
+    // One stage per call site, program order: the weakest schedule any legal
+    // layout can realize (depgraph precedence only ever merges stages).
+    view.stage_count = static_cast<int>(prog.flow.size());
+    for (const analysis::Instance& inst : analysis::instantiate_all(prog, bounds)) {
+        view.instances.push_back({inst, inst.call});
+    }
+
+    for (const ViewInstance& vi : view.instances) {
+        const ir::CallSite& site = prog.flow[static_cast<std::size_t>(vi.inst.call)];
+        const ir::Action& action = prog.action(site.action);
+        const std::int64_t param = site.iter_arg.at(vi.inst.iter);
+        const auto note_row = [&](const ir::RegRef& rr) {
+            const Interval elems = env.extent(prog.reg(rr.reg).elems);
+            if (!elems.empty() && elems.is_point()) {
+                view.reg_elems[{rr.reg, rr.instance.at(param)}] = elems.lo;
+            }
+        };
+        for (const ir::PrimOp& op : action.ops) {
+            if (op.reg) note_row(*op.reg);
+            if (op.modulus) {
+                if (const auto* rr = std::get_if<ir::RegRef>(&*op.modulus)) note_row(*rr);
+            }
+        }
+    }
+    return view;
+}
+
+// ---------------------------------------------------------------------------
+// Domain operations.
+// ---------------------------------------------------------------------------
+
+Interval IntervalDomain::min_(const Value& a, const Value& b) const {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval IntervalDomain::max_(const Value& a, const Value& b) const {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval IntervalDomain::hash_result(std::int64_t modulus, const std::vector<Value>&,
+                                     int width) const {
+    if (modulus > 0) return Interval::of(0, modulus - 1);
+    return Interval::of_width(width);
+}
+
+KnownBitsValue KnownBitsDomain::bounded_by(std::uint64_t bound) {
+    const int bits = bound == 0 ? 0 : 64 - __builtin_clzll(bound);
+    if (bits >= 64) return {0, 0};
+    return {~((1ULL << bits) - 1), 0};
+}
+
+KnownBitsValue KnownBitsDomain::add(const Value& a, const Value& b, int width) const {
+    if (a.known == ~0ULL && b.known == ~0ULL) {
+        return mask({~0ULL, a.value + b.value}, width);
+    }
+    // Exact trailing run: bits are known while both operands and the carry
+    // into the position are known.
+    std::uint64_t known = 0;
+    std::uint64_t value = 0;
+    int carry = 0;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t bit = 1ULL << i;
+        if (!(a.known & bit) || !(b.known & bit)) break;
+        const int sum = static_cast<int>((a.value >> i) & 1) +
+                        static_cast<int>((b.value >> i) & 1) + carry;
+        if (sum & 1) value |= bit;
+        known |= bit;
+        carry = sum >> 1;
+    }
+    // Magnitude: the true sum never exceeds max(a) + max(b), so everything
+    // above that bound's top bit is known zero.
+    const unsigned __int128 max_sum =
+        static_cast<unsigned __int128>(a.max_value()) + b.max_value();
+    if (max_sum <= ~0ULL) {
+        known |= bounded_by(static_cast<std::uint64_t>(max_sum)).known;
+    }
+    return mask({known, value}, width);
+}
+
+KnownBitsValue KnownBitsDomain::sub(const Value& a, const Value& b, int width) const {
+    if (a.known == ~0ULL && b.known == ~0ULL) {
+        return mask({~0ULL, a.value - b.value}, width);
+    }
+    return top(width);  // borrow can flip every bit
+}
+
+KnownBitsValue KnownBitsDomain::min_(const Value& a, const Value& b) const {
+    if (a.known == ~0ULL && b.known == ~0ULL) {
+        return {~0ULL, std::min(a.value, b.value)};
+    }
+    return bounded_by(std::min(a.max_value(), b.max_value()));
+}
+
+KnownBitsValue KnownBitsDomain::max_(const Value& a, const Value& b) const {
+    if (a.known == ~0ULL && b.known == ~0ULL) {
+        return {~0ULL, std::max(a.value, b.value)};
+    }
+    return bounded_by(std::max(a.max_value(), b.max_value()));
+}
+
+KnownBitsValue KnownBitsDomain::hash_result(std::int64_t modulus, const std::vector<Value>&,
+                                            int width) const {
+    if (modulus > 0) return bounded_by(static_cast<std::uint64_t>(modulus) - 1);
+    return top(width);
+}
+
+KnownBitsValue KnownBitsDomain::shl(const Value& a, int amount, int width) {
+    if (amount < 0) return {~width_mask(width), 0};
+    if (amount >= width) return {~0ULL, 0};
+    const std::uint64_t m = width_mask(width);
+    const std::uint64_t known = (a.known << amount) | ((1ULL << amount) - 1);
+    return {known | ~m, (a.value << amount) & m};
+}
+
+KnownBitsValue KnownBitsDomain::shr(const Value& a, int amount, int width) {
+    if (amount < 0) return {~width_mask(width), 0};
+    if (amount >= width) return {~0ULL, 0};
+    const std::uint64_t m = width_mask(width);
+    // Bits shifted in from beyond the width are zero, hence known.
+    const std::uint64_t known = ((a.known & m) >> amount) | ~(m >> amount);
+    return {known, (a.value & m) >> amount};
+}
+
+void TaintDomain::reg_store(ir::RegisterId reg, ir::PrimKind, Value stored, Value index) {
+    Value& acc = accum_[reg];
+    const Value added = stored | index;
+    if ((acc | added) != acc) {
+        acc |= added;
+        dirty_ = true;
+    }
+}
+
+bool TaintDomain::end_round() {
+    const bool d = dirty_;
+    dirty_ = false;
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// The solver.
+// ---------------------------------------------------------------------------
+
+template <typename Domain>
+StageDataflow<Domain>::StageDataflow(const ir::Program& prog, const DataplaneView& view,
+                                     Domain domain)
+    : prog_(&prog), view_(&view), domain_(std::move(domain)) {
+    int stages = view.stage_count;
+    for (const ViewInstance& vi : view.instances) stages = std::max(stages, vi.stage + 1);
+    by_stage_.assign(static_cast<std::size_t>(std::max(stages, 0)), {});
+    for (std::size_t i = 0; i < view.instances.size(); ++i) {
+        by_stage_[static_cast<std::size_t>(view.instances[i].stage)].push_back(
+            static_cast<int>(i));
+    }
+    collect_slots();
+}
+
+template <typename Domain>
+void StageDataflow<Domain>::collect_slots() {
+    std::set<std::pair<ir::MetaFieldId, std::int64_t>> seen;
+    const auto note = [&](const ir::MetaRef& m, std::int64_t param) {
+        seen.insert({m.field, m.index.at(param)});
+    };
+    const auto note_value = [&](const ir::Value& v, std::int64_t param) {
+        if (const auto* m = std::get_if<ir::MetaRef>(&v)) note(*m, param);
+    };
+    for (const ViewInstance& vi : view_->instances) {
+        const ir::CallSite& site = prog_->flow[static_cast<std::size_t>(vi.inst.call)];
+        const ir::Action& action = prog_->action(site.action);
+        const std::int64_t param = site.iter_arg.at(vi.inst.iter);
+        for (const ir::Cond& guard : site.guards) {
+            note_value(guard.lhs, param);
+            note_value(guard.rhs, param);
+        }
+        for (const ir::PrimOp& op : action.ops) {
+            if (op.dst) note(*op.dst, param);
+            if (op.reg_index) note_value(*op.reg_index, param);
+            for (const ir::Value& src : op.srcs) note_value(src, param);
+        }
+    }
+    for (const auto& key : seen) {
+        slot_index_[key] = static_cast<int>(slots_.size());
+        slots_.push_back({key.first, key.second, prog_->meta(key.first).width});
+    }
+}
+
+template <typename Domain>
+int StageDataflow<Domain>::slot_of(ir::MetaFieldId field, std::int64_t index) const {
+    const auto it = slot_index_.find({field, index});
+    return it == slot_index_.end() ? -1 : it->second;
+}
+
+template <typename Domain>
+typename Domain::Value StageDataflow<Domain>::eval(const ir::Value& v,
+                                                   const std::vector<Value>& env,
+                                                   std::int64_t param) const {
+    if (const auto* m = std::get_if<ir::MetaRef>(&v)) {
+        const int slot = slot_of(m->field, m->index.at(param));
+        if (slot >= 0) return env[static_cast<std::size_t>(slot)];
+        return domain_.top(prog_->meta(m->field).width);
+    }
+    if (const auto* p = std::get_if<ir::PacketRef>(&v)) {
+        return domain_.top(prog_->packet(p->field).width);
+    }
+    if (const auto* a = std::get_if<ir::Affine>(&v)) {
+        return domain_.literal(a->at(param));
+    }
+    if (const auto* r = std::get_if<ir::RegRef>(&v)) {
+        // A register used in operand position reads like an unconstrained
+        // cell of that register (carrying its provenance for taint).
+        return domain_.reg_result(r->reg, ir::PrimKind::RegRead, domain_.zero(), domain_.zero(),
+                                  prog_->reg(r->reg).width);
+    }
+    return domain_.top(64);
+}
+
+template <typename Domain>
+std::vector<typename Domain::Value> StageDataflow<Domain>::transfer(
+    int stage, const std::vector<Value>& in, std::vector<RegAccess>* record) {
+    std::vector<Value> out = in;
+    std::vector<char> written(slots_.size(), 0);
+    for (const int idx : by_stage_[static_cast<std::size_t>(stage)]) {
+        const ViewInstance& vi = view_->instances[static_cast<std::size_t>(idx)];
+        const ir::CallSite& site = prog_->flow[static_cast<std::size_t>(vi.inst.call)];
+        const ir::Action& action = prog_->action(site.action);
+        const std::int64_t param = site.iter_arg.at(vi.inst.iter);
+        const bool guarded = !site.guards.empty();
+        // Ops inside one action run sequentially over a local overlay.
+        std::vector<Value> local = in;
+        for (std::size_t oi = 0; oi < action.ops.size(); ++oi) {
+            const ir::PrimOp& op = action.ops[oi];
+            std::optional<Value> result;
+            switch (op.kind) {
+                case ir::PrimKind::Hash: {
+                    std::int64_t mod = 0;
+                    if (op.modulus) {
+                        if (const auto* lit = std::get_if<std::int64_t>(&*op.modulus)) {
+                            mod = *lit;
+                        } else if (const auto* rr = std::get_if<ir::RegRef>(&*op.modulus)) {
+                            mod = view_->elems(rr->reg, rr->instance.at(param)).value_or(0);
+                        }
+                    }
+                    std::vector<Value> srcs;
+                    srcs.reserve(op.srcs.size());
+                    for (const ir::Value& src : op.srcs) srcs.push_back(eval(src, local, param));
+                    const int w = op.dst ? prog_->meta(op.dst->field).width : 64;
+                    result = domain_.hash_result(mod, srcs, w);
+                    break;
+                }
+                case ir::PrimKind::Set:
+                    result = eval(op.srcs.at(0), local, param);
+                    break;
+                case ir::PrimKind::Add:
+                    result = domain_.add(eval(op.srcs.at(0), local, param),
+                                         eval(op.srcs.at(1), local, param), 64);
+                    break;
+                case ir::PrimKind::Sub:
+                    result = domain_.sub(eval(op.srcs.at(0), local, param),
+                                         eval(op.srcs.at(1), local, param), 64);
+                    break;
+                case ir::PrimKind::Min:
+                case ir::PrimKind::Max: {
+                    const Value cur =
+                        op.dst ? eval(ir::Value(*op.dst), local, param) : domain_.top(64);
+                    const Value src = eval(op.srcs.at(0), local, param);
+                    result = op.kind == ir::PrimKind::Min ? domain_.min_(cur, src)
+                                                          : domain_.max_(cur, src);
+                    break;
+                }
+                case ir::PrimKind::RegAdd:
+                case ir::PrimKind::RegRead:
+                case ir::PrimKind::RegWrite:
+                case ir::PrimKind::RegMin:
+                case ir::PrimKind::RegMax: {
+                    const ir::RegRef& rr = *op.reg;
+                    const std::int64_t row = rr.instance.at(param);
+                    const Value idxv = op.reg_index ? eval(*op.reg_index, local, param)
+                                                    : domain_.literal(0);
+                    const Value operand =
+                        op.srcs.empty() ? domain_.zero() : eval(op.srcs.at(0), local, param);
+                    if (record) {
+                        record->push_back(
+                            {vi, static_cast<int>(oi), &op, row, idxv, operand});
+                    }
+                    if (op.kind != ir::PrimKind::RegRead) {
+                        domain_.reg_store(rr.reg, op.kind, operand, idxv);
+                    }
+                    if (op.dst) {
+                        result = domain_.reg_result(rr.reg, op.kind, operand, idxv,
+                                                    prog_->reg(rr.reg).width);
+                    }
+                    break;
+                }
+            }
+            if (op.dst && result) {
+                const int slot = slot_of(op.dst->field, op.dst->index.at(param));
+                if (slot < 0) continue;
+                const auto s = static_cast<std::size_t>(slot);
+                const Value v = domain_.mask(*result, prog_->meta(op.dst->field).width);
+                local[s] = v;
+                // Unguarded single writers update strongly; a guarded write
+                // may not execute, so it keeps the incoming value in play.
+                out[s] = (guarded || written[s]) ? domain_.join(out[s], v) : v;
+                written[s] = 1;
+            }
+        }
+    }
+    return out;
+}
+
+template <typename Domain>
+void StageDataflow<Domain>::solve(const SolveOptions& opts) {
+    const int n = static_cast<int>(by_stage_.size());
+    in_.assign(static_cast<std::size_t>(std::max(n, 1)),
+               std::vector<Value>(slots_.size(), domain_.zero()));
+    if (n == 0) {
+        accesses_.clear();
+        return;
+    }
+
+    int round = 0;
+    do {
+        for (auto& state : in_) state.assign(slots_.size(), domain_.zero());
+        std::vector<char> reached(static_cast<std::size_t>(n), 0);
+        std::vector<char> queued(static_cast<std::size_t>(n), 0);
+        std::vector<int> visits(static_cast<std::size_t>(n), 0);
+        std::vector<int> worklist{0};
+        reached[0] = 1;
+        queued[0] = 1;
+        support::Xoshiro256 rng(opts.order_seed ^ 0x9E3779B97F4A7C15ULL);
+
+        while (!worklist.empty()) {
+            const std::size_t pick =
+                opts.order_seed == 0 ? worklist.size() - 1
+                                     : static_cast<std::size_t>(rng.next_below(worklist.size()));
+            const int s = worklist[pick];
+            worklist.erase(worklist.begin() + static_cast<std::ptrdiff_t>(pick));
+            queued[static_cast<std::size_t>(s)] = 0;
+
+            std::vector<Value> out = transfer(s, in_[static_cast<std::size_t>(s)], nullptr);
+            const int t = s + 1;
+            if (t >= n) continue;
+            const auto ti = static_cast<std::size_t>(t);
+            bool changed = false;
+            if (!reached[ti]) {
+                in_[ti] = std::move(out);
+                reached[ti] = 1;
+                changed = true;
+            } else {
+                std::vector<Value> joined = in_[ti];
+                for (std::size_t i = 0; i < joined.size(); ++i) {
+                    joined[i] = domain_.join(joined[i], out[i]);
+                }
+                if (joined != in_[ti]) {
+                    ++visits[ti];
+                    if (visits[ti] > opts.widen_delay) {
+                        for (std::size_t i = 0; i < joined.size(); ++i) {
+                            joined[i] = domain_.widen(in_[ti][i], joined[i]);
+                        }
+                    }
+                    in_[ti] = std::move(joined);
+                    changed = true;
+                }
+            }
+            if (changed && !queued[ti]) {
+                worklist.push_back(t);
+                queued[ti] = 1;
+            }
+        }
+    } while (domain_.end_round() && ++round < opts.max_rounds);
+
+    // Deterministic stage-major access collection over the final states.
+    accesses_.clear();
+    for (int s = 0; s < n; ++s) {
+        (void)transfer(s, in_[static_cast<std::size_t>(s)], &accesses_);
+    }
+}
+
+template class StageDataflow<IntervalDomain>;
+template class StageDataflow<KnownBitsDomain>;
+template class StageDataflow<TaintDomain>;
+
+// ---------------------------------------------------------------------------
+// Register-bounds proofs.
+// ---------------------------------------------------------------------------
+
+BoundsProofs prove_register_bounds(const ir::Program& prog, const DataplaneView& view) {
+    BoundsProofs out;
+    StageDataflow<IntervalDomain> intervals(prog, view);
+    intervals.solve();
+    StageDataflow<KnownBitsDomain> bits(prog, view);
+    bits.solve();
+
+    const auto& ia = intervals.reg_accesses();
+    const auto& ka = bits.reg_accesses();
+    out.facts.reserve(ia.size());
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+        const auto& access = ia[i];
+        ProofFact fact;
+        fact.call = access.where.inst.call;
+        fact.iter = access.where.inst.iter;
+        fact.op = access.op_index;
+        fact.reg = access.op->reg->reg;
+        fact.instance = access.row;
+        fact.loc = access.op->loc;
+        const std::optional<std::int64_t> elems = view.elems(fact.reg, fact.instance);
+        fact.elems = elems.value_or(0);
+
+        const Interval iv = access.index;
+        fact.index_lo = iv.empty() ? 0 : iv.lo;
+        fact.index_hi = iv.empty() ? -1 : iv.hi;
+        if (elems && *elems > 0) {
+            if (!iv.empty() && iv.lo >= 0 && iv.hi < *elems) {
+                fact.proved = true;
+                fact.domain = "interval";
+            } else if (i < ka.size()) {
+                const KnownBitsValue kb = ka[i].index;
+                if (kb.max_value() < static_cast<std::uint64_t>(*elems)) {
+                    fact.proved = true;
+                    fact.domain = "known-bits";
+                    fact.index_lo = static_cast<std::int64_t>(kb.min_value());
+                    fact.index_hi = static_cast<std::int64_t>(kb.max_value());
+                }
+            }
+        }
+        out.facts.push_back(std::move(fact));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// cross-flow-interference (tenant taint)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Union-find over register ids for grouping registers into "flows".
+class RegGroups {
+public:
+    explicit RegGroups(std::size_t n) : parent_(n) {
+        for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+    }
+    int find(int x) {
+        while (parent_[static_cast<std::size_t>(x)] != x) {
+            parent_[static_cast<std::size_t>(x)] =
+                parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+            x = parent_[static_cast<std::size_t>(x)];
+        }
+        return x;
+    }
+    void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+private:
+    std::vector<int> parent_;
+};
+
+class CrossFlowInterferencePass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override {
+        return "cross-flow-interference";
+    }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "state written to one flow's registers is never derived from another flow's "
+               "register state (tenant-isolation taint analysis)";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        if (prog.registers.empty() || prog.flow.empty()) return;
+
+        // Flow groups: registers co-accessed by one action (including hash
+        // moduli) belong to the same module/flow.
+        RegGroups groups(prog.registers.size());
+        for (const ir::CallSite& site : prog.flow) {
+            int first = -1;
+            const auto touch = [&](ir::RegisterId reg) {
+                if (first < 0) {
+                    first = reg;
+                } else {
+                    groups.unite(first, reg);
+                }
+            };
+            for (const ir::PrimOp& op : prog.action(site.action).ops) {
+                if (op.reg) touch(op.reg->reg);
+                if (op.modulus) {
+                    if (const auto* rr = std::get_if<ir::RegRef>(&*op.modulus)) touch(rr->reg);
+                }
+                for (const ir::Value& src : op.srcs) {
+                    if (const auto* rr = std::get_if<ir::RegRef>(&src)) touch(rr->reg);
+                }
+            }
+        }
+        const auto group_mask = [&](int root) {
+            TaintDomain::Value m = 0;
+            for (std::size_t r = 0; r < prog.registers.size(); ++r) {
+                if (groups.find(static_cast<int>(r)) == root) {
+                    m |= TaintDomain::label(static_cast<ir::RegisterId>(r));
+                }
+            }
+            return m;
+        };
+
+        const DataplaneView view = min_sizing_view(prog);
+        StageDataflow<TaintDomain> taint(prog, view);
+        taint.solve();
+
+        std::set<std::tuple<int, int, ir::RegisterId>> reported;  // (call, op, source)
+        for (const auto& access : taint.reg_accesses()) {
+            if (access.op->kind == ir::PrimKind::RegRead) continue;  // writes only
+            const auto reg = access.op->reg->reg;
+            const TaintDomain::Value own = group_mask(groups.find(reg));
+            const TaintDomain::Value foreign = (access.index | access.operand) & ~own;
+            if (foreign == 0) continue;
+            for (std::size_t src = 0; src < prog.registers.size() && src < 64; ++src) {
+                if (!(foreign & (1ULL << src))) continue;
+                const auto key = std::make_tuple(access.where.inst.call, access.op_index,
+                                                 static_cast<ir::RegisterId>(src));
+                if (!reported.insert(key).second) continue;
+                ctx.warning(
+                    access.op->loc,
+                    "write to register '" + prog.reg(reg).name + "' is derived from state of '" +
+                        prog.reg(static_cast<ir::RegisterId>(src)).name +
+                        "', which belongs to a different flow — cross-flow interference",
+                    "keep per-flow state isolated, or co-locate the registers in one module if "
+                    "the coupling is intended");
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<LintPass> make_cross_flow_interference_pass() {
+    return std::make_unique<CrossFlowInterferencePass>();
+}
+
+}  // namespace p4all::verify

@@ -1,0 +1,342 @@
+// Monotone dataflow framework over the elaborated IR.
+//
+// The lint passes of PR 1 reason about single expressions with BoundEnv;
+// this framework generalizes that into a reusable abstract-interpretation
+// engine: a worklist fixpoint solver over a per-stage view of the pipeline
+// with pluggable lattices. Three domains ship with it —
+//
+//   IntervalDomain   value ranges (verify::Interval, widened)
+//   KnownBitsDomain  per-bit knowledge {known mask, known values}
+//   TaintDomain      per-register provenance bitmasks for flow isolation
+//
+// — and three clients: register-bounds proofs (prove_register_bounds, whose
+// ProofFacts let sim::Pipeline elide per-packet bounds checks), the
+// cross-flow-interference lint pass, and the audit-side proof re-derivation.
+//
+// Soundness model (mirrors sim::Pipeline::process exactly):
+//   * Per packet, every meta slot starts at zero and every packet field is
+//     arbitrary within its width.
+//   * Ops inside one action run sequentially over a local overlay; actions
+//     within a stage all read the stage-entry state (the pre/post barrier).
+//   * An unguarded write is a strong update of the stage-out state; a
+//     guarded write may not happen, so it joins with the incoming value.
+//   * Register cells hold arbitrary width-bounded values unless a domain
+//     tracks them (TaintDomain accumulates per-register summaries and the
+//     solver re-runs until those summaries stabilize).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/instances.hpp"
+#include "ir/program.hpp"
+#include "support/rng.hpp"
+#include "verify/interval.hpp"
+#include "verify/lint.hpp"
+
+namespace p4all::verify {
+
+// ---------------------------------------------------------------------------
+// Dataplane view: the control-flow skeleton the solver walks.
+// ---------------------------------------------------------------------------
+
+/// One placed action instance and the stage it executes in.
+struct ViewInstance {
+    analysis::Instance inst;
+    int stage = 0;
+};
+
+/// A neutral description of one concrete dataplane: which action instances
+/// run in which stage, and how many elements each placed register row has.
+/// The compiler builds one from a Layout (compiler::dataplane_view); the
+/// layout-free lint passes build a conservative one with min_sizing_view.
+struct DataplaneView {
+    std::vector<ViewInstance> instances;  // stage-major, deterministic order
+    int stage_count = 0;
+    /// (register, row instance) -> element count, when statically known.
+    std::map<std::pair<ir::RegisterId, std::int64_t>, std::int64_t> reg_elems;
+
+    [[nodiscard]] std::optional<std::int64_t> elems(ir::RegisterId reg,
+                                                    std::int64_t instance) const {
+        const auto it = reg_elems.find({reg, instance});
+        if (it == reg_elems.end()) return std::nullopt;
+        return it->second;
+    }
+};
+
+/// Layout-free view for lint-time analysis: each call site becomes its own
+/// stage in program order (the depgraph forces writers to precede readers
+/// across stages in any legal layout, so this is the weakest legal
+/// schedule), instantiated at the assume lower bounds. Register element
+/// counts are recorded only when the extent is pinned to a single value.
+[[nodiscard]] DataplaneView min_sizing_view(const ir::Program& prog);
+
+// ---------------------------------------------------------------------------
+// Abstract domains.
+// ---------------------------------------------------------------------------
+
+/// Interval domain: verify::Interval per slot with unsigned wrap semantics.
+struct IntervalDomain {
+    using Value = Interval;
+
+    [[nodiscard]] Value zero() const { return Interval::point(0); }
+    [[nodiscard]] Value top(int width) const { return Interval::of_width(width); }
+    [[nodiscard]] Value literal(std::int64_t v) const { return Interval::point(v); }
+    [[nodiscard]] Value join(const Value& a, const Value& b) const { return a.join(b); }
+    [[nodiscard]] Value widen(const Value& prev, const Value& next) const {
+        return prev.widen(next);
+    }
+    [[nodiscard]] Value mask(const Value& v, int width) const {
+        return wrap_to_width(v, width);
+    }
+    [[nodiscard]] Value add(const Value& a, const Value& b, int width) const {
+        return wrap_to_width(a + b, width);
+    }
+    [[nodiscard]] Value sub(const Value& a, const Value& b, int width) const {
+        return wrap_to_width(a - b, width);
+    }
+    [[nodiscard]] Value min_(const Value& a, const Value& b) const;
+    [[nodiscard]] Value max_(const Value& a, const Value& b) const;
+    [[nodiscard]] Value hash_result(std::int64_t modulus, const std::vector<Value>& srcs,
+                                    int width) const;
+    [[nodiscard]] Value reg_result(ir::RegisterId, ir::PrimKind, const Value&, const Value&,
+                                   int reg_width) const {
+        return Interval::of_width(reg_width);
+    }
+    void reg_store(ir::RegisterId, ir::PrimKind, const Value&, const Value&) {}
+    bool end_round() { return false; }
+};
+
+/// Known-bits domain: bit i of `known` set means bit i of the value equals
+/// bit i of `value` on every execution. top(w) still knows the bits above
+/// the width are zero — that is what proves masked/hashed indices in-bounds
+/// for power-of-two arrays where intervals lose precision.
+struct KnownBitsValue {
+    std::uint64_t known = 0;   // which bits are known
+    std::uint64_t value = 0;   // their values (value & ~known == 0)
+
+    [[nodiscard]] std::uint64_t max_value() const { return value | ~known; }
+    [[nodiscard]] std::uint64_t min_value() const { return value; }
+    friend bool operator==(const KnownBitsValue&, const KnownBitsValue&) = default;
+};
+
+struct KnownBitsDomain {
+    using Value = KnownBitsValue;
+
+    [[nodiscard]] static std::uint64_t width_mask(int width) {
+        if (width <= 0) return 0;
+        if (width >= 64) return ~0ULL;
+        return (1ULL << width) - 1;
+    }
+
+    [[nodiscard]] Value zero() const { return {~0ULL, 0}; }
+    [[nodiscard]] Value top(int width) const { return {~width_mask(width), 0}; }
+    [[nodiscard]] Value literal(std::int64_t v) const {
+        return {~0ULL, static_cast<std::uint64_t>(v)};
+    }
+    [[nodiscard]] Value join(const Value& a, const Value& b) const {
+        const std::uint64_t agree = a.known & b.known & ~(a.value ^ b.value);
+        return {agree, a.value & agree};
+    }
+    [[nodiscard]] Value widen(const Value& prev, const Value& next) const {
+        return join(prev, next);  // finite lattice: join terminates on its own
+    }
+    [[nodiscard]] Value mask(const Value& v, int width) const {
+        const std::uint64_t m = width_mask(width);
+        return {v.known | ~m, v.value & m};
+    }
+    [[nodiscard]] Value add(const Value& a, const Value& b, int width) const;
+    [[nodiscard]] Value sub(const Value& a, const Value& b, int width) const;
+    [[nodiscard]] Value min_(const Value& a, const Value& b) const;
+    [[nodiscard]] Value max_(const Value& a, const Value& b) const;
+    [[nodiscard]] Value hash_result(std::int64_t modulus, const std::vector<Value>& srcs,
+                                    int width) const;
+    [[nodiscard]] Value reg_result(ir::RegisterId, ir::PrimKind, const Value&, const Value&,
+                                   int reg_width) const {
+        return top(reg_width);
+    }
+    void reg_store(ir::RegisterId, ir::PrimKind, const Value&, const Value&) {}
+    bool end_round() { return false; }
+
+    /// Logical shifts by a known amount (shift >= width yields zero); used
+    /// by clients reasoning about sub-field packing, exposed for tests.
+    [[nodiscard]] static Value shl(const Value& a, int amount, int width);
+    [[nodiscard]] static Value shr(const Value& a, int amount, int width);
+
+    /// All bits at or above the position of `bound`'s highest set bit are
+    /// known zero (values are < 2^ceil(log2(bound+1))).
+    [[nodiscard]] static Value bounded_by(std::uint64_t bound);
+};
+
+/// Taint domain: a value's abstract state is the set of registers whose
+/// *stored state* may have influenced it (bit r set = register id r,
+/// saturating at bit 63). Packet fields and constants carry no taint; a
+/// register read yields that register's label plus everything ever stored
+/// into it (accumulated across packets — persistent state carries taint
+/// forward). The solver re-runs rounds until the accumulators stabilize.
+struct TaintDomain {
+    using Value = std::uint64_t;
+
+    [[nodiscard]] static Value label(ir::RegisterId reg) {
+        return 1ULL << (reg < 63 ? reg : 63);
+    }
+
+    [[nodiscard]] Value zero() const { return 0; }
+    [[nodiscard]] Value top(int) const { return 0; }  // packet data: no register provenance
+    [[nodiscard]] Value literal(std::int64_t) const { return 0; }
+    [[nodiscard]] Value join(Value a, Value b) const { return a | b; }
+    [[nodiscard]] Value widen(Value a, Value b) const { return a | b; }
+    [[nodiscard]] Value mask(Value v, int) const { return v; }
+    [[nodiscard]] Value add(Value a, Value b, int) const { return a | b; }
+    [[nodiscard]] Value sub(Value a, Value b, int) const { return a | b; }
+    [[nodiscard]] Value min_(Value a, Value b) const { return a | b; }
+    [[nodiscard]] Value max_(Value a, Value b) const { return a | b; }
+    [[nodiscard]] Value hash_result(std::int64_t, const std::vector<Value>& srcs, int) const {
+        Value v = 0;
+        for (const Value s : srcs) v |= s;
+        return v;
+    }
+    [[nodiscard]] Value reg_result(ir::RegisterId reg, ir::PrimKind, Value operand, Value index,
+                                   int) const {
+        return label(reg) | stored_in(reg) | operand | index;
+    }
+    void reg_store(ir::RegisterId reg, ir::PrimKind, Value stored, Value index);
+    bool end_round();
+
+    [[nodiscard]] Value stored_in(ir::RegisterId reg) const {
+        const auto it = accum_.find(reg);
+        return it == accum_.end() ? 0 : it->second;
+    }
+
+private:
+    std::map<ir::RegisterId, Value> accum_;  // taint ever stored per register
+    bool dirty_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// The solver.
+// ---------------------------------------------------------------------------
+
+struct SolveOptions {
+    /// 0 processes the worklist LIFO; any other seed permutes the pick
+    /// order. The fixpoint must not depend on this (property-tested).
+    std::uint64_t order_seed = 0;
+    /// Joins tolerated per stage before widening kicks in.
+    int widen_delay = 4;
+    /// Cap on outer rounds for domains with persistent-state accumulators.
+    int max_rounds = 72;
+};
+
+/// One static register access discovered by the solver, with the abstract
+/// index value that reached it.
+template <typename ValueT>
+struct RegAccessT {
+    ViewInstance where;
+    int op_index = 0;                 // position in the action's seq
+    const ir::PrimOp* op = nullptr;   // the accessing op (kind in Reg*/Hash)
+    std::int64_t row = 0;             // concrete register row instance
+    ValueT index;                     // abstract index at the access
+    ValueT operand;                   // abstract stored/operand value
+};
+
+/// Worklist fixpoint solver over the chain CFG of stages. `Domain` supplies
+/// the lattice (see the bundled domains for the duck-typed interface).
+template <typename Domain>
+class StageDataflow {
+public:
+    using Value = typename Domain::Value;
+    using RegAccess = RegAccessT<Value>;
+
+    StageDataflow(const ir::Program& prog, const DataplaneView& view, Domain domain = {});
+
+    void solve(const SolveOptions& opts = {});
+
+    [[nodiscard]] int slot_count() const { return static_cast<int>(slots_.size()); }
+    [[nodiscard]] int slot_of(ir::MetaFieldId field, std::int64_t index) const;
+    /// The joined abstract state at entry to `stage` after solve().
+    [[nodiscard]] const std::vector<Value>& stage_in(int stage) const {
+        return in_[static_cast<std::size_t>(stage)];
+    }
+    /// Every static register access, in deterministic stage-major order.
+    [[nodiscard]] const std::vector<RegAccess>& reg_accesses() const { return accesses_; }
+
+    [[nodiscard]] Domain& domain() { return domain_; }
+
+private:
+    struct Slot {
+        ir::MetaFieldId field = ir::kNoId;
+        std::int64_t index = 0;
+        int width = 64;
+    };
+
+    void collect_slots();
+    std::vector<Value> transfer(int stage, const std::vector<Value>& in,
+                                std::vector<RegAccess>* record);
+    Value eval(const ir::Value& v, const std::vector<Value>& env, std::int64_t param) const;
+
+    const ir::Program* prog_;
+    const DataplaneView* view_;
+    Domain domain_;
+    std::vector<Slot> slots_;
+    std::map<std::pair<ir::MetaFieldId, std::int64_t>, int> slot_index_;
+    std::vector<std::vector<int>> by_stage_;  // stage -> indices into view_->instances
+    std::vector<std::vector<Value>> in_;
+    std::vector<RegAccess> accesses_;
+};
+
+extern template class StageDataflow<IntervalDomain>;
+extern template class StageDataflow<KnownBitsDomain>;
+extern template class StageDataflow<TaintDomain>;
+
+// ---------------------------------------------------------------------------
+// Register-bounds proofs.
+// ---------------------------------------------------------------------------
+
+/// A machine-checkable claim about one static register access: for the
+/// concrete layout behind `view`, the access at op `op` of instance
+/// (call, iter) touches row `instance` of `reg`, which has `elems`
+/// elements, with an index provably inside [index_lo, index_hi]. `proved`
+/// means index_hi < elems and index_lo >= 0, so the per-packet bounds check
+/// is redundant. Facts ride in CompileArtifacts, are re-derived by the
+/// audit, and are consumed by sim::Pipeline to elide the check.
+struct ProofFact {
+    std::int32_t call = 0;       // index into Program::flow
+    std::int64_t iter = 0;       // loop iteration of the instance
+    std::int32_t op = 0;         // op index within the action body
+    ir::RegisterId reg = ir::kNoId;
+    std::int64_t instance = 0;   // register row instance
+    std::int64_t elems = 0;      // element count the proof is against
+    std::int64_t index_lo = 0;
+    std::int64_t index_hi = 0;
+    bool proved = false;
+    std::string domain;          // "interval" | "known-bits" | "" when unproved
+    support::SourceLoc loc;
+
+    friend bool operator==(const ProofFact&, const ProofFact&) = default;
+};
+
+struct BoundsProofs {
+    std::vector<ProofFact> facts;
+
+    [[nodiscard]] std::size_t proved_count() const {
+        std::size_t n = 0;
+        for (const ProofFact& f : facts) n += f.proved ? 1 : 0;
+        return n;
+    }
+};
+
+/// Runs the interval and known-bits domains over `view` and emits one
+/// ProofFact per static register access, in deterministic order.
+[[nodiscard]] BoundsProofs prove_register_bounds(const ir::Program& prog,
+                                                 const DataplaneView& view);
+
+/// Factory for the cross-flow-interference (tenant taint) lint pass;
+/// registered with the builtin passes.
+[[nodiscard]] std::unique_ptr<LintPass> make_cross_flow_interference_pass();
+
+}  // namespace p4all::verify

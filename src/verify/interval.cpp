@@ -21,6 +21,12 @@ Interval Interval::join(const Interval& o) const noexcept {
     return {std::min(lo, o.lo), std::max(hi, o.hi)};
 }
 
+Interval Interval::widen(const Interval& next) const noexcept {
+    if (empty()) return next;
+    if (next.empty()) return *this;
+    return {next.lo < lo ? kNegInf : lo, next.hi > hi ? kPosInf : hi};
+}
+
 std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
     std::int64_t out = 0;
     if (__builtin_add_overflow(a, b, &out)) {
@@ -98,6 +104,37 @@ Truth compare(ir::CmpOp op, const Interval& l, const Interval& r) noexcept {
         }
     }
     return Truth::Unknown;
+}
+
+Interval wrap_to_width(const Interval& a, int bits) noexcept {
+    if (a.empty()) return a;
+    const Interval range = Interval::of_width(bits);
+    if (a.lo >= 0 && a.hi <= range.hi) return a;
+    return range;
+}
+
+Interval shift_left(const Interval& a, int amount, int width) noexcept {
+    const Interval range = Interval::of_width(width);
+    if (a.empty()) return a;
+    if (amount < 0) return range;
+    if (amount >= width) return Interval::point(0);
+    const Interval in = wrap_to_width(a, width);
+    const std::int64_t scale = amount >= 62 ? Interval::kPosInf : (std::int64_t{1} << amount);
+    const Interval scaled = in * Interval::point(scale);
+    // If any shifted bit would leave the width, high bits are lost: wrap.
+    if (scaled.hi > range.hi) return range;
+    return scaled;
+}
+
+Interval shift_right(const Interval& a, int amount, int width) noexcept {
+    if (a.empty()) return a;
+    if (amount < 0) return Interval::of_width(width);
+    if (amount >= width) return Interval::point(0);
+    const Interval in = wrap_to_width(a, width);
+    const auto div = [amount](std::int64_t v) {
+        return v == Interval::kPosInf ? Interval::kPosInf : (v >> amount);
+    };
+    return {div(in.lo), div(in.hi)};
 }
 
 BoundEnv::BoundEnv(const ir::Program& prog) : prog_(&prog) {

@@ -44,6 +44,11 @@ struct Interval {
     [[nodiscard]] Interval meet(const Interval& o) const noexcept;
     [[nodiscard]] Interval join(const Interval& o) const noexcept;
 
+    /// Standard interval widening: a bound that moved since the last
+    /// iterate jumps straight to its infinity, so ascending chains in a
+    /// fixpoint computation stabilize after finitely many steps.
+    [[nodiscard]] Interval widen(const Interval& next) const noexcept;
+
     friend bool operator==(const Interval&, const Interval&) = default;
 };
 
@@ -62,6 +67,18 @@ enum class Truth { False, True, Unknown };
 /// Decides `l op r` when it holds (or fails) for every pair of values drawn
 /// from the operand intervals; Unknown otherwise (or when either is empty).
 [[nodiscard]] Truth compare(ir::CmpOp op, const Interval& l, const Interval& r) noexcept;
+
+/// Models truncation of a value into an unsigned `bits`-wide cell (the
+/// simulator's `& mask` semantics): an interval already inside [0, 2^bits)
+/// passes through unchanged; anything that could wrap collapses to the full
+/// width range.
+[[nodiscard]] Interval wrap_to_width(const Interval& a, int bits) noexcept;
+
+/// Logical shifts on unsigned `width`-bit values. Shift amounts >= width
+/// yield the point interval {0} (every bit is shifted out) rather than the
+/// C++ undefined behaviour; negative amounts are treated as unknown.
+[[nodiscard]] Interval shift_left(const Interval& a, int amount, int width) noexcept;
+[[nodiscard]] Interval shift_right(const Interval& a, int amount, int width) noexcept;
 
 /// Assume-derived bounds for one program. Symbolic values default to
 /// [1, +inf) — sizes are at least 1 — and are refined by every

@@ -16,6 +16,7 @@
 #include "analysis/depgraph.hpp"
 #include "analysis/instances.hpp"
 #include "analysis/unroll.hpp"
+#include "verify/dataflow.hpp"
 #include "verify/lint.hpp"
 
 namespace p4all::verify {
@@ -736,6 +737,7 @@ void register_builtin_passes(PassRegistry& registry) {
     registry.add(std::make_unique<GuardUnreachablePass>());
     registry.add(std::make_unique<WidthOverflowPass>());
     registry.add(std::make_unique<ScheduleInfeasiblePass>());
+    registry.add(make_cross_flow_interference_pass());
 }
 
 }  // namespace p4all::verify

@@ -6,7 +6,9 @@
 // error, never anything else.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <iterator>
 #include <string>
 #include <vector>
@@ -135,6 +137,64 @@ TEST_P(PacketFuzz, MalformedInputsAlwaysRaiseStructuredErrors) {
 
     // The pipeline still works after every rejected input.
     ASSERT_NO_THROW(pipe.process(Packet(fields, 1)));
+}
+
+TEST_P(PacketFuzz, ProvedVsCheckedPipelinesAreBitIdentical) {
+    // Differential gate for the register-bounds proofs (ISSUE tentpole): a
+    // pipeline running with proved bounds checks elided must be bit-identical
+    // to the fully checked interpreter — on meta outputs and on all register
+    // state — for every fuzzed packet. CI sets P4ALL_FUZZ_PACKETS to push
+    // this past 10^6 packets across the four apps.
+    const FuzzApp app = fuzz_apps()[static_cast<std::size_t>(GetParam())];
+    const compiler::CompileResult r = compile_fuzz(app);
+    ASSERT_NE(r.artifacts, nullptr);
+    ASSERT_FALSE(r.artifacts->proofs.empty()) << app.name;
+
+    Pipeline checked(r.program, r.layout);
+    Pipeline proved(r.program, r.layout, r.artifacts->proofs);
+    ASSERT_EQ(checked.bounds_checks_elided(), 0u);
+    ASSERT_GT(proved.bounds_checks_elided(), 0u)
+        << app.name << ": no access ran on the proved fast path";
+
+    int packets = 4000;
+    if (const char* env = std::getenv("P4ALL_FUZZ_PACKETS")) {
+        packets = std::max(1, std::atoi(env));
+    }
+
+    const auto expect_state_identical = [&](int at) {
+        for (const RegRowInfo& row : checked.reg_rows()) {
+            const auto a = checked.reg_row_data(row.reg, row.instance);
+            const auto b = proved.reg_row_data(row.reg, row.instance);
+            ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+                << app.name << ": register " << r.program.reg(row.reg).name << "_"
+                << row.instance << " diverged by packet " << at;
+        }
+    };
+
+    const std::size_t fields = r.program.packet_fields.size();
+    support::Xoshiro256 rng(0xD1FF + static_cast<std::uint64_t>(GetParam()));
+    Packet pkt(fields, 0);
+    for (int i = 0; i < packets; ++i) {
+        for (std::size_t f = 0; f < fields; ++f) {
+            switch (rng.next_below(4)) {
+                case 0:
+                    pkt[f] = kAdversarialKeys[rng.next_below(std::size(kAdversarialKeys))];
+                    break;
+                case 1: pkt[f] = rng(); break;
+                case 2: pkt[f] = rng.next_below(64); break;
+                default: break;
+            }
+        }
+        checked.process(pkt);
+        proved.process(pkt);
+        for (const ir::MetaField& field : r.program.meta_fields) {
+            if (field.is_array()) continue;  // arrays compared via registers below
+            ASSERT_EQ(checked.meta(field.name), proved.meta(field.name))
+                << app.name << ": meta." << field.name << " diverged at packet " << i;
+        }
+        if (i % 256 == 0) expect_state_identical(i);
+    }
+    expect_state_identical(packets);
 }
 
 INSTANTIATE_TEST_SUITE_P(BenchmarkApps, PacketFuzz, ::testing::Range(0, 4),

@@ -1,0 +1,318 @@
+// The monotone dataflow framework (ISSUE tentpole): domain algebra, the
+// min-sizing view, bounds proofs, the cross-flow taint pass, and the
+// property that the fixpoint is independent of worklist ordering.
+#include "verify/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/elaborate.hpp"
+#include "verify/lint.hpp"
+
+namespace p4all::verify {
+namespace {
+
+/// Elastic CMS pinned to a concrete geometry (rows 2, cols 256).
+const char* kPinnedCms = R"(
+symbolic int rows;
+symbolic int cols;
+assume rows == 2;
+assume cols == 256;
+packet { bit<32> flow_id; }
+metadata {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min_val;
+}
+register<bit<32>>[cols][rows] cms;
+action init_min() { set(meta.min_val, 4294967295); }
+action incr()[int i] {
+    hash(meta.index[i], i, pkt.flow_id, cms[i]);
+    reg_add(cms[i], meta.index[i], 1, meta.count[i]);
+}
+action take_min()[int i] { min(meta.min_val, meta.count[i]); }
+control hash_inc { apply { init_min(); for (i < rows) { incr()[i]; } } }
+control find_min { apply { for (i < rows) { take_min()[i]; } } }
+control ingress { apply { hash_inc.apply(); find_min.apply(); } }
+optimize rows * cols;
+)";
+
+/// Two tenants: tenant B stores a value derived from tenant A's register.
+const char* kLeakyTenants = R"(
+packet { bit<32> a_key; bit<32> b_key; }
+metadata { bit<32> a_idx; bit<32> b_idx; bit<32> a_val; }
+register<bit<32>>[64] ra;
+register<bit<32>>[64] rb;
+action tenant_a() {
+    hash(meta.a_idx, 1, pkt.a_key, ra);
+    reg_read(ra, meta.a_idx, meta.a_val);
+}
+action tenant_b() {
+    hash(meta.b_idx, 2, pkt.b_key, rb);
+    reg_write(rb, meta.b_idx, meta.a_val);
+}
+control ingress { apply { tenant_a(); tenant_b(); } }
+)";
+
+/// The same two tenants with the leak removed.
+const char* kIsolatedTenants = R"(
+packet { bit<32> a_key; bit<32> b_key; }
+metadata { bit<32> a_idx; bit<32> b_idx; bit<32> a_val; }
+register<bit<32>>[64] ra;
+register<bit<32>>[64] rb;
+action tenant_a() {
+    hash(meta.a_idx, 1, pkt.a_key, ra);
+    reg_read(ra, meta.a_idx, meta.a_val);
+}
+action tenant_b() {
+    hash(meta.b_idx, 2, pkt.b_key, rb);
+    reg_write(rb, meta.b_idx, pkt.b_key);
+}
+control ingress { apply { tenant_a(); tenant_b(); } }
+)";
+
+// ---------------------------------------------------------------------------
+// Domain algebra.
+// ---------------------------------------------------------------------------
+
+TEST(KnownBits, TopKnowsOnlyTheWidth) {
+    const KnownBitsDomain d;
+    const KnownBitsValue t = d.top(8);
+    EXPECT_EQ(t.max_value(), 255u);
+    EXPECT_EQ(t.min_value(), 0u);
+    EXPECT_EQ(d.zero().max_value(), 0u);
+    EXPECT_EQ(d.literal(42).value, 42u);
+    EXPECT_EQ(d.literal(42).known, ~0ULL);
+}
+
+TEST(KnownBits, JoinKeepsOnlyAgreeingBits) {
+    const KnownBitsDomain d;
+    const KnownBitsValue a = d.literal(0b1100);
+    const KnownBitsValue b = d.literal(0b1010);
+    const KnownBitsValue j = d.join(a, b);
+    // Bits 1 and 2 disagree; bit 3 agrees set, everything else agrees zero.
+    EXPECT_EQ(j.known & 0b1111, 0b1001u);
+    EXPECT_EQ(j.value, 0b1000u);
+}
+
+TEST(KnownBits, AddTracksTrailingKnownRunAndMagnitude) {
+    const KnownBitsDomain d;
+    // 4 + 8 with both fully known is exact.
+    EXPECT_EQ(d.add(d.literal(4), d.literal(8), 64).value, 12u);
+    EXPECT_EQ(d.add(d.literal(4), d.literal(8), 64).known, ~0ULL);
+    // top(4) + top(4) can carry into bit 4 but never reach bit 5.
+    const KnownBitsValue s = d.add(d.top(4), d.top(4), 64);
+    EXPECT_LE(s.max_value(), 31u);
+    // Truncation back to the declared width applies the mask.
+    EXPECT_EQ(d.add(d.top(4), d.top(4), 4).max_value(), 15u);
+}
+
+TEST(KnownBits, ShiftsByTheFullWidthYieldZero) {
+    const KnownBitsValue t{~KnownBitsDomain::width_mask(8), 0};  // top(8)
+    EXPECT_EQ(KnownBitsDomain::shl(t, 8, 8).max_value(), 0u);
+    EXPECT_EQ(KnownBitsDomain::shr(t, 8, 8).max_value(), 0u);
+    // In-range shifts preserve the known run.
+    EXPECT_EQ(KnownBitsDomain::shr(t, 4, 8).max_value(), 15u);
+    EXPECT_EQ(KnownBitsDomain::shl(t, 2, 12).max_value(), 0x3FCu);
+}
+
+TEST(KnownBits, BoundedByClearsHighBits) {
+    EXPECT_EQ(KnownBitsDomain::bounded_by(255).max_value(), 255u);
+    EXPECT_EQ(KnownBitsDomain::bounded_by(256).max_value(), 511u);
+    EXPECT_EQ(KnownBitsDomain::bounded_by(0).max_value(), 0u);
+}
+
+TEST(Taint, LabelsSaturateAtBitSixtyThree) {
+    EXPECT_EQ(TaintDomain::label(0), 1ULL);
+    EXPECT_EQ(TaintDomain::label(5), 1ULL << 5);
+    EXPECT_EQ(TaintDomain::label(63), 1ULL << 63);
+    EXPECT_EQ(TaintDomain::label(200), 1ULL << 63);
+}
+
+TEST(Taint, StoresAccumulateAcrossRoundsUntilStable) {
+    TaintDomain d;
+    EXPECT_EQ(d.stored_in(3), 0u);
+    d.reg_store(3, ir::PrimKind::RegWrite, TaintDomain::label(1), 0);
+    EXPECT_TRUE(d.end_round());  // something new landed: run another round
+    EXPECT_EQ(d.stored_in(3), TaintDomain::label(1));
+    d.reg_store(3, ir::PrimKind::RegWrite, TaintDomain::label(1), 0);
+    EXPECT_FALSE(d.end_round());  // nothing new: fixpoint
+}
+
+// ---------------------------------------------------------------------------
+// The min-sizing view.
+// ---------------------------------------------------------------------------
+
+TEST(MinSizingView, OneStagePerCallSiteAtPinnedBounds) {
+    const ir::Program prog = ir::elaborate_source(kPinnedCms);
+    const DataplaneView view = min_sizing_view(prog);
+    ASSERT_EQ(view.stage_count, static_cast<int>(prog.flow.size()));
+    // rows is pinned to 2, so each elastic call contributes two instances.
+    int elastic_instances = 0;
+    for (const ViewInstance& vi : view.instances) {
+        EXPECT_EQ(vi.stage, vi.inst.call);
+        if (prog.flow[static_cast<std::size_t>(vi.inst.call)].elastic()) ++elastic_instances;
+    }
+    EXPECT_EQ(elastic_instances, 4);  // incr x2 + take_min x2
+    // cols is pinned, so the register rows carry a concrete element count.
+    const ir::RegisterId cms = prog.find_register("cms");
+    ASSERT_NE(cms, ir::kNoId);
+    EXPECT_EQ(view.elems(cms, 0).value_or(0), 256);
+    EXPECT_EQ(view.elems(cms, 1).value_or(0), 256);
+}
+
+TEST(MinSizingView, UnpinnedExtentsStayUnknown) {
+    const ir::Program prog = ir::elaborate_source(R"(
+symbolic int cols;
+assume cols >= 64;
+packet { bit<32> key; }
+metadata { bit<32> idx; }
+register<bit<32>>[cols] r;
+action touch() { hash(meta.idx, 1, pkt.key, r); reg_add(r, meta.idx, 1); }
+control ingress { apply { touch(); } }
+)");
+    const DataplaneView view = min_sizing_view(prog);
+    const ir::RegisterId r = prog.find_register("r");
+    ASSERT_NE(r, ir::kNoId);
+    EXPECT_FALSE(view.elems(r, 0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Solver + proofs.
+// ---------------------------------------------------------------------------
+
+TEST(StageDataflow, IntervalSolverBoundsHashedIndices) {
+    const ir::Program prog = ir::elaborate_source(kPinnedCms);
+    const DataplaneView view = min_sizing_view(prog);
+    StageDataflow<IntervalDomain> df(prog, view);
+    df.solve();
+
+    int reg_adds = 0;
+    for (const auto& access : df.reg_accesses()) {
+        if (access.op->kind != ir::PrimKind::RegAdd) continue;
+        ++reg_adds;
+        EXPECT_GE(access.index.lo, 0);
+        EXPECT_LT(access.index.hi, 256);
+    }
+    EXPECT_EQ(reg_adds, 2);
+}
+
+TEST(StageDataflow, FixpointIsIndependentOfWorklistOrder) {
+    const ir::Program prog = ir::elaborate_source(kPinnedCms);
+    const DataplaneView view = min_sizing_view(prog);
+
+    const auto solve_intervals = [&](std::uint64_t seed) {
+        StageDataflow<IntervalDomain> df(prog, view);
+        SolveOptions opts;
+        opts.order_seed = seed;
+        df.solve(opts);
+        std::vector<std::vector<Interval>> state;
+        for (int s = 0; s < view.stage_count; ++s) state.push_back(df.stage_in(s));
+        std::vector<std::pair<Interval, Interval>> accesses;
+        for (const auto& a : df.reg_accesses()) accesses.push_back({a.index, a.operand});
+        return std::make_pair(state, accesses);
+    };
+    const auto solve_taint = [&](std::uint64_t seed) {
+        StageDataflow<TaintDomain> df(prog, view);
+        SolveOptions opts;
+        opts.order_seed = seed;
+        df.solve(opts);
+        std::vector<std::vector<std::uint64_t>> state;
+        for (int s = 0; s < view.stage_count; ++s) state.push_back(df.stage_in(s));
+        return state;
+    };
+
+    const auto baseline = solve_intervals(0);
+    const auto taint_baseline = solve_taint(0);
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 123ULL, 0xDEADBEEFULL}) {
+        EXPECT_EQ(solve_intervals(seed), baseline) << "seed " << seed;
+        EXPECT_EQ(solve_taint(seed), taint_baseline) << "seed " << seed;
+    }
+}
+
+TEST(BoundsProofs, HashedAccessesAreProvedDirectIndexIsNot) {
+    const ir::Program prog = ir::elaborate_source(kPinnedCms);
+    const BoundsProofs proofs = prove_register_bounds(prog, min_sizing_view(prog));
+    ASSERT_EQ(proofs.facts.size(), 2u);  // one reg_add per unrolled row
+    for (const ProofFact& f : proofs.facts) {
+        EXPECT_TRUE(f.proved) << f.index_lo << ".." << f.index_hi;
+        EXPECT_EQ(f.domain, "interval");
+        EXPECT_EQ(f.elems, 256);
+        EXPECT_GE(f.index_lo, 0);
+        EXPECT_LT(f.index_hi, f.elems);
+        EXPECT_TRUE(f.loc.known());
+    }
+
+    // A raw 32-bit packet field indexing 100 elements cannot be proved.
+    const ir::Program wild = ir::elaborate_source(R"(
+packet { bit<32> x; }
+metadata { bit<32> out; }
+register<bit<32>>[100] r;
+action touch() { reg_read(r, pkt.x, meta.out); }
+control ingress { apply { touch(); } }
+)");
+    const BoundsProofs unproved = prove_register_bounds(wild, min_sizing_view(wild));
+    ASSERT_EQ(unproved.facts.size(), 1u);
+    EXPECT_FALSE(unproved.facts[0].proved);
+    EXPECT_TRUE(unproved.facts[0].domain.empty());
+    EXPECT_TRUE(unproved.facts[0].loc.known());
+    EXPECT_GE(unproved.facts[0].index_hi, 100);
+}
+
+TEST(BoundsProofs, NarrowFieldIndexIsProvedByWidthAlone) {
+    // An 8-bit field indexes 256 elements: no hash, no guard — the width
+    // of the value itself is the proof.
+    const ir::Program prog = ir::elaborate_source(R"(
+packet { bit<8> small; }
+metadata { bit<32> out; }
+register<bit<32>>[256] r;
+action touch() { reg_read(r, pkt.small, meta.out); }
+control ingress { apply { touch(); } }
+)");
+    const BoundsProofs proofs = prove_register_bounds(prog, min_sizing_view(prog));
+    ASSERT_EQ(proofs.facts.size(), 1u);
+    EXPECT_TRUE(proofs.facts[0].proved);
+    EXPECT_EQ(proofs.facts[0].index_hi, 255);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-flow interference.
+// ---------------------------------------------------------------------------
+
+LintResult lint_cross_flow(const char* src) {
+    register_builtin_passes(PassRegistry::global());
+    LintOptions options;
+    options.checks = {"cross-flow-interference"};
+    return run_lint(ir::elaborate_source(src), options);
+}
+
+TEST(CrossFlow, LeakAcrossTenantRegistersIsAWarning) {
+    const LintResult result = lint_cross_flow(kLeakyTenants);
+    ASSERT_FALSE(result.findings.empty());
+    bool mentioned = false;
+    for (const Finding& f : result.findings) {
+        EXPECT_EQ(f.check, "cross-flow-interference");
+        EXPECT_EQ(f.severity, support::Severity::Warning);
+        if (f.message.find("ra") != std::string::npos &&
+            f.message.find("rb") != std::string::npos) {
+            mentioned = true;
+        }
+    }
+    EXPECT_TRUE(mentioned) << result.render();
+}
+
+TEST(CrossFlow, IsolatedTenantsAreClean) {
+    const LintResult result = lint_cross_flow(kIsolatedTenants);
+    EXPECT_TRUE(result.findings.empty()) << result.render();
+}
+
+TEST(CrossFlow, SingleModuleSelfUseIsClean) {
+    const LintResult result = lint_cross_flow(kPinnedCms);
+    EXPECT_TRUE(result.findings.empty()) << result.render();
+}
+
+}  // namespace
+}  // namespace p4all::verify

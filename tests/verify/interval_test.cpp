@@ -91,6 +91,67 @@ TEST(Interval, CompareEqOnPoints) {
     EXPECT_EQ(compare(ir::CmpOp::Eq, Interval::point(3), Interval::point(4)), Truth::False);
 }
 
+TEST(Interval, WidenPinsMovingEndpointsAtInfinity) {
+    const Interval stable = Interval::of(0, 10);
+    EXPECT_EQ(stable.widen(Interval::of(0, 10)), stable);
+    EXPECT_EQ(stable.widen(Interval::of(2, 9)), stable);  // shrinking: keep
+    EXPECT_EQ(stable.widen(Interval::of(0, 11)), Interval::of(0, kPosInf));
+    EXPECT_EQ(stable.widen(Interval::of(-1, 10)), Interval::of(kNegInf, 10));
+    EXPECT_EQ(stable.widen(Interval::of(-1, 11)), Interval::of(kNegInf, kPosInf));
+}
+
+TEST(Interval, WrapToWidthPassesInRangeValuesThrough) {
+    EXPECT_EQ(wrap_to_width(Interval::of(3, 200), 8), Interval::of(3, 200));
+    EXPECT_EQ(wrap_to_width(Interval::point(255), 8), Interval::point(255));
+}
+
+TEST(Interval, WrapToWidthCollapsesAtTheBoundary) {
+    // One past the top of the range: the truncation wraps to 0, and the
+    // sound answer is the full field range, not [1, 256].
+    EXPECT_EQ(wrap_to_width(Interval::of(1, 256), 8), Interval::of_width(8));
+    // Negative values wrap to the high end of the range.
+    EXPECT_EQ(wrap_to_width(Interval::of(-1, 5), 8), Interval::of_width(8));
+    EXPECT_EQ(wrap_to_width(Interval::of(kNegInf, kPosInf), 16), Interval::of_width(16));
+    // 63+ bit widths pin at +inf rather than overflowing the domain.
+    EXPECT_EQ(wrap_to_width(Interval::of(0, kPosInf), 64), Interval::of(0, kPosInf));
+}
+
+TEST(Interval, ShiftByTheFullWidthIsZero) {
+    const Interval byte = Interval::of_width(8);
+    EXPECT_EQ(shift_left(byte, 8, 8), Interval::point(0));
+    EXPECT_EQ(shift_right(byte, 8, 8), Interval::point(0));
+    EXPECT_EQ(shift_right(byte, 100, 8), Interval::point(0));
+}
+
+TEST(Interval, InRangeShiftsTrackEndpoints) {
+    EXPECT_EQ(shift_left(Interval::of(1, 3), 2, 16), Interval::of(4, 12));
+    EXPECT_EQ(shift_right(Interval::of(16, 64), 4, 16), Interval::of(1, 4));
+    // Left shift overflowing the width collapses to the field range.
+    EXPECT_EQ(shift_left(Interval::of(0, 255), 9, 16), Interval::of_width(16));
+    // Negative shift amounts are malformed input: stay sound, answer top.
+    EXPECT_EQ(shift_left(Interval::point(1), -1, 16), Interval::of_width(16));
+    EXPECT_EQ(shift_right(Interval::point(1), -1, 16), Interval::of_width(16));
+}
+
+TEST(Interval, SignedUnsignedMixingAroundTheWrap) {
+    // A subtraction that can go negative, truncated to its field width:
+    // the negative half wraps to large unsigned values, so the result
+    // must cover the whole range.
+    const Interval diff = Interval::of(0, 10) - Interval::of(0, 20);  // [-20, 10]
+    EXPECT_EQ(diff, Interval::of(-20, 10));
+    EXPECT_EQ(wrap_to_width(diff, 8), Interval::of_width(8));
+    // Signed comparison still sees the pre-wrap ordering.
+    EXPECT_EQ(compare(ir::CmpOp::Lt, diff, Interval::point(11)), Truth::True);
+    EXPECT_EQ(compare(ir::CmpOp::Ge, diff, Interval::point(0)), Truth::Unknown);
+}
+
+TEST(Interval, SaturatedEndpointsSurviveWidening) {
+    const Interval ray = Interval::of(0, kPosInf);
+    EXPECT_EQ(ray.widen(Interval::of(0, kPosInf)), ray);
+    EXPECT_EQ(Interval::of(kNegInf, 0).widen(Interval::of(kNegInf, 1)),
+              Interval::of(kNegInf, kPosInf));
+}
+
 TEST(BoundEnv, SymbolsRefinedByAssumes) {
     const ir::Program prog = ir::elaborate_source(R"(
 symbolic int rows;

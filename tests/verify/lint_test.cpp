@@ -39,6 +39,7 @@ TEST(LintRegistry, ListsTheBuiltinPassesInOrder) {
     const std::vector<std::string> expected = {
         "index-bounds",      "hash-range",     "seed-overlap",   "dead-code",
         "constant-guard",    "guard-unreachable", "width-overflow", "schedule-infeasible",
+        "cross-flow-interference",
     };
     const auto passes = PassRegistry::global().passes();
     ASSERT_EQ(passes.size(), expected.size());
