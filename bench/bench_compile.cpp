@@ -4,6 +4,12 @@
 // resilient portfolio now tries first. Same schema and --check gate as
 // bench_ilp, so CI can hold compile latency to the committed baseline.
 //
+// The `<app>-opt` instances hold the IR optimizer to its overhead budget:
+// dense = the same sparse/best-first compile at -O0, sparse = at -O1
+// (dataflow analyses + rewrite passes + certificate emission included), so
+// the baseline gate fails if optimizing ever costs more than the usual
+// 25% + 5 ms over a non-optimizing compile.
+//
 // Usage:
 //   bench_compile [--out BENCH_compile.json] [--reps N] [--check baseline.json]
 #include <cstring>
@@ -49,6 +55,33 @@ bench::InstanceReport bench_app(const std::string& name, const std::string& sour
     return rep;
 }
 
+/// Optimizer-overhead A/B: the identical sparse/best-first compile with the
+/// IR optimizer off (dense column) and on (sparse column).
+bench::InstanceReport bench_app_opt_level(const std::string& name, const std::string& source,
+                                          int reps, double budget_seconds) {
+    bench::InstanceReport rep;
+    rep.name = name + "-opt";
+    rep.kind = "compile-opt";
+
+    const auto run = [&](int opt_level) {
+        compiler::CompileOptions o;
+        o.backend = compiler::Backend::Ilp;
+        o.solve.lp_backend = ilp::LpBackend::Sparse;
+        o.solve.search = ilp::SearchMode::BestFirst;
+        o.solve.threads = 0;
+        o.solve.time_limit_seconds = budget_seconds;
+        o.opt_level = opt_level;
+        const compiler::CompileResult r = compiler::compile_source(source, o, name);
+        rep.vars = r.stats.ilp_vars;
+        rep.rows = r.stats.ilp_constraints;
+        return std::pair<std::int64_t, std::int64_t>(r.stats.lp_iterations, r.stats.bb_nodes);
+    };
+
+    rep.dense = bench::measure(reps, [&] { return run(0); });
+    rep.sparse = bench::measure(reps, [&] { return run(1); });
+    return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +109,12 @@ int main(int argc, char** argv) {
     instances.push_back(bench_app("precision", apps::precision_source(), reps, 5.0));
     instances.push_back(bench_app("conquest-s4", apps::conquest_source(4), reps, 5.0));
     instances.push_back(bench_app("conquest-s6", apps::conquest_source(6), reps, 2.0));
+    instances.push_back(bench_app_opt_level("netcache", apps::netcache_source(), reps, 1.0));
+    instances.push_back(
+        bench_app_opt_level("sketchlearn-l4", apps::sketchlearn_source(4), reps, 5.0));
+    instances.push_back(bench_app_opt_level("precision", apps::precision_source(), reps, 5.0));
+    instances.push_back(
+        bench_app_opt_level("conquest-s4", apps::conquest_source(4), reps, 5.0));
 
     bench::print_table(instances);
 

@@ -6,6 +6,14 @@
 // bench_ilp / bench_compile: dense = checked, sparse = proved, so the
 // committed baseline holds the proved path's throughput.
 //
+// The `<app>-opt` instances are the IR-optimizer series: dense = the
+// program as written (-O0), sparse = the rewritten program (-O1) run over
+// the transplanted layout, sizes pinned so the constant-propagation
+// rewrites fire. Besides the baseline --check, an in-binary gate fails the
+// run if any optimized pipeline is slower than its unoptimized twin beyond
+// the usual 25% + 5 ms allowance — the optimizer only removes work, so a
+// slowdown is a bug.
+//
 // Usage:
 //   bench_sim [--out BENCH_sim.json] [--reps N] [--packets N]
 //             [--check baseline.json]
@@ -22,7 +30,9 @@
 #include "apps/applications.hpp"
 #include "apps/netcache.hpp"
 #include "bench_json.hpp"
+#include "compiler/artifacts.hpp"
 #include "compiler/compiler.hpp"
+#include "opt/optimizer.hpp"
 #include "sim/pipeline.hpp"
 #include "support/rng.hpp"
 
@@ -113,6 +123,74 @@ bench::InstanceReport bench_app(const std::string& name, const std::string& sour
     return rep;
 }
 
+std::string pin(const std::string& sym, std::int64_t value) {
+    return "assume " + sym + " == " + std::to_string(value) + ";\n";
+}
+
+/// The optimizer A/B: the -O0 program against its -O1 rewrite, both over
+/// the same physical layout. `pins` fixes every symbolic size (the
+/// rewrites need a singleton sizing view to fire).
+bench::InstanceReport bench_app_optimized(const std::string& name, const std::string& source,
+                                          const std::string& pins, int reps, int packets) {
+    compiler::CompileOptions options;
+    options.backend = compiler::Backend::Greedy;
+    options.opt_level = 0;
+    const compiler::CompileResult r = compiler::compile_source(source + pins, options, name);
+    const opt::OptResult o = opt::optimize(r.program);
+    const compiler::Layout mapped = compiler::remap_layout_for_optimized(r.layout, o);
+
+    bench::InstanceReport rep;
+    rep.name = name + "-opt";
+    rep.kind = "sim-opt";
+    rep.vars = static_cast<std::int64_t>(o.rewrites.size());
+    rep.rows = packets;
+
+    const std::vector<sim::Packet> trace = make_trace(r.program, packets);
+    const auto run = [&](const sim::Pipeline& fresh) {
+        using Clock = std::chrono::steady_clock;
+        sim::Pipeline pipe = fresh;
+        const auto t0 = Clock::now();
+        for (const sim::Packet& pkt : trace) {
+            sim::Packet p = pkt;
+            pipe.process(p);
+        }
+        return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    };
+    const auto stats_of = [&](std::vector<double> ms, std::int64_t ops) {
+        std::sort(ms.begin(), ms.end());
+        bench::RunStats s;
+        s.median_ms = ms[ms.size() / 2];
+        const std::size_t p95 = std::min(
+            ms.size() - 1,
+            static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(ms.size()))) - 1);
+        s.p95_ms = ms[p95];
+        // pivots = compiled op count of the pipeline, nodes = packets/rep.
+        s.pivots = ops;
+        s.nodes = static_cast<std::int64_t>(trace.size());
+        return s;
+    };
+
+    const sim::Pipeline unopt(r.program, r.layout);
+    const sim::Pipeline optim(o.program, mapped);
+    run(unopt);
+    run(optim);  // warm-up
+    std::vector<double> unopt_ms, optim_ms;
+    for (int i = 0; i < reps; ++i) {
+        if (i % 2 == 0) {
+            unopt_ms.push_back(run(unopt));
+            optim_ms.push_back(run(optim));
+        } else {
+            optim_ms.push_back(run(optim));
+            unopt_ms.push_back(run(unopt));
+        }
+    }
+    rep.dense = stats_of(std::move(unopt_ms),
+                         static_cast<std::int64_t>(unopt.compiled_op_count()));
+    rep.sparse = stats_of(std::move(optim_ms),
+                          static_cast<std::int64_t>(optim.compiled_op_count()));
+    return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,13 +215,46 @@ int main(int argc, char** argv) {
         }
     }
 
+    std::string sketchlearn_pins, conquest_pins;
+    for (int l = 0; l < 4; ++l) {
+        sketchlearn_pins += pin("lvl" + std::to_string(l) + "_rows", 2) +
+                            pin("lvl" + std::to_string(l) + "_cols", 128);
+        conquest_pins += pin("snap" + std::to_string(l) + "_rows", 2) +
+                         pin("snap" + std::to_string(l) + "_cols", 128);
+    }
+    const std::string netcache_pins = pin("cms_rows", 2) + pin("cms_cols", 256) +
+                                      pin("kv_ways", 2) + pin("kv_slots", 64);
+
     std::vector<bench::InstanceReport> instances;
     instances.push_back(bench_app("netcache", apps::netcache_source(), reps, packets));
     instances.push_back(bench_app("sketchlearn-l4", apps::sketchlearn_source(4), reps, packets));
     instances.push_back(bench_app("precision", apps::precision_source(), reps, packets));
     instances.push_back(bench_app("conquest-s4", apps::conquest_source(4), reps, packets));
+    instances.push_back(bench_app_optimized("netcache", apps::netcache_source(), netcache_pins,
+                                            reps, packets));
+    instances.push_back(bench_app_optimized("sketchlearn-l4", apps::sketchlearn_source(4),
+                                            sketchlearn_pins, reps, packets));
+    instances.push_back(bench_app_optimized("precision", apps::precision_source(),
+                                            pin("hh_ways", 2) + pin("hh_slots", 128), reps,
+                                            packets));
+    instances.push_back(bench_app_optimized("conquest-s4", apps::conquest_source(4),
+                                            conquest_pins, reps, packets));
 
     bench::print_table(instances);
+
+    // Direct gate: an optimized pipeline must not run slower than its
+    // unoptimized twin (same allowance as the baseline check).
+    int slower = 0;
+    for (const bench::InstanceReport& inst : instances) {
+        if (inst.kind != "sim-opt") continue;
+        const double allowed = inst.dense.median_ms * 1.25 + 5.0;
+        if (inst.sparse.median_ms > allowed) {
+            std::fprintf(stderr, "bench_sim: %s optimized %.3f ms > unoptimized allowance %.3f ms\n",
+                         inst.name.c_str(), inst.sparse.median_ms, allowed);
+            ++slower;
+        }
+    }
+    if (slower > 0) return 1;
 
     if (!bench::write_report(bench::report_json("sim", instances), out_path)) return 1;
     std::printf("wrote %s\n", out_path.c_str());

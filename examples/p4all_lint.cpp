@@ -1,6 +1,9 @@
 // p4all-lint — the static-analysis driver for elastic P4All programs.
 //
 //   p4all-lint <program.p4all>... [options]
+//     --app <name>           lint a built-in benchmark application instead
+//                            of (or in addition to) files: netcache |
+//                            sketchlearn | precision | conquest (repeatable)
 //     --checks=a,b,...       run only the named passes (default: all)
 //     --list-checks          print the registered passes and exit
 //     --target <spec.json>   PISA target for target-dependent passes
@@ -18,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "apps/applications.hpp"
+#include "apps/netcache.hpp"
 #include "audit/audit.hpp"
 #include "ir/elaborate.hpp"
 #include "lang/parser.hpp"
@@ -47,10 +52,19 @@ std::vector<std::string> split_commas(const std::string& list) {
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: p4all-lint <program.p4all>... [--checks=a,b,...] [--list-checks]\n"
-                 "                  [--target spec.json] [--Werror] [--format=text|json]\n"
-                 "                  [--fail-on=note|warning|error]\n");
+                 "usage: p4all-lint <program.p4all>... [--app name]... [--checks=a,b,...]\n"
+                 "                  [--list-checks] [--target spec.json] [--Werror]\n"
+                 "                  [--format=text|json] [--fail-on=note|warning|error]\n");
     return 2;
+}
+
+/// Source text of a built-in benchmark application, or "" for unknown names.
+std::string app_source(const std::string& name) {
+    if (name == "netcache") return p4all::apps::netcache_source();
+    if (name == "sketchlearn") return p4all::apps::sketchlearn_source();
+    if (name == "precision") return p4all::apps::precision_source();
+    if (name == "conquest") return p4all::apps::conquest_source();
+    return "";
 }
 
 int list_checks() {
@@ -81,6 +95,7 @@ int main(int argc, char** argv) {
     p4all::runtime::register_runtime_passes(p4all::verify::PassRegistry::global());
 
     std::vector<std::string> inputs;
+    std::vector<std::string> app_names;
     std::string target_path;
     std::string format = "text";
     p4all::support::Severity fail_on = p4all::support::Severity::Error;
@@ -90,6 +105,8 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg.rfind("--checks=", 0) == 0) {
             options.checks = split_commas(arg.substr(9));
+        } else if (arg == "--app" && i + 1 < argc) {
+            app_names.emplace_back(argv[++i]);
         } else if (arg == "--list-checks") {
             return list_checks();
         } else if (arg == "--target" && i + 1 < argc) {
@@ -116,7 +133,7 @@ int main(int argc, char** argv) {
             inputs.push_back(arg);
         }
     }
-    if (inputs.empty()) return usage();
+    if (inputs.empty() && app_names.empty()) return usage();
 
     try {
         if (!target_path.empty()) {
@@ -124,10 +141,21 @@ int main(int argc, char** argv) {
                 p4all::support::Json::parse(read_file(target_path)));
         }
 
+        // (display path, source text) for each file and each named app.
+        std::vector<std::pair<std::string, std::string>> units;
+        for (const std::string& input : inputs) units.emplace_back(input, read_file(input));
+        for (const std::string& name : app_names) {
+            std::string source = app_source(name);
+            if (source.empty()) {
+                std::fprintf(stderr, "p4all-lint: unknown app '%s'\n", name.c_str());
+                return 2;
+            }
+            units.emplace_back("<app:" + name + ">", std::move(source));
+        }
+
         bool failed = false;
         std::size_t total_findings = 0;
-        for (const std::string& input : inputs) {
-            const std::string source = read_file(input);
+        for (const auto& [input, source] : units) {
             const p4all::ir::Program prog = p4all::ir::elaborate(
                 p4all::lang::parse(source, input), {.program_name = program_name(input)});
             const p4all::verify::LintResult result = p4all::verify::run_lint(prog, options);
@@ -143,8 +171,8 @@ int main(int argc, char** argv) {
             }
         }
         if (format == "text" && total_findings == 0) {
-            std::fprintf(stderr, "p4all-lint: %zu file%s clean\n", inputs.size(),
-                         inputs.size() == 1 ? "" : "s");
+            std::fprintf(stderr, "p4all-lint: %zu file%s clean\n", units.size(),
+                         units.size() == 1 ? "" : "s");
         }
         return failed ? 1 : 0;
     } catch (const std::exception& e) {

@@ -22,6 +22,8 @@
 //     --faults SPEC        arm fault injection (P4ALL_FAULTS syntax, e.g.
 //                          runtime.swap:after=1)
 //     --ilp                use the exact ILP backend (default: greedy)
+//     --opt-level <0|1>    IR optimizer level for every (re)compile
+//                          (default 1)
 //
 //   Exit codes: 0 run completed with the demanded swaps/rollbacks, 1 the
 //   demands were not met or serving state was damaged, 2 usage/fatal error.
@@ -42,7 +44,7 @@ int usage() {
                  "usage: p4all-run <netcache|sketchlearn|precision|conquest>\n"
                  "                 [--packets N] [--phases N] [--universe N] [--alpha A]\n"
                  "                 [--seed S] [--window N] [--min-swaps N] [--expect-rollback]\n"
-                 "                 [--snapshot PATH] [--faults SPEC] [--ilp]\n");
+                 "                 [--snapshot PATH] [--faults SPEC] [--ilp] [--opt-level 0|1]\n");
     return 2;
 }
 
@@ -87,7 +89,11 @@ int main(int argc, char** argv) {
                 return 2;
             }
         } else if (arg == "--ilp") options.compile.backend = compiler::Backend::Ilp;
-        else return usage();
+        else if (arg == "--opt-level" && has_value) {
+            const std::string level = argv[++i];
+            if (level != "0" && level != "1") return usage();
+            options.compile.opt_level = level == "0" ? 0 : 1;
+        } else return usage();
     }
     if (phases == 0 || packets == 0) return usage();
 

@@ -18,6 +18,8 @@
 //                            attempt audit-gated; prints the attempt record
 //     --deadline <seconds>   wall-clock budget for the compile (cooperative:
 //                            every phase polls it and stops cleanly)
+//     --opt-level <0|1>      IR optimizer level (default 1; 0 disables the
+//                            certificate-emitting rewrite passes)
 //     --faults <spec>        arm deterministic fault injection (see
 //                            docs/RESILIENCE.md; same syntax as P4ALL_FAULTS)
 //     --quiet                layout summary only
@@ -53,6 +55,7 @@ int usage() {
                  "usage: p4allc <program.p4all> [--target spec.json] [--backend greedy|ilp]\n"
                  "              [--no-windows] [--dump-ilp] [--verify] [--report] [--audit]\n"
                  "              [--resilient] [--deadline seconds] [--faults spec]\n"
+                 "              [--opt-level 0|1]\n"
                  "              [--emit-p4 out.p4] [--emit-p4-16 out.p4] [--quiet]\n");
     return 2;
 }
@@ -100,6 +103,10 @@ int main(int argc, char** argv) {
             run_audit = true;
         } else if (arg == "--resilient") {
             resilient = true;
+        } else if (arg == "--opt-level" && i + 1 < argc) {
+            const std::string level = argv[++i];
+            if (level != "0" && level != "1") return usage();
+            options.opt_level = level == "0" ? 0 : 1;
         } else if (arg == "--deadline" && i + 1 < argc) {
             deadline_seconds = std::atof(argv[++i]);
         } else if (arg == "--faults" && i + 1 < argc) {
@@ -175,6 +182,15 @@ int main(int argc, char** argv) {
 
         std::printf("%s: compiled for '%s' in %.3f s (utility %.2f)\n", input.c_str(),
                     options.target.name.c_str(), result.stats.total_seconds, result.utility);
+        if (!quiet && result.artifacts && result.artifacts->optimized) {
+            std::printf("optimizer: %zu rewrite%s applied at -O%d\n",
+                        result.artifacts->rewrites.size(),
+                        result.artifacts->rewrites.size() == 1 ? "" : "s",
+                        result.artifacts->opt_level);
+            for (const p4all::opt::RewriteCertificate& c : result.artifacts->rewrites) {
+                std::printf("  %-24s %s\n", c.rule.c_str(), c.note.c_str());
+            }
+        }
         if (run_audit) {
             if (!result.artifacts) {
                 std::fprintf(stderr, "p4allc: --audit requires artifact emission\n");

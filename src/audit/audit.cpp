@@ -16,6 +16,8 @@ namespace p4all::audit {
 // Implemented in proofs.cpp.
 std::unique_ptr<verify::LintPass> make_register_bounds_proof_pass();
 std::unique_ptr<verify::LintPass> make_proof_fact_consistency_pass();
+// Implemented in rewrites.cpp.
+std::unique_ptr<verify::LintPass> make_rewrite_validity_pass();
 
 namespace {
 
@@ -491,6 +493,7 @@ void register_audit_passes(verify::PassRegistry& registry) {
     registry.add(std::make_unique<CertificateGapPass>());
     registry.add(make_register_bounds_proof_pass());
     registry.add(make_proof_fact_consistency_pass());
+    registry.add(make_rewrite_validity_pass());
 }
 
 verify::LintResult audit_artifacts(const ir::Program& prog, const CompileArtifacts& artifacts,

@@ -4,7 +4,7 @@
 // compiler claims from scratch, using only the elaborated IR, the
 // TargetSpec, and the final CompileArtifacts — deliberately sharing no code
 // with the compiler-side audit_layout()/compute_usage() checkers so a bug
-// in the compiler's accounting cannot hide itself. Exposed as seven lint
+// in the compiler's accounting cannot hide itself. Exposed as eight lint
 // passes in the standard verify registry:
 //
 //   layout-resource-overcommit   per-stage memory / ALU / hash / PHV
@@ -27,6 +27,11 @@
 //   proof-fact-consistency       geometric validity of every shipped
 //                                ProofFact against the layout and program
 //                                (no engine re-run; pure cross-checking)
+//   rewrite-validity             replays the optimizer's certificate chain
+//                                from the pre-optimization IR, re-deriving
+//                                each rewrite's justification; any forged,
+//                                tampered, or missing certificate rejects
+//                                the compile
 //
 // The passes read their input through an ArtifactsPayload and no-op when a
 // lint run carries none, so they are safe to leave registered globally.
@@ -46,17 +51,17 @@ struct ArtifactsPayload : verify::LintPayload {
     const compiler::CompileArtifacts* artifacts = nullptr;
 };
 
-/// The seven audit check ids, registration order.
+/// The eight audit check ids, registration order.
 inline constexpr const char* kAuditChecks[] = {
     "layout-resource-overcommit", "layout-dependency-violation", "layout-symbol-mismatch",
     "ilp-infeasible-incumbent",   "ilp-certificate-gap",         "register-bounds-proof",
-    "proof-fact-consistency",
+    "proof-fact-consistency",     "rewrite-validity",
 };
 
 /// Registers the audit passes into `registry` (idempotent per registry).
 void register_audit_passes(verify::PassRegistry& registry);
 
-/// Runs exactly the seven audit passes over `prog` + `artifacts` (against the
+/// Runs exactly the eight audit passes over `prog` + `artifacts` (against the
 /// artifacts' own target spec). Findings of severity Error mean the compile
 /// must be rejected.
 [[nodiscard]] verify::LintResult audit_artifacts(const ir::Program& prog,
@@ -64,7 +69,7 @@ void register_audit_passes(verify::PassRegistry& registry);
                                                  bool werror = false);
 
 /// Acceptance gate for the resilient driver (compiler/resilient.hpp): runs
-/// the seven audit passes and returns "" when the layout is clean, otherwise
+/// the eight audit passes and returns "" when the layout is clean, otherwise
 /// the rendered error findings. Injected as ResilienceOptions::external_gate
 /// — the compiler library cannot call this layer directly (it links the
 /// other way), so anytime incumbents get independently re-checked before the

@@ -1,0 +1,303 @@
+// Audit-side validation of the optimizer's rewrite certificates.
+//
+// The rewrite-validity pass replays the certificate chain shipped in
+// CompileArtifacts from the recorded pre-optimization program, and demands
+// at every step that (a) the chain links — each certificate's pre-hash
+// matches the replayed program, (b) the rule's justification re-derives from
+// the verify analyses (bounds, liveness, interval/known-bits dataflow) run
+// fresh over the intermediate program, (c) the mechanical edit applies
+// cleanly, and (d) the post-hash matches. The replayed endpoint must be
+// structurally identical to the compiled program. Any break — a forged,
+// tampered, reordered, or missing certificate, or an unjustified rewrite —
+// is an error finding, which rejects the compile exactly like
+// register-bounds-proof.
+//
+// The justifications deliberately do not call the optimizer's candidate
+// search: they re-check each claim directly against verify::dead_meta_stores
+// / dead_register_stores / register_usage / guard_truth / BoundEnv /
+// StageDataflow, so a bug in the optimizer's scanning cannot vouch for
+// itself. Only the mechanical edit (opt::apply_certificate, built on
+// ir/rewrite.cpp's validating editors) is shared — both sides must perform
+// bit-identical edits for replay to be meaningful.
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "compiler/artifacts.hpp"
+#include "ir/rewrite.hpp"
+#include "opt/certificate.hpp"
+#include "opt/optimizer.hpp"
+#include "support/error.hpp"
+#include "verify/dataflow.hpp"
+#include "verify/interval.hpp"
+#include "verify/lint.hpp"
+#include "verify/liveness.hpp"
+
+namespace p4all::audit {
+
+std::unique_ptr<verify::LintPass> make_rewrite_validity_pass();
+
+namespace {
+
+using compiler::CompileArtifacts;
+using opt::RewriteCertificate;
+using verify::Interval;
+using verify::Truth;
+
+const CompileArtifacts* artifacts_of(verify::LintContext& ctx) {
+    const auto* payload = dynamic_cast<const ArtifactsPayload*>(ctx.payload());
+    return payload != nullptr ? payload->artifacts : nullptr;
+}
+
+std::optional<std::int64_t> literal_of(const ir::Value& v) {
+    const auto* a = std::get_if<ir::Affine>(&v);
+    if (a == nullptr || !a->is_literal()) return std::nullopt;
+    return a->constant;
+}
+
+std::uint64_t width_mask(int width) {
+    return width >= 64 ? ~0ULL : (std::uint64_t{1} << width) - 1;
+}
+
+const ir::PrimOp* op_at(const ir::Program& prog, ir::ActionId action, int op) {
+    if (action < 0 || static_cast<std::size_t>(action) >= prog.actions.size()) return nullptr;
+    const ir::Action& a = prog.actions[static_cast<std::size_t>(action)];
+    if (op < 0 || static_cast<std::size_t>(op) >= a.ops.size()) return nullptr;
+    return &a.ops[static_cast<std::size_t>(op)];
+}
+
+/// Is `v`, read by op `op_index`, provably the constant `want` at every view
+/// instance in `insts` — by the interval domain, or failing that by
+/// known-bits? Mirrors the fold the optimizer claims, derived fresh here.
+bool constant_justified(const ir::Program& prog, const verify::DataplaneView& view,
+                        const std::vector<std::size_t>& insts, int op_index,
+                        const ir::Value& v, std::int64_t want) {
+    if (insts.empty() || !std::holds_alternative<ir::MetaRef>(v)) return false;
+    verify::StageDataflow<verify::IntervalDomain> intervals(prog, view);
+    intervals.solve();
+    bool by_interval = true;
+    for (const std::size_t idx : insts) {
+        const Interval val = intervals.value_entering_op(idx, op_index, v);
+        if (val.empty() || !val.is_point() || val.lo != want) {
+            by_interval = false;
+            break;
+        }
+    }
+    if (by_interval) return true;
+    verify::StageDataflow<verify::KnownBitsDomain> bits(prog, view);
+    bits.solve();
+    for (const std::size_t idx : insts) {
+        const verify::KnownBitsValue val = bits.value_entering_op(idx, op_index, v);
+        if (val.known != ~0ULL || val.value != static_cast<std::uint64_t>(want)) return false;
+    }
+    return true;
+}
+
+/// Re-derives the justification for one certificate against the intermediate
+/// program it claims to transform. Returns "" when justified, otherwise why
+/// not. Mechanical applicability (coordinates in range, operand shapes) is
+/// separately enforced by apply_certificate.
+std::string justify(const ir::Program& prog, const RewriteCertificate& cert) {
+    using namespace opt::rules;
+
+    if (cert.rule == kStrengthReduceSet) {
+        // The algebraic identity (dropped operand is literal zero, Sub keeps
+        // only the minuend) is exactly what ir::reduce_to_set validates
+        // before editing, so applying IS the justification.
+        return "";
+    }
+
+    if (cert.rule == kStrengthReduceDrop) {
+        const ir::PrimOp* op = op_at(prog, cert.action, cert.op);
+        if (op == nullptr) return "certificate names a nonexistent op";
+        if (!op->dst || op->srcs.size() != 1) return "op is not a single-source meta update";
+        const std::optional<std::int64_t> lit = literal_of(op->srcs[0]);
+        if (!lit || *lit != cert.value) return "op operand is not the certified literal";
+        const std::uint64_t raw = static_cast<std::uint64_t>(*lit);
+        if (op->kind == ir::PrimKind::Max && raw == 0) return "";
+        if (op->kind == ir::PrimKind::Min &&
+            raw >= width_mask(prog.meta(op->dst->field).width)) {
+            return "";
+        }
+        return "min/max against this literal is not the identity on the destination width";
+    }
+
+    if (cert.rule == kDeadStore || cert.rule == kDeadRegStore) {
+        const auto dead = cert.rule == kDeadStore ? verify::dead_meta_stores(prog)
+                                                  : verify::dead_register_stores(prog);
+        for (const verify::DeadStore& d : dead) {
+            if (d.action == cert.action && d.op == cert.op &&
+                d.overwritten_by == cert.aux) {
+                return "";
+            }
+        }
+        return "the liveness analysis does not find this store shadowed";
+    }
+
+    if (cert.rule == kDeadExtern) {
+        const auto use = verify::register_usage(prog);
+        if (cert.reg < 0 || static_cast<std::size_t>(cert.reg) >= use.size()) {
+            return "certificate names a nonexistent register";
+        }
+        if (use[static_cast<std::size_t>(cert.reg)].accessed()) {
+            return "register is still accessed";
+        }
+        return "";
+    }
+
+    if (cert.rule == kStrengthReduceModulus) {
+        const ir::PrimOp* op = op_at(prog, cert.action, cert.op);
+        if (op == nullptr) return "certificate names a nonexistent op";
+        if (op->kind != ir::PrimKind::Hash || !op->modulus) return "op is not a ranged hash";
+        const auto* rr = std::get_if<ir::RegRef>(&*op->modulus);
+        if (rr == nullptr) return "hash range is not a register";
+        const verify::BoundEnv env(prog);
+        const Interval elems = env.extent(prog.reg(rr->reg).elems);
+        if (elems.empty() || !elems.is_point() || elems.lo != cert.value || cert.value < 1) {
+            return "assume bounds do not pin the register's element count to the certified "
+                   "value";
+        }
+        return "";
+    }
+
+    if (cert.rule == kGuardTrue || cert.rule == kCallUnreachable) {
+        if (cert.call < 0 || static_cast<std::size_t>(cert.call) >= prog.flow.size()) {
+            return "certificate names a nonexistent call";
+        }
+        const ir::CallSite& site = prog.flow[static_cast<std::size_t>(cert.call)];
+        if (cert.guard < 0 || static_cast<std::size_t>(cert.guard) >= site.guards.size()) {
+            return "certificate names a nonexistent guard";
+        }
+        const verify::BoundEnv env(prog);
+        const Truth truth =
+            verify::guard_truth(env, prog, site, site.guards[static_cast<std::size_t>(cert.guard)]);
+        const Truth want = cert.rule == kGuardTrue ? Truth::True : Truth::False;
+        if (truth != want) return "the bound analysis cannot decide the guard as certified";
+        return "";
+    }
+
+    if (cert.rule == kConstFoldGuard || cert.rule == kConstFoldOperand) {
+        const auto view = verify::bounded_sizing_view(prog, opt::OptOptions{}.max_view_instances);
+        if (!view) return "no bounded sizing view exists to justify a dataflow fold";
+        std::vector<std::vector<std::size_t>> by_call(prog.flow.size());
+        std::vector<std::vector<std::size_t>> by_action(prog.actions.size());
+        for (std::size_t i = 0; i < view->instances.size(); ++i) {
+            const int call = view->instances[i].inst.call;
+            by_call[static_cast<std::size_t>(call)].push_back(i);
+            const ir::ActionId act = prog.flow[static_cast<std::size_t>(call)].action;
+            by_action[static_cast<std::size_t>(act)].push_back(i);
+        }
+        if (cert.rule == kConstFoldGuard) {
+            if (cert.call < 0 || static_cast<std::size_t>(cert.call) >= prog.flow.size()) {
+                return "certificate names a nonexistent call";
+            }
+            const ir::CallSite& site = prog.flow[static_cast<std::size_t>(cert.call)];
+            if (cert.guard < 0 || static_cast<std::size_t>(cert.guard) >= site.guards.size()) {
+                return "certificate names a nonexistent guard";
+            }
+            if (cert.slot != "lhs" && cert.slot != "rhs") return "bad guard slot";
+            const ir::Cond& guard = site.guards[static_cast<std::size_t>(cert.guard)];
+            const ir::Value& v = cert.slot == "lhs" ? guard.lhs : guard.rhs;
+            if (!constant_justified(prog, *view, by_call[static_cast<std::size_t>(cert.call)],
+                                    0, v, cert.value)) {
+                return "the dataflow analysis cannot pin the guard operand to the certified "
+                       "constant";
+            }
+            return "";
+        }
+        const ir::PrimOp* op = op_at(prog, cert.action, cert.op);
+        if (op == nullptr) return "certificate names a nonexistent op";
+        const ir::Value* v = nullptr;
+        if (cert.slot == "src") {
+            if (cert.operand < 0 || static_cast<std::size_t>(cert.operand) >= op->srcs.size()) {
+                return "certificate names a nonexistent operand";
+            }
+            v = &op->srcs[static_cast<std::size_t>(cert.operand)];
+        } else if (cert.slot == "reg-index") {
+            if (!op->reg_index) return "op has no register index";
+            v = &*op->reg_index;
+        } else {
+            return "bad operand slot";
+        }
+        if (!constant_justified(prog, *view, by_action[static_cast<std::size_t>(cert.action)],
+                                cert.op, *v, cert.value)) {
+            return "the dataflow analysis cannot pin the operand to the certified constant";
+        }
+        return "";
+    }
+
+    return "unknown rewrite rule '" + cert.rule + "'";
+}
+
+// ---------------------------------------------------------------------------
+// rewrite-validity
+// ---------------------------------------------------------------------------
+
+class RewriteValidityPass final : public verify::LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "rewrite-validity"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "replays the optimizer's certificate chain from the pre-optimization IR, "
+               "re-deriving each rewrite's justification; any hash break, unjustified or "
+               "inapplicable certificate, or mismatch with the compiled program rejects the "
+               "compile";
+    }
+
+    void run(verify::LintContext& ctx) override {
+        const CompileArtifacts* art = artifacts_of(ctx);
+        if (art == nullptr) return;
+
+        if (!art->optimized) {
+            if (!art->rewrites.empty()) {
+                ctx.error({}, "artifacts carry " + std::to_string(art->rewrites.size()) +
+                                  " rewrite certificate(s) but claim the compile was not "
+                                  "optimized");
+            }
+            return;
+        }
+
+        ir::Program cur = art->pre_opt_program;
+        for (std::size_t i = 0; i < art->rewrites.size(); ++i) {
+            const RewriteCertificate& cert = art->rewrites[i];
+            const std::string label =
+                "certificate " + std::to_string(i) + " (" + cert.rule + ")";
+            if (ir::program_hash(cur) != cert.pre_hash) {
+                ctx.error({}, label + ": pre-rewrite hash does not match the replayed "
+                                      "program — the chain is broken or reordered");
+                return;
+            }
+            const std::string why = justify(cur, cert);
+            if (!why.empty()) {
+                ctx.error({}, label + " is unjustified: " + why);
+                return;
+            }
+            try {
+                opt::apply_certificate(cur, cert);
+            } catch (const support::CompileError& e) {
+                ctx.error({}, label + " does not apply: " + e.what());
+                return;
+            }
+            if (ir::program_hash(cur) != cert.post_hash) {
+                ctx.error({}, label + ": post-rewrite hash does not match the replayed "
+                                      "program");
+                return;
+            }
+        }
+        if (!ir::programs_equal(cur, ctx.program())) {
+            ctx.error({}, "replaying the certificate chain does not reproduce the compiled "
+                          "program — a rewrite is missing or the IR was tampered with");
+        }
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<verify::LintPass> make_rewrite_validity_pass() {
+    return std::make_unique<RewriteValidityPass>();
+}
+
+}  // namespace p4all::audit

@@ -1,5 +1,6 @@
 #include "compiler/artifacts.hpp"
 
+#include <map>
 #include <string>
 
 namespace p4all::compiler {
@@ -27,6 +28,38 @@ verify::DataplaneView dataplane_view(const ir::Program&, const Layout& layout) {
         }
     }
     return view;
+}
+
+Layout remap_layout_for_optimized(const Layout& layout, const opt::OptResult& opt) {
+    // Invert the post->pre maps so surviving pre-optimization ids renumber
+    // to their post-optimization positions.
+    std::map<int, int> call_to_post;
+    for (std::size_t post = 0; post < opt.call_map.size(); ++post) {
+        call_to_post[opt.call_map[post]] = static_cast<int>(post);
+    }
+    std::map<ir::RegisterId, ir::RegisterId> reg_to_post;
+    for (std::size_t post = 0; post < opt.reg_map.size(); ++post) {
+        reg_to_post[opt.reg_map[post]] = static_cast<ir::RegisterId>(post);
+    }
+
+    Layout out;
+    out.bindings = layout.bindings;
+    out.stages.resize(layout.stages.size());
+    for (std::size_t s = 0; s < layout.stages.size(); ++s) {
+        for (analysis::Instance inst : layout.stages[s].actions) {
+            const auto it = call_to_post.find(inst.call);
+            if (it == call_to_post.end()) continue;  // call removed by the optimizer
+            inst.call = it->second;
+            out.stages[s].actions.push_back(inst);
+        }
+        for (PlacedRegister pr : layout.stages[s].registers) {
+            const auto it = reg_to_post.find(pr.reg);
+            if (it == reg_to_post.end()) continue;  // register removed
+            pr.reg = it->second;
+            out.stages[s].registers.push_back(pr);
+        }
+    }
+    return out;
 }
 
 std::string CompileArtifacts::summary() const {

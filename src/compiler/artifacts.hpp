@@ -17,6 +17,8 @@
 #include "compiler/report.hpp"
 #include "compiler/resilience.hpp"
 #include "ilp/solver.hpp"
+#include "opt/certificate.hpp"
+#include "opt/optimizer.hpp"
 #include "target/spec.hpp"
 #include "verify/dataflow.hpp"
 
@@ -46,6 +48,16 @@ struct CompileArtifacts {
     /// proved facts to elide per-packet bounds checks.
     std::vector<verify::ProofFact> proofs;
 
+    /// Optimizer provenance. When `optimized` is set, `pre_opt_program` is
+    /// the elaborated IR before any rewrite and `rewrites` the certificate
+    /// chain that produced the compiled program; the rewrite-validity audit
+    /// pass replays the chain and rejects on any break. An -O0 compile has
+    /// optimized == false and an empty chain.
+    int opt_level = 0;
+    bool optimized = false;
+    ir::Program pre_opt_program;
+    std::vector<opt::RewriteCertificate> rewrites;
+
     /// One-paragraph human-readable description (for p4all-audit -v).
     [[nodiscard]] std::string summary() const;
 };
@@ -55,5 +67,14 @@ struct CompileArtifacts {
 /// input the verify dataflow engine proves bounds against.
 [[nodiscard]] verify::DataplaneView dataplane_view(const ir::Program& prog,
                                                    const Layout& layout);
+
+/// Transplants a layout computed for the *unoptimized* program onto the
+/// optimized one: placed action instances of removed calls and rows of
+/// removed registers are dropped, surviving ids are renumbered through the
+/// OptResult maps, and the symbol bindings carry over unchanged (the
+/// optimizer never touches symbols). Differential tests use this to run the
+/// optimized and unoptimized pipelines over the identical physical layout.
+[[nodiscard]] Layout remap_layout_for_optimized(const Layout& layout,
+                                                const opt::OptResult& opt);
 
 }  // namespace p4all::compiler

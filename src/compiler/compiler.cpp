@@ -5,6 +5,7 @@
 #include "compiler/codegen.hpp"
 #include "compiler/greedy.hpp"
 #include "compiler/report.hpp"
+#include "opt/optimizer.hpp"
 #include "lang/parser.hpp"
 #include "support/error.hpp"
 #include "support/faultpoint.hpp"
@@ -41,6 +42,19 @@ CompileResult compile(const lang::Program& ast, const CompileOptions& options,
     elab_opts.program_name = name;
     result.program = ir::elaborate(ast, elab_opts);
     result.stats.elaborate_seconds = since(t0);
+
+    if (options.opt_level >= 1) {
+        t0 = Clock::now();
+        opt::OptResult optres = opt::optimize(result.program);
+        if (artifacts) {
+            artifacts->optimized = true;
+            artifacts->opt_level = options.opt_level;
+            artifacts->pre_opt_program = std::move(result.program);
+            artifacts->rewrites = optres.rewrites;
+        }
+        result.program = std::move(optres.program);
+        result.stats.opt_seconds = since(t0);
+    }
 
     t0 = Clock::now();
     result.stats.unroll_bounds =

@@ -50,6 +50,11 @@ struct CompileOptions {
     /// (src/audit/). Cheap relative to solving; on by default so `--audit`
     /// and the p4all-audit CLI always have a certificate to check.
     bool emit_artifacts = true;
+    /// IR optimization level: 0 compiles the elaborated IR as-is, 1 (the
+    /// default) runs the certificate-carrying optimizer (src/opt/) between
+    /// elaboration and layout generation. The certificate chain rides in
+    /// the artifacts and is replayed by the rewrite-validity audit pass.
+    int opt_level = 1;
 };
 
 struct CompileStats {
@@ -59,6 +64,7 @@ struct CompileStats {
     std::int64_t bb_nodes = 0;
     std::int64_t lp_iterations = 0;
     double elaborate_seconds = 0.0;
+    double opt_seconds = 0.0;
     double bounds_seconds = 0.0;
     double ilpgen_seconds = 0.0;
     double solve_seconds = 0.0;

@@ -187,6 +187,26 @@ CompileResult compile_resilient(const lang::Program& ast, const CompileOptions& 
         }
     }
 
+    // 3b. Optimizer bypass: when an attempt's layout was refused by an audit
+    // gate and the compile ran the IR optimizer, retry once at -O0 — a
+    // rejected rewrite chain (or an external gate that distrusts it) should
+    // not cost the whole compile. No skip record otherwise: the rung only
+    // exists after an audit rejection.
+    if (!accepted && common.opt_level >= 1) {
+        bool saw_audit_rejection = false;
+        for (const AttemptReport& a : report.attempts) {
+            saw_audit_rejection =
+                saw_audit_rejection || a.outcome == AttemptOutcome::AuditRejected;
+        }
+        if (saw_audit_rejection && !overall.cancelled() && !hard.expired()) {
+            CompileOptions o = common;
+            o.backend = Backend::Ilp;
+            o.opt_level = 0;
+            o.solve.deadline = hard.tightened(0.3 * res.budget_seconds);
+            (void)run_attempt("ilp-O0", o, o.solve.lp.perturb_seed);
+        }
+    }
+
     // 4. Greedy: cheap, audit-checked, never claims optimality.
     if (!accepted && res.try_greedy) {
         if (overall.cancelled()) {

@@ -1,0 +1,332 @@
+#include "ir/rewrite.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace p4all::ir {
+
+using support::CompileError;
+
+namespace {
+
+class Encoder {
+public:
+    void tag(char c) { out_ += c; }
+    void num(std::int64_t v) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRId64 ";", v);
+        out_ += buf;
+    }
+    void real(double v) {
+        // %a is exact and deterministic; decimal renderings are neither.
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%a;", v);
+        out_ += buf;
+    }
+    void str(const std::string& s) {
+        num(static_cast<std::int64_t>(s.size()));
+        out_ += s;
+    }
+    void affine(const Affine& a) {
+        num(a.coeff_iter);
+        num(a.constant);
+    }
+    void extent(const Extent& e) {
+        num(e.sym);
+        num(e.literal);
+    }
+    void value(const Value& v) {
+        tag(static_cast<char>('A' + v.index()));
+        if (const auto* m = std::get_if<MetaRef>(&v)) {
+            num(m->field);
+            affine(m->index);
+        } else if (const auto* p = std::get_if<PacketRef>(&v)) {
+            num(p->field);
+        } else if (const auto* a = std::get_if<Affine>(&v)) {
+            affine(*a);
+        } else if (const auto* r = std::get_if<RegRef>(&v)) {
+            num(r->reg);
+            affine(r->instance);
+        }
+    }
+    void poly(const Polynomial& p) {
+        num(static_cast<std::int64_t>(p.terms().size()));
+        for (const PolyTerm& t : p.terms()) {
+            real(t.coeff);
+            num(t.a);
+            num(t.b);
+        }
+    }
+
+    [[nodiscard]] std::string take() && { return std::move(out_); }
+
+private:
+    std::string out_;
+};
+
+}  // namespace
+
+std::string structural_encoding(const Program& prog) {
+    Encoder e;
+    e.tag('S');
+    e.num(static_cast<std::int64_t>(prog.symbols.size()));
+    for (const SymbolicVar& s : prog.symbols) {
+        e.str(s.name);
+        e.num(static_cast<std::int64_t>(s.role));
+    }
+    e.tag('R');
+    e.num(static_cast<std::int64_t>(prog.registers.size()));
+    for (const RegisterArray& r : prog.registers) {
+        e.str(r.name);
+        e.num(r.width);
+        e.extent(r.elems);
+        e.extent(r.instances);
+    }
+    e.tag('M');
+    e.num(static_cast<std::int64_t>(prog.meta_fields.size()));
+    for (const MetaField& m : prog.meta_fields) {
+        e.str(m.name);
+        e.num(m.width);
+        e.num(m.array.has_value() ? 1 : 0);
+        if (m.array) e.extent(*m.array);
+    }
+    e.tag('P');
+    e.num(static_cast<std::int64_t>(prog.packet_fields.size()));
+    for (const PacketField& p : prog.packet_fields) {
+        e.str(p.name);
+        e.num(p.width);
+    }
+    e.tag('A');
+    e.num(static_cast<std::int64_t>(prog.actions.size()));
+    for (const Action& a : prog.actions) {
+        e.str(a.name);
+        e.num(a.has_iter_param ? 1 : 0);
+        e.num(static_cast<std::int64_t>(a.ops.size()));
+        for (const PrimOp& op : a.ops) {
+            e.num(static_cast<std::int64_t>(op.kind));
+            e.num(op.dst.has_value() ? 1 : 0);
+            if (op.dst) {
+                e.num(op.dst->field);
+                e.affine(op.dst->index);
+            }
+            e.num(op.reg.has_value() ? 1 : 0);
+            if (op.reg) {
+                e.num(op.reg->reg);
+                e.affine(op.reg->instance);
+            }
+            e.num(static_cast<std::int64_t>(op.srcs.size()));
+            for (const Value& src : op.srcs) e.value(src);
+            e.num(op.reg_index.has_value() ? 1 : 0);
+            if (op.reg_index) e.value(*op.reg_index);
+            e.affine(op.seed);
+            e.num(op.modulus.has_value() ? 1 : 0);
+            if (op.modulus) {
+                if (const auto* r = std::get_if<RegRef>(&*op.modulus)) {
+                    e.tag('r');
+                    e.num(r->reg);
+                    e.affine(r->instance);
+                } else {
+                    e.tag('l');
+                    e.num(std::get<std::int64_t>(*op.modulus));
+                }
+            }
+        }
+    }
+    e.tag('F');
+    e.num(static_cast<std::int64_t>(prog.flow.size()));
+    for (const CallSite& c : prog.flow) {
+        e.num(c.action);
+        e.num(c.loop_bound);
+        e.affine(c.iter_arg);
+        e.num(c.seq);
+        e.num(static_cast<std::int64_t>(c.guards.size()));
+        for (const Cond& g : c.guards) {
+            e.num(static_cast<std::int64_t>(g.op));
+            e.value(g.lhs);
+            e.value(g.rhs);
+        }
+    }
+    e.tag('C');
+    e.num(static_cast<std::int64_t>(prog.assumes.size()));
+    for (const PolyConstraint& pc : prog.assumes) {
+        e.num(static_cast<std::int64_t>(pc.op));
+        e.poly(pc.poly);
+    }
+    e.tag('U');
+    e.poly(prog.utility);
+    return std::move(e).take();
+}
+
+std::uint64_t program_hash(const Program& prog) {
+    const std::string enc = structural_encoding(prog);
+    // Pack the byte encoding into words and reuse the simulator's seeded
+    // 64-bit mix; the structural comparison below is the exact check, the
+    // hash only has to pin chain order in certificates.
+    std::vector<std::uint64_t> words;
+    words.reserve(enc.size() / 8 + 1);
+    std::uint64_t w = 0;
+    int n = 0;
+    for (const char c : enc) {
+        w = (w << 8) | static_cast<unsigned char>(c);
+        if (++n == 8) {
+            words.push_back(w);
+            w = 0;
+            n = 0;
+        }
+    }
+    words.push_back((w << 8) | static_cast<std::uint64_t>(n));
+    return support::hash_words(words, 0x9E37'79B9'7F4A'7C15ULL);
+}
+
+bool programs_equal(const Program& a, const Program& b) {
+    return structural_encoding(a) == structural_encoding(b);
+}
+
+namespace {
+
+CallSite& checked_call(Program& prog, int call) {
+    if (call < 0 || static_cast<std::size_t>(call) >= prog.flow.size()) {
+        throw CompileError("rewrite: call index " + std::to_string(call) + " out of range");
+    }
+    return prog.flow[static_cast<std::size_t>(call)];
+}
+
+Cond& checked_guard(Program& prog, int call, int guard) {
+    CallSite& site = checked_call(prog, call);
+    if (guard < 0 || static_cast<std::size_t>(guard) >= site.guards.size()) {
+        throw CompileError("rewrite: guard index " + std::to_string(guard) +
+                           " out of range for call " + std::to_string(call));
+    }
+    return site.guards[static_cast<std::size_t>(guard)];
+}
+
+PrimOp& checked_op(Program& prog, ActionId action, int op) {
+    if (action < 0 || static_cast<std::size_t>(action) >= prog.actions.size()) {
+        throw CompileError("rewrite: action id " + std::to_string(action) + " out of range");
+    }
+    Action& a = prog.actions[static_cast<std::size_t>(action)];
+    if (op < 0 || static_cast<std::size_t>(op) >= a.ops.size()) {
+        throw CompileError("rewrite: op index " + std::to_string(op) +
+                           " out of range for action '" + a.name + "'");
+    }
+    return a.ops[static_cast<std::size_t>(op)];
+}
+
+}  // namespace
+
+void replace_guard_operand(Program& prog, int call, int guard, bool lhs, std::int64_t literal) {
+    Cond& g = checked_guard(prog, call, guard);
+    (lhs ? g.lhs : g.rhs) = Affine::literal(literal);
+}
+
+void drop_guard(Program& prog, int call, int guard) {
+    CallSite& site = checked_call(prog, call);
+    checked_guard(prog, call, guard);
+    site.guards.erase(site.guards.begin() + guard);
+}
+
+void remove_call(Program& prog, int call) {
+    checked_call(prog, call);
+    prog.flow.erase(prog.flow.begin() + call);
+}
+
+void remove_action_op(Program& prog, ActionId action, int op) {
+    checked_op(prog, action, op);
+    Action& a = prog.actions[static_cast<std::size_t>(action)];
+    a.ops.erase(a.ops.begin() + op);
+}
+
+void replace_op_operand(Program& prog, ActionId action, int op, OperandSlot slot, int pos,
+                        std::int64_t literal) {
+    PrimOp& p = checked_op(prog, action, op);
+    switch (slot) {
+        case OperandSlot::Src:
+            if (pos < 0 || static_cast<std::size_t>(pos) >= p.srcs.size()) {
+                throw CompileError("rewrite: src position " + std::to_string(pos) +
+                                   " out of range");
+            }
+            p.srcs[static_cast<std::size_t>(pos)] = Affine::literal(literal);
+            return;
+        case OperandSlot::RegIndex:
+            if (!p.reg_index) throw CompileError("rewrite: op has no register index operand");
+            *p.reg_index = Affine::literal(literal);
+            return;
+        case OperandSlot::Modulus:
+            if (p.kind != PrimKind::Hash || !p.modulus) {
+                throw CompileError("rewrite: op has no hash modulus operand");
+            }
+            *p.modulus = literal;
+            return;
+    }
+    throw CompileError("rewrite: unknown operand slot");
+}
+
+void reduce_to_set(Program& prog, ActionId action, int op, int kept_src) {
+    PrimOp& p = checked_op(prog, action, op);
+    if ((p.kind != PrimKind::Add && p.kind != PrimKind::Sub) || p.srcs.size() != 2) {
+        throw CompileError("rewrite: reduce_to_set target is not a two-operand Add/Sub");
+    }
+    if (kept_src != 0 && kept_src != 1) {
+        throw CompileError("rewrite: reduce_to_set kept operand must be 0 or 1");
+    }
+    if (p.kind == PrimKind::Sub && kept_src != 0) {
+        throw CompileError("rewrite: 0 - x is not x; only Sub(x, 0) reduces to Set");
+    }
+    const std::size_t dropped = kept_src == 0 ? 1 : 0;
+    const auto* zero = std::get_if<Affine>(&p.srcs[dropped]);
+    if (zero == nullptr || !zero->is_literal() || zero->constant != 0) {
+        throw CompileError("rewrite: reduce_to_set dropped operand is not literal zero");
+    }
+    const Value kept = p.srcs[static_cast<std::size_t>(kept_src)];
+    p.kind = PrimKind::Set;
+    p.srcs.assign(1, kept);
+}
+
+void remove_register(Program& prog, RegisterId reg) {
+    if (reg < 0 || static_cast<std::size_t>(reg) >= prog.registers.size()) {
+        throw CompileError("rewrite: register id " + std::to_string(reg) + " out of range");
+    }
+    const auto renumber = [reg](RegisterId r) { return r > reg ? r - 1 : r; };
+    for (Action& a : prog.actions) {
+        for (PrimOp& op : a.ops) {
+            if (op.reg && op.reg->reg == reg) {
+                throw CompileError("rewrite: register '" + prog.reg(reg).name +
+                                   "' is still accessed by action '" + a.name + "'");
+            }
+            if (op.modulus) {
+                if (const auto* r = std::get_if<RegRef>(&*op.modulus); r != nullptr &&
+                    r->reg == reg) {
+                    throw CompileError("rewrite: register '" + prog.reg(reg).name +
+                                       "' is still a hash range in action '" + a.name + "'");
+                }
+            }
+            const auto check_value = [&](const Value& v) {
+                if (const auto* r = std::get_if<RegRef>(&v); r != nullptr && r->reg == reg) {
+                    throw CompileError("rewrite: register '" + prog.reg(reg).name +
+                                       "' is still referenced by action '" + a.name + "'");
+                }
+            };
+            for (const Value& src : op.srcs) check_value(src);
+            if (op.reg_index) check_value(*op.reg_index);
+        }
+    }
+    prog.registers.erase(prog.registers.begin() + reg);
+    for (Action& a : prog.actions) {
+        for (PrimOp& op : a.ops) {
+            if (op.reg) op.reg->reg = renumber(op.reg->reg);
+            if (op.modulus) {
+                if (auto* r = std::get_if<RegRef>(&*op.modulus)) r->reg = renumber(r->reg);
+            }
+            const auto fix_value = [&](Value& v) {
+                if (auto* r = std::get_if<RegRef>(&v)) r->reg = renumber(r->reg);
+            };
+            for (Value& src : op.srcs) fix_value(src);
+            if (op.reg_index) fix_value(*op.reg_index);
+        }
+    }
+}
+
+}  // namespace p4all::ir

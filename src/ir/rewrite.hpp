@@ -1,0 +1,68 @@
+// Structural program identity and mechanical rewrite edits.
+//
+// The optimizer (src/opt/) transforms the elaborated IR through a chain of
+// small, certificate-carrying rewrites; the audit's rewrite-validity pass
+// replays that chain from the pre-optimization program. Both sides need
+// (a) a structural notion of program identity that ignores source locations
+// (two programs that compile and simulate identically must hash equal), and
+// (b) the mechanical edits themselves, shared so a replay applies exactly
+// the transformation the optimizer applied.
+//
+// Every edit validates its coordinates and throws support::CompileError on
+// anything out of range or shape-mismatched, so a forged certificate can
+// never silently no-op during replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace p4all::ir {
+
+/// Canonical byte encoding of everything semantically relevant in `prog`:
+/// all tables, ops, guards, assumes, and the utility — but no source
+/// locations and not Program::name. Equal encodings ⇔ structurally equal
+/// programs.
+[[nodiscard]] std::string structural_encoding(const Program& prog);
+
+/// 64-bit hash of structural_encoding(). Certificates pin their pre/post
+/// program states with this.
+[[nodiscard]] std::uint64_t program_hash(const Program& prog);
+
+/// Structural equality (exact, via the canonical encoding — not the hash).
+[[nodiscard]] bool programs_equal(const Program& a, const Program& b);
+
+/// Which operand of an op a rewrite targets.
+enum class OperandSlot { Src, RegIndex, Modulus };
+
+/// Replaces one side of guard `guard` of flow[call] with a literal.
+void replace_guard_operand(Program& prog, int call, int guard, bool lhs, std::int64_t literal);
+
+/// Drops guard `guard` from flow[call] (the guard was proved always true).
+void drop_guard(Program& prog, int call, int guard);
+
+/// Removes flow[call] entirely (its guard was proved always false). Later
+/// call indices shift down by one; `seq` values are left untouched.
+void remove_call(Program& prog, int call);
+
+/// Removes op `op` from action `action`.
+void remove_action_op(Program& prog, ActionId action, int op);
+
+/// Replaces a data operand of actions[action].ops[op] with a literal:
+/// srcs[pos] for OperandSlot::Src, the register index for RegIndex, or the
+/// hash range for Modulus (pos ignored for the latter two).
+void replace_op_operand(Program& prog, ActionId action, int op, OperandSlot slot, int pos,
+                        std::int64_t literal);
+
+/// Rewrites an Add/Sub op whose other operand is literal zero into
+/// Set(dst, srcs[kept_src]). For Sub only kept_src == 0 is algebraically
+/// valid; the caller proves the identity, this checks the shape.
+void reduce_to_set(Program& prog, ActionId action, int op, int kept_src);
+
+/// Removes register `reg` from the register table. The register must be
+/// completely unreferenced (no op reg/operand/index/modulus mentions it);
+/// all RegisterIds above it are renumbered down by one.
+void remove_register(Program& prog, RegisterId reg);
+
+}  // namespace p4all::ir

@@ -1,0 +1,59 @@
+#include "opt/certificate.hpp"
+
+#include "ir/rewrite.hpp"
+#include "support/error.hpp"
+
+namespace p4all::opt {
+
+using support::CompileError;
+
+void apply_certificate(ir::Program& prog, const RewriteCertificate& cert) {
+    if (cert.rule == rules::kConstFoldGuard) {
+        if (cert.slot != "lhs" && cert.slot != "rhs") {
+            throw CompileError("certificate: const-fold-guard slot must be lhs or rhs");
+        }
+        ir::replace_guard_operand(prog, cert.call, cert.guard, cert.slot == "lhs", cert.value);
+        return;
+    }
+    if (cert.rule == rules::kConstFoldOperand) {
+        if (cert.slot == "src") {
+            ir::replace_op_operand(prog, cert.action, cert.op, ir::OperandSlot::Src,
+                                   cert.operand, cert.value);
+        } else if (cert.slot == "reg-index") {
+            ir::replace_op_operand(prog, cert.action, cert.op, ir::OperandSlot::RegIndex, 0,
+                                   cert.value);
+        } else {
+            throw CompileError("certificate: const-fold-operand slot must be src or reg-index");
+        }
+        return;
+    }
+    if (cert.rule == rules::kGuardTrue) {
+        ir::drop_guard(prog, cert.call, cert.guard);
+        return;
+    }
+    if (cert.rule == rules::kCallUnreachable) {
+        ir::remove_call(prog, cert.call);
+        return;
+    }
+    if (cert.rule == rules::kDeadStore || cert.rule == rules::kDeadRegStore ||
+        cert.rule == rules::kStrengthReduceDrop) {
+        ir::remove_action_op(prog, cert.action, cert.op);
+        return;
+    }
+    if (cert.rule == rules::kStrengthReduceSet) {
+        ir::reduce_to_set(prog, cert.action, cert.op, cert.aux);
+        return;
+    }
+    if (cert.rule == rules::kStrengthReduceModulus) {
+        ir::replace_op_operand(prog, cert.action, cert.op, ir::OperandSlot::Modulus, 0,
+                               cert.value);
+        return;
+    }
+    if (cert.rule == rules::kDeadExtern) {
+        ir::remove_register(prog, cert.reg);
+        return;
+    }
+    throw CompileError("certificate: unknown rewrite rule '" + cert.rule + "'");
+}
+
+}  // namespace p4all::opt

@@ -1,0 +1,64 @@
+// Rewrite certificates: the optimizer's auditable transformation log.
+//
+// The optimizer never hands the compiler a transformed program on trust.
+// Each individual rewrite is recorded as a RewriteCertificate naming the
+// rule, the exact IR coordinates it edited, and the structural hash of the
+// program immediately before and after the edit. The chain of certificates
+// rides in CompileArtifacts; the audit's rewrite-validity pass replays it
+// from the pre-optimization program with apply_certificate (the same
+// mechanics the optimizer used), re-derives each rule's justification from
+// the verify analyses, and rejects the compile on any hash break, failed
+// justification, or mismatch with the final program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace p4all::opt {
+
+/// Canonical rule ids, shared between the optimizer and the audit replay.
+namespace rules {
+inline constexpr char kConstFoldGuard[] = "const-fold-guard";
+inline constexpr char kConstFoldOperand[] = "const-fold-operand";
+inline constexpr char kGuardTrue[] = "guard-true";
+inline constexpr char kCallUnreachable[] = "call-unreachable";
+inline constexpr char kDeadStore[] = "dead-store";
+inline constexpr char kDeadRegStore[] = "dead-reg-store";
+inline constexpr char kStrengthReduceSet[] = "strength-reduce-set";
+inline constexpr char kStrengthReduceDrop[] = "strength-reduce-drop";
+inline constexpr char kStrengthReduceModulus[] = "strength-reduce-modulus";
+inline constexpr char kDeadExtern[] = "dead-extern";
+}  // namespace rules
+
+/// One applied rewrite. Coordinate fields are interpreted per rule (see
+/// apply_certificate); unused coordinates stay at their -1/0 defaults so
+/// certificates compare and serialize predictably.
+struct RewriteCertificate {
+    std::string rule;    ///< one of opt::rules
+    std::string domain;  ///< justification family: syntactic | bounds | width | dataflow
+    std::uint64_t pre_hash = 0;   ///< ir::program_hash before the edit
+    std::uint64_t post_hash = 0;  ///< ir::program_hash after the edit
+
+    int call = -1;                    ///< flow index (guard/call rules)
+    int guard = -1;                   ///< guard index within the call
+    ir::ActionId action = ir::kNoId;  ///< action (op rules)
+    int op = -1;                      ///< op index within the action
+    std::string slot;                 ///< "lhs"|"rhs"|"src"|"reg-index"|"modulus"
+    int operand = -1;                 ///< src position for slot "src"
+    std::int64_t value = 0;           ///< literal written by folding rules
+    int aux = -1;                     ///< rule-specific: overwriting op / kept src
+    ir::RegisterId reg = ir::kNoId;   ///< register (dead-extern)
+    std::string note;                 ///< human-readable explanation
+
+    friend bool operator==(const RewriteCertificate&, const RewriteCertificate&) = default;
+};
+
+/// Applies the mechanical edit a certificate describes to `prog`, without
+/// checking hashes or justification (the audit does both around this call).
+/// Throws support::CompileError on an unknown rule or coordinates that do
+/// not fit the program — a forged certificate cannot silently no-op.
+void apply_certificate(ir::Program& prog, const RewriteCertificate& cert);
+
+}  // namespace p4all::opt

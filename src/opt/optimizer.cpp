@@ -1,0 +1,366 @@
+#include "opt/optimizer.hpp"
+
+#include <numeric>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "ir/rewrite.hpp"
+#include "verify/dataflow.hpp"
+#include "verify/interval.hpp"
+#include "verify/liveness.hpp"
+
+namespace p4all::opt {
+
+namespace {
+
+using verify::Interval;
+using verify::Truth;
+
+bool is_literal(const ir::Value& v, std::int64_t want) {
+    const auto* a = std::get_if<ir::Affine>(&v);
+    return a != nullptr && a->is_literal() && a->constant == want;
+}
+
+std::optional<std::int64_t> literal_of(const ir::Value& v) {
+    const auto* a = std::get_if<ir::Affine>(&v);
+    if (a == nullptr || !a->is_literal()) return std::nullopt;
+    return a->constant;
+}
+
+std::uint64_t width_mask(int width) {
+    return width >= 64 ? ~0ULL : (std::uint64_t{1} << width) - 1;
+}
+
+class Optimizer {
+public:
+    Optimizer(const ir::Program& prog, const OptOptions& options)
+        : cur_(prog), opts_(options) {
+        call_map_.resize(prog.flow.size());
+        std::iota(call_map_.begin(), call_map_.end(), 0);
+        reg_map_.resize(prog.registers.size());
+        std::iota(reg_map_.begin(), reg_map_.end(), 0);
+    }
+
+    OptResult run() {
+        if (opts_.level >= 1) {
+            while (static_cast<int>(certs_.size()) < opts_.max_rewrites && round()) {
+                ++stats_.rounds;
+            }
+        }
+        return {std::move(cur_), std::move(certs_), std::move(call_map_), std::move(reg_map_),
+                stats_};
+    }
+
+private:
+    /// Applies the cheapest available rewrite; true when one fired. Scan
+    /// order is fixed (syntactic, then bound-driven, then dataflow) so the
+    /// certificate chain is deterministic.
+    bool round() {
+        return strength_reduce_set() || strength_reduce_drop() || dead_meta_store() ||
+               dead_register_store() || dead_extern() || modulus_to_literal() ||
+               guard_decide() || const_fold();
+    }
+
+    RewriteCertificate base(const char* rule, const char* domain) {
+        RewriteCertificate c;
+        c.rule = rule;
+        c.domain = domain;
+        c.pre_hash = ir::program_hash(cur_);
+        return c;
+    }
+
+    /// Applies `c` through the same entry point the audit replay uses, then
+    /// seals it with the post-edit hash.
+    void commit(RewriteCertificate c) {
+        apply_certificate(cur_, c);
+        c.post_hash = ir::program_hash(cur_);
+        certs_.push_back(std::move(c));
+    }
+
+    // --- syntactic rules ---------------------------------------------------
+
+    bool strength_reduce_set() {
+        for (std::size_t ai = 0; ai < cur_.actions.size(); ++ai) {
+            const ir::Action& action = cur_.actions[ai];
+            for (std::size_t oi = 0; oi < action.ops.size(); ++oi) {
+                const ir::PrimOp& op = action.ops[oi];
+                const bool add = op.kind == ir::PrimKind::Add;
+                const bool sub = op.kind == ir::PrimKind::Sub;
+                if ((!add && !sub) || op.srcs.size() != 2) continue;
+                int kept = -1;
+                if (is_literal(op.srcs[1], 0)) {
+                    kept = 0;  // x + 0, x - 0
+                } else if (add && is_literal(op.srcs[0], 0)) {
+                    kept = 1;  // 0 + x
+                }
+                if (kept < 0) continue;
+                auto c = base(rules::kStrengthReduceSet, "syntactic");
+                c.action = static_cast<ir::ActionId>(ai);
+                c.op = static_cast<int>(oi);
+                c.aux = kept;
+                c.note = "additive identity in " + action.name;
+                commit(std::move(c));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool strength_reduce_drop() {
+        for (std::size_t ai = 0; ai < cur_.actions.size(); ++ai) {
+            const ir::Action& action = cur_.actions[ai];
+            for (std::size_t oi = 0; oi < action.ops.size(); ++oi) {
+                const ir::PrimOp& op = action.ops[oi];
+                if (!op.dst || op.srcs.size() != 1) continue;
+                const std::optional<std::int64_t> lit = literal_of(op.srcs[0]);
+                if (!lit) continue;
+                // Metadata cells hold masked unsigned values, so max with 0
+                // and min with anything at or above the width mask are both
+                // the identity on the destination.
+                const std::uint64_t raw = static_cast<std::uint64_t>(*lit);
+                const bool drop =
+                    (op.kind == ir::PrimKind::Max && raw == 0) ||
+                    (op.kind == ir::PrimKind::Min &&
+                     raw >= width_mask(cur_.meta(op.dst->field).width));
+                if (!drop) continue;
+                auto c = base(rules::kStrengthReduceDrop, "width");
+                c.action = static_cast<ir::ActionId>(ai);
+                c.op = static_cast<int>(oi);
+                c.value = *lit;
+                c.note = "identity min/max in " + action.name;
+                commit(std::move(c));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool dead_meta_store() {
+        const auto dead = verify::dead_meta_stores(cur_);
+        if (dead.empty()) return false;
+        const verify::DeadStore& d = dead.front();
+        auto c = base(rules::kDeadStore, "syntactic");
+        c.action = d.action;
+        c.op = d.op;
+        c.aux = d.overwritten_by;
+        c.note = "shadowed metadata write in " +
+                 cur_.actions[static_cast<std::size_t>(d.action)].name;
+        commit(std::move(c));
+        return true;
+    }
+
+    bool dead_register_store() {
+        const auto dead = verify::dead_register_stores(cur_);
+        if (dead.empty()) return false;
+        const verify::DeadStore& d = dead.front();
+        auto c = base(rules::kDeadRegStore, "syntactic");
+        c.action = d.action;
+        c.op = d.op;
+        c.aux = d.overwritten_by;
+        c.note = "shadowed register write in " +
+                 cur_.actions[static_cast<std::size_t>(d.action)].name;
+        commit(std::move(c));
+        return true;
+    }
+
+    bool dead_extern() {
+        const auto use = verify::register_usage(cur_);
+        for (std::size_t i = 0; i < use.size(); ++i) {
+            if (use[i].accessed()) continue;
+            auto c = base(rules::kDeadExtern, "syntactic");
+            c.reg = static_cast<ir::RegisterId>(i);
+            c.note = "register '" + cur_.registers[i].name + "' is never referenced";
+            commit(std::move(c));
+            reg_map_.erase(reg_map_.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+        return false;
+    }
+
+    // --- assume-bound rules ------------------------------------------------
+
+    bool modulus_to_literal() {
+        const verify::BoundEnv env(cur_);
+        for (std::size_t ai = 0; ai < cur_.actions.size(); ++ai) {
+            const ir::Action& action = cur_.actions[ai];
+            for (std::size_t oi = 0; oi < action.ops.size(); ++oi) {
+                const ir::PrimOp& op = action.ops[oi];
+                if (op.kind != ir::PrimKind::Hash || !op.modulus) continue;
+                const auto* rr = std::get_if<ir::RegRef>(&*op.modulus);
+                if (rr == nullptr) continue;
+                // The hash range is the placed element count of the register
+                // row; when the assumes pin the extent to a single value,
+                // every admissible layout places exactly that many elements.
+                const Interval elems = env.extent(cur_.reg(rr->reg).elems);
+                if (elems.empty() || !elems.is_point() || elems.lo < 1) continue;
+                auto c = base(rules::kStrengthReduceModulus, "bounds");
+                c.action = static_cast<ir::ActionId>(ai);
+                c.op = static_cast<int>(oi);
+                c.value = elems.lo;
+                c.reg = rr->reg;
+                c.note = "hash range of '" + cur_.reg(rr->reg).name + "' is pinned to " +
+                         std::to_string(elems.lo);
+                commit(std::move(c));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool guard_decide() {
+        const verify::BoundEnv env(cur_);
+        for (std::size_t ci = 0; ci < cur_.flow.size(); ++ci) {
+            const ir::CallSite& site = cur_.flow[ci];
+            for (std::size_t gi = 0; gi < site.guards.size(); ++gi) {
+                const Truth truth = verify::guard_truth(env, cur_, site, site.guards[gi]);
+                if (truth == Truth::True) {
+                    auto c = base(rules::kGuardTrue, "bounds");
+                    c.call = static_cast<int>(ci);
+                    c.guard = static_cast<int>(gi);
+                    c.note = "guard always holds in " + cur_.action(site.action).name;
+                    commit(std::move(c));
+                    return true;
+                }
+                if (truth == Truth::False) {
+                    auto c = base(rules::kCallUnreachable, "bounds");
+                    c.call = static_cast<int>(ci);
+                    c.guard = static_cast<int>(gi);
+                    c.note = "guard never holds; call of " + cur_.action(site.action).name +
+                             " is unreachable";
+                    commit(std::move(c));
+                    call_map_.erase(call_map_.begin() + static_cast<std::ptrdiff_t>(ci));
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    // --- dataflow rules (sparse conditional constant propagation) ----------
+
+    bool const_fold() {
+        const auto view = verify::bounded_sizing_view(cur_, opts_.max_view_instances);
+        if (!view) return false;
+        stats_.dataflow_available = true;
+
+        verify::StageDataflow<verify::IntervalDomain> intervals(cur_, *view);
+        intervals.solve();
+        std::optional<verify::StageDataflow<verify::KnownBitsDomain>> bits;
+
+        // Group view instances by call and by action: a fold is only sound
+        // when the operand is the same constant at every instance that can
+        // execute the read.
+        std::vector<std::vector<std::size_t>> by_call(cur_.flow.size());
+        std::vector<std::vector<std::size_t>> by_action(cur_.actions.size());
+        for (std::size_t i = 0; i < view->instances.size(); ++i) {
+            const int call = view->instances[i].inst.call;
+            by_call[static_cast<std::size_t>(call)].push_back(i);
+            const ir::ActionId act = cur_.flow[static_cast<std::size_t>(call)].action;
+            by_action[static_cast<std::size_t>(act)].push_back(i);
+        }
+
+        const auto fold_value = [&](const std::vector<std::size_t>& insts, int op_index,
+                                    const ir::Value& v) -> std::optional<std::int64_t> {
+            if (insts.empty() || !std::holds_alternative<ir::MetaRef>(v)) return std::nullopt;
+            std::optional<std::int64_t> k;
+            bool ok = true;
+            for (const std::size_t idx : insts) {
+                const Interval val = intervals.value_entering_op(idx, op_index, v);
+                if (val.empty() || !val.is_point() || (k && *k != val.lo)) {
+                    ok = false;
+                    break;
+                }
+                k = val.lo;
+            }
+            if (ok && k) return k;
+            // Known-bits can pin a constant the interval lattice lost (e.g.
+            // after masking); solve it lazily, once per fixpoint round.
+            if (!bits) {
+                bits.emplace(cur_, *view);
+                bits->solve();
+            }
+            std::optional<std::uint64_t> word;
+            for (const std::size_t idx : insts) {
+                const verify::KnownBitsValue val = bits->value_entering_op(idx, op_index, v);
+                if (val.known != ~0ULL || (word && *word != val.value)) return std::nullopt;
+                word = val.value;
+            }
+            if (word) return static_cast<std::int64_t>(*word);
+            return std::nullopt;
+        };
+
+        // Guards read the stage-entry state (op index 0).
+        for (std::size_t ci = 0; ci < cur_.flow.size(); ++ci) {
+            const ir::CallSite& site = cur_.flow[ci];
+            for (std::size_t gi = 0; gi < site.guards.size(); ++gi) {
+                const ir::Cond& guard = site.guards[gi];
+                for (const bool lhs : {true, false}) {
+                    const ir::Value& v = lhs ? guard.lhs : guard.rhs;
+                    const auto k = fold_value(by_call[ci], 0, v);
+                    if (!k) continue;
+                    auto c = base(rules::kConstFoldGuard, "dataflow");
+                    c.call = static_cast<int>(ci);
+                    c.guard = static_cast<int>(gi);
+                    c.slot = lhs ? "lhs" : "rhs";
+                    c.value = *k;
+                    c.note = "guard operand is always " + std::to_string(*k);
+                    commit(std::move(c));
+                    return true;
+                }
+            }
+        }
+
+        for (std::size_t ai = 0; ai < cur_.actions.size(); ++ai) {
+            const ir::Action& action = cur_.actions[ai];
+            for (std::size_t oi = 0; oi < action.ops.size(); ++oi) {
+                const ir::PrimOp& op = action.ops[oi];
+                for (std::size_t p = 0; p < op.srcs.size(); ++p) {
+                    const auto k =
+                        fold_value(by_action[ai], static_cast<int>(oi), op.srcs[p]);
+                    if (!k) continue;
+                    auto c = base(rules::kConstFoldOperand, "dataflow");
+                    c.action = static_cast<ir::ActionId>(ai);
+                    c.op = static_cast<int>(oi);
+                    c.slot = "src";
+                    c.operand = static_cast<int>(p);
+                    c.value = *k;
+                    c.note = "operand of " + action.name + " is always " + std::to_string(*k);
+                    commit(std::move(c));
+                    return true;
+                }
+                if (op.reg_index) {
+                    const auto k =
+                        fold_value(by_action[ai], static_cast<int>(oi), *op.reg_index);
+                    if (k) {
+                        auto c = base(rules::kConstFoldOperand, "dataflow");
+                        c.action = static_cast<ir::ActionId>(ai);
+                        c.op = static_cast<int>(oi);
+                        c.slot = "reg-index";
+                        c.value = *k;
+                        c.note = "register index in " + action.name + " is always " +
+                                 std::to_string(*k);
+                        commit(std::move(c));
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+
+    ir::Program cur_;
+    OptOptions opts_;
+    std::vector<RewriteCertificate> certs_;
+    std::vector<int> call_map_;
+    std::vector<ir::RegisterId> reg_map_;
+    OptStats stats_;
+};
+
+}  // namespace
+
+OptResult optimize(const ir::Program& prog, const OptOptions& options) {
+    return Optimizer(prog, options).run();
+}
+
+}  // namespace p4all::opt

@@ -1,0 +1,56 @@
+// The proof-guided IR optimizer.
+//
+// optimize() runs between elaboration and layout generation: a fixpoint loop
+// of small rewrites, each justified by a verify-layer analysis and recorded
+// as a RewriteCertificate. Cheap syntactic rules (algebraic identities, dead
+// stores) run first each round; assume-derived bound rules next; the
+// dataflow-driven constant folder (interval + known-bits over the bounded
+// sizing view) only when everything cheaper has reached fixpoint. Every
+// rewrite is applied through opt::apply_certificate, so the audit replay is
+// bit-for-bit the transformation the optimizer performed.
+//
+// Soundness boundary: register contents are externally observable (the
+// controller reads rows off-switch), so the optimizer only deletes register
+// state that is never accessed at all, and only elides writes shadowed
+// within the same action instance. See docs/OPTIMIZER.md for the argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "opt/certificate.hpp"
+
+namespace p4all::opt {
+
+struct OptOptions {
+    /// 0 disables every rewrite (optimize() then returns an untouched copy
+    /// with an empty certificate chain); 1 enables all of them.
+    int level = 1;
+    /// Hard cap on the certificate chain length.
+    int max_rewrites = 128;
+    /// Instance cap for the bounded sizing view backing the constant folder;
+    /// past it the dataflow rules stay off (bound rules still run).
+    std::int64_t max_view_instances = 2048;
+};
+
+struct OptStats {
+    int rounds = 0;  ///< fixpoint rounds that applied at least one rewrite
+    bool dataflow_available = false;  ///< bounded sizing view existed
+};
+
+/// The optimized program plus everything needed to audit it or to transplant
+/// an unoptimized layout onto it (differential testing).
+struct OptResult {
+    ir::Program program;
+    std::vector<RewriteCertificate> rewrites;
+    /// flow index in `program` -> flow index in the input program.
+    std::vector<int> call_map;
+    /// RegisterId in `program` -> RegisterId in the input program.
+    std::vector<ir::RegisterId> reg_map;
+    OptStats stats;
+};
+
+[[nodiscard]] OptResult optimize(const ir::Program& prog, const OptOptions& options = {});
+
+}  // namespace p4all::opt

@@ -117,22 +117,56 @@ Classification classify(const ir::Program& prog) {
 
 /// Per-instance hash seed of every register used as a hash modulus with a
 /// single source word (the probe pattern `hash(idx, seed+i, key, reg[i])`).
+///
+/// The optimizer's strength-reduce-modulus rewrite replaces a pinned RegRef
+/// modulus with its literal extent, which erases that direct linkage. A
+/// second pass recovers it through the dataflow instead: a single-source
+/// hash writing field `idx` with a literal modulus equal to the placed
+/// extent still seeds any register op indexed by that same `idx` element.
 std::map<ir::RegisterId, std::map<std::int64_t, std::uint64_t>> collect_seeds(
-    const ir::Program& prog, const std::set<std::pair<ir::RegisterId, std::int64_t>>& placed) {
+    const ir::Program& prog,
+    const std::map<std::pair<ir::RegisterId, std::int64_t>, std::int64_t>& placed) {
     std::map<ir::RegisterId, std::map<std::int64_t, std::uint64_t>> seeds;
+    // (index field, element) -> (seed, literal modulus) from folded hashes.
+    std::map<std::pair<ir::MetaFieldId, std::int64_t>, std::pair<std::uint64_t, std::int64_t>>
+        by_index_field;
     for (const ir::Action& action : prog.actions) {
         for (const ir::PrimOp& op : action.ops) {
             if (op.kind != ir::PrimKind::Hash || !op.modulus || op.srcs.size() != 1) continue;
-            const auto* r = std::get_if<ir::RegRef>(&*op.modulus);
-            if (r == nullptr) continue;
-            for (std::int64_t p = 0; p < kMaxIter; ++p) {
-                const std::int64_t inst = r->instance.at(p);
-                if (!placed.count({r->reg, inst})) {
-                    if (r->instance.is_literal()) break;  // one shot for literals
-                    continue;
+            if (const auto* r = std::get_if<ir::RegRef>(&*op.modulus)) {
+                for (std::int64_t p = 0; p < kMaxIter; ++p) {
+                    const std::int64_t inst = r->instance.at(p);
+                    if (!placed.count({r->reg, inst})) {
+                        if (r->instance.is_literal()) break;  // one shot for literals
+                        continue;
+                    }
+                    seeds[r->reg][inst] = static_cast<std::uint64_t>(op.seed.at(p));
+                    if (r->instance.is_literal()) break;
                 }
-                seeds[r->reg][inst] = static_cast<std::uint64_t>(op.seed.at(p));
-                if (r->instance.is_literal()) break;
+            } else if (op.dst) {
+                const std::int64_t mod = std::get<std::int64_t>(*op.modulus);
+                for (std::int64_t p = 0; p < kMaxIter; ++p) {
+                    by_index_field[{op.dst->field, op.dst->index.at(p)}] = {
+                        static_cast<std::uint64_t>(op.seed.at(p)), mod};
+                    if (op.dst->index.is_literal()) break;
+                }
+            }
+        }
+    }
+    for (const ir::Action& action : prog.actions) {
+        for (const ir::PrimOp& op : action.ops) {
+            if (!op.reg || !op.reg_index) continue;
+            const auto* m = std::get_if<ir::MetaRef>(&*op.reg_index);
+            if (m == nullptr) continue;
+            for (std::int64_t p = 0; p < kMaxIter; ++p) {
+                const std::int64_t inst = op.reg->instance.at(p);
+                const auto row = placed.find({op.reg->reg, inst});
+                if (row != placed.end() && !seeds[op.reg->reg].count(inst)) {
+                    const auto it = by_index_field.find({m->field, m->index.at(p)});
+                    if (it != by_index_field.end() && it->second.second == row->second)
+                        seeds[op.reg->reg][inst] = it->second.first;
+                }
+                if (op.reg->instance.is_literal()) break;
             }
         }
     }
@@ -219,14 +253,16 @@ MigrationReport migrate_state(const sim::Pipeline& from, sim::Pipeline& to) {
 
     const std::vector<sim::RegRowInfo> to_rows = to.reg_rows();
     std::set<std::pair<ir::RegisterId, std::int64_t>> placed;
+    std::map<std::pair<ir::RegisterId, std::int64_t>, std::int64_t> placed_elems;
     std::map<ir::RegisterId, std::vector<sim::RegRowInfo>> to_by_reg;
     for (const sim::RegRowInfo& info : to_rows) {
         placed.insert({info.reg, info.instance});
+        placed_elems[{info.reg, info.instance}] = info.elems;
         to_by_reg[info.reg].push_back(info);
     }
 
     const Classification cls = classify(tp);
-    const auto seeds = collect_seeds(tp, placed);
+    const auto seeds = collect_seeds(tp, placed_elems);
 
     MigrationReport report;
     std::set<std::pair<ir::RegisterId, std::int64_t>> handled;

@@ -315,6 +315,29 @@ std::uint64_t Pipeline::meta(std::string_view field, std::int64_t index) const {
     return phv_.at(static_cast<std::size_t>(it->second));
 }
 
+bool Pipeline::meta_materialized(std::string_view field, std::int64_t index) const {
+    const ir::MetaFieldId f = prog_.find_meta(field);
+    if (f == ir::kNoId) {
+        throw support::Error(support::Errc::SimUnknownName,
+                             "simulator: unknown metadata field '" + std::string(field) + "'");
+    }
+    return meta_slots_.count({f, index}) > 0;
+}
+
+std::size_t Pipeline::compiled_instance_count() const noexcept {
+    std::size_t n = 0;
+    for (const Stage& stage : stages_) n += stage.instances.size();
+    return n;
+}
+
+std::size_t Pipeline::compiled_op_count() const noexcept {
+    std::size_t n = 0;
+    for (const Stage& stage : stages_) {
+        for (const CompiledInstance& inst : stage.instances) n += inst.ops.size();
+    }
+    return n;
+}
+
 const Pipeline::RegState& Pipeline::checked_row(std::string_view reg, std::int64_t instance,
                                                 std::int64_t index) const {
     const ir::RegisterId r = prog_.find_register(reg);

@@ -68,6 +68,11 @@ public:
     /// fields pass the element index.
     [[nodiscard]] std::uint64_t meta(std::string_view field, std::int64_t index = 0) const;
 
+    /// Whether a metadata chunk was materialized by this layout (meta()
+    /// throws on unmaterialized chunks). Differential tests use this to
+    /// compare only the slots both pipelines carry.
+    [[nodiscard]] bool meta_materialized(std::string_view field, std::int64_t index = 0) const;
+
     /// Direct register-state access, for controller logic (e.g. NetCache
     /// cache insertion) and tests.
     [[nodiscard]] std::uint64_t reg_read(std::string_view reg, std::int64_t instance,
@@ -97,6 +102,12 @@ public:
     /// Static register accesses running without a per-packet bounds wrap
     /// because a matching proved ProofFact covered them.
     [[nodiscard]] std::size_t bounds_checks_elided() const noexcept { return elided_; }
+
+    /// Size of the compiled per-packet program: placed action instances and
+    /// total primitive ops executed per packet. The optimizer's wins show up
+    /// here (fewer ops, same behavior); benches and tests assert on it.
+    [[nodiscard]] std::size_t compiled_instance_count() const noexcept;
+    [[nodiscard]] std::size_t compiled_op_count() const noexcept;
 
 private:
     struct RegState {

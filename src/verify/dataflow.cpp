@@ -51,6 +51,57 @@ DataplaneView min_sizing_view(const ir::Program& prog) {
     return view;
 }
 
+std::optional<DataplaneView> bounded_sizing_view(const ir::Program& prog,
+                                                 std::int64_t max_instances) {
+    DataplaneView view;
+    const BoundEnv env(prog);
+
+    // Upper-bound every iteration symbol; instances past the lower bound
+    // only exist under some sizings and become weak (optional) writers.
+    std::vector<std::int64_t> uppers(prog.symbols.size(), 1);
+    std::vector<std::int64_t> lowers(prog.symbols.size(), 1);
+    for (std::size_t s = 0; s < prog.symbols.size(); ++s) {
+        if (prog.symbols[s].role != ir::SymbolRole::IterationCount) continue;
+        const Interval dom = env.symbol(static_cast<ir::SymbolId>(s));
+        if (dom.empty() || !dom.bounded_above() || dom.hi < 1) return std::nullopt;
+        uppers[s] = dom.hi;
+        lowers[s] = std::max<std::int64_t>(1, dom.lo);
+    }
+
+    std::int64_t total = 0;
+    for (const ir::CallSite& site : prog.flow) {
+        total += site.elastic() ? uppers[static_cast<std::size_t>(site.loop_bound)] : 1;
+        if (total > max_instances) return std::nullopt;
+    }
+
+    view.stage_count = static_cast<int>(prog.flow.size());
+    for (const analysis::Instance& inst : analysis::instantiate_all(prog, uppers)) {
+        const ir::CallSite& site = prog.flow[static_cast<std::size_t>(inst.call)];
+        const bool optional =
+            site.elastic() && inst.iter >= lowers[static_cast<std::size_t>(site.loop_bound)];
+        view.instances.push_back({inst, inst.call, optional});
+    }
+
+    for (const ViewInstance& vi : view.instances) {
+        const ir::CallSite& site = prog.flow[static_cast<std::size_t>(vi.inst.call)];
+        const ir::Action& action = prog.action(site.action);
+        const std::int64_t param = site.iter_arg.at(vi.inst.iter);
+        const auto note_row = [&](const ir::RegRef& rr) {
+            const Interval elems = env.extent(prog.reg(rr.reg).elems);
+            if (!elems.empty() && elems.is_point()) {
+                view.reg_elems[{rr.reg, rr.instance.at(param)}] = elems.lo;
+            }
+        };
+        for (const ir::PrimOp& op : action.ops) {
+            if (op.reg) note_row(*op.reg);
+            if (op.modulus) {
+                if (const auto* rr = std::get_if<ir::RegRef>(&*op.modulus)) note_row(*rr);
+            }
+        }
+    }
+    return view;
+}
+
 // ---------------------------------------------------------------------------
 // Domain operations.
 // ---------------------------------------------------------------------------
@@ -244,6 +295,74 @@ typename Domain::Value StageDataflow<Domain>::eval(const ir::Value& v,
 }
 
 template <typename Domain>
+std::optional<typename Domain::Value> StageDataflow<Domain>::op_result(
+    const ir::PrimOp& op, const std::vector<Value>& local, std::int64_t param,
+    const ViewInstance& vi, int op_index, std::vector<RegAccess>* record) {
+    std::optional<Value> result;
+    switch (op.kind) {
+        case ir::PrimKind::Hash: {
+            std::int64_t mod = 0;
+            if (op.modulus) {
+                if (const auto* lit = std::get_if<std::int64_t>(&*op.modulus)) {
+                    mod = *lit;
+                } else if (const auto* rr = std::get_if<ir::RegRef>(&*op.modulus)) {
+                    mod = view_->elems(rr->reg, rr->instance.at(param)).value_or(0);
+                }
+            }
+            std::vector<Value> srcs;
+            srcs.reserve(op.srcs.size());
+            for (const ir::Value& src : op.srcs) srcs.push_back(eval(src, local, param));
+            const int w = op.dst ? prog_->meta(op.dst->field).width : 64;
+            result = domain_.hash_result(mod, srcs, w);
+            break;
+        }
+        case ir::PrimKind::Set:
+            result = eval(op.srcs.at(0), local, param);
+            break;
+        case ir::PrimKind::Add:
+            result = domain_.add(eval(op.srcs.at(0), local, param),
+                                 eval(op.srcs.at(1), local, param), 64);
+            break;
+        case ir::PrimKind::Sub:
+            result = domain_.sub(eval(op.srcs.at(0), local, param),
+                                 eval(op.srcs.at(1), local, param), 64);
+            break;
+        case ir::PrimKind::Min:
+        case ir::PrimKind::Max: {
+            const Value cur = op.dst ? eval(ir::Value(*op.dst), local, param) : domain_.top(64);
+            const Value src = eval(op.srcs.at(0), local, param);
+            result = op.kind == ir::PrimKind::Min ? domain_.min_(cur, src)
+                                                  : domain_.max_(cur, src);
+            break;
+        }
+        case ir::PrimKind::RegAdd:
+        case ir::PrimKind::RegRead:
+        case ir::PrimKind::RegWrite:
+        case ir::PrimKind::RegMin:
+        case ir::PrimKind::RegMax: {
+            const ir::RegRef& rr = *op.reg;
+            const std::int64_t row = rr.instance.at(param);
+            const Value idxv =
+                op.reg_index ? eval(*op.reg_index, local, param) : domain_.literal(0);
+            const Value operand =
+                op.srcs.empty() ? domain_.zero() : eval(op.srcs.at(0), local, param);
+            if (record) {
+                record->push_back({vi, op_index, &op, row, idxv, operand});
+            }
+            if (op.kind != ir::PrimKind::RegRead) {
+                domain_.reg_store(rr.reg, op.kind, operand, idxv);
+            }
+            if (op.dst) {
+                result = domain_.reg_result(rr.reg, op.kind, operand, idxv,
+                                            prog_->reg(rr.reg).width);
+            }
+            break;
+        }
+    }
+    return result;
+}
+
+template <typename Domain>
 std::vector<typename Domain::Value> StageDataflow<Domain>::transfer(
     int stage, const std::vector<Value>& in, std::vector<RegAccess>* record) {
     std::vector<Value> out = in;
@@ -253,74 +372,15 @@ std::vector<typename Domain::Value> StageDataflow<Domain>::transfer(
         const ir::CallSite& site = prog_->flow[static_cast<std::size_t>(vi.inst.call)];
         const ir::Action& action = prog_->action(site.action);
         const std::int64_t param = site.iter_arg.at(vi.inst.iter);
-        const bool guarded = !site.guards.empty();
+        // Optional instances (sizing-dependent iterations) may not exist, so
+        // their writes are as weak as guarded ones.
+        const bool guarded = !site.guards.empty() || vi.optional;
         // Ops inside one action run sequentially over a local overlay.
         std::vector<Value> local = in;
         for (std::size_t oi = 0; oi < action.ops.size(); ++oi) {
             const ir::PrimOp& op = action.ops[oi];
-            std::optional<Value> result;
-            switch (op.kind) {
-                case ir::PrimKind::Hash: {
-                    std::int64_t mod = 0;
-                    if (op.modulus) {
-                        if (const auto* lit = std::get_if<std::int64_t>(&*op.modulus)) {
-                            mod = *lit;
-                        } else if (const auto* rr = std::get_if<ir::RegRef>(&*op.modulus)) {
-                            mod = view_->elems(rr->reg, rr->instance.at(param)).value_or(0);
-                        }
-                    }
-                    std::vector<Value> srcs;
-                    srcs.reserve(op.srcs.size());
-                    for (const ir::Value& src : op.srcs) srcs.push_back(eval(src, local, param));
-                    const int w = op.dst ? prog_->meta(op.dst->field).width : 64;
-                    result = domain_.hash_result(mod, srcs, w);
-                    break;
-                }
-                case ir::PrimKind::Set:
-                    result = eval(op.srcs.at(0), local, param);
-                    break;
-                case ir::PrimKind::Add:
-                    result = domain_.add(eval(op.srcs.at(0), local, param),
-                                         eval(op.srcs.at(1), local, param), 64);
-                    break;
-                case ir::PrimKind::Sub:
-                    result = domain_.sub(eval(op.srcs.at(0), local, param),
-                                         eval(op.srcs.at(1), local, param), 64);
-                    break;
-                case ir::PrimKind::Min:
-                case ir::PrimKind::Max: {
-                    const Value cur =
-                        op.dst ? eval(ir::Value(*op.dst), local, param) : domain_.top(64);
-                    const Value src = eval(op.srcs.at(0), local, param);
-                    result = op.kind == ir::PrimKind::Min ? domain_.min_(cur, src)
-                                                          : domain_.max_(cur, src);
-                    break;
-                }
-                case ir::PrimKind::RegAdd:
-                case ir::PrimKind::RegRead:
-                case ir::PrimKind::RegWrite:
-                case ir::PrimKind::RegMin:
-                case ir::PrimKind::RegMax: {
-                    const ir::RegRef& rr = *op.reg;
-                    const std::int64_t row = rr.instance.at(param);
-                    const Value idxv = op.reg_index ? eval(*op.reg_index, local, param)
-                                                    : domain_.literal(0);
-                    const Value operand =
-                        op.srcs.empty() ? domain_.zero() : eval(op.srcs.at(0), local, param);
-                    if (record) {
-                        record->push_back(
-                            {vi, static_cast<int>(oi), &op, row, idxv, operand});
-                    }
-                    if (op.kind != ir::PrimKind::RegRead) {
-                        domain_.reg_store(rr.reg, op.kind, operand, idxv);
-                    }
-                    if (op.dst) {
-                        result = domain_.reg_result(rr.reg, op.kind, operand, idxv,
-                                                    prog_->reg(rr.reg).width);
-                    }
-                    break;
-                }
-            }
+            std::optional<Value> result =
+                op_result(op, local, param, vi, static_cast<int>(oi), record);
             if (op.dst && result) {
                 const int slot = slot_of(op.dst->field, op.dst->index.at(param));
                 if (slot < 0) continue;
@@ -403,6 +463,32 @@ void StageDataflow<Domain>::solve(const SolveOptions& opts) {
     for (int s = 0; s < n; ++s) {
         (void)transfer(s, in_[static_cast<std::size_t>(s)], &accesses_);
     }
+}
+
+template <typename Domain>
+typename Domain::Value StageDataflow<Domain>::value_entering_op(std::size_t instance_index,
+                                                                int op_index,
+                                                                const ir::Value& v) {
+    const ViewInstance& vi = view_->instances.at(instance_index);
+    const ir::CallSite& site = prog_->flow[static_cast<std::size_t>(vi.inst.call)];
+    const ir::Action& action = prog_->action(site.action);
+    const std::int64_t param = site.iter_arg.at(vi.inst.iter);
+    // Replay the ops before op_index over the solved stage-entry state: ops in
+    // one action read their own earlier writes through the local overlay,
+    // while guards (op_index 0) and the first op read the stage entry as-is.
+    std::vector<Value> local = in_.at(static_cast<std::size_t>(vi.stage));
+    const int upto = std::min<int>(op_index, static_cast<int>(action.ops.size()));
+    for (int oi = 0; oi < upto; ++oi) {
+        const ir::PrimOp& op = action.ops[static_cast<std::size_t>(oi)];
+        std::optional<Value> result = op_result(op, local, param, vi, oi, nullptr);
+        if (op.dst && result) {
+            const int slot = slot_of(op.dst->field, op.dst->index.at(param));
+            if (slot < 0) continue;
+            local[static_cast<std::size_t>(slot)] =
+                domain_.mask(*result, prog_->meta(op.dst->field).width);
+        }
+    }
+    return eval(v, local, param);
 }
 
 template class StageDataflow<IntervalDomain>;

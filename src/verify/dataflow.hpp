@@ -45,10 +45,14 @@ namespace p4all::verify {
 // Dataplane view: the control-flow skeleton the solver walks.
 // ---------------------------------------------------------------------------
 
-/// One placed action instance and the stage it executes in.
+/// One placed action instance and the stage it executes in. `optional`
+/// marks instances that exist only under some admissible sizings (elastic
+/// iterations at or above the assume lower bound); their writes are weak
+/// updates, exactly like guarded writes.
 struct ViewInstance {
     analysis::Instance inst;
     int stage = 0;
+    bool optional = false;
 };
 
 /// A neutral description of one concrete dataplane: which action instances
@@ -75,6 +79,17 @@ struct DataplaneView {
 /// schedule), instantiated at the assume lower bounds. Register element
 /// counts are recorded only when the extent is pinned to a single value.
 [[nodiscard]] DataplaneView min_sizing_view(const ir::Program& prog);
+
+/// Layout-free view covering *every* admissible sizing at once: elastic
+/// call sites are instantiated at the assume **upper** bounds, with the
+/// iterations at or above the lower bound marked optional (their writes
+/// join instead of overwriting). A fact derived over this view holds for
+/// any assignment that satisfies the assumes — this is what licenses
+/// constant propagation before the layout is known. Returns nullopt when
+/// any elastic loop bound has no finite assume upper bound or the total
+/// instance count would exceed `max_instances`.
+[[nodiscard]] std::optional<DataplaneView> bounded_sizing_view(const ir::Program& prog,
+                                                               std::int64_t max_instances = 2048);
 
 // ---------------------------------------------------------------------------
 // Abstract domains.
@@ -265,6 +280,15 @@ public:
     /// Every static register access, in deterministic stage-major order.
     [[nodiscard]] const std::vector<RegAccess>& reg_accesses() const { return accesses_; }
 
+    /// Abstract value of operand `v` as read by op `op_index` of view
+    /// instance `instance_index` (ops before it are replayed over the
+    /// action's local overlay from the solved stage-entry state; guards are
+    /// read at op_index 0). Requires solve(). Only meaningful for domains
+    /// without persistent accumulators (interval, known-bits): the replay
+    /// re-fires reg_store, which those domains ignore.
+    [[nodiscard]] Value value_entering_op(std::size_t instance_index, int op_index,
+                                          const ir::Value& v);
+
     [[nodiscard]] Domain& domain() { return domain_; }
 
 private:
@@ -277,6 +301,9 @@ private:
     void collect_slots();
     std::vector<Value> transfer(int stage, const std::vector<Value>& in,
                                 std::vector<RegAccess>* record);
+    std::optional<Value> op_result(const ir::PrimOp& op, const std::vector<Value>& local,
+                                   std::int64_t param, const ViewInstance& vi, int op_index,
+                                   std::vector<RegAccess>* record);
     Value eval(const ir::Value& v, const std::vector<Value>& env, std::int64_t param) const;
 
     const ir::Program* prog_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <variant>
 
 namespace p4all::verify {
 
@@ -198,6 +199,41 @@ Interval BoundEnv::affine(const ir::Affine& a, const Interval& iter) const {
 
 Interval BoundEnv::extent(const ir::Extent& e) const {
     return e.symbolic() ? symbol(e.sym) : Interval::point(e.literal);
+}
+
+namespace {
+
+Interval guard_operand_range(const BoundEnv& bounds, const ir::Program& prog,
+                             const ir::Value& v, const Interval& iter) {
+    if (const auto* a = std::get_if<ir::Affine>(&v)) {
+        return bounds.affine(*a, iter);
+    }
+    if (const auto* m = std::get_if<ir::MetaRef>(&v)) {
+        return Interval::of_width(prog.meta(m->field).width);
+    }
+    if (const auto* p = std::get_if<ir::PacketRef>(&v)) {
+        return Interval::of_width(prog.packet(p->field).width);
+    }
+    return Interval::all();
+}
+
+}  // namespace
+
+Truth guard_truth(const BoundEnv& bounds, const ir::Program& prog, const ir::CallSite& site,
+                  const ir::Cond& guard) {
+    const Interval iter = bounds.iterations(site.loop_bound);
+    const auto* l = std::get_if<ir::Affine>(&guard.lhs);
+    const auto* r = std::get_if<ir::Affine>(&guard.rhs);
+    if (l != nullptr && r != nullptr) {
+        // Both sides affine in the same iteration variable: compare the
+        // difference, which is exact even for correlated operands like
+        // `i < i + 1` (interval-pair comparison would lose the correlation
+        // and answer Unknown).
+        const ir::Affine diff{l->coeff_iter - r->coeff_iter, l->constant - r->constant};
+        return compare(guard.op, bounds.affine(diff, iter), Interval::point(0));
+    }
+    return compare(guard.op, guard_operand_range(bounds, prog, guard.lhs, iter),
+                   guard_operand_range(bounds, prog, guard.rhs, iter));
 }
 
 }  // namespace p4all::verify

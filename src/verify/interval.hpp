@@ -105,4 +105,14 @@ private:
     std::vector<Interval> symbols_;  // indexed by SymbolId
 };
 
+/// Decides a guard of `site` purely from the assume-derived bounds: True or
+/// False only when the comparison holds (or fails) for every admissible
+/// symbolic assignment and loop iteration. Affine-vs-affine guards compare
+/// the operand difference, which stays exact for correlated operands like
+/// `i < i + 1`; metadata and packet operands range over their full width.
+/// Shared by the guard-unreachable lint pass, the optimizer's guard rules,
+/// and the rewrite-validity audit replay.
+[[nodiscard]] Truth guard_truth(const BoundEnv& bounds, const ir::Program& prog,
+                                const ir::CallSite& site, const ir::Cond& guard);
+
 }  // namespace p4all::verify

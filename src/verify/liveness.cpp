@@ -1,0 +1,219 @@
+#include "verify/liveness.hpp"
+
+#include <string>
+#include <variant>
+
+#include "verify/lint.hpp"
+
+namespace p4all::verify {
+
+namespace {
+
+using ir::MetaRef;
+using ir::PrimKind;
+using ir::PrimOp;
+using ir::RegRef;
+using ir::Value;
+
+bool is_reg_op(PrimKind k) {
+    return k == PrimKind::RegAdd || k == PrimKind::RegRead || k == PrimKind::RegWrite ||
+           k == PrimKind::RegMin || k == PrimKind::RegMax;
+}
+
+bool is_reg_update(PrimKind k) {
+    return is_reg_op(k) && k != PrimKind::RegRead;
+}
+
+/// Does `op` read metadata field `field` through a source or index operand?
+bool reads_meta(const PrimOp& op, ir::MetaFieldId field) {
+    const auto hit = [field](const Value& v) {
+        const auto* m = std::get_if<MetaRef>(&v);
+        return m != nullptr && m->field == field;
+    };
+    for (const Value& src : op.srcs) {
+        if (hit(src)) return true;
+    }
+    return op.reg_index && hit(*op.reg_index);
+}
+
+/// Does `op` mention register `reg` anywhere (target, operand, index, range)?
+bool references_reg(const PrimOp& op, ir::RegisterId reg) {
+    if (op.reg && op.reg->reg == reg) return true;
+    if (op.modulus) {
+        if (const auto* r = std::get_if<RegRef>(&*op.modulus); r != nullptr && r->reg == reg) {
+            return true;
+        }
+    }
+    const auto hit = [reg](const Value& v) {
+        const auto* r = std::get_if<RegRef>(&v);
+        return r != nullptr && r->reg == reg;
+    };
+    for (const Value& src : op.srcs) {
+        if (hit(src)) return true;
+    }
+    return op.reg_index && hit(*op.reg_index);
+}
+
+}  // namespace
+
+std::vector<RegisterUse> register_usage(const ir::Program& prog) {
+    std::vector<RegisterUse> use(prog.registers.size());
+    const auto mark_read = [&](const Value& v) {
+        if (const auto* r = std::get_if<RegRef>(&v)) {
+            use[static_cast<std::size_t>(r->reg)].state_read = true;
+        }
+    };
+    for (const ir::Action& action : prog.actions) {
+        for (const PrimOp& op : action.ops) {
+            if (op.reg) {
+                auto& u = use[static_cast<std::size_t>(op.reg->reg)];
+                if (is_reg_update(op.kind)) u.written = true;
+                // The dataplane sees the contents through a plain read or a
+                // read-modify-write that lands the result in metadata.
+                if (op.kind == PrimKind::RegRead || op.dst) u.state_read = true;
+            }
+            if (op.modulus) {
+                if (const auto* r = std::get_if<RegRef>(&*op.modulus)) {
+                    use[static_cast<std::size_t>(r->reg)].hash_range = true;
+                }
+            }
+            for (const Value& src : op.srcs) mark_read(src);
+            if (op.reg_index) mark_read(*op.reg_index);
+        }
+    }
+    for (const ir::CallSite& site : prog.flow) {
+        for (const ir::Cond& guard : site.guards) {
+            mark_read(guard.lhs);
+            mark_read(guard.rhs);
+        }
+    }
+    return use;
+}
+
+std::vector<DeadStore> dead_meta_stores(const ir::Program& prog) {
+    std::vector<DeadStore> out;
+    for (std::size_t ai = 0; ai < prog.actions.size(); ++ai) {
+        const ir::Action& action = prog.actions[ai];
+        for (std::size_t j = 0; j < action.ops.size(); ++j) {
+            const PrimOp& store = action.ops[j];
+            // Only a pure op can be deleted outright; register ops keep their
+            // state side effect even when the meta result is shadowed.
+            if (!store.dst || is_reg_op(store.kind)) continue;
+            for (std::size_t k = j + 1; k < action.ops.size(); ++k) {
+                const PrimOp& later = action.ops[k];
+                if (reads_meta(later, store.dst->field)) break;
+                const bool reads_own_dst =
+                    later.kind == PrimKind::Min || later.kind == PrimKind::Max;
+                if (reads_own_dst && later.dst && later.dst->field == store.dst->field) break;
+                if (later.dst && !reads_own_dst && *later.dst == *store.dst) {
+                    out.push_back({static_cast<ir::ActionId>(ai), static_cast<int>(j),
+                                   static_cast<int>(k)});
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<DeadStore> dead_register_stores(const ir::Program& prog) {
+    std::vector<DeadStore> out;
+    for (std::size_t ai = 0; ai < prog.actions.size(); ++ai) {
+        const ir::Action& action = prog.actions[ai];
+        for (std::size_t j = 0; j < action.ops.size(); ++j) {
+            const PrimOp& store = action.ops[j];
+            // The shadowed update must not land anything in metadata, or
+            // deleting it would lose that write.
+            if (!is_reg_update(store.kind) || store.dst || !store.reg) continue;
+            const auto* index_meta =
+                store.reg_index ? std::get_if<MetaRef>(&*store.reg_index) : nullptr;
+            for (std::size_t k = j + 1; k < action.ops.size(); ++k) {
+                const PrimOp& later = action.ops[k];
+                // A write to the field the cell index reads would redirect the
+                // later store to a different cell.
+                if (index_meta && later.dst && later.dst->field == index_meta->field) break;
+                const bool same_cell =
+                    later.kind == PrimKind::RegWrite && later.reg && *later.reg == *store.reg &&
+                    later.reg_index.has_value() == store.reg_index.has_value() &&
+                    (!later.reg_index || *later.reg_index == *store.reg_index);
+                if (same_cell) {
+                    // The overwriting value itself must not read the register.
+                    bool clean = true;
+                    for (const Value& src : later.srcs) {
+                        if (const auto* r = std::get_if<RegRef>(&src);
+                            r != nullptr && r->reg == store.reg->reg) {
+                            clean = false;
+                        }
+                    }
+                    if (clean) {
+                        out.push_back({static_cast<ir::ActionId>(ai), static_cast<int>(j),
+                                       static_cast<int>(k)});
+                    }
+                    break;
+                }
+                if (references_reg(later, store.reg->reg)) break;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+class DeadRegisterWritePass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "dead-register-write"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "register writes are read back somewhere in the dataplane";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        const std::vector<RegisterUse> use = register_usage(prog);
+        for (const ir::Action& action : prog.actions) {
+            for (const PrimOp& op : action.ops) {
+                if (!op.reg || !is_reg_update(op.kind)) continue;
+                const auto& u = use[static_cast<std::size_t>(op.reg->reg)];
+                if (!u.written || u.state_read) continue;
+                ctx.warning(op.loc,
+                            "write to register '" + prog.reg(op.reg->reg).name +
+                                "' is never read back by the dataplane",
+                            "read the register in a later stage, or drop it if the "
+                            "controller does not poll it either");
+            }
+        }
+    }
+};
+
+class UnusedExternPass final : public LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "unused-extern"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "register storage backing a hash range is actually read or written";
+    }
+
+    void run(LintContext& ctx) override {
+        const ir::Program& prog = ctx.program();
+        const std::vector<RegisterUse> use = register_usage(prog);
+        for (std::size_t i = 0; i < prog.registers.size(); ++i) {
+            const auto& u = use[i];
+            if (!u.hash_range || u.written || u.state_read) continue;
+            ctx.warning(prog.registers[i].loc,
+                        "register '" + prog.registers[i].name +
+                            "' only sizes a hash range; its storage is never read or written",
+                        "hash modulo a constant instead of allocating a register");
+        }
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<LintPass> make_dead_register_write_pass() {
+    return std::make_unique<DeadRegisterWritePass>();
+}
+
+std::unique_ptr<LintPass> make_unused_extern_pass() {
+    return std::make_unique<UnusedExternPass>();
+}
+
+}  // namespace p4all::verify

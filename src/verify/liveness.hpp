@@ -1,0 +1,75 @@
+// Liveness facts over register and metadata writes.
+//
+// Three syntactic-but-sound analyses shared by the optimizer (src/opt/), the
+// rewrite-validity audit replay (src/audit/), and two lint passes:
+//
+//  * register_usage — per-register summary of how the dataplane touches it
+//    (written, read back, used as a hash range). The controller can always
+//    read register rows off-switch, so "never state_read" does NOT mean the
+//    register is dead — it means its contents never influence packets.
+//  * dead_meta_stores — metadata writes shadowed by a later write in the same
+//    action with no intervening read. Sound per the simulator's semantics:
+//    ops within one action instance read their own earlier writes through a
+//    local overlay, guards read the stage entry, and other instances never
+//    observe intermediate values.
+//  * dead_register_stores — register updates overwritten by a later
+//    unconditional RegWrite to the syntactically identical cell with no
+//    intervening access to the register. Sound because one instance's ops
+//    execute contiguously over the (immediately mutated) global register
+//    state.
+//
+// All three are per-action and parameter-independent: shadowing is only
+// reported when the two destinations are syntactically identical, which makes
+// them the same slot for every loop iteration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace p4all::verify {
+
+class LintPass;
+
+/// How the dataplane uses one register array.
+struct RegisterUse {
+    bool written = false;     ///< target of RegWrite/RegAdd/RegMin/RegMax
+    bool state_read = false;  ///< contents observable in-dataplane: RegRead,
+                              ///< an RMW with a meta destination, or a RegRef
+                              ///< in operand/index/guard position
+    bool hash_range = false;  ///< used as a hash modulus
+
+    [[nodiscard]] bool accessed() const noexcept { return written || state_read || hash_range; }
+};
+
+/// Usage summary indexed by RegisterId, over every action in the program
+/// (reachable or not — structural references keep a register alive).
+[[nodiscard]] std::vector<RegisterUse> register_usage(const ir::Program& prog);
+
+/// One shadowed write: actions[action].ops[op] is made dead by
+/// actions[action].ops[overwritten_by].
+struct DeadStore {
+    ir::ActionId action = ir::kNoId;
+    int op = -1;
+    int overwritten_by = -1;
+};
+
+/// Pure metadata writes (Set/Add/Sub/Min/Max/Hash) shadowed by a later write
+/// to the identical destination with no intervening read of the field.
+[[nodiscard]] std::vector<DeadStore> dead_meta_stores(const ir::Program& prog);
+
+/// Register updates without a meta destination shadowed by a later RegWrite
+/// to the identical cell with no intervening access to the register (and no
+/// write to a meta field the cell index depends on).
+[[nodiscard]] std::vector<DeadStore> dead_register_stores(const ir::Program& prog);
+
+/// Lint: warns on every write to a register whose contents the dataplane
+/// never reads back (check id "dead-register-write").
+[[nodiscard]] std::unique_ptr<LintPass> make_dead_register_write_pass();
+
+/// Lint: warns on registers that only serve as a hash range (check id
+/// "unused-extern") — the allocated storage is never read or written.
+[[nodiscard]] std::unique_ptr<LintPass> make_unused_extern_pass();
+
+}  // namespace p4all::verify

@@ -17,6 +17,7 @@
 #include "analysis/instances.hpp"
 #include "analysis/unroll.hpp"
 #include "verify/dataflow.hpp"
+#include "verify/liveness.hpp"
 #include "verify/lint.hpp"
 
 namespace p4all::verify {
@@ -454,36 +455,7 @@ public:
 
 private:
     Truth decide(LintContext& ctx, const CallSite& site, const ir::Cond& guard) const {
-        const BoundEnv& bounds = ctx.bounds();
-        const Interval iter = bounds.iterations(site.loop_bound);
-        const auto* l = std::get_if<Affine>(&guard.lhs);
-        const auto* r = std::get_if<Affine>(&guard.rhs);
-        if (l != nullptr && r != nullptr) {
-            // Both sides affine in the same iteration variable: compare the
-            // difference, which is exact even for correlated operands like
-            // `i < i + 1` (interval-pair comparison would lose the
-            // correlation and answer Unknown).
-            const Affine diff{l->coeff_iter - r->coeff_iter, l->constant - r->constant};
-            return compare(guard.op, bounds.affine(diff, iter), Interval::point(0));
-        }
-        return compare(guard.op, operand_range(ctx, site, guard.lhs, iter),
-                       operand_range(ctx, site, guard.rhs, iter));
-    }
-
-    Interval operand_range(LintContext& ctx, const CallSite& site, const Value& v,
-                           const Interval& iter) const {
-        const ir::Program& prog = ctx.program();
-        if (const auto* a = std::get_if<Affine>(&v)) {
-            return ctx.bounds().affine(*a, iter);
-        }
-        if (const auto* m = std::get_if<MetaRef>(&v)) {
-            return Interval::of_width(prog.meta(m->field).width);
-        }
-        if (const auto* p = std::get_if<PacketRef>(&v)) {
-            return Interval::of_width(prog.packet(p->field).width);
-        }
-        (void)site;
-        return Interval::all();
+        return guard_truth(ctx.bounds(), ctx.program(), site, guard);
     }
 };
 
@@ -738,6 +710,8 @@ void register_builtin_passes(PassRegistry& registry) {
     registry.add(std::make_unique<WidthOverflowPass>());
     registry.add(std::make_unique<ScheduleInfeasiblePass>());
     registry.add(make_cross_flow_interference_pass());
+    registry.add(make_dead_register_write_pass());
+    registry.add(make_unused_extern_pass());
 }
 
 }  // namespace p4all::verify

@@ -38,14 +38,35 @@ optimize rows * cols;
 
 TEST(Compile, CmsOnRunningExampleTarget) {
     // S=3, M=2048b, F=L=2: cols is pinned to 64 (a full stage of memory),
-    // so the optimum is rows=2 in separate stages — utility 128.
+    // so the optimum is rows=2 in separate stages — utility 128. Compiled
+    // at -O0: this test pins the layout of the program as written (kCms
+    // never initializes min_val, so the optimizer would elide find_min —
+    // see CmsDeadFindMinElidedByOptimizer).
     CompileOptions opts;
     opts.target = target::running_example();
+    opts.opt_level = 0;
     const CompileResult r = compile_source(kCms, opts, "cms");
     EXPECT_EQ(r.layout.binding(r.program.find_symbol("rows")), 2);
     EXPECT_EQ(r.layout.binding(r.program.find_symbol("cols")), 64);
     EXPECT_NEAR(r.utility, 128.0, 1e-6);
     EXPECT_EQ(r.layout.total_actions(), 4u);  // incr×2 + take_min×2
+}
+
+TEST(Compile, CmsDeadFindMinElidedByOptimizer) {
+    // kCms never writes min_val before find_min reads it, so the guard
+    // `count[i] < min_val` compares unsigned against a constant 0 and can
+    // never hold. At the default -O1 the optimizer folds the operand and
+    // removes the take_min calls as unreachable — freeing enough ALU to fit
+    // a third sketch row on the same 3-stage target.
+    CompileOptions opts;
+    opts.target = target::running_example();
+    const CompileResult r = compile_source(kCms, opts, "cms");
+    ASSERT_TRUE(r.artifacts != nullptr);
+    EXPECT_TRUE(r.artifacts->optimized);
+    EXPECT_EQ(r.artifacts->rewrites.size(), 2u);  // const-fold-guard + call-unreachable
+    EXPECT_EQ(r.layout.binding(r.program.find_symbol("rows")), 3);
+    EXPECT_NEAR(r.utility, 192.0, 1e-6);
+    EXPECT_EQ(r.layout.total_actions(), 3u);  // incr×3, find_min gone
 }
 
 TEST(Compile, CmsOnTofinoLikeTarget) {
@@ -115,6 +136,7 @@ TEST(Compile, AuditCatchesTamperedLayouts) {
 TEST(Compile, GeneratedP4Reparses) {
     CompileOptions opts;
     opts.target = target::running_example();
+    opts.opt_level = 0;  // pins the 2-register layout of the program as written
     const CompileResult r = compile_source(kCms, opts, "cms");
     // The generated concrete program must be valid (inelastic) P4All and
     // elaborate to the same number of placed instances.
@@ -132,6 +154,7 @@ TEST(Compile, GeneratedP4Reparses) {
 TEST(Compile, StatsArePopulated) {
     CompileOptions opts;
     opts.target = target::running_example();
+    opts.opt_level = 0;  // unroll_bounds below are those of the unoptimized layout
     const CompileResult r = compile_source(kCms, opts, "cms");
     EXPECT_GT(r.stats.ilp_vars, 0);
     EXPECT_GT(r.stats.ilp_constraints, 0);
@@ -181,6 +204,7 @@ TEST(Compile, IlpUtilityAtLeastGreedy) {
 TEST(Compile, StageWindowPresolveDoesNotChangeOptimum) {
     CompileOptions with;
     with.target = target::running_example();
+    with.opt_level = 0;  // the window pruning below needs kCms's two calls intact
     with.ilpgen.stage_windows = true;
     CompileOptions without = with;
     without.ilpgen.stage_windows = false;

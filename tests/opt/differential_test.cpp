@@ -1,0 +1,165 @@
+// Differential fuzz gate for the IR optimizer (ISSUE satellite): the
+// optimized and unoptimized pipelines, run over the *same physical layout*
+// (remap_layout_for_optimized transplants the -O0 layout onto the rewritten
+// program), must be bit-identical on every materialized metadata slot and on
+// all surviving register state, packet for packet, across all four benchmark
+// applications. CI sets P4ALL_FUZZ_PACKETS to push this past 250k
+// packets/app; the sanitize jobs run the same suite under ASan and TSan.
+//
+// Sizes are pinned so the bounded-sizing view is a singleton and the
+// constant-propagation rewrites actually fire — an unpinned app admits many
+// layouts and the optimizer conservatively leaves it alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/applications.hpp"
+#include "apps/netcache.hpp"
+#include "compiler/artifacts.hpp"
+#include "compiler/compiler.hpp"
+#include "opt/optimizer.hpp"
+#include "sim/pipeline.hpp"
+#include "support/rng.hpp"
+
+namespace p4all::opt {
+namespace {
+
+std::string pin(const std::string& sym, std::int64_t value) {
+    return "assume " + sym + " == " + std::to_string(value) + ";\n";
+}
+
+struct DiffApp {
+    const char* name;
+    std::string source;  // app source with pinning assumes appended
+};
+
+std::vector<DiffApp> diff_apps() {
+    std::string sketchlearn, conquest;
+    for (int l = 0; l < 4; ++l) {
+        const std::string lvl = "lvl" + std::to_string(l);
+        sketchlearn += pin(lvl + "_rows", 2) + pin(lvl + "_cols", 128);
+        const std::string snap = "snap" + std::to_string(l);
+        conquest += pin(snap + "_rows", 2) + pin(snap + "_cols", 128);
+    }
+    return {
+        {"netcache", apps::netcache_source() + pin("cms_rows", 2) + pin("cms_cols", 256) +
+                         pin("kv_ways", 2) + pin("kv_slots", 64)},
+        {"sketchlearn", apps::sketchlearn_source() + sketchlearn},
+        {"precision", apps::precision_source() + pin("hh_ways", 2) + pin("hh_slots", 128)},
+        {"conquest", apps::conquest_source() + conquest},
+    };
+}
+
+const std::uint64_t kAdversarialKeys[] = {
+    0,
+    1,
+    ~0ULL,
+    ~0ULL - 1,
+    0x8000000000000000ULL,
+    0x7FFFFFFFFFFFFFFFULL,
+    0xAAAAAAAAAAAAAAAAULL,
+    0x5555555555555555ULL,
+    0xFFFFFFFF00000000ULL,
+    0x00000000FFFFFFFFULL,
+    0xDEADBEEFDEADBEEFULL,
+};
+
+class OptDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptDifferential, OptimizedVsUnoptimizedBitIdentical) {
+    const DiffApp app = diff_apps()[static_cast<std::size_t>(GetParam())];
+
+    // Compile once at -O0 (greedy — the sizes are pinned, layout search is
+    // irrelevant), then optimize the elaborated IR and transplant the layout.
+    compiler::CompileOptions options;
+    options.backend = compiler::Backend::Greedy;
+    options.opt_level = 0;
+    const compiler::CompileResult r = compiler::compile_source(app.source, options, app.name);
+
+    const OptResult o = optimize(r.program);
+    ASSERT_FALSE(o.rewrites.empty())
+        << app.name << ": pinned compile produced no rewrites — differential is vacuous";
+    RecordProperty("rewrites", static_cast<int>(o.rewrites.size()));
+    const compiler::Layout mapped = compiler::remap_layout_for_optimized(r.layout, o);
+
+    sim::Pipeline pre(r.program, r.layout);
+    sim::Pipeline post(o.program, mapped);
+
+    // pre-register id -> post-register id (removed registers map to -1).
+    std::vector<ir::RegisterId> pre_to_post(r.program.registers.size(), ir::kNoId);
+    for (std::size_t i = 0; i < o.reg_map.size(); ++i) {
+        pre_to_post[static_cast<std::size_t>(o.reg_map[i])] =
+            static_cast<ir::RegisterId>(i);
+    }
+
+    const auto expect_state_identical = [&](int at) {
+        for (const sim::RegRowInfo& row : pre.reg_rows()) {
+            const auto a = pre.reg_row_data(row.reg, row.instance);
+            const ir::RegisterId post_reg = pre_to_post[static_cast<std::size_t>(row.reg)];
+            if (post_reg == ir::kNoId) {
+                // Removed as a dead extern: never written, so the pre rows
+                // must still be all-zero or the removal was unsound.
+                for (const std::uint64_t v : a) {
+                    ASSERT_EQ(v, 0u) << app.name << ": removed register "
+                                     << r.program.reg(row.reg).name << " holds state";
+                }
+                continue;
+            }
+            const auto b = post.reg_row_data(post_reg, row.instance);
+            ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+                << app.name << ": register " << r.program.reg(row.reg).name << "_"
+                << row.instance << " diverged by packet " << at;
+        }
+    };
+
+    int packets = 4000;
+    if (const char* env = std::getenv("P4ALL_FUZZ_PACKETS")) {
+        packets = std::max(1, std::atoi(env));
+    }
+
+    const std::size_t fields = r.program.packet_fields.size();
+    support::Xoshiro256 rng(0x0D1F + static_cast<std::uint64_t>(GetParam()));
+    sim::Packet pkt(fields, 0);
+    for (int i = 0; i < packets; ++i) {
+        for (std::size_t f = 0; f < fields; ++f) {
+            switch (rng.next_below(4)) {
+                case 0:
+                    pkt[f] = kAdversarialKeys[rng.next_below(std::size(kAdversarialKeys))];
+                    break;
+                case 1: pkt[f] = rng(); break;          // full 64-bit
+                case 2: pkt[f] = rng.next_below(64); break;  // dense collisions
+                default: break;                              // repeat previous value
+            }
+        }
+        pre.process(pkt);
+        post.process(pkt);
+        for (const ir::MetaField& field : r.program.meta_fields) {
+            for (std::int64_t idx = 0;; ++idx) {
+                const bool in_pre = pre.meta_materialized(field.name, idx);
+                const bool in_post = post.meta_materialized(field.name, idx);
+                if (!in_pre || !in_post) break;  // only slots both layouts carry
+                ASSERT_EQ(pre.meta(field.name, idx), post.meta(field.name, idx))
+                    << app.name << ": meta." << field.name << "[" << idx
+                    << "] diverged at packet " << i;
+                if (!field.is_array()) break;
+            }
+        }
+        if (i % 256 == 0) expect_state_identical(i);
+    }
+    expect_state_identical(packets);
+}
+
+INSTANTIATE_TEST_SUITE_P(BenchmarkApps, OptDifferential, ::testing::Range(0, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                             return std::string(
+                                 diff_apps()[static_cast<std::size_t>(info.param)].name);
+                         });
+
+}  // namespace
+}  // namespace p4all::opt

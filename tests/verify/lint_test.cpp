@@ -37,9 +37,9 @@ std::size_t count_check(const LintResult& result, std::string_view check) {
 
 TEST(LintRegistry, ListsTheBuiltinPassesInOrder) {
     const std::vector<std::string> expected = {
-        "index-bounds",      "hash-range",     "seed-overlap",   "dead-code",
+        "index-bounds",      "hash-range",        "seed-overlap",   "dead-code",
         "constant-guard",    "guard-unreachable", "width-overflow", "schedule-infeasible",
-        "cross-flow-interference",
+        "cross-flow-interference", "dead-register-write", "unused-extern",
     };
     const auto passes = PassRegistry::global().passes();
     ASSERT_EQ(passes.size(), expected.size());
