@@ -13,6 +13,7 @@
 // Usage:
 //   bench_compile [--out BENCH_compile.json] [--reps N] [--check baseline.json]
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "apps/netcache.hpp"
 #include "bench_json.hpp"
 #include "compiler/compiler.hpp"
+#include "runtime/drivers.hpp"
+#include "runtime/runtime.hpp"
 
 namespace {
 
@@ -82,6 +85,60 @@ bench::InstanceReport bench_app_opt_level(const std::string& name, const std::st
     return rep;
 }
 
+/// Post-recovery warm restart: a cold daemon start (fresh compile +
+/// journal bring-up, dense) against ElasticRuntime::recover() from a
+/// committed journal (sparse). Recovery recompiles the proven epoch and
+/// additionally restores + checksums its snapshot, so the gate holds the
+/// crash-restart path to cold-start latency plus the usual allowance — an
+/// operator must never fear that recovering is slower than starting over.
+bench::InstanceReport bench_app_recover(const std::string& name, int reps) {
+    bench::InstanceReport rep;
+    rep.name = name + "-recover";
+    rep.kind = "compile-recover";
+
+    runtime::AppDriver driver = runtime::make_driver(name);
+    runtime::RuntimeOptions options;
+    options.compile.backend = compiler::Backend::Greedy;
+    options.exact_portfolio = false;
+    options.auto_reconfigure = false;
+
+    const std::string cold_dir =
+        (std::filesystem::temp_directory_path() / ("p4all_bench_cold_" + name)).string();
+    const std::string warm_dir =
+        (std::filesystem::temp_directory_path() / ("p4all_bench_warm_" + name)).string();
+
+    // One committed journal for every warm rep (recovery is idempotent).
+    std::filesystem::remove_all(warm_dir);
+    {
+        runtime::RuntimeOptions warm = options;
+        warm.journal_dir = warm_dir;
+        runtime::ElasticRuntime rt(driver.name, driver.source, warm, driver.profile);
+        rep.vars = static_cast<std::int64_t>(rt.pipeline().reg_rows().size());
+    }
+
+    rep.dense = bench::measure(reps, [&] {
+        std::filesystem::remove_all(cold_dir);
+        runtime::RuntimeOptions cold = options;
+        cold.journal_dir = cold_dir;
+        runtime::ElasticRuntime rt(driver.name, driver.source, cold, driver.profile);
+        return std::pair<std::int64_t, std::int64_t>(
+            static_cast<std::int64_t>(rt.epoch()), 1);
+    });
+    rep.sparse = bench::measure(reps, [&] {
+        runtime::RuntimeOptions warm = options;
+        warm.journal_dir = warm_dir;
+        runtime::RecoveryReport report;
+        auto rt = runtime::ElasticRuntime::recover(driver.name, driver.source, warm,
+                                                   driver.profile, &report);
+        return std::pair<std::int64_t, std::int64_t>(
+            static_cast<std::int64_t>(rt->epoch()),
+            static_cast<std::int64_t>(report.journal_records));
+    });
+    std::filesystem::remove_all(cold_dir);
+    std::filesystem::remove_all(warm_dir);
+    return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +172,10 @@ int main(int argc, char** argv) {
     instances.push_back(bench_app_opt_level("precision", apps::precision_source(), reps, 5.0));
     instances.push_back(
         bench_app_opt_level("conquest-s4", apps::conquest_source(4), reps, 5.0));
+    instances.push_back(bench_app_recover("netcache", reps));
+    instances.push_back(bench_app_recover("sketchlearn", reps));
+    instances.push_back(bench_app_recover("precision", reps));
+    instances.push_back(bench_app_recover("conquest", reps));
 
     bench::print_table(instances);
 

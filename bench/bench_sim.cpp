@@ -22,6 +22,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <span>
 #include <string>
 #include <utility>
@@ -35,6 +36,8 @@
 #include "opt/optimizer.hpp"
 #include "sim/pipeline.hpp"
 #include "support/rng.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
 
 namespace {
 
@@ -120,6 +123,84 @@ bench::InstanceReport bench_app(const std::string& name, const std::string& sour
                          static_cast<std::int64_t>(checked.bounds_checks_elided()));
     rep.sparse = stats_of(std::move(proved_ms),
                           static_cast<std::int64_t>(proved.bounds_checks_elided()));
+    return rep;
+}
+
+/// The trace-replay A/B: the same key stream fed from memory (dense)
+/// against streamed off the sealed binary trace file through
+/// workload::TraceReader (sparse). The delta is the whole record/replay
+/// tax — header validation, per-record reads — which the baseline gate
+/// holds to the usual allowance so deterministic repro stays cheap enough
+/// to run on every chaos failure.
+bench::InstanceReport bench_app_replay(const std::string& name, const std::string& source,
+                                       int reps, int packets) {
+    compiler::CompileOptions options;
+    options.backend = compiler::Backend::Greedy;
+    const compiler::CompileResult r = compiler::compile_source(source, options, name);
+
+    bench::InstanceReport rep;
+    rep.name = name + "-replay";
+    rep.kind = "sim-replay";
+    rep.rows = packets;
+
+    const workload::Trace trace =
+        workload::zipf_trace(static_cast<std::size_t>(packets), 600, 1.2, 0xBE4C);
+    const std::string trace_path =
+        (std::filesystem::temp_directory_path() / ("p4all_bench_" + name + ".trc")).string();
+    workload::save_binary_trace(trace, trace_path);
+    rep.vars = static_cast<std::int64_t>(trace.counts.size());
+
+    // Every packet field derives from the key, so both sides process the
+    // exact same packets and finish in the exact same register state.
+    const auto feed = [&](sim::Pipeline& pipe, std::uint64_t key) {
+        sim::Packet pkt(r.program.packet_fields.size(), 0);
+        for (std::size_t f = 0; f < pkt.size(); ++f) pkt[f] = 1 + (key + f) % 1'000'000;
+        pipe.process(pkt);
+    };
+    const sim::Pipeline fresh(r.program, r.layout);
+    const auto run_memory = [&] {
+        using Clock = std::chrono::steady_clock;
+        sim::Pipeline pipe = fresh;
+        const auto t0 = Clock::now();
+        for (const std::uint64_t key : trace.keys) feed(pipe, key);
+        return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    };
+    const auto run_replay = [&] {
+        using Clock = std::chrono::steady_clock;
+        sim::Pipeline pipe = fresh;
+        const auto t0 = Clock::now();
+        workload::TraceReader reader(trace_path);
+        std::uint64_t key = 0;
+        while (reader.next(key)) feed(pipe, key);
+        return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    };
+    const auto stats_of = [&](std::vector<double> ms) {
+        std::sort(ms.begin(), ms.end());
+        bench::RunStats s;
+        s.median_ms = ms[ms.size() / 2];
+        const std::size_t p95 = std::min(
+            ms.size() - 1,
+            static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(ms.size()))) - 1);
+        s.p95_ms = ms[p95];
+        s.nodes = static_cast<std::int64_t>(trace.size());
+        return s;
+    };
+
+    run_memory();
+    run_replay();  // warm-up: fault in code, file cache, register rows
+    std::vector<double> memory_ms, replay_ms;
+    for (int i = 0; i < reps; ++i) {
+        if (i % 2 == 0) {
+            memory_ms.push_back(run_memory());
+            replay_ms.push_back(run_replay());
+        } else {
+            replay_ms.push_back(run_replay());
+            memory_ms.push_back(run_memory());
+        }
+    }
+    rep.dense = stats_of(std::move(memory_ms));
+    rep.sparse = stats_of(std::move(replay_ms));
+    std::filesystem::remove(trace_path);
     return rep;
 }
 
@@ -239,6 +320,11 @@ int main(int argc, char** argv) {
                                             packets));
     instances.push_back(bench_app_optimized("conquest-s4", apps::conquest_source(4),
                                             conquest_pins, reps, packets));
+    instances.push_back(bench_app_replay("netcache", apps::netcache_source(), reps, packets));
+    instances.push_back(
+        bench_app_replay("sketchlearn-l4", apps::sketchlearn_source(4), reps, packets));
+    instances.push_back(bench_app_replay("precision", apps::precision_source(), reps, packets));
+    instances.push_back(bench_app_replay("conquest-s4", apps::conquest_source(4), reps, packets));
 
     bench::print_table(instances);
 

@@ -1,11 +1,11 @@
 // p4all-run — the elastic runtime daemon, in miniature.
 //
 // Brings up one benchmark application on the elastic runtime and streams a
-// drifting Zipf workload through it: every packet flows through the live
-// pipeline and the app's controller policy, the drift detector watches the
-// stream, and each drifted window triggers a background recompile + state
-// migration + atomic epoch swap (or an audited rollback). The event log it
-// prints is the runtime's full SwapEvent history.
+// workload through it: every packet flows through the live pipeline and the
+// app's controller policy, the drift detector watches the stream, and each
+// drifted window triggers a background recompile + state migration + atomic
+// epoch swap (or an audited rollback). The event log it prints is the
+// runtime's full SwapEvent history.
 //
 //   p4all-run <app> [options]          app: netcache | sketchlearn |
 //                                           precision | conquest
@@ -15,27 +15,46 @@
 //     --alpha A            Zipf skew                     (default 1.2)
 //     --seed S             trace seed                    (default 1)
 //     --window N           drift-detector window         (default 1024)
+//     --workload W         zipf | flood | thrash | storm (default zipf;
+//                          flood aims at the app's placed register modulus)
 //     --min-swaps N        exit 1 unless >= N reconfigurations commit
 //     --expect-rollback    exit 1 unless >= 1 attempt rolls back cleanly
 //                          (for faulted runs)
 //     --snapshot PATH      crash-safe epoch snapshots here on every swap
+//     --journal DIR        write-ahead epoch journal + per-epoch snapshots
+//     --recover            bring the runtime up via crash recovery from
+//                          --journal DIR instead of a fresh compile
+//     --record-trace PATH  record every key fed into a sealed binary trace
+//     --replay-trace PATH  replay a recorded binary trace (overrides the
+//                          generator flags; deterministic bit-for-bit)
 //     --faults SPEC        arm fault injection (P4ALL_FAULTS syntax, e.g.
-//                          runtime.swap:after=1)
+//                          runtime.swap:after=1 or
+//                          runtime.journal.commit:after=1:crash)
 //     --ilp                use the exact ILP backend (default: greedy)
+//     --fast               skip the exact ILP portfolio rungs on
+//                          reconfigurations (chaos/CI speed)
 //     --opt-level <0|1>    IR optimizer level for every (re)compile
 //                          (default 1)
+//
+//   The final line prints a state digest (the snapshot checksum of the
+//   serving registers); replaying the same trace twice must print the same
+//   digest — the determinism contract CI asserts.
 //
 //   Exit codes: 0 run completed with the demanded swaps/rollbacks, 1 the
 //   demands were not met or serving state was damaged, 2 usage/fatal error.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "runtime/drivers.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/snapshot.hpp"
 #include "support/error.hpp"
 #include "support/faultpoint.hpp"
+#include "workload/adversarial.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
 
 namespace {
 
@@ -43,8 +62,11 @@ int usage() {
     std::fprintf(stderr,
                  "usage: p4all-run <netcache|sketchlearn|precision|conquest>\n"
                  "                 [--packets N] [--phases N] [--universe N] [--alpha A]\n"
-                 "                 [--seed S] [--window N] [--min-swaps N] [--expect-rollback]\n"
-                 "                 [--snapshot PATH] [--faults SPEC] [--ilp] [--opt-level 0|1]\n");
+                 "                 [--seed S] [--window N] [--workload zipf|flood|thrash|storm]\n"
+                 "                 [--min-swaps N] [--expect-rollback] [--snapshot PATH]\n"
+                 "                 [--journal DIR] [--recover] [--record-trace PATH]\n"
+                 "                 [--replay-trace PATH] [--faults SPEC] [--ilp] [--fast]\n"
+                 "                 [--opt-level 0|1]\n");
     return 2;
 }
 
@@ -61,6 +83,9 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     std::size_t min_swaps = 0;
     bool expect_rollback = false;
+    bool recover = false;
+    std::string workload_name = "zipf";
+    std::string record_path, replay_path;
     runtime::RuntimeOptions options;
     options.compile.backend = compiler::Backend::Greedy;
     options.drift.window = 1024;
@@ -77,10 +102,15 @@ int main(int argc, char** argv) {
         else if (arg == "--seed" && has_value) seed = std::strtoull(argv[++i], nullptr, 10);
         else if (arg == "--window" && has_value)
             options.drift.window = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--workload" && has_value) workload_name = argv[++i];
         else if (arg == "--min-swaps" && has_value)
             min_swaps = std::strtoull(argv[++i], nullptr, 10);
         else if (arg == "--expect-rollback") expect_rollback = true;
         else if (arg == "--snapshot" && has_value) options.snapshot_path = argv[++i];
+        else if (arg == "--journal" && has_value) options.journal_dir = argv[++i];
+        else if (arg == "--recover") recover = true;
+        else if (arg == "--record-trace" && has_value) record_path = argv[++i];
+        else if (arg == "--replay-trace" && has_value) replay_path = argv[++i];
         else if (arg == "--faults" && has_value) {
             try {
                 support::FaultRegistry::instance().configure(argv[++i]);
@@ -89,6 +119,7 @@ int main(int argc, char** argv) {
                 return 2;
             }
         } else if (arg == "--ilp") options.compile.backend = compiler::Backend::Ilp;
+        else if (arg == "--fast") options.exact_portfolio = false;
         else if (arg == "--opt-level" && has_value) {
             const std::string level = argv[++i];
             if (level != "0" && level != "1") return usage();
@@ -96,22 +127,72 @@ int main(int argc, char** argv) {
         } else return usage();
     }
     if (phases == 0 || packets == 0) return usage();
+    if (workload_name != "zipf" && workload_name != "flood" && workload_name != "thrash" &&
+        workload_name != "storm")
+        return usage();
+    if (recover && options.journal_dir.empty()) {
+        std::fprintf(stderr, "p4all-run: --recover requires --journal DIR\n");
+        return 2;
+    }
 
     try {
         runtime::AppDriver driver = runtime::make_driver(app);
-        std::printf("p4all-run: bringing up '%s' (drift window %zu)\n", driver.name.c_str(),
-                    options.drift.window);
-        runtime::ElasticRuntime rt(driver.name, driver.source, options, driver.profile);
-        std::printf("p4all-run: epoch 0 serving (utility %.1f)\n", rt.compiled().utility);
+        std::unique_ptr<runtime::ElasticRuntime> rt;
+        if (recover) {
+            std::printf("p4all-run: recovering '%s' from journal %s\n", driver.name.c_str(),
+                        options.journal_dir.c_str());
+            runtime::RecoveryReport report;
+            rt = runtime::ElasticRuntime::recover(driver.name, driver.source, options,
+                                                  driver.profile, &report);
+            std::printf("%s\n", report.to_string().c_str());
+        } else {
+            std::printf("p4all-run: bringing up '%s' (drift window %zu)\n", driver.name.c_str(),
+                        options.drift.window);
+            rt = std::make_unique<runtime::ElasticRuntime>(driver.name, driver.source, options,
+                                                           driver.profile);
+        }
+        std::printf("p4all-run: epoch %llu serving (utility %.1f)\n",
+                    static_cast<unsigned long long>(rt->epoch()), rt->compiled().utility);
+        // A recovered runtime starts at its journaled epoch; fresh commits
+        // made by this run stack on top of it.
+        const std::uint64_t epoch_base = rt->epoch();
 
-        const workload::Trace trace =
-            workload::zipf_drifting_trace(packets, universe, alpha, seed, phases);
+        workload::Trace trace;
+        if (!replay_path.empty()) {
+            trace = workload::load_binary_trace(replay_path);
+            std::printf("p4all-run: replaying %zu packets from %s\n", trace.size(),
+                        replay_path.c_str());
+        } else if (workload_name == "flood") {
+            // Aim the collision flood at a modulus the layout actually placed.
+            std::uint64_t modulus = 509;
+            for (const sim::RegRowInfo& row : rt->pipeline().reg_rows()) {
+                if (row.elems > 1) {
+                    modulus = static_cast<std::uint64_t>(row.elems);
+                    break;
+                }
+            }
+            trace = workload::collision_flood_trace(packets, 16, modulus, 1, seed);
+            std::printf("p4all-run: collision flood on modulus %llu\n",
+                        static_cast<unsigned long long>(modulus));
+        } else if (workload_name == "thrash") {
+            trace = workload::cache_thrash_trace(packets, universe, seed);
+        } else if (workload_name == "storm") {
+            trace = workload::drift_storm_trace(packets, universe, alpha, seed, phases);
+        } else {
+            trace = workload::zipf_drifting_trace(packets, universe, alpha, seed, phases);
+        }
+
+        std::unique_ptr<workload::TraceWriter> recorder;
+        if (!record_path.empty())
+            recorder = std::make_unique<workload::TraceWriter>(record_path);
+
         std::uint64_t last_logged = 0;
         for (const std::uint64_t key : trace.keys) {
-            driver.step(rt, key);
-            if (rt.history().size() != last_logged) {
-                const runtime::SwapEvent& ev = rt.history().back();
-                last_logged = rt.history().size();
+            if (recorder) recorder->append(key);
+            driver.step(*rt, key);
+            if (rt->history().size() != last_logged) {
+                const runtime::SwapEvent& ev = rt->history().back();
+                last_logged = rt->history().size();
                 std::printf("p4all-run: pkt %-8llu %-9s epoch %llu -> %llu  [%s]%s%s\n",
                             static_cast<unsigned long long>(ev.at_packet),
                             ev.committed ? "SWAP" : "ROLLBACK",
@@ -121,17 +202,23 @@ int main(int argc, char** argv) {
                             ev.committed ? "" : (" — " + ev.detail).c_str());
             }
         }
+        if (recorder) {
+            recorder->close();
+            std::printf("p4all-run: recorded %llu packets to %s\n",
+                        static_cast<unsigned long long>(recorder->count()),
+                        record_path.c_str());
+        }
 
-        const std::size_t committed = rt.swaps_committed();
-        std::size_t rolled_back = rt.history().size() - committed;
+        const std::size_t committed = rt->swaps_committed();
+        std::size_t rolled_back = rt->history().size() - committed;
 
         // When snapshotting, prove the persisted state round-trips: save the
         // final epoch and restore it back. A failed restore (I/O fault, the
         // `runtime.restore` point) must leave the serving state untouched.
         if (!options.snapshot_path.empty()) {
-            rt.save();
+            rt->save();
             try {
-                rt.restore();
+                rt->restore();
                 std::printf("p4all-run: snapshot restore verified\n");
             } catch (const support::Error& e) {
                 std::printf("p4all-run: restore failed cleanly — still serving (%s)\n",
@@ -141,14 +228,19 @@ int main(int argc, char** argv) {
         }
         std::printf(
             "p4all-run: done — %llu packets, epoch %llu, %zu swaps committed, %zu rolled back\n",
-            static_cast<unsigned long long>(rt.packets_total()),
-            static_cast<unsigned long long>(rt.epoch()), committed, rolled_back);
+            static_cast<unsigned long long>(rt->packets_total()),
+            static_cast<unsigned long long>(rt->epoch()), committed, rolled_back);
 
-        // The serving pipeline must still be live whatever happened above.
-        (void)rt.pipeline();
-        if (rt.epoch() != committed) {
+        // The serving pipeline must still be live whatever happened above,
+        // and the digest lets a replayed run prove bit-identical state.
+        const runtime::Snapshot final_state =
+            runtime::take_snapshot(rt->pipeline(), rt->epoch());
+        std::printf("p4all-run: state digest %016llx\n",
+                    static_cast<unsigned long long>(final_state.checksum()));
+
+        if (rt->epoch() != epoch_base + committed) {
             std::fprintf(stderr, "p4all-run: ERROR: epoch %llu != %zu committed swaps\n",
-                         static_cast<unsigned long long>(rt.epoch()), committed);
+                         static_cast<unsigned long long>(rt->epoch()), committed);
             return 1;
         }
         if (committed < min_swaps) {

@@ -26,7 +26,21 @@
 //
 // Fault points threaded through this path: `runtime.swap` (commit step),
 // `runtime.migrate` (migrate.cpp), `runtime.snapshot` / `runtime.restore`
-// (snapshot.cpp).
+// (snapshot.cpp), and — when a journal_dir is configured — the four
+// journaling points `runtime.journal.{intent,migrate,snapshot,commit}`,
+// each checked immediately before its record is appended (so a `crash`
+// action at point X provably leaves record X unwritten; the chaos matrix
+// in tests/runtime/chaos_test.cpp kills at every one of them).
+//
+// Crash consistency: with RuntimeOptions::journal_dir set, every swap is
+// write-ahead journaled (journal.hpp) and every committed epoch's register
+// state persists as journal_dir/epoch_<N>.json. After a crash,
+// ElasticRuntime::recover() replays the journal, classifies the interrupted
+// attempt (committed / roll-forward-safe / must-roll-back), recompiles the
+// proven epoch from its journaled assume profile, restores its snapshot,
+// and re-verifies the state checksum — degrading one committed epoch at a
+// time (down to a fresh epoch 0) when snapshots are lost or corrupt, and
+// never crashing on torn or tampered journals.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +57,8 @@
 
 namespace p4all::runtime {
 
+class JournalWriter;
+
 /// Renders extra source text (typically `assume` bounds) from an observed
 /// workload window — the "new assume profile" fed to the recompile loop.
 /// An empty function (or empty result) recompiles the base program as-is.
@@ -53,6 +69,12 @@ struct RuntimeOptions {
     compiler::CompileOptions compile;
     /// Wall-clock budget handed to each reconfiguration's portfolio.
     double recompile_budget_seconds = 30.0;
+    /// When false, the recompile portfolio skips its exact ILP rungs and
+    /// goes straight to the cheap audit-gated fallbacks (greedy /
+    /// exhaustive). Layouts stay verified but stop claiming optimality —
+    /// the right trade for chaos matrices and kill/restart soak loops,
+    /// where compile latency dominates and geometry is pinned anyway.
+    bool exact_portfolio = true;
     DriftOptions drift;
     /// Reconfigure automatically when note_packet completes a drifted window.
     bool auto_reconfigure = true;
@@ -61,6 +83,29 @@ struct RuntimeOptions {
     /// When non-empty: a crash-safe snapshot of the new state is written
     /// here on every committed swap, and a failed write aborts the swap.
     std::string snapshot_path;
+    /// When non-empty: the directory holding the write-ahead epoch journal
+    /// (journal.bin) and per-epoch snapshots (epoch_<N>.json). Every swap
+    /// is journaled, and ElasticRuntime::recover() can rebuild the proven
+    /// state after a crash at any point of the swap pipeline.
+    std::string journal_dir;
+};
+
+/// What ElasticRuntime::recover() did, step by step.
+struct RecoveryReport {
+    enum class Outcome {
+        FreshStart,     ///< no usable journal — compiled epoch 0 from scratch
+        Committed,      ///< restored the last committed epoch as journaled
+        RolledForward,  ///< finished an interrupted swap (snapshot was proven)
+        RolledBack,     ///< discarded an interrupted swap (snapshot unproven)
+        Degraded,       ///< fell back past >=1 unrecoverable committed epoch
+    };
+    Outcome outcome = Outcome::FreshStart;
+    std::uint64_t epoch = 0;             ///< epoch serving after recovery
+    std::uint64_t journal_records = 0;   ///< valid records replayed
+    bool journal_clean = true;           ///< false: a torn/corrupt tail was dropped
+    std::vector<std::string> notes;      ///< every decision/degradation, in order
+
+    [[nodiscard]] std::string to_string() const;
 };
 
 /// Record of one reconfiguration attempt.
@@ -92,6 +137,19 @@ public:
 
     ElasticRuntime(const ElasticRuntime&) = delete;
     ElasticRuntime& operator=(const ElasticRuntime&) = delete;
+
+    /// Crash recovery: rebuilds a runtime from options.journal_dir (which
+    /// must be set). Replays the journal, restores the proven epoch (rolling
+    /// an interrupted swap forward when its snapshot was journaled durable,
+    /// back otherwise), verifies the restored state against the journaled
+    /// checksum, and re-verifies migration invariants on roll-forward.
+    /// Unrecoverable epochs degrade one committed epoch at a time down to a
+    /// fresh epoch 0; every step lands in `report` (optional). Throws
+    /// Error(Errc::RecoveryError) only when no epoch — not even a fresh
+    /// compile — can be brought up.
+    [[nodiscard]] static std::unique_ptr<ElasticRuntime> recover(
+        std::string name, std::string source, RuntimeOptions options, ProfileFn profile = {},
+        RecoveryReport* report = nullptr);
 
     /// The serving pipeline of the current epoch. The reference is
     /// invalidated by a committed reconfiguration — re-fetch after
@@ -134,8 +192,20 @@ public:
 
 private:
     struct Epoch;
+    struct RecoverTag {};
+
+    /// Recovery shell: members initialized, no epoch compiled, no journal
+    /// opened. recover() finishes construction.
+    ElasticRuntime(RecoverTag, std::string name, std::string source, RuntimeOptions options,
+                   ProfileFn profile);
 
     SwapEvent attempt_swap(const std::string& extra, const std::string& trigger);
+
+    /// journal_dir/epoch_<N>.json
+    [[nodiscard]] std::string epoch_snapshot_path(std::uint64_t epoch) const;
+
+    /// The profile text epoch 0 compiles with (empty-window profile).
+    [[nodiscard]] std::string initial_extra() const;
 
     std::string name_;
     std::string source_;
@@ -143,6 +213,8 @@ private:
     ProfileFn profile_;
     DriftDetector drift_;
     std::unique_ptr<Epoch> current_;
+    std::unique_ptr<JournalWriter> journal_;
+    std::uint64_t journal_seq_ = 0;  // next swap-attempt sequence number
     std::uint64_t epoch_ = 0;
     std::uint64_t packets_ = 0;
     std::vector<SwapEvent> history_;

@@ -10,6 +10,11 @@
 #include "support/hash.hpp"
 #include "support/json.hpp"
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace p4all::runtime {
 
 using support::Errc;
@@ -18,6 +23,13 @@ using support::Error;
 namespace {
 
 constexpr const char* kFormat = "p4all-snapshot-v1";
+
+// Hard caps on untrusted input: a snapshot claiming more than any real
+// pipeline could hold is corruption (or an attack), and must be rejected
+// before memory is committed to it.
+constexpr std::int64_t kMaxRows = std::int64_t{1} << 20;
+constexpr std::int64_t kMaxElems = std::int64_t{1} << 26;
+constexpr std::uintmax_t kMaxFileBytes = std::uintmax_t{1} << 28;
 
 std::string hex_encode(const std::vector<std::uint64_t>& data) {
     static const char* digits = "0123456789abcdef";
@@ -175,16 +187,33 @@ Snapshot parse_snapshot(const std::string& text) {
         snap.program = doc.get_string("program", "");
         snap.epoch = static_cast<std::uint64_t>(doc.get_int("epoch", 0));
         snap.packets = static_cast<std::uint64_t>(doc.get_int("packets", 0));
-        for (const support::Json& r : doc.at("rows").as_array()) {
+        const auto& rows = doc.at("rows").as_array();
+        if (static_cast<std::int64_t>(rows.size()) > kMaxRows) {
+            throw Error(Errc::SnapshotError, "snapshot: row count exceeds the sanity cap");
+        }
+        for (const support::Json& r : rows) {
             SnapshotRow row;
             row.reg = r.at("reg").as_string();
             row.instance = r.at("instance").as_int();
             row.width = static_cast<int>(r.at("width").as_int());
-            row.data = hex_decode(r.at("data").as_string());
-            if (static_cast<std::int64_t>(row.data.size()) != r.at("elems").as_int()) {
+            if (row.width < 1 || row.width > 64) {
+                throw Error(Errc::SnapshotError,
+                            "snapshot: row " + row.reg + " has impossible width " +
+                                std::to_string(row.width));
+            }
+            // Validate the claimed element count BEFORE decoding: corrupt
+            // metadata must not drive the decoder's allocation.
+            const std::int64_t elems = r.at("elems").as_int();
+            const std::string& data = r.at("data").as_string();
+            if (elems < 0 || elems > kMaxElems) {
+                throw Error(Errc::SnapshotError,
+                            "snapshot: row " + row.reg + " element count out of range");
+            }
+            if (data.size() != static_cast<std::size_t>(elems) * 16) {
                 throw Error(Errc::SnapshotError,
                             "snapshot: row " + row.reg + " element count disagrees with data");
             }
+            row.data = hex_decode(data);
             snap.rows.push_back(std::move(row));
         }
         const std::string claimed = doc.get_string("checksum", "");
@@ -199,6 +228,29 @@ Snapshot parse_snapshot(const std::string& text) {
     }
 }
 
+namespace {
+
+/// Flushes `path`'s bytes (a file) or directory entry (a dir) to stable
+/// storage. A rename is only crash-durable once its directory is synced.
+void fsync_path(const std::string& path, bool directory) {
+#if defined(_WIN32)
+    (void)path;
+    (void)directory;
+#else
+    const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
+    if (fd < 0) {
+        throw Error(Errc::SnapshotError, "snapshot: cannot open '" + path + "' for fsync");
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+        throw Error(Errc::SnapshotError, "snapshot: fsync failed for '" + path + "'");
+    }
+#endif
+}
+
+}  // namespace
+
 void save_snapshot(const Snapshot& snap, const std::string& path) {
     const std::string tmp = path + ".tmp";
     {
@@ -210,6 +262,10 @@ void save_snapshot(const Snapshot& snap, const std::string& path) {
         out.flush();
         if (!out) throw Error(Errc::SnapshotError, "snapshot: write failed for '" + tmp + "'");
     }
+    // Durability order: temp contents, then the rename, then the directory
+    // entry — a crash at any point leaves either the old file or the new
+    // one, never a torn mix.
+    fsync_path(tmp, false);
     if (support::fault_fires("runtime.snapshot")) {
         std::error_code ec;
         std::filesystem::remove(tmp, ec);
@@ -222,11 +278,19 @@ void save_snapshot(const Snapshot& snap, const std::string& path) {
         throw Error(Errc::SnapshotError,
                     "snapshot: cannot rename '" + tmp + "' over '" + path + "': " + ec.message());
     }
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    fsync_path(parent.empty() ? "." : parent.string(), true);
 }
 
 Snapshot load_snapshot(const std::string& path) {
     if (support::fault_fires("runtime.restore")) {
         throw Error(Errc::FaultInjected, "snapshot: injected read failure for '" + path + "'");
+    }
+    std::error_code size_ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, size_ec);
+    if (!size_ec && bytes > kMaxFileBytes) {
+        throw Error(Errc::SnapshotError,
+                    "snapshot: '" + path + "' exceeds the snapshot size cap");
     }
     std::ifstream in(path);
     if (!in) throw Error(Errc::SnapshotError, "snapshot: cannot open '" + path + "'");

@@ -54,6 +54,9 @@ const char* errc_code(Errc code) noexcept {
         case Errc::MigrationError: return "P4ALL-0404";
         case Errc::SnapshotError: return "P4ALL-0405";
         case Errc::SwapRejected: return "P4ALL-0406";
+        case Errc::JournalError: return "P4ALL-0407";
+        case Errc::RecoveryError: return "P4ALL-0408";
+        case Errc::TraceError: return "P4ALL-0409";
     }
     return "P4ALL-????";
 }
@@ -84,6 +87,9 @@ const char* errc_name(Errc code) noexcept {
         case Errc::MigrationError: return "migration-error";
         case Errc::SnapshotError: return "snapshot-error";
         case Errc::SwapRejected: return "swap-rejected";
+        case Errc::JournalError: return "journal-error";
+        case Errc::RecoveryError: return "recovery-error";
+        case Errc::TraceError: return "trace-error";
     }
     return "unknown";
 }

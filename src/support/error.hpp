@@ -59,6 +59,9 @@ enum class Errc : int {
     MigrationError = 404,   // state migration between layouts failed
     SnapshotError = 405,    // register snapshot could not be written/read
     SwapRejected = 406,     // a live reconfiguration was rolled back
+    JournalError = 407,     // epoch journal could not be written or parsed
+    RecoveryError = 408,    // crash recovery could not restore a proven epoch
+    TraceError = 409,       // binary packet trace could not be written/parsed
 };
 
 /// Stable printable code, e.g. "P4ALL-0203". Never changes for a given Errc.

@@ -1,7 +1,10 @@
 #include "support/faultpoint.hpp"
 
 #include <charconv>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "support/error.hpp"
 
@@ -36,8 +39,15 @@ FaultSpec parse_item(std::string_view item) {
     if (spec.point.empty()) bad_spec(item, "empty fault-point name");
     for (std::size_t i = 1; i < parts.size(); ++i) {
         const std::string_view part = parts[i];
+        if (part == "crash") {
+            if (spec.action != FaultAction::Fail) {
+                bad_spec(item, "crash and delay are mutually exclusive");
+            }
+            spec.action = FaultAction::Crash;
+            continue;
+        }
         const std::size_t eq = part.find('=');
-        if (eq == std::string_view::npos) bad_spec(item, "option needs key=value");
+        if (eq == std::string_view::npos) bad_spec(item, "option needs key=value (or bare 'crash')");
         const std::string_view key = part.substr(0, eq);
         const std::string_view value = part.substr(eq + 1);
         if (key == "after") {
@@ -59,6 +69,17 @@ FaultSpec parse_item(std::string_view item) {
             if (ec != std::errc() || p != value.data() + value.size()) {
                 bad_spec(item, "seed must be a non-negative integer");
             }
+        } else if (key == "delay") {
+            if (spec.action != FaultAction::Fail) {
+                bad_spec(item, "crash and delay are mutually exclusive");
+            }
+            const auto [p, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), spec.delay_ms);
+            if (ec != std::errc() || p != value.data() + value.size() || spec.delay_ms < 1 ||
+                spec.delay_ms > 60'000) {
+                bad_spec(item, "delay must be an integer millisecond count in [1, 60000]");
+            }
+            spec.action = FaultAction::Delay;
         } else {
             bad_spec(item, "unknown option '" + std::string(key) + "'");
         }
@@ -84,6 +105,8 @@ std::string FaultSpec::to_string() const {
         if (!p.empty() && p.back() == '.') p.pop_back();
         out += ":prob=" + p + ":seed=" + std::to_string(seed);
     }
+    if (action == FaultAction::Crash) out += ":crash";
+    if (action == FaultAction::Delay) out += ":delay=" + std::to_string(delay_ms);
     return out;
 }
 
@@ -140,21 +163,43 @@ const FaultRegistry::State* FaultRegistry::find(std::string_view point) const no
 }
 
 bool FaultRegistry::should_fire(std::string_view point) noexcept {
-    // One lock per hit at an ARMED point only (fault_fires checks armed()
-    // first) — a shared budget like after=N must count hits from every
-    // branch-and-bound worker in one total order to fire exactly once.
-    const std::lock_guard<std::mutex> lock(mutex_);
-    State* s = find(point);
-    if (s == nullptr) return false;
-    ++s->hits;
+    FaultAction action = FaultAction::Fail;
+    std::int64_t delay_ms = 0;
     bool fire = false;
-    if (s->spec.after >= 1) {
-        fire = s->hits == s->spec.after;
-    } else if (s->spec.prob > 0.0) {
-        fire = s->rng.next_double() < s->spec.prob;
+    {
+        // One lock per hit at an ARMED point only (fault_fires checks armed()
+        // first) — a shared budget like after=N must count hits from every
+        // branch-and-bound worker in one total order to fire exactly once.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        State* s = find(point);
+        if (s == nullptr) return false;
+        ++s->hits;
+        if (s->spec.after >= 1) {
+            fire = s->hits == s->spec.after;
+        } else if (s->spec.prob > 0.0) {
+            fire = s->rng.next_double() < s->spec.prob;
+        }
+        if (fire) ++s->fires;
+        action = s->spec.action;
+        delay_ms = s->spec.delay_ms;
     }
-    if (fire) ++s->fires;
-    return fire;
+    if (!fire) return false;
+    // Actions run outside the lock: a crash must not leave the registry
+    // mutex held during atexit-style teardown, and a sleeping delay point
+    // must not serialize every other armed point behind it.
+    switch (action) {
+        case FaultAction::Fail:
+            return true;
+        case FaultAction::Crash:
+            std::fprintf(stderr, "p4all: fault point '%.*s' fired with action=crash — aborting\n",
+                         static_cast<int>(point.size()), point.data());
+            std::fflush(nullptr);
+            std::abort();
+        case FaultAction::Delay:
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+            return false;
+    }
+    return true;
 }
 
 std::int64_t FaultRegistry::hits(std::string_view point) const noexcept {

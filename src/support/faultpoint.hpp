@@ -14,6 +14,15 @@
 //
 //   simplex.pivot:after=200        fire exactly once, on the 200th hit
 //   bnb.node:prob=0.01:seed=7      fire each hit with p=0.01, xoshiro(seed)
+//   runtime.journal.intent:after=1:crash    std::abort() at the armed point
+//   runtime.snapshot:prob=0.1:seed=3:delay=50   stall 50 ms, then succeed
+//
+// Besides the default action (simulate the guarded failure), a firing
+// point can `crash` — a deterministic `std::abort()` at the exact program
+// point, the primitive the chaos harness builds its kill-at-every-point
+// matrices from — or `delay=<ms>`, which injects latency and then lets the
+// operation proceed (fault_fires returns false), for soak runs that need
+// slow-I/O realism without failure semantics.
 //
 // Named points currently planted:
 //
@@ -34,6 +43,12 @@
 //                    the previous on-disk snapshot survives untouched)
 //   runtime.restore  snapshot load (fires => restore fails with a clean
 //                    structured error, state untouched)
+//   runtime.journal.{intent,migrate,snapshot,commit}
+//                    the four write-ahead journaling points of a journaled
+//                    swap, each checked immediately BEFORE its record is
+//                    appended (fires => the swap rolls back; a `crash`
+//                    action provably leaves that record unwritten — the
+//                    contract the chaos matrix kills against)
 //
 // Probability-based specs draw from a per-point xoshiro256** stream seeded
 // only by `seed`, so every injected failure is reproducible from the logged
@@ -55,12 +70,21 @@
 
 namespace p4all::support {
 
+/// What a firing point does.
+enum class FaultAction : std::uint8_t {
+    Fail,   // default: fault_fires returns true, simulating the failure
+    Crash,  // deterministic std::abort() at the armed point
+    Delay,  // sleep delay_ms, then proceed (fault_fires returns false)
+};
+
 /// One configured fault point.
 struct FaultSpec {
     std::string point;       // e.g. "simplex.pivot"
     std::int64_t after = 0;  // >=1: fire exactly once, on this hit ordinal
     double prob = 0.0;       // else: fire each hit with this probability
     std::uint64_t seed = 0;  // rng seed for the prob stream (logged, stable)
+    FaultAction action = FaultAction::Fail;
+    std::int64_t delay_ms = 0;  // >=1 when action == Delay
 
     /// Renders back to spec syntax (for logs and reports).
     [[nodiscard]] std::string to_string() const;
@@ -87,7 +111,10 @@ public:
     }
 
     /// Records a hit at `point` and decides whether it fires. Points that
-    /// are not configured never fire (and are not counted).
+    /// are not configured never fire (and are not counted). A firing
+    /// `crash` point calls std::abort() and does not return; a firing
+    /// `delay` point sleeps its configured latency (outside the registry
+    /// lock) and returns false.
     bool should_fire(std::string_view point) noexcept;
 
     /// Diagnostics for tests and reports.

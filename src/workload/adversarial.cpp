@@ -1,0 +1,72 @@
+#include "workload/adversarial.hpp"
+
+#include <stdexcept>
+
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace p4all::workload {
+
+std::vector<std::uint64_t> colliding_keys(std::size_t count, std::uint64_t modulus,
+                                          std::uint64_t hash_seed, std::uint64_t first) {
+    if (modulus == 0) throw std::runtime_error("colliding_keys: modulus must be nonzero");
+    if (count == 0) throw std::runtime_error("colliding_keys: count must be >= 1");
+    const std::uint64_t bucket = support::hash_index(first, hash_seed, modulus);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(count);
+    for (std::uint64_t key = first; keys.size() < count; ++key) {
+        if (support::hash_index(key, hash_seed, modulus) == bucket) keys.push_back(key);
+    }
+    return keys;
+}
+
+Trace collision_flood_trace(std::size_t packets, std::size_t colliders, std::uint64_t modulus,
+                            std::uint64_t hash_seed, std::uint64_t seed) {
+    const std::vector<std::uint64_t> keys = colliding_keys(colliders, modulus, hash_seed);
+    support::Xoshiro256 rng(seed);
+    Trace trace;
+    trace.keys.reserve(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+        const std::uint64_t key = keys[rng.next_below(keys.size())];
+        trace.keys.push_back(key);
+        ++trace.counts[key];
+    }
+    return trace;
+}
+
+Trace cache_thrash_trace(std::size_t packets, std::size_t slots, std::uint64_t seed) {
+    // The rotation's base key is derived from the seed so distinct runs
+    // thrash distinct key ranges, but the cycle itself is deterministic.
+    const std::uint64_t base = support::hash_word(seed, 0x7468726173686572ull);
+    const std::uint64_t cycle = static_cast<std::uint64_t>(slots) + 1;
+    Trace trace;
+    trace.keys.reserve(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+        const std::uint64_t key = base + static_cast<std::uint64_t>(i) % cycle;
+        trace.keys.push_back(key);
+        ++trace.counts[key];
+    }
+    return trace;
+}
+
+Trace drift_storm_trace(std::size_t packets, std::size_t universe, double alpha,
+                        std::uint64_t seed, std::size_t storms) {
+    if (storms == 0) throw std::runtime_error("drift_storm_trace: storms must be >= 1");
+    Trace trace;
+    trace.keys.reserve(packets);
+    for (std::size_t p = 0; p < storms; ++p) {
+        ZipfGenerator zipf(universe, alpha, seed + p);
+        const std::uint64_t offset = static_cast<std::uint64_t>(p) * universe;
+        const std::size_t begin = packets * p / storms;
+        const std::size_t end = packets * (p + 1) / storms;
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint64_t key = offset + zipf.next();
+            trace.keys.push_back(key);
+            ++trace.counts[key];
+        }
+    }
+    return trace;
+}
+
+}  // namespace p4all::workload

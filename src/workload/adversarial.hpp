@@ -1,0 +1,62 @@
+// Adversarial packet traces.
+//
+// The Zipf / heavy-tail generators in trace.hpp model *cooperative*
+// traffic. A production data plane also faces deliberately hostile
+// patterns (the Kfoury et al. survey catalogues them), and the chaos
+// harness needs them to prove the elastic runtime survives reconfiguration
+// under attack, not just under drift. Three worst-case families:
+//
+//   collision flood   keys preimage-searched to land in ONE bucket of a
+//                     placed hash structure (hash_index over the layout's
+//                     modulus) — a count-min row or cache index degrades
+//                     to a single saturated counter;
+//   cache thrash      a rotation over one more key than the cache holds,
+//                     the classic eviction worst case: every request
+//                     misses, every insert evicts;
+//   drift storm       back-to-back phases over *disjoint* key ranges, so
+//                     every phase boundary churns 100% of the hot set and
+//                     forces another recompile + migrate + swap.
+//
+// All three are deterministic in their seeds, so any failure they provoke
+// replays exactly (record them with workload::TraceWriter for a repro).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace p4all::workload {
+
+/// Brute-force preimage search: the first `count` keys >= `first` whose
+/// `support::hash_index(key, hash_seed, modulus)` equals the bucket that
+/// `first` itself hashes to. Expected scan cost is count * modulus tries.
+/// `modulus` must be nonzero, `count` >= 1.
+[[nodiscard]] std::vector<std::uint64_t> colliding_keys(std::size_t count, std::uint64_t modulus,
+                                                        std::uint64_t hash_seed,
+                                                        std::uint64_t first = 1);
+
+/// A hash-collision flood: `packets` requests drawn uniformly (seeded) from
+/// `colliders` keys that all collide under (hash_seed, modulus). Feeding
+/// this to a sketch/cache whose placed row has that modulus concentrates
+/// the entire trace on one bucket.
+[[nodiscard]] Trace collision_flood_trace(std::size_t packets, std::size_t colliders,
+                                          std::uint64_t modulus, std::uint64_t hash_seed,
+                                          std::uint64_t seed);
+
+/// A cache-thrash rotation: a strict cycle over `slots + 1` distinct keys
+/// (base derived from `seed`), one more than the cache can hold — every
+/// request is a miss and every insertion an eviction, the adversarial
+/// lower bound for any deterministic eviction policy.
+[[nodiscard]] Trace cache_thrash_trace(std::size_t packets, std::size_t slots,
+                                       std::uint64_t seed);
+
+/// A drift storm: `storms` back-to-back Zipf phases where phase p draws
+/// from the key range [p*universe, (p+1)*universe) — unlike
+/// zipf_drifting_trace's in-place permutation, consecutive phases share NO
+/// keys, so every boundary is total churn and (with a drift window smaller
+/// than a phase) forces another live swap. `storms` must be >= 1.
+[[nodiscard]] Trace drift_storm_trace(std::size_t packets, std::size_t universe, double alpha,
+                                      std::uint64_t seed, std::size_t storms);
+
+}  // namespace p4all::workload

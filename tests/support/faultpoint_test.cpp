@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,12 @@ TEST_F(FaultPointTest, MalformedSpecsRejectedWithStableCode) {
     expect_rejected("simplex.pivot:prob=0.5:after=3");        // mutually exclusive
     expect_rejected("simplex.pivot:frequency=3");             // unknown key
     expect_rejected("a:after=1,a:after=2");                   // duplicate point
+    expect_rejected("a:after=1:crash:delay=5");               // crash xor delay
+    expect_rejected("a:after=1:delay=5:crash");               // ... either order
+    expect_rejected("a:after=1:delay=0");                     // delay >= 1 ms
+    expect_rejected("a:after=1:delay=61000");                 // delay <= 60 s
+    expect_rejected("a:after=1:delay=abc");                   // non-numeric delay
+    expect_rejected("a:crash");                               // action without trigger
 }
 
 TEST_F(FaultPointTest, SpecRoundTripsThroughDescribe) {
@@ -110,6 +117,44 @@ TEST_F(FaultPointTest, SpecRoundTripsThroughDescribe) {
     const std::string desc = reg.describe();
     EXPECT_NE(desc.find("simplex.pivot:after=200"), std::string::npos);
     EXPECT_NE(desc.find("bnb.node:prob=0.01:seed=7"), std::string::npos);
+}
+
+TEST_F(FaultPointTest, CrashAndDelaySpecsRoundTripThroughDescribe) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    // describe() emits valid spec syntax: feeding it back must reproduce it
+    // exactly (the repro-from-logs contract for chaos runs).
+    const std::string spec =
+        "runtime.journal.commit:after=1:crash,runtime.snapshot:prob=0.25:seed=9:delay=5";
+    reg.configure(spec);
+    const std::string desc = reg.describe();
+    EXPECT_NE(desc.find("runtime.journal.commit:after=1:crash"), std::string::npos) << desc;
+    EXPECT_NE(desc.find("runtime.snapshot:prob=0.25:seed=9:delay=5"), std::string::npos) << desc;
+    reg.configure(desc);
+    EXPECT_EQ(reg.describe(), desc);
+}
+
+TEST_F(FaultPointTest, DelayFiresWithoutFailing) {
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("runtime.snapshot:after=2:delay=20");
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(fault_fires("runtime.snapshot"));  // hit 1: not yet
+    EXPECT_FALSE(fault_fires("runtime.snapshot"));  // hit 2: sleeps, succeeds
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(elapsed.count(), 15) << "delay action did not stall";
+    EXPECT_EQ(reg.fires("runtime.snapshot"), 1);  // the trigger DID fire
+    EXPECT_FALSE(fault_fires("runtime.snapshot"));  // after=N stays one-shot
+}
+
+TEST_F(FaultPointTest, CrashActionAborts) {
+    // gtest death test: the armed point must terminate the process at the
+    // exact hit ordinal, which is what the chaos matrix's kill-at-every-
+    // point runs rely on.
+    FaultRegistry& reg = FaultRegistry::instance();
+    reg.configure("chaos.point:after=2:crash");
+    EXPECT_FALSE(fault_fires("chaos.point"));
+    EXPECT_DEATH((void)fault_fires("chaos.point"), "fault point 'chaos.point'");
+    reg.clear();
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+// Adversarial generator properties: each family must actually be the
+// worst case it claims to be, and must be deterministic in its seed so a
+// recorded failure replays exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/hash.hpp"
+#include "workload/adversarial.hpp"
+
+namespace p4all::workload {
+namespace {
+
+TEST(CollisionFlood, EveryKeyLandsInTheSameBucket) {
+    const std::uint64_t modulus = 509, hash_seed = 3;
+    const std::vector<std::uint64_t> keys = colliding_keys(32, modulus, hash_seed);
+    ASSERT_EQ(keys.size(), 32u);
+    const std::uint64_t bucket = support::hash_index(keys[0], hash_seed, modulus);
+    std::set<std::uint64_t> distinct;
+    for (const std::uint64_t key : keys) {
+        EXPECT_EQ(support::hash_index(key, hash_seed, modulus), bucket) << key;
+        distinct.insert(key);
+    }
+    EXPECT_EQ(distinct.size(), keys.size()) << "colliders must be distinct keys";
+}
+
+TEST(CollisionFlood, TraceUsesOnlyCollidersAndIsSeedDeterministic) {
+    const Trace a = collision_flood_trace(2048, 16, 509, 3, 42);
+    const Trace b = collision_flood_trace(2048, 16, 509, 3, 42);
+    EXPECT_EQ(a.keys, b.keys);
+    EXPECT_EQ(a.counts.size(), 16u);  // every collider key shows up
+    const std::uint64_t bucket = support::hash_index(a.keys[0], 3, 509);
+    for (const auto& [key, count] : a.counts) {
+        EXPECT_EQ(support::hash_index(key, 3, 509), bucket);
+        EXPECT_GT(count, 0u);
+    }
+    EXPECT_NE(a.keys, collision_flood_trace(2048, 16, 509, 3, 43).keys);
+}
+
+TEST(CacheThrash, RotatesOverExactlyOneMoreKeyThanTheCacheHolds) {
+    const Trace trace = cache_thrash_trace(1000, 8, 1);
+    EXPECT_EQ(trace.counts.size(), 9u);  // slots + 1 distinct keys
+    // Strict rotation: key i and key i + cycle are the same key, adjacent
+    // keys differ — so a cache of `slots` entries misses on every request.
+    for (std::size_t i = 0; i + 9 < trace.keys.size(); ++i) {
+        EXPECT_EQ(trace.keys[i], trace.keys[i + 9]);
+        EXPECT_NE(trace.keys[i], trace.keys[i + 1]);
+    }
+    EXPECT_EQ(trace.keys, cache_thrash_trace(1000, 8, 1).keys);
+    EXPECT_NE(trace.keys[0], cache_thrash_trace(1000, 8, 2).keys[0]);
+}
+
+TEST(DriftStorm, ConsecutivePhasesShareNoKeys) {
+    const std::size_t packets = 3000, universe = 100, storms = 3;
+    const Trace trace = drift_storm_trace(packets, universe, 1.2, 5, storms);
+    EXPECT_EQ(trace.size(), packets);
+    for (std::size_t p = 0; p < storms; ++p) {
+        std::set<std::uint64_t> phase_keys(trace.keys.begin() + packets * p / storms,
+                                           trace.keys.begin() + packets * (p + 1) / storms);
+        for (const std::uint64_t key : phase_keys) {
+            EXPECT_GE(key, p * universe);
+            EXPECT_LT(key, (p + 1) * universe);
+        }
+    }
+    EXPECT_EQ(trace.keys, drift_storm_trace(packets, universe, 1.2, 5, storms).keys);
+    EXPECT_THROW((void)drift_storm_trace(packets, universe, 1.2, 5, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace p4all::workload
