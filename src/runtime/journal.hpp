@@ -85,6 +85,11 @@ struct JournalReadResult {
     std::vector<JournalRecord> records;  ///< the longest valid prefix
     bool clean = true;   ///< false: a torn/corrupt tail was dropped
     std::string damage;  ///< what was dropped and why (when !clean)
+    /// Byte length of the valid prefix (header + every valid record). When
+    /// !clean, truncating the file to this offset removes the damaged tail;
+    /// appending without truncating would leave the torn bytes in place and
+    /// hide every later record from all future reads.
+    std::uint64_t valid_bytes = 0;
 };
 
 /// Reads every valid record. A missing file is an empty clean journal. A

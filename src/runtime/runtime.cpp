@@ -69,6 +69,19 @@ compiler::CompileResult compile_epoch(const std::string& source, const std::stri
     return compiler::compile_resilient_source(source, options.compile, res, name);
 }
 
+/// Drops a journal's torn/corrupt tail before the file is reopened for
+/// append. Appending past torn bytes would strand every later record —
+/// fsynced Commits included — behind bytes no reader can parse, silently
+/// losing epochs committed after the damage on the next crash.
+void truncate_torn_tail(const std::string& path, std::uint64_t valid_bytes) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, valid_bytes, ec);
+    if (ec) {
+        throw Error(Errc::JournalError, "journal: cannot truncate torn tail of '" + path +
+                                            "': " + ec.message());
+    }
+}
+
 }  // namespace
 
 ElasticRuntime::ElasticRuntime(std::string name, std::string source, RuntimeOptions options,
@@ -89,12 +102,18 @@ ElasticRuntime::ElasticRuntime(std::string name, std::string source, RuntimeOpti
     if (!options_.journal_dir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(options_.journal_dir, ec);
-        journal_ = std::make_unique<JournalWriter>(options_.journal_dir + "/journal.bin");
+        const std::string journal_path = options_.journal_dir + "/journal.bin";
+        // Read the surviving journal — and cut any torn tail — BEFORE
+        // opening it for append: records appended after torn bytes are
+        // unreachable to every future read.
+        const JournalReadResult prior = read_journal(journal_path);
+        if (!prior.clean) truncate_torn_tail(journal_path, prior.valid_bytes);
+        journal_ = std::make_unique<JournalWriter>(journal_path);
         // Seed the journal with the epoch-0 baseline: a crash before the
         // first swap recovers here. Appending to a surviving journal means
         // the operator chose a fresh start over recover(); the new Commit
         // supersedes the old history.
-        journal_seq_ = summarize_journal(read_journal(journal_->path()).records).next_seq;
+        journal_seq_ = summarize_journal(prior.records).next_seq;
         const Snapshot snap0 = take_snapshot(current_->pipe, 0);
         save_snapshot(snap0, epoch_snapshot_path(0));
         journal_->append({JournalRecordType::Commit, journal_seq_++, 0, snap0.checksum(), extra});
@@ -483,16 +502,38 @@ std::unique_ptr<ElasticRuntime> ElasticRuntime::recover(std::string name, std::s
         }
     }
 
-    // 5. Re-open the journal (rotating a non-journal file aside) and pin
-    // the recovered state so a repeat crash recovers here deterministically.
+    // 5. Re-open the journal (rotating a non-journal file aside, cutting a
+    // torn tail) and pin the recovered state so a repeat crash recovers
+    // here deterministically.
     if (rotate_journal) {
         std::error_code ec;
         std::filesystem::rename(journal_path, journal_path + ".corrupt", ec);
+        if (ec) {
+            throw Error(Errc::RecoveryError,
+                        "recover: cannot rotate unreadable journal '" + journal_path +
+                            "' aside: " + ec.message());
+        }
         rep.notes.push_back("rotated unreadable journal to journal.bin.corrupt");
+    } else if (!replay.clean) {
+        // Truncate before reopening for append: left in place, the torn
+        // bytes would hide the resolution Commit/Abort below — and every
+        // later committed epoch — from the next recovery.
+        try {
+            truncate_torn_tail(journal_path, replay.valid_bytes);
+        } catch (const std::exception& e) {
+            throw Error(Errc::RecoveryError, std::string("recover: ") + e.what());
+        }
+        rep.notes.push_back("truncated damaged journal tail to " +
+                            std::to_string(replay.valid_bytes) + " byte(s)");
     }
     rt->current_ = std::move(restored);
     rt->epoch_ = restored_epoch;
-    rt->journal_ = std::make_unique<JournalWriter>(journal_path);
+    try {
+        rt->journal_ = std::make_unique<JournalWriter>(journal_path);
+    } catch (const std::exception& e) {
+        throw Error(Errc::RecoveryError, "recover: cannot re-open the journal after recovery: " +
+                                             std::string(e.what()));
+    }
     rt->journal_seq_ = sum.next_seq;
     try {
         if (rolled_forward) {

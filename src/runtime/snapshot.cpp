@@ -10,7 +10,10 @@
 #include "support/hash.hpp"
 #include "support/json.hpp"
 
-#if !defined(_WIN32)
+#if defined(_WIN32)
+#include <fcntl.h>
+#include <io.h>
+#else
 #include <fcntl.h>
 #include <unistd.h>
 #endif
@@ -232,10 +235,20 @@ namespace {
 
 /// Flushes `path`'s bytes (a file) or directory entry (a dir) to stable
 /// storage. A rename is only crash-durable once its directory is synced.
+/// Windows cannot open directories for _commit (NTFS journals metadata
+/// itself), so only the file case is synced there.
 void fsync_path(const std::string& path, bool directory) {
 #if defined(_WIN32)
-    (void)path;
-    (void)directory;
+    if (directory) return;
+    const int fd = ::_open(path.c_str(), _O_RDONLY | _O_BINARY);
+    if (fd < 0) {
+        throw Error(Errc::SnapshotError, "snapshot: cannot open '" + path + "' for _commit");
+    }
+    const int rc = ::_commit(fd);
+    ::_close(fd);
+    if (rc != 0) {
+        throw Error(Errc::SnapshotError, "snapshot: _commit failed for '" + path + "'");
+    }
 #else
     const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
     if (fd < 0) {

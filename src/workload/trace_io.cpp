@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
-#if !defined(_WIN32)
+#if defined(_WIN32)
+#include <io.h>
+#else
 #include <unistd.h>
 #endif
 
@@ -47,10 +50,10 @@ std::uint64_t get_u64(const unsigned char* in) {
 }
 
 void fsync_file(std::FILE* f) {
-#if !defined(_WIN32)
-    (void)::fsync(fileno(f));
+#if defined(_WIN32)
+    (void)::_commit(::_fileno(f));
 #else
-    (void)f;
+    (void)::fsync(fileno(f));
 #endif
 }
 
@@ -143,12 +146,15 @@ TraceReader::TraceReader(const std::string& path) {
 
     // Count the complete records actually on disk (a torn trailing partial
     // record — the writer died mid-fwrite — is dropped, not an error).
-    if (std::fseek(f, 0, SEEK_END) != 0) {
+    // Sized via the filesystem, not ftell: ftell returns long, which
+    // overflows on >2 GiB traces under LLP64.
+    std::error_code size_ec;
+    const std::uintmax_t end = std::filesystem::file_size(path, size_ec);
+    if (size_ec) {
         std::fclose(f);
-        fail(path, "seek failed");
+        fail(path, "cannot stat: " + size_ec.message());
     }
-    const long end = std::ftell(f);
-    if (end < static_cast<long>(kHeaderBytes)) {
+    if (end < kHeaderBytes) {
         std::fclose(f);
         fail(path, "truncated header");
     }

@@ -131,6 +131,28 @@ TEST_F(JournalFormat, TornTailIsDroppedNotThrown) {
     }
 }
 
+TEST_F(JournalFormat, ValidBytesMarksTheCleanPrefix) {
+    {
+        JournalWriter w(path_);
+        w.append({JournalRecordType::Commit, 0, 0, 1, "one"});
+        w.append({JournalRecordType::Commit, 1, 1, 2, "two"});
+    }
+    const std::string bytes = read_file(path_);
+    EXPECT_EQ(read_journal(path_).valid_bytes, bytes.size());
+
+    // Tear the last record: valid_bytes points at its frame start, and
+    // truncating there restores a clean journal with the surviving prefix.
+    write_file(path_, bytes.substr(0, bytes.size() - 3));
+    const JournalReadResult torn = read_journal(path_);
+    EXPECT_FALSE(torn.clean);
+    ASSERT_EQ(torn.records.size(), 1u);
+    std::filesystem::resize_file(path_, torn.valid_bytes);
+    const JournalReadResult clean = read_journal(path_);
+    EXPECT_TRUE(clean.clean) << clean.damage;
+    EXPECT_EQ(clean.records.size(), 1u);
+    EXPECT_EQ(clean.valid_bytes, torn.valid_bytes);
+}
+
 TEST_F(JournalFormat, TamperedRecordStopsTheReplayThere) {
     {
         JournalWriter w(path_);
@@ -511,6 +533,62 @@ TEST_F(JournaledRuntime, RecoverToleratesATornJournalTail) {
     // The torn record was the epoch-1 Commit; its SnapshotDone survived, so
     // recovery still reaches epoch 1 (rolled forward).
     EXPECT_EQ(rt->epoch(), 1u) << rep.to_string();
+}
+
+TEST_F(JournaledRuntime, TornTailRecoveryDoesNotHideLaterCommits) {
+    {
+        auto rt = make_runtime();
+        feed(*rt, 109);
+        *cols_ = 512;
+        require_committed(rt->reconfigure("grow"));
+    }
+    // Tear the journal mid-record, then recover. Recovery must cut the torn
+    // bytes before reopening for append — otherwise every record it (and
+    // the revived runtime) writes lands after bytes no reader can parse,
+    // and fsynced Commits are silently lost on the next crash.
+    const std::string bytes = read_file(journal_path());
+    write_file(journal_path(), bytes.substr(0, bytes.size() - 7));
+
+    RecoveryReport rep;
+    auto rt = recover_runtime(rep);
+    EXPECT_EQ(rt->epoch(), 1u) << rep.to_string();
+
+    // The file reads back clean: the torn bytes are gone, not papered over.
+    const JournalReadResult after = read_journal(journal_path());
+    EXPECT_TRUE(after.clean) << after.damage;
+
+    // A swap committed after the torn-tail recovery must survive the NEXT
+    // crash — the durable-commit-point contract.
+    *cols_ = 1024;
+    require_committed(rt->reconfigure("grow-again"));
+    rt.reset();
+
+    RecoveryReport again;
+    auto rt2 = recover_runtime(again);
+    EXPECT_EQ(again.outcome, RecoveryReport::Outcome::Committed) << again.to_string();
+    EXPECT_EQ(rt2->epoch(), 2u) << again.to_string();
+    EXPECT_TRUE(again.journal_clean);
+}
+
+TEST_F(JournaledRuntime, FreshStartOverATornJournalTruncatesBeforeAppending) {
+    {
+        auto rt = make_runtime();
+        feed(*rt, 113);
+        *cols_ = 512;
+        require_committed(rt->reconfigure("grow"));
+    }
+    const std::string bytes = read_file(journal_path());
+    write_file(journal_path(), bytes.substr(0, bytes.size() - 7));
+
+    // The operator chose a fresh start (plain constructor) over recover():
+    // the seed Commit it appends must still be readable afterwards.
+    *cols_ = 256;
+    make_runtime().reset();
+    const JournalReadResult rr = read_journal(journal_path());
+    EXPECT_TRUE(rr.clean) << rr.damage;
+    const JournalSummary sum = summarize_journal(rr.records);
+    EXPECT_EQ(sum.tail_fate, EpochFate::Committed);
+    EXPECT_EQ(sum.last_committed().epoch, 0u);
 }
 
 }  // namespace
