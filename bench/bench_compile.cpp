@@ -22,8 +22,10 @@
 #include "apps/netcache.hpp"
 #include "bench_json.hpp"
 #include "compiler/compiler.hpp"
+#include "fleet/fleet.hpp"
 #include "runtime/drivers.hpp"
 #include "runtime/runtime.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -139,6 +141,65 @@ bench::InstanceReport bench_app_recover(const std::string& name, int reps) {
     return rep;
 }
 
+/// Fleet failover latency: a cold two-switch fleet bring-up (dense) against
+/// one supervised failover (sparse) — kill the tenant's home, let the
+/// controller journal-replay it onto the survivor, revive the old home.
+/// Failover re-proves the committed epoch (recompile + snapshot restore +
+/// checksum) under the breaker/backoff machinery, so the gate holds the
+/// whole detect-evacuate-install path to cold-start latency plus the usual
+/// allowance: losing a switch must never cost more than starting over.
+bench::InstanceReport bench_app_failover(const std::string& name, int reps) {
+    bench::InstanceReport rep;
+    rep.name = name + "-failover";
+    rep.kind = "fleet-failover";
+
+    fleet::FleetOptions options;
+    options.runtime.compile.backend = compiler::Backend::Greedy;
+    options.runtime.exact_portfolio = false;
+    options.runtime.auto_reconfigure = false;
+    const std::vector<fleet::SwitchSpec> switches = {{"swA", 0}, {"swB", 0}};
+    const std::vector<fleet::TenantSpec> tenants = {{"t0", name}};
+
+    const std::string cold_root =
+        (std::filesystem::temp_directory_path() / ("p4all_bench_fleet_cold_" + name)).string();
+    const std::string warm_root =
+        (std::filesystem::temp_directory_path() / ("p4all_bench_fleet_warm_" + name)).string();
+
+    rep.dense = bench::measure(reps, [&] {
+        std::filesystem::remove_all(cold_root);
+        fleet::FleetOptions cold = options;
+        cold.journal_root = cold_root;
+        fleet::FleetController fc(cold, switches, tenants);
+        return std::pair<std::int64_t, std::int64_t>(
+            static_cast<std::int64_t>(fc.events().size()), 1);
+    });
+
+    // One long-lived fleet with a committed journal; each rep kills the
+    // current home (timing the synchronous failover) and revives it so the
+    // next rep fails over in the other direction.
+    std::filesystem::remove_all(warm_root);
+    fleet::FleetOptions warm = options;
+    warm.journal_root = warm_root;
+    fleet::FleetController fc(warm, switches, tenants);
+    const workload::Trace trace = workload::zipf_trace(512, 128, 1.1, 37);
+    for (const std::uint64_t key : trace.keys) fc.step("t0", key);
+    runtime::require_committed(fc.runtime_of("t0")->reconfigure("bench checkpoint"));
+    rep.vars = static_cast<std::int64_t>(fc.runtime_of("t0")->pipeline().reg_rows().size());
+
+    rep.sparse = bench::measure(reps, [&] {
+        const std::string dead = fc.home_of("t0");
+        fc.kill_switch(dead);
+        fc.revive_switch(dead);
+        return std::pair<std::int64_t, std::int64_t>(
+            static_cast<std::int64_t>(fc.events().size()),
+            static_cast<std::int64_t>(fc.packets_routed()));
+    });
+
+    std::filesystem::remove_all(cold_root);
+    std::filesystem::remove_all(warm_root);
+    return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +237,10 @@ int main(int argc, char** argv) {
     instances.push_back(bench_app_recover("sketchlearn", reps));
     instances.push_back(bench_app_recover("precision", reps));
     instances.push_back(bench_app_recover("conquest", reps));
+    instances.push_back(bench_app_failover("netcache", reps));
+    instances.push_back(bench_app_failover("sketchlearn", reps));
+    instances.push_back(bench_app_failover("precision", reps));
+    instances.push_back(bench_app_failover("conquest", reps));
 
     bench::print_table(instances);
 

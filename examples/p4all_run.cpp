@@ -50,6 +50,7 @@
 #include "runtime/drivers.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/snapshot.hpp"
+#include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/faultpoint.hpp"
 #include "workload/adversarial.hpp"
@@ -92,47 +93,45 @@ int main(int argc, char** argv) {
     options.drift.top_k = 32;
     options.drift.min_hit_samples = 256;
 
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const bool has_value = i + 1 < argc;
-        if (arg == "--packets" && has_value) packets = std::strtoull(argv[++i], nullptr, 10);
-        else if (arg == "--phases" && has_value) phases = std::strtoull(argv[++i], nullptr, 10);
-        else if (arg == "--universe" && has_value) universe = std::strtoull(argv[++i], nullptr, 10);
-        else if (arg == "--alpha" && has_value) alpha = std::strtod(argv[++i], nullptr);
-        else if (arg == "--seed" && has_value) seed = std::strtoull(argv[++i], nullptr, 10);
-        else if (arg == "--window" && has_value)
-            options.drift.window = std::strtoull(argv[++i], nullptr, 10);
-        else if (arg == "--workload" && has_value) workload_name = argv[++i];
-        else if (arg == "--min-swaps" && has_value)
-            min_swaps = std::strtoull(argv[++i], nullptr, 10);
-        else if (arg == "--expect-rollback") expect_rollback = true;
-        else if (arg == "--snapshot" && has_value) options.snapshot_path = argv[++i];
-        else if (arg == "--journal" && has_value) options.journal_dir = argv[++i];
-        else if (arg == "--recover") recover = true;
-        else if (arg == "--record-trace" && has_value) record_path = argv[++i];
-        else if (arg == "--replay-trace" && has_value) replay_path = argv[++i];
-        else if (arg == "--faults" && has_value) {
-            try {
-                support::FaultRegistry::instance().configure(argv[++i]);
-            } catch (const support::Error& e) {
-                std::fprintf(stderr, "p4all-run: %s\n", e.what());
-                return 2;
-            }
-        } else if (arg == "--ilp") options.compile.backend = compiler::Backend::Ilp;
-        else if (arg == "--fast") options.exact_portfolio = false;
-        else if (arg == "--opt-level" && has_value) {
-            const std::string level = argv[++i];
-            if (level != "0" && level != "1") return usage();
-            options.compile.opt_level = level == "0" ? 0 : 1;
-        } else return usage();
-    }
-    if (phases == 0 || packets == 0) return usage();
-    if (workload_name != "zipf" && workload_name != "flood" && workload_name != "thrash" &&
-        workload_name != "storm")
+    // Typed flag parsing: any unknown flag or malformed value throws
+    // Error(Errc::CliUsage), so scripts see the stable P4ALL-0105 code on
+    // stderr and exit code 2 — never a silently misparsed number.
+    try {
+        support::CliArgs args(argc, argv, 2);
+        while (args.next()) {
+            if (args.is("--packets")) packets = args.uint_value(1);
+            else if (args.is("--phases")) phases = args.uint_value(1);
+            else if (args.is("--universe")) universe = args.uint_value(1);
+            else if (args.is("--alpha")) alpha = args.double_value();
+            else if (args.is("--seed")) seed = args.uint_value();
+            else if (args.is("--window")) options.drift.window = args.uint_value(1);
+            else if (args.is("--workload")) workload_name = args.value();
+            else if (args.is("--min-swaps")) min_swaps = args.uint_value();
+            else if (args.is("--expect-rollback")) expect_rollback = true;
+            else if (args.is("--snapshot")) options.snapshot_path = args.value();
+            else if (args.is("--journal")) options.journal_dir = args.value();
+            else if (args.is("--recover")) recover = true;
+            else if (args.is("--record-trace")) record_path = args.value();
+            else if (args.is("--replay-trace")) replay_path = args.value();
+            else if (args.is("--faults")) support::FaultRegistry::instance().configure(args.value());
+            else if (args.is("--ilp")) options.compile.backend = compiler::Backend::Ilp;
+            else if (args.is("--fast")) options.exact_portfolio = false;
+            else if (args.is("--opt-level"))
+                options.compile.opt_level = static_cast<int>(args.uint_value(0, 1));
+            else args.unknown();
+        }
+        if (workload_name != "zipf" && workload_name != "flood" && workload_name != "thrash" &&
+            workload_name != "storm") {
+            throw support::Error(support::Errc::CliUsage,
+                                 "flag '--workload' expects zipf|flood|thrash|storm, got '" +
+                                     workload_name + "'");
+        }
+        if (recover && options.journal_dir.empty()) {
+            throw support::Error(support::Errc::CliUsage, "--recover requires --journal DIR");
+        }
+    } catch (const support::Error& e) {
+        std::fprintf(stderr, "p4all-run: %s\n", e.what());
         return usage();
-    if (recover && options.journal_dir.empty()) {
-        std::fprintf(stderr, "p4all-run: --recover requires --journal DIR\n");
-        return 2;
     }
 
     try {

@@ -1,0 +1,68 @@
+#include "fleet/breaker.hpp"
+
+namespace p4all::fleet {
+
+std::string BreakerOptions::to_string() const {
+    return "threshold=" + std::to_string(failure_threshold) +
+           " open_ticks=" + std::to_string(open_ticks);
+}
+
+std::string to_string(BreakerState state) {
+    switch (state) {
+        case BreakerState::Closed: return "closed";
+        case BreakerState::Open: return "open";
+        case BreakerState::HalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+    if (options_.failure_threshold < 1) options_.failure_threshold = 1;
+    if (options_.open_ticks < 1) options_.open_ticks = 1;
+}
+
+bool CircuitBreaker::allow() {
+    switch (state_) {
+        case BreakerState::Closed: return true;
+        case BreakerState::Open: return false;
+        case BreakerState::HalfOpen:
+            if (probe_taken_) return false;
+            probe_taken_ = true;
+            return true;
+    }
+    return false;
+}
+
+void CircuitBreaker::record_success() {
+    state_ = BreakerState::Closed;
+    failures_ = 0;
+    probe_taken_ = false;
+}
+
+void CircuitBreaker::record_failure() {
+    if (state_ == BreakerState::HalfOpen) {
+        open();
+        return;
+    }
+    if (state_ == BreakerState::Closed && ++failures_ >= options_.failure_threshold) {
+        open();
+    }
+}
+
+void CircuitBreaker::tick() {
+    if (state_ != BreakerState::Open) return;
+    if (--cooldown_ <= 0) {
+        state_ = BreakerState::HalfOpen;
+        probe_taken_ = false;
+    }
+}
+
+void CircuitBreaker::open() {
+    state_ = BreakerState::Open;
+    cooldown_ = options_.open_ticks;
+    failures_ = 0;
+    probe_taken_ = false;
+    ++opened_;
+}
+
+}  // namespace p4all::fleet

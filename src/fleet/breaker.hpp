@@ -1,0 +1,75 @@
+// A per-switch circuit breaker around compile/swap operations.
+//
+// Failover compiles are expensive (a full resilient-portfolio compile per
+// attempt); hammering them against a switch whose placements keep failing
+// burns the retry budget every other tenant needs. The breaker implements
+// the classic three-state machine:
+//
+//   Closed    operations flow; `failure_threshold` *consecutive* failures
+//             trip the breaker Open (any success resets the count);
+//   Open      operations are refused outright (Errc::BreakerOpen) for
+//             `open_ticks` supervision ticks — the cool-down;
+//   HalfOpen  after the cool-down, exactly ONE probe operation is admitted;
+//             its success closes the breaker, its failure re-opens it for
+//             another full cool-down.
+//
+// Time is tick-driven, not wall-clock: FleetController::tick() advances
+// every breaker once per supervision round, so breaker trajectories are a
+// pure function of the operation outcome sequence and chaos tests replay
+// deterministically at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p4all::fleet {
+
+struct BreakerOptions {
+    int failure_threshold = 3;  ///< consecutive failures that trip Open
+    int open_ticks = 4;         ///< cool-down ticks before a HalfOpen probe
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+[[nodiscard]] std::string to_string(BreakerState state);
+
+class CircuitBreaker {
+public:
+    explicit CircuitBreaker(BreakerOptions options = {});
+
+    [[nodiscard]] BreakerState state() const noexcept { return state_; }
+
+    /// True when the caller may run the guarded operation now. Closed:
+    /// always. Open: never. HalfOpen: once — the first allow() claims the
+    /// single probe slot; further calls are refused until the probe's
+    /// outcome is recorded.
+    [[nodiscard]] bool allow();
+
+    /// Outcome of an allowed operation. Success closes the breaker (from
+    /// any state) and clears the failure run; failure extends the run and
+    /// trips Closed -> Open at the threshold, HalfOpen -> Open immediately.
+    void record_success();
+    void record_failure();
+
+    /// One supervision tick: counts down an Open cool-down; at zero the
+    /// breaker arms a HalfOpen probe. No-op in other states.
+    void tick();
+
+    [[nodiscard]] int consecutive_failures() const noexcept { return failures_; }
+    [[nodiscard]] std::int64_t times_opened() const noexcept { return opened_; }
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    void open();
+
+    BreakerOptions options_;
+    BreakerState state_ = BreakerState::Closed;
+    int failures_ = 0;        // consecutive failures while Closed
+    int cooldown_ = 0;        // ticks left in Open
+    bool probe_taken_ = false;  // HalfOpen probe slot claimed
+    std::int64_t opened_ = 0;   // lifetime Closed/HalfOpen -> Open transitions
+};
+
+}  // namespace p4all::fleet

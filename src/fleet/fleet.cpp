@@ -1,0 +1,836 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "fleet/ladder.hpp"
+#include "runtime/snapshot.hpp"
+#include "support/error.hpp"
+#include "support/faultpoint.hpp"
+#include "support/json.hpp"
+
+namespace p4all::fleet {
+
+namespace {
+
+namespace fs = std::filesystem;
+using support::Errc;
+using support::Error;
+
+/// Free-bits sentinel for capacity_bits == 0: large enough to never
+/// constrain, small enough that subtraction cannot overflow.
+constexpr std::int64_t kUnbounded = std::numeric_limits<std::int64_t>::max() / 4;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+FleetEventKind kind_from_name(const std::string& name) {
+    for (int k = 0; k <= static_cast<int>(FleetEventKind::Recovered); ++k) {
+        const auto kind = static_cast<FleetEventKind>(k);
+        if (name == kind_name(kind)) return kind;
+    }
+    throw Error(Errc::FleetJournalError, "unknown fleet event kind '" + name + "'");
+}
+
+}  // namespace
+
+const char* kind_name(FleetEventKind kind) {
+    switch (kind) {
+        case FleetEventKind::Admit: return "admit";
+        case FleetEventKind::SwitchDead: return "switch-dead";
+        case FleetEventKind::Rejoin: return "rejoin";
+        case FleetEventKind::Failover: return "failover";
+        case FleetEventKind::FailoverFailed: return "failover-failed";
+        case FleetEventKind::BreakerTrip: return "breaker-trip";
+        case FleetEventKind::Degrade: return "degrade";
+        case FleetEventKind::Restore: return "restore";
+        case FleetEventKind::Shed: return "shed";
+        case FleetEventKind::Readmit: return "readmit";
+        case FleetEventKind::RouteDrop: return "route-drop";
+        case FleetEventKind::Recovered: return "recovered";
+    }
+    return "?";
+}
+
+std::string FleetEvent::to_string() const {
+    std::string out = "#" + std::to_string(seq) + " " + kind_name(kind);
+    if (!tenant.empty()) out += " " + tenant;
+    if (!where.empty()) out += "@" + where;
+    out += " L" + std::to_string(level);
+    if (!detail.empty()) out += ": " + detail;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// construction
+
+FleetController::FleetController(FleetOptions options, std::vector<SwitchSpec> switches,
+                                 std::vector<TenantSpec> tenants)
+    : options_(std::move(options)), detector_(options_.health) {
+    validate_and_seed(switches, tenants);
+    // A fresh controller starts a fresh decision log; the tenants' own
+    // journals are what carry state across fleet generations.
+    std::error_code ec;
+    fs::remove(log_path(), ec);
+    for (auto& [name, tenant] : tenants_) {
+        place_tenant(tenant, FleetEventKind::Admit, "initial placement");
+    }
+}
+
+FleetController::FleetController(RecoverTag, FleetOptions options,
+                                 std::vector<SwitchSpec> switches,
+                                 std::vector<TenantSpec> tenants)
+    : options_(std::move(options)), detector_(options_.health) {
+    validate_and_seed(switches, tenants);
+}
+
+FleetController::~FleetController() = default;
+
+void FleetController::validate_and_seed(std::vector<SwitchSpec>& switches,
+                                        std::vector<TenantSpec>& tenants) {
+    if (options_.journal_root.empty()) {
+        throw Error(Errc::FleetConfig, "FleetOptions::journal_root must be set");
+    }
+    if (switches.empty()) {
+        throw Error(Errc::FleetConfig, "a fleet needs at least one switch");
+    }
+    if (options_.max_degrade_level < 0) options_.max_degrade_level = 0;
+    for (auto& spec : switches) {
+        if (spec.name.empty()) throw Error(Errc::FleetConfig, "switch name must be non-empty");
+        if (spec.capacity_bits < 0) {
+            throw Error(Errc::FleetConfig,
+                        "switch '" + spec.name + "' has negative capacity_bits");
+        }
+        if (!switches_.emplace(spec.name, Switch{spec, CircuitBreaker(options_.breaker), true})
+                 .second) {
+            throw Error(Errc::FleetConfig, "duplicate switch name '" + spec.name + "'");
+        }
+    }
+    for (auto& spec : tenants) {
+        if (spec.name.empty()) throw Error(Errc::FleetConfig, "tenant name must be non-empty");
+        if (tenants_.count(spec.name) != 0) {
+            throw Error(Errc::FleetConfig, "duplicate tenant name '" + spec.name + "'");
+        }
+        Tenant tenant;
+        tenant.spec = spec;
+        try {
+            tenant.driver = runtime::make_driver(spec.app);
+        } catch (const std::exception& e) {
+            throw Error(Errc::FleetConfig,
+                        "tenant '" + spec.name + "': unknown app '" + spec.app + "'");
+        }
+        tenants_.emplace(spec.name, std::move(tenant));
+    }
+    fs::create_directories(options_.journal_root);
+    // Stable per-tenant jitter streams: the tenant's rank in name order, so
+    // the delay sequences are a function of the fleet spec alone.
+    std::uint64_t rank = 0;
+    for (auto& [name, tenant] : tenants_) {
+        tenant.stream = rank++;
+        fs::create_directories(options_.journal_root + "/" + name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// small helpers
+
+runtime::RuntimeOptions FleetController::tenant_options(const Tenant& tenant) const {
+    runtime::RuntimeOptions opts = options_.runtime;
+    opts.journal_dir = options_.journal_root + "/" + tenant.spec.name;
+    // One shared snapshot_path would make tenants clobber each other; the
+    // per-epoch journal snapshots already persist everything.
+    opts.snapshot_path.clear();
+    return opts;
+}
+
+runtime::ProfileFn FleetController::wrapped_profile(const Tenant& tenant) const {
+    const runtime::ProfileFn base = tenant.driver.profile;
+    const std::shared_ptr<int> level = tenant.level;
+    const std::int64_t floor_value = options_.degrade_floor;
+    return [base, level, floor_value](const workload::Trace& window) {
+        const std::string profile = base ? base(window) : std::string{};
+        return shrink_profile(profile, *level, floor_value);
+    };
+}
+
+std::int64_t FleetController::free_bits(const Switch& sw) const {
+    const std::int64_t capacity =
+        sw.spec.capacity_bits == 0 ? kUnbounded : sw.spec.capacity_bits;
+    std::int64_t used = 0;
+    for (const auto& [name, tenant] : tenants_) {
+        if (tenant.home == sw.spec.name) used += tenant.bits;
+    }
+    return capacity - used;
+}
+
+std::vector<std::string> FleetController::candidates() const {
+    std::vector<std::pair<std::int64_t, std::string>> ranked;
+    for (const auto& [name, sw] : switches_) {
+        if (sw.alive) ranked.emplace_back(free_bits(sw), name);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    });
+    std::vector<std::string> names;
+    names.reserve(ranked.size());
+    for (auto& [free, name] : ranked) names.push_back(std::move(name));
+    return names;
+}
+
+FleetController::Tenant& FleetController::tenant_ref(const std::string& name) {
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) throw Error(Errc::FleetConfig, "unknown tenant '" + name + "'");
+    return it->second;
+}
+
+const FleetController::Tenant& FleetController::tenant_ref(const std::string& name) const {
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) throw Error(Errc::FleetConfig, "unknown tenant '" + name + "'");
+    return it->second;
+}
+
+std::string FleetController::log_path() const { return options_.journal_root + "/fleet.log"; }
+
+void FleetController::log_event(FleetEventKind kind, const std::string& tenant,
+                                const std::string& where, int level,
+                                const std::string& detail) {
+    FleetEvent event;
+    event.seq = ++seq_;
+    event.kind = kind;
+    event.tenant = tenant;
+    event.where = where;
+    event.level = level;
+    event.detail = detail;
+
+    support::Json line = support::Json::object();
+    line.set("seq", static_cast<std::int64_t>(event.seq));
+    line.set("kind", kind_name(kind));
+    line.set("tenant", event.tenant);
+    line.set("where", event.where);
+    line.set("level", event.level);
+    line.set("detail", event.detail);
+    std::ofstream out(log_path(), std::ios::app);
+    out << line.dump() << '\n';
+    out.flush();
+    if (!out) {
+        throw Error(Errc::FleetJournalError,
+                    "cannot append to fleet log '" + log_path() + "'");
+    }
+    events_.push_back(std::move(event));
+}
+
+void FleetController::refresh_bits(Tenant& tenant) {
+    if (!tenant.rt || tenant.rt->epoch() == tenant.epoch_seen) return;
+    tenant.bits = layout_bits(tenant.rt->compiled());
+    tenant.epoch_seen = tenant.rt->epoch();
+    tenant.bits_at_level[*tenant.level] = tenant.bits;
+}
+
+// ---------------------------------------------------------------------------
+// placement
+
+bool FleetController::try_place_on(Tenant& tenant, Switch& sw, FleetEventKind kind,
+                                   const std::string& why) {
+    if (!sw.breaker.allow()) {
+        log_event(FleetEventKind::BreakerTrip, tenant.spec.name, sw.spec.name, *tenant.level,
+                  Error(Errc::BreakerOpen, "install refused: breaker " +
+                                               fleet::to_string(sw.breaker.state()) + " on '" +
+                                               sw.spec.name + "'")
+                      .what());
+        return false;
+    }
+
+    std::unique_ptr<runtime::ElasticRuntime> rt;
+    bool fits = false;
+    std::int64_t final_bits = 0;
+    const support::Deadline budget =
+        support::Deadline::after_seconds(options_.failover_budget_seconds);
+    const support::SleepFn record_sleep = [this](double ms) { backoff_delay_ms_ += ms; };
+
+    const support::RetryResult result = support::retry_with_backoff(
+        options_.backoff, budget,
+        [&](int /*attempt*/) {
+            // Replays the tenant's own journal: epoch, assume profile, and
+            // register state all come back exactly as last committed.
+            rt = runtime::ElasticRuntime::recover(tenant.spec.name, tenant.driver.source,
+                                                  tenant_options(tenant),
+                                                  wrapped_profile(tenant));
+            std::int64_t bits = layout_bits(rt->compiled());
+            tenant.bits_at_level[*tenant.level] = bits;
+            while (bits > free_bits(sw)) {
+                if (*tenant.level >= options_.max_degrade_level) {
+                    fits = false;
+                    return true;  // deterministic does-not-fit; not a failure
+                }
+                ++*tenant.level;
+                const runtime::SwapEvent swap =
+                    rt->reconfigure("fleet: degrade to L" + std::to_string(*tenant.level));
+                if (!swap.committed) {
+                    --*tenant.level;
+                    throw Error(Errc::FailoverFailed, "degrade rolled back: " + swap.detail);
+                }
+                const std::int64_t shrunk = layout_bits(rt->compiled());
+                if (shrunk >= bits) {
+                    // Ladder stalled at the floor: the committed epoch has
+                    // the same layout, so reverting the level keeps the
+                    // in-memory level equal to what the event log replays.
+                    --*tenant.level;
+                    fits = false;
+                    return true;
+                }
+                tenant.bits_at_level[*tenant.level] = shrunk;
+                log_event(FleetEventKind::Degrade, tenant.spec.name, sw.spec.name,
+                          *tenant.level,
+                          "profile shrunk " + std::to_string(bits) + " -> " +
+                              std::to_string(shrunk) + " bits");
+                bits = shrunk;
+            }
+            if (support::fault_fires("fleet.swap")) {
+                rt.reset();
+                throw Error(Errc::SwitchUnavailable,
+                            "install aborted: fleet.swap fired at commit on '" +
+                                sw.spec.name + "'");
+            }
+            fits = true;
+            final_bits = bits;
+            return true;
+        },
+        record_sleep, tenant.stream);
+
+    if (!result.succeeded) {
+        sw.breaker.record_failure();
+        log_event(FleetEventKind::FailoverFailed, tenant.spec.name, sw.spec.name,
+                  *tenant.level,
+                  Error(Errc::FailoverFailed,
+                        "install failed after " + std::to_string(result.attempts) +
+                            " attempts: " + result.last_error)
+                      .what());
+        return false;
+    }
+    sw.breaker.record_success();
+    if (!fits) {
+        rt.reset();  // healthy switch, just too small even degraded
+        return false;
+    }
+    tenant.rt = std::move(rt);
+    tenant.home = sw.spec.name;
+    tenant.bits = final_bits;
+    tenant.epoch_seen = tenant.rt->epoch();
+    log_event(kind, tenant.spec.name, sw.spec.name, *tenant.level, why);
+    return true;
+}
+
+bool FleetController::make_room(Switch& sw, std::int64_t need, const std::string& incoming) {
+    std::set<std::string> stalled;  // residents proven at the ladder floor
+    bool progressed = true;
+    while (free_bits(sw) < need && progressed) {
+        progressed = false;
+        // Largest resident that can still descend, ties broken by name.
+        std::vector<Tenant*> residents;
+        for (auto& [name, tenant] : tenants_) {
+            if (tenant.home == sw.spec.name && *tenant.level < options_.max_degrade_level &&
+                stalled.count(name) == 0) {
+                residents.push_back(&tenant);
+            }
+        }
+        std::sort(residents.begin(), residents.end(), [](const Tenant* a, const Tenant* b) {
+            if (a->bits != b->bits) return a->bits > b->bits;
+            return a->spec.name < b->spec.name;
+        });
+        for (Tenant* resident : residents) {
+            const std::int64_t before = resident->bits;
+            ++*resident->level;
+            const runtime::SwapEvent swap = resident->rt->reconfigure(
+                "fleet: degrade to make room for " + incoming);
+            if (!swap.committed) {
+                --*resident->level;
+                continue;
+            }
+            resident->bits = layout_bits(resident->rt->compiled());
+            resident->epoch_seen = resident->rt->epoch();
+            if (resident->bits >= before) {
+                // Stalled at the floor: same layout committed, so revert
+                // the level to keep the event log replayable.
+                --*resident->level;
+                stalled.insert(resident->spec.name);
+                continue;
+            }
+            resident->bits_at_level[*resident->level] = resident->bits;
+            log_event(FleetEventKind::Degrade, resident->spec.name, sw.spec.name,
+                      *resident->level,
+                      "made room for " + incoming + ": " + std::to_string(before) + " -> " +
+                          std::to_string(resident->bits) + " bits");
+            progressed = true;
+            break;  // re-evaluate free space before squeezing further
+        }
+    }
+    return free_bits(sw) >= need;
+}
+
+bool FleetController::place_tenant(Tenant& tenant, FleetEventKind kind,
+                                   const std::string& why) {
+    for (const std::string& name : candidates()) {
+        if (try_place_on(tenant, switches_.at(name), kind, why)) return true;
+    }
+    // Nothing fit even with the incoming tenant fully degraded: squeeze
+    // residents, emptiest survivor first, until one of them can host it —
+    // shedding while ANY switch could still make room would lose a tenant
+    // the fleet has capacity for.
+    const std::vector<std::string> ranked = candidates();
+    if (!tenant.bits_at_level.empty()) {
+        const std::int64_t need = tenant.bits_at_level.rbegin()->second;  // deepest footprint
+        for (const std::string& name : ranked) {
+            Switch& sw = switches_.at(name);
+            if (make_room(sw, need, tenant.spec.name) && try_place_on(tenant, sw, kind, why)) {
+                return true;
+            }
+        }
+    }
+    tenant.rt.reset();
+    tenant.home.clear();
+    tenant.bits = 0;
+    const char* cause = ranked.empty() ? "no live switch available"
+                                       : "degradation ladder exhausted on every live switch";
+    log_event(FleetEventKind::Shed, tenant.spec.name, "", *tenant.level,
+              Error(Errc::CapacityExhausted,
+                    std::string(cause) + "; tenant parked (journal retained)")
+                  .what());
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// supervision
+
+bool FleetController::heartbeat_missed(const std::string& name) const {
+    const auto start = std::chrono::steady_clock::now();
+    // The fault point stands in for the heartbeat exchange: a default fire
+    // is a dropped probe, `delay=<ms>` is a slow answer (measured against
+    // the deadline below), `crash` is the chaos harness's kill site.
+    const bool dropped = support::fault_fires("fleet.heartbeat");
+    const double latency = elapsed_ms(start);
+    if (dropped) return true;
+    if (latency > options_.health.heartbeat_deadline_ms) return true;
+    for (const auto& [tn, tenant] : tenants_) {
+        if (tenant.home == name && tenant.rt && !tenant.rt->heartbeat().serving) return true;
+    }
+    return false;
+}
+
+void FleetController::tick() {
+    for (auto& [name, sw] : switches_) sw.breaker.tick();
+    std::vector<std::string> died;
+    for (auto& [name, sw] : switches_) {
+        if (!sw.alive) continue;
+        const bool missed = heartbeat_missed(name);
+        if (detector_.note(name, missed) == Liveness::Dead) died.push_back(name);
+    }
+    for (const std::string& name : died) {
+        on_switch_dead(name, "heartbeat: " + std::to_string(options_.health.miss_threshold) +
+                                 " consecutive misses");
+    }
+}
+
+void FleetController::on_switch_dead(const std::string& name, const std::string& why) {
+    Switch& sw = switches_.at(name);
+    if (!sw.alive) return;
+    sw.alive = false;
+    detector_.declare_dead(name);
+    log_event(FleetEventKind::SwitchDead, "", name, 0,
+              Error(Errc::SwitchUnavailable, why).what());
+    // The runtime objects die with the switch; the journals do not. Clear
+    // every evacuee first so failover capacity accounting is correct, then
+    // re-place in name order.
+    std::vector<std::string> evacuees;
+    for (auto& [tn, tenant] : tenants_) {
+        if (tenant.home == name) {
+            tenant.rt.reset();
+            tenant.home.clear();
+            tenant.bits = 0;
+            evacuees.push_back(tn);
+        }
+    }
+    for (const std::string& tn : evacuees) {
+        place_tenant(tenants_.at(tn), FleetEventKind::Failover, "evacuated from " + name);
+    }
+}
+
+void FleetController::kill_switch(const std::string& name) {
+    if (switches_.count(name) == 0) {
+        throw Error(Errc::FleetConfig, "unknown switch '" + name + "'");
+    }
+    on_switch_dead(name, "operator kill");
+}
+
+void FleetController::revive_switch(const std::string& name) {
+    const auto it = switches_.find(name);
+    if (it == switches_.end()) {
+        throw Error(Errc::FleetConfig, "unknown switch '" + name + "'");
+    }
+    Switch& sw = it->second;
+    if (sw.alive) return;
+    sw.alive = true;
+    sw.breaker = CircuitBreaker(options_.breaker);
+    detector_.reset(name);
+    log_event(FleetEventKind::Rejoin, "", name, 0, "switch rejoined");
+    restore_capacity();
+}
+
+void FleetController::restore_capacity() {
+    // Serving a parked tenant beats restoring head-room: readmits first.
+    for (auto& [name, tenant] : tenants_) {
+        if (!tenant.rt) {
+            place_tenant(tenant, FleetEventKind::Readmit, "capacity returned");
+        }
+    }
+    // Then lift degraded tenants one rung at a time while the head-room
+    // holds, round-robin so no tenant monopolizes the returned capacity.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto& [name, tenant] : tenants_) {
+            if (!tenant.rt || *tenant.level <= 0) continue;
+            Switch& sw = switches_.at(tenant.home);
+            const std::int64_t headroom = free_bits(sw) + tenant.bits;
+            const auto cached = tenant.bits_at_level.find(*tenant.level - 1);
+            if (cached != tenant.bits_at_level.end() && cached->second > headroom) continue;
+            const int old_level = *tenant.level;
+            *tenant.level = old_level - 1;
+            const runtime::SwapEvent swap =
+                tenant.rt->reconfigure("fleet: restore to L" + std::to_string(*tenant.level));
+            if (!swap.committed) {
+                *tenant.level = old_level;
+                continue;
+            }
+            const std::int64_t grown = layout_bits(tenant.rt->compiled());
+            if (grown > headroom) {
+                // The window drifted since the cached footprint: fold back.
+                *tenant.level = old_level;
+                tenant.rt->reconfigure("fleet: re-degrade (no head-room)");
+                refresh_bits(tenant);
+                continue;
+            }
+            tenant.bits = grown;
+            tenant.epoch_seen = tenant.rt->epoch();
+            tenant.bits_at_level[*tenant.level] = grown;
+            log_event(FleetEventKind::Restore, name, tenant.home, *tenant.level,
+                      "profile restored to " + std::to_string(grown) + " bits");
+            progressed = true;
+        }
+        if (progressed) continue;
+        // No tenant could lift in place. If a roomier switch could host a
+        // degraded tenant's next rung, move the tenant there (its journal
+        // carries the state); the next round lifts it in its new home. One
+        // move per round keeps the accounting simple and terminating.
+        for (auto& [name, tenant] : tenants_) {
+            if (!tenant.rt || *tenant.level <= 0) continue;
+            const auto cached = tenant.bits_at_level.find(*tenant.level - 1);
+            if (cached == tenant.bits_at_level.end()) continue;
+            const std::int64_t need = cached->second;
+            if (need <= free_bits(switches_.at(tenant.home)) + tenant.bits) continue;
+            bool roomier = false;
+            for (const std::string& cand : candidates()) {
+                if (cand != tenant.home && free_bits(switches_.at(cand)) >= need) {
+                    roomier = true;
+                    break;
+                }
+            }
+            if (!roomier) continue;
+            tenant.rt.reset();
+            tenant.home.clear();
+            tenant.bits = 0;
+            if (place_tenant(tenant, FleetEventKind::Failover,
+                             "rebalanced to restore head-room")) {
+                progressed = true;
+            }
+            break;
+        }
+        if (progressed) continue;
+        // Still stuck: no degraded tenant can lift in place or by moving
+        // itself (its next rung fits no switch whole). Evict a co-resident
+        // instead — moving a neighbor at its *current* profile to a switch
+        // with spare room hands the stuck tenant the head-room its next
+        // rung needs. One eviction per round; the lift lands next round.
+        for (auto& [name, tenant] : tenants_) {
+            if (progressed) break;
+            if (!tenant.rt || *tenant.level <= 0) continue;
+            const auto cached = tenant.bits_at_level.find(*tenant.level - 1);
+            if (cached == tenant.bits_at_level.end()) continue;
+            const std::int64_t need = cached->second;
+            Switch& home = switches_.at(tenant.home);
+            for (auto& [co_name, co] : tenants_) {
+                if (co_name == name || !co.rt || co.home != tenant.home) continue;
+                if (free_bits(home) + co.bits + tenant.bits < need) continue;  // won't help
+                for (const std::string& cand : candidates()) {
+                    if (cand == tenant.home || free_bits(switches_.at(cand)) < co.bits) {
+                        continue;
+                    }
+                    const std::string old_home = co.home;
+                    co.rt.reset();
+                    co.home.clear();
+                    co.bits = 0;
+                    if (try_place_on(co, switches_.at(cand), FleetEventKind::Failover,
+                                     "evicted to free head-room for " + name)) {
+                        progressed = true;
+                    } else {
+                        // Breaker/fault refused the move: put the neighbor
+                        // back (or anywhere) rather than losing it.
+                        place_tenant(co, FleetEventKind::Failover,
+                                     "restored after a refused eviction from " + old_home);
+                    }
+                    break;
+                }
+                if (progressed) break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// data path
+
+void FleetController::step(const std::string& tenant_name, std::uint64_t key) {
+    Tenant& tenant = tenant_ref(tenant_name);
+    if (!tenant.rt) {
+        ++packets_dropped_;  // parked: no capacity anywhere, packet is lost
+        return;
+    }
+    if (support::fault_fires("fleet.route")) {
+        // Transient route failure: resend with backoff (virtual time).
+        support::Backoff backoff(options_.backoff, tenant.stream + 1000);
+        bool delivered = false;
+        while (true) {
+            backoff_delay_ms_ += backoff.next_delay_ms();
+            ++route_retries_;
+            if (!support::fault_fires("fleet.route")) {
+                delivered = true;
+                break;
+            }
+            if (backoff.exhausted()) break;
+        }
+        if (!delivered) {
+            ++packets_dropped_;
+            log_event(FleetEventKind::RouteDrop, tenant_name, tenant.home, *tenant.level,
+                      "packet dropped after " + std::to_string(backoff.delays() + 1) +
+                          " route attempts");
+            return;
+        }
+    }
+    tenant.driver.step(*tenant.rt, key);
+    ++packets_routed_;
+    refresh_bits(tenant);  // drift may have committed a differently-sized epoch
+}
+
+// ---------------------------------------------------------------------------
+// recovery
+
+std::unique_ptr<FleetController> FleetController::recover(FleetOptions options,
+                                                          std::vector<SwitchSpec> switches,
+                                                          std::vector<TenantSpec> tenants,
+                                                          FleetRecoveryReport* report) {
+    std::unique_ptr<FleetController> fleet(new FleetController(
+        RecoverTag{}, std::move(options), std::move(switches), std::move(tenants)));
+    FleetRecoveryReport rep;
+
+    // Replay the decision log, dropping a torn tail (a crash mid-append
+    // must not poison later appends — truncate to the valid prefix).
+    std::vector<FleetEvent> replayed;
+    std::string valid_prefix;
+    {
+        std::ifstream in(fleet->log_path());
+        std::string line;
+        while (in && std::getline(in, line)) {
+            if (line.empty()) continue;
+            try {
+                const support::Json obj = support::Json::parse(line);
+                FleetEvent event;
+                event.seq = static_cast<std::uint64_t>(obj.get_int("seq", 0));
+                event.kind = kind_from_name(obj.get_string("kind", ""));
+                event.tenant = obj.get_string("tenant", "");
+                event.where = obj.get_string("where", "");
+                event.level = static_cast<int>(obj.get_int("level", 0));
+                event.detail = obj.get_string("detail", "");
+                replayed.push_back(std::move(event));
+                valid_prefix += line + "\n";
+            } catch (const std::exception& e) {
+                rep.log_clean = false;
+                rep.notes.push_back(std::string("torn fleet log tail truncated: ") + e.what());
+                break;
+            }
+        }
+    }
+    if (!rep.log_clean) {
+        const std::string tmp = fleet->log_path() + ".tmp";
+        std::ofstream out(tmp, std::ios::trunc);
+        out << valid_prefix;
+        out.close();
+        if (!out) throw Error(Errc::FleetJournalError, "cannot rewrite fleet log");
+        fs::rename(tmp, fleet->log_path());
+    }
+
+    struct Placement {
+        std::string home;
+        int level = 0;
+        bool parked = false;
+    };
+    std::map<std::string, Placement> placements;
+    std::set<std::string> dead;
+    for (const FleetEvent& event : replayed) {
+        switch (event.kind) {
+            case FleetEventKind::Admit:
+            case FleetEventKind::Failover:
+            case FleetEventKind::Readmit:
+                placements[event.tenant] = Placement{event.where, event.level, false};
+                break;
+            case FleetEventKind::Degrade:
+            case FleetEventKind::Restore:
+                placements[event.tenant].level = event.level;
+                break;
+            case FleetEventKind::Shed:
+                placements[event.tenant] = Placement{"", event.level, true};
+                break;
+            case FleetEventKind::SwitchDead: dead.insert(event.where); break;
+            case FleetEventKind::Rejoin: dead.erase(event.where); break;
+            default: break;
+        }
+        fleet->seq_ = std::max(fleet->seq_, event.seq);
+    }
+    rep.events_replayed = replayed.size();
+    fleet->events_ = std::move(replayed);
+
+    for (const std::string& name : dead) {
+        const auto it = fleet->switches_.find(name);
+        if (it == fleet->switches_.end()) continue;
+        it->second.alive = false;
+        fleet->detector_.declare_dead(name);
+        rep.notes.push_back("switch '" + name + "' remains dead");
+    }
+
+    for (auto& [name, tenant] : fleet->tenants_) {
+        const auto it = placements.find(name);
+        if (it != placements.end()) *tenant.level = it->second.level;
+        if (it != placements.end() && it->second.parked) {
+            rep.notes.push_back("tenant '" + name + "' remains parked");
+            continue;
+        }
+        std::string home = it != placements.end() ? it->second.home : "";
+        if (!home.empty()) {
+            const auto sw = fleet->switches_.find(home);
+            if (sw == fleet->switches_.end() || !sw->second.alive) home.clear();
+        }
+        if (!home.empty()) {
+            try {
+                tenant.rt = runtime::ElasticRuntime::recover(
+                    tenant.spec.name, tenant.driver.source, fleet->tenant_options(tenant),
+                    fleet->wrapped_profile(tenant));
+                tenant.home = home;
+                tenant.bits = layout_bits(tenant.rt->compiled());
+                tenant.epoch_seen = tenant.rt->epoch();
+                tenant.bits_at_level[*tenant.level] = tenant.bits;
+                rep.notes.push_back("tenant '" + name + "' restored on '" + home + "'");
+                continue;
+            } catch (const support::CompileError& e) {
+                rep.notes.push_back("tenant '" + name + "' failed to restore on '" + home +
+                                    "': " + e.what());
+            }
+        }
+        const bool placed = fleet->place_tenant(
+            tenant, it == placements.end() ? FleetEventKind::Admit : FleetEventKind::Failover,
+            it == placements.end() ? "recovered: tenant new to this fleet"
+                                   : "recovered: journaled home unavailable");
+        rep.notes.push_back("tenant '" + name + "' " +
+                            (placed ? "re-homed" : "parked (no capacity)"));
+    }
+
+    fleet->log_event(FleetEventKind::Recovered, "", "", 0,
+                     "fleet recovered: " + std::to_string(rep.events_replayed) +
+                         " events replayed" +
+                         (rep.log_clean ? "" : ", torn tail truncated"));
+    if (report != nullptr) *report = rep;
+    return fleet;
+}
+
+// ---------------------------------------------------------------------------
+// introspection
+
+std::string FleetController::home_of(const std::string& tenant) const {
+    return tenant_ref(tenant).home;
+}
+
+int FleetController::level_of(const std::string& tenant) const {
+    return *tenant_ref(tenant).level;
+}
+
+bool FleetController::parked(const std::string& tenant) const {
+    return tenant_ref(tenant).rt == nullptr;
+}
+
+Liveness FleetController::switch_state(const std::string& name) const {
+    if (switches_.count(name) == 0) {
+        throw Error(Errc::FleetConfig, "unknown switch '" + name + "'");
+    }
+    return detector_.state(name);
+}
+
+BreakerState FleetController::breaker_state(const std::string& name) const {
+    const auto it = switches_.find(name);
+    if (it == switches_.end()) {
+        throw Error(Errc::FleetConfig, "unknown switch '" + name + "'");
+    }
+    return it->second.breaker.state();
+}
+
+std::vector<std::string> FleetController::tenants_on(const std::string& name) const {
+    std::vector<std::string> hosted;
+    for (const auto& [tn, tenant] : tenants_) {
+        if (tenant.home == name) hosted.push_back(tn);
+    }
+    return hosted;
+}
+
+std::uint64_t FleetController::digest(const std::string& tenant_name) const {
+    const Tenant& tenant = tenant_ref(tenant_name);
+    if (!tenant.rt) return 0;
+    return runtime::take_snapshot(tenant.rt->pipeline(), tenant.rt->epoch()).checksum();
+}
+
+std::int64_t FleetController::tenant_bits(const std::string& tenant) const {
+    return tenant_ref(tenant).bits;
+}
+
+runtime::ElasticRuntime* FleetController::runtime_of(const std::string& tenant) {
+    return tenant_ref(tenant).rt.get();
+}
+
+std::string FleetController::to_string() const {
+    std::ostringstream out;
+    out << "fleet (" << switches_.size() << " switches, " << tenants_.size() << " tenants)\n";
+    for (const auto& [name, sw] : switches_) {
+        out << "  switch " << name << ": " << fleet::to_string(detector_.state(name))
+            << ", breaker " << fleet::to_string(sw.breaker.state());
+        if (sw.spec.capacity_bits > 0) {
+            out << ", " << (sw.spec.capacity_bits - free_bits(sw)) << "/"
+                << sw.spec.capacity_bits << " bits";
+        }
+        out << "\n";
+        for (const auto& tn : tenants_on(name)) {
+            const Tenant& tenant = tenant_ref(tn);
+            out << "    tenant " << tn << " (" << tenant.spec.app << "): L" << *tenant.level
+                << ", " << tenant.bits << " bits, epoch " << tenant.rt->epoch() << "\n";
+        }
+    }
+    for (const auto& [tn, tenant] : tenants_) {
+        if (!tenant.rt) out << "  parked tenant " << tn << " (L" << *tenant.level << ")\n";
+    }
+    return out.str();
+}
+
+}  // namespace p4all::fleet

@@ -1,0 +1,57 @@
+#include "fleet/health.hpp"
+
+namespace p4all::fleet {
+
+std::string HealthOptions::to_string() const {
+    return "deadline=" + std::to_string(heartbeat_deadline_ms) +
+           "ms miss_threshold=" + std::to_string(miss_threshold);
+}
+
+std::string to_string(Liveness liveness) {
+    switch (liveness) {
+        case Liveness::Alive: return "alive";
+        case Liveness::Suspect: return "suspect";
+        case Liveness::Dead: return "dead";
+    }
+    return "?";
+}
+
+FailureDetector::FailureDetector(HealthOptions options) : options_(options) {
+    if (options_.miss_threshold < 1) options_.miss_threshold = 1;
+}
+
+Liveness FailureDetector::note(const std::string& name, bool missed) {
+    Entry& entry = entries_[name];
+    if (entry.liveness == Liveness::Dead) return Liveness::Dead;
+    if (!missed) {
+        entry.misses = 0;
+        entry.liveness = Liveness::Alive;
+        return entry.liveness;
+    }
+    ++entry.misses;
+    entry.liveness =
+        entry.misses >= options_.miss_threshold ? Liveness::Dead : Liveness::Suspect;
+    return entry.liveness;
+}
+
+void FailureDetector::declare_dead(const std::string& name) {
+    Entry& entry = entries_[name];
+    entry.liveness = Liveness::Dead;
+    entry.misses = options_.miss_threshold;
+}
+
+void FailureDetector::reset(const std::string& name) {
+    entries_[name] = Entry{};
+}
+
+Liveness FailureDetector::state(const std::string& name) const {
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? Liveness::Alive : it->second.liveness;
+}
+
+int FailureDetector::misses(const std::string& name) const {
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.misses;
+}
+
+}  // namespace p4all::fleet

@@ -1,0 +1,65 @@
+// The fleet's heartbeat failure detector.
+//
+// Liveness is decided by deadline, not by exception: each supervision tick
+// probes every switch (FleetController times a heartbeat exchange against
+// HealthOptions::heartbeat_deadline_ms, with the `fleet.heartbeat` fault
+// point standing in for the network — a `delay=<ms>` action past the
+// deadline is a miss, a default fire is a dropped probe, a `crash` action
+// is the chaos harness's kill site). The detector itself is pure state: it
+// counts *consecutive* misses per switch and promotes
+//
+//   Alive --miss--> Suspect --(miss_threshold consecutive)--> Dead
+//
+// with any successful probe snapping straight back to Alive. Dead is
+// sticky: only an explicit reset() (operator revive / rejoin) resurrects a
+// switch, so a flapping link cannot oscillate tenants back onto a box the
+// controller already evacuated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace p4all::fleet {
+
+struct HealthOptions {
+    /// A heartbeat slower than this is a miss, same as no answer at all.
+    double heartbeat_deadline_ms = 25.0;
+    /// Consecutive misses that declare a switch Dead.
+    int miss_threshold = 3;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+enum class Liveness : std::uint8_t { Alive, Suspect, Dead };
+
+[[nodiscard]] std::string to_string(Liveness liveness);
+
+class FailureDetector {
+public:
+    explicit FailureDetector(HealthOptions options = {});
+
+    /// Records one probe outcome and returns the switch's new state.
+    /// Probes against a Dead switch are ignored (Dead is sticky).
+    Liveness note(const std::string& name, bool missed);
+
+    /// Forces Dead immediately (an operator kill, not a timeout).
+    void declare_dead(const std::string& name);
+
+    /// Rejoin: clears the miss run and returns the switch to Alive.
+    void reset(const std::string& name);
+
+    [[nodiscard]] Liveness state(const std::string& name) const;
+    [[nodiscard]] int misses(const std::string& name) const;
+
+private:
+    struct Entry {
+        Liveness liveness = Liveness::Alive;
+        int misses = 0;
+    };
+
+    HealthOptions options_;
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace p4all::fleet

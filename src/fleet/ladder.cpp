@@ -1,0 +1,74 @@
+#include "fleet/ladder.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace p4all::fleet {
+
+namespace {
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// Parses one "assume <sym> == <N>;" line; returns false when the line is
+/// anything else. `prefix` receives everything up to and including "== ".
+bool parse_assume_eq(const std::string& line, std::string& prefix, std::int64_t& value) {
+    const std::size_t eq = line.find("== ");
+    if (eq == std::string::npos || line.find("assume ") == std::string::npos) return false;
+    const std::size_t begin = eq + 3;
+    std::size_t end = begin;
+    while (end < line.size() && (std::isdigit(static_cast<unsigned char>(line[end])) != 0)) {
+        ++end;
+    }
+    if (end == begin) return false;
+    // Only the canonical driver shape "...;" qualifies; anything fancier
+    // passes through unshrunk rather than risking a mangled rewrite.
+    if (end >= line.size() || line[end] != ';') return false;
+    prefix = line.substr(0, begin);
+    value = std::strtoll(line.substr(begin, end - begin).c_str(), nullptr, 10);
+    return true;
+}
+
+}  // namespace
+
+std::int64_t layout_bits(const compiler::CompileResult& compiled) {
+    std::int64_t bits = 0;
+    for (const auto& stage : compiled.layout.stages) {
+        for (const auto& placed : stage.registers) {
+            bits += placed.bits(compiled.program);
+        }
+    }
+    return bits;
+}
+
+std::string shrink_profile(const std::string& profile, int level, std::int64_t floor_value) {
+    if (level <= 0 || profile.empty()) return profile;
+    if (floor_value < 1) floor_value = 1;
+    std::string out;
+    out.reserve(profile.size());
+    std::size_t pos = 0;
+    while (pos < profile.size()) {
+        std::size_t nl = profile.find('\n', pos);
+        const bool had_newline = nl != std::string::npos;
+        if (!had_newline) nl = profile.size();
+        std::string line = profile.substr(pos, nl - pos);
+        std::string prefix;
+        std::int64_t value = 0;
+        if (parse_assume_eq(line, prefix, value) && is_pow2(value) && value > floor_value) {
+            std::int64_t shrunk = value;
+            for (int l = 0; l < level && shrunk > floor_value; ++l) shrunk /= 2;
+            if (shrunk < floor_value) shrunk = floor_value;
+            line = prefix + std::to_string(shrunk) + ";";
+        }
+        out += line;
+        if (had_newline) out += '\n';
+        pos = nl + (had_newline ? 1 : 0);
+    }
+    return out;
+}
+
+bool ladder_exhausted(const std::string& profile, int level, std::int64_t floor_value) {
+    return shrink_profile(profile, level, floor_value) ==
+           shrink_profile(profile, level + 1, floor_value);
+}
+
+}  // namespace p4all::fleet

@@ -1,0 +1,46 @@
+// The graceful-degradation ladder: shrink before you shed.
+//
+// When a switch dies, its tenants must fit into the survivors' SRAM. The
+// fleet controller prefers serving every tenant with *smaller* elastic
+// structures over dropping any tenant entirely, so before a tenant is shed
+// it descends a ladder of degraded assume profiles: level L halves every
+// power-of-two `assume X == N;` bound L times, clamped at a floor. Because
+// the app drivers size their structures on the pow2 lattice (drivers.cpp),
+// every rung compiles to a strictly-not-larger layout and every descent
+// migrates exactly (fold-down), so degradation loses capacity head-room but
+// never loses state. Small structural pins (row/way counts, anything at or
+// below the floor, non-powers-of-two) are never touched — shrinking a
+// count-min sketch from 2 rows to 1 would change its error model, not just
+// its size.
+//
+// `layout_bits` is the capacity coin both sides of the bargain are priced
+// in: the sum of placed register bits of a compiled layout, matched against
+// SwitchSpec::capacity_bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/compiler.hpp"
+
+namespace p4all::fleet {
+
+/// Total placed register bits of a compiled layout — the SRAM footprint a
+/// tenant charges against its switch's capacity_bits.
+[[nodiscard]] std::int64_t layout_bits(const compiler::CompileResult& compiled);
+
+/// Rewrites an assume profile (drivers.cpp `assume X == N;` lines) down to
+/// degradation level `level`: every power-of-two value strictly greater
+/// than `floor_value` is halved `level` times, clamped at the floor. Level
+/// 0 (and non-positive levels) return the profile unchanged; lines that are
+/// not pow2 assume bindings pass through untouched.
+[[nodiscard]] std::string shrink_profile(const std::string& profile, int level,
+                                         std::int64_t floor_value);
+
+/// True when descending from `level` to `level + 1` would change nothing —
+/// every shrinkable bound is already at the floor, so the ladder is
+/// exhausted and the only remaining degradation is shedding the tenant.
+[[nodiscard]] bool ladder_exhausted(const std::string& profile, int level,
+                                    std::int64_t floor_value);
+
+}  // namespace p4all::fleet

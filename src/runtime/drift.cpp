@@ -32,7 +32,11 @@ DriftSignal DriftDetector::sample() {
     }
     signal.baseline_hit_rate = ref_hit_rate_;
 
-    if (have_reference_ && !ref_top_.empty()) {
+    // An empty window carries no signal: comparing it against the reference
+    // would read as 100% top-k churn and trigger a spurious swap on an idle
+    // link (a shutdown flush or an early manual reconfigure samples such
+    // windows routinely).
+    if (have_reference_ && !ref_top_.empty() && !cur_top.empty()) {
         const std::set<std::uint64_t> cur(cur_top.begin(), cur_top.end());
         std::size_t kept = 0;
         for (const std::uint64_t key : ref_top_) kept += cur.count(key);
@@ -59,8 +63,10 @@ DriftSignal DriftDetector::sample() {
     lookups_ = 0;
     ++sampled_;
 
-    if (!have_reference_) {
-        // The first window is the baseline; nothing to compare against yet.
+    if (!have_reference_ && !cur_top.empty()) {
+        // The first *non-empty* window is the baseline; nothing to compare
+        // against yet. An empty cold-start window must not become the
+        // reference — every later window would read as fully churned.
         ref_top_ = cur_top;
         ref_hit_rate_ = last_hit_rate_;
         have_reference_ = true;

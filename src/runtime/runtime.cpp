@@ -147,6 +147,22 @@ const ir::Program& ElasticRuntime::program() const noexcept {
     return current_->compiled.program;
 }
 
+std::string HealthProbe::to_string() const {
+    return std::string(serving ? "serving" : "DOWN") + " epoch " + std::to_string(epoch) + " (" +
+           std::to_string(packets) + " pkts, " + std::to_string(swaps_committed) + " swaps, " +
+           std::to_string(swaps_rolled_back) + " rollbacks)";
+}
+
+HealthProbe ElasticRuntime::heartbeat() const noexcept {
+    HealthProbe probe;
+    probe.epoch = epoch_;
+    probe.packets = packets_;
+    probe.swaps_committed = swaps_committed();
+    probe.swaps_rolled_back = history_.size() - probe.swaps_committed;
+    probe.serving = current_ != nullptr;
+    return probe;
+}
+
 std::size_t ElasticRuntime::swaps_committed() const noexcept {
     std::size_t n = 0;
     for (const SwapEvent& e : history_) n += e.committed ? 1 : 0;
@@ -397,8 +413,18 @@ std::unique_ptr<ElasticRuntime> ElasticRuntime::recover(std::string name, std::s
             why = std::string("recompile failed: ") + e.what();
             return nullptr;
         }
+        const std::string snap_path = rt->epoch_snapshot_path(target);
+        if (!std::filesystem::exists(snap_path)) {
+            // A journaled epoch whose snapshot file vanished is a recovery
+            // failure in its own right — the journal proved the epoch
+            // durable, so the report carries a typed P4ALL-0408 detail
+            // instead of whatever the generic restore path would throw.
+            why = Error(Errc::RecoveryError, "epoch snapshot '" + snap_path + "' is missing")
+                      .what();
+            return nullptr;
+        }
         try {
-            const Snapshot snap = load_snapshot(rt->epoch_snapshot_path(target));
+            const Snapshot snap = load_snapshot(snap_path);
             if (expect_checksum != 0 && snap.checksum() != expect_checksum) {
                 why = "snapshot checksum does not match the journaled state";
                 return nullptr;

@@ -126,6 +126,21 @@ struct SwapEvent {
 /// Throws support::Error(Errc::SwapRejected) when `event` was rolled back.
 void require_committed(const SwapEvent& event);
 
+/// Cheap, side-effect-free liveness summary returned by
+/// ElasticRuntime::heartbeat() — the probe the fleet failure detector
+/// (src/fleet/health.hpp) deadlines against. `serving` is false only when
+/// the runtime has no live epoch (a half-recovered shell); the counters let
+/// a supervisor distinguish a stalled epoch loop from a dead one.
+struct HealthProbe {
+    std::uint64_t epoch = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t swaps_committed = 0;
+    std::uint64_t swaps_rolled_back = 0;
+    bool serving = false;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
 class ElasticRuntime {
 public:
     /// Compiles `source` (through the resilient portfolio + audit gate) and
@@ -161,6 +176,10 @@ public:
 
     [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
     [[nodiscard]] std::uint64_t packets_total() const noexcept { return packets_; }
+
+    /// Liveness probe for fleet supervision. Never throws, never touches
+    /// serving state; see HealthProbe.
+    [[nodiscard]] HealthProbe heartbeat() const noexcept;
     [[nodiscard]] const std::vector<SwapEvent>& history() const noexcept { return history_; }
     [[nodiscard]] std::size_t swaps_committed() const noexcept;
     [[nodiscard]] DriftDetector& drift() noexcept { return drift_; }

@@ -1,0 +1,93 @@
+#include "support/backoff.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace p4all::support {
+
+namespace {
+
+/// Independent jitter stream per (seed, stream): both words pass through
+/// splitmix64 so nearby seeds/streams decorrelate fully.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t s = seed;
+    const std::uint64_t a = splitmix64(s);
+    s ^= stream * 0x9E3779B97F4A7C15ULL;
+    return a ^ splitmix64(s);
+}
+
+}  // namespace
+
+std::string BackoffPolicy::to_string() const {
+    return "backoff{initial=" + std::to_string(initial_ms) + "ms x" +
+           std::to_string(multiplier) + " cap=" + std::to_string(max_ms) +
+           "ms jitter=" + std::to_string(jitter) + " attempts=" + std::to_string(max_attempts) +
+           " seed=" + std::to_string(seed) + "}";
+}
+
+Backoff::Backoff(BackoffPolicy policy, std::uint64_t stream)
+    : policy_(policy), stream_(stream), rng_(stream_seed(policy.seed, stream)) {
+    if (policy_.initial_ms < 0.0) policy_.initial_ms = 0.0;
+    if (policy_.multiplier < 1.0) policy_.multiplier = 1.0;
+    if (policy_.max_ms < policy_.initial_ms) policy_.max_ms = policy_.initial_ms;
+    if (policy_.jitter < 0.0) policy_.jitter = 0.0;
+    if (policy_.jitter >= 1.0) policy_.jitter = 0.999;
+    if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+    base_ms_ = policy_.initial_ms;
+}
+
+double Backoff::next_delay_ms() {
+    const double base = std::min(base_ms_, policy_.max_ms);
+    base_ms_ = std::min(base_ms_ * policy_.multiplier, policy_.max_ms);
+    ++delays_;
+    if (policy_.jitter == 0.0) return base;
+    // Factor uniform in [1 - jitter, 1 + jitter): deterministic per stream.
+    const double factor = 1.0 + policy_.jitter * (2.0 * rng_.next_double() - 1.0);
+    return std::min(base * factor, policy_.max_ms);
+}
+
+void Backoff::reset() {
+    rng_ = Xoshiro256(stream_seed(policy_.seed, stream_));
+    base_ms_ = policy_.initial_ms;
+    delays_ = 0;
+}
+
+RetryResult retry_with_backoff(const BackoffPolicy& policy, const Deadline& budget,
+                               const std::function<bool(int attempt)>& op, const SleepFn& sleep,
+                               std::uint64_t stream) {
+    RetryResult result;
+    Backoff backoff(policy, stream);
+    while (true) {
+        if (budget.expired()) {
+            result.stop = budget.reason();
+            if (result.last_error.empty()) result.last_error = "retry budget expired";
+            break;
+        }
+        const int attempt = result.attempts++;
+        try {
+            if (op(attempt)) {
+                result.succeeded = true;
+                result.last_error.clear();
+                break;
+            }
+            if (result.last_error.empty()) result.last_error = "operation reported failure";
+        } catch (const std::exception& e) {
+            result.last_error = e.what();
+        }
+        if (backoff.exhausted()) break;
+        double delay_ms = backoff.next_delay_ms();
+        const double remaining_ms = budget.remaining_seconds() * 1000.0;
+        delay_ms = std::min(delay_ms, std::max(remaining_ms, 0.0));
+        result.total_delay_ms += delay_ms;
+        if (sleep) {
+            sleep(delay_ms);
+        } else if (delay_ms > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+        }
+    }
+    return result;
+}
+
+}  // namespace p4all::support

@@ -1,0 +1,92 @@
+// Capped exponential backoff with deterministic seeded jitter.
+//
+// Every retry loop in the fleet controller (failover compiles, heartbeat
+// re-probes, route retries) prices its waits through one BackoffPolicy:
+// delay k is `initial_ms * multiplier^k`, capped at `max_ms`, then scaled by
+// a jitter factor drawn from a per-loop xoshiro256** stream seeded only by
+// (policy.seed, stream) — so two runs with the same seed produce the same
+// delay sequence, and two concurrent loops with different streams do not
+// correlate. `retry_with_backoff` packages the standard loop: attempt, on
+// failure wait the next delay, stop when the policy's attempt budget or the
+// caller's Deadline budget (deadline.hpp) runs out — whichever is tighter.
+// The waits go through a caller-supplied SleepFn so deterministic tests (and
+// the tick-driven fleet controller) can account virtual time instead of
+// actually sleeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/deadline.hpp"
+#include "support/rng.hpp"
+
+namespace p4all::support {
+
+struct BackoffPolicy {
+    double initial_ms = 10.0;  ///< first delay (before the second attempt)
+    double multiplier = 2.0;   ///< geometric growth factor (>= 1)
+    double max_ms = 1000.0;    ///< cap applied to the un-jittered delay
+    /// Jitter fraction in [0, 1): each delay is scaled by a factor drawn
+    /// uniformly from [1 - jitter, 1 + jitter). Zero disables jitter.
+    double jitter = 0.1;
+    int max_attempts = 5;      ///< total operation attempts (>= 1)
+    std::uint64_t seed = 1;    ///< jitter stream seed (logged, reproducible)
+
+    /// Renders the policy for logs and reports.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// One retry loop's delay generator. Deterministic: the delay sequence is a
+/// pure function of (policy, stream).
+class Backoff {
+public:
+    explicit Backoff(BackoffPolicy policy, std::uint64_t stream = 0);
+
+    /// True when the policy's attempt budget is spent (no delay may follow).
+    [[nodiscard]] bool exhausted() const noexcept {
+        return delays_ + 1 >= policy_.max_attempts;
+    }
+
+    /// The next delay in milliseconds; advances the sequence.
+    [[nodiscard]] double next_delay_ms();
+
+    /// Delays handed out so far.
+    [[nodiscard]] int delays() const noexcept { return delays_; }
+
+    /// Restarts the sequence (same policy, same stream => same delays).
+    void reset();
+
+private:
+    BackoffPolicy policy_;
+    std::uint64_t stream_ = 0;
+    Xoshiro256 rng_;
+    double base_ms_ = 0.0;
+    int delays_ = 0;
+};
+
+/// Outcome of retry_with_backoff.
+struct RetryResult {
+    bool succeeded = false;
+    int attempts = 0;            ///< operation invocations
+    double total_delay_ms = 0.0; ///< backoff waited (virtual or real)
+    std::string last_error;      ///< last failure's message (empty on success)
+    /// Deadline/Cancelled when the budget cut the loop before the attempt
+    /// budget was spent; None otherwise.
+    StopReason stop = StopReason::None;
+};
+
+/// Sleeps `ms` between attempts; pass a recorder for virtual time.
+using SleepFn = std::function<void(double ms)>;
+
+/// Invokes `op(attempt)` (attempt starts at 0) until it returns true,
+/// waiting the policy's next delay between attempts. An exception thrown by
+/// `op` counts as a failed attempt and its message is recorded. The loop
+/// never starts an attempt past `budget`, and each delay is clipped to the
+/// budget's remaining time. A default-constructed `sleep` really sleeps.
+[[nodiscard]] RetryResult retry_with_backoff(const BackoffPolicy& policy, const Deadline& budget,
+                                             const std::function<bool(int attempt)>& op,
+                                             const SleepFn& sleep = {},
+                                             std::uint64_t stream = 0);
+
+}  // namespace p4all::support

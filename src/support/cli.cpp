@@ -1,0 +1,65 @@
+#include "support/cli.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace p4all::support {
+
+CliArgs::CliArgs(int argc, const char* const* argv, int begin) {
+    for (int i = begin; i < argc; ++i) {
+        tokens_.emplace_back(argv[i] != nullptr ? argv[i] : "");
+    }
+}
+
+bool CliArgs::next() {
+    if (index_ >= tokens_.size()) return false;
+    current_ = tokens_[index_++];
+    return true;
+}
+
+std::string CliArgs::value() {
+    if (index_ >= tokens_.size()) {
+        throw Error(Errc::CliUsage, "flag '" + current_ + "' requires a value");
+    }
+    return tokens_[index_++];
+}
+
+std::uint64_t CliArgs::uint_value(std::uint64_t min, std::uint64_t max) {
+    const std::string text = value();
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+        text.front() == '-') {
+        throw Error(Errc::CliUsage,
+                    "flag '" + current_ + "' expects an unsigned integer, got '" + text + "'");
+    }
+    if (parsed < min || parsed > max) {
+        throw Error(Errc::CliUsage, "flag '" + current_ + "' value " + text +
+                                        " is out of range [" + std::to_string(min) + ", " +
+                                        std::to_string(max) + "]");
+    }
+    return parsed;
+}
+
+double CliArgs::double_value() {
+    const std::string text = value();
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+        !std::isfinite(parsed)) {
+        throw Error(Errc::CliUsage,
+                    "flag '" + current_ + "' expects a finite number, got '" + text + "'");
+    }
+    return parsed;
+}
+
+void CliArgs::unknown() const {
+    throw Error(Errc::CliUsage, "unknown flag '" + current_ + "'");
+}
+
+}  // namespace p4all::support

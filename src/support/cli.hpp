@@ -1,0 +1,53 @@
+// Strict command-line flag cursor for the CLI daemons (p4all-run,
+// p4all-fleet). Every malformed input — an unknown flag, a flag missing its
+// value, trailing garbage in a numeric value — throws a structured
+// Error(Errc::CliUsage, ...), so mains print "error[P4ALL-0105]: ..." plus
+// usage and exit with the stable usage code (2) instead of dying on an
+// uncaught exception or silently mis-parsing ("--packets 10x" is a usage
+// error, not 10 packets).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4all::support {
+
+class CliArgs {
+public:
+    /// Wraps argv[begin..argc); tokens are copied so argv may be discarded.
+    CliArgs(int argc, const char* const* argv, int begin = 1);
+
+    /// Advances to the next flag token; false when the command line is done.
+    [[nodiscard]] bool next();
+
+    /// The current flag token (valid after next() returned true).
+    [[nodiscard]] const std::string& flag() const noexcept { return current_; }
+
+    [[nodiscard]] bool is(std::string_view name) const noexcept { return current_ == name; }
+
+    /// Consumes and returns the current flag's value token. Throws
+    /// Error(Errc::CliUsage) when the command line ends first.
+    [[nodiscard]] std::string value();
+
+    /// value() parsed as an unsigned decimal integer in [min, max]; any
+    /// non-numeric character (or out-of-range value) throws CliUsage.
+    [[nodiscard]] std::uint64_t uint_value(
+        std::uint64_t min = 0,
+        std::uint64_t max = std::numeric_limits<std::uint64_t>::max());
+
+    /// value() parsed as a finite double; trailing garbage throws CliUsage.
+    [[nodiscard]] double double_value();
+
+    /// Rejects the current flag as unknown: throws Error(Errc::CliUsage).
+    [[noreturn]] void unknown() const;
+
+private:
+    std::vector<std::string> tokens_;
+    std::size_t index_ = 0;  // next token to consume
+    std::string current_;
+};
+
+}  // namespace p4all::support

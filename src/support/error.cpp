@@ -35,6 +35,7 @@ const char* errc_code(Errc code) noexcept {
         case Errc::SemanticError: return "P4ALL-0102";
         case Errc::IoError: return "P4ALL-0103";
         case Errc::TargetError: return "P4ALL-0104";
+        case Errc::CliUsage: return "P4ALL-0105";
         case Errc::Infeasible: return "P4ALL-0201";
         case Errc::Unbounded: return "P4ALL-0202";
         case Errc::DeadlineExceeded: return "P4ALL-0203";
@@ -57,6 +58,12 @@ const char* errc_code(Errc code) noexcept {
         case Errc::JournalError: return "P4ALL-0407";
         case Errc::RecoveryError: return "P4ALL-0408";
         case Errc::TraceError: return "P4ALL-0409";
+        case Errc::FleetConfig: return "P4ALL-0501";
+        case Errc::SwitchUnavailable: return "P4ALL-0502";
+        case Errc::BreakerOpen: return "P4ALL-0503";
+        case Errc::FailoverFailed: return "P4ALL-0504";
+        case Errc::CapacityExhausted: return "P4ALL-0505";
+        case Errc::FleetJournalError: return "P4ALL-0506";
     }
     return "P4ALL-????";
 }
@@ -68,6 +75,7 @@ const char* errc_name(Errc code) noexcept {
         case Errc::SemanticError: return "semantic-error";
         case Errc::IoError: return "io-error";
         case Errc::TargetError: return "target-error";
+        case Errc::CliUsage: return "cli-usage";
         case Errc::Infeasible: return "infeasible";
         case Errc::Unbounded: return "unbounded";
         case Errc::DeadlineExceeded: return "deadline-exceeded";
@@ -90,6 +98,12 @@ const char* errc_name(Errc code) noexcept {
         case Errc::JournalError: return "journal-error";
         case Errc::RecoveryError: return "recovery-error";
         case Errc::TraceError: return "trace-error";
+        case Errc::FleetConfig: return "fleet-config";
+        case Errc::SwitchUnavailable: return "switch-unavailable";
+        case Errc::BreakerOpen: return "breaker-open";
+        case Errc::FailoverFailed: return "failover-failed";
+        case Errc::CapacityExhausted: return "capacity-exhausted";
+        case Errc::FleetJournalError: return "fleet-journal-error";
     }
     return "unknown";
 }

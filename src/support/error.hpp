@@ -30,6 +30,8 @@ enum class Severity { Note, Warning, Error };
 ///   3xx  internal invariants and injected faults
 ///   4xx  data-plane runtime (simulator input validation, live
 ///        reconfiguration, state migration, snapshot/restore)
+///   5xx  fleet orchestration (failure detection, circuit breaking,
+///        failover, capacity degradation)
 enum class Errc : int {
     None = 0,  // unclassified (legacy CompileError) / "no error" in results
 
@@ -37,6 +39,7 @@ enum class Errc : int {
     SemanticError = 102,  // well-formed but meaningless input
     IoError = 103,        // file could not be read or written
     TargetError = 104,    // invalid target specification
+    CliUsage = 105,       // unknown or malformed command-line flag / value
 
     Infeasible = 201,        // program cannot fit the target under its assumes
     Unbounded = 202,         // objective is unbounded (degenerate model)
@@ -62,6 +65,13 @@ enum class Errc : int {
     JournalError = 407,     // epoch journal could not be written or parsed
     RecoveryError = 408,    // crash recovery could not restore a proven epoch
     TraceError = 409,       // binary packet trace could not be written/parsed
+
+    FleetConfig = 501,        // invalid fleet topology or tenant specification
+    SwitchUnavailable = 502,  // a switch was declared dead / is not serving
+    BreakerOpen = 503,        // the circuit breaker refused the operation
+    FailoverFailed = 504,     // tenant failover exhausted its retry budget
+    CapacityExhausted = 505,  // degradation ladder exhausted; tenant shed
+    FleetJournalError = 506,  // fleet event log could not be written/replayed
 };
 
 /// Stable printable code, e.g. "P4ALL-0203". Never changes for a given Errc.

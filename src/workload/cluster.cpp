@@ -1,0 +1,64 @@
+#include "workload/cluster.hpp"
+
+#include <stdexcept>
+
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace p4all::workload {
+
+std::vector<ClusterPacket> split_by_flow(const Trace& trace,
+                                         const std::vector<std::string>& tenants,
+                                         std::uint64_t seed) {
+    if (tenants.empty()) throw std::invalid_argument("split_by_flow: no tenants");
+    std::vector<ClusterPacket> cluster;
+    cluster.reserve(trace.keys.size());
+    for (const std::uint64_t key : trace.keys) {
+        const std::uint64_t idx = support::hash_index(key, seed, tenants.size());
+        cluster.push_back(ClusterPacket{tenants[idx], key});
+    }
+    return cluster;
+}
+
+std::vector<ClusterPacket> interleave(
+    const std::vector<std::pair<std::string, Trace>>& per_tenant, std::uint64_t seed) {
+    std::vector<ClusterPacket> cluster;
+    std::size_t total = 0;
+    for (const auto& [name, trace] : per_tenant) total += trace.keys.size();
+    cluster.reserve(total);
+
+    std::vector<std::size_t> cursor(per_tenant.size(), 0);
+    support::Xoshiro256 rng(seed);
+    while (cluster.size() < total) {
+        // Draw among tenants with packets left, weighted by remaining count
+        // so long tails don't cluster at the end.
+        std::size_t remaining = 0;
+        for (std::size_t i = 0; i < per_tenant.size(); ++i) {
+            remaining += per_tenant[i].second.keys.size() - cursor[i];
+        }
+        std::uint64_t pick = rng.next_below(remaining);
+        for (std::size_t i = 0; i < per_tenant.size(); ++i) {
+            const std::size_t left = per_tenant[i].second.keys.size() - cursor[i];
+            if (pick < left) {
+                cluster.push_back(
+                    ClusterPacket{per_tenant[i].first, per_tenant[i].second.keys[cursor[i]]});
+                ++cursor[i];
+                break;
+            }
+            pick -= left;
+        }
+    }
+    return cluster;
+}
+
+std::map<std::string, Trace> tenant_traces(const std::vector<ClusterPacket>& cluster) {
+    std::map<std::string, Trace> traces;
+    for (const ClusterPacket& packet : cluster) {
+        Trace& trace = traces[packet.tenant];
+        trace.keys.push_back(packet.key);
+        ++trace.counts[packet.key];
+    }
+    return traces;
+}
+
+}  // namespace p4all::workload

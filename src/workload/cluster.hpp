@@ -1,0 +1,46 @@
+// Multi-tenant cluster traces: one packet stream, many apps.
+//
+// A fleet of switches serves several tenants at once, but a captured trace
+// is a single interleaved packet sequence. These helpers convert between
+// the two views deterministically: `split_by_flow` assigns every flow (key)
+// to a tenant by seeded hash — all packets of one flow stay with one tenant,
+// the invariant any per-flow app (sketches, caches, heavy-hitter tables)
+// needs — while `interleave` merges per-tenant traces back into one
+// deterministic cluster stream for replay through FleetController::step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace p4all::workload {
+
+/// One packet of a cluster trace: which tenant it belongs to, and its key.
+struct ClusterPacket {
+    std::string tenant;
+    std::uint64_t key = 0;
+};
+
+/// Assigns every flow of `trace` to one of `tenants` by seeded hash of its
+/// key (support::hash_index), preserving packet order. Deterministic in
+/// (trace, tenants, seed); all packets of one key land on one tenant.
+/// `tenants` must be non-empty.
+[[nodiscard]] std::vector<ClusterPacket> split_by_flow(const Trace& trace,
+                                                       const std::vector<std::string>& tenants,
+                                                       std::uint64_t seed);
+
+/// Merges per-tenant traces into one cluster stream, drawing the next
+/// packet from a tenant chosen uniformly (seeded xoshiro) among those with
+/// packets remaining — a deterministic shuffle that preserves each tenant's
+/// internal packet order.
+[[nodiscard]] std::vector<ClusterPacket> interleave(
+    const std::vector<std::pair<std::string, Trace>>& per_tenant, std::uint64_t seed);
+
+/// Regroups a cluster stream into per-tenant traces (exact counts rebuilt).
+[[nodiscard]] std::map<std::string, Trace> tenant_traces(
+    const std::vector<ClusterPacket>& cluster);
+
+}  // namespace p4all::workload

@@ -1,0 +1,144 @@
+// The per-switch circuit breaker (fleet/breaker.hpp) and heartbeat failure
+// detector (fleet/health.hpp): pure tick-driven state machines, verified
+// transition by transition.
+#include "fleet/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/health.hpp"
+
+namespace p4all::fleet {
+namespace {
+
+BreakerOptions fast_breaker() {
+    BreakerOptions options;
+    options.failure_threshold = 3;
+    options.open_ticks = 2;
+    return options;
+}
+
+TEST(BreakerTest, StartsClosedAndAllows) {
+    CircuitBreaker breaker(fast_breaker());
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_TRUE(breaker.allow());
+    EXPECT_TRUE(breaker.allow());
+}
+
+TEST(BreakerTest, ConsecutiveFailuresTripOpen) {
+    CircuitBreaker breaker(fast_breaker());
+    breaker.record_failure();
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_FALSE(breaker.allow());
+    EXPECT_EQ(breaker.times_opened(), 1);
+}
+
+TEST(BreakerTest, SuccessResetsTheFailureRun) {
+    CircuitBreaker breaker(fast_breaker());
+    breaker.record_failure();
+    breaker.record_failure();
+    breaker.record_success();
+    EXPECT_EQ(breaker.consecutive_failures(), 0);
+    breaker.record_failure();
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed) << "non-consecutive failures tripped it";
+}
+
+TEST(BreakerTest, CooldownArmsASingleHalfOpenProbe) {
+    CircuitBreaker breaker(fast_breaker());
+    for (int i = 0; i < 3; ++i) breaker.record_failure();
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+    breaker.tick();
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_FALSE(breaker.allow());
+    breaker.tick();
+    ASSERT_EQ(breaker.state(), BreakerState::HalfOpen);
+    EXPECT_TRUE(breaker.allow()) << "the probe slot";
+    EXPECT_FALSE(breaker.allow()) << "only ONE probe until its outcome lands";
+}
+
+TEST(BreakerTest, ProbeSuccessCloses) {
+    CircuitBreaker breaker(fast_breaker());
+    for (int i = 0; i < 3; ++i) breaker.record_failure();
+    breaker.tick();
+    breaker.tick();
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_success();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_TRUE(breaker.allow());
+}
+
+TEST(BreakerTest, ProbeFailureReopensForAFullCooldown) {
+    CircuitBreaker breaker(fast_breaker());
+    for (int i = 0; i < 3; ++i) breaker.record_failure();
+    breaker.tick();
+    breaker.tick();
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.times_opened(), 2);
+    breaker.tick();
+    EXPECT_FALSE(breaker.allow());
+    breaker.tick();
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+}
+
+TEST(BreakerTest, StateNamesRender) {
+    EXPECT_EQ(to_string(BreakerState::Closed), "closed");
+    EXPECT_EQ(to_string(BreakerState::Open), "open");
+    EXPECT_EQ(to_string(BreakerState::HalfOpen), "half-open");
+}
+
+HealthOptions fast_health() {
+    HealthOptions options;
+    options.miss_threshold = 3;
+    return options;
+}
+
+TEST(FailureDetectorTest, MissesEscalateAliveSuspectDead) {
+    FailureDetector detector(fast_health());
+    EXPECT_EQ(detector.note("sw0", true), Liveness::Suspect);
+    EXPECT_EQ(detector.note("sw0", true), Liveness::Suspect);
+    EXPECT_EQ(detector.note("sw0", true), Liveness::Dead);
+    EXPECT_EQ(detector.misses("sw0"), 3);
+}
+
+TEST(FailureDetectorTest, ASuccessfulProbeSnapsBackToAlive) {
+    FailureDetector detector(fast_health());
+    (void)detector.note("sw0", true);
+    (void)detector.note("sw0", true);
+    EXPECT_EQ(detector.note("sw0", false), Liveness::Alive);
+    EXPECT_EQ(detector.misses("sw0"), 0);
+    // The run restarts from scratch: two more misses are still only Suspect.
+    (void)detector.note("sw0", true);
+    EXPECT_EQ(detector.note("sw0", true), Liveness::Suspect);
+}
+
+TEST(FailureDetectorTest, DeadIsStickyUntilReset) {
+    FailureDetector detector(fast_health());
+    detector.declare_dead("sw0");
+    EXPECT_EQ(detector.state("sw0"), Liveness::Dead);
+    EXPECT_EQ(detector.note("sw0", false), Liveness::Dead) << "a good probe must not resurrect";
+    detector.reset("sw0");
+    EXPECT_EQ(detector.state("sw0"), Liveness::Alive);
+    EXPECT_EQ(detector.misses("sw0"), 0);
+}
+
+TEST(FailureDetectorTest, SwitchesAreTrackedIndependently) {
+    FailureDetector detector(fast_health());
+    detector.declare_dead("sw0");
+    EXPECT_EQ(detector.note("sw1", true), Liveness::Suspect);
+    EXPECT_EQ(detector.state("sw0"), Liveness::Dead);
+    EXPECT_EQ(detector.state("sw2"), Liveness::Alive) << "unknown switches default Alive";
+}
+
+TEST(FailureDetectorTest, LivenessNamesRender) {
+    EXPECT_EQ(to_string(Liveness::Alive), "alive");
+    EXPECT_EQ(to_string(Liveness::Suspect), "suspect");
+    EXPECT_EQ(to_string(Liveness::Dead), "dead");
+}
+
+}  // namespace
+}  // namespace p4all::fleet

@@ -1,0 +1,260 @@
+// FleetController end-to-end: admission, failover with journal replay,
+// heartbeat-driven death, breaker-guarded installs, the degradation ladder,
+// shedding, readmission — and determinism across solver thread counts.
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/faultpoint.hpp"
+#include "workload/cluster.hpp"
+#include "workload/trace.hpp"
+
+namespace p4all::fleet {
+namespace {
+
+using support::Errc;
+using support::Error;
+
+FleetOptions fast_options(const std::string& dir) {
+    FleetOptions options;
+    options.runtime.compile.backend = compiler::Backend::Greedy;
+    options.runtime.exact_portfolio = false;
+    options.runtime.drift.window = 256;
+    options.runtime.drift.top_k = 16;
+    options.journal_root = dir;
+    return options;
+}
+
+bool has_event(const FleetController& fleet, FleetEventKind kind) {
+    for (const FleetEvent& event : fleet.events()) {
+        if (event.kind == kind) return true;
+    }
+    return false;
+}
+
+std::string detail_of(const FleetController& fleet, FleetEventKind kind) {
+    for (const FleetEvent& event : fleet.events()) {
+        if (event.kind == kind) return event.detail;
+    }
+    return "";
+}
+
+class FleetTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        support::FaultRegistry::instance().clear();
+        std::filesystem::remove_all(dir_);
+    }
+    std::string dir_ = ::testing::TempDir() + "p4all_fleet_test";
+};
+
+TEST_F(FleetTest, RejectsBrokenTopologies) {
+    const std::vector<SwitchSpec> one_switch = {{"sw0", 0}};
+    const std::vector<TenantSpec> one_tenant = {{"t0", "netcache"}};
+
+    EXPECT_THROW(FleetController(FleetOptions{}, one_switch, one_tenant), Error)
+        << "journal_root unset";
+    EXPECT_THROW(FleetController(fast_options(dir_), {}, one_tenant), Error) << "no switches";
+    EXPECT_THROW(FleetController(fast_options(dir_), {{"sw0", 0}, {"sw0", 0}}, one_tenant),
+                 Error)
+        << "duplicate switch";
+    EXPECT_THROW(
+        FleetController(fast_options(dir_), one_switch, {{"t0", "netcache"}, {"t0", "netcache"}}),
+        Error)
+        << "duplicate tenant";
+    try {
+        FleetController fleet(fast_options(dir_), one_switch, {{"t0", "no-such-app"}});
+        FAIL() << "unknown app accepted";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::FleetConfig);
+        EXPECT_NE(std::string(e.what()).find("P4ALL-0501"), std::string::npos);
+    }
+}
+
+TEST_F(FleetTest, AdmitsEveryTenantAndRoutesPackets) {
+    FleetController fleet(fast_options(dir_), {{"sw0", 0}, {"sw1", 0}},
+                          {{"t0", "netcache"}, {"t1", "precision"}});
+    EXPECT_FALSE(fleet.parked("t0"));
+    EXPECT_FALSE(fleet.parked("t1"));
+    EXPECT_FALSE(fleet.home_of("t0").empty());
+    EXPECT_EQ(fleet.level_of("t0"), 0);
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::Admit));
+
+    const workload::Trace trace = workload::zipf_trace(400, 128, 1.1, 3);
+    const auto cluster = workload::split_by_flow(trace, {"t0", "t1"}, 3);
+    for (const auto& packet : cluster) fleet.step(packet.tenant, packet.key);
+    EXPECT_EQ(fleet.packets_routed(), cluster.size());
+    EXPECT_EQ(fleet.packets_dropped(), 0u);
+    EXPECT_GT(fleet.tenant_bits("t0"), 0);
+}
+
+TEST_F(FleetTest, StepThrowsOnUnknownTenant) {
+    FleetController fleet(fast_options(dir_), {{"sw0", 0}}, {{"t0", "netcache"}});
+    try {
+        fleet.step("nobody", 1);
+        FAIL();
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::FleetConfig);
+    }
+}
+
+TEST_F(FleetTest, FailoverReplaysTheTenantJournalOnTheNewHome) {
+    FleetController fleet(fast_options(dir_), {{"sw0", 0}, {"sw1", 0}}, {{"t0", "netcache"}});
+    const workload::Trace trace = workload::zipf_trace(512, 128, 1.1, 7);
+    for (const std::uint64_t key : trace.keys) fleet.step("t0", key);
+    // Checkpoint: commit an epoch so the journal pins the live state.
+    runtime::require_committed(fleet.runtime_of("t0")->reconfigure("checkpoint"));
+    const std::uint64_t before = fleet.digest("t0");
+    const std::string old_home = fleet.home_of("t0");
+
+    fleet.kill_switch(old_home);
+
+    EXPECT_EQ(fleet.switch_state(old_home), Liveness::Dead);
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::SwitchDead));
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::Failover));
+    EXPECT_FALSE(fleet.parked("t0"));
+    EXPECT_NE(fleet.home_of("t0"), old_home);
+    EXPECT_EQ(fleet.digest("t0"), before)
+        << "failover must reproduce the last committed state bit-for-bit";
+    // The failed-over tenant keeps serving.
+    fleet.step("t0", 42);
+    EXPECT_EQ(fleet.packets_dropped(), 0u);
+}
+
+TEST_F(FleetTest, HeartbeatMissesDeclareASwitchDead) {
+    FleetOptions options = fast_options(dir_);
+    options.health.miss_threshold = 3;
+    FleetController fleet(options, {{"sw0", 0}}, {{"t0", "netcache"}});
+
+    // Every probe is dropped: the fault point stands in for the network.
+    support::FaultRegistry::instance().configure("fleet.heartbeat:prob=1:seed=1");
+    fleet.tick();
+    EXPECT_EQ(fleet.switch_state("sw0"), Liveness::Suspect);
+    fleet.tick();
+    fleet.tick();
+    EXPECT_EQ(fleet.switch_state("sw0"), Liveness::Dead);
+    // Sole switch gone: nowhere to fail over to — the tenant parks, its
+    // packets drop, and its journal survives for the rejoin.
+    EXPECT_TRUE(fleet.parked("t0"));
+    fleet.step("t0", 7);
+    EXPECT_EQ(fleet.packets_dropped(), 1u);
+
+    support::FaultRegistry::instance().clear();
+    fleet.revive_switch("sw0");
+    EXPECT_EQ(fleet.switch_state("sw0"), Liveness::Alive);
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::Rejoin));
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::Readmit));
+    EXPECT_FALSE(fleet.parked("t0"));
+    fleet.step("t0", 8);
+    EXPECT_EQ(fleet.packets_routed(), 1u);
+}
+
+TEST_F(FleetTest, BreakerRefusesInstallsAfterRepeatedSwapFailures) {
+    FleetOptions options = fast_options(dir_);
+    options.breaker.failure_threshold = 1;
+    options.breaker.open_ticks = 1;
+    options.backoff.max_attempts = 2;  // keep the doomed retries cheap
+    FleetController fleet(options, {{"sw0", 0}, {"sw1", 0}}, {{"t0", "netcache"}});
+    ASSERT_EQ(fleet.home_of("t0"), "sw0");
+
+    // Every install's swap fails: the failover to sw1 exhausts its retries,
+    // trips sw1's breaker, and the retry-after-make-room is refused by it.
+    support::FaultRegistry::instance().configure("fleet.swap:prob=1:seed=1");
+    fleet.kill_switch("sw0");
+
+    EXPECT_TRUE(fleet.parked("t0"));
+    EXPECT_EQ(fleet.breaker_state("sw1"), BreakerState::Open);
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::FailoverFailed));
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::BreakerTrip));
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::Shed));
+    EXPECT_NE(detail_of(fleet, FleetEventKind::BreakerTrip).find("P4ALL-0503"),
+              std::string::npos);
+    EXPECT_GT(fleet.backoff_delay_ms(), 0.0) << "retries must price virtual delay";
+
+    // Cool-down, then rejoin: the tenant is served again.
+    support::FaultRegistry::instance().clear();
+    fleet.tick();
+    EXPECT_EQ(fleet.breaker_state("sw1"), BreakerState::HalfOpen);
+    fleet.revive_switch("sw0");
+    EXPECT_FALSE(fleet.parked("t0"));
+}
+
+TEST_F(FleetTest, CapacityCrunchDegradesResidentsBeforeShedding) {
+    // netcache at full profile does not leave room for precision; one
+    // ladder rung does.
+    FleetController fleet(fast_options(dir_), {{"sw0", 140000}},
+                          {{"t0", "netcache"}, {"t1", "precision"}});
+    EXPECT_FALSE(fleet.parked("t0"));
+    EXPECT_FALSE(fleet.parked("t1"));
+    EXPECT_EQ(fleet.level_of("t0"), 1) << "the resident must shrink to make room";
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::Degrade));
+    EXPECT_LE(fleet.tenant_bits("t0") + fleet.tenant_bits("t1"), 140000);
+}
+
+TEST_F(FleetTest, ShedIsTheLastRungAndIsTyped) {
+    // Capacity fits a floor-level netcache and nothing else.
+    FleetController fleet(fast_options(dir_), {{"sw0", 62000}},
+                          {{"t0", "netcache"}, {"t1", "precision"}});
+    EXPECT_FALSE(fleet.parked("t0"));
+    EXPECT_GE(fleet.level_of("t0"), 2);
+    EXPECT_TRUE(fleet.parked("t1"));
+    EXPECT_EQ(fleet.digest("t1"), 0u);
+    EXPECT_NE(detail_of(fleet, FleetEventKind::Shed).find("P4ALL-0505"), std::string::npos);
+}
+
+TEST_F(FleetTest, RouteFaultsRetryThenDrop) {
+    FleetController fleet(fast_options(dir_), {{"sw0", 0}}, {{"t0", "netcache"}});
+    support::FaultRegistry::instance().configure("fleet.route:prob=1:seed=5");
+    fleet.step("t0", 1);
+    EXPECT_EQ(fleet.packets_dropped(), 1u);
+    EXPECT_GT(fleet.route_retries(), 0u);
+    EXPECT_TRUE(has_event(fleet, FleetEventKind::RouteDrop));
+
+    support::FaultRegistry::instance().clear();
+    fleet.step("t0", 2);
+    EXPECT_EQ(fleet.packets_routed(), 1u);
+}
+
+std::pair<std::vector<std::string>, std::uint64_t> run_scenario(int threads,
+                                                                const std::string& dir) {
+    FleetOptions options;
+    options.runtime.compile.backend = compiler::Backend::Ilp;
+    options.runtime.compile.solve.threads = threads;
+    options.runtime.exact_portfolio = false;
+    options.runtime.drift.window = 256;
+    options.runtime.drift.top_k = 16;
+    options.journal_root = dir;
+    FleetController fleet(options, {{"sw0", 0}, {"sw1", 0}}, {{"t0", "netcache"}});
+
+    const workload::Trace trace = workload::zipf_drifting_trace(512, 200, 1.1, 5, 2);
+    std::uint64_t fed = 0;
+    for (const std::uint64_t key : trace.keys) {
+        if (fed == 256) fleet.kill_switch(fleet.home_of("t0"));
+        fleet.step("t0", key);
+        if (++fed % 64 == 0) fleet.tick();
+    }
+    std::vector<std::string> events;
+    events.reserve(fleet.events().size());
+    for (const FleetEvent& event : fleet.events()) events.push_back(event.to_string());
+    return {events, fleet.digest("t0")};
+}
+
+TEST_F(FleetTest, EventSequenceAndDigestAreThreadCountInvariant) {
+    // The acceptance bar: a fixed seed yields one trajectory whether the
+    // ILP solver runs on 1 worker or 8.
+    const auto single = run_scenario(1, dir_ + "_1t");
+    const auto eight = run_scenario(8, dir_ + "_8t");
+    EXPECT_EQ(single.first, eight.first);
+    EXPECT_EQ(single.second, eight.second);
+    std::filesystem::remove_all(dir_ + "_1t");
+    std::filesystem::remove_all(dir_ + "_8t");
+}
+
+}  // namespace
+}  // namespace p4all::fleet

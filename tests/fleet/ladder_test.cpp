@@ -1,0 +1,81 @@
+// The graceful-degradation ladder (fleet/ladder.hpp): shrink_profile must
+// walk assume bounds down the pow2 lattice — and ONLY pow2 bounds above the
+// floor — while layout_bits prices the result in placed register bits.
+#include "fleet/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compiler/compiler.hpp"
+#include "runtime/drivers.hpp"
+#include "workload/trace.hpp"
+
+namespace p4all::fleet {
+namespace {
+
+const std::string kProfile =
+    "assume cache_slots == 4096;\n"
+    "assume hh_ways == 3;\n"
+    "assume rows == 64;\n";
+
+TEST(ShrinkProfileTest, LevelZeroIsIdentity) {
+    EXPECT_EQ(shrink_profile(kProfile, 0, 64), kProfile);
+    EXPECT_EQ(shrink_profile(kProfile, -2, 64), kProfile);
+}
+
+TEST(ShrinkProfileTest, EachLevelHalvesPow2BoundsAboveTheFloor) {
+    EXPECT_NE(shrink_profile(kProfile, 1, 64).find("assume cache_slots == 2048;"),
+              std::string::npos);
+    EXPECT_NE(shrink_profile(kProfile, 3, 64).find("assume cache_slots == 512;"),
+              std::string::npos);
+}
+
+TEST(ShrinkProfileTest, NonPow2AndFlooredBoundsAreNeverTouched) {
+    const std::string shrunk = shrink_profile(kProfile, 5, 64);
+    EXPECT_NE(shrunk.find("assume hh_ways == 3;"), std::string::npos)
+        << "a non-pow2 structural pin was rewritten";
+    EXPECT_NE(shrunk.find("assume rows == 64;"), std::string::npos)
+        << "a bound at the floor was rewritten";
+}
+
+TEST(ShrinkProfileTest, DeepLevelsClampAtTheFloor) {
+    const std::string shrunk = shrink_profile(kProfile, 30, 64);
+    EXPECT_NE(shrunk.find("assume cache_slots == 64;"), std::string::npos);
+}
+
+TEST(ShrinkProfileTest, NonAssumeLinesPassThrough) {
+    const std::string profile = "// derived from window 7\nassume n == 256;\n";
+    const std::string shrunk = shrink_profile(profile, 1, 64);
+    EXPECT_NE(shrunk.find("/ derived from window 7"), std::string::npos);
+    EXPECT_NE(shrunk.find("assume n == 128;"), std::string::npos);
+}
+
+TEST(LadderExhaustedTest, ExhaustsExactlyWhenNothingShrinks) {
+    EXPECT_FALSE(ladder_exhausted(kProfile, 0, 64));
+    // 4096 -> 64 takes 6 halvings; level 5 still has one rung left.
+    EXPECT_FALSE(ladder_exhausted(kProfile, 5, 64));
+    EXPECT_TRUE(ladder_exhausted(kProfile, 6, 64));
+    EXPECT_TRUE(ladder_exhausted("assume hh_ways == 3;\n", 0, 64))
+        << "a profile with no shrinkable bound is exhausted from the start";
+}
+
+TEST(LayoutBitsTest, PricesTheNetcacheProfileLattice) {
+    runtime::AppDriver driver = runtime::make_driver("netcache");
+    const workload::Trace window = workload::zipf_trace(512, 128, 1.1, 23);
+    const std::string profile = driver.profile(window);
+
+    compiler::CompileOptions options;
+    options.backend = compiler::Backend::Greedy;
+    const auto bits_of = [&](const std::string& extra) {
+        return layout_bits(compiler::compile_source(driver.source + extra, options, "netcache"));
+    };
+
+    const std::int64_t full = bits_of(profile);
+    const std::int64_t shrunk = bits_of(shrink_profile(profile, 1, 64));
+    EXPECT_GT(full, 0);
+    EXPECT_LT(shrunk, full) << "one ladder rung must strictly shrink the footprint";
+}
+
+}  // namespace
+}  // namespace p4all::fleet

@@ -1,0 +1,88 @@
+// DriftDetector edge cases (runtime/drift.hpp): cold starts and empty
+// windows must never masquerade as workload drift — a spurious verdict here
+// is a spurious (and expensive) fleet-wide recompile.
+#include "runtime/drift.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4all::runtime {
+namespace {
+
+DriftOptions small_window() {
+    DriftOptions options;
+    options.window = 32;
+    options.top_k = 8;
+    return options;
+}
+
+void feed_window(DriftDetector& detector, std::uint64_t base) {
+    for (std::size_t i = 0; i < detector.options().window; ++i) {
+        detector.observe(base + (i % detector.options().top_k));
+    }
+}
+
+TEST(DriftColdStartTest, SamplingBeforeAnyPacketReportsNoDrift) {
+    DriftDetector detector(small_window());
+    const DriftSignal signal = detector.sample();
+    EXPECT_FALSE(signal.drifted);
+    EXPECT_DOUBLE_EQ(signal.churn, 0.0);
+}
+
+TEST(DriftColdStartTest, EmptyFirstWindowDoesNotBecomeTheReference) {
+    DriftDetector detector(small_window());
+    // Flush an empty window first (a runtime started and immediately idled).
+    (void)detector.sample();
+    // The first real window must be adopted as reference, not compared
+    // against the empty one — so it must not report drift.
+    feed_window(detector, 100);
+    const DriftSignal signal = detector.sample();
+    EXPECT_FALSE(signal.drifted) << signal.reason;
+    EXPECT_DOUBLE_EQ(signal.churn, 0.0);
+}
+
+TEST(DriftColdStartTest, EmptyWindowAgainstRealReferenceIsNotChurn) {
+    DriftDetector detector(small_window());
+    feed_window(detector, 100);
+    (void)detector.sample();  // adopts the reference
+    // An idle window (no packets at all) means no evidence of rotation.
+    const DriftSignal signal = detector.sample();
+    EXPECT_FALSE(signal.drifted) << signal.reason;
+    EXPECT_DOUBLE_EQ(signal.churn, 0.0);
+}
+
+TEST(DriftColdStartTest, RepeatedEmptyWindowsStayQuiet) {
+    DriftDetector detector(small_window());
+    feed_window(detector, 100);
+    (void)detector.sample();
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(detector.sample().drifted) << "empty window " << i;
+    }
+    // And the reference survives: real churn afterwards is still caught.
+    feed_window(detector, 5000);
+    EXPECT_TRUE(detector.sample().drifted);
+}
+
+TEST(DriftColdStartTest, RealChurnIsStillDetected) {
+    DriftDetector detector(small_window());
+    feed_window(detector, 100);
+    (void)detector.sample();
+    feed_window(detector, 9000);  // fully disjoint hot set
+    const DriftSignal signal = detector.sample();
+    EXPECT_TRUE(signal.drifted);
+    EXPECT_DOUBLE_EQ(signal.churn, 1.0);
+    EXPECT_FALSE(signal.reason.empty());
+}
+
+TEST(DriftColdStartTest, RebaselineAdoptsTheDriftedWindow) {
+    DriftDetector detector(small_window());
+    feed_window(detector, 100);
+    (void)detector.sample();
+    feed_window(detector, 9000);
+    ASSERT_TRUE(detector.sample().drifted);
+    detector.rebaseline();  // hot set 9000.. is now the reference
+    feed_window(detector, 9000);
+    EXPECT_FALSE(detector.sample().drifted);
+}
+
+}  // namespace
+}  // namespace p4all::runtime

@@ -1,0 +1,202 @@
+// Properties of the capped-exponential backoff with seeded jitter
+// (support/backoff.hpp): the fleet controller's retry pricing must be
+// deterministic, bounded, and budget-respecting.
+#include "support/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace p4all::support {
+namespace {
+
+std::vector<double> take_delays(Backoff& backoff, int n) {
+    std::vector<double> delays;
+    delays.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) delays.push_back(backoff.next_delay_ms());
+    return delays;
+}
+
+TEST(BackoffTest, SameSeedAndStreamReproduceTheDelaySequence) {
+    BackoffPolicy policy;
+    policy.seed = 42;
+    policy.max_attempts = 100;
+    Backoff a(policy, 3);
+    Backoff b(policy, 3);
+    EXPECT_EQ(take_delays(a, 20), take_delays(b, 20));
+}
+
+TEST(BackoffTest, DifferentStreamsDecorrelate) {
+    BackoffPolicy policy;
+    policy.seed = 42;
+    policy.max_attempts = 100;
+    Backoff a(policy, 0);
+    Backoff b(policy, 1);
+    EXPECT_NE(take_delays(a, 8), take_delays(b, 8));
+}
+
+TEST(BackoffTest, ResetRestartsTheExactSequence) {
+    BackoffPolicy policy;
+    policy.max_attempts = 100;
+    Backoff backoff(policy, 7);
+    const std::vector<double> first = take_delays(backoff, 10);
+    backoff.reset();
+    EXPECT_EQ(take_delays(backoff, 10), first);
+}
+
+TEST(BackoffTest, DelaysGrowGeometricallyWithinJitterBounds) {
+    BackoffPolicy policy;
+    policy.initial_ms = 10.0;
+    policy.multiplier = 2.0;
+    policy.max_ms = 1e9;  // cap out of the way
+    policy.jitter = 0.1;
+    policy.max_attempts = 100;
+    Backoff backoff(policy, 0);
+    double expected_base = 10.0;
+    for (int i = 0; i < 12; ++i) {
+        const double delay = backoff.next_delay_ms();
+        EXPECT_GE(delay, expected_base * 0.9) << "delay " << i;
+        EXPECT_LE(delay, expected_base * 1.1) << "delay " << i;
+        expected_base *= 2.0;
+    }
+}
+
+TEST(BackoffTest, CapBoundsEveryDelay) {
+    BackoffPolicy policy;
+    policy.initial_ms = 100.0;
+    policy.multiplier = 10.0;
+    policy.max_ms = 250.0;
+    policy.jitter = 0.0;
+    policy.max_attempts = 100;
+    Backoff backoff(policy, 0);
+    (void)backoff.next_delay_ms();  // 100
+    for (int i = 0; i < 10; ++i) EXPECT_LE(backoff.next_delay_ms(), 250.0);
+}
+
+TEST(BackoffTest, ZeroJitterIsExact) {
+    BackoffPolicy policy;
+    policy.initial_ms = 5.0;
+    policy.multiplier = 3.0;
+    policy.max_ms = 1000.0;
+    policy.jitter = 0.0;
+    policy.max_attempts = 100;
+    Backoff backoff(policy, 9);
+    EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 5.0);
+    EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 15.0);
+    EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 45.0);
+}
+
+TEST(BackoffTest, ExhaustionTracksAttemptBudget) {
+    BackoffPolicy policy;
+    policy.max_attempts = 3;  // 3 attempts => at most 2 delays
+    Backoff backoff(policy, 0);
+    EXPECT_FALSE(backoff.exhausted());
+    (void)backoff.next_delay_ms();
+    EXPECT_FALSE(backoff.exhausted());
+    (void)backoff.next_delay_ms();
+    EXPECT_TRUE(backoff.exhausted());
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+    BackoffPolicy policy;
+    policy.max_attempts = 5;
+    double slept = 0.0;
+    const RetryResult result = retry_with_backoff(
+        policy, Deadline::never(), [](int attempt) { return attempt >= 2; },
+        [&](double ms) { slept += ms; });
+    EXPECT_TRUE(result.succeeded);
+    EXPECT_EQ(result.attempts, 3);
+    EXPECT_GT(result.total_delay_ms, 0.0);
+    EXPECT_DOUBLE_EQ(result.total_delay_ms, slept);
+    EXPECT_EQ(result.stop, StopReason::None);
+    EXPECT_TRUE(result.last_error.empty());
+}
+
+TEST(RetryTest, ExhaustsAttemptBudget) {
+    BackoffPolicy policy;
+    policy.max_attempts = 4;
+    int calls = 0;
+    const RetryResult result = retry_with_backoff(
+        policy, Deadline::never(),
+        [&](int) {
+            ++calls;
+            return false;
+        },
+        [](double) {});
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_EQ(result.attempts, 4);
+    EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, ExceptionsCountAsFailuresAndAreRecorded) {
+    BackoffPolicy policy;
+    policy.max_attempts = 2;
+    const RetryResult result = retry_with_backoff(
+        policy, Deadline::never(),
+        [](int) -> bool { throw std::runtime_error("flaky subsystem"); }, [](double) {});
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_EQ(result.attempts, 2);
+    EXPECT_NE(result.last_error.find("flaky subsystem"), std::string::npos);
+}
+
+TEST(RetryTest, ExpiredBudgetStopsBeforeTheFirstAttempt) {
+    BackoffPolicy policy;
+    policy.max_attempts = 10;
+    int calls = 0;
+    const RetryResult result = retry_with_backoff(
+        policy, Deadline::after_seconds(0.0),
+        [&](int) {
+            ++calls;
+            return true;
+        },
+        [](double) {});
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(result.stop, StopReason::Deadline);
+    EXPECT_FALSE(result.last_error.empty());
+}
+
+TEST(RetryTest, VirtualSleepNeverBlocks) {
+    // 50 forced failures with second-scale delays must finish instantly
+    // because the sleep function only accounts time.
+    BackoffPolicy policy;
+    policy.initial_ms = 1000.0;
+    policy.max_ms = 8000.0;
+    policy.max_attempts = 50;
+    double virtual_ms = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    const RetryResult result = retry_with_backoff(
+        policy, Deadline::never(), [](int) { return false; },
+        [&](double ms) { virtual_ms += ms; });
+    const double real_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_GT(virtual_ms, 10000.0);
+    EXPECT_LT(real_ms, 2000.0);
+}
+
+TEST(RetryTest, ResultIsDeterministicForFixedSeedAndStream) {
+    BackoffPolicy policy;
+    policy.seed = 11;
+    policy.max_attempts = 6;
+    const auto run = [&policy]() {
+        return retry_with_backoff(policy, Deadline::never(), [](int) { return false; },
+                                  [](double) {}, 2);
+    };
+    const RetryResult a = run();
+    const RetryResult b = run();
+    EXPECT_DOUBLE_EQ(a.total_delay_ms, b.total_delay_ms);
+    EXPECT_EQ(a.attempts, b.attempts);
+}
+
+TEST(BackoffTest, PolicyToStringMentionsTheKnobs) {
+    const std::string text = BackoffPolicy{}.to_string();
+    EXPECT_NE(text.find("10"), std::string::npos);   // initial_ms
+    EXPECT_NE(text.find("1000"), std::string::npos); // max_ms
+}
+
+}  // namespace
+}  // namespace p4all::support

@@ -1,0 +1,111 @@
+// Cluster traces (workload/cluster.hpp): the deterministic bridge between
+// one captured packet stream and the per-tenant views a fleet serves.
+#include "workload/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace p4all::workload {
+namespace {
+
+const std::vector<std::string> kTenants = {"t0", "t1", "t2"};
+
+TEST(ClusterTest, SplitPreservesPacketOrderAndCount) {
+    const Trace trace = zipf_trace(2000, 100, 1.1, 7);
+    const std::vector<ClusterPacket> cluster = split_by_flow(trace, kTenants, 7);
+    ASSERT_EQ(cluster.size(), trace.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+        EXPECT_EQ(cluster[i].key, trace.keys[i]);
+    }
+}
+
+TEST(ClusterTest, SplitKeepsEveryFlowOnOneTenant) {
+    const Trace trace = zipf_trace(4000, 200, 1.2, 3);
+    const std::vector<ClusterPacket> cluster = split_by_flow(trace, kTenants, 3);
+    std::map<std::uint64_t, std::string> owner;
+    for (const ClusterPacket& packet : cluster) {
+        const auto [it, fresh] = owner.emplace(packet.key, packet.tenant);
+        if (!fresh) {
+            EXPECT_EQ(it->second, packet.tenant)
+                << "flow " << packet.key << " moved between tenants";
+        }
+    }
+}
+
+TEST(ClusterTest, SplitIsDeterministicAndSeedSensitive) {
+    const Trace trace = zipf_trace(1000, 80, 1.0, 5);
+    const std::vector<ClusterPacket> a = split_by_flow(trace, kTenants, 11);
+    const std::vector<ClusterPacket> b = split_by_flow(trace, kTenants, 11);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        EXPECT_EQ(a[i].key, b[i].key);
+    }
+    const std::vector<ClusterPacket> c = split_by_flow(trace, kTenants, 12);
+    bool any_differ = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].tenant != c[i].tenant) { any_differ = true; break; }
+    }
+    EXPECT_TRUE(any_differ) << "seed had no effect on the flow assignment";
+}
+
+TEST(ClusterTest, SplitUsesEveryTenantOnABroadTrace) {
+    const Trace trace = zipf_trace(3000, 300, 0.9, 9);
+    std::set<std::string> seen;
+    for (const ClusterPacket& packet : split_by_flow(trace, kTenants, 9)) {
+        seen.insert(packet.tenant);
+    }
+    EXPECT_EQ(seen.size(), kTenants.size());
+}
+
+TEST(ClusterTest, TenantTracesRoundTripsTheSplit) {
+    const Trace trace = zipf_trace(2500, 150, 1.3, 21);
+    const std::vector<ClusterPacket> cluster = split_by_flow(trace, kTenants, 21);
+    const std::map<std::string, Trace> views = tenant_traces(cluster);
+    std::size_t total = 0;
+    for (const auto& [name, view] : views) {
+        total += view.size();
+        std::uint64_t counted = 0;
+        for (const auto& [key, count] : view.counts) {
+            (void)key;
+            counted += count;
+        }
+        EXPECT_EQ(counted, view.size()) << "counts out of sync for " << name;
+    }
+    EXPECT_EQ(total, trace.size());
+}
+
+TEST(ClusterTest, InterleavePreservesPerTenantOrderAndTotals) {
+    std::vector<std::pair<std::string, Trace>> per_tenant;
+    per_tenant.push_back({"a", zipf_trace(600, 50, 1.0, 1)});
+    per_tenant.push_back({"b", zipf_trace(400, 50, 1.4, 2)});
+    const std::vector<ClusterPacket> merged = interleave(per_tenant, 5);
+    ASSERT_EQ(merged.size(), 1000u);
+    std::map<std::string, std::vector<std::uint64_t>> regrouped;
+    for (const ClusterPacket& packet : merged) regrouped[packet.tenant].push_back(packet.key);
+    for (const auto& [name, source] : per_tenant) {
+        EXPECT_EQ(regrouped[name], source.keys) << "tenant " << name << " reordered";
+    }
+}
+
+TEST(ClusterTest, InterleaveIsDeterministic) {
+    std::vector<std::pair<std::string, Trace>> per_tenant;
+    per_tenant.push_back({"a", zipf_trace(300, 40, 1.0, 3)});
+    per_tenant.push_back({"b", zipf_trace(300, 40, 1.0, 4)});
+    const std::vector<ClusterPacket> first = interleave(per_tenant, 9);
+    const std::vector<ClusterPacket> second = interleave(per_tenant, 9);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].tenant, second[i].tenant);
+        EXPECT_EQ(first[i].key, second[i].key);
+    }
+}
+
+}  // namespace
+}  // namespace p4all::workload
