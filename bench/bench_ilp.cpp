@@ -13,6 +13,7 @@
 // --check compares this run's sparse medians against the committed baseline
 // (tests/golden/bench_baseline.json) and exits 1 on a >25% regression.
 #include <cstring>
+#include <tuple>
 #include <string>
 #include <utility>
 #include <vector>
@@ -110,6 +111,25 @@ bench::InstanceReport bench_lp(const std::string& name, const ilp::Model& model,
     return rep;
 }
 
+ilp::SolveOptions dense_options(const AppMilp& inst, double budget_seconds) {
+    ilp::SolveOptions o;  // dense tableau, serial DFS: the historical path
+    o.warm_start = inst.warm_start;
+    o.time_limit_seconds = budget_seconds;
+    return o;
+}
+
+ilp::SolveOptions sparse_options(const AppMilp& inst, double budget_seconds) {
+    ilp::SolveOptions o;
+    o.lp_backend = ilp::LpBackend::Sparse;
+    o.search = ilp::SearchMode::BestFirst;
+    o.threads = 0;  // hardware concurrency
+    o.warm_start = inst.warm_start;
+    o.time_limit_seconds = budget_seconds;
+    return o;
+}
+
+/// Solve-to-completion measurement: both engines run the whole solve under a
+/// generous wall-clock budget; the recorded time is the actual solve time.
 bench::InstanceReport bench_milp(const std::string& name, const AppMilp& inst, int reps,
                                  double budget_seconds) {
     bench::InstanceReport rep;
@@ -118,21 +138,56 @@ bench::InstanceReport bench_milp(const std::string& name, const AppMilp& inst, i
     rep.vars = inst.model.num_vars();
     rep.rows = inst.model.num_constraints();
     rep.dense = bench::measure(reps, [&] {
-        ilp::SolveOptions o;  // dense tableau, serial DFS: the historical path
-        o.warm_start = inst.warm_start;
-        o.time_limit_seconds = budget_seconds;
-        const ilp::Solution s = ilp::solve_milp(inst.model, o);
+        const ilp::Solution s = ilp::solve_milp(inst.model, dense_options(inst, budget_seconds));
         return std::pair<std::int64_t, std::int64_t>(s.lp_iterations, s.nodes);
     });
     rep.sparse = bench::measure(reps, [&] {
-        ilp::SolveOptions o;
-        o.lp_backend = ilp::LpBackend::Sparse;
-        o.search = ilp::SearchMode::BestFirst;
-        o.threads = 0;  // hardware concurrency
-        o.warm_start = inst.warm_start;
-        o.time_limit_seconds = budget_seconds;
-        const ilp::Solution s = ilp::solve_milp(inst.model, o);
+        const ilp::Solution s = ilp::solve_milp(inst.model, sparse_options(inst, budget_seconds));
         return std::pair<std::int64_t, std::int64_t>(s.lp_iterations, s.nodes);
+    });
+    return rep;
+}
+
+/// Goal-under-cap measurement (PAR-1 scoring, see measure_capped) for the
+/// instances where a shared time budget would measure the budget rather
+/// than the solver. Each engine gets a goal and a wall-clock cap:
+///
+///  - node_budget > 0: search throughput. Process `node_budget`
+///    branch-and-bound nodes (or finish the whole tree early). The deep
+///    l6/s6 unrolls carry an honest structural integrality gap no engine
+///    closes at bench scale, so the measurable quantity is the per-node LP
+///    cost — exactly what warm-started dual simplex exists to cut.
+///  - node_budget == 0: solve to optimality at `gap_relative` (netcache: the
+///    production-default 1e-4 relative gap, which its 1.4e-5 big-M bound
+///    plateau satisfies; the shipping compiler solves it the same way).
+///
+/// A run that meets its goal scores its actual time; a run that aborts
+/// first — the dense tableau bails with numerical trouble on these models
+/// after a handful of nodes — scores the cap. Both engines run warm-started
+/// from the greedy layout, the compiler's real configuration.
+bench::InstanceReport bench_milp_capped(const std::string& name, const AppMilp& inst,
+                                        int reps, std::int64_t node_budget,
+                                        double cap_seconds, double gap_relative = 0.0) {
+    bench::InstanceReport rep;
+    rep.name = name;
+    rep.kind = "milp";
+    rep.vars = inst.model.num_vars();
+    rep.rows = inst.model.num_constraints();
+    const auto run = [&](ilp::SolveOptions o) {
+        if (node_budget > 0) o.max_nodes = node_budget;
+        if (gap_relative > 0.0) o.gap_relative = gap_relative;
+        const ilp::Solution s = ilp::solve_milp(inst.model, o);
+        const bool done_tree = s.status == ilp::SolveStatus::Optimal ||
+                               s.status == ilp::SolveStatus::Infeasible;
+        const bool done_budget = node_budget > 0 && s.nodes >= node_budget;
+        return std::tuple<std::int64_t, std::int64_t, bool>(s.lp_iterations, s.nodes,
+                                                            done_budget || done_tree);
+    };
+    rep.dense = bench::measure_capped(reps, cap_seconds * 1000.0, [&] {
+        return run(dense_options(inst, cap_seconds));
+    });
+    rep.sparse = bench::measure_capped(reps, cap_seconds * 1000.0, [&] {
+        return run(sparse_options(inst, cap_seconds));
     });
     return rep;
 }
@@ -162,23 +217,23 @@ int main(int argc, char** argv) {
     // The four applications, with the elastic knobs that control unroll
     // depth (sketchlearn levels, conquest snapshots) swept upward. Every
     // instance is warm-started from the greedy layout (the compiler's real
-    // configuration) and given a bounded budget. Instances whose honest root
-    // gap is not closable at bench scale (netcache, the deep l6/s6 unrolls)
-    // get deliberately tight budgets: their sparse median *is* the budget —
-    // an anytime-search measurement, not a solve-to-optimality one — and the
-    // warm-started incumbent is already the best layout any engine finds.
-    instances.push_back(
-        bench_milp("netcache", app_milp(apps::netcache_source(), "netcache"), reps, 1.0));
+    // configuration). Instances both engines can solve to optimality are
+    // timed to completion; the rest run goal-under-cap (bench_milp_capped):
+    // netcache as a capped solve at the production-default relative gap, the
+    // deep l6/s6 unrolls — whose structural integrality gap no engine closes
+    // at bench scale — as fixed-node-budget search throughput.
+    instances.push_back(bench_milp_capped(
+        "netcache", app_milp(apps::netcache_source(), "netcache"), reps, 0, 4.0, 1e-4));
     instances.push_back(bench_milp(
         "sketchlearn-l4", app_milp(apps::sketchlearn_source(4), "sketchlearn"), reps, 5.0));
-    instances.push_back(bench_milp(
-        "sketchlearn-l6", app_milp(apps::sketchlearn_source(6), "sketchlearn"), reps, 2.0));
+    instances.push_back(bench_milp_capped(
+        "sketchlearn-l6", app_milp(apps::sketchlearn_source(6), "sketchlearn"), reps, 512, 6.0));
     instances.push_back(
         bench_milp("precision", app_milp(apps::precision_source(), "precision"), reps, 5.0));
     instances.push_back(
         bench_milp("conquest-s4", app_milp(apps::conquest_source(4), "conquest"), reps, 5.0));
-    instances.push_back(
-        bench_milp("conquest-s6", app_milp(apps::conquest_source(6), "conquest"), reps, 2.0));
+    instances.push_back(bench_milp_capped(
+        "conquest-s6", app_milp(apps::conquest_source(6), "conquest"), reps, 512, 6.0));
 
     // Synthetic placement-style LPs, growing to the regime where the dense
     // tableau's O(m·n) pivots dominate.

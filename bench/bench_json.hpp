@@ -10,11 +10,17 @@
 //     "instances": [
 //       { "name": "...", "kind": "lp" | "milp" | "compile",
 //         "vars": 1234, "rows": 56,
-//         "dense":  { "median_ms": ..., "p95_ms": ..., "pivots": ..., "nodes": ... },
-//         "sparse": { "median_ms": ..., "p95_ms": ..., "pivots": ..., "nodes": ... },
+//         "dense":  { "median_ms": ..., "p95_ms": ..., "pivots": ..., "nodes": ...,
+//                     "failures": ... },
+//         "sparse": { "median_ms": ..., "p95_ms": ..., "pivots": ..., "nodes": ...,
+//                     "failures": ... },
 //         "speedup": dense.median_ms / sparse.median_ms }
 //     ]
 //   }
+//
+// "failures" (emitted only when nonzero) counts the repetitions of a
+// capped instance that did not meet their goal and were scored at the cap
+// (measure_capped, PAR-1).
 //
 // --check <baseline.json> compares the current run's sparse median against
 // the committed baseline per instance name and fails (exit 1) on a
@@ -24,6 +30,8 @@
 // current dense median is slower than its baseline, the allowance scales up
 // by that ratio — the dense engine is untouched by most changes, so a
 // uniform slowdown of both engines is machine noise, not a regression.
+// A baseline entry may also pin "min_speedup": the current run's
+// dense/sparse ratio must stay at or above it or the check fails.
 #pragma once
 
 #include <algorithm>
@@ -34,6 +42,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "support/json.hpp"
@@ -45,6 +54,7 @@ struct RunStats {
     double p95_ms = 0.0;
     std::int64_t pivots = 0;  // LP iterations of the final run
     std::int64_t nodes = 0;   // branch-and-bound nodes of the final run
+    std::int64_t failures = 0;  // runs that failed their goal (scored at the cap)
 };
 
 /// Runs `body` `reps` times and collects wall-time order statistics.
@@ -71,12 +81,47 @@ inline RunStats measure(int reps,
     return stats;
 }
 
+/// Penalized variant (PAR-1 scoring, the SAT/MIP-competition convention):
+/// `body` additionally reports whether the run met its goal; a failed run is
+/// scored at `cap_ms` (the instance's wall-clock cap) rather than its actual
+/// time, so an engine that aborts early — e.g. bails with numerical trouble
+/// after a handful of nodes — cannot score *better* than one that does the
+/// work. Failures are counted in the stats.
+inline RunStats measure_capped(
+    int reps, double cap_ms,
+    const std::function<std::tuple<std::int64_t, std::int64_t, bool>()>& body) {
+    using Clock = std::chrono::steady_clock;
+    RunStats stats;
+    std::vector<double> ms;
+    ms.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = Clock::now();
+        const auto [pivots, nodes, ok] = body();
+        double t = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+        if (!ok) {
+            t = std::max(t, cap_ms);
+            ++stats.failures;
+        }
+        ms.push_back(t);
+        stats.pivots = pivots;
+        stats.nodes = nodes;
+    }
+    std::sort(ms.begin(), ms.end());
+    stats.median_ms = ms[ms.size() / 2];
+    const std::size_t p95 =
+        std::min(ms.size() - 1,
+                 static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(ms.size()))) - 1);
+    stats.p95_ms = ms[p95];
+    return stats;
+}
+
 inline support::Json to_json(const RunStats& s) {
     support::Json j = support::Json::object();
     j.set("median_ms", s.median_ms);
     j.set("p95_ms", s.p95_ms);
     j.set("pivots", s.pivots);
     j.set("nodes", s.nodes);
+    if (s.failures > 0) j.set("failures", s.failures);
     return j;
 }
 
@@ -170,6 +215,22 @@ inline int check_against_baseline(const std::vector<InstanceReport>& instances,
         } else {
             std::printf("check: %-28s ok (%.3f ms <= %.3f ms)\n", inst.name.c_str(),
                         inst.sparse.median_ms, allowed);
+        }
+        // Pinned speedup floor: an instance whose baseline entry carries
+        // "min_speedup" additionally requires this run's dense/sparse ratio
+        // to clear it — the wins the suite exists to protect (warm-started
+        // sparse ≥ 5× dense on the deep-unroll placement MILPs) fail loudly
+        // if they erode, instead of decaying into a silent ratio drift.
+        if (!entry.is_number() && entry.contains("min_speedup")) {
+            const double floor_ratio = entry.at("min_speedup").as_number();
+            if (inst.speedup() < floor_ratio) {
+                std::printf("check: %-28s SPEEDUP %.2fx below pinned floor %.2fx\n",
+                            inst.name.c_str(), inst.speedup(), floor_ratio);
+                ++regressions;
+            } else {
+                std::printf("check: %-28s speedup %.2fx >= %.2fx\n", inst.name.c_str(),
+                            inst.speedup(), floor_ratio);
+            }
         }
     }
     return regressions;

@@ -1,0 +1,324 @@
+#include "audit/cuts.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+
+#include "audit/audit.hpp"
+#include "support/error.hpp"
+#include "support/rational.hpp"
+#include "verify/lint.hpp"
+
+namespace p4all::audit {
+
+std::unique_ptr<verify::LintPass> make_cut_validity_pass();
+
+namespace {
+
+using support::Rat;
+
+/// Uniform view over the extended row space: model rows first, then the
+/// already-verified cuts in order (always Le, constant-free by check below).
+struct RowView {
+    const ilp::LinExpr* expr = nullptr;
+    ilp::CmpSense sense = ilp::CmpSense::Le;
+    double rhs = 0.0;
+};
+
+RowView row_at(const ilp::Model& model, const std::vector<ilp::CertifiedCut>& prior, int r) {
+    if (r < model.num_constraints()) {
+        const ilp::Constraint& c = model.constraints()[static_cast<std::size_t>(r)];
+        return {&c.expr, c.sense, c.rhs};
+    }
+    const ilp::CertifiedCut& c = prior[static_cast<std::size_t>(r - model.num_constraints())];
+    return {&c.expr, ilp::CmpSense::Le, c.rhs};
+}
+
+Rat row_rhs(const RowView& row) {
+    return Rat::from_double(row.rhs) - Rat::from_double(row.expr->constant());
+}
+
+std::string var_label(const ilp::Model& model, int j) {
+    if (j < 0 || j >= model.num_vars()) return "variable " + std::to_string(j);
+    return "variable '" + model.var_name(j) + "'";
+}
+
+/// Exact per-variable coefficients of the cut expression. Rejects (via
+/// returned reason) out-of-range variables and a nonzero constant — a cut is
+/// always "g·x ≤ g0" with the constant folded into g0 at derivation time.
+std::optional<std::string> cut_coefficients(const ilp::Model& model, const ilp::CertifiedCut& cut,
+                                            std::vector<Rat>& g) {
+    if (cut.expr.constant() != 0.0) return "cut expression carries a nonzero constant";
+    g.assign(static_cast<std::size_t>(model.num_vars()), Rat{});
+    for (const auto& [id, a] : cut.expr.terms()) {
+        if (id < 0 || id >= model.num_vars()) {
+            return "cut references out-of-range variable " + std::to_string(id);
+        }
+        g[static_cast<std::size_t>(id)] += Rat::from_double(a);
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Gomory certificates
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> verify_gomory(const ilp::Model& model,
+                                         const std::vector<ilp::CertifiedCut>& prior,
+                                         const ilp::CertifiedCut& cut) {
+    const ilp::CutCertificate& cert = cut.cert;
+    const int nrows = model.num_constraints() + static_cast<int>(prior.size());
+    if (cert.row_mult.empty()) return "Gomory certificate has no row multipliers";
+
+    // Aggregate D·x ≤ D0 from the certified multipliers. Sign rules make
+    // each term a valid "≤" consequence of its row; bound rows need w ≥ 0
+    // over a finite bound.
+    std::vector<Rat> d(static_cast<std::size_t>(model.num_vars()));
+    Rat d0;
+    for (const auto& [r, l] : cert.row_mult) {
+        if (r < 0 || r >= nrows) {
+            return "multiplier references out-of-range row " + std::to_string(r);
+        }
+        if (l.is_zero()) continue;
+        const RowView row = row_at(model, prior, r);
+        if (row.sense == ilp::CmpSense::Le && l.negative()) {
+            return "negative multiplier " + l.to_string() + " on Le row " + std::to_string(r);
+        }
+        if (row.sense == ilp::CmpSense::Ge && l.positive()) {
+            return "positive multiplier " + l.to_string() + " on Ge row " + std::to_string(r);
+        }
+        for (const auto& [id, a] : row.expr->terms()) {
+            if (id < 0 || id >= model.num_vars()) {
+                return "row " + std::to_string(r) + " references out-of-range variable " +
+                       std::to_string(id);
+            }
+            d[static_cast<std::size_t>(id)] += l * Rat::from_double(a);
+        }
+        d0 += l * row_rhs(row);
+    }
+    for (const ilp::CutCertificate::BoundMult& bm : cert.bound_mult) {
+        if (bm.var < 0 || bm.var >= model.num_vars()) {
+            return "bound multiplier references out-of-range variable " + std::to_string(bm.var);
+        }
+        if (bm.mult.negative()) {
+            return "negative bound multiplier on " + var_label(model, bm.var);
+        }
+        if (bm.mult.is_zero()) continue;
+        const std::size_t js = static_cast<std::size_t>(bm.var);
+        if (bm.upper) {
+            const double ub = model.upper_bound(bm.var);
+            if (ub == ilp::kInfinity) {
+                return "upper-bound multiplier on unbounded " + var_label(model, bm.var);
+            }
+            d[js] += bm.mult;
+            d0 += bm.mult * Rat::from_double(ub);
+        } else {
+            const double lb = model.lower_bound(bm.var);
+            if (lb == -ilp::kInfinity) {
+                return "lower-bound multiplier on unbounded " + var_label(model, bm.var);
+            }
+            d[js] -= bm.mult;
+            d0 -= bm.mult * Rat::from_double(lb);
+        }
+    }
+
+    // The claimed cut g·x ≤ g0 must be dominated by the aggregate:
+    // coefficient-wise g_j ≤ D_j, where dropping below D_j is only sound for
+    // variables pinned to x_j ≥ 0 (else larger x_j would not absorb the
+    // slack), and the rounding of the right-hand side below D0 is only sound
+    // when the left side is provably integral at every integer point.
+    std::vector<Rat> g;
+    if (auto why = cut_coefficients(model, cut, g)) return why;
+    bool lhs_integral = true;
+    for (int j = 0; j < model.num_vars(); ++j) {
+        const std::size_t js = static_cast<std::size_t>(j);
+        const Rat& gj = g[js];
+        const Rat& dj = d[js];
+        if (gj > dj) {
+            return "cut coefficient " + gj.to_string() + " on " + var_label(model, j) +
+                   " exceeds the re-derived aggregate coefficient " + dj.to_string();
+        }
+        if (gj < dj && model.lower_bound(j) < 0.0) {
+            return "cut weakens the coefficient of " + var_label(model, j) +
+                   " which is not bounded below by 0";
+        }
+        if (!gj.is_zero() &&
+            (!gj.is_integer() || model.var_type(j) == ilp::VarType::Continuous)) {
+            lhs_integral = false;
+        }
+    }
+    const Rat g0 = Rat::from_double(cut.rhs);
+    if (g0 >= d0) return std::nullopt;  // plain weakening of the aggregate
+    if (!lhs_integral) {
+        return "right-hand side " + g0.to_string() + " is below the re-derived aggregate " +
+               d0.to_string() + " and the left side is not integral (rounding is unsound)";
+    }
+    if (g0 < d0.floor()) {
+        return "right-hand side " + g0.to_string() + " is below the rounded aggregate ⌊" +
+               d0.to_string() + "⌋ = " + d0.floor().to_string();
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Cover certificates
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> verify_cover(const ilp::Model& model,
+                                        const std::vector<ilp::CertifiedCut>& prior,
+                                        const ilp::CertifiedCut& cut) {
+    const ilp::CutCertificate& cert = cut.cert;
+    const int nrows = model.num_constraints() + static_cast<int>(prior.size());
+    if (cert.cover_row < 0 || cert.cover_row >= nrows) {
+        return "cover references out-of-range row " + std::to_string(cert.cover_row);
+    }
+    const RowView row = row_at(model, prior, cert.cover_row);
+    if (row.sense != ilp::CmpSense::Le) {
+        return "cover source row " + std::to_string(cert.cover_row) + " is not a Le row";
+    }
+    // Qualification: the all-ones cover point bounds the row activity from
+    // below only when every per-variable coefficient is nonnegative over a
+    // variable pinned to x ≥ 0. Duplicate terms are summed exactly, the same
+    // aggregation the solver-side builder performs.
+    std::map<int, Rat> coeff;
+    for (const auto& [id, a] : row.expr->terms()) {
+        if (id < 0 || id >= model.num_vars()) {
+            return "cover source row references out-of-range variable " + std::to_string(id);
+        }
+        coeff[id] += Rat::from_double(a);
+    }
+    for (const auto& [id, a] : coeff) {
+        if (a.negative()) {
+            return "cover source row has a negative coefficient on " + var_label(model, id);
+        }
+        if (model.lower_bound(id) < 0.0) {
+            return "cover source row involves " + var_label(model, id) +
+                   " which is not bounded below by 0";
+        }
+    }
+    if (cert.cover_vars.empty()) return "cover set is empty";
+    // Strictly increasing ⇒ no duplicates: a duplicated variable would let
+    // the coefficient sum double-count a single row term.
+    for (std::size_t i = 1; i < cert.cover_vars.size(); ++i) {
+        if (cert.cover_vars[i] <= cert.cover_vars[i - 1]) {
+            return "cover set is not strictly increasing (duplicate or unsorted variables)";
+        }
+    }
+
+    Rat acc;
+    for (const int id : cert.cover_vars) {
+        if (id < 0 || id >= model.num_vars()) {
+            return "cover set references out-of-range variable " + std::to_string(id);
+        }
+        if (model.var_type(id) == ilp::VarType::Continuous || model.lower_bound(id) < 0.0 ||
+            model.upper_bound(id) > 1.0) {
+            return var_label(model, id) + " in the cover is not a 0/1 integer variable";
+        }
+        const auto it = coeff.find(id);
+        if (it == coeff.end() || !it->second.positive()) {
+            return var_label(model, id) +
+                   " in the cover has no positive coefficient in the source row";
+        }
+        acc += it->second;
+    }
+    if (!(acc > row_rhs(row))) {
+        return "cover coefficient sum " + acc.to_string() +
+               " does not exceed the row right-hand side " + row_rhs(row).to_string() +
+               " (the all-ones point is feasible; no cover)";
+    }
+
+    // The cut must be exactly Σ_C x_j ≤ |C| − 1.
+    std::vector<Rat> g;
+    if (auto why = cut_coefficients(model, cut, g)) return why;
+    const Rat one(std::int64_t{1});
+    for (const int id : cert.cover_vars) {
+        if (g[static_cast<std::size_t>(id)] != one) {
+            return "cut coefficient on cover " + var_label(model, id) + " is not 1";
+        }
+        g[static_cast<std::size_t>(id)] = Rat{};
+    }
+    for (int j = 0; j < model.num_vars(); ++j) {
+        if (!g[static_cast<std::size_t>(j)].is_zero()) {
+            return "cut involves " + var_label(model, j) + " outside the cover set";
+        }
+    }
+    const Rat want(static_cast<std::int64_t>(cert.cover_vars.size()) - 1);
+    if (Rat::from_double(cut.rhs) != want) {
+        return "cut right-hand side " + std::to_string(cut.rhs) + " is not |C| − 1 = " +
+               want.to_string();
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// ilp-cut-validity pass
+// ---------------------------------------------------------------------------
+
+class CutValidityPass final : public verify::LintPass {
+public:
+    [[nodiscard]] std::string_view id() const noexcept override { return "ilp-cut-validity"; }
+    [[nodiscard]] std::string_view description() const noexcept override {
+        return "re-derives every cutting-plane validity certificate in exact rational "
+               "arithmetic and rejects any cut whose claimed inequality is not dominated by "
+               "the independent re-derivation";
+    }
+
+    void run(verify::LintContext& ctx) override {
+        const auto* payload = dynamic_cast<const ArtifactsPayload*>(ctx.payload());
+        const compiler::CompileArtifacts* art =
+            payload != nullptr ? payload->artifacts : nullptr;
+        if (art == nullptr || !art->has_ilp) return;
+        const auto& cuts = art->solution.cuts;
+        if (cuts.empty()) return;
+
+        // Sequential: cut k may aggregate the verified cuts before it, so a
+        // rejection invalidates the row indexing of everything after — stop
+        // at the first forged certificate rather than cascade noise.
+        std::vector<ilp::CertifiedCut> verified;
+        verified.reserve(cuts.size());
+        for (std::size_t k = 0; k < cuts.size(); ++k) {
+            const std::optional<std::string> why =
+                verify_cut(art->ilp.model, verified, cuts[k]);
+            if (why) {
+                const std::string label =
+                    cuts[k].name.empty() ? "cut " + std::to_string(k) : "cut '" + cuts[k].name + "'";
+                ctx.error({}, label + " fails independent certificate re-derivation: " + *why);
+                return;
+            }
+            verified.push_back(cuts[k]);
+        }
+        ctx.note({}, "all " + std::to_string(cuts.size()) +
+                         " cutting-plane certificate(s) re-derived and verified");
+    }
+};
+
+}  // namespace
+
+std::optional<std::string> verify_cut(const ilp::Model& model,
+                                      const std::vector<ilp::CertifiedCut>& prior,
+                                      const ilp::CertifiedCut& cut) {
+    try {
+        switch (cut.cert.kind) {
+            case ilp::CutCertificate::Kind::Gomory: return verify_gomory(model, prior, cut);
+            case ilp::CutCertificate::Kind::Cover: return verify_cover(model, prior, cut);
+        }
+        return "unknown certificate kind";
+    } catch (const support::CompileError& e) {
+        return std::string("rational overflow while re-deriving the certificate: ") + e.what();
+    }
+}
+
+ilp::Model extend_with_cuts(const ilp::Model& model, const std::vector<ilp::CertifiedCut>& cuts) {
+    ilp::Model extended = model;
+    for (const ilp::CertifiedCut& cut : cuts) {
+        extended.add_le(cut.expr, cut.rhs, cut.name);
+    }
+    return extended;
+}
+
+std::unique_ptr<verify::LintPass> make_cut_validity_pass() {
+    return std::make_unique<CutValidityPass>();
+}
+
+}  // namespace p4all::audit

@@ -1,0 +1,55 @@
+// Independent re-derivation of cutting-plane validity certificates.
+//
+// The solver ships every root cut with a machine-checkable certificate
+// (ilp/cuts.hpp): the sign-constrained rational row/bound multipliers of a
+// Chvátal–Gomory aggregation, or the cover set of a knapsack cover. This
+// layer re-derives the implied inequality from the certificate in its own
+// exact rational arithmetic — sharing no code with the solver-side builder —
+// and accepts the cut only when the claimed coefficients and right-hand side
+// are provably dominated by the re-derivation:
+//
+//   Gomory   D_j = Σ_r λ_r·a_rj + Σ w_ub − Σ w_lb  and
+//            D_0 = Σ_r λ_r·(b_r − const_r) + Σ w_ub·ub − Σ w_lb·lb
+//            give the aggregate D·x ≤ D_0, valid for every feasible point
+//            when λ is sign-correct (≥ 0 on Le, ≤ 0 on Ge, free on Eq) and
+//            every bound multiplier w is ≥ 0 over a finite bound. The cut
+//            g·x ≤ g_0 is valid when g_j ≤ D_j for all j (strict inequality
+//            needs lb_j ≥ 0 so weakening a coefficient cannot help x_j), and
+//            g_0 ≥ D_0 — or g_0 ≥ ⌊D_0⌋ when every nonzero g_j is an integer
+//            coefficient on an integer-typed variable (the CG rounding step).
+//
+//   Cover    the source row must be Le with all-nonnegative coefficients
+//            over variables bounded below by 0; every cover variable must be
+//            integer-typed with 0 ≤ x ≤ 1 and a strictly positive row
+//            coefficient; the exact coefficient sum over the cover must
+//            exceed the row's rhs; and the cut must be exactly
+//            Σ_C x_j ≤ |C| − 1.
+//
+// Cuts are verified in sequence: certificate k may aggregate the already
+// verified cuts 0..k−1 (extended row space, all Le). A forged, tampered, or
+// misrounded certificate yields a human-readable rejection reason.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ilp/cuts.hpp"
+#include "ilp/model.hpp"
+
+namespace p4all::audit {
+
+/// Verifies one cut against the model and the previously verified cuts
+/// (extended row space: model rows, then `prior` in order). Returns
+/// std::nullopt on success, otherwise the rejection reason.
+[[nodiscard]] std::optional<std::string> verify_cut(const ilp::Model& model,
+                                                    const std::vector<ilp::CertifiedCut>& prior,
+                                                    const ilp::CertifiedCut& cut);
+
+/// Copy of `model` with every cut appended as a Le row — the row space the
+/// solver's cut-extended root duals certify against. Callers must have
+/// verified the cuts first (verify_cut / the ilp-cut-validity pass).
+[[nodiscard]] ilp::Model extend_with_cuts(const ilp::Model& model,
+                                          const std::vector<ilp::CertifiedCut>& cuts);
+
+}  // namespace p4all::audit

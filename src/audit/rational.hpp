@@ -1,69 +1,13 @@
-// Exact rational arithmetic for certificate checking.
-//
-// The audit layer never trusts solver floating point: every model row, the
-// incumbent objective, and the dual bound are re-evaluated in exact rational
-// arithmetic over overflow-checked 128-bit integers. Doubles are dyadic
-// rationals, so conversion is exact; solver-produced values with deep
-// mantissas can instead be quantized to a fixed number of fractional bits
-// (rounding toward zero, which preserves sign — the property dual
-// certificates need). Every operation that would overflow the 128-bit range
-// throws support::CompileError rather than silently wrapping.
+// Compatibility shim: the exact rational type moved to support/ so the ILP
+// layer can construct cut certificates with the same arithmetic the audit
+// layer uses to re-check them. Existing audit code keeps spelling it
+// audit::Rat.
 #pragma once
 
-#include <cstdint>
-#include <string>
+#include "support/rational.hpp"
 
 namespace p4all::audit {
 
-/// An exact rational num/den with den > 0, kept in lowest terms.
-class Rat {
-public:
-    constexpr Rat() = default;
-    // NOLINTNEXTLINE(google-explicit-constructor): integer literals are exact.
-    constexpr Rat(std::int64_t n) : num_(n) {}
-
-    /// Exact conversion (doubles are dyadic). Throws on non-finite input or
-    /// when the value needs more than 128 bits (|v| huge or tiny).
-    [[nodiscard]] static Rat from_double(double v);
-
-    /// `v` rounded toward zero to a multiple of 2^-frac_bits. Truncation
-    /// never crosses zero, so the sign of the result matches the sign of the
-    /// input — quantized dual multipliers stay sign-correct and therefore
-    /// still certify a valid bound.
-    [[nodiscard]] static Rat from_double_quantized(double v, int frac_bits = 40);
-
-    [[nodiscard]] Rat operator-() const;
-    [[nodiscard]] Rat operator+(const Rat& o) const;
-    [[nodiscard]] Rat operator-(const Rat& o) const;
-    [[nodiscard]] Rat operator*(const Rat& o) const;
-    Rat& operator+=(const Rat& o) { return *this = *this + o; }
-    Rat& operator-=(const Rat& o) { return *this = *this - o; }
-
-    /// Three-way exact comparison: -1, 0, or 1.
-    [[nodiscard]] int cmp(const Rat& o) const;
-    [[nodiscard]] bool operator==(const Rat& o) const { return cmp(o) == 0; }
-    [[nodiscard]] bool operator!=(const Rat& o) const { return cmp(o) != 0; }
-    [[nodiscard]] bool operator<(const Rat& o) const { return cmp(o) < 0; }
-    [[nodiscard]] bool operator<=(const Rat& o) const { return cmp(o) <= 0; }
-    [[nodiscard]] bool operator>(const Rat& o) const { return cmp(o) > 0; }
-    [[nodiscard]] bool operator>=(const Rat& o) const { return cmp(o) >= 0; }
-
-    [[nodiscard]] bool is_zero() const noexcept { return num_ == 0; }
-    [[nodiscard]] bool negative() const noexcept { return num_ < 0; }
-    [[nodiscard]] bool positive() const noexcept { return num_ > 0; }
-    [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
-    [[nodiscard]] Rat abs() const { return negative() ? -*this : *this; }
-
-    /// Nearest-double rendering (reporting only — never fed back into checks).
-    [[nodiscard]] double to_double() const;
-    /// "num/den" (or just "num" for integers).
-    [[nodiscard]] std::string to_string() const;
-
-private:
-    __int128 num_ = 0;
-    __int128 den_ = 1;
-
-    void normalize();
-};
+using support::Rat;
 
 }  // namespace p4all::audit

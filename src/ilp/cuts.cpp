@@ -1,0 +1,318 @@
+#include "ilp/cuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace p4all::ilp {
+
+namespace {
+
+using support::Rat;
+
+/// Coefficient magnitudes above this no longer convert exactly through
+/// double (2^50 leaves headroom under the 53-bit mantissa); a cut that
+/// needs them is abandoned rather than rounded.
+const Rat kCoeffCap(std::int64_t{1} << 50);
+
+/// Uniform view over the extended row space: model rows, then prior cuts
+/// (always Le with constant-free expressions).
+struct RowView {
+    const LinExpr* expr = nullptr;
+    CmpSense sense = CmpSense::Le;
+    double rhs = 0.0;
+};
+
+RowView row_at(const Model& model, const std::vector<CertifiedCut>& prior, int r) {
+    if (r < model.num_constraints()) {
+        const Constraint& c = model.constraints()[static_cast<std::size_t>(r)];
+        return {&c.expr, c.sense, c.rhs};
+    }
+    const CertifiedCut& c = prior[static_cast<std::size_t>(r - model.num_constraints())];
+    return {&c.expr, CmpSense::Le, c.rhs};
+}
+
+/// Exact right-hand side of a row with its expression constant folded in.
+Rat row_rhs(const RowView& row) {
+    return Rat::from_double(row.rhs) - Rat::from_double(row.expr->constant());
+}
+
+/// True when the row's slack is integral at every integer point: integer
+/// coefficients and rhs over integer-typed variables. Only such rows admit
+/// the mod-1 multiplier reduction of the Gomory derivation.
+bool row_is_integral(const Model& model, const RowView& row) {
+    if (!row_rhs(row).is_integer()) return false;
+    for (const auto& [id, a] : row.expr->terms()) {
+        if (model.var_type(id) == VarType::Continuous) return false;
+        if (!Rat::from_double(a).is_integer()) return false;
+    }
+    return true;
+}
+
+/// Canonical (sorted) term list for duplicate detection.
+std::vector<std::pair<int, double>> sorted_terms(const LinExpr& e) {
+    std::vector<std::pair<int, double>> t = e.terms();
+    std::sort(t.begin(), t.end());
+    return t;
+}
+
+bool same_cut(const CertifiedCut& a, const CertifiedCut& b) {
+    return a.rhs == b.rhs && sorted_terms(a.expr) == sorted_terms(b.expr);
+}
+
+bool is_duplicate(const CertifiedCut& cut, const std::vector<CertifiedCut>& prior,
+                  const std::vector<CertifiedCut>& round) {
+    for (const CertifiedCut& p : prior) {
+        if (same_cut(cut, p)) return true;
+    }
+    for (const CertifiedCut& p : round) {
+        if (same_cut(cut, p)) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::optional<CertifiedCut> build_gomory_cut(const Model& model,
+                                             const std::vector<CertifiedCut>& prior,
+                                             const std::vector<double>& mult,
+                                             const std::vector<double>& point,
+                                             double min_violation) {
+    const int nrows = model.num_constraints() + static_cast<int>(prior.size());
+    if (static_cast<int>(mult.size()) != nrows) return std::nullopt;
+    try {
+        // 1. Quantize and sign-fix the multiplier suggestions. Legal signs:
+        // ≥ 0 on Le rows, ≤ 0 on Ge rows, free on Eq rows. Integral rows
+        // additionally admit the mod-1 reduction (shifting a multiplier by
+        // an integer changes the aggregation by an integer combination,
+        // which the final flooring absorbs) — that is both how a
+        // wrong-signed tableau multiplier becomes legal and how magnitudes
+        // stay small; non-integral rows with illegal sign are dropped.
+        std::vector<std::pair<int, Rat>> lam;
+        for (int r = 0; r < nrows; ++r) {
+            const double u = mult[static_cast<std::size_t>(r)];
+            if (std::abs(u) < 1e-9 || std::abs(u) > 1e8 || !std::isfinite(u)) continue;
+            Rat l = Rat::from_double_quantized(u, 40);
+            if (l.is_zero()) continue;
+            const RowView row = row_at(model, prior, r);
+            if (row_is_integral(model, row)) {
+                switch (row.sense) {
+                    case CmpSense::Le: l = l.frac(); break;                  // → [0, 1)
+                    case CmpSense::Ge: l = l + (-l).floor(); break;          // → (−1, 0]
+                    case CmpSense::Eq: l = l.frac(); break;                  // magnitude only
+                }
+            } else if ((row.sense == CmpSense::Le && l.negative()) ||
+                       (row.sense == CmpSense::Ge && l.positive())) {
+                continue;  // illegal sign, no legal reduction
+            }
+            if (!l.is_zero()) lam.emplace_back(r, l);
+        }
+        if (lam.empty()) return std::nullopt;
+
+        // 2. Exact aggregation d·x ≤ d0 (valid for every feasible point).
+        std::vector<Rat> d(static_cast<std::size_t>(model.num_vars()));
+        Rat d0;
+        for (const auto& [r, l] : lam) {
+            const RowView row = row_at(model, prior, r);
+            for (const auto& [id, a] : row.expr->terms()) {
+                d[static_cast<std::size_t>(id)] += l * Rat::from_double(a);
+            }
+            d0 += l * row_rhs(row);
+        }
+
+        // 3. Per-variable treatment. Integer-typed variables keep an integer
+        // coefficient via the CG step, rounded in whichever direction loses
+        // the least violation at the separation point: flooring (sound when
+        // x_j ≥ 0) costs f_j·x*_j, ceiling — complementing through a finite
+        // upper bound with multiplier ⌈d_j⌉ − d_j — costs (1−f_j)(ub − x*_j).
+        // Without the ceiling option every nonbasic variable resting at a
+        // large upper bound buries the cut in slack. Continuous variables
+        // (and integers with neither rounding legal) are eliminated through
+        // a finite bound; an infinite needed bound abandons the cut.
+        LinExpr g;
+        Rat g0 = d0;
+        std::vector<CutCertificate::BoundMult> bounds;
+        for (int j = 0; j < model.num_vars(); ++j) {
+            const Rat& dj = d[static_cast<std::size_t>(j)];
+            if (dj.is_zero()) continue;
+            const double lbj = model.lower_bound(j);
+            const double ubj = model.upper_bound(j);
+            if (model.var_type(j) != VarType::Continuous && dj.is_integer()) {
+                // Exact integer coefficient: g_j = D_j needs no rounding and
+                // no sign condition on the variable.
+                if (dj.abs() > kCoeffCap) return std::nullopt;
+                g.add(Var{j}, dj.to_double());
+                continue;
+            }
+            const bool can_floor =
+                model.var_type(j) != VarType::Continuous && lbj >= 0.0;
+            const bool can_ceil =
+                model.var_type(j) != VarType::Continuous && ubj != kInfinity;
+            if (can_floor || can_ceil) {
+                const double xj = point[static_cast<std::size_t>(j)];
+                const double f = (dj - dj.floor()).to_double();
+                const double loss_floor = can_floor ? f * xj : kInfinity;
+                const double loss_ceil = can_ceil ? (1.0 - f) * (ubj - xj) : kInfinity;
+                if (loss_floor <= loss_ceil) {
+                    const Rat gj = dj.floor();
+                    if (gj.abs() > kCoeffCap) return std::nullopt;
+                    if (!gj.is_zero()) g.add(Var{j}, gj.to_double());
+                } else {
+                    const Rat gj = dj.floor() + Rat(std::int64_t{1});
+                    if (gj.abs() > kCoeffCap) return std::nullopt;
+                    const Rat w = gj - dj;  // ∈ (0, 1): multiplier on x_j ≤ ub_j
+                    bounds.push_back({j, true, w});
+                    g0 += w * Rat::from_double(ubj);
+                    if (!gj.is_zero()) g.add(Var{j}, gj.to_double());
+                }
+            } else if (dj.positive()) {
+                const double lb = model.lower_bound(j);
+                if (lb == -kInfinity) return std::nullopt;
+                bounds.push_back({j, false, dj});
+                g0 -= dj * Rat::from_double(lb);
+            } else {
+                const double ub = model.upper_bound(j);
+                if (ub == kInfinity) return std::nullopt;
+                bounds.push_back({j, true, -dj});
+                g0 += (-dj) * Rat::from_double(ub);
+            }
+        }
+        // Every kept coefficient is an integer on an integer-typed
+        // variable, so the left side is integral at integer points and the
+        // rhs may be floored.
+        g0 = g0.floor();
+        if (g0.abs() > kCoeffCap) return std::nullopt;
+        g.normalize();
+        if (g.terms().empty()) return std::nullopt;
+
+        // 4. Only violated cuts are worth pooling.
+        const double violation = g.evaluate(point) - g0.to_double();
+        if (!(violation >= min_violation)) return std::nullopt;
+
+        CertifiedCut cut;
+        cut.expr = std::move(g);
+        cut.rhs = g0.to_double();
+        cut.cert.kind = CutCertificate::Kind::Gomory;
+        cut.cert.row_mult = std::move(lam);
+        cut.cert.bound_mult = std::move(bounds);
+        return cut;
+    } catch (const support::CompileError&) {
+        return std::nullopt;  // rational overflow: abandon, never round
+    }
+}
+
+std::optional<CertifiedCut> build_cover_cut(const Model& model,
+                                            const std::vector<CertifiedCut>& prior, int row,
+                                            const std::vector<double>& point,
+                                            double min_violation) {
+    const int nrows = model.num_constraints() + static_cast<int>(prior.size());
+    if (row < 0 || row >= nrows) return std::nullopt;
+    const RowView rv = row_at(model, prior, row);
+    if (rv.sense != CmpSense::Le) return std::nullopt;
+    try {
+        // Qualification: all per-variable coefficients ≥ 0 and all
+        // participating variables ≥ 0, so that forcing the cover to all-ones
+        // bounds the row activity from below. Duplicate terms are summed
+        // exactly first — the audit-side re-derivation aggregates the same
+        // way, so builder and verifier always agree.
+        std::map<int, Rat> coeff;
+        for (const auto& [id, a] : rv.expr->terms()) coeff[id] += Rat::from_double(a);
+        std::vector<int> binaries;
+        for (const auto& [id, a] : coeff) {
+            if (a.negative() || model.lower_bound(id) < 0.0) return std::nullopt;
+            const bool binary = model.var_type(id) != VarType::Continuous &&
+                                model.upper_bound(id) <= 1.0 && a.positive();
+            if (binary) binaries.push_back(id);
+        }
+        if (binaries.size() < 2) return std::nullopt;
+
+        // Greedy cover: take binaries by descending LP value (index
+        // ascending on ties — determinism) until the exact coefficient sum
+        // exceeds the rhs.
+        std::sort(binaries.begin(), binaries.end(), [&](int a, int b) {
+            const double xa = point[static_cast<std::size_t>(a)];
+            const double xb = point[static_cast<std::size_t>(b)];
+            if (xa != xb) return xa > xb;
+            return a < b;
+        });
+        const Rat b = row_rhs(rv);
+        Rat acc;
+        std::vector<int> cover;
+        for (const int id : binaries) {
+            cover.push_back(id);
+            acc += coeff.at(id);
+            if (acc > b) break;
+        }
+        if (!(acc > b)) return std::nullopt;  // row admits the all-ones cover point
+
+        double lhs = 0.0;
+        for (const int id : cover) lhs += point[static_cast<std::size_t>(id)];
+        const double rhs = static_cast<double>(cover.size()) - 1.0;
+        if (!(lhs - rhs >= min_violation)) return std::nullopt;
+
+        std::sort(cover.begin(), cover.end());
+        CertifiedCut cut;
+        for (const int id : cover) cut.expr.add(Var{id}, 1.0);
+        cut.rhs = rhs;
+        cut.cert.kind = CutCertificate::Kind::Cover;
+        cut.cert.cover_row = row;
+        cut.cert.cover_vars = std::move(cover);
+        return cut;
+    } catch (const support::CompileError&) {
+        return std::nullopt;
+    }
+}
+
+std::vector<CertifiedCut> separate_cuts(const Model& model,
+                                        const std::vector<CertifiedCut>& prior,
+                                        const std::vector<double>& point,
+                                        const std::vector<TableauRow>& probe,
+                                        const CutLimits& limits, int total_so_far) {
+    std::vector<CertifiedCut> out;
+    const int budget = std::min(limits.max_per_round, limits.max_total - total_so_far);
+    if (budget <= 0) return out;
+
+    // Gomory cuts first (probe order == basis row order: deterministic).
+    // Each probe row yields up to two candidates: the raw tableau
+    // multipliers, and — when those fail or are unviolated — the same
+    // multipliers projected onto the integral rows only. Dropping the
+    // non-integral multipliers removes every continuous variable from the
+    // aggregation, so no bound-elimination slack is paid for them; on
+    // placement models whose tableaus mix big-M rows with combinatorial
+    // ones, the projection is often the only violated variant.
+    for (const TableauRow& tr : probe) {
+        if (static_cast<int>(out.size()) >= budget) break;
+        auto cut = build_gomory_cut(model, prior, tr.mult, point, limits.min_violation);
+        if (!cut) {
+            std::vector<double> proj = tr.mult;
+            bool changed = false;
+            for (int r = 0; r < static_cast<int>(proj.size()); ++r) {
+                if (proj[static_cast<std::size_t>(r)] == 0.0) continue;
+                if (!row_is_integral(model, row_at(model, prior, r))) {
+                    proj[static_cast<std::size_t>(r)] = 0.0;
+                    changed = true;
+                }
+            }
+            if (changed) {
+                cut = build_gomory_cut(model, prior, proj, point, limits.min_violation);
+            }
+        }
+        if (!cut || is_duplicate(*cut, prior, out)) continue;
+        cut->name = "gomory(" + model.var_name(tr.var) + ")";
+        out.push_back(std::move(*cut));
+    }
+    // Cover cuts from qualifying original rows.
+    for (int r = 0; r < model.num_constraints(); ++r) {
+        if (static_cast<int>(out.size()) >= budget) break;
+        auto cut = build_cover_cut(model, prior, r, point, limits.min_violation);
+        if (!cut || is_duplicate(*cut, prior, out)) continue;
+        const std::string& rn = model.constraints()[static_cast<std::size_t>(r)].name;
+        cut->name = "cover(" + (rn.empty() ? "row" + std::to_string(r) : rn) + ")";
+        out.push_back(std::move(*cut));
+    }
+    return out;
+}
+
+}  // namespace p4all::ilp

@@ -1,0 +1,172 @@
+#include "ilp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4all::ilp {
+
+namespace {
+
+/// Safety slack on continuous tightenings so floating-point inference never
+/// shaves a genuinely feasible point.
+constexpr double kSlack = 1e-9;
+/// Integrality tolerance for rounding integer bounds inward (matches the
+/// solver's default int_tol).
+constexpr double kIntTol = 1e-6;
+
+struct NormRow {
+    // Row normalized to Σ a_j x_j ≤ b form (Ge negated; Eq contributes one
+    // of each).
+    const std::vector<std::pair<int, double>>* terms;
+    double sign;  // +1 as-written, −1 negated
+    double b;
+};
+
+/// One tightening sweep over a normalized Le row. Returns the number of
+/// bounds changed, or −1 when the row proves infeasibility.
+int tighten_row(const Model& model, const NormRow& row, std::vector<double>& lb,
+                std::vector<double>& ub) {
+    // Minimum activity L = Σ_j min(a_j·lb_j, a_j·ub_j), tracking how many
+    // terms contribute −∞: with none, every variable can be tightened; with
+    // exactly one, only the variable owning it.
+    double finite_min = 0.0;
+    int inf_count = 0;
+    int inf_var = -1;
+    for (const auto& [id, c] : *row.terms) {
+        const double a = row.sign * c;
+        if (a == 0.0) continue;
+        const std::size_t js = static_cast<std::size_t>(id);
+        const double contrib = a > 0.0 ? a * lb[js] : a * ub[js];
+        if (contrib == -kInfinity) {
+            ++inf_count;
+            inf_var = id;
+        } else {
+            finite_min += contrib;
+        }
+    }
+    if (inf_count == 0 && finite_min > row.b + 1e-7) return -1;  // unreachable rhs
+    if (inf_count > 1) return 0;
+
+    int changed = 0;
+    for (const auto& [id, c] : *row.terms) {
+        const double a = row.sign * c;
+        if (a == 0.0) continue;
+        if (inf_count == 1 && id != inf_var) continue;
+        const std::size_t js = static_cast<std::size_t>(id);
+        const double own = a > 0.0 ? a * lb[js] : a * ub[js];
+        const double rest = inf_count == 1 ? finite_min : finite_min - own;
+        if (rest == -kInfinity || !std::isfinite(rest)) continue;
+        const bool integral = model.var_type(id) != VarType::Continuous;
+        if (a > 0.0) {
+            double new_ub = (row.b - rest) / a + kSlack;
+            if (integral) new_ub = std::floor(new_ub + kIntTol);
+            if (new_ub < ub[js] - 1e-9) {
+                ub[js] = new_ub;
+                ++changed;
+            }
+        } else {
+            double new_lb = (row.b - rest) / a - kSlack;
+            if (integral) new_lb = std::ceil(new_lb - kIntTol);
+            if (new_lb > lb[js] + 1e-9) {
+                lb[js] = new_lb;
+                ++changed;
+            }
+        }
+    }
+    return changed;
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& model, int max_passes) {
+    PresolveResult out;
+    const int n = model.num_vars();
+    out.lb.resize(static_cast<std::size_t>(n));
+    out.ub.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+        out.lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
+        out.ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
+        // Integer model bounds may arrive fractional; round them inward once.
+        if (model.var_type(j) != VarType::Continuous) {
+            const std::size_t js = static_cast<std::size_t>(j);
+            if (std::isfinite(out.lb[js])) out.lb[js] = std::ceil(out.lb[js] - kIntTol);
+            if (std::isfinite(out.ub[js])) out.ub[js] = std::floor(out.ub[js] + kIntTol);
+        }
+    }
+
+    std::vector<NormRow> rows;
+    rows.reserve(model.constraints().size() * 2);
+    for (const Constraint& c : model.constraints()) {
+        const double b = c.rhs - c.expr.constant();
+        if (c.sense == CmpSense::Le || c.sense == CmpSense::Eq) {
+            rows.push_back({&c.expr.terms(), 1.0, b});
+        }
+        if (c.sense == CmpSense::Ge || c.sense == CmpSense::Eq) {
+            rows.push_back({&c.expr.terms(), -1.0, -b});
+        }
+    }
+
+    for (int pass = 0; pass < max_passes; ++pass) {
+        int changed = 0;
+        for (const NormRow& row : rows) {
+            const int c = tighten_row(model, row, out.lb, out.ub);
+            if (c < 0) {
+                out.infeasible = true;
+                out.infeasible_reason = "presolve: row minimum activity exceeds rhs";
+                return out;
+            }
+            changed += c;
+        }
+        out.bounds_tightened += changed;
+        for (int j = 0; j < n; ++j) {
+            const std::size_t js = static_cast<std::size_t>(j);
+            if (out.ub[js] - out.lb[js] < -1e-7) {
+                out.infeasible = true;
+                out.infeasible_reason =
+                    "presolve: bounds crossed for variable '" + model.var_name(j) + "'";
+                return out;
+            }
+            // A tolerance-sized inversion is an empty-looking interval from
+            // rounding; snap it closed instead of carrying lb > ub into the
+            // LP (which treats it as an error).
+            if (out.ub[js] < out.lb[js]) out.ub[js] = out.lb[js];
+        }
+        if (changed == 0) break;
+    }
+
+    // Coefficient cleanup: purely structural normalization (merge duplicate
+    // terms, drop exact zeros). Only rebuild the model when something
+    // actually changed — the common case is a no-op with no copy.
+    int dirty_rows = 0;
+    for (const Constraint& c : model.constraints()) {
+        LinExpr e = c.expr;
+        e.normalize();
+        if (e.terms() != c.expr.terms()) {
+            out.coefficients_cleaned +=
+                static_cast<int>(c.expr.terms().size()) - static_cast<int>(e.terms().size());
+            ++dirty_rows;
+        }
+    }
+    if (dirty_rows > 0) {
+        Model m;
+        for (int j = 0; j < n; ++j) {
+            const Var v = m.add_var(model.var_name(j), model.var_type(j), model.lower_bound(j),
+                                    model.upper_bound(j));
+            m.set_branch_priority(v, model.branch_priority(j));
+        }
+        for (const Constraint& c : model.constraints()) {
+            LinExpr e = c.expr;
+            e.normalize();
+            switch (c.sense) {
+                case CmpSense::Le: m.add_le(std::move(e), c.rhs, c.name); break;
+                case CmpSense::Ge: m.add_ge(std::move(e), c.rhs, c.name); break;
+                case CmpSense::Eq: m.add_eq(std::move(e), c.rhs, c.name); break;
+            }
+        }
+        m.set_objective(model.objective());
+        out.cleaned = std::move(m);
+    }
+    return out;
+}
+
+}  // namespace p4all::ilp

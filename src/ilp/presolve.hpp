@@ -1,0 +1,44 @@
+// Root presolve: activity-based bound tightening + coefficient cleanup.
+//
+// Runs once before branch-and-bound. Bound tightening is exact inference —
+// for each row, the minimum activity of the other terms bounds what any one
+// variable can contribute — so no feasible point (integer or continuous) is
+// ever removed; integer bounds are additionally rounded inward. The result
+// is expressed as tightened *root bounds* rather than a mutated model, so
+// audit certificates keep referring to the original rows and bounds.
+// Coefficient cleanup is limited to semantically-neutral normalization
+// (merging duplicate terms, dropping exact zeros); anything lossier would
+// break the solver's "incumbents are feasible for the original model"
+// contract.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace p4all::ilp {
+
+struct PresolveResult {
+    /// Tightened root bounds, indexed by variable id. Always valid (equal
+    /// to the model bounds where nothing tightened).
+    std::vector<double> lb;
+    std::vector<double> ub;
+    /// Bound inference crossed (lb > ub) or a row cannot reach its rhs:
+    /// the model is integer-infeasible before any search.
+    bool infeasible = false;
+    std::string infeasible_reason;
+    int bounds_tightened = 0;
+    /// Set only when cleanup changed anything: a row-for-row copy of the
+    /// model with normalized constraint expressions (same row count/order,
+    /// so dual indexing is preserved).
+    std::optional<Model> cleaned;
+    int coefficients_cleaned = 0;
+};
+
+/// Runs up to `max_passes` sweeps of bound tightening (fixpoint usually in
+/// 1–2 passes on placement models) plus one normalization sweep.
+[[nodiscard]] PresolveResult presolve(const Model& model, int max_passes = 4);
+
+}  // namespace p4all::ilp

@@ -39,42 +39,71 @@ public:
     LpResult solve() {
         LpResult result;
         if (!build(result)) return result;  // folded-bound contradiction ⇒ Infeasible
-        if (!recompute_state()) {
-            result.status = LpStatus::IterLimit;
-            result.error = support::Errc::NumericalTrouble;
-            return result;
+
+        // Warm route: import the caller's basis and let the dual simplex
+        // repair primal feasibility. Any failure along the way (stale shape,
+        // singular basis, dual infeasibility, numerical trouble) falls back
+        // to the cold two-phase path below — the warm start changes the
+        // route, never the destination.
+        bool warmed = false;
+        if (options_.warm_basis != nullptr && !options_.warm_basis->empty()) {
+            const int w = try_warm_start(result);
+            if (w == 2) return result;  // terminal (deadline / infeasible)
+            warmed = w == 1;
         }
-        if (num_artificial_ > 0) {
-            load_phase1_costs();
-            const LpStatus st = iterate(result.iterations, /*phase1=*/true);
-            if (st == LpStatus::IterLimit) {
-                result.status = st;
-                result.deadline_hit = deadline_hit_;
-                result.error = error_;
+        if (!warmed) {
+            if (!cold_reset()) {
+                result.status = LpStatus::IterLimit;
+                result.error = support::Errc::NumericalTrouble;
                 return result;
             }
-            double artificial_sum = 0.0;
-            for (int i = 0; i < m_; ++i) {
-                if (basis_[static_cast<std::size_t>(i)] >= artificial_start_) {
-                    artificial_sum += std::abs(xb_[static_cast<std::size_t>(i)]);
+            if (num_artificial_ > 0) {
+                load_phase1_costs();
+                const LpStatus st = iterate(result.iterations, /*phase1=*/true);
+                if (st == LpStatus::IterLimit) {
+                    result.status = st;
+                    result.deadline_hit = deadline_hit_;
+                    result.error = error_;
+                    return result;
                 }
-            }
-            if (st == LpStatus::Infeasible || artificial_sum > 1e-6) {
-                result.status = LpStatus::Infeasible;
-                return result;
+                double artificial_sum = 0.0;
+                for (int i = 0; i < m_; ++i) {
+                    if (basis_[static_cast<std::size_t>(i)] >= artificial_start_) {
+                        artificial_sum += std::abs(xb_[static_cast<std::size_t>(i)]);
+                    }
+                }
+                if (st == LpStatus::Infeasible || artificial_sum > 1e-6) {
+                    result.status = LpStatus::Infeasible;
+                    return result;
+                }
             }
             // Pin artificials to zero for phase 2.
             for (int j = artificial_start_; j < cols_; ++j) {
                 span_[static_cast<std::size_t>(j)] = 0.0;
             }
+            load_phase2_costs();
         }
-        load_phase2_costs();
+        // The warm route arrives here primal-feasible with phase-2 costs
+        // already loaded, so this primal pass is a pure optimality
+        // confirmation (returns immediately) or mops up residual dual
+        // infeasibility within tolerance.
         const LpStatus st = iterate(result.iterations, /*phase1=*/false);
         result.status = st;
         if (st != LpStatus::Optimal) {
             result.deadline_hit = deadline_hit_;
             result.error = error_;
             return result;
+        }
+        if (options_.capture_basis != nullptr) {
+            options_.capture_basis->basic = basis_;
+            options_.capture_basis->artificial_start = artificial_start_;
+            options_.capture_basis->at_upper.assign(static_cast<std::size_t>(cols_), 0);
+            for (int j = 0; j < cols_; ++j) {
+                const std::size_t js = static_cast<std::size_t>(j);
+                if (!in_basis_[js] && at_upper_[js]) {
+                    options_.capture_basis->at_upper[js] = 1;
+                }
+            }
         }
 
         // Dual extraction via BTRAN: y solves Bᵀy = c_B, so the reduced cost
@@ -115,6 +144,7 @@ public:
         result.objective = model_.objective().evaluate(result.values);
         result.bound_slack = bound_slack_;
         result.bound = result.objective + bound_slack_;
+        if (options_.gomory_probe != nullptr) fill_gomory_probe(result);
         return result;
     }
 
@@ -209,7 +239,15 @@ private:
             if (r.eq || r.negated) ++num_artificial_;
         }
         artificial_start_ = n_ + num_slack;
-        cols_ = artificial_start_ + num_artificial_;
+        // Every row owns an artificial column (row i ↔ artificial_start_+i),
+        // whether or not it needs one initially. Which rows need an
+        // artificial depends on the rhs sign after the lb shift — a
+        // bounds-DEPENDENT property — so a per-need layout would shift
+        // column identities between a branch-and-bound parent and child and
+        // make warm bases untransferable. With the fixed layout the standard
+        // form's column space is a pure function of the model; unused
+        // artificials are pinned nonbasic at zero and never priced.
+        cols_ = artificial_start_ + m_;
 
         span_.assign(static_cast<std::size_t>(cols_), kInfinity);
         at_upper_.assign(static_cast<std::size_t>(cols_), false);
@@ -220,6 +258,7 @@ private:
         aux_coeff_.assign(static_cast<std::size_t>(m_), 1.0);
         aux_col_.assign(static_cast<std::size_t>(m_), -1);
         dual_sign_.assign(static_cast<std::size_t>(m_), 1);
+        row_orient_.assign(static_cast<std::size_t>(m_), 1);
         orig_row_.assign(static_cast<std::size_t>(m_), 0);
         cost_.assign(static_cast<std::size_t>(cols_), 0.0);
 
@@ -232,7 +271,6 @@ private:
 
         std::vector<CscMatrix::Triplet> triplets;
         int next_slack = n_;
-        int next_artificial = artificial_start_;
         for (int i = 0; i < m_; ++i) {
             const Row& r = rows[static_cast<std::size_t>(i)];
             for (const auto& [id, c] : r.terms) {
@@ -240,6 +278,9 @@ private:
             }
             rhs_[static_cast<std::size_t>(i)] = r.rhs;
             orig_row_[static_cast<std::size_t>(i)] = r.orig;
+            row_orient_[static_cast<std::size_t>(i)] = r.sense_sign * (r.negated ? -1 : 1);
+            const int artificial = artificial_start_ + i;
+            triplets.push_back({i, artificial, 1.0});
             int basic = -1;
             const int sigma_row = r.sense_sign * (r.negated ? -1 : 1);
             if (!r.eq) {
@@ -252,19 +293,42 @@ private:
                 ++next_slack;
             }
             if (basic < 0) {
-                triplets.push_back({i, next_artificial, 1.0});
                 if (r.eq) {
-                    aux_col_[static_cast<std::size_t>(i)] = next_artificial;
+                    aux_col_[static_cast<std::size_t>(i)] = artificial;
                     aux_coeff_[static_cast<std::size_t>(i)] = 1.0;
                     dual_sign_[static_cast<std::size_t>(i)] = sigma_row;
                 }
-                basic = next_artificial++;
+                basic = artificial;
+            } else {
+                // Artificial not needed for the initial basis: permanently
+                // fixed at zero so it never participates.
+                span_[static_cast<std::size_t>(artificial)] = 0.0;
             }
             basis_[static_cast<std::size_t>(i)] = basic;
             in_basis_[static_cast<std::size_t>(basic)] = true;
         }
         A_ = CscMatrix::from_triplets(m_, cols_, std::move(triplets));
+        // Pristine-state snapshot so a failed warm start can restart the
+        // classic two-phase route from scratch.
+        init_basis_ = basis_;
+        init_span_ = span_;
         return true;
+    }
+
+    /// Restores the post-build state (initial slack/artificial basis, all
+    /// columns at lower bound) and refactorizes. Used both by the cold path
+    /// proper and to rewind a failed warm-start attempt.
+    bool cold_reset() {
+        basis_ = init_basis_;
+        span_ = init_span_;
+        std::fill(at_upper_.begin(), at_upper_.end(), false);
+        std::fill(in_basis_.begin(), in_basis_.end(), false);
+        for (int i = 0; i < m_; ++i) {
+            in_basis_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = true;
+        }
+        deadline_hit_ = false;
+        error_ = support::Errc::None;
+        return recompute_state();
     }
 
     /// Folds a 0- or 1-term constraint into the working bounds. Returns
@@ -331,21 +395,373 @@ private:
         }
         // Deterministic cost perturbation, same formula as the dense solver
         // (simplex.cpp) so the exactly-accounted bound budget is identical.
+        // When the caller supplies frozen reference bounds, the magnitude is
+        // derived from the reference span instead of the per-call span: the
+        // perturbed cost vector is then constant across a whole
+        // branch-and-bound tree, which is what keeps a parent's optimal
+        // basis dual-feasible in its children. The slack accounting still
+        // uses the per-call span (≤ reference span under branching), so the
+        // certified bound stays exact at every node.
         bound_slack_ = 0.0;
         if (options_.perturbation > 0.0) {
+            const bool has_ref =
+                options_.perturb_ref_lb != nullptr && options_.perturb_ref_ub != nullptr;
             for (int j = 0; j < n_; ++j) {
                 const std::size_t js = static_cast<std::size_t>(j);
-                if (span_[js] == kInfinity || span_[js] <= 0.0) continue;
+                double ref_span = span_[js];
+                if (has_ref) {
+                    const double d = (*options_.perturb_ref_ub)[js] - (*options_.perturb_ref_lb)[js];
+                    ref_span = d == kInfinity ? kInfinity : std::max(d, 0.0) / col_scale_[js];
+                }
+                if (ref_span == kInfinity || ref_span <= 0.0) continue;
                 std::uint64_t state =
                     (0x9E3779B97F4A7C15ULL +
                      options_.perturb_seed * 0xD1342543DE82EF95ULL) ^
                     (static_cast<std::uint64_t>(j) << 17);
                 const double xi =
                     0.5 + 0.5 * static_cast<double>(support::splitmix64(state) >> 11) * 0x1.0p-53;
-                const double eps = options_.perturbation * xi / span_[js];
+                const double eps = options_.perturbation * xi / ref_span;
                 cost_[js] += eps;
-                bound_slack_ += eps * span_[js];
+                const double slack_span = span_[js] == kInfinity ? ref_span : span_[js];
+                bound_slack_ += eps * slack_span;
             }
+        }
+    }
+
+    /// Attempts the warm-start route: install the imported basis, verify it
+    /// is dual-feasible under the (frozen) phase-2 costs, and run the dual
+    /// simplex to restore primal feasibility. Returns 0 to fall back to the
+    /// cold two-phase path, 1 when the state is primal-feasible and ready
+    /// for the final primal confirmation, 2 when `result` already holds a
+    /// terminal answer (deadline expiry or proven infeasibility).
+    int try_warm_start(LpResult& result) {
+        const SimplexBasis& wb = *options_.warm_basis;
+        const int wm = static_cast<int>(wb.basic.size());
+        const int wcols = static_cast<int>(wb.at_upper.size());
+        const bool exact = wm == m_ && wcols == cols_;
+        // Row-append extension (the root cut loop): the imported basis came
+        // from this same standard form minus some trailing rows. Structural
+        // and slack indices are stable under row appends; the artificial
+        // block shifts as a whole. Each appended row enters the basis
+        // through its own auxiliary column — dual-feasible for free (the new
+        // row's dual value is zero, so no reduced cost moves) — and whatever
+        // primal violation the new rows carry is exactly what the dual
+        // simplex repairs.
+        const bool extend = !exact && wb.artificial_start > 0 && wm < m_ &&
+                            wcols == wb.artificial_start + wm &&
+                            wb.artificial_start <= artificial_start_;
+        if (!exact && !extend) {
+            return 0;  // stale shape: basis from a different model
+        }
+        const auto remap = [&](int j) {
+            return !extend || j < wb.artificial_start
+                       ? j
+                       : artificial_start_ + (j - wb.artificial_start);
+        };
+        std::fill(in_basis_.begin(), in_basis_.end(), false);
+        for (int i = 0; i < m_; ++i) {
+            int j;
+            if (i < wm) {
+                j = wb.basic[static_cast<std::size_t>(i)];
+                if (j < 0 || j >= wcols) return 0;
+                j = remap(j);
+            } else {
+                j = aux_col_[static_cast<std::size_t>(i)];
+            }
+            if (j < 0 || j >= cols_ || in_basis_[static_cast<std::size_t>(j)]) {
+                return 0;  // malformed basis (out of range / duplicate)
+            }
+            basis_[static_cast<std::size_t>(i)] = j;
+            in_basis_[static_cast<std::size_t>(j)] = true;
+        }
+        std::fill(at_upper_.begin(), at_upper_.end(), false);
+        for (int j = 0; j < wcols; ++j) {
+            const std::size_t ts = static_cast<std::size_t>(remap(j));
+            at_upper_[ts] = wb.at_upper[static_cast<std::size_t>(j)] != 0 && !in_basis_[ts] &&
+                            span_[ts] != kInfinity;
+        }
+        // Artificials are fixed at zero throughout the warm route: a basic
+        // artificial left over from a degenerate parent pivot is allowed,
+        // and if the child's rhs shift gives it a nonzero value the dual
+        // simplex drives it out like any other bound violation.
+        for (int j = artificial_start_; j < cols_; ++j) {
+            span_[static_cast<std::size_t>(j)] = 0.0;
+        }
+        if (!recompute_state()) return 0;
+        load_phase2_costs();
+
+        // Dual feasibility check: the parent's optimal basis under the same
+        // frozen cost vector must price out clean; anything beyond rounding
+        // noise means the import assumption broke, so take the cold route.
+        {
+            std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+            for (int i = 0; i < m_; ++i) {
+                y[static_cast<std::size_t>(i)] =
+                    cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+            }
+            factor_.btran(y);
+            constexpr double kDualTol = 1e-7;
+            for (int j = 0; j < artificial_start_; ++j) {
+                const std::size_t js = static_cast<std::size_t>(j);
+                if (in_basis_[js] || span_[js] <= options_.tol) continue;
+                const double r = cost_[js] - A_.dot_col(j, y);
+                if ((!at_upper_[js] && r < -kDualTol) || (at_upper_[js] && r > kDualTol)) {
+                    return 0;
+                }
+            }
+        }
+
+        const LpStatus st = iterate_dual(result.iterations);
+        if (st == LpStatus::Optimal) return 1;  // primal feasibility restored
+        if (st == LpStatus::Infeasible) {
+            result.status = LpStatus::Infeasible;
+            return 2;
+        }
+        if (st == LpStatus::IterLimit && deadline_hit_) {
+            result.status = st;
+            result.deadline_hit = true;
+            result.error = error_;
+            return 2;
+        }
+        // Iteration budget or numerical trouble: deterministic cold fallback.
+        deadline_hit_ = false;
+        error_ = support::Errc::None;
+        return 0;
+    }
+
+    /// Bounded-variable dual simplex. Precondition: the current basis is
+    /// dual-feasible under `cost_`. Repairs primal feasibility while
+    /// maintaining dual feasibility; each pivot weakly increases the
+    /// minimize-form objective (equivalently, the certified upper bound on
+    /// the true maximum never increases). Returns Optimal when every basic
+    /// value is within its bounds, Infeasible when a violated row has no
+    /// eligible entering column (dual ray ⇒ primal empty), IterLimit on
+    /// budget/deadline/numerical trouble (caller falls back cold).
+    LpStatus iterate_dual(int& iterations) {
+        const int limit =
+            options_.max_iterations > 0 ? options_.max_iterations : 400 + 60 * (m_ + cols_);
+        const double tol = options_.tol;
+        int stall = 0;
+        int recoveries = 0;
+        bool bland = options_.force_bland;
+        std::vector<double> y(static_cast<std::size_t>(m_));
+        std::vector<double> w(static_cast<std::size_t>(m_));
+        std::vector<double> rho(static_cast<std::size_t>(m_));
+
+        while (true) {
+            if (++iterations > limit) {
+                error_ = support::Errc::ResourceLimit;
+                return LpStatus::IterLimit;
+            }
+            if ((iterations & 15) == 1 && !options_.deadline.unlimited() &&
+                options_.deadline.expired()) {
+                deadline_hit_ = true;
+                error_ = options_.deadline.cancelled() ? support::Errc::Cancelled
+                                                       : support::Errc::DeadlineExceeded;
+                return LpStatus::IterLimit;
+            }
+
+            // Leaving row: the most-infeasible basic value (Bland fallback:
+            // smallest basic variable index among the infeasible rows — the
+            // deterministic anti-cycling rule).
+            int leave = -1;
+            bool below = false;
+            double worst = tol;
+            int bland_key = cols_;
+            for (int i = 0; i < m_; ++i) {
+                const std::size_t is = static_cast<std::size_t>(i);
+                const std::size_t bi = static_cast<std::size_t>(basis_[is]);
+                double viol = -xb_[is];
+                bool is_below = true;
+                if (span_[bi] != kInfinity && xb_[is] - span_[bi] > viol) {
+                    viol = xb_[is] - span_[bi];
+                    is_below = false;
+                }
+                if (viol <= tol) continue;
+                if (bland) {
+                    if (basis_[is] < bland_key) {
+                        bland_key = basis_[is];
+                        leave = i;
+                        below = is_below;
+                    }
+                } else if (viol > worst) {
+                    worst = viol;
+                    leave = i;
+                    below = is_below;
+                }
+            }
+            if (leave < 0) return LpStatus::Optimal;  // primal feasible
+            const std::size_t ls = static_cast<std::size_t>(leave);
+            const int bvar = basis_[ls];
+
+            // Pivot row via BTRAN: ρ = B⁻ᵀe_r, α_j = A_j·ρ. Reduced costs
+            // via a second BTRAN: y = B⁻ᵀc_B, r_j = c_j − A_j·y.
+            std::fill(rho.begin(), rho.end(), 0.0);
+            rho[ls] = 1.0;
+            factor_.btran(rho);
+            std::fill(y.begin(), y.end(), 0.0);
+            for (int i = 0; i < m_; ++i) {
+                y[static_cast<std::size_t>(i)] =
+                    cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+            }
+            factor_.btran(y);
+
+            // Dual ratio test. With ᾱ_j = −α_j when leaving below (so both
+            // cases read like "basic above its upper bound"), eligible
+            // columns are at-lower with ᾱ > 0 and at-upper with ᾱ < 0; the
+            // entering column minimizes |r_j|/|ᾱ_j|, which is exactly the
+            // largest dual step that keeps every other reduced cost on its
+            // feasible side. Ties break on larger |ᾱ| (numerical stability),
+            // then smallest column index (determinism); under Bland, exact
+            // minimum with smallest index.
+            int enter = -1;
+            double best_ratio = kInfinity;
+            double best_alpha = 0.0;
+            for (int j = 0; j < artificial_start_; ++j) {
+                const std::size_t js = static_cast<std::size_t>(j);
+                if (in_basis_[js]) continue;
+                if (span_[js] <= tol) continue;  // fixed: never blocks the dual ray
+                const double alpha = A_.dot_col(j, rho);
+                const double abar = below ? -alpha : alpha;
+                double ratio = kInfinity;
+                if (!at_upper_[js] && abar > tol) {
+                    const double r = cost_[js] - A_.dot_col(j, y);
+                    ratio = std::max(r, 0.0) / abar;
+                } else if (at_upper_[js] && abar < -tol) {
+                    const double r = cost_[js] - A_.dot_col(j, y);
+                    ratio = std::max(-r, 0.0) / (-abar);
+                } else {
+                    continue;
+                }
+                if (bland) {
+                    if (ratio < best_ratio) {
+                        best_ratio = ratio;
+                        best_alpha = abar;
+                        enter = j;
+                    }
+                } else if (ratio < best_ratio - 1e-9 ||
+                           (ratio < best_ratio + 1e-9 && std::abs(abar) > std::abs(best_alpha))) {
+                    best_ratio = ratio;
+                    best_alpha = abar;
+                    enter = j;
+                }
+            }
+            if (enter < 0) return LpStatus::Infeasible;
+            const std::size_t es = static_cast<std::size_t>(enter);
+
+            // FTRAN the entering column; the pivot element must agree with
+            // the row view. Too small ⇒ refactorize once and retry, twice ⇒
+            // genuine numerical trouble.
+            A_.scatter_col(enter, w);
+            factor_.ftran(w);
+            const double pivot = w[ls];
+            if (std::abs(pivot) < 1e-11) {
+                if (++recoveries > 1) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+                if (!recompute_state()) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+                continue;
+            }
+
+            // Fault point: shared budget with the primal engines, so
+            // P4ALL_FAULTS=simplex.pivot exercises the dual path too.
+            if (support::fault_fires("simplex.pivot")) {
+                error_ = support::Errc::NumericalTrouble;
+                return LpStatus::IterLimit;
+            }
+
+            // Degenerate-stall bookkeeping: a zero dual step makes no
+            // progress in the dual objective; a long run of them engages
+            // Bland's rule.
+            if (best_ratio < 1e-12) {
+                if (++stall > kDegeneratePivotLimit(m_)) bland = true;
+            } else {
+                stall = 0;
+                bland = options_.force_bland;
+            }
+
+            // Primal step: move the entering variable off its bound far
+            // enough to land the leaving variable exactly on its violated
+            // bound, update the other basic values, swap basis roles.
+            const double infeas = below ? xb_[ls] : xb_[ls] - span_[static_cast<std::size_t>(bvar)];
+            const double delta = infeas / pivot;
+            for (int i = 0; i < m_; ++i) {
+                if (i == leave) continue;
+                xb_[static_cast<std::size_t>(i)] -= w[static_cast<std::size_t>(i)] * delta;
+            }
+            const double enter_from = at_upper_[es] ? span_[es] : 0.0;
+            in_basis_[static_cast<std::size_t>(bvar)] = false;
+            at_upper_[static_cast<std::size_t>(bvar)] =
+                !below && span_[static_cast<std::size_t>(bvar)] != kInfinity;
+            basis_[ls] = enter;
+            in_basis_[es] = true;
+            at_upper_[es] = false;
+            xb_[ls] = enter_from + delta;
+
+            if (!factor_.update(w, leave) || factor_.needs_refactorization()) {
+                if (!recompute_state()) {
+                    error_ = support::Errc::NumericalTrouble;
+                    return LpStatus::IterLimit;
+                }
+            }
+            recoveries = 0;
+            if (options_.dual_pivot_trace != nullptr) {
+                options_.dual_pivot_trace->push_back(scaled_min_objective());
+            }
+        }
+    }
+
+    /// Current minimize-form objective of the (possibly primal-infeasible)
+    /// basic solution: Σ basic c_j·x_j + Σ nonbasic-at-upper c_j·span_j.
+    /// Used only for the dual pivot trace, so the O(cols) sweep is fine.
+    double scaled_min_objective() const {
+        double obj = 0.0;
+        for (int i = 0; i < m_; ++i) {
+            obj += cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] *
+                   xb_[static_cast<std::size_t>(i)];
+        }
+        for (int j = 0; j < cols_; ++j) {
+            const std::size_t js = static_cast<std::size_t>(j);
+            if (!in_basis_[js] && at_upper_[js] && span_[js] != kInfinity) {
+                obj += cost_[js] * span_[js];
+            }
+        }
+        return obj;
+    }
+
+    /// Deposits Gomory raw material: for every basic, fractional,
+    /// integer-typed structural variable, the tableau-row multipliers mapped
+    /// back to original model rows (ρ undoes row scaling, row_orient_ undoes
+    /// the Ge→Le and negative-rhs negations; folded singleton rows have no
+    /// standard-form row and therefore multiplier 0).
+    void fill_gomory_probe(const LpResult& result) {
+        auto& probe = *options_.gomory_probe;
+        probe.clear();
+        std::vector<double> rho(static_cast<std::size_t>(m_));
+        for (int i = 0; i < m_; ++i) {
+            const int j = basis_[static_cast<std::size_t>(i)];
+            if (j >= n_) continue;
+            if (model_.var_type(j) == VarType::Continuous) continue;
+            const double x = result.values[static_cast<std::size_t>(j)];
+            const double frac = x - std::floor(x);
+            if (frac < 1e-6 || frac > 1.0 - 1e-6) continue;
+            std::fill(rho.begin(), rho.end(), 0.0);
+            rho[static_cast<std::size_t>(i)] = 1.0;
+            factor_.btran(rho);
+            TableauRow row;
+            row.var = j;
+            row.value = x;
+            row.mult.assign(static_cast<std::size_t>(model_.num_constraints()), 0.0);
+            for (int k = 0; k < m_; ++k) {
+                const std::size_t ks = static_cast<std::size_t>(k);
+                row.mult[static_cast<std::size_t>(orig_row_[ks])] =
+                    rho[ks] * row_scale_[ks] * static_cast<double>(row_orient_[ks]);
+            }
+            probe.push_back(std::move(row));
         }
     }
 
@@ -614,7 +1030,10 @@ private:
     std::vector<int> aux_col_;      // row -> slack/artificial column (duals)
     std::vector<double> aux_coeff_; // row -> that column's coefficient (±1)
     std::vector<int> dual_sign_;    // row -> σrow·σcol sign for dual readout
+    std::vector<int> row_orient_;   // row -> ± sign mapping std row back to orig row
     std::vector<int> orig_row_;     // row -> model constraint index
+    std::vector<int> init_basis_;   // post-build snapshot for cold restarts
+    std::vector<double> init_span_;
     std::vector<double> row_scale_; // equilibration factors (powers of two)
     std::vector<double> col_scale_;
     double bound_slack_ = 0.0;      // exact perturbation budget

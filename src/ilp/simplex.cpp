@@ -342,12 +342,23 @@ private:
         // Deterministic cost perturbation on finite-span structural columns:
         // discourage each slightly (positive in the minimization objective),
         // scaled so each column's worst-case objective error is at most
-        // `perturbation`. The total is returned via bound_slack_.
+        // `perturbation`. The total is returned via bound_slack_. With
+        // caller-frozen reference bounds (LpOptions::perturb_ref_*) the
+        // magnitude derives from the reference span — same policy as the
+        // sparse backend, so both produce identical perturbed cost vectors
+        // across a branch-and-bound tree.
         bound_slack_ = 0.0;
         if (options_.perturbation > 0.0) {
+            const bool has_ref =
+                options_.perturb_ref_lb != nullptr && options_.perturb_ref_ub != nullptr;
             for (int j = 0; j < n_; ++j) {
                 const std::size_t js = static_cast<std::size_t>(j);
-                if (span_[js] == kInfinity || span_[js] <= 0.0) continue;
+                double ref_span = span_[js];
+                if (has_ref) {
+                    const double d = (*options_.perturb_ref_ub)[js] - (*options_.perturb_ref_lb)[js];
+                    ref_span = d == kInfinity ? kInfinity : std::max(d, 0.0) / col_scale_[js];
+                }
+                if (ref_span == kInfinity || ref_span <= 0.0) continue;
                 // perturb_seed == 0 reproduces the historical tilt exactly;
                 // any other seed gives a different (still deterministic) one.
                 std::uint64_t state =
@@ -356,9 +367,10 @@ private:
                     (static_cast<std::uint64_t>(j) << 17);
                 const double xi =
                     0.5 + 0.5 * static_cast<double>(support::splitmix64(state) >> 11) * 0x1.0p-53;
-                const double eps = options_.perturbation * xi / span_[js];
+                const double eps = options_.perturbation * xi / ref_span;
                 obj_[js] += eps;
-                bound_slack_ += eps * span_[js];
+                const double slack_span = span_[js] == kInfinity ? ref_span : span_[js];
+                bound_slack_ += eps * slack_span;
             }
         }
         cost0_ = obj_;  // pristine costs for rebuild_from_basis()

@@ -23,6 +23,39 @@ namespace p4all::ilp {
 
 enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
 
+/// A captured simplex basis: for each standard-form row the basic column
+/// index, plus the nonbasic-at-upper flag of every standard-form column.
+/// Column identities live in the producing backend's own standard form
+/// (structurals, then slacks, then artificials), so a basis is only
+/// meaningful when re-imported into the same backend for the same model —
+/// possibly with different variable bounds, which is exactly the
+/// branch-and-bound warm-start case: a child differs from its parent by one
+/// bound, the parent's optimal basis stays dual-feasible, and the dual
+/// simplex repairs primal feasibility in a handful of pivots.
+struct SimplexBasis {
+    std::vector<int> basic;               // standard-form row -> basic column
+    std::vector<std::uint8_t> at_upper;   // standard-form column -> at upper bound
+    /// Where the artificial block started when this basis was captured.
+    /// Lets a later import remap column identities after rows were APPENDED
+    /// to the model (the root cut loop): structural and slack indices are
+    /// stable under row appends, artificials shift as a block. −1 on a
+    /// default-constructed basis (import then requires an exact shape match).
+    int artificial_start = -1;
+    [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
+};
+
+/// Raw material for deriving one Gomory fractional cut: the tableau-row
+/// multipliers of a basic structural variable with fractional value, mapped
+/// back to original model rows (folded singleton rows get multiplier 0).
+/// These are heuristic float suggestions only — the cut itself is rebuilt in
+/// exact rational arithmetic by ilp/cuts.cpp, so nothing downstream depends
+/// on their accuracy.
+struct TableauRow {
+    int var = -1;               // model variable id (basic and fractional)
+    double value = 0.0;         // its value in the optimal solution
+    std::vector<double> mult;   // one multiplier per model constraint row
+};
+
 struct LpResult {
     LpStatus status = LpStatus::IterLimit;
     double objective = 0.0;
@@ -72,6 +105,37 @@ struct LpOptions {
     /// single long solve cannot overshoot a caller's time limit). Expiry
     /// returns IterLimit with deadline_hit set.
     support::Deadline deadline;
+    /// Warm-start basis (sparse backend only; dense ignores it). Installed
+    /// before phase 1; when it proves dual-feasible under the current costs,
+    /// the dual simplex restores primal feasibility directly and phase 1 is
+    /// skipped entirely. A basis that fails to factorize or is not
+    /// dual-feasible falls back to the cold two-phase path — a warm start
+    /// can never change the result, only the route to it.
+    const SimplexBasis* warm_basis = nullptr;
+    /// When non-null and the solve ends Optimal, the optimal basis is
+    /// written here (sparse backend only) for reuse by child nodes.
+    SimplexBasis* capture_basis = nullptr;
+    /// Frozen reference bounds for the deterministic cost perturbation
+    /// (size == model.num_vars() when set). The perturbation magnitude is
+    /// derived from these spans instead of the per-call bounds, making the
+    /// perturbed cost vector constant across an entire branch-and-bound tree
+    /// — the invariant that keeps a parent's optimal basis dual-feasible in
+    /// its children. The exact bound_slack accounting still uses the
+    /// per-call spans (which only shrink under branching), so LpResult::bound
+    /// stays a valid upper bound at every node. Both backends honor this so
+    /// their perturbed optima remain comparable.
+    const std::vector<double>* perturb_ref_lb = nullptr;
+    const std::vector<double>* perturb_ref_ub = nullptr;
+    /// When non-null and the solve ends Optimal, the sparse backend deposits
+    /// one TableauRow per fractional basic integer-typed structural variable
+    /// (cut separation input). Dense backend ignores it.
+    std::vector<TableauRow>* gomory_probe = nullptr;
+    /// When non-null, the engine appends the (scaled, perturbed,
+    /// minimize-form) objective value after every dual simplex pivot — the
+    /// dual_simplex_test property suite asserts this sequence is monotone
+    /// nondecreasing (equivalently: the certified upper bound on the true
+    /// maximum never increases while dual feasibility is maintained).
+    std::vector<double>* dual_pivot_trace = nullptr;
 };
 
 /// Solves the LP relaxation (integrality ignored). `lb`/`ub` override the

@@ -6,10 +6,12 @@
 #include <cmath>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 
+#include "ilp/presolve.hpp"
 #include "support/faultpoint.hpp"
 
 namespace p4all::ilp {
@@ -49,29 +51,88 @@ bool try_rounding(const Model& model, const std::vector<double>& lp_values,
     return true;
 }
 
+/// Per-variable branching history: the average objective degradation per
+/// unit of fractionality closed, kept separately for the down and the up
+/// child. Every observation is recorded in the engines' serial commit
+/// sections, so the table's state at any decision point is a pure function
+/// of the search tree — never of thread timing — and the pseudocost-guided
+/// tree stays bit-identical at every thread count.
+class Pseudocosts {
+public:
+    explicit Pseudocosts(int n)
+        : sum_(static_cast<std::size_t>(2 * n), 0.0),
+          cnt_(static_cast<std::size_t>(2 * n), 0) {}
+
+    /// One observed branching outcome: `degradation` = parent LP objective −
+    /// child LP objective (clamped at 0: maximize convention), `frac_moved`
+    /// = the fractional distance the branch closed (f down, 1−f up).
+    void record(int var, bool up, double frac_moved, double degradation) {
+        if (frac_moved < 1e-9) return;
+        const double per_unit = std::max(degradation, 0.0) / frac_moved;
+        const std::size_t k = slot(var, up);
+        sum_[k] += per_unit;
+        cnt_[k] += 1;
+        global_sum_ += per_unit;
+        global_cnt_ += 1;
+    }
+
+    /// Estimated per-unit degradation. Variables with no history fall back
+    /// to the global average (the cheap half of reliability branching), and
+    /// before any observation at all the estimate is 1.0 — which makes the
+    /// product score degenerate to f·(1−f), i.e. plain most-fractional
+    /// selection, so the first branching decision matches the historical
+    /// engine.
+    [[nodiscard]] double estimate(int var, bool up) const {
+        const std::size_t k = slot(var, up);
+        if (cnt_[k] > 0) return sum_[k] / static_cast<double>(cnt_[k]);
+        if (global_cnt_ > 0) return global_sum_ / static_cast<double>(global_cnt_);
+        return 1.0;
+    }
+
+private:
+    [[nodiscard]] static std::size_t slot(int var, bool up) {
+        return static_cast<std::size_t>(2 * var + (up ? 1 : 0));
+    }
+
+    std::vector<double> sum_;
+    std::vector<int> cnt_;
+    double global_sum_ = 0.0;
+    std::int64_t global_cnt_ = 0;
+};
+
 /// Branch-variable selection shared by both engines: highest priority class
-/// first, most fractional within the class.
+/// first; within the class, the largest pseudocost product score
+/// max(est_down·f, ε)·max(est_up·(1−f), ε) — the standard "expected
+/// degradation in both children" criterion. Exact score ties (common before
+/// any history exists) break on larger fractionality, then smallest index.
 struct BranchChoice {
     int var = -1;
-    double frac = 0.0;
+    double frac = 0.0;  // distance to the nearest integer
     int prio = 0;
 };
 
 BranchChoice pick_branch(const Model& model, const std::vector<double>& values,
-                         double int_tol) {
+                         double int_tol, const Pseudocosts& pc) {
     BranchChoice choice;
-    choice.frac = int_tol;
+    double best_score = -1.0;
     for (int j = 0; j < model.num_vars(); ++j) {
         if (model.var_type(j) == VarType::Continuous) continue;
         const double v = values[static_cast<std::size_t>(j)];
         const double frac = std::abs(v - std::round(v));
         if (frac <= int_tol) continue;
+        const double f = v - std::floor(v);
         const int prio = model.branch_priority(j);
-        if (choice.var < 0 || prio > choice.prio ||
-            (prio == choice.prio && frac > choice.frac)) {
+        const double score = std::max(pc.estimate(j, false) * f, 1e-6) *
+                             std::max(pc.estimate(j, true) * (1.0 - f), 1e-6);
+        const bool better =
+            choice.var < 0 || prio > choice.prio ||
+            (prio == choice.prio &&
+             (score > best_score || (score == best_score && frac > choice.frac)));
+        if (better) {
             choice.var = j;
             choice.frac = frac;
             choice.prio = prio;
+            best_score = score;
         }
     }
     return choice;
@@ -87,9 +148,40 @@ void snap_integers(const Model& model, std::vector<double>& values) {
     }
 }
 
+/// Everything both engines need beyond SolveOptions, prepared once by
+/// solve_milp: the model to evaluate feasibility/objectives against (`base`,
+/// no cut rows), the model every LP relaxes (`work`, base + certified cut
+/// rows), the presolved root bounds (which double as the frozen perturbation
+/// reference for the whole tree), and the root cut loop's outputs.
+struct SearchContext {
+    const Model* base = nullptr;
+    const Model* work = nullptr;
+    const std::vector<double>* root_lb = nullptr;
+    const std::vector<double>* root_ub = nullptr;
+    /// Optimal basis of the final (cut-extended) root LP; seeds the engine's
+    /// root node so the re-solve is a near-free dual-simplex confirmation.
+    std::shared_ptr<const SimplexBasis> root_basis;
+    /// True when the cut loop already committed Solution::root_duals /
+    /// root_bound for the cut-extended root — the engine then skips its own
+    /// root-certificate capture.
+    bool root_certified = false;
+    /// Sparse backend with warm starts enabled: thread parent bases to
+    /// children and capture each node's optimal basis.
+    bool use_warm = false;
+};
+
 struct Node {
     std::vector<double> lb;
     std::vector<double> ub;
+    /// Parent's optimal basis (shared by both children; null at the root
+    /// unless the cut loop captured one).
+    std::shared_ptr<const SimplexBasis> warm;
+    // Pseudocost bookkeeping: which branch created this node, and the
+    // parent's LP objective to measure the degradation against.
+    int branch_var = -1;
+    bool branch_up = false;
+    double branch_frac = 0.0;
+    double parent_obj = 0.0;
 };
 
 // ---------------------------------------------------------------------------
@@ -111,6 +203,11 @@ struct BfNode {
     std::vector<double> ub;
     double bound = kInfinity;
     std::uint64_t seq = 0;
+    std::shared_ptr<const SimplexBasis> warm;
+    int branch_var = -1;
+    bool branch_up = false;
+    double branch_frac = 0.0;
+    double parent_obj = 0.0;
 };
 
 struct BfNodeOrder {
@@ -224,11 +321,15 @@ private:
 /// same tree unfolds whether one worker or eight drain the batch.
 constexpr int kBestFirstBatch = 8;
 
-Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
+Solution solve_milp_best_first(const SearchContext& ctx, const SolveOptions& options,
                                const support::Deadline& deadline,
                                Clock::time_point start) {
+    const Model& base = *ctx.base;
+    const Model& work = *ctx.work;
     LpOptions lp_options = options.lp;
     lp_options.deadline = deadline;
+    lp_options.perturb_ref_lb = ctx.root_lb;
+    lp_options.perturb_ref_ub = ctx.root_ub;
 
     Solution best;
     best.status = SolveStatus::Infeasible;
@@ -240,9 +341,9 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
     // mid-batch — all pruning happens in the serial sections — which is
     // exactly why the search stays deterministic.
     std::atomic<double> incumbent_obj{-kInfinity};
-    if (!options.warm_start.empty() && model.is_feasible(options.warm_start, 1e-6)) {
+    if (!options.warm_start.empty() && base.is_feasible(options.warm_start, 1e-6)) {
         have_incumbent = true;
-        incumbent_obj.store(model.objective().evaluate(options.warm_start),
+        incumbent_obj.store(base.objective().evaluate(options.warm_start),
                             std::memory_order_relaxed);
         best.values = options.warm_start;
         best.objective = incumbent_obj.load(std::memory_order_relaxed);
@@ -253,15 +354,13 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
         return inc + std::max(options.gap_absolute, options.gap_relative * std::abs(inc));
     };
 
+    Pseudocosts pc(base.num_vars());
     std::priority_queue<BfNode, std::vector<BfNode>, BfNodeOrder> queue;
     {
         BfNode root;
-        root.lb.resize(static_cast<std::size_t>(model.num_vars()));
-        root.ub.resize(static_cast<std::size_t>(model.num_vars()));
-        for (int j = 0; j < model.num_vars(); ++j) {
-            root.lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
-            root.ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
-        }
+        root.lb = *ctx.root_lb;
+        root.ub = *ctx.root_ub;
+        root.warm = ctx.root_basis;
         queue.push(std::move(root));
     }
     std::uint64_t next_seq = 1;
@@ -273,6 +372,7 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
 
     std::vector<BfNode> batch;
     std::vector<LpResult> results;
+    std::vector<SimplexBasis> captures;
     const auto finish = [&](SolveStatus status, support::Errc error,
                             const std::string& detail) {
         best.status = status;
@@ -328,10 +428,19 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
 
         // --- parallel relaxation --------------------------------------
         results.assign(batch.size(), LpResult{});
+        captures.assign(batch.size(), SimplexBasis{});
         pool.run(static_cast<int>(batch.size()), [&](int i) {
-            const BfNode& node = batch[static_cast<std::size_t>(i)];
-            results[static_cast<std::size_t>(i)] =
-                solve_lp_with(options.lp_backend, model, &node.lb, &node.ub, lp_options);
+            const std::size_t is = static_cast<std::size_t>(i);
+            const BfNode& node = batch[is];
+            LpOptions node_options = lp_options;
+            if (ctx.use_warm) {
+                if (node.warm != nullptr && !node.warm->empty()) {
+                    node_options.warm_basis = node.warm.get();
+                }
+                node_options.capture_basis = &captures[is];
+            }
+            results[is] = solve_lp_with(options.lp_backend, work, &node.lb, &node.ub,
+                                        node_options);
         });
 
         // --- serial commit, in batch (deterministic) order ------------
@@ -339,11 +448,19 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
             BfNode& node = batch[k];
             const LpResult& lp = results[k];
             best.lp_iterations += lp.iterations;
-            if (node.seq == 0 && lp.status == LpStatus::Optimal) {
+            // Pseudocost observation, in commit order (determinism).
+            if (node.branch_var >= 0 && lp.status == LpStatus::Optimal) {
+                pc.record(node.branch_var, node.branch_up,
+                          node.branch_up ? 1.0 - node.branch_frac : node.branch_frac,
+                          node.parent_obj - lp.objective);
+            }
+            if (!ctx.root_certified && node.seq == 0 && lp.status == LpStatus::Optimal) {
                 // Root relaxation: keep its dual certificate so the audit
                 // layer can independently witness the global bound. The
                 // duals arrive through the backend-agnostic LpResult
-                // contract — dense tableau and sparse BTRAN alike.
+                // contract — dense tableau and sparse BTRAN alike. (When the
+                // cut loop ran, the cut-extended certificate it committed
+                // supersedes this capture.)
                 best.root_duals = lp.duals;
                 best.root_bound = lp.bound;
                 best.root_bound_slack = lp.bound_slack;
@@ -370,7 +487,7 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
             }
             if (have_incumbent && lp.bound <= prune_cutoff()) continue;
 
-            const BranchChoice branch = pick_branch(model, lp.values, options.int_tol);
+            const BranchChoice branch = pick_branch(base, lp.values, options.int_tol, pc);
             if (branch.var < 0) {
                 // Integral: candidate incumbent. Strict improvement keeps
                 // the commit deterministic (ties keep the earlier, i.e.
@@ -380,7 +497,7 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
                     have_incumbent = true;
                     incumbent_obj.store(obj, std::memory_order_relaxed);
                     best.values = lp.values;
-                    snap_integers(model, best.values);
+                    snap_integers(base, best.values);
                     best.objective = obj;
                 }
                 continue;
@@ -390,8 +507,8 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
             // (same cadence as the serial engine, counted in commit order).
             if (!have_incumbent || (best.nodes & 0x3F) == 0) {
                 std::vector<double> rounded;
-                if (try_rounding(model, lp.values, rounded)) {
-                    const double obj = model.objective().evaluate(rounded);
+                if (try_rounding(base, lp.values, rounded)) {
+                    const double obj = base.objective().evaluate(rounded);
                     if (!have_incumbent || obj > incumbent_obj.load(std::memory_order_relaxed)) {
                         have_incumbent = true;
                         incumbent_obj.store(obj, std::memory_order_relaxed);
@@ -401,25 +518,40 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
                 }
             }
 
+            std::shared_ptr<const SimplexBasis> child_warm;
+            if (ctx.use_warm && !captures[k].empty()) {
+                child_warm = std::make_shared<SimplexBasis>(std::move(captures[k]));
+            }
             const std::size_t bidx = static_cast<std::size_t>(branch.var);
             const double v = std::clamp(lp.values[bidx], node.lb[bidx], node.ub[bidx]);
             const double floor_v = std::floor(v);
+            const double f = v - floor_v;
             BfNode down;
             down.lb = node.lb;
             down.ub = node.ub;
             down.ub[bidx] = std::min(down.ub[bidx], floor_v);
             down.bound = lp.bound;
+            down.warm = child_warm;
+            down.branch_var = branch.var;
+            down.branch_up = false;
+            down.branch_frac = f;
+            down.parent_obj = lp.objective;
             BfNode up;
             up.lb = std::move(node.lb);
             up.ub = std::move(node.ub);
             up.lb[bidx] = std::max(up.lb[bidx], floor_v + 1);
             up.bound = lp.bound;
+            up.warm = std::move(child_warm);
+            up.branch_var = branch.var;
+            up.branch_up = true;
+            up.branch_frac = f;
+            up.parent_obj = lp.objective;
             const bool down_valid = down.lb[bidx] <= down.ub[bidx];
             const bool up_valid = up.lb[bidx] <= up.ub[bidx];
             // The preferred child (structural dive / LP-suggested side)
             // gets the larger sequence number: ties on the bound pop
             // newest-first, so it is explored first — mirroring the DFS dive.
-            const bool up_first = branch.prio > 0 || v - floor_v > 0.5;
+            const bool up_first = branch.prio > 0 || f > 0.5;
             if (up_first) {
                 if (down_valid) {
                     down.seq = next_seq++;
@@ -451,6 +583,340 @@ Solution solve_milp_best_first(const Model& model, const SolveOptions& options,
     return best;
 }
 
+// ---------------------------------------------------------------------------
+// Serial depth-first search (the historical engine)
+// ---------------------------------------------------------------------------
+
+Solution solve_milp_dfs(const SearchContext& ctx, const SolveOptions& options,
+                        const support::Deadline& deadline) {
+    const Model& base = *ctx.base;
+    const Model& work = *ctx.work;
+    LpOptions lp_options = options.lp;
+    lp_options.deadline = deadline;
+    lp_options.perturb_ref_lb = ctx.root_lb;
+    lp_options.perturb_ref_ub = ctx.root_ub;
+
+    Solution out;
+    out.status = SolveStatus::Infeasible;
+
+    bool have_incumbent = false;
+    bool abandoned_subtree = false;
+    double incumbent_obj = -kInfinity;
+    if (!options.warm_start.empty() && base.is_feasible(options.warm_start, 1e-6)) {
+        have_incumbent = true;
+        incumbent_obj = base.objective().evaluate(options.warm_start);
+        out.values = options.warm_start;
+        out.objective = incumbent_obj;
+    }
+
+    Pseudocosts pc(base.num_vars());
+    std::vector<Node> stack;
+    {
+        Node root;
+        root.lb = *ctx.root_lb;
+        root.ub = *ctx.root_ub;
+        root.warm = ctx.root_basis;
+        stack.push_back(std::move(root));
+    }
+
+    while (!stack.empty()) {
+        if (out.nodes >= options.max_nodes) {
+            out.status = SolveStatus::Limit;
+            out.error = support::Errc::ResourceLimit;
+            out.error_detail = "node limit reached (" +
+                               std::to_string(options.max_nodes) + " nodes)";
+            return out;
+        }
+        if (deadline.expired()) {
+            out.status = SolveStatus::Limit;
+            out.error = deadline.cancelled() ? support::Errc::Cancelled
+                                             : support::Errc::DeadlineExceeded;
+            out.error_detail = deadline.cancelled()
+                                   ? "cancellation requested during search"
+                                   : "time budget exhausted during search";
+            return out;
+        }
+        Node node = std::move(stack.back());
+        stack.pop_back();
+        ++out.nodes;
+
+        // Fault point: simulates a node whose relaxation blew up — the
+        // subtree is abandoned, so the search ends incomplete (Limit,
+        // never a false Optimal).
+        if (support::fault_fires("bnb.node")) {
+            abandoned_subtree = true;
+            continue;
+        }
+
+        SimplexBasis captured;
+        if (ctx.use_warm) {
+            lp_options.warm_basis =
+                node.warm != nullptr && !node.warm->empty() ? node.warm.get() : nullptr;
+            lp_options.capture_basis = &captured;
+        }
+        const LpResult lp =
+            solve_lp_with(options.lp_backend, work, &node.lb, &node.ub, lp_options);
+        out.lp_iterations += lp.iterations;
+        if (node.branch_var >= 0 && lp.status == LpStatus::Optimal) {
+            pc.record(node.branch_var, node.branch_up,
+                      node.branch_up ? 1.0 - node.branch_frac : node.branch_frac,
+                      node.parent_obj - lp.objective);
+        }
+        if (!ctx.root_certified && out.nodes == 1 && lp.status == LpStatus::Optimal) {
+            // Root relaxation: keep its dual certificate so the audit
+            // layer can independently witness the global bound.
+            out.root_duals = lp.duals;
+            out.root_bound = lp.bound;
+            out.root_bound_slack = lp.bound_slack;
+        }
+        if (lp.status == LpStatus::Infeasible) continue;
+        if (lp.status == LpStatus::Unbounded) {
+            // Unbounded relaxation at the root means an unbounded MILP
+            // for our models (integer vars are bounded).
+            out.status = SolveStatus::Unbounded;
+            out.error = support::Errc::Unbounded;
+            out.error_detail = "objective is unbounded over the relaxation";
+            return out;
+        }
+        if (lp.status == LpStatus::IterLimit) {
+            if (lp.deadline_hit) {
+                // The LP itself ran out of budget: stop the whole
+                // search and return the incumbent (anytime semantics).
+                out.status = SolveStatus::Limit;
+                out.error = lp.error;
+                out.error_detail = lp.error == support::Errc::Cancelled
+                                       ? "cancellation requested inside simplex"
+                                       : "time budget exhausted inside simplex";
+                return out;
+            }
+            // This subtree could not be resolved: remember that the
+            // search is incomplete so we never falsely claim optimality.
+            abandoned_subtree = true;
+            if (lp.error == support::Errc::NumericalTrouble &&
+                out.error == support::Errc::None) {
+                out.error = support::Errc::NumericalTrouble;
+                out.error_detail = "simplex reported numerical trouble";
+            }
+            continue;
+        }
+        // Prune on the perturbation-corrected bound (a valid upper
+        // bound on every solution in this subtree), within the
+        // optimality gap.
+        if (have_incumbent &&
+            lp.bound <= incumbent_obj + std::max(options.gap_absolute,
+                                                 options.gap_relative *
+                                                     std::abs(incumbent_obj))) {
+            continue;
+        }
+
+        const BranchChoice branch = pick_branch(base, lp.values, options.int_tol, pc);
+        if (branch.var < 0) {
+            // Integral: new incumbent.
+            have_incumbent = true;
+            incumbent_obj = lp.objective;
+            out.values = lp.values;
+            snap_integers(base, out.values);
+            out.objective = incumbent_obj;
+            continue;
+        }
+
+        // Incumbent heuristic at the root and occasionally afterwards.
+        if (!have_incumbent || (out.nodes & 0x3F) == 0) {
+            std::vector<double> rounded;
+            if (try_rounding(base, lp.values, rounded)) {
+                const double obj = base.objective().evaluate(rounded);
+                if (!have_incumbent || obj > incumbent_obj) {
+                    have_incumbent = true;
+                    incumbent_obj = obj;
+                    out.values = std::move(rounded);
+                    out.objective = obj;
+                }
+            }
+        }
+
+        std::shared_ptr<const SimplexBasis> child_warm;
+        if (ctx.use_warm && !captured.empty()) {
+            child_warm = std::make_shared<SimplexBasis>(std::move(captured));
+        }
+        const std::size_t bidx = static_cast<std::size_t>(branch.var);
+        // Clamp the LP value into the node's bounds before splitting:
+        // LP tolerances can leave it epsilon outside, which would
+        // create an empty child interval.
+        const double v = std::clamp(lp.values[bidx], node.lb[bidx], node.ub[bidx]);
+        const double floor_v = std::floor(v);
+        const double f = v - floor_v;
+        Node down;
+        down.lb = node.lb;
+        down.ub = node.ub;
+        down.ub[bidx] = std::min(down.ub[bidx], floor_v);
+        down.warm = child_warm;
+        down.branch_var = branch.var;
+        down.branch_up = false;
+        down.branch_frac = f;
+        down.parent_obj = lp.objective;
+        Node up;
+        up.lb = std::move(node.lb);
+        up.ub = std::move(node.ub);
+        up.lb[bidx] = std::max(up.lb[bidx], floor_v + 1);
+        up.warm = std::move(child_warm);
+        up.branch_var = branch.var;
+        up.branch_up = true;
+        up.branch_frac = f;
+        up.parent_obj = lp.objective;
+        const bool down_valid = down.lb[bidx] <= down.ub[bidx];
+        const bool up_valid = up.lb[bidx] <= up.ub[bidx];
+        // DFS order: prioritized (structural) variables dive up first —
+        // instantiate the iteration / take the placement — which
+        // reaches a feasible incumbent quickly; otherwise follow the
+        // LP value.
+        const bool up_first = branch.prio > 0 || f > 0.5;
+        if (up_first) {
+            if (down_valid) stack.push_back(std::move(down));
+            if (up_valid) stack.push_back(std::move(up));
+        } else {
+            if (up_valid) stack.push_back(std::move(up));
+            if (down_valid) stack.push_back(std::move(down));
+        }
+    }
+
+    if (have_incumbent) {
+        out.status = abandoned_subtree ? SolveStatus::Limit : SolveStatus::Optimal;
+    } else if (abandoned_subtree) {
+        out.status = SolveStatus::Limit;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Root cut loop
+// ---------------------------------------------------------------------------
+
+/// Outputs of the root separation rounds. Invariant: `cuts`, `work`,
+/// `basis`, and the certificate fields are mutually consistent — they all
+/// describe the state as of the LAST SUCCESSFUL root LP solve. Cuts whose
+/// post-append re-solve failed (deadline, fault injection, numerical
+/// trouble) are rolled back, never half-committed, so Solution::cuts always
+/// matches Solution::root_duals row for row.
+struct RootCutResult {
+    std::vector<CertifiedCut> cuts;
+    std::vector<double> root_duals;
+    double root_bound = 0.0;
+    double root_bound_slack = 0.0;
+    bool certified = false;
+    std::shared_ptr<const SimplexBasis> basis;
+    std::optional<Model> work;  // base + cuts; engaged only when cuts exist
+    std::int64_t lp_iterations = 0;
+};
+
+/// `base` is the model the LPs relax (presolve-cleaned); `cut_model` is the
+/// ORIGINAL model the certificates are derived against — identical row
+/// count/order and bounds, but with the coefficients exactly as the caller
+/// wrote them, so the audit layer re-verifies every certificate bit-for-bit
+/// without knowing presolve happened.
+RootCutResult run_root_cut_loop(const Model& base, const Model& cut_model,
+                                const std::vector<double>& root_lb,
+                                const std::vector<double>& root_ub,
+                                const SolveOptions& options,
+                                const support::Deadline& deadline) {
+    RootCutResult out;
+    LpOptions lp_options = options.lp;
+    lp_options.deadline = deadline;
+    lp_options.perturb_ref_lb = &root_lb;
+    lp_options.perturb_ref_ub = &root_ub;
+    std::vector<TableauRow> probe;
+    if (options.lp_backend == LpBackend::Sparse) lp_options.gomory_probe = &probe;
+    const bool use_warm =
+        options.lp_backend == LpBackend::Sparse && options.warm_start_lp;
+
+    Model work = base;
+    std::vector<CertifiedCut> pool;   // every cut currently appended to `work`
+    std::size_t certified = 0;        // prefix validated by a successful solve
+    SimplexBasis warm_store;          // basis of the last successful solve
+
+    for (int round = 0;; ++round) {
+        // Deadline between rounds (e.g. it expired mid-separation): stop
+        // here with the certified prefix; the engine reports the Limit with
+        // the best incumbent and the committed POST-cut root bound — never
+        // the pre-cut relaxation bound.
+        if (deadline.expired()) break;
+        probe.clear();
+        LpOptions round_options = lp_options;
+        SimplexBasis captured;
+        if (use_warm) {
+            // Across rounds the basis transfers by row-append extension
+            // (see RevisedSimplex::try_warm_start): new cut rows enter on
+            // their own slack, dual feasibility is preserved, and the dual
+            // simplex prices the violated cuts in.
+            if (!warm_store.empty()) round_options.warm_basis = &warm_store;
+            round_options.capture_basis = &captured;
+        }
+        const LpResult lp =
+            solve_lp_with(options.lp_backend, work, &root_lb, &root_ub, round_options);
+        out.lp_iterations += lp.iterations;
+        // Any non-optimal outcome ends separation: the uncertified suffix is
+        // rolled back below and the engine takes over (it re-solves the
+        // root itself and reports deadline/unbounded/infeasible through the
+        // established paths). Cuts already certified stay — they are valid
+        // regardless of why a later LP failed.
+        if (lp.status != LpStatus::Optimal) break;
+
+        // Tailing off: when the cuts appended last round moved the bound by
+        // less than min_round_improvement·|bound|, separation has
+        // degenerated into chasing vertices around a face — stop WITHOUT
+        // committing them (the roll-back below removes the suffix), so the
+        // search is not taxed with bound-neutral rows at every node.
+        if (out.certified &&
+            out.root_bound - lp.bound <
+                options.cut_limits.min_round_improvement *
+                    std::max(1.0, std::abs(lp.bound))) {
+            break;
+        }
+
+        // Commit: everything appended so far survived a full re-solve.
+        certified = pool.size();
+        out.certified = true;
+        out.root_duals = lp.duals;
+        out.root_bound = lp.bound;
+        out.root_bound_slack = lp.bound_slack;
+        if (use_warm && !captured.empty()) {
+            warm_store = captured;
+            out.basis = std::make_shared<SimplexBasis>(std::move(captured));
+        }
+
+        if (round >= options.cut_limits.max_rounds) break;
+        if (static_cast<int>(pool.size()) >= options.cut_limits.max_total) break;
+        bool fractional = false;
+        for (int j = 0; j < base.num_vars() && !fractional; ++j) {
+            if (base.var_type(j) == VarType::Continuous) continue;
+            const double x = lp.values[static_cast<std::size_t>(j)];
+            fractional = std::abs(x - std::round(x)) > options.int_tol;
+        }
+        if (!fractional) break;  // integral root: nothing left to separate
+
+        const std::vector<CertifiedCut> fresh =
+            separate_cuts(cut_model, pool, lp.values, probe, options.cut_limits,
+                          static_cast<int>(pool.size()));
+        if (fresh.empty()) break;
+        for (const CertifiedCut& cut : fresh) {
+            work.add_le(cut.expr, cut.rhs, cut.name);
+            pool.push_back(cut);
+        }
+    }
+
+    // Roll back to the certified prefix and rebuild the work model from it
+    // (cheaper to re-append a handful of rows than to track row removal).
+    pool.resize(certified);
+    out.cuts = std::move(pool);
+    if (!out.cuts.empty()) {
+        Model rebuilt = base;
+        for (const CertifiedCut& cut : out.cuts) {
+            rebuilt.add_le(cut.expr, cut.rhs, cut.name);
+        }
+        out.work = std::move(rebuilt);
+    }
+    return out;
+}
+
 }  // namespace
 
 std::int64_t Solution::value_int(Var v) const {
@@ -465,176 +931,58 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     const support::Deadline deadline =
         options.deadline.tightened(options.time_limit_seconds);
 
+    // Root presolve: exact bound tightening + coefficient cleanup. The
+    // tightened bounds become the root node AND the frozen perturbation
+    // reference (both backends derive the perturbed cost vector from them,
+    // so it is constant across the whole tree — the warm-start invariant).
+    const PresolveResult pre = presolve(model);
+    if (pre.infeasible) {
+        Solution out;
+        out.status = SolveStatus::Infeasible;
+        out.error = support::Errc::Infeasible;
+        out.error_detail = pre.infeasible_reason;
+        out.seconds = seconds_since(start);
+        return out;
+    }
+    const Model& base = pre.cleaned ? *pre.cleaned : model;
+
+    // Root cutting planes: certified Gomory + cover rounds tighten the root
+    // relaxation before any branching. Cuts are derived and certified
+    // against the ORIGINAL model (rows and bounds as the caller wrote them,
+    // not the presolved/cleaned form), so the audit layer can re-verify
+    // every certificate without knowing about presolve.
+    RootCutResult root;
+    if (options.cuts_enabled && base.num_integer_vars() > 0 && !deadline.expired()) {
+        root = run_root_cut_loop(base, model, pre.lb, pre.ub, options, deadline);
+    }
+
+    SearchContext ctx;
+    ctx.base = &base;
+    ctx.work = root.work ? &*root.work : &base;
+    ctx.root_lb = &pre.lb;
+    ctx.root_ub = &pre.ub;
+    ctx.root_basis = root.basis;
+    ctx.root_certified = root.certified;
+    ctx.use_warm = options.lp_backend == LpBackend::Sparse && options.warm_start_lp;
+
     Solution best;
     if (options.search == SearchMode::BestFirst) {
-        best = solve_milp_best_first(model, options, deadline, start);
+        best = solve_milp_best_first(ctx, options, deadline, start);
     } else {
-        best = [&] {
-            LpOptions lp_options = options.lp;
-            lp_options.deadline = deadline;
-
-            Solution out;
-            out.status = SolveStatus::Infeasible;
-
-            std::vector<double> root_lb(static_cast<std::size_t>(model.num_vars()));
-            std::vector<double> root_ub(static_cast<std::size_t>(model.num_vars()));
-            for (int j = 0; j < model.num_vars(); ++j) {
-                root_lb[static_cast<std::size_t>(j)] = model.lower_bound(j);
-                root_ub[static_cast<std::size_t>(j)] = model.upper_bound(j);
-            }
-
-            bool have_incumbent = false;
-            bool abandoned_subtree = false;
-            double incumbent_obj = -kInfinity;
-            if (!options.warm_start.empty() && model.is_feasible(options.warm_start, 1e-6)) {
-                have_incumbent = true;
-                incumbent_obj = model.objective().evaluate(options.warm_start);
-                out.values = options.warm_start;
-                out.objective = incumbent_obj;
-            }
-
-            std::vector<Node> stack;
-            stack.push_back({std::move(root_lb), std::move(root_ub)});
-
-            while (!stack.empty()) {
-                if (out.nodes >= options.max_nodes) {
-                    out.status = SolveStatus::Limit;
-                    out.error = support::Errc::ResourceLimit;
-                    out.error_detail = "node limit reached (" +
-                                       std::to_string(options.max_nodes) + " nodes)";
-                    return out;
-                }
-                if (deadline.expired()) {
-                    out.status = SolveStatus::Limit;
-                    out.error = deadline.cancelled() ? support::Errc::Cancelled
-                                                     : support::Errc::DeadlineExceeded;
-                    out.error_detail = deadline.cancelled()
-                                           ? "cancellation requested during search"
-                                           : "time budget exhausted during search";
-                    return out;
-                }
-                const Node node = std::move(stack.back());
-                stack.pop_back();
-                ++out.nodes;
-
-                // Fault point: simulates a node whose relaxation blew up — the
-                // subtree is abandoned, so the search ends incomplete (Limit,
-                // never a false Optimal).
-                if (support::fault_fires("bnb.node")) {
-                    abandoned_subtree = true;
-                    continue;
-                }
-
-                const LpResult lp =
-                    solve_lp_with(options.lp_backend, model, &node.lb, &node.ub, lp_options);
-                out.lp_iterations += lp.iterations;
-                if (out.nodes == 1 && lp.status == LpStatus::Optimal) {
-                    // Root relaxation: keep its dual certificate so the audit
-                    // layer can independently witness the global bound.
-                    out.root_duals = lp.duals;
-                    out.root_bound = lp.bound;
-                    out.root_bound_slack = lp.bound_slack;
-                }
-                if (lp.status == LpStatus::Infeasible) continue;
-                if (lp.status == LpStatus::Unbounded) {
-                    // Unbounded relaxation at the root means an unbounded MILP
-                    // for our models (integer vars are bounded).
-                    out.status = SolveStatus::Unbounded;
-                    out.error = support::Errc::Unbounded;
-                    out.error_detail = "objective is unbounded over the relaxation";
-                    return out;
-                }
-                if (lp.status == LpStatus::IterLimit) {
-                    if (lp.deadline_hit) {
-                        // The LP itself ran out of budget: stop the whole
-                        // search and return the incumbent (anytime semantics).
-                        out.status = SolveStatus::Limit;
-                        out.error = lp.error;
-                        out.error_detail = lp.error == support::Errc::Cancelled
-                                               ? "cancellation requested inside simplex"
-                                               : "time budget exhausted inside simplex";
-                        return out;
-                    }
-                    // This subtree could not be resolved: remember that the
-                    // search is incomplete so we never falsely claim optimality.
-                    abandoned_subtree = true;
-                    if (lp.error == support::Errc::NumericalTrouble &&
-                        out.error == support::Errc::None) {
-                        out.error = support::Errc::NumericalTrouble;
-                        out.error_detail = "simplex reported numerical trouble";
-                    }
-                    continue;
-                }
-                // Prune on the perturbation-corrected bound (a valid upper
-                // bound on every solution in this subtree), within the
-                // optimality gap.
-                if (have_incumbent &&
-                    lp.bound <= incumbent_obj + std::max(options.gap_absolute,
-                                                         options.gap_relative *
-                                                             std::abs(incumbent_obj))) {
-                    continue;
-                }
-
-                const BranchChoice branch = pick_branch(model, lp.values, options.int_tol);
-                if (branch.var < 0) {
-                    // Integral: new incumbent.
-                    have_incumbent = true;
-                    incumbent_obj = lp.objective;
-                    out.values = lp.values;
-                    snap_integers(model, out.values);
-                    out.objective = incumbent_obj;
-                    continue;
-                }
-
-                // Incumbent heuristic at the root and occasionally afterwards.
-                if (!have_incumbent || (out.nodes & 0x3F) == 0) {
-                    std::vector<double> rounded;
-                    if (try_rounding(model, lp.values, rounded)) {
-                        const double obj = model.objective().evaluate(rounded);
-                        if (!have_incumbent || obj > incumbent_obj) {
-                            have_incumbent = true;
-                            incumbent_obj = obj;
-                            out.values = std::move(rounded);
-                            out.objective = obj;
-                        }
-                    }
-                }
-
-                const std::size_t bidx = static_cast<std::size_t>(branch.var);
-                // Clamp the LP value into the node's bounds before splitting:
-                // LP tolerances can leave it epsilon outside, which would
-                // create an empty child interval.
-                const double v = std::clamp(lp.values[bidx], node.lb[bidx], node.ub[bidx]);
-                const double floor_v = std::floor(v);
-                Node down = node;
-                down.ub[bidx] = std::min(down.ub[bidx], floor_v);
-                Node up = std::move(node);
-                up.lb[bidx] = std::max(up.lb[bidx], floor_v + 1);
-                const bool down_valid = down.lb[bidx] <= down.ub[bidx];
-                const bool up_valid = up.lb[bidx] <= up.ub[bidx];
-                // DFS order: prioritized (structural) variables dive up first —
-                // instantiate the iteration / take the placement — which
-                // reaches a feasible incumbent quickly; otherwise follow the
-                // LP value.
-                const bool up_first = branch.prio > 0 || v - floor_v > 0.5;
-                if (up_first) {
-                    if (down_valid) stack.push_back(std::move(down));
-                    if (up_valid) stack.push_back(std::move(up));
-                } else {
-                    if (up_valid) stack.push_back(std::move(up));
-                    if (down_valid) stack.push_back(std::move(down));
-                }
-            }
-
-            if (have_incumbent) {
-                out.status = abandoned_subtree ? SolveStatus::Limit : SolveStatus::Optimal;
-            } else if (abandoned_subtree) {
-                out.status = SolveStatus::Limit;
-            }
-            return out;
-        }();
+        best = solve_milp_dfs(ctx, options, deadline);
         best.seconds = seconds_since(start);
     }
+
+    best.lp_iterations += root.lp_iterations;
+    if (root.certified) {
+        // The cut-extended root certificate supersedes whatever the engine
+        // captured: Solution::root_duals has one entry per base row plus one
+        // per certified cut, in Solution::cuts order.
+        best.root_duals = std::move(root.root_duals);
+        best.root_bound = root.root_bound;
+        best.root_bound_slack = root.root_bound_slack;
+    }
+    best.cuts = std::move(root.cuts);
 
     if (best.seconds == 0.0) best.seconds = seconds_since(start);
     if (best.status == SolveStatus::Limit && best.error == support::Errc::None) {

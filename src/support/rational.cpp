@@ -1,10 +1,10 @@
-#include "audit/rational.hpp"
+#include "support/rational.hpp"
 
 #include <cmath>
 
 #include "support/error.hpp"
 
-namespace p4all::audit {
+namespace p4all::support {
 
 namespace {
 
@@ -12,7 +12,7 @@ using i128 = __int128;
 using u128 = unsigned __int128;
 
 [[noreturn]] void overflow(const char* what) {
-    throw support::CompileError(std::string("audit rational overflow in ") + what +
+    throw support::CompileError(std::string("exact rational overflow in ") + what +
                                 " (certificate magnitudes exceed 128-bit range)");
 }
 
@@ -71,7 +71,7 @@ void Rat::normalize() {
 
 Rat Rat::from_double(double v) {
     if (!std::isfinite(v)) {
-        throw support::CompileError("audit rational: non-finite double");
+        throw support::CompileError("exact rational: non-finite double");
     }
     if (v == 0.0) return Rat(0);
     int exp = 0;
@@ -96,7 +96,7 @@ Rat Rat::from_double(double v) {
 
 Rat Rat::from_double_quantized(double v, int frac_bits) {
     if (!std::isfinite(v)) {
-        throw support::CompileError("audit rational: non-finite double");
+        throw support::CompileError("exact rational: non-finite double");
     }
     const double scaled = std::ldexp(v, frac_bits);
     if (std::abs(scaled) >= 9.2e18) overflow("from_double_quantized");
@@ -162,6 +162,18 @@ int Rat::cmp(const Rat& o) const {
     return 0;
 }
 
+Rat Rat::floor() const {
+    Rat r;
+    if (num_ >= 0) {
+        r.num_ = num_ / den_;
+    } else {
+        // Round toward −∞: the C++ quotient truncates toward zero.
+        r.num_ = -((-num_ + den_ - 1) / den_);
+    }
+    r.den_ = 1;
+    return r;
+}
+
 double Rat::to_double() const {
     return static_cast<double>(num_) / static_cast<double>(den_);
 }
@@ -177,4 +189,4 @@ std::string Rat::to_string() const {
     return out;
 }
 
-}  // namespace p4all::audit
+}  // namespace p4all::support

@@ -251,6 +251,65 @@ TEST(DifferentialMilp, ParallelSearchIsThreadCountInvariant) {
     }
 }
 
+TEST(DifferentialMilp, WarmStartMatchesColdAtEveryThreadCount) {
+    // The warm-start oracle, two layers:
+    //
+    //  * Determinism (bitwise): for a FIXED configuration, 1, 2, and 8
+    //    threads produce bit-identical incumbents, node counts, and root
+    //    certificates — warm-started and cold alike. This is the pinned
+    //    guarantee: re-using the parent basis must not leak thread timing
+    //    into the tree.
+    //  * Agreement (tolerance): warm vs cold vs the dense serial DFS oracle
+    //    reach the same status and optimum and a feasible incumbent. The
+    //    continuous components of the vertex may differ in the last ulp —
+    //    the dual repair takes a different pivot route to the same optimum —
+    //    so cross-configuration equality is exact-status/near-objective,
+    //    never bitwise.
+    int optimal = 0;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const RandomInstance inst = random_instance(seed * 6491, true, true);
+        const std::string label = "milp seed " + std::to_string(seed);
+        const Solution oracle = solve_with(inst.model, LpBackend::Dense, SearchMode::Dfs, 1);
+        Solution cold[3];
+        Solution warm[3];
+        const int threads[3] = {1, 2, 8};
+        for (int t = 0; t < 3; ++t) {
+            SolveOptions opts;
+            opts.lp_backend = LpBackend::Sparse;
+            opts.search = SearchMode::BestFirst;
+            opts.threads = threads[t];
+            opts.warm_start_lp = false;
+            cold[t] = solve_milp(inst.model, opts);
+            opts.warm_start_lp = true;
+            warm[t] = solve_milp(inst.model, opts);
+        }
+        for (int t = 1; t < 3; ++t) {
+            const std::string at = label + " threads " + std::to_string(threads[t]);
+            // Bitwise across thread counts, separately per configuration.
+            ASSERT_EQ(warm[t].status, warm[0].status) << at;
+            EXPECT_EQ(warm[t].objective, warm[0].objective) << at;
+            EXPECT_EQ(warm[t].values, warm[0].values) << at;
+            EXPECT_EQ(warm[t].nodes, warm[0].nodes) << at;
+            EXPECT_EQ(warm[t].root_duals, warm[0].root_duals) << at;
+            ASSERT_EQ(cold[t].status, cold[0].status) << at;
+            EXPECT_EQ(cold[t].objective, cold[0].objective) << at;
+            EXPECT_EQ(cold[t].values, cold[0].values) << at;
+            EXPECT_EQ(cold[t].nodes, cold[0].nodes) << at;
+            EXPECT_EQ(cold[t].root_duals, cold[0].root_duals) << at;
+        }
+        ASSERT_EQ(warm[0].status, cold[0].status) << label;
+        ASSERT_EQ(warm[0].status, oracle.status) << label;
+        if (oracle.status != SolveStatus::Optimal) continue;
+        ++optimal;
+        const double tol = 1e-6 * (1.0 + std::abs(oracle.objective));
+        EXPECT_NEAR(warm[0].objective, cold[0].objective, tol) << label;
+        EXPECT_NEAR(warm[0].objective, oracle.objective, tol) << label;
+        EXPECT_TRUE(inst.model.is_feasible(warm[0].values, 1e-6)) << label;
+        EXPECT_TRUE(inst.model.is_feasible(cold[0].values, 1e-6)) << label;
+    }
+    EXPECT_GT(optimal, 15);
+}
+
 TEST(DifferentialMilp, ParallelSearchMatchesDenseBackendToo) {
     // Same invariance with the dense LP backend under the parallel engine —
     // the search layer must not care which simplex relaxes its nodes.
